@@ -1,0 +1,266 @@
+//! Assortativity: scalar (degree) and discrete (categorical) mixing.
+//!
+//! §IV-C lists "assortative (e.g. scalar and discrete)" among the
+//! single-relational algorithms whose semantics depend on which derivation the
+//! multi-relational graph was exposed through. Scalar assortativity here is
+//! the Pearson correlation of (out-degree of tail, in-degree of head) over
+//! edges (Newman's directed degree assortativity); discrete assortativity is
+//! Newman's modularity-style coefficient over a categorical vertex attribute,
+//! together with its mixing matrix.
+
+use std::collections::HashMap;
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// Scalar (degree) assortativity: the Pearson correlation coefficient between
+/// the out-degree of the source and the in-degree of the target over all
+/// edges. Returns `None` if there are no edges or a degenerate variance.
+pub fn degree_assortativity(graph: &SingleGraph) -> Option<f64> {
+    let xs: Vec<f64> = graph
+        .edges()
+        .map(|(t, _)| graph.out_degree(t) as f64)
+        .collect();
+    let ys: Vec<f64> = graph
+        .edges()
+        .map(|(_, h)| graph.in_degree(h) as f64)
+        .collect();
+    pearson(&xs, &ys)
+}
+
+/// Scalar assortativity of an arbitrary numeric vertex attribute: Pearson
+/// correlation of (attr(tail), attr(head)) over edges. Vertices missing from
+/// `attribute` cause their edges to be skipped.
+pub fn scalar_assortativity(
+    graph: &SingleGraph,
+    attribute: &HashMap<VertexId, f64>,
+) -> Option<f64> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (t, h) in graph.edges() {
+        if let (Some(&a), Some(&b)) = (attribute.get(&t), attribute.get(&h)) {
+            xs.push(a);
+            ys.push(b);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() < 2 || xs.len() != ys.len() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx < 1e-15 || vy < 1e-15 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// The mixing matrix of a categorical vertex attribute: entry `(a, b)` is the
+/// fraction of edges whose tail has category `a` and head has category `b`.
+/// Edges with uncategorised endpoints are skipped.
+#[derive(Debug, Clone)]
+pub struct MixingMatrix<C: std::hash::Hash + Eq + Clone> {
+    /// Fraction of edges per (tail category, head category) pair.
+    pub fractions: HashMap<(C, C), f64>,
+    /// Number of edges that had both endpoints categorised.
+    pub edge_count: usize,
+}
+
+impl<C: std::hash::Hash + Eq + Clone> MixingMatrix<C> {
+    /// Fraction of edges from category `a` to category `b`.
+    pub fn fraction(&self, a: &C, b: &C) -> f64 {
+        self.fractions
+            .get(&(a.clone(), b.clone()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Marginal fraction of edges whose tail has category `a` (`a_i` in
+    /// Newman's notation).
+    pub fn tail_marginal(&self, a: &C) -> f64 {
+        self.fractions
+            .iter()
+            .filter(|((x, _), _)| x == a)
+            .map(|(_, &f)| f)
+            .sum()
+    }
+
+    /// Marginal fraction of edges whose head has category `b` (`b_i`).
+    pub fn head_marginal(&self, b: &C) -> f64 {
+        self.fractions
+            .iter()
+            .filter(|((_, y), _)| y == b)
+            .map(|(_, &f)| f)
+            .sum()
+    }
+}
+
+/// Builds the mixing matrix of a categorical attribute.
+pub fn mixing_matrix<C: std::hash::Hash + Eq + Clone>(
+    graph: &SingleGraph,
+    category: &HashMap<VertexId, C>,
+) -> MixingMatrix<C> {
+    let mut counts: HashMap<(C, C), usize> = HashMap::new();
+    let mut total = 0usize;
+    for (t, h) in graph.edges() {
+        if let (Some(a), Some(b)) = (category.get(&t), category.get(&h)) {
+            *counts.entry((a.clone(), b.clone())).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let fractions = counts
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 / total.max(1) as f64))
+        .collect();
+    MixingMatrix {
+        fractions,
+        edge_count: total,
+    }
+}
+
+/// Discrete (categorical) assortativity: Newman's
+/// `r = (Σᵢ eᵢᵢ − Σᵢ aᵢ bᵢ) / (1 − Σᵢ aᵢ bᵢ)`, where `eᵢᵢ` is the fraction of
+/// edges joining two vertices of category `i` and `aᵢ`, `bᵢ` are the tail/head
+/// marginals. Returns `None` when there are no categorised edges or when the
+/// denominator vanishes (all edges within a single category).
+pub fn discrete_assortativity<C: std::hash::Hash + Eq + Clone>(
+    graph: &SingleGraph,
+    category: &HashMap<VertexId, C>,
+) -> Option<f64> {
+    let m = mixing_matrix(graph, category);
+    if m.edge_count == 0 {
+        return None;
+    }
+    let categories: std::collections::HashSet<C> = m
+        .fractions
+        .keys()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    let trace: f64 = categories.iter().map(|c| m.fraction(c, c)).sum();
+    let agreement: f64 = categories
+        .iter()
+        .map(|c| m.tail_marginal(c) * m.head_marginal(c))
+        .sum();
+    let denom = 1.0 - agreement;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    Some((trace - agreement) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn perfectly_assortative_categories() {
+        // two cliques of category A and B with no cross edges
+        let g = SingleGraph::from_edges([
+            (v(0), v(1)),
+            (v(1), v(0)),
+            (v(2), v(3)),
+            (v(3), v(2)),
+        ]);
+        let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A"), (v(2), "B"), (v(3), "B")]
+            .into_iter()
+            .collect();
+        let r = discrete_assortativity(&g, &cat).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_disassortative_categories() {
+        // bipartite: every edge crosses categories
+        let g = SingleGraph::from_edges([
+            (v(0), v(2)),
+            (v(1), v(3)),
+            (v(2), v(1)),
+            (v(3), v(0)),
+        ]);
+        let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A"), (v(2), "B"), (v(3), "B")]
+            .into_iter()
+            .collect();
+        let r = discrete_assortativity(&g, &cat).unwrap();
+        assert!(r < 0.0);
+    }
+
+    #[test]
+    fn single_category_has_undefined_assortativity() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2))]);
+        let cat: HashMap<VertexId, &str> =
+            [(v(0), "A"), (v(1), "A"), (v(2), "A")].into_iter().collect();
+        assert!(discrete_assortativity(&g, &cat).is_none());
+    }
+
+    #[test]
+    fn mixing_matrix_fractions_sum_to_one() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(0)), (v(0), v(2))]);
+        let cat: HashMap<VertexId, u8> = [(v(0), 0), (v(1), 1), (v(2), 1)].into_iter().collect();
+        let m = mixing_matrix(&g, &cat);
+        assert_eq!(m.edge_count, 4);
+        let total: f64 = m.fractions.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((m.fraction(&0, &1) - 0.5).abs() < 1e-12);
+        assert!((m.tail_marginal(&0) - 0.5).abs() < 1e-12);
+        // heads with category 1: (0→1), (1→2), (0→2)
+        assert!((m.head_marginal(&1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncategorised_vertices_are_skipped() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2))]);
+        let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A")].into_iter().collect();
+        let m = mixing_matrix(&g, &cat);
+        assert_eq!(m.edge_count, 1);
+    }
+
+    #[test]
+    fn scalar_assortativity_of_attribute() {
+        // edges connect vertices with equal attribute → positive correlation
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(2), v(3)), (v(1), v(0)), (v(3), v(2))]);
+        let attr: HashMap<VertexId, f64> =
+            [(v(0), 1.0), (v(1), 1.1), (v(2), 5.0), (v(3), 5.2)].into_iter().collect();
+        let r = scalar_assortativity(&g, &attr).unwrap();
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn degree_assortativity_of_star_is_negative() {
+        // a star is the canonical disassortative graph: hubs connect to leaves
+        let mut g = SingleGraph::new();
+        for i in 1..=5 {
+            g.add_edge(v(0), v(i));
+            g.add_edge(v(i), v(0));
+        }
+        // add one leaf-leaf edge so variance is non-degenerate
+        g.add_edge(v(1), v(2));
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let g = SingleGraph::new();
+        assert!(degree_assortativity(&g).is_none());
+        let one_edge = SingleGraph::from_edges([(v(0), v(1))]);
+        // single edge → fewer than 2 samples
+        assert!(degree_assortativity(&one_edge).is_none());
+    }
+}

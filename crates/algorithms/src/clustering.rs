@@ -1,0 +1,151 @@
+//! Clustering structure: triangle counts, local and global clustering
+//! coefficients. Computed on the undirected view of the graph (standard for
+//! these statistics).
+
+use std::collections::{HashMap, HashSet};
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// The local clustering coefficient of every vertex: the fraction of pairs of
+/// (undirected) neighbours that are themselves connected (in either
+/// direction). Vertices with fewer than two neighbours have coefficient 0.
+pub fn local_clustering(graph: &SingleGraph) -> HashMap<VertexId, f64> {
+    let neighbor_sets: HashMap<VertexId, HashSet<VertexId>> = graph
+        .vertices()
+        .map(|v| (v, graph.undirected_neighbors(v).into_iter().collect()))
+        .collect();
+    let mut out = HashMap::with_capacity(neighbor_sets.len());
+    for (&v, ns) in &neighbor_sets {
+        let k = ns.len();
+        if k < 2 {
+            out.insert(v, 0.0);
+            continue;
+        }
+        let mut links = 0usize;
+        let ns_vec: Vec<&VertexId> = ns.iter().collect();
+        for (idx, &&a) in ns_vec.iter().enumerate() {
+            for &&b in ns_vec.iter().skip(idx + 1) {
+                if neighbor_sets[&a].contains(&b) {
+                    links += 1;
+                }
+            }
+        }
+        out.insert(v, 2.0 * links as f64 / (k * (k - 1)) as f64);
+    }
+    out
+}
+
+/// Average local clustering coefficient (Watts–Strogatz). 0 for empty graphs.
+pub fn average_clustering(graph: &SingleGraph) -> f64 {
+    let local = local_clustering(graph);
+    if local.is_empty() {
+        return 0.0;
+    }
+    local.values().sum::<f64>() / local.len() as f64
+}
+
+/// Number of (undirected) triangles in the graph.
+pub fn triangle_count(graph: &SingleGraph) -> usize {
+    let neighbor_sets: HashMap<VertexId, HashSet<VertexId>> = graph
+        .vertices()
+        .map(|v| (v, graph.undirected_neighbors(v).into_iter().collect()))
+        .collect();
+    let mut count = 0usize;
+    for (&v, ns) in &neighbor_sets {
+        for &a in ns {
+            if a <= v {
+                continue;
+            }
+            for &b in ns {
+                if b <= a {
+                    continue;
+                }
+                if neighbor_sets[&a].contains(&b) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient (transitivity): `3 × triangles / open+closed
+/// triplets`. 0 when there are no triplets.
+pub fn global_clustering(graph: &SingleGraph) -> f64 {
+    let triangles = triangle_count(graph);
+    let mut triplets = 0usize;
+    for v in graph.vertices() {
+        let k = graph.undirected_neighbors(v).len();
+        triplets += k * k.saturating_sub(1) / 2;
+    }
+    if triplets == 0 {
+        return 0.0;
+    }
+    3.0 * triangles as f64 / triplets as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn triangle() -> SingleGraph {
+        SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(0))])
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = triangle();
+        let local = local_clustering(&g);
+        for i in 0..3 {
+            assert!((local[&v(i)] - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 1);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(3))]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert!(local_clustering(&g).values().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // triangle 0-1-2 plus pendant 3 attached to 0
+        let mut g = triangle();
+        g.add_edge(v(0), v(3));
+        let local = local_clustering(&g);
+        // v0 now has 3 neighbours, only one connected pair
+        assert!((local[&v(0)] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[&v(3)], 0.0);
+        assert_eq!(triangle_count(&g), 1);
+        // triplets: v0 has 3 neighbours → 3 triplets, v1/v2 → 1 each, v3 → 0
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // the same triangle with reversed edges has identical statistics
+        let g1 = triangle();
+        let g2 = SingleGraph::from_edges([(v(1), v(0)), (v(2), v(1)), (v(0), v(2))]);
+        assert_eq!(triangle_count(&g1), triangle_count(&g2));
+        assert!((global_clustering(&g1) - global_clustering(&g2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = SingleGraph::new();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+}

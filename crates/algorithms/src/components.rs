@@ -1,0 +1,229 @@
+//! Connectivity structure: weakly connected components, strongly connected
+//! components (Tarjan), and topological ordering.
+
+use std::collections::{HashMap, HashSet};
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// Weakly connected components (connectivity ignoring edge direction),
+/// returned as sorted vertex lists, largest first.
+pub fn weakly_connected_components(graph: &SingleGraph) -> Vec<Vec<VertexId>> {
+    let mut visited: HashSet<VertexId> = HashSet::new();
+    let mut components = Vec::new();
+    for start in graph.vertices() {
+        if visited.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(u) = stack.pop() {
+            component.push(u);
+            for w in graph.undirected_neighbors(u) {
+                if visited.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    components
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative), returned
+/// as sorted vertex lists, largest first.
+pub fn strongly_connected_components(graph: &SingleGraph) -> Vec<Vec<VertexId>> {
+    struct Frame {
+        v: VertexId,
+        neighbor_index: usize,
+    }
+
+    let mut index_counter = 0usize;
+    let mut index: HashMap<VertexId, usize> = HashMap::new();
+    let mut lowlink: HashMap<VertexId, usize> = HashMap::new();
+    let mut on_stack: HashSet<VertexId> = HashSet::new();
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+
+    for root in graph.vertices() {
+        if index.contains_key(&root) {
+            continue;
+        }
+        let mut call_stack = vec![Frame {
+            v: root,
+            neighbor_index: 0,
+        }];
+        index.insert(root, index_counter);
+        lowlink.insert(root, index_counter);
+        index_counter += 1;
+        stack.push(root);
+        on_stack.insert(root);
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.v;
+            let neighbors = graph.out_neighbors(v);
+            if frame.neighbor_index < neighbors.len() {
+                let w = neighbors[frame.neighbor_index];
+                frame.neighbor_index += 1;
+                if !index.contains_key(&w) {
+                    index.insert(w, index_counter);
+                    lowlink.insert(w, index_counter);
+                    index_counter += 1;
+                    stack.push(w);
+                    on_stack.insert(w);
+                    call_stack.push(Frame {
+                        v: w,
+                        neighbor_index: 0,
+                    });
+                } else if on_stack.contains(&w) {
+                    let lw = index[&w];
+                    let lv = lowlink[&v];
+                    lowlink.insert(v, lv.min(lw));
+                }
+            } else {
+                // v is finished
+                if lowlink[&v] == index[&v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack.remove(&w);
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    let lp = lowlink[&parent.v];
+                    let lv = lowlink[&v];
+                    lowlink.insert(parent.v, lp.min(lv));
+                }
+            }
+        }
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    components
+}
+
+/// Topological order of a DAG (Kahn's algorithm). Returns `None` if the graph
+/// has a directed cycle.
+pub fn topological_sort(graph: &SingleGraph) -> Option<Vec<VertexId>> {
+    let mut in_degree: HashMap<VertexId, usize> =
+        graph.vertices().map(|v| (v, graph.in_degree(v))).collect();
+    let mut ready: Vec<VertexId> = in_degree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(graph.vertex_count());
+    let mut queue: std::collections::VecDeque<VertexId> = ready.into_iter().collect();
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &w in graph.out_neighbors(u) {
+            let d = in_degree.get_mut(&w).expect("vertex present");
+            *d -= 1;
+            if *d == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() == graph.vertex_count() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether the graph contains a directed cycle.
+pub fn has_cycle(graph: &SingleGraph) -> bool {
+    topological_sort(graph).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        // 0→1, 2→1 are one weak component; 3→4 another; 5 isolated
+        let mut g = SingleGraph::from_edges([(v(0), v(1)), (v(2), v(1)), (v(3), v(4))]);
+        g.add_vertex(v(5));
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![v(0), v(1), v(2)]);
+        assert_eq!(comps[1], vec![v(3), v(4)]);
+        assert_eq!(comps[2], vec![v(5)]);
+    }
+
+    #[test]
+    fn tarjan_finds_cycles_as_sccs() {
+        // cycle 0→1→2→0, tail 2→3, separate cycle 3→4→3
+        let g = SingleGraph::from_edges([
+            (v(0), v(1)),
+            (v(1), v(2)),
+            (v(2), v(0)),
+            (v(2), v(3)),
+            (v(3), v(4)),
+            (v(4), v(3)),
+        ]);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.contains(&vec![v(0), v(1), v(2)]));
+        assert!(sccs.contains(&vec![v(3), v(4)]));
+    }
+
+    #[test]
+    fn tarjan_on_dag_gives_singletons() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(0), v(2))]);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_count_matches_vertices() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(0)), (v(2), v(0))]);
+        let sccs = strongly_connected_components(&g);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, g.vertex_count());
+    }
+
+    #[test]
+    fn topological_sort_of_dag() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(0), v(2)), (v(3), v(1))]);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        let pos: HashMap<VertexId, usize> =
+            order.iter().enumerate().map(|(i, &vv)| (vv, i)).collect();
+        for (t, h) in g.edges() {
+            assert!(pos[&t] < pos[&h], "edge ({t},{h}) violates order");
+        }
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_topological_order() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(0))]);
+        assert!(topological_sort(&g).is_none());
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = SingleGraph::new();
+        assert!(weakly_connected_components(&g).is_empty());
+        assert!(strongly_connected_components(&g).is_empty());
+        assert_eq!(topological_sort(&g), Some(vec![]));
+    }
+}

@@ -1,0 +1,231 @@
+//! Deriving single-relational graphs from multi-relational graphs (§IV-C).
+//!
+//! The paper discusses three ways of exposing a multi-relational graph to
+//! single-relational algorithms:
+//!
+//! 1. **Ignore labels** ([`ignore_labels`]): project every edge `(i, α, j)` to
+//!    `(i, j)`, collapsing parallel relations — semantics are lost (the point
+//!    experiment E6 demonstrates).
+//! 2. **Extract one relation** ([`extract_label`]): keep only
+//!    `E_α = {(γ⁻(e), γ⁺(e)) | ω(e) = α}`.
+//! 3. **Derive implicit edges through paths** ([`compose_labels`],
+//!    [`derive_from_path_set`], [`derive_from_regex`]): evaluate a traversal
+//!    (e.g. `A ⋈◦ B` for αβ-paths, or any regular path expression) and project
+//!    the endpoint pairs `E_αβ = ⋃ (γ⁻(a), γ⁺(a))` — the "semantically rich"
+//!    single-relational graph.
+
+use mrpa_core::{label_composition, LabelId, MultiGraph, PathSet};
+use mrpa_regex::{Generator, GeneratorConfig, PathRegex};
+
+use crate::graph::SingleGraph;
+
+/// Method 1: forget edge labels entirely (and collapse parallel edges).
+pub fn ignore_labels(graph: &MultiGraph) -> SingleGraph {
+    let mut g = SingleGraph::new();
+    for v in graph.vertices() {
+        g.add_vertex(v);
+    }
+    for e in graph.edges() {
+        g.add_edge(e.tail, e.head);
+    }
+    g
+}
+
+/// Method 2: extract the single relation `E_α`.
+pub fn extract_label(graph: &MultiGraph, alpha: LabelId) -> SingleGraph {
+    let mut g = SingleGraph::new();
+    for v in graph.vertices() {
+        g.add_vertex(v);
+    }
+    for (t, h) in graph.extract_relation(alpha) {
+        g.add_edge(t, h);
+    }
+    g
+}
+
+/// Method 3 (two-label form): the `E_αβ` construction — endpoints of all
+/// αβ-paths, i.e. of `A ⋈◦ B` with `A = [_, α, _]` and `B = [_, β, _]`.
+pub fn compose_labels(graph: &MultiGraph, alpha: LabelId, beta: LabelId) -> SingleGraph {
+    derive_from_path_set(graph, &label_composition(graph, alpha, beta))
+}
+
+/// Method 3 (general form): project the endpoint pairs of an arbitrary path
+/// set onto a single-relational graph. All vertices of the source graph are
+/// retained so centrality scores stay comparable across derivations.
+pub fn derive_from_path_set(graph: &MultiGraph, paths: &PathSet) -> SingleGraph {
+    let mut g = SingleGraph::new();
+    for v in graph.vertices() {
+        g.add_vertex(v);
+    }
+    for (t, h) in paths.endpoints() {
+        g.add_edge(t, h);
+    }
+    g
+}
+
+/// Method 3 (regular-path form, §IV-B + §IV-C): generate every path matching
+/// the regular expression (up to `max_length`) and project its endpoints.
+pub fn derive_from_regex(
+    graph: &MultiGraph,
+    regex: &PathRegex,
+    max_length: usize,
+) -> SingleGraph {
+    let generator = Generator::new(regex, graph);
+    let paths = generator
+        .generate(&GeneratorConfig::with_max_length(max_length))
+        .expect("no caps configured");
+    derive_from_path_set(graph, &paths)
+}
+
+/// A description of which derivation produced a [`SingleGraph`]; used by the
+/// E6 experiment harness to label its output rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Derivation {
+    /// [`ignore_labels`].
+    IgnoreLabels,
+    /// [`extract_label`] with this label.
+    ExtractLabel(LabelId),
+    /// [`compose_labels`] with these labels.
+    ComposeLabels(LabelId, LabelId),
+    /// [`derive_from_regex`] with a path-length bound.
+    Regex {
+        /// Human-readable description of the expression.
+        description: String,
+        /// Path-length bound used during generation.
+        max_length: usize,
+    },
+}
+
+impl std::fmt::Display for Derivation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Derivation::IgnoreLabels => write!(f, "ignore-labels"),
+            Derivation::ExtractLabel(l) => write!(f, "extract({l})"),
+            Derivation::ComposeLabels(a, b) => write!(f, "compose({a},{b})"),
+            Derivation::Regex {
+                description,
+                max_length,
+            } => write!(f, "regex({description}, ≤{max_length})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{Edge, EdgePattern, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// A small "works-for / friend-of" graph:
+    ///   0 -works_for(0)-> 1, 2 -works_for-> 1, 3 -works_for-> 1
+    ///   0 -friend(1)-> 2, 2 -friend-> 3, 3 -friend-> 0
+    fn org_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(2, 0, 1),
+            e(3, 0, 1),
+            e(0, 1, 2),
+            e(2, 1, 3),
+            e(3, 1, 0),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    #[test]
+    fn ignore_labels_collapses_relations() {
+        let g = org_graph();
+        let s = ignore_labels(&g);
+        assert_eq!(s.vertex_count(), 4);
+        assert_eq!(s.edge_count(), 6);
+        assert!(s.contains_edge(v(0), v(1)));
+        assert!(s.contains_edge(v(0), v(2)));
+    }
+
+    #[test]
+    fn ignore_labels_collapses_parallel_edges() {
+        let mut g = org_graph();
+        // add a second relation between 0 and 1
+        g.add_edge(e(0, 1, 1));
+        let s = ignore_labels(&g);
+        // (0,1) appears once even though two relations connect them
+        assert_eq!(s.edge_count(), 6);
+    }
+
+    #[test]
+    fn extract_label_keeps_one_relation() {
+        let g = org_graph();
+        let works = extract_label(&g, mrpa_core::LabelId(0));
+        assert_eq!(works.edge_count(), 3);
+        assert!(works.contains_edge(v(0), v(1)));
+        assert!(!works.contains_edge(v(0), v(2)));
+        // all vertices retained even if isolated in the extraction
+        assert_eq!(works.vertex_count(), 4);
+        let friends = extract_label(&g, mrpa_core::LabelId(1));
+        assert_eq!(friends.edge_count(), 3);
+    }
+
+    #[test]
+    fn compose_labels_builds_e_alpha_beta() {
+        let g = org_graph();
+        // friend ∘ works_for = "friend's employer": (0→2→1) gives (0,1), (2→3→1) gives (2,1), (3→0→1) gives (3,1)
+        let s = compose_labels(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0));
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.contains_edge(v(0), v(1)));
+        assert!(s.contains_edge(v(2), v(1)));
+        assert!(s.contains_edge(v(3), v(1)));
+    }
+
+    #[test]
+    fn derive_from_path_set_deduplicates_endpoints() {
+        let g = org_graph();
+        let mut paths = label_composition(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0));
+        // add a second path with the same endpoints
+        paths.extend(label_composition(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0)).into_iter());
+        let s = derive_from_path_set(&g, &paths);
+        assert_eq!(s.edge_count(), 3);
+    }
+
+    #[test]
+    fn derive_from_regex_matches_compose_for_two_step_expression() {
+        let g = org_graph();
+        let regex = PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(1)))
+            .join(PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(0))));
+        let via_regex = derive_from_regex(&g, &regex, 2);
+        let via_compose = compose_labels(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0));
+        let a: Vec<_> = via_regex.edges().collect();
+        let b: Vec<_> = via_compose.edges().collect();
+        assert_eq!(a.len(), b.len());
+        for edge in b {
+            assert!(via_regex.contains_edge(edge.0, edge.1));
+        }
+    }
+
+    #[test]
+    fn derivation_labels_render() {
+        assert_eq!(Derivation::IgnoreLabels.to_string(), "ignore-labels");
+        assert!(Derivation::ExtractLabel(mrpa_core::LabelId(0))
+            .to_string()
+            .contains("extract"));
+        assert!(
+            Derivation::ComposeLabels(mrpa_core::LabelId(0), mrpa_core::LabelId(1))
+                .to_string()
+                .contains("compose")
+        );
+        assert!(Derivation::Regex {
+            description: "a.b*".into(),
+            max_length: 4
+        }
+        .to_string()
+        .contains("a.b*"));
+    }
+}

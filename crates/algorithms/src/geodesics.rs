@@ -1,0 +1,293 @@
+//! Geodesic (shortest-path based) centralities: closeness, betweenness,
+//! eccentricity / diameter / radius.
+//!
+//! These are the "geodesics" algorithms §IV-C names as the canonical
+//! single-relational toolbox (closeness centrality, betweenness centrality).
+//! Betweenness uses Brandes' accumulation algorithm; all distances are
+//! unweighted hop counts.
+
+use std::collections::{HashMap, VecDeque};
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// Closeness centrality of every vertex.
+///
+/// The harmonic-free classical definition on possibly-disconnected directed
+/// graphs uses the Wasserman–Faust correction: for vertex `v` with `r`
+/// reachable vertices (excluding `v`) and total distance `s` to them,
+/// `C(v) = (r / (n - 1)) · (r / s)` (0 when `r = 0` or `s = 0`).
+pub fn closeness_centrality(graph: &SingleGraph) -> HashMap<VertexId, f64> {
+    let n = graph.vertex_count();
+    let mut out = HashMap::with_capacity(n);
+    for v in graph.vertices() {
+        let dist = crate::search::shortest_distances(graph, v);
+        let r = dist.len().saturating_sub(1); // exclude v itself
+        let s: usize = dist.values().sum();
+        let c = if r == 0 || s == 0 || n <= 1 {
+            0.0
+        } else {
+            let r = r as f64;
+            (r / (n as f64 - 1.0)) * (r / s as f64)
+        };
+        out.insert(v, c);
+    }
+    out
+}
+
+/// Harmonic centrality: `H(v) = Σ_{u ≠ v reachable} 1 / d(v, u)`, a
+/// disconnection-robust alternative to closeness.
+pub fn harmonic_centrality(graph: &SingleGraph) -> HashMap<VertexId, f64> {
+    let mut out = HashMap::with_capacity(graph.vertex_count());
+    for v in graph.vertices() {
+        let dist = crate::search::shortest_distances(graph, v);
+        let h: f64 = dist
+            .iter()
+            .filter(|(&u, _)| u != v)
+            .map(|(_, &d)| 1.0 / d as f64)
+            .sum();
+        out.insert(v, h);
+    }
+    out
+}
+
+/// Betweenness centrality (Brandes' algorithm, unweighted, directed).
+///
+/// `B(v) = Σ_{s ≠ v ≠ t} σ_st(v) / σ_st` where `σ_st` counts shortest paths.
+/// Set `normalized` to divide by `(n-1)(n-2)` (directed normalisation).
+pub fn betweenness_centrality(graph: &SingleGraph, normalized: bool) -> HashMap<VertexId, f64> {
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    let n = vertices.len();
+    let mut centrality: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, 0.0)).collect();
+
+    for &s in &vertices {
+        // single-source shortest path counting
+        let mut stack: Vec<VertexId> = Vec::new();
+        let mut predecessors: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        let mut sigma: HashMap<VertexId, f64> = HashMap::new();
+        let mut distance: HashMap<VertexId, i64> = HashMap::new();
+        sigma.insert(s, 1.0);
+        distance.insert(s, 0);
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = distance[&v];
+            for &w in graph.out_neighbors(v) {
+                match distance.get(&w) {
+                    None => {
+                        distance.insert(w, dv + 1);
+                        queue.push_back(w);
+                        sigma.insert(w, sigma[&v]);
+                        predecessors.entry(w).or_default().push(v);
+                    }
+                    Some(&dw) if dw == dv + 1 => {
+                        *sigma.entry(w).or_insert(0.0) += sigma[&v];
+                        predecessors.entry(w).or_default().push(v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // accumulation
+        let mut delta: HashMap<VertexId, f64> = HashMap::new();
+        while let Some(w) = stack.pop() {
+            let dw = *delta.get(&w).unwrap_or(&0.0);
+            if let Some(preds) = predecessors.get(&w) {
+                for &v in preds {
+                    let contribution = (sigma[&v] / sigma[&w]) * (1.0 + dw);
+                    *delta.entry(v).or_insert(0.0) += contribution;
+                }
+            }
+            if w != s {
+                *centrality.get_mut(&w).expect("vertex present") += dw;
+            }
+        }
+    }
+
+    if normalized && n > 2 {
+        let scale = 1.0 / ((n as f64 - 1.0) * (n as f64 - 2.0));
+        for value in centrality.values_mut() {
+            *value *= scale;
+        }
+    }
+    centrality
+}
+
+/// Eccentricity of every vertex that can reach at least one other vertex: the
+/// greatest shortest-path distance from it. Unreachable pairs are ignored
+/// (rather than treated as infinite).
+pub fn eccentricities(graph: &SingleGraph) -> HashMap<VertexId, usize> {
+    let mut out = HashMap::new();
+    for v in graph.vertices() {
+        let dist = crate::search::shortest_distances(graph, v);
+        let ecc = dist
+            .iter()
+            .filter(|(&u, _)| u != v)
+            .map(|(_, &d)| d)
+            .max();
+        if let Some(e) = ecc {
+            out.insert(v, e);
+        }
+    }
+    out
+}
+
+/// The diameter: the maximum eccentricity (None for graphs with no edges).
+pub fn diameter(graph: &SingleGraph) -> Option<usize> {
+    eccentricities(graph).values().max().copied()
+}
+
+/// The radius: the minimum eccentricity (None for graphs with no edges).
+pub fn radius(graph: &SingleGraph) -> Option<usize> {
+    eccentricities(graph).values().min().copied()
+}
+
+/// Average shortest-path length over all ordered reachable pairs `(u, v)`,
+/// `u ≠ v`. Returns `None` if no such pair exists.
+pub fn average_path_length(graph: &SingleGraph) -> Option<f64> {
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for v in graph.vertices() {
+        let dist = crate::search::shortest_distances(graph, v);
+        for (&u, &d) in &dist {
+            if u != v {
+                total += d;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Directed path 0 → 1 → 2 → 3 → 4.
+    fn path_graph() -> SingleGraph {
+        SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(4))])
+    }
+
+    /// A directed star: center 0 points to 1..=4 and they point back —
+    /// symmetric, so classic centrality intuitions hold.
+    fn star_graph() -> SingleGraph {
+        let mut g = SingleGraph::new();
+        for i in 1..=4 {
+            g.add_edge(v(0), v(i));
+            g.add_edge(v(i), v(0));
+        }
+        g
+    }
+
+    #[test]
+    fn closeness_highest_at_star_center() {
+        let g = star_graph();
+        let c = closeness_centrality(&g);
+        for i in 1..=4 {
+            assert!(c[&v(0)] > c[&v(i)], "center should dominate leaf {i}");
+        }
+        // center: reaches 4 vertices at distance 1 → closeness 1.0
+        assert!((c[&v(0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_on_path_graph() {
+        let g = path_graph();
+        let c = closeness_centrality(&g);
+        // vertex 4 reaches nothing → 0
+        assert_eq!(c[&v(4)], 0.0);
+        // vertex 3 reaches one vertex at distance 1: (1/4)·(1/1) = 0.25
+        assert!((c[&v(3)] - 0.25).abs() < 1e-12);
+        // vertex 0 reaches 4 vertices with total distance 1+2+3+4=10: (4/4)·(4/10)
+        assert!((c[&v(0)] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_centrality_on_path() {
+        let g = path_graph();
+        let h = harmonic_centrality(&g);
+        assert!((h[&v(0)] - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        assert_eq!(h[&v(4)], 0.0);
+    }
+
+    #[test]
+    fn betweenness_of_star_center_dominates() {
+        let g = star_graph();
+        let b = betweenness_centrality(&g, false);
+        // every shortest path between distinct leaves goes through the center:
+        // 4·3 = 12 ordered pairs
+        assert!((b[&v(0)] - 12.0).abs() < 1e-9);
+        for i in 1..=4 {
+            assert!(b[&v(i)].abs() < 1e-9);
+        }
+        let bn = betweenness_centrality(&g, true);
+        assert!((bn[&v(0)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_on_directed_path() {
+        let g = path_graph();
+        let b = betweenness_centrality(&g, false);
+        // interior vertices lie on paths: v1 on (0→2),(0→3),(0→4) = 3;
+        // v2 on (0→3),(0→4),(1→3),(1→4) = 4; v3 on (0→4),(1→4),(2→4) = 3
+        assert!((b[&v(1)] - 3.0).abs() < 1e-9);
+        assert!((b[&v(2)] - 4.0).abs() < 1e-9);
+        assert!((b[&v(3)] - 3.0).abs() < 1e-9);
+        assert!(b[&v(0)].abs() < 1e-9);
+        assert!(b[&v(4)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_splits_over_equal_paths() {
+        // two equal-length routes from 0 to 3: through 1 and through 2
+        let g = SingleGraph::from_edges([
+            (v(0), v(1)),
+            (v(0), v(2)),
+            (v(1), v(3)),
+            (v(2), v(3)),
+        ]);
+        let b = betweenness_centrality(&g, false);
+        assert!((b[&v(1)] - 0.5).abs() < 1e-9);
+        assert!((b[&v(2)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eccentricity_diameter_radius_on_path() {
+        let g = path_graph();
+        let ecc = eccentricities(&g);
+        assert_eq!(ecc[&v(0)], 4);
+        assert_eq!(ecc[&v(3)], 1);
+        assert!(!ecc.contains_key(&v(4))); // reaches nothing
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn average_path_length_of_star() {
+        let g = star_graph();
+        // ordered reachable pairs: center↔leaf at 1 (8 pairs), leaf→leaf at 2 (12 pairs)
+        let apl = average_path_length(&g).unwrap();
+        let expected = (8.0 * 1.0 + 12.0 * 2.0) / 20.0;
+        assert!((apl - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_has_no_geodesic_summary() {
+        let g = SingleGraph::new();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(average_path_length(&g), None);
+        assert!(closeness_centrality(&g).is_empty());
+        assert!(betweenness_centrality(&g, true).is_empty());
+    }
+}

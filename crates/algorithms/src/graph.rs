@@ -1,0 +1,242 @@
+//! Single-relational graphs `G̈ = (V̈, Ë ⊆ V̈ × V̈)`.
+//!
+//! §IV-C of the paper applies classic single-relational graph algorithms to
+//! binary edge sets derived from a multi-relational graph. This module is the
+//! substrate those algorithms run on: a plain directed graph over
+//! [`VertexId`]s with out/in adjacency lists.
+
+use std::collections::{BTreeSet, HashSet};
+
+use mrpa_core::VertexId;
+
+/// A directed single-relational graph.
+#[derive(Debug, Clone, Default)]
+pub struct SingleGraph {
+    vertices: BTreeSet<VertexId>,
+    edges: Vec<(VertexId, VertexId)>,
+    edge_set: HashSet<(VertexId, VertexId)>,
+    out_adj: std::collections::HashMap<VertexId, Vec<VertexId>>,
+    in_adj: std::collections::HashMap<VertexId, Vec<VertexId>>,
+}
+
+impl SingleGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from `(tail, head)` pairs (set semantics: duplicates are
+    /// collapsed).
+    pub fn from_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(edges: I) -> Self {
+        let mut g = SingleGraph::new();
+        for (t, h) in edges {
+            g.add_edge(t, h);
+        }
+        g
+    }
+
+    /// Adds a vertex.
+    pub fn add_vertex(&mut self, v: VertexId) -> bool {
+        self.vertices.insert(v)
+    }
+
+    /// Adds a directed edge `(tail, head)`; returns `true` if newly inserted.
+    pub fn add_edge(&mut self, tail: VertexId, head: VertexId) -> bool {
+        if !self.edge_set.insert((tail, head)) {
+            return false;
+        }
+        self.vertices.insert(tail);
+        self.vertices.insert(head);
+        self.edges.push((tail, head));
+        self.out_adj.entry(tail).or_default().push(head);
+        self.in_adj.entry(head).or_default().push(tail);
+        true
+    }
+
+    /// `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the edge is present.
+    pub fn contains_edge(&self, tail: VertexId, head: VertexId) -> bool {
+        self.edge_set.contains(&(tail, head))
+    }
+
+    /// Whether the vertex is present.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Iterates over the vertices in ascending id order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// Iterates over the edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// In-neighbours of `v`.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.in_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All neighbours of `v` regardless of direction (deduplicated).
+    pub fn undirected_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut ns: Vec<VertexId> = self
+            .out_neighbors(v)
+            .iter()
+            .chain(self.in_neighbors(v))
+            .copied()
+            .filter(|&n| n != v)
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> SingleGraph {
+        let mut g = SingleGraph::new();
+        for v in self.vertices() {
+            g.add_vertex(v);
+        }
+        for (t, h) in self.edges() {
+            g.add_edge(h, t);
+        }
+        g
+    }
+
+    /// The symmetric closure (every edge plus its reverse), useful when a
+    /// directed derivation should be analysed as an undirected network.
+    pub fn symmetrized(&self) -> SingleGraph {
+        let mut g = SingleGraph::new();
+        for v in self.vertices() {
+            g.add_vertex(v);
+        }
+        for (t, h) in self.edges() {
+            g.add_edge(t, h);
+            g.add_edge(h, t);
+        }
+        g
+    }
+
+    /// Density `|E| / (|V| (|V|-1))` for a directed simple graph.
+    pub fn density(&self) -> f64 {
+        let n = self.vertex_count() as f64;
+        if n <= 1.0 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (n * (n - 1.0))
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for SingleGraph {
+    fn from_iter<T: IntoIterator<Item = (VertexId, VertexId)>>(iter: T) -> Self {
+        SingleGraph::from_edges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn triangle() -> SingleGraph {
+        SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(0))])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(v(0), v(1)));
+        assert!(!g.contains_edge(v(1), v(0)));
+        assert!(g.contains_vertex(v(2)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let mut g = triangle();
+        assert!(!g.add_edge(v(0), v(1)));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.out_neighbors(v(0)), &[v(1)]);
+        assert_eq!(g.in_neighbors(v(0)), &[v(2)]);
+        assert_eq!(g.out_degree(v(0)), 1);
+        assert_eq!(g.in_degree(v(0)), 1);
+        assert_eq!(g.degree(v(0)), 2);
+        assert_eq!(g.undirected_neighbors(v(0)), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut g = triangle();
+        g.add_vertex(v(9));
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.degree(v(9)), 0);
+        assert!(g.out_neighbors(v(9)).is_empty());
+    }
+
+    #[test]
+    fn reversal_and_symmetrization() {
+        let g = triangle();
+        let r = g.reversed();
+        assert!(r.contains_edge(v(1), v(0)));
+        assert_eq!(r.edge_count(), 3);
+        let s = g.symmetrized();
+        assert_eq!(s.edge_count(), 6);
+        assert!(s.contains_edge(v(0), v(1)) && s.contains_edge(v(1), v(0)));
+    }
+
+    #[test]
+    fn density_of_triangle() {
+        let g = triangle();
+        let d = g.density();
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(SingleGraph::new().density(), 0.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let g: SingleGraph = [(v(0), v(1)), (v(1), v(2))].into_iter().collect();
+        assert_eq!(g.edge_count(), 2);
+        let loops: Vec<_> = g.edges().collect();
+        assert_eq!(loops.len(), 2);
+    }
+}

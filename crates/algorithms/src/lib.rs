@@ -1,0 +1,80 @@
+//! # mrpa-algorithms — single-relational algorithms over derived graphs
+//!
+//! §IV-C of *A Path Algebra for Multi-Relational Graphs* argues that classic
+//! single-relational graph algorithms (geodesic, spectral, assortative — the
+//! toolbox of Brandes & Erlebach's *Network Analysis*) only stay meaningful on
+//! multi-relational data when the single-relational graph they run on is
+//! derived deliberately: either by extracting one relation (`E_α`) or, more
+//! interestingly, by projecting the endpoints of algebraically constructed
+//! path sets (`E_αβ`, or any regular-path-derived edge set).
+//!
+//! This crate provides both halves:
+//!
+//! * [`derive`] — the three derivation strategies (ignore labels, extract one
+//!   label, compose labels / regular paths) from a
+//!   [`MultiGraph`](mrpa_core::MultiGraph) to a [`SingleGraph`];
+//! * the algorithm library itself — [`search`], [`components`], [`geodesics`]
+//!   (closeness, betweenness, diameter), [`spectral`] (eigenvector centrality,
+//!   PageRank with teleportation, Katz, spreading activation),
+//!   [`assortativity`] (scalar and discrete), and [`clustering`].
+//!
+//! ```
+//! use mrpa_core::GraphBuilder;
+//! use mrpa_algorithms::{derive, spectral};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.edges([
+//!     ("alice", "works_for", "acme"),
+//!     ("bob", "works_for", "acme"),
+//!     ("alice", "friend", "bob"),
+//!     ("bob", "friend", "carol"),
+//!     ("carol", "works_for", "initech"),
+//! ]);
+//! let named = b.build();
+//! let g = named.graph();
+//!
+//! // "employer of a friend": friend ∘ works_for, then PageRank on the derived graph.
+//! let friend = named.label("friend").unwrap();
+//! let works = named.label("works_for").unwrap();
+//! let derived = derive::compose_labels(g, friend, works);
+//! let pr = spectral::pagerank(&derived, 0.85, Default::default());
+//! assert_eq!(pr.len(), g.vertex_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod assortativity;
+pub mod clustering;
+pub mod components;
+pub mod derive;
+pub mod geodesics;
+pub mod graph;
+pub mod search;
+pub mod spectral;
+
+pub use graph::SingleGraph;
+
+/// Convenient glob import: `use mrpa_algorithms::prelude::*;`.
+pub mod prelude {
+    pub use crate::assortativity::{degree_assortativity, discrete_assortativity, mixing_matrix};
+    pub use crate::clustering::{average_clustering, global_clustering, local_clustering};
+    pub use crate::components::{
+        strongly_connected_components, topological_sort, weakly_connected_components,
+    };
+    pub use crate::derive::{
+        compose_labels, derive_from_path_set, derive_from_regex, extract_label, ignore_labels,
+        Derivation,
+    };
+    pub use crate::geodesics::{
+        average_path_length, betweenness_centrality, closeness_centrality, diameter,
+        harmonic_centrality, radius,
+    };
+    pub use crate::graph::SingleGraph;
+    pub use crate::search::{bfs, dfs_preorder, is_reachable, shortest_distances};
+    pub use crate::spectral::{
+        eigenvector_centrality, katz_centrality, pagerank, rank_by_score, spearman_correlation,
+        spreading_activation, PowerIterationConfig,
+    };
+}

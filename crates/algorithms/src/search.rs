@@ -1,0 +1,189 @@
+//! Elementary graph searches: BFS, DFS, reachability.
+//!
+//! These are the building blocks of the geodesic algorithms of §IV-C's cited
+//! toolbox (Brandes & Erlebach, *Network Analysis*).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// The result of a breadth-first search from a single source.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Distance (in hops) from the source to each reachable vertex.
+    pub distance: HashMap<VertexId, usize>,
+    /// BFS-tree predecessor of each reached vertex (absent for the source).
+    pub predecessor: HashMap<VertexId, VertexId>,
+    /// Vertices in the order they were discovered.
+    pub order: Vec<VertexId>,
+}
+
+impl BfsResult {
+    /// Reconstructs a shortest path from the source to `target`, if reachable.
+    pub fn path_to(&self, target: VertexId) -> Option<Vec<VertexId>> {
+        if !self.distance.contains_key(&target) {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut current = target;
+        while current != self.source {
+            current = *self.predecessor.get(&current)?;
+            path.push(current);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Breadth-first search over out-edges from `source`.
+pub fn bfs(graph: &SingleGraph, source: VertexId) -> BfsResult {
+    let mut distance = HashMap::new();
+    let mut predecessor = HashMap::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    if graph.contains_vertex(source) {
+        distance.insert(source, 0);
+        queue.push_back(source);
+    }
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = distance[&u];
+        for &w in graph.out_neighbors(u) {
+            if !distance.contains_key(&w) {
+                distance.insert(w, du + 1);
+                predecessor.insert(w, u);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsResult {
+        source,
+        distance,
+        predecessor,
+        order,
+    }
+}
+
+/// Depth-first search preorder from `source` (following out-edges).
+pub fn dfs_preorder(graph: &SingleGraph, source: VertexId) -> Vec<VertexId> {
+    let mut visited = HashSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    if !graph.contains_vertex(source) {
+        return order;
+    }
+    while let Some(u) = stack.pop() {
+        if !visited.insert(u) {
+            continue;
+        }
+        order.push(u);
+        // push in reverse so lower-id neighbours are visited first
+        let mut ns: Vec<VertexId> = graph.out_neighbors(u).to_vec();
+        ns.sort_unstable_by(|a, b| b.cmp(a));
+        for w in ns {
+            if !visited.contains(&w) {
+                stack.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// The set of vertices reachable from `source` (including itself).
+pub fn reachable_from(graph: &SingleGraph, source: VertexId) -> HashSet<VertexId> {
+    bfs(graph, source).distance.keys().copied().collect()
+}
+
+/// Whether `target` is reachable from `source`.
+pub fn is_reachable(graph: &SingleGraph, source: VertexId, target: VertexId) -> bool {
+    reachable_from(graph, source).contains(&target)
+}
+
+/// Single-source shortest-path distances (hops); a thin wrapper over BFS.
+pub fn shortest_distances(graph: &SingleGraph, source: VertexId) -> HashMap<VertexId, usize> {
+    bfs(graph, source).distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// 0 → 1 → 2 → 3 plus a shortcut 0 → 2 and an unreachable 4 → 0.
+    fn sample() -> SingleGraph {
+        SingleGraph::from_edges([
+            (v(0), v(1)),
+            (v(1), v(2)),
+            (v(2), v(3)),
+            (v(0), v(2)),
+            (v(4), v(0)),
+        ])
+    }
+
+    #[test]
+    fn bfs_distances_are_shortest() {
+        let g = sample();
+        let r = bfs(&g, v(0));
+        assert_eq!(r.distance[&v(0)], 0);
+        assert_eq!(r.distance[&v(1)], 1);
+        assert_eq!(r.distance[&v(2)], 1); // via the shortcut
+        assert_eq!(r.distance[&v(3)], 2);
+        assert!(!r.distance.contains_key(&v(4)));
+    }
+
+    #[test]
+    fn bfs_path_reconstruction() {
+        let g = sample();
+        let r = bfs(&g, v(0));
+        let p = r.path_to(v(3)).unwrap();
+        assert_eq!(p.first(), Some(&v(0)));
+        assert_eq!(p.last(), Some(&v(3)));
+        assert_eq!(p.len(), 3); // 0 → 2 → 3
+        assert_eq!(r.path_to(v(4)), None);
+        assert_eq!(r.path_to(v(0)), Some(vec![v(0)]));
+    }
+
+    #[test]
+    fn bfs_from_missing_vertex_is_empty() {
+        let g = sample();
+        let r = bfs(&g, v(99));
+        assert!(r.distance.is_empty());
+        assert!(r.order.is_empty());
+    }
+
+    #[test]
+    fn dfs_preorder_visits_reachable_once() {
+        let g = sample();
+        let order = dfs_preorder(&g, v(0));
+        assert_eq!(order[0], v(0));
+        assert_eq!(order.len(), 4);
+        let unique: HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), order.len());
+        assert!(dfs_preorder(&g, v(99)).is_empty());
+    }
+
+    #[test]
+    fn reachability() {
+        let g = sample();
+        assert!(is_reachable(&g, v(0), v(3)));
+        assert!(!is_reachable(&g, v(0), v(4)));
+        assert!(is_reachable(&g, v(4), v(3)));
+        let r = reachable_from(&g, v(2));
+        assert_eq!(r.len(), 2); // {2, 3}
+    }
+
+    #[test]
+    fn shortest_distances_wrapper() {
+        let g = sample();
+        let d = shortest_distances(&g, v(4));
+        assert_eq!(d[&v(3)], 3);
+        assert_eq!(d.len(), 5);
+    }
+}

@@ -1,0 +1,371 @@
+//! Spectral / eigenvector-family algorithms: eigenvector centrality, PageRank
+//! (with teleportation — the "disjoint jump" of the paper's footnote 5), Katz
+//! centrality, and spreading activation.
+//!
+//! §IV-C lists "spectral (e.g. eigenvector centrality, spreading activation)"
+//! among the single-relational algorithms that become meaningful on derived
+//! graphs; these are the implementations the E6 experiment runs on the three
+//! derivation strategies.
+
+use std::collections::HashMap;
+
+use mrpa_core::VertexId;
+
+use crate::graph::SingleGraph;
+
+/// Convergence/iteration parameters shared by the iterative algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterationConfig {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for PowerIterationConfig {
+    fn default() -> Self {
+        PowerIterationConfig {
+            max_iterations: 200,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Eigenvector centrality by shifted power iteration on the (in-edge)
+/// adjacency operator: `x' = Aᵀ x + x`, normalised to unit L2 norm each step.
+/// The `+ x` shift (equivalently, iterating `Aᵀ + I`) guarantees convergence
+/// on bipartite / periodic graphs without changing the dominant eigenvector of
+/// a non-negative matrix. Scores are non-negative and L2-normalised.
+pub fn eigenvector_centrality(
+    graph: &SingleGraph,
+    config: PowerIterationConfig,
+) -> HashMap<VertexId, f64> {
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    let n = vertices.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let mut x: HashMap<VertexId, f64> =
+        vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
+    for _ in 0..config.max_iterations {
+        // shifted iteration: next = Aᵀ x + x
+        let mut next: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, x[&v])).collect();
+        for (t, h) in graph.edges() {
+            // a vertex inherits score from vertices pointing at it
+            *next.get_mut(&h).expect("vertex present") += x[&t];
+        }
+        let norm: f64 = next.values().map(|s| s * s).sum::<f64>().sqrt();
+        if norm < f64::EPSILON {
+            // no edges (or scores vanish): return the uniform vector
+            return x;
+        }
+        for s in next.values_mut() {
+            *s /= norm;
+        }
+        let diff: f64 = vertices.iter().map(|v| (next[v] - x[v]).abs()).sum();
+        x = next;
+        if diff < config.tolerance {
+            break;
+        }
+    }
+    x
+}
+
+/// PageRank with damping factor `damping` and uniform teleportation.
+///
+/// Teleportation is exactly the "disjoint jump" the paper's footnote 5 says
+/// priors-based algorithms need (and which the concatenative product `×◦`
+/// models at the algebra level). Dangling vertices redistribute their mass
+/// uniformly. Scores sum to 1.
+pub fn pagerank(
+    graph: &SingleGraph,
+    damping: f64,
+    config: PowerIterationConfig,
+) -> HashMap<VertexId, f64> {
+    assert!((0.0..=1.0).contains(&damping), "damping must be in [0, 1]");
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    let n = vertices.len();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, uniform)).collect();
+    for _ in 0..config.max_iterations {
+        let dangling_mass: f64 = vertices
+            .iter()
+            .filter(|&&v| graph.out_degree(v) == 0)
+            .map(|v| rank[v])
+            .sum();
+        let mut next: HashMap<VertexId, f64> = vertices
+            .iter()
+            .map(|&v| (v, (1.0 - damping) * uniform + damping * dangling_mass * uniform))
+            .collect();
+        for &v in &vertices {
+            let out = graph.out_degree(v);
+            if out == 0 {
+                continue;
+            }
+            let share = damping * rank[&v] / out as f64;
+            for &w in graph.out_neighbors(v) {
+                *next.get_mut(&w).expect("vertex present") += share;
+            }
+        }
+        let diff: f64 = vertices.iter().map(|v| (next[v] - rank[v]).abs()).sum();
+        rank = next;
+        if diff < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// Katz centrality: `x = Σ_k α^k (Aᵀ)^k 1`, computed iteratively as
+/// `x' = α Aᵀ x + β·1`. `alpha` must be smaller than the reciprocal of the
+/// spectral radius for convergence; no check is performed beyond the iteration
+/// cap. Scores are returned unnormalised.
+pub fn katz_centrality(
+    graph: &SingleGraph,
+    alpha: f64,
+    beta: f64,
+    config: PowerIterationConfig,
+) -> HashMap<VertexId, f64> {
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    let mut x: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, beta)).collect();
+    for _ in 0..config.max_iterations {
+        let mut next: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, beta)).collect();
+        for (t, h) in graph.edges() {
+            *next.get_mut(&h).expect("vertex present") += alpha * x[&t];
+        }
+        let diff: f64 = vertices.iter().map(|v| (next[v] - x[v]).abs()).sum();
+        x = next;
+        if diff < config.tolerance {
+            break;
+        }
+    }
+    x
+}
+
+/// Spreading activation: starting from `seeds` (vertex → initial energy),
+/// repeatedly propagate a `decay`-scaled share of each vertex's activation
+/// along its out-edges for `steps` rounds, accumulating total received
+/// activation. The seed energy itself is included in the result.
+pub fn spreading_activation(
+    graph: &SingleGraph,
+    seeds: &HashMap<VertexId, f64>,
+    decay: f64,
+    steps: usize,
+) -> HashMap<VertexId, f64> {
+    let mut total: HashMap<VertexId, f64> = graph.vertices().map(|v| (v, 0.0)).collect();
+    let mut current: HashMap<VertexId, f64> = HashMap::new();
+    for (&v, &energy) in seeds {
+        if total.contains_key(&v) {
+            current.insert(v, energy);
+        }
+    }
+    for (&v, &e) in &current {
+        *total.get_mut(&v).expect("seed in graph") += e;
+    }
+    for _ in 0..steps {
+        let mut next: HashMap<VertexId, f64> = HashMap::new();
+        for (&v, &energy) in &current {
+            let out = graph.out_degree(v);
+            if out == 0 || energy == 0.0 {
+                continue;
+            }
+            let share = decay * energy / out as f64;
+            for &w in graph.out_neighbors(v) {
+                *next.entry(w).or_insert(0.0) += share;
+            }
+        }
+        for (&v, &e) in &next {
+            *total.get_mut(&v).expect("vertex present") += e;
+        }
+        if next.values().all(|&e| e < 1e-12) {
+            break;
+        }
+        current = next;
+    }
+    total
+}
+
+/// Ranks vertices by descending score (ties broken by vertex id) — shared by
+/// the experiment harness to compare derivation strategies.
+pub fn rank_by_score(scores: &HashMap<VertexId, f64>) -> Vec<VertexId> {
+    let mut items: Vec<(VertexId, f64)> = scores.iter().map(|(&v, &s)| (v, s)).collect();
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    items.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Spearman rank correlation between two score maps over the same vertex set.
+/// Returns `None` when fewer than two common vertices exist or a variance is
+/// zero.
+pub fn spearman_correlation(
+    a: &HashMap<VertexId, f64>,
+    b: &HashMap<VertexId, f64>,
+) -> Option<f64> {
+    let common: Vec<VertexId> = a.keys().filter(|v| b.contains_key(v)).copied().collect();
+    if common.len() < 2 {
+        return None;
+    }
+    let rank_of = |scores: &HashMap<VertexId, f64>| -> HashMap<VertexId, f64> {
+        let mut items: Vec<(VertexId, f64)> = common.iter().map(|&v| (v, scores[&v])).collect();
+        items.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
+        // average ranks for ties
+        let mut ranks: HashMap<VertexId, f64> = HashMap::new();
+        let mut i = 0usize;
+        while i < items.len() {
+            let mut j = i;
+            while j + 1 < items.len() && (items[j + 1].1 - items[i].1).abs() < 1e-15 {
+                j += 1;
+            }
+            let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+            for item in items.iter().take(j + 1).skip(i) {
+                ranks.insert(item.0, avg_rank);
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    let ra = rank_of(a);
+    let rb = rank_of(b);
+    let n = common.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for v in &common {
+        let da = ra[v] - mean;
+        let db = rb[v] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a < 1e-15 || var_b < 1e-15 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn star_graph() -> SingleGraph {
+        let mut g = SingleGraph::new();
+        for i in 1..=4 {
+            g.add_edge(v(0), v(i));
+            g.add_edge(v(i), v(0));
+        }
+        g
+    }
+
+    #[test]
+    fn eigenvector_centrality_peaks_at_hub() {
+        let g = star_graph();
+        let x = eigenvector_centrality(&g, PowerIterationConfig::default());
+        for i in 1..=4 {
+            assert!(x[&v(0)] > x[&v(i)]);
+        }
+        // the leaves are symmetric
+        for i in 2..=4 {
+            assert!((x[&v(1)] - x[&v(i)]).abs() < 1e-8);
+        }
+        // L2 normalised
+        let norm: f64 = x.values().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvector_on_edgeless_graph_is_uniform() {
+        let mut g = SingleGraph::new();
+        g.add_vertex(v(0));
+        g.add_vertex(v(1));
+        let x = eigenvector_centrality(&g, PowerIterationConfig::default());
+        assert!((x[&v(0)] - x[&v(1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_prefers_hub() {
+        let g = star_graph();
+        let pr = pagerank(&g, 0.85, PowerIterationConfig::default());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        for i in 1..=4 {
+            assert!(pr[&v(0)] > pr[&v(i)]);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_vertices() {
+        // 0 → 1 → 2, 2 dangling
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2))]);
+        let pr = pagerank(&g, 0.85, PowerIterationConfig::default());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        assert!(pr[&v(2)] > pr[&v(1)]);
+        assert!(pr[&v(1)] > pr[&v(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must be in")]
+    fn pagerank_rejects_bad_damping() {
+        let g = star_graph();
+        let _ = pagerank(&g, 1.5, PowerIterationConfig::default());
+    }
+
+    #[test]
+    fn katz_prefers_vertices_with_more_incoming_walks() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(2), v(1)), (v(1), v(3))]);
+        let k = katz_centrality(&g, 0.1, 1.0, PowerIterationConfig::default());
+        assert!(k[&v(1)] > k[&v(0)]);
+        assert!(k[&v(3)] > k[&v(0)]);
+        // v3 receives a walk through v1 which itself receives two
+        assert!(k[&v(1)] > k[&v(3)] || (k[&v(1)] - k[&v(3)]).abs() < 0.3);
+    }
+
+    #[test]
+    fn spreading_activation_decays_with_distance() {
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2)), (v(2), v(3))]);
+        let seeds: HashMap<VertexId, f64> = [(v(0), 1.0)].into_iter().collect();
+        let act = spreading_activation(&g, &seeds, 0.5, 10);
+        assert!((act[&v(0)] - 1.0).abs() < 1e-12);
+        assert!(act[&v(1)] > act[&v(2)]);
+        assert!(act[&v(2)] > act[&v(3)]);
+        assert!(act[&v(3)] > 0.0);
+    }
+
+    #[test]
+    fn spreading_activation_ignores_unknown_seeds() {
+        let g = SingleGraph::from_edges([(v(0), v(1))]);
+        let seeds: HashMap<VertexId, f64> = [(v(9), 5.0)].into_iter().collect();
+        let act = spreading_activation(&g, &seeds, 0.5, 3);
+        assert!(act.values().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn rank_by_score_orders_descending() {
+        let scores: HashMap<VertexId, f64> =
+            [(v(0), 0.1), (v(1), 0.7), (v(2), 0.2)].into_iter().collect();
+        assert_eq!(rank_by_score(&scores), vec![v(1), v(2), v(0)]);
+    }
+
+    #[test]
+    fn spearman_detects_equal_and_reversed_rankings() {
+        let a: HashMap<VertexId, f64> =
+            [(v(0), 1.0), (v(1), 2.0), (v(2), 3.0)].into_iter().collect();
+        let same = spearman_correlation(&a, &a).unwrap();
+        assert!((same - 1.0).abs() < 1e-12);
+        let reversed: HashMap<VertexId, f64> =
+            [(v(0), 3.0), (v(1), 2.0), (v(2), 1.0)].into_iter().collect();
+        let anti = spearman_correlation(&a, &reversed).unwrap();
+        assert!((anti + 1.0).abs() < 1e-12);
+        // constant vector has no variance
+        let constant: HashMap<VertexId, f64> =
+            [(v(0), 1.0), (v(1), 1.0), (v(2), 1.0)].into_iter().collect();
+        assert!(spearman_correlation(&a, &constant).is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benches for the single-relational algorithm substrate (supports
+//! E6 and documents the cost of each algorithm family).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrpa_algorithms::derive::ignore_labels;
+use mrpa_algorithms::{clustering, components, geodesics, spectral};
+use mrpa_datagen::{preferential_attachment, BaConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mg = preferential_attachment(BaConfig {
+        vertices: 300,
+        edges_per_vertex: 3,
+        labels: 2,
+        seed: 3,
+    });
+    let g = ignore_labels(&mg);
+    let mut group = c.benchmark_group("algorithms_substrate");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("pagerank", |b| {
+        b.iter(|| spectral::pagerank(&g, 0.85, Default::default()))
+    });
+    group.bench_function("eigenvector", |b| {
+        b.iter(|| spectral::eigenvector_centrality(&g, Default::default()))
+    });
+    group.bench_function("betweenness", |b| {
+        b.iter(|| geodesics::betweenness_centrality(&g, true))
+    });
+    group.bench_function("closeness", |b| {
+        b.iter(|| geodesics::closeness_centrality(&g))
+    });
+    group.bench_function("scc", |b| {
+        b.iter(|| components::strongly_connected_components(&g))
+    });
+    group.bench_function("clustering", |b| {
+        b.iter(|| clustering::average_clustering(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

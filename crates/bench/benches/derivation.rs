@@ -1,0 +1,45 @@
+//! Criterion benches for E6: derivation strategies and the algorithms run on
+//! them.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrpa_algorithms::{derive, geodesics, spectral};
+use mrpa_core::LabelId;
+use mrpa_datagen::{erdos_renyi, ErConfig};
+
+fn bench_derivations(c: &mut Criterion) {
+    let g = erdos_renyi(ErConfig {
+        vertices: 100,
+        labels: 2,
+        edge_probability: 0.03,
+        seed: 31,
+    });
+    let mut group = c.benchmark_group("E6_derivation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("ignore_labels", |b| b.iter(|| derive::ignore_labels(&g)));
+    group.bench_function("extract_label", |b| {
+        b.iter(|| derive::extract_label(&g, LabelId(0)))
+    });
+    group.bench_function("compose_labels", |b| {
+        b.iter(|| derive::compose_labels(&g, LabelId(0), LabelId(1)))
+    });
+    group.finish();
+
+    let derived = derive::compose_labels(&g, LabelId(0), LabelId(1));
+    let mut group = c.benchmark_group("E6_algorithms_on_derived");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("pagerank", |b| {
+        b.iter(|| spectral::pagerank(&derived, 0.85, Default::default()))
+    });
+    group.bench_function("closeness", |b| {
+        b.iter(|| geodesics::closeness_centrality(&derived))
+    });
+    group.bench_function("betweenness", |b| {
+        b.iter(|| geodesics::betweenness_centrality(&derived, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivations);
+criterion_main!(benches);

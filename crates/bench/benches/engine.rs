@@ -1,0 +1,47 @@
+//! Criterion benches for E8: engine execution strategies.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrpa_datagen::{social_graph, SocialConfig};
+use mrpa_engine::{ExecutionStrategy, Traversal};
+
+fn bench_engine(c: &mut Criterion) {
+    let g = social_graph(SocialConfig {
+        people: 200,
+        software: 40,
+        knows_per_person: 4,
+        created_per_person: 1,
+        uses_per_person: 2,
+        seed: 42,
+    });
+    let mut group = c.benchmark_group("E8_engine_strategies");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for (name, strategy) in [
+        ("materialized", ExecutionStrategy::Materialized),
+        ("streaming", ExecutionStrategy::Streaming),
+        ("parallel", ExecutionStrategy::Parallel),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    Traversal::over(&g)
+                        .v(["person0"])
+                        .out(["knows"])
+                        .out(["knows"])
+                        .out(["created"])
+                        .dedup()
+                        .strategy(strategy)
+                        .execute()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for E5: join vs naive join vs product-filter.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrpa_core::{EdgePattern, LabelId};
+use mrpa_datagen::{erdos_renyi, ErConfig};
+
+fn bench_join_vs_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_join_vs_product");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &v in &[40usize, 80] {
+        let g = erdos_renyi(ErConfig {
+            vertices: v,
+            labels: 2,
+            edge_probability: 0.03,
+            seed: 17,
+        });
+        let a = EdgePattern::with_label(LabelId(0)).select_paths(&g);
+        let b = EdgePattern::with_label(LabelId(1)).select_paths(&g);
+        group.bench_with_input(BenchmarkId::new("indexed_join", v), &v, |bench, _| {
+            bench.iter(|| a.join(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_join", v), &v, |bench, _| {
+            bench.iter(|| a.join_naive(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("product_then_filter", v), &v, |bench, _| {
+            bench.iter(|| a.product(&b).joint_only())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_vs_product);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for E1/E7/E9/E10: recognition and generation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrpa_core::{complete_traversal, LabelId, VertexId};
+use mrpa_datagen::{erdos_renyi, random_regex, ErConfig};
+use mrpa_regex::{Generator, GeneratorConfig, PathRegex, Recognizer, RecognizerStrategy};
+
+fn graph() -> mrpa_core::MultiGraph {
+    erdos_renyi(ErConfig {
+        vertices: 40,
+        labels: 3,
+        edge_probability: 0.03,
+        seed: 42,
+    })
+}
+
+fn bench_recognizer_strategies(c: &mut Criterion) {
+    let g = graph();
+    let regex = random_regex(&g, 4, 5);
+    let paths: Vec<_> = complete_traversal(&g, 3).into_iter().collect();
+    let nfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None);
+    let dfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Dfa, Some(&g));
+    let min = Recognizer::with_strategy(regex, RecognizerStrategy::MinDfa, Some(&g));
+    let mut group = c.benchmark_group("E9_recognizer_strategies");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for (name, rec) in [("nfa", &nfa), ("dfa", &dfa), ("min_dfa", &min)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), rec, |bench, rec| {
+            bench.iter(|| paths.iter().filter(|p| rec.recognizes(p)).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_1_generation(c: &mut Criterion) {
+    let g = graph();
+    let regex = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+    let generator = Generator::new(&regex, &g);
+    let mut group = c.benchmark_group("E1_E10_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("figure1_generator", |b| {
+        b.iter(|| {
+            generator
+                .generate(&GeneratorConfig::with_max_length(4))
+                .unwrap()
+        })
+    });
+    group.bench_function("figure1_scan_baseline", |b| {
+        b.iter(|| Generator::generate_by_scan(&regex, &g, 4))
+    });
+    group.finish();
+}
+
+fn bench_label_regex_baseline(c: &mut Criterion) {
+    let g = graph();
+    let paths: Vec<_> = complete_traversal(&g, 3).into_iter().collect();
+    let label_query = mrpa_regex::LabelRegex::label(LabelId(0))
+        .concat(mrpa_regex::LabelRegex::label(LabelId(1)).star())
+        .concat(mrpa_regex::LabelRegex::label(LabelId(2)));
+    let embedded = Recognizer::new(label_query.to_path_regex());
+    let mut group = c.benchmark_group("E7_label_vs_edge_alphabet");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("label_regex_structural", |b| {
+        b.iter(|| paths.iter().filter(|p| label_query.matches_path(p)).count())
+    });
+    group.bench_function("edge_regex_nfa", |b| {
+        b.iter(|| paths.iter().filter(|p| embedded.recognizes(p)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recognizer_strategies,
+    bench_figure_1_generation,
+    bench_label_regex_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E6 — §IV-C: semantically rich single-relational graphs.
+//!
+//! Builds a two-relation organisation graph (`friend` between people,
+//! `works_for` from people to companies), derives single-relational graphs
+//! three ways (ignore labels, extract one label, compose labels through
+//! αβ-paths), runs PageRank / closeness / degree assortativity on each, and
+//! reports how the rankings differ (Spearman rank correlation).
+
+use mrpa_algorithms::prelude::*;
+use mrpa_algorithms::spectral;
+use mrpa_bench::{fmt_f, Table};
+use mrpa_core::MultiGraph;
+use mrpa_datagen::{erdos_renyi, ErConfig};
+
+fn build_org_graph() -> MultiGraph {
+    // label 0 = friend (person→person), label 1 = works_for (person→company)
+    // people: 0..80, companies: 80..90
+    let people = 80usize;
+    let companies = 10usize;
+    let base = erdos_renyi(ErConfig {
+        vertices: people,
+        labels: 1,
+        edge_probability: 0.04,
+        seed: 31,
+    });
+    let mut g = MultiGraph::new();
+    for e in base.edges() {
+        g.add_edge(*e); // friend edges, label 0
+    }
+    // each person works for a deterministic pseudo-random company
+    for p in 0..people {
+        let company = people + (p * 7 + 3) % companies;
+        g.add(
+            mrpa_core::VertexId::from_index(p),
+            mrpa_core::LabelId(1),
+            mrpa_core::VertexId::from_index(company),
+        );
+    }
+    g
+}
+
+fn main() {
+    let g = build_org_graph();
+    let friend = mrpa_core::LabelId(0);
+    let works_for = mrpa_core::LabelId(1);
+
+    let ignore = ignore_labels(&g);
+    let extract = extract_label(&g, works_for);
+    // "works with": friend ∘ works_for — which company do my friends work for
+    let compose = compose_labels(&g, friend, works_for);
+
+    let mut table = Table::new([
+        "derivation",
+        "|E|",
+        "pagerank top vertex",
+        "spearman vs compose",
+        "degree assortativity",
+    ]);
+    let pr_compose = spectral::pagerank(&compose, 0.85, Default::default());
+    for (name, graph) in [
+        ("ignore-labels", &ignore),
+        ("extract(works_for)", &extract),
+        ("compose(friend,works_for)", &compose),
+    ] {
+        let pr = spectral::pagerank(graph, 0.85, Default::default());
+        let top = spectral::rank_by_score(&pr)[0];
+        let rho = spectral::spearman_correlation(&pr, &pr_compose)
+            .map(fmt_f)
+            .unwrap_or_else(|| "n/a".into());
+        let assort = degree_assortativity(graph)
+            .map(fmt_f)
+            .unwrap_or_else(|| "n/a".into());
+        table.row([
+            name.to_string(),
+            graph.edge_count().to_string(),
+            format!("{top}"),
+            rho,
+            assort,
+        ]);
+    }
+    table.print("E6: PageRank on three derivations of the same multi-relational graph");
+
+    // closeness comparison on the two "meaningful" derivations
+    let mut table2 = Table::new(["derivation", "max closeness", "avg closeness"]);
+    for (name, graph) in [
+        ("ignore-labels", &ignore),
+        ("extract(works_for)", &extract),
+        ("compose(friend,works_for)", &compose),
+    ] {
+        let c = closeness_centrality(graph);
+        let max = c.values().cloned().fold(0.0f64, f64::max);
+        let avg = c.values().sum::<f64>() / c.len().max(1) as f64;
+        table2.row([name.to_string(), fmt_f(max), fmt_f(avg)]);
+    }
+    table2.print("E6 (cont.): closeness centrality per derivation");
+
+    println!("Expectation (paper §IV-C): the label-ignoring projection mixes unrelated");
+    println!("relations and produces rankings uncorrelated with the path-derived graph,");
+    println!("whereas E_α extraction and E_αβ composition give interpretable results");
+    println!("(companies accumulate rank through their employees' friendship structure).");
+}

@@ -1,0 +1,72 @@
+//! E9 — §IV-A automata foundation: NFA simulation vs (minimised) DFA.
+//!
+//! Measures compile time (determinisation + minimisation) and recognition
+//! throughput of the three automaton strategies on the same path sample.
+
+use mrpa_bench::{fmt_f, time, time_median, Table};
+use mrpa_core::complete_traversal;
+use mrpa_datagen::{erdos_renyi, random_regex, ErConfig};
+use mrpa_regex::{minimize, Dfa, Nfa, Recognizer, RecognizerStrategy};
+
+fn main() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 60,
+        labels: 4,
+        edge_probability: 0.02,
+        seed: 51,
+    });
+    let paths: Vec<_> = complete_traversal(&g, 3).into_iter().collect();
+
+    let mut table = Table::new([
+        "regex atoms",
+        "nfa states",
+        "dfa states",
+        "min-dfa states",
+        "dfa compile ms",
+        "minimize ms",
+        "nfa recog ms",
+        "dfa recog ms",
+        "min-dfa recog ms",
+    ]);
+    for &atoms in &[2usize, 4, 6] {
+        let regex = random_regex(&g, atoms, 77 + atoms as u64);
+        let nfa = Nfa::compile(&regex);
+        let (dfa, dfa_ms) = time(|| Dfa::compile(&nfa, &g));
+        let (min_dfa, min_ms) = time(|| minimize(&dfa));
+
+        let nfa_rec = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None);
+        let dfa_rec = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Dfa, Some(&g));
+        let min_rec =
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::MinDfa, Some(&g));
+        let nfa_t = time_median(3, || paths.iter().filter(|p| nfa_rec.recognizes(p)).count());
+        let dfa_t = time_median(3, || paths.iter().filter(|p| dfa_rec.recognizes(p)).count());
+        let min_t = time_median(3, || paths.iter().filter(|p| min_rec.recognizes(p)).count());
+
+        // sanity: all strategies agree
+        let agree = paths
+            .iter()
+            .all(|p| nfa_rec.recognizes(p) == dfa_rec.recognizes(p)
+                && dfa_rec.recognizes(p) == min_rec.recognizes(p));
+        assert!(agree, "strategies disagree");
+
+        table.row([
+            atoms.to_string(),
+            nfa.state_count.to_string(),
+            dfa.state_count.to_string(),
+            min_dfa.state_count.to_string(),
+            fmt_f(dfa_ms),
+            fmt_f(min_ms),
+            fmt_f(nfa_t),
+            fmt_f(dfa_t),
+            fmt_f(min_t),
+        ]);
+    }
+    table.print(&format!(
+        "E9: NFA vs DFA vs minimised DFA on {} joint 3-paths",
+        paths.len()
+    ));
+    println!("Expectation: the DFA costs a compilation pass per (regex, graph) pair but");
+    println!("recognises each path in O(‖a‖) transitions, beating NFA simulation as the");
+    println!("expression grows; minimisation shrinks the state count without changing");
+    println!("the language.");
+}

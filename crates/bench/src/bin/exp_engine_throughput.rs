@@ -1,0 +1,96 @@
+//! E8 — the traversal engine the paper motivates (§I, §V): pipeline queries
+//! compiled to the algebra, across execution strategies, vs a hand-written
+//! algebra evaluation.
+
+use std::collections::HashSet;
+
+use mrpa_bench::{fmt_f, time_median, Table};
+use mrpa_core::{EdgePattern, Position, TraversalBuilder};
+use mrpa_datagen::{engine_query_mix, social_graph, SocialConfig};
+use mrpa_engine::{ExecutionStrategy, Traversal};
+
+fn main() {
+    let g = social_graph(SocialConfig {
+        people: 400,
+        software: 60,
+        knows_per_person: 4,
+        created_per_person: 1,
+        uses_per_person: 2,
+        seed: 42,
+    });
+    let snapshot = g.snapshot();
+    println!(
+        "social graph: |V|={}, |E|={}",
+        snapshot.graph().vertex_count(),
+        snapshot.graph().edge_count()
+    );
+
+    let mut table = Table::new([
+        "query",
+        "rows",
+        "materialized ms",
+        "streaming ms",
+        "parallel ms",
+        "hand-written algebra ms",
+    ]);
+    for spec in engine_query_mix() {
+        let build = |strategy: ExecutionStrategy| {
+            let mut t = Traversal::over(&g).strategy(strategy);
+            for hop in &spec.hops {
+                t = match hop {
+                    Some(label) => t.out([label.clone()]),
+                    None => t.out_any(),
+                };
+            }
+            if spec.dedup {
+                t = t.dedup();
+            }
+            t
+        };
+        let rows = build(ExecutionStrategy::Materialized)
+            .execute()
+            .unwrap()
+            .len();
+        let mat_ms = time_median(3, || {
+            build(ExecutionStrategy::Materialized).execute().unwrap()
+        });
+        let str_ms = time_median(3, || {
+            build(ExecutionStrategy::Streaming).execute().unwrap()
+        });
+        let par_ms = time_median(3, || {
+            build(ExecutionStrategy::Parallel).execute().unwrap()
+        });
+
+        // hand-written algebra evaluation of the same query (no planner)
+        let graph = snapshot.graph();
+        let algebra_ms = time_median(3, || {
+            let mut builder = TraversalBuilder::new(graph);
+            for hop in &spec.hops {
+                builder = match hop {
+                    Some(label) => {
+                        let l = snapshot.label(label).unwrap();
+                        builder.step_matching(EdgePattern::any().label(Position::Is(l)))
+                    }
+                    None => builder.step(),
+                };
+            }
+            let paths = builder.evaluate().unwrap();
+            let heads: HashSet<_> = paths.head_vertices();
+            heads.len()
+        });
+
+        table.row([
+            spec.description.clone(),
+            rows.to_string(),
+            fmt_f(mat_ms),
+            fmt_f(str_ms),
+            fmt_f(par_ms),
+            fmt_f(algebra_ms),
+        ]);
+    }
+    table.print("E8: engine query throughput by execution strategy");
+    println!("Expectation: the planner's frontier pushdown makes the engine strategies");
+    println!("faster than the unrestricted hand-written join chain (which evaluates the");
+    println!("whole-relation joins before discarding paths), and streaming ≈ materialized");
+    println!("for these selective queries, with parallel winning on the all-vertex starts.");
+}

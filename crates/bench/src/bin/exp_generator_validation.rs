@@ -1,0 +1,55 @@
+//! E10 — §IV-B: the single-stack generator equals recognizer ∘ exhaustive
+//! traversal, at a fraction of the cost.
+//!
+//! Cross-validates the generator against the scan baseline for a family of
+//! expressions and length bounds, and reports both costs.
+
+use mrpa_bench::{fmt_f, time, Table};
+use mrpa_datagen::{erdos_renyi, random_regex, ErConfig};
+use mrpa_regex::{Generator, GeneratorConfig};
+
+fn main() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 40,
+        labels: 3,
+        edge_probability: 0.03,
+        seed: 61,
+    });
+
+    let mut table = Table::new([
+        "regex atoms",
+        "max length",
+        "generated paths",
+        "generator ms",
+        "scan ms",
+        "agree",
+    ]);
+    for &atoms in &[2usize, 3, 4] {
+        for &max_len in &[3usize, 4] {
+            let regex = random_regex(&g, atoms, 123 + atoms as u64);
+            let generator = Generator::new(&regex, &g);
+            let (generated, gen_ms) = time(|| {
+                generator
+                    .generate(&GeneratorConfig::with_max_length(max_len))
+                    .unwrap()
+            });
+            let (scanned, scan_ms) = time(|| Generator::generate_by_scan(&regex, &g, max_len));
+            table.row([
+                atoms.to_string(),
+                max_len.to_string(),
+                generated.len().to_string(),
+                fmt_f(gen_ms),
+                fmt_f(scan_ms),
+                (generated == scanned).to_string(),
+            ]);
+        }
+    }
+    table.print(&format!(
+        "E10: generator vs recognizer∘complete-traversal (|V|={}, |E|={})",
+        g.vertex_count(),
+        g.edge_count()
+    ));
+    println!("Expectation: the two constructions produce identical path sets (the");
+    println!("generator is the automaton-directed evaluation of the same joins), and the");
+    println!("generator avoids enumerating the complete traversal, so it is faster.");
+}

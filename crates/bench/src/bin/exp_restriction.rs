@@ -1,0 +1,69 @@
+//! E3 — §III-B/§III-C: source/destination restriction prunes the traversal.
+//!
+//! Compares complete, source-restricted, destination-restricted, and
+//! source+destination traversals of the same length as |Vs|/|V| varies.
+
+use std::collections::HashSet;
+
+use mrpa_bench::{fmt_f, time, Table};
+use mrpa_core::{
+    complete_traversal, destination_traversal, source_destination_traversal, source_traversal,
+    VertexId,
+};
+use mrpa_datagen::{erdos_renyi, sample_vertex_fraction, ErConfig};
+
+fn main() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 60,
+        labels: 3,
+        edge_probability: 0.025,
+        seed: 13,
+    });
+    let n = 3;
+    let (complete, complete_ms) = time(|| complete_traversal(&g, n));
+
+    let mut table = Table::new([
+        "traversal",
+        "|Vs|/|V|",
+        "paths",
+        "time ms",
+        "paths vs complete",
+        "speedup",
+    ]);
+    table.row([
+        "complete".to_string(),
+        "1.00".to_string(),
+        complete.len().to_string(),
+        fmt_f(complete_ms),
+        "1.000".to_string(),
+        "1.000".to_string(),
+    ]);
+    for &fraction in &[0.5f64, 0.25, 0.1, 0.02] {
+        let vs: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 99).into_iter().collect();
+        let vd: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 100).into_iter().collect();
+        let (src, src_ms) = time(|| source_traversal(&g, &vs, n));
+        let (dst, dst_ms) = time(|| destination_traversal(&g, &vd, n));
+        let (both, both_ms) = time(|| source_destination_traversal(&g, &vs, &vd, n));
+        for (name, paths, ms) in [
+            ("source", src.len(), src_ms),
+            ("destination", dst.len(), dst_ms),
+            ("source+dest", both.len(), both_ms),
+        ] {
+            table.row([
+                name.to_string(),
+                format!("{fraction:.2}"),
+                paths.to_string(),
+                fmt_f(ms),
+                fmt_f(paths as f64 / complete.len().max(1) as f64),
+                fmt_f(complete_ms / ms.max(1e-6)),
+            ]);
+        }
+    }
+    table.print(&format!(
+        "E3: restricted vs complete traversal (|V|={}, |E|={}, n={n})",
+        g.vertex_count(),
+        g.edge_count()
+    ));
+    println!("Expectation (paper §III-B/C): restriction shrinks the path set roughly");
+    println!("proportionally to |Vs|/|V| and evaluation time follows the output size.");
+}

@@ -1,0 +1,33 @@
+//! E2 — §III-A: complete traversals explode combinatorially with length.
+//!
+//! Measures the number of joint paths and the evaluation time of
+//! `E ⋈◦ⁿ E` for n = 1..4 across graph sizes.
+
+use mrpa_bench::{fmt_f, time, Table};
+use mrpa_core::complete_traversal;
+use mrpa_datagen::{erdos_renyi, ErConfig};
+
+fn main() {
+    let mut table = Table::new(["|V|", "|E|", "n", "paths", "time ms"]);
+    for &v in &[20usize, 40, 80] {
+        let g = erdos_renyi(ErConfig {
+            vertices: v,
+            labels: 3,
+            edge_probability: 0.02,
+            seed: 7,
+        });
+        for n in 1..=4usize {
+            let (paths, ms) = time(|| complete_traversal(&g, n));
+            table.row([
+                v.to_string(),
+                g.edge_count().to_string(),
+                n.to_string(),
+                paths.len().to_string(),
+                fmt_f(ms),
+            ]);
+        }
+    }
+    table.print("E2: complete traversal E ⋈◦ⁿ E — path explosion");
+    println!("Expectation (paper §III-A): path count grows roughly geometrically with n;");
+    println!("this is why §III introduces source/destination/label restriction.");
+}

@@ -1,0 +1,252 @@
+//! A string-friendly builder for multi-relational graphs.
+//!
+//! The algebra operates on interned ids; [`GraphBuilder`] lets examples, tests
+//! and the engine construct graphs with human-readable vertex and label names
+//! and produces a [`NamedGraph`] — a [`MultiGraph`] paired with its
+//! [`GraphInterner`] — that can render paths and edges symbolically, exactly
+//! like the paper's `(i, α, j, j, β, k)` notation.
+
+use crate::edge::Edge;
+use crate::error::{CoreError, CoreResult};
+use crate::graph::MultiGraph;
+use crate::ids::{LabelId, VertexId};
+use crate::interner::GraphInterner;
+use crate::path::Path;
+use crate::pathset::PathSet;
+
+/// Incrementally builds a [`NamedGraph`] from string names.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    graph: MultiGraph,
+    interner: GraphInterner,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or returns the existing) vertex with the given name.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        let id = self.interner.vertex(name);
+        self.graph.add_vertex(id);
+        id
+    }
+
+    /// Adds the edge `(tail, label, head)` by name, interning as needed.
+    /// Returns the edge that was inserted (or already present).
+    pub fn edge(&mut self, tail: &str, label: &str, head: &str) -> Edge {
+        let t = self.vertex(tail);
+        let l = self.interner.label(label);
+        let h = self.vertex(head);
+        let e = Edge::new(t, l, h);
+        self.graph.add_edge(e);
+        e
+    }
+
+    /// Adds many edges given as `(tail, label, head)` name triples.
+    pub fn edges<'a, I: IntoIterator<Item = (&'a str, &'a str, &'a str)>>(
+        &mut self,
+        triples: I,
+    ) -> &mut Self {
+        for (t, l, h) in triples {
+            self.edge(t, l, h);
+        }
+        self
+    }
+
+    /// Finishes building, producing the named graph.
+    pub fn build(self) -> NamedGraph {
+        NamedGraph {
+            graph: self.graph,
+            interner: self.interner,
+        }
+    }
+}
+
+/// A [`MultiGraph`] together with the interner that maps its ids back to
+/// names. This is the type most examples and the engine work with.
+#[derive(Debug, Clone, Default)]
+pub struct NamedGraph {
+    graph: MultiGraph,
+    interner: GraphInterner,
+}
+
+impl NamedGraph {
+    /// Creates an empty named graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying id-level graph.
+    pub fn graph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying id-level graph.
+    ///
+    /// Note that edges added this way bypass the interner; prefer
+    /// [`NamedGraph::add_edge`] when names matter.
+    pub fn graph_mut(&mut self) -> &mut MultiGraph {
+        &mut self.graph
+    }
+
+    /// The interner mapping ids to names.
+    pub fn interner(&self) -> &GraphInterner {
+        &self.interner
+    }
+
+    /// Adds an edge by name.
+    pub fn add_edge(&mut self, tail: &str, label: &str, head: &str) -> Edge {
+        let t = self.interner.vertex(tail);
+        self.graph.add_vertex(t);
+        let l = self.interner.label(label);
+        let h = self.interner.vertex(head);
+        self.graph.add_vertex(h);
+        let e = Edge::new(t, l, h);
+        self.graph.add_edge(e);
+        e
+    }
+
+    /// Adds a vertex by name.
+    pub fn add_vertex(&mut self, name: &str) -> VertexId {
+        let v = self.interner.vertex(name);
+        self.graph.add_vertex(v);
+        v
+    }
+
+    /// Resolves a vertex name to its id.
+    pub fn vertex(&self, name: &str) -> CoreResult<VertexId> {
+        self.interner
+            .get_vertex(name)
+            .ok_or_else(|| CoreError::UnknownName(name.to_owned()))
+    }
+
+    /// Resolves a label name to its id.
+    pub fn label(&self, name: &str) -> CoreResult<LabelId> {
+        self.interner
+            .get_label(name)
+            .ok_or_else(|| CoreError::UnknownName(name.to_owned()))
+    }
+
+    /// Renders an edge with names: `(marko, knows, josh)`.
+    pub fn render_edge(&self, edge: &Edge) -> String {
+        format!(
+            "({}, {}, {})",
+            self.vertex_display(edge.tail),
+            self.label_display(edge.label),
+            self.vertex_display(edge.head)
+        )
+    }
+
+    /// Renders a path with names, in the paper's flattened tuple form.
+    pub fn render_path(&self, path: &Path) -> String {
+        if path.is_empty() {
+            return "ε".to_owned();
+        }
+        let mut parts = Vec::with_capacity(path.len() * 3);
+        for e in path.iter() {
+            parts.push(self.vertex_display(e.tail));
+            parts.push(self.label_display(e.label));
+            parts.push(self.vertex_display(e.head));
+        }
+        format!("({})", parts.join(", "))
+    }
+
+    /// Renders a path set with names.
+    pub fn render_path_set(&self, set: &PathSet) -> String {
+        let mut parts: Vec<String> = set.iter().map(|p| self.render_path(p)).collect();
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    fn vertex_display(&self, v: VertexId) -> String {
+        self.interner
+            .vertex_name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string())
+    }
+
+    fn label_display(&self, l: LabelId) -> String {
+        self.interner
+            .label_name(l)
+            .map(str::to_owned)
+            .unwrap_or_else(|| l.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn social() -> NamedGraph {
+        let mut b = GraphBuilder::new();
+        b.edges([
+            ("marko", "knows", "josh"),
+            ("marko", "knows", "vadas"),
+            ("marko", "created", "lop"),
+            ("josh", "created", "lop"),
+            ("josh", "created", "ripple"),
+            ("peter", "created", "lop"),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_interns_names_once() {
+        let g = social();
+        assert_eq!(g.graph().vertex_count(), 6);
+        assert_eq!(g.graph().edge_count(), 6);
+        assert_eq!(g.graph().label_count(), 2);
+        assert_eq!(g.vertex("marko").unwrap(), g.vertex("marko").unwrap());
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let g = social();
+        assert!(matches!(g.vertex("nobody"), Err(CoreError::UnknownName(_))));
+        assert!(matches!(g.label("likes"), Err(CoreError::UnknownName(_))));
+    }
+
+    #[test]
+    fn rendering_uses_names() {
+        let g = social();
+        let marko = g.vertex("marko").unwrap();
+        let knows = g.label("knows").unwrap();
+        let josh = g.vertex("josh").unwrap();
+        let e = Edge::new(marko, knows, josh);
+        assert_eq!(g.render_edge(&e), "(marko, knows, josh)");
+        let p = Path::from_edge(e);
+        assert_eq!(g.render_path(&p), "(marko, knows, josh)");
+        assert_eq!(g.render_path(&Path::epsilon()), "ε");
+    }
+
+    #[test]
+    fn render_path_set_is_sorted_and_braced() {
+        let g = social();
+        let marko = g.vertex("marko").unwrap();
+        let ps = crate::pattern::EdgePattern::from_vertex(marko).select_paths(g.graph());
+        let rendered = g.render_path_set(&ps);
+        assert!(rendered.starts_with('{') && rendered.ends_with('}'));
+        assert!(rendered.contains("(marko, knows, josh)"));
+        assert!(rendered.contains("(marko, created, lop)"));
+    }
+
+    #[test]
+    fn add_edge_and_vertex_on_named_graph() {
+        let mut g = NamedGraph::new();
+        g.add_vertex("isolated");
+        g.add_edge("a", "r", "b");
+        assert_eq!(g.graph().vertex_count(), 3);
+        assert_eq!(g.graph().edge_count(), 1);
+        assert!(g.vertex("isolated").is_ok());
+    }
+
+    #[test]
+    fn rendering_falls_back_to_ids_for_unknown_names() {
+        let g = NamedGraph::new();
+        let e = Edge::from((7, 3, 9));
+        assert_eq!(g.render_edge(&e), "(v7, l3, v9)");
+    }
+}

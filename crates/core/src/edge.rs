@@ -1,0 +1,155 @@
+//! Edges of a multi-relational graph: the ternary relation `E ⊆ V × Ω × V`.
+//!
+//! The paper (§I–§II) deliberately uses the ternary-relation representation —
+//! an edge is `(i, α, j)` with `i, j ∈ V` and `α ∈ Ω` — rather than a family of
+//! binary relations, because the ternary form preserves edge labels under
+//! concatenation and therefore preserves *path labels* (§II, final paragraph).
+
+use core::fmt;
+
+use crate::ids::{LabelId, VertexId};
+
+/// A directed, labeled edge `(i, α, j) ∈ E ⊆ V × Ω × V`.
+///
+/// In the paper's notation: `γ⁻(e) = i` (tail), `ω(e) = α` (label),
+/// `γ⁺(e) = j` (head). An edge is also a path of length 1 (`e ∈ E ⊂ E*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Tail vertex `i = γ⁻(e)`.
+    pub tail: VertexId,
+    /// Edge label (relation type) `α = ω(e)`.
+    pub label: LabelId,
+    /// Head vertex `j = γ⁺(e)`.
+    pub head: VertexId,
+}
+
+impl Edge {
+    /// Constructs the edge `(tail, label, head)`.
+    #[inline]
+    pub fn new(tail: VertexId, label: LabelId, head: VertexId) -> Self {
+        Edge { tail, label, head }
+    }
+
+    /// The tail-vertex projection `γ⁻(e)`.
+    #[inline]
+    pub fn tail(&self) -> VertexId {
+        self.tail
+    }
+
+    /// The head-vertex projection `γ⁺(e)`.
+    #[inline]
+    pub fn head(&self) -> VertexId {
+        self.head
+    }
+
+    /// The label projection `ω(e)`.
+    #[inline]
+    pub fn label(&self) -> LabelId {
+        self.label
+    }
+
+    /// Whether the edge is a self-loop (`i = j`).
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.tail == self.head
+    }
+
+    /// The reversed edge `(j, α, i)`.
+    ///
+    /// Reversal is not an operation of the paper's algebra but is needed by
+    /// the traversal engine to express "in" traversals over an "out" edge set.
+    #[inline]
+    pub fn reversed(&self) -> Edge {
+        Edge {
+            tail: self.head,
+            label: self.label,
+            head: self.tail,
+        }
+    }
+
+    /// Two edges are *joint* (composable into a joint path) when the head of
+    /// `self` equals the tail of `other`, i.e. `γ⁺(e) = γ⁻(f)`.
+    #[inline]
+    pub fn is_joint_with(&self, other: &Edge) -> bool {
+        self.head == other.tail
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.tail, self.label, self.head)
+    }
+}
+
+impl From<(VertexId, LabelId, VertexId)> for Edge {
+    fn from((tail, label, head): (VertexId, LabelId, VertexId)) -> Self {
+        Edge { tail, label, head }
+    }
+}
+
+impl From<(u32, u32, u32)> for Edge {
+    fn from((tail, label, head): (u32, u32, u32)) -> Self {
+        Edge {
+            tail: VertexId(tail),
+            label: LabelId(label),
+            head: VertexId(head),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    #[test]
+    fn projections_match_components() {
+        let edge = e(1, 2, 3);
+        assert_eq!(edge.tail(), VertexId(1));
+        assert_eq!(edge.label(), LabelId(2));
+        assert_eq!(edge.head(), VertexId(3));
+    }
+
+    #[test]
+    fn loops_detected() {
+        assert!(e(4, 0, 4).is_loop());
+        assert!(!e(4, 0, 5).is_loop());
+    }
+
+    #[test]
+    fn reversal_swaps_endpoints_and_keeps_label() {
+        let edge = e(1, 7, 2);
+        let rev = edge.reversed();
+        assert_eq!(rev, e(2, 7, 1));
+        assert_eq!(rev.reversed(), edge);
+    }
+
+    #[test]
+    fn jointness_is_head_to_tail() {
+        assert!(e(1, 0, 2).is_joint_with(&e(2, 1, 3)));
+        assert!(!e(1, 0, 2).is_joint_with(&e(3, 1, 4)));
+        // jointness is not symmetric
+        assert!(!e(2, 1, 3).is_joint_with(&e(1, 0, 2)));
+    }
+
+    #[test]
+    fn display_matches_paper_tuple_notation() {
+        assert_eq!(e(0, 1, 2).to_string(), "(v0, l1, v2)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_components() {
+        assert!(e(0, 0, 1) < e(0, 1, 0));
+        assert!(e(0, 0, 0) < e(1, 0, 0));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let edge: Edge = (VertexId(1), LabelId(2), VertexId(3)).into();
+        assert_eq!(edge, e(1, 2, 3));
+    }
+}

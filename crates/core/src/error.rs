@@ -1,0 +1,86 @@
+//! Error types for the core path-algebra crate.
+
+use core::fmt;
+
+use crate::ids::{LabelId, VertexId};
+
+/// Errors raised by core graph and algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A vertex id was used that is not part of the graph's vertex set `V`.
+    UnknownVertex(VertexId),
+    /// A label id was used that is not part of the graph's label set `Ω`.
+    UnknownLabel(LabelId),
+    /// A vertex or label name was used that has not been interned.
+    UnknownName(String),
+    /// An operation that requires a non-empty path was applied to the empty
+    /// path ε (e.g. `γ⁻`, `γ⁺`, or `σ`).
+    EmptyPath,
+    /// `σ(a, n)` was requested with `n` outside `1 ..= ‖a‖`.
+    IndexOutOfBounds {
+        /// Requested 1-based index.
+        index: usize,
+        /// Path length `‖a‖`.
+        length: usize,
+    },
+    /// A traversal or generator bound was exceeded.
+    BoundExceeded {
+        /// The bound that was configured.
+        bound: usize,
+        /// Human-readable description of what exceeded it.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            CoreError::UnknownLabel(l) => write!(f, "unknown label {l}"),
+            CoreError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            CoreError::EmptyPath => write!(f, "operation undefined on the empty path ε"),
+            CoreError::IndexOutOfBounds { index, length } => {
+                write!(f, "σ(a, {index}) out of bounds for path of length {length}")
+            }
+            CoreError::BoundExceeded { bound, what } => {
+                write!(f, "{what} exceeded the configured bound of {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CoreError::UnknownVertex(VertexId(3))
+            .to_string()
+            .contains("v3"));
+        assert!(CoreError::UnknownLabel(LabelId(2)).to_string().contains("l2"));
+        assert!(CoreError::EmptyPath.to_string().contains("ε"));
+        assert!(CoreError::IndexOutOfBounds { index: 4, length: 2 }
+            .to_string()
+            .contains("4"));
+        assert!(CoreError::BoundExceeded {
+            bound: 10,
+            what: "generator frontier"
+        }
+        .to_string()
+        .contains("10"));
+        assert!(CoreError::UnknownName("foo".into()).to_string().contains("foo"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CoreError>();
+    }
+}

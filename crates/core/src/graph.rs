@@ -1,0 +1,584 @@
+//! The multi-relational graph `G = (V, E ⊆ V × Ω × V)`.
+//!
+//! This is the ternary-relation representation the paper settles on (§I, §II):
+//! the edge set carries the relation type, so concatenative joins preserve
+//! path labels. The structure maintains secondary indexes (by tail, by head,
+//! by label, and by `(tail, label)` / `(head, label)`) so that the set-builder
+//! edge patterns of §IV-A (`[i,_,_]`, `[_,α,_]`, `[_,_,j]`, …) and the
+//! restricted traversals of §III are evaluated without scanning all of `E`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::edge::Edge;
+use crate::error::{CoreError, CoreResult};
+use crate::ids::{LabelId, VertexId};
+
+/// A directed multi-relational graph over interned vertex and label ids.
+///
+/// `E` is a *set*: inserting the same `(i, α, j)` twice is a no-op. Vertices
+/// may exist without incident edges (isolated vertices are part of `V`).
+#[derive(Debug, Clone, Default)]
+pub struct MultiGraph {
+    /// All edges in insertion order (deduplicated).
+    edges: Vec<Edge>,
+    /// Fast membership test for `E`.
+    edge_set: HashSet<Edge>,
+    /// All vertices (including isolated ones).
+    vertices: BTreeSet<VertexId>,
+    /// All labels in use.
+    labels: BTreeSet<LabelId>,
+    /// Outgoing edges indexed by tail vertex.
+    out_index: HashMap<VertexId, Vec<Edge>>,
+    /// Incoming edges indexed by head vertex.
+    in_index: HashMap<VertexId, Vec<Edge>>,
+    /// Edges indexed by label.
+    label_index: HashMap<LabelId, Vec<Edge>>,
+    /// Edges indexed by (tail, label).
+    out_label_index: HashMap<(VertexId, LabelId), Vec<Edge>>,
+    /// Edges indexed by (head, label).
+    in_label_index: HashMap<(VertexId, LabelId), Vec<Edge>>,
+}
+
+impl MultiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity for roughly `vertices` vertices and
+    /// `edges` edges.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        MultiGraph {
+            edges: Vec::with_capacity(edges),
+            edge_set: HashSet::with_capacity(edges),
+            vertices: BTreeSet::new(),
+            labels: BTreeSet::new(),
+            out_index: HashMap::with_capacity(vertices),
+            in_index: HashMap::with_capacity(vertices),
+            label_index: HashMap::new(),
+            out_label_index: HashMap::with_capacity(vertices),
+            in_label_index: HashMap::with_capacity(vertices),
+        }
+    }
+
+    /// Adds a vertex to `V` (no-op if already present). Returns `true` if the
+    /// vertex was newly inserted.
+    pub fn add_vertex(&mut self, v: VertexId) -> bool {
+        self.vertices.insert(v)
+    }
+
+    /// Adds the edge `(tail, label, head)` to `E`, inserting both endpoints
+    /// into `V`. Returns `true` if the edge was newly inserted (i.e. it was not
+    /// already an element of the edge *set*).
+    pub fn add_edge(&mut self, edge: Edge) -> bool {
+        if !self.edge_set.insert(edge) {
+            return false;
+        }
+        self.vertices.insert(edge.tail);
+        self.vertices.insert(edge.head);
+        self.labels.insert(edge.label);
+        self.edges.push(edge);
+        self.out_index.entry(edge.tail).or_default().push(edge);
+        self.in_index.entry(edge.head).or_default().push(edge);
+        self.label_index.entry(edge.label).or_default().push(edge);
+        self.out_label_index
+            .entry((edge.tail, edge.label))
+            .or_default()
+            .push(edge);
+        self.in_label_index
+            .entry((edge.head, edge.label))
+            .or_default()
+            .push(edge);
+        true
+    }
+
+    /// Convenience: adds `(i, α, j)` from raw ids.
+    pub fn add(&mut self, tail: VertexId, label: LabelId, head: VertexId) -> bool {
+        self.add_edge(Edge::new(tail, label, head))
+    }
+
+    /// Removes an edge from `E`. Returns `true` if the edge was present.
+    ///
+    /// Removal is `O(deg)` because the per-vertex index vectors are compacted.
+    /// Vertices are never removed implicitly (they stay in `V`).
+    pub fn remove_edge(&mut self, edge: &Edge) -> bool {
+        if !self.edge_set.remove(edge) {
+            return false;
+        }
+        self.edges.retain(|e| e != edge);
+        if let Some(v) = self.out_index.get_mut(&edge.tail) {
+            v.retain(|e| e != edge);
+        }
+        if let Some(v) = self.in_index.get_mut(&edge.head) {
+            v.retain(|e| e != edge);
+        }
+        if let Some(v) = self.label_index.get_mut(&edge.label) {
+            v.retain(|e| e != edge);
+            if v.is_empty() {
+                self.label_index.remove(&edge.label);
+                self.labels.remove(&edge.label);
+            }
+        }
+        if let Some(v) = self.out_label_index.get_mut(&(edge.tail, edge.label)) {
+            v.retain(|e| e != edge);
+        }
+        if let Some(v) = self.in_label_index.get_mut(&(edge.head, edge.label)) {
+            v.retain(|e| e != edge);
+        }
+        true
+    }
+
+    /// Whether `(i, α, j) ∈ E`.
+    pub fn contains_edge(&self, edge: &Edge) -> bool {
+        self.edge_set.contains(edge)
+    }
+
+    /// Whether `v ∈ V`.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `|Ω|` restricted to labels actually used by some edge.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over `V` in ascending id order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// Iterates over the labels in use, in ascending id order.
+    pub fn labels(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.labels.iter().copied()
+    }
+
+    /// Iterates over `E` in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Returns `E` as a slice (insertion order).
+    pub fn edge_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `v`: the set-builder `[v, _, _]` of §IV-A.
+    pub fn out_edges(&self, v: VertexId) -> &[Edge] {
+        self.out_index.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Incoming edges of `v`: the set-builder `[_, _, v]` of §IV-A.
+    pub fn in_edges(&self, v: VertexId) -> &[Edge] {
+        self.in_index.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Edges with label `α`: the set-builder `[_, α, _]` of §IV-A.
+    pub fn edges_with_label(&self, label: LabelId) -> &[Edge] {
+        self.label_index
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Outgoing edges of `v` with label `α`: the set-builder `[v, α, _]`.
+    pub fn out_edges_labeled(&self, v: VertexId, label: LabelId) -> &[Edge] {
+        self.out_label_index
+            .get(&(v, label))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Incoming edges of `v` with label `α`: the set-builder `[_, α, v]`.
+    pub fn in_edges_labeled(&self, v: VertexId, label: LabelId) -> &[Edge] {
+        self.in_label_index
+            .get(&(v, label))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Out-degree of `v` (over all labels).
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v` (over all labels).
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Total degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Out-neighbours of `v` (deduplicated, over all labels).
+    pub fn out_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut ns: Vec<VertexId> = self.out_edges(v).iter().map(|e| e.head).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    /// In-neighbours of `v` (deduplicated, over all labels).
+    pub fn in_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut ns: Vec<VertexId> = self.in_edges(v).iter().map(|e| e.tail).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    }
+
+    /// Checks that a vertex is present, returning a descriptive error otherwise.
+    pub fn expect_vertex(&self, v: VertexId) -> CoreResult<()> {
+        if self.contains_vertex(v) {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownVertex(v))
+        }
+    }
+
+    /// Checks that a label is in use, returning a descriptive error otherwise.
+    pub fn expect_label(&self, l: LabelId) -> CoreResult<()> {
+        if self.labels.contains(&l) {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownLabel(l))
+        }
+    }
+
+    /// The single-relational binary edge set `E_α = {(γ⁻(e), γ⁺(e)) | ω(e) = α}`
+    /// from §IV-C (label extraction).
+    pub fn extract_relation(&self, label: LabelId) -> Vec<(VertexId, VertexId)> {
+        self.edges_with_label(label)
+            .iter()
+            .map(|e| (e.tail, e.head))
+            .collect()
+    }
+
+    /// Decomposes `E` into the family-of-binary-relations representation
+    /// `Ė = {E₁, …, E_m}` discussed (and rejected) in §I/§II — useful for tests
+    /// demonstrating why that representation loses path labels.
+    pub fn to_edge_family(&self) -> HashMap<LabelId, Vec<(VertexId, VertexId)>> {
+        let mut family: HashMap<LabelId, Vec<(VertexId, VertexId)>> = HashMap::new();
+        for e in &self.edges {
+            family.entry(e.label).or_default().push((e.tail, e.head));
+        }
+        family
+    }
+
+    /// Returns the subgraph induced by the given labels (edges only; all
+    /// vertices of `self` are retained).
+    pub fn label_subgraph<I: IntoIterator<Item = LabelId>>(&self, labels: I) -> MultiGraph {
+        let wanted: HashSet<LabelId> = labels.into_iter().collect();
+        let mut g = MultiGraph::new();
+        for v in self.vertices() {
+            g.add_vertex(v);
+        }
+        for e in &self.edges {
+            if wanted.contains(&e.label) {
+                g.add_edge(*e);
+            }
+        }
+        g
+    }
+
+    /// Returns the subgraph induced by the given vertex set (both endpoints
+    /// must be in the set).
+    pub fn vertex_subgraph<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> MultiGraph {
+        let wanted: HashSet<VertexId> = vertices.into_iter().collect();
+        let mut g = MultiGraph::new();
+        for &v in &wanted {
+            if self.contains_vertex(v) {
+                g.add_vertex(v);
+            }
+        }
+        for e in &self.edges {
+            if wanted.contains(&e.tail) && wanted.contains(&e.head) {
+                g.add_edge(*e);
+            }
+        }
+        g
+    }
+
+    /// Returns the reverse graph: every edge `(i, α, j)` becomes `(j, α, i)`.
+    pub fn reversed(&self) -> MultiGraph {
+        let mut g = MultiGraph::with_capacity(self.vertex_count(), self.edge_count());
+        for v in self.vertices() {
+            g.add_vertex(v);
+        }
+        for e in &self.edges {
+            g.add_edge(e.reversed());
+        }
+        g
+    }
+
+    /// Summary statistics used by examples, experiments, and `Display` output.
+    pub fn stats(&self) -> GraphStats {
+        let mut per_label: Vec<(LabelId, usize)> = self
+            .label_index
+            .iter()
+            .map(|(l, es)| (*l, es.len()))
+            .collect();
+        per_label.sort_unstable();
+        let max_out = self
+            .vertices()
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0);
+        let max_in = self.vertices().map(|v| self.in_degree(v)).max().unwrap_or(0);
+        GraphStats {
+            vertex_count: self.vertex_count(),
+            edge_count: self.edge_count(),
+            label_count: self.label_count(),
+            per_label,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+}
+
+/// Summary statistics of a [`MultiGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertex_count: usize,
+    /// `|E|`.
+    pub edge_count: usize,
+    /// `|Ω|` (labels in use).
+    pub label_count: usize,
+    /// Edge count per label, ascending by label id.
+    pub per_label: Vec<(LabelId, usize)>,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |Ω|={} max_out={} max_in={}",
+            self.vertex_count,
+            self.edge_count,
+            self.label_count,
+            self.max_out_degree,
+            self.max_in_degree
+        )
+    }
+}
+
+impl FromIterator<Edge> for MultiGraph {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        let mut g = MultiGraph::new();
+        for e in iter {
+            g.add_edge(e);
+        }
+        g
+    }
+}
+
+impl Extend<Edge> for MultiGraph {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for e in iter {
+            self.add_edge(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    /// The example graph used throughout §II of the paper:
+    /// edges (i,α,j), (j,β,k), (k,α,j), (j,β,j), (j,β,i), (i,α,k), (i,β,k)
+    /// with i=0, j=1, k=2, α=0, β=1.
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for e in [
+            edge(0, 0, 1),
+            edge(1, 1, 2),
+            edge(2, 0, 1),
+            edge(1, 1, 1),
+            edge(1, 1, 0),
+            edge(0, 0, 2),
+            edge(0, 1, 2),
+        ] {
+            g.add_edge(e);
+        }
+        g
+    }
+
+    #[test]
+    fn counts_match_paper_example() {
+        let g = paper_graph();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.label_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_set_semantics() {
+        let mut g = paper_graph();
+        assert!(!g.add_edge(edge(0, 0, 1)));
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn indexes_answer_set_builder_queries() {
+        let g = paper_graph();
+        // [i, _, _] with i = v0
+        let out0: Vec<_> = g.out_edges(VertexId(0)).to_vec();
+        assert_eq!(out0.len(), 3);
+        assert!(out0.iter().all(|e| e.tail == VertexId(0)));
+        // [_, _, j] with j = v2
+        let in2 = g.in_edges(VertexId(2));
+        assert_eq!(in2.len(), 3);
+        assert!(in2.iter().all(|e| e.head == VertexId(2)));
+        // [_, β, _] with β = l1
+        let beta = g.edges_with_label(LabelId(1));
+        assert_eq!(beta.len(), 4);
+        // [i, α, _]
+        let ia = g.out_edges_labeled(VertexId(0), LabelId(0));
+        assert_eq!(ia.len(), 2);
+        // [_, α, j]
+        let aj = g.in_edges_labeled(VertexId(1), LabelId(0));
+        assert_eq!(aj.len(), 2);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = paper_graph();
+        assert_eq!(g.out_degree(VertexId(0)), 3);
+        assert_eq!(g.in_degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(0)), 4);
+        assert_eq!(g.out_neighbors(VertexId(0)), vec![VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(1)), vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn remove_edge_updates_indexes() {
+        let mut g = paper_graph();
+        assert!(g.remove_edge(&edge(0, 0, 1)));
+        assert!(!g.remove_edge(&edge(0, 0, 1)));
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert!(!g.contains_edge(&edge(0, 0, 1)));
+        // removing all edges with a label drops the label
+        assert!(g.remove_edge(&edge(2, 0, 1)));
+        assert!(g.remove_edge(&edge(0, 0, 2)));
+        assert_eq!(g.label_count(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_belong_to_v() {
+        let mut g = MultiGraph::new();
+        g.add_vertex(VertexId(9));
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.contains_vertex(VertexId(9)));
+        assert_eq!(g.out_degree(VertexId(9)), 0);
+    }
+
+    #[test]
+    fn extract_relation_matches_section_4c() {
+        let g = paper_graph();
+        let mut ea = g.extract_relation(LabelId(0));
+        ea.sort_unstable();
+        assert_eq!(
+            ea,
+            vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(0), VertexId(2)),
+                (VertexId(2), VertexId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_family_partitions_e() {
+        let g = paper_graph();
+        let family = g.to_edge_family();
+        assert_eq!(family.len(), 2);
+        let total: usize = family.values().map(Vec::len).sum();
+        assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn label_subgraph_keeps_vertices() {
+        let g = paper_graph();
+        let sub = g.label_subgraph([LabelId(0)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert!(sub.edges().all(|e| e.label == LabelId(0)));
+    }
+
+    #[test]
+    fn vertex_subgraph_filters_both_endpoints() {
+        let g = paper_graph();
+        let sub = g.vertex_subgraph([VertexId(0), VertexId(1)]);
+        assert_eq!(sub.vertex_count(), 2);
+        // edges fully inside {v0, v1}: (0,α,1), (1,β,1), (1,β,0)
+        assert_eq!(sub.edge_count(), 3);
+    }
+
+    #[test]
+    fn reversed_graph_reverses_every_edge() {
+        let g = paper_graph();
+        let r = g.reversed();
+        assert_eq!(r.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert!(r.contains_edge(&e.reversed()));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = paper_graph();
+        let s = g.stats();
+        assert_eq!(s.vertex_count, 3);
+        assert_eq!(s.edge_count, 7);
+        assert_eq!(s.label_count, 2);
+        assert_eq!(s.per_label, vec![(LabelId(0), 3), (LabelId(1), 4)]);
+        assert!(s.to_string().contains("|V|=3"));
+    }
+
+    #[test]
+    fn expect_helpers_report_missing_items() {
+        let g = paper_graph();
+        assert!(g.expect_vertex(VertexId(0)).is_ok());
+        assert_eq!(
+            g.expect_vertex(VertexId(42)),
+            Err(CoreError::UnknownVertex(VertexId(42)))
+        );
+        assert!(g.expect_label(LabelId(1)).is_ok());
+        assert_eq!(
+            g.expect_label(LabelId(9)),
+            Err(CoreError::UnknownLabel(LabelId(9)))
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let edges = vec![edge(0, 0, 1), edge(1, 0, 2)];
+        let mut g: MultiGraph = edges.into_iter().collect();
+        assert_eq!(g.edge_count(), 2);
+        g.extend(vec![edge(2, 1, 0)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label_count(), 2);
+    }
+}

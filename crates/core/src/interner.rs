@@ -1,0 +1,188 @@
+//! String interners mapping human-readable vertex / label names to dense ids.
+//!
+//! The algebra itself operates purely on [`VertexId`] / [`LabelId`]; the
+//! interner is the bridge between the symbolic world of the paper
+//! (`i`, `j`, `k ∈ V`, `α`, `β ∈ Ω`) and the dense id world of the
+//! implementation. [`GraphBuilder`](crate::builder::GraphBuilder) and the
+//! `mrpa-engine` property-graph layer use it to expose a string-based API.
+
+use std::collections::HashMap;
+
+use crate::ids::{LabelId, VertexId};
+
+/// A generic string interner producing dense `u32` ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringInterner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent: interning the same string
+    /// twice returns the same id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id for `name` without interning.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// Paired interners for the two symbol domains of a multi-relational graph:
+/// vertex names (`V`) and relation labels (`Ω`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphInterner {
+    vertices: StringInterner,
+    labels: StringInterner,
+}
+
+impl GraphInterner {
+    /// Creates an empty pair of interners.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a vertex name.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        VertexId(self.vertices.intern(name))
+    }
+
+    /// Interns a label name.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        LabelId(self.labels.intern(name))
+    }
+
+    /// Looks up a vertex by name without interning.
+    pub fn get_vertex(&self, name: &str) -> Option<VertexId> {
+        self.vertices.get(name).map(VertexId)
+    }
+
+    /// Looks up a label by name without interning.
+    pub fn get_label(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name).map(LabelId)
+    }
+
+    /// Resolves a vertex id to its name.
+    pub fn vertex_name(&self, id: VertexId) -> Option<&str> {
+        self.vertices.resolve(id.0)
+    }
+
+    /// Resolves a label id to its name.
+    pub fn label_name(&self, id: LabelId) -> Option<&str> {
+        self.labels.resolve(id.0)
+    }
+
+    /// Number of interned vertex names.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of interned label names.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over `(VertexId, name)` pairs.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &str)> {
+        self.vertices.iter().map(|(i, s)| (VertexId(i), s))
+    }
+
+    /// Iterates over `(LabelId, name)` pairs.
+    pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.labels.iter().map(|(i, s)| (LabelId(i), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = StringInterner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        let a2 = i.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = StringInterner::new();
+        let id = i.intern("knows");
+        assert_eq!(i.resolve(id), Some("knows"));
+        assert_eq!(i.get("knows"), Some(id));
+        assert_eq!(i.get("unknown"), None);
+        assert_eq!(i.resolve(99), None);
+    }
+
+    #[test]
+    fn graph_interner_separates_domains() {
+        let mut gi = GraphInterner::new();
+        let v = gi.vertex("marko");
+        let l = gi.label("marko"); // same string, different domain
+        assert_eq!(v.0, 0);
+        assert_eq!(l.0, 0);
+        assert_eq!(gi.vertex_name(v), Some("marko"));
+        assert_eq!(gi.label_name(l), Some("marko"));
+        assert_eq!(gi.vertex_count(), 1);
+        assert_eq!(gi.label_count(), 1);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut gi = GraphInterner::new();
+        gi.vertex("a");
+        gi.vertex("b");
+        gi.label("x");
+        let vs: Vec<_> = gi.vertices().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(vs, vec!["a", "b"]);
+        let ls: Vec<_> = gi.labels().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(ls, vec!["x"]);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let i = StringInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Monoid structure underlying the algebra (§I footnote 2, §II).
+//!
+//! The paper grounds the algebra in monoid theory: `E*` under concatenation
+//! `◦` with identity ε is the *free monoid* on the edge set `E`, and the path
+//! label map `ω′ : E* → Ω*` is a monoid homomorphism onto the free monoid on
+//! the label set `Ω`. At the path-set level, `P(E*)` carries two further
+//! monoid structures: `(P(E*), ⋈◦, {ε})` and `(P(E*), ×◦, {ε})`, and
+//! `(P(E*), ∪, ∅)` is a commutative idempotent monoid — together with the
+//! distributivity of `⋈◦`/`×◦` over `∪` this gives an (idempotent) semiring,
+//! which is exactly the structure a traversal engine's rewriter relies on.
+//!
+//! This module provides a small trait hierarchy plus instances for [`Path`]
+//! and [`PathSet`], and law-checking helpers used by unit and property tests.
+
+use crate::path::Path;
+use crate::pathset::PathSet;
+
+/// A monoid: an associative binary operation with an identity element.
+pub trait Monoid: Clone + PartialEq {
+    /// The identity element.
+    fn identity() -> Self;
+    /// The monoid operation.
+    fn combine(&self, other: &Self) -> Self;
+
+    /// Combines a sequence of elements left-to-right (`fold` with identity).
+    fn combine_all<I: IntoIterator<Item = Self>>(items: I) -> Self {
+        items
+            .into_iter()
+            .fold(Self::identity(), |acc, x| acc.combine(&x))
+    }
+
+    /// `self` combined with itself `n` times; `n = 0` gives the identity.
+    fn power(&self, n: usize) -> Self {
+        let mut acc = Self::identity();
+        for _ in 0..n {
+            acc = acc.combine(self);
+        }
+        acc
+    }
+}
+
+/// The free monoid `(E*, ◦, ε)`: paths under concatenation.
+impl Monoid for Path {
+    fn identity() -> Self {
+        Path::epsilon()
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        self.concat(other)
+    }
+}
+
+/// The monoid `(P(E*), ⋈◦, {ε})`: path sets under the concatenative join.
+///
+/// This wrapper picks the *join* monoid; see [`ProductMonoid`] for `×◦` and
+/// [`UnionMonoid`] for `∪`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinMonoid(pub PathSet);
+
+impl Monoid for JoinMonoid {
+    fn identity() -> Self {
+        JoinMonoid(PathSet::epsilon())
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        JoinMonoid(self.0.join(&other.0))
+    }
+}
+
+/// The monoid `(P(E*), ×◦, {ε})`: path sets under the concatenative product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductMonoid(pub PathSet);
+
+impl Monoid for ProductMonoid {
+    fn identity() -> Self {
+        ProductMonoid(PathSet::epsilon())
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        ProductMonoid(self.0.product(&other.0))
+    }
+}
+
+/// The commutative idempotent monoid `(P(E*), ∪, ∅)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionMonoid(pub PathSet);
+
+impl Monoid for UnionMonoid {
+    fn identity() -> Self {
+        UnionMonoid(PathSet::new())
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        UnionMonoid(self.0.union(&other.0))
+    }
+}
+
+/// Law-checking helpers. These are used by tests (including property tests in
+/// the workspace-level test suite) to verify that instances actually satisfy
+/// the monoid/semiring laws on concrete values.
+pub mod laws {
+    use super::Monoid;
+    use crate::pathset::PathSet;
+
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`.
+    pub fn associative<M: Monoid>(a: &M, b: &M, c: &M) -> bool {
+        a.combine(b).combine(c) == a.combine(&b.combine(c))
+    }
+
+    /// `e ⊕ a = a = a ⊕ e`.
+    pub fn identity_laws<M: Monoid>(a: &M) -> bool {
+        let e = M::identity();
+        e.combine(a) == *a && a.combine(&e) == *a
+    }
+
+    /// `a ⊕ b = b ⊕ a`.
+    pub fn commutative<M: Monoid>(a: &M, b: &M) -> bool {
+        a.combine(b) == b.combine(a)
+    }
+
+    /// `a ⊕ a = a`.
+    pub fn idempotent<M: Monoid>(a: &M) -> bool {
+        a.combine(a) == *a
+    }
+
+    /// Left distributivity of join over union:
+    /// `A ⋈◦ (B ∪ C) = (A ⋈◦ B) ∪ (A ⋈◦ C)`.
+    pub fn join_distributes_left(a: &PathSet, b: &PathSet, c: &PathSet) -> bool {
+        a.join(&b.union(c)) == a.join(b).union(&a.join(c))
+    }
+
+    /// Right distributivity of join over union:
+    /// `(A ∪ B) ⋈◦ C = (A ⋈◦ C) ∪ (B ⋈◦ C)`.
+    pub fn join_distributes_right(a: &PathSet, b: &PathSet, c: &PathSet) -> bool {
+        a.union(b).join(c) == a.join(c).union(&b.join(c))
+    }
+
+    /// The empty set annihilates the join: `∅ ⋈◦ A = A ⋈◦ ∅ = ∅`.
+    pub fn empty_annihilates_join(a: &PathSet) -> bool {
+        let empty = PathSet::new();
+        empty.join(a).is_empty() && a.join(&empty).is_empty()
+    }
+
+    /// Footnote 7: `A ⋈◦ B ⊆ A ×◦ B`.
+    pub fn join_subset_of_product(a: &PathSet, b: &PathSet) -> bool {
+        a.join(b).is_subset_of(&a.product(b))
+    }
+
+    /// The path-label map `ω′` is a monoid homomorphism:
+    /// `ω′(a ◦ b) = ω′(a) · ω′(b)`.
+    pub fn path_label_is_homomorphism(a: &crate::path::Path, b: &crate::path::Path) -> bool {
+        let mut expected = a.path_label();
+        expected.extend(b.path_label());
+        a.concat(b).path_label() == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::laws::*;
+    use super::*;
+    use crate::edge::Edge;
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    fn sample_sets() -> (PathSet, PathSet, PathSet) {
+        (
+            PathSet::from_paths([p(&[(0, 0, 1)]), p(&[(1, 1, 2), (2, 0, 1)])]),
+            PathSet::from_paths([p(&[(1, 1, 1)]), p(&[(1, 1, 0), (0, 0, 2)]), p(&[(0, 1, 2)])]),
+            PathSet::from_paths([p(&[(2, 0, 1)]), p(&[(1, 0, 0)])]),
+        )
+    }
+
+    #[test]
+    fn path_is_free_monoid() {
+        let a = p(&[(0, 0, 1)]);
+        let b = p(&[(1, 1, 2)]);
+        let c = p(&[(2, 0, 3)]);
+        assert!(associative(&a, &b, &c));
+        assert!(identity_laws(&a));
+        assert_eq!(Path::identity(), Path::epsilon());
+        assert_eq!(a.power(3).len(), 3);
+        assert_eq!(a.power(0), Path::epsilon());
+        assert_eq!(
+            Path::combine_all([a.clone(), b.clone(), c.clone()]),
+            a.concat(&b).concat(&c)
+        );
+    }
+
+    #[test]
+    fn join_monoid_laws() {
+        let (a, b, c) = sample_sets();
+        let (a, b, c) = (JoinMonoid(a), JoinMonoid(b), JoinMonoid(c));
+        assert!(associative(&a, &b, &c));
+        assert!(identity_laws(&a));
+        assert!(identity_laws(&b));
+    }
+
+    #[test]
+    fn product_monoid_laws() {
+        let (a, b, c) = sample_sets();
+        let (a, b, c) = (ProductMonoid(a), ProductMonoid(b), ProductMonoid(c));
+        assert!(associative(&a, &b, &c));
+        assert!(identity_laws(&a));
+        assert!(identity_laws(&c));
+    }
+
+    #[test]
+    fn union_monoid_is_commutative_and_idempotent() {
+        let (a, b, c) = sample_sets();
+        let (a, b, c) = (UnionMonoid(a), UnionMonoid(b), UnionMonoid(c));
+        assert!(associative(&a, &b, &c));
+        assert!(identity_laws(&a));
+        assert!(commutative(&a, &b));
+        assert!(idempotent(&a));
+        assert!(idempotent(&b));
+    }
+
+    #[test]
+    fn semiring_distributivity() {
+        let (a, b, c) = sample_sets();
+        assert!(join_distributes_left(&a, &b, &c));
+        assert!(join_distributes_right(&a, &b, &c));
+        assert!(empty_annihilates_join(&a));
+    }
+
+    #[test]
+    fn footnote_7_subset_law() {
+        let (a, b, _) = sample_sets();
+        assert!(join_subset_of_product(&a, &b));
+        assert!(join_subset_of_product(&b, &a));
+    }
+
+    #[test]
+    fn omega_prime_is_a_homomorphism() {
+        let a = p(&[(0, 0, 1), (1, 1, 2)]);
+        let b = p(&[(2, 0, 0)]);
+        assert!(path_label_is_homomorphism(&a, &b));
+        assert!(path_label_is_homomorphism(&b, &a));
+        assert!(path_label_is_homomorphism(&Path::epsilon(), &a));
+    }
+
+    #[test]
+    fn join_monoid_power_matches_join_power() {
+        let (a, _, _) = sample_sets();
+        let jm = JoinMonoid(a.clone());
+        assert_eq!(jm.power(2).0, a.join_power(2));
+        assert_eq!(jm.power(0).0, PathSet::epsilon());
+    }
+}

@@ -1,0 +1,566 @@
+//! Path sets: elements of `P(E*)` and the operations `∪`, `⋈◦`, `×◦` (§II).
+//!
+//! A [`PathSet`] is a finite set of paths. It keeps insertion order for
+//! deterministic display and iteration while deduplicating with a hash set
+//! (the paper's `P(E*)` is a set, so duplicates are meaningless).
+//!
+//! The two concatenative operations are:
+//!
+//! * [`PathSet::join`] — `A ⋈◦ B = {a ◦ b | a ∈ A ∧ b ∈ B ∧ (a = ε ∨ b = ε ∨
+//!   γ⁺(a) = γ⁻(b))}`, the order-preserving analogue of Codd's θ-join
+//!   (equijoin on head/tail vertices).
+//! * [`PathSet::product`] — `A ×◦ B = {a ◦ b | a ∈ A ∧ b ∈ B}`, the Cartesian
+//!   concatenation that also produces disjoint paths (used e.g. for
+//!   "teleportation" in priors-based algorithms, footnote 5).
+//!
+//! `A ⋈◦ B ⊆ A ×◦ B` always holds (footnote 7); experiment E5 quantifies the
+//! efficiency gap between evaluating the join directly versus filtering the
+//! product.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::edge::Edge;
+use crate::graph::MultiGraph;
+use crate::ids::{LabelId, VertexId};
+use crate::path::Path;
+
+/// A finite set of paths `A ∈ P(E*)` with deterministic iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct PathSet {
+    paths: Vec<Path>,
+    seen: HashSet<Path>,
+}
+
+impl PathSet {
+    /// Creates an empty path set (∅).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty path set with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PathSet {
+            paths: Vec::with_capacity(capacity),
+            seen: HashSet::with_capacity(capacity),
+        }
+    }
+
+    /// The singleton `{ε}` — the identity of `⋈◦` and `×◦` and the initial
+    /// stack element of the §IV-B generator automaton.
+    pub fn epsilon() -> Self {
+        let mut s = PathSet::new();
+        s.insert(Path::epsilon());
+        s
+    }
+
+    /// Builds a path set from every edge in the graph: the full edge set `E`
+    /// viewed as length-1 paths (`[_,_,_]` in the §IV-A notation).
+    pub fn from_graph(graph: &MultiGraph) -> Self {
+        graph.edges().copied().map(Path::from_edge).collect()
+    }
+
+    /// Builds a path set from an iterator of edges (each a length-1 path).
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        edges.into_iter().map(Path::from_edge).collect()
+    }
+
+    /// Builds a path set from an iterator of paths.
+    pub fn from_paths<I: IntoIterator<Item = Path>>(paths: I) -> Self {
+        paths.into_iter().collect()
+    }
+
+    /// Inserts a path; returns `true` if it was not already present.
+    pub fn insert(&mut self, path: Path) -> bool {
+        if self.seen.contains(&path) {
+            return false;
+        }
+        self.seen.insert(path.clone());
+        self.paths.push(path);
+        true
+    }
+
+    /// Whether the set contains the given path.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.seen.contains(path)
+    }
+
+    /// Number of paths in the set.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the set is ∅.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates over the paths in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter()
+    }
+
+    /// Returns the paths as a slice in insertion order.
+    pub fn as_slice(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// `A ∪ B`: set union.
+    pub fn union(&self, other: &PathSet) -> PathSet {
+        let mut out = self.clone();
+        for p in &other.paths {
+            out.insert(p.clone());
+        }
+        out
+    }
+
+    /// `A ⋈◦ B`: the concatenative join. Only pairs with `γ⁺(a) = γ⁻(b)` (or an
+    /// ε operand) are concatenated, so every produced path is joint whenever
+    /// the operands are joint.
+    ///
+    /// Evaluation is index-accelerated: `B` is bucketed by `γ⁻`, giving
+    /// `O(|A| + |B| + |output|)` pair enumeration instead of `O(|A| · |B|)`.
+    pub fn join(&self, other: &PathSet) -> PathSet {
+        // Bucket B by tail vertex; ε goes in a separate bucket that joins with everything.
+        let mut by_tail: HashMap<VertexId, Vec<&Path>> = HashMap::new();
+        let mut epsilons: Vec<&Path> = Vec::new();
+        for b in &other.paths {
+            match b.tail_vertex() {
+                Ok(v) => by_tail.entry(v).or_default().push(b),
+                Err(_) => epsilons.push(b),
+            }
+        }
+        let mut out = PathSet::new();
+        for a in &self.paths {
+            if a.is_empty() {
+                // ε ◦ b = b for every b ∈ B
+                for b in &other.paths {
+                    out.insert((*b).clone());
+                }
+                continue;
+            }
+            let head = a.head_vertex().expect("non-empty path has a head");
+            if let Some(bs) = by_tail.get(&head) {
+                for b in bs {
+                    out.insert(a.concat(b));
+                }
+            }
+            for b in &epsilons {
+                out.insert(a.concat(b));
+            }
+        }
+        out
+    }
+
+    /// Naive `O(|A|·|B|)` evaluation of `A ⋈◦ B`, retained as the baseline for
+    /// the E5 ablation (indexed vs naive join). Semantically identical to
+    /// [`PathSet::join`].
+    pub fn join_naive(&self, other: &PathSet) -> PathSet {
+        let mut out = PathSet::new();
+        for a in &self.paths {
+            for b in &other.paths {
+                if let Some(ab) = a.join(b) {
+                    out.insert(ab);
+                }
+            }
+        }
+        out
+    }
+
+    /// `A ×◦ B`: the concatenative (Cartesian) product; disjoint concatenations
+    /// are kept.
+    pub fn product(&self, other: &PathSet) -> PathSet {
+        let mut out = PathSet::with_capacity(self.len() * other.len());
+        for a in &self.paths {
+            for b in &other.paths {
+                out.insert(a.concat(b));
+            }
+        }
+        out
+    }
+
+    /// Repeated self-join: `A ⋈◦ A ⋈◦ … ⋈◦ A` (`n` operands). `n = 0` yields
+    /// `{ε}` (the empty join), `n = 1` yields `A` itself. This is the paper's
+    /// `Rⁿ` (footnote 8) and the building block of complete traversals (§III-A).
+    pub fn join_power(&self, n: usize) -> PathSet {
+        match n {
+            0 => PathSet::epsilon(),
+            _ => {
+                let mut acc = self.clone();
+                for _ in 1..n {
+                    acc = acc.join(self);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Keeps only the paths whose tail vertex is in `allowed` — the left
+    /// restriction underlying source traversals (§III-B). ε paths are dropped.
+    pub fn restrict_tails(&self, allowed: &HashSet<VertexId>) -> PathSet {
+        self.paths
+            .iter()
+            .filter(|p| p.tail_vertex().map(|v| allowed.contains(&v)).unwrap_or(false))
+            .cloned()
+            .collect()
+    }
+
+    /// Keeps only the paths whose head vertex is in `allowed` — the right
+    /// restriction underlying destination traversals (§III-C). ε paths are
+    /// dropped.
+    pub fn restrict_heads(&self, allowed: &HashSet<VertexId>) -> PathSet {
+        self.paths
+            .iter()
+            .filter(|p| p.head_vertex().map(|v| allowed.contains(&v)).unwrap_or(false))
+            .cloned()
+            .collect()
+    }
+
+    /// Keeps only the paths whose path label `ω′(a)` equals `labels`.
+    pub fn restrict_path_label(&self, labels: &[LabelId]) -> PathSet {
+        self.paths
+            .iter()
+            .filter(|p| p.path_label() == labels)
+            .cloned()
+            .collect()
+    }
+
+    /// Keeps only paths satisfying the predicate.
+    pub fn filter<F: Fn(&Path) -> bool>(&self, pred: F) -> PathSet {
+        self.paths.iter().filter(|p| pred(p)).cloned().collect()
+    }
+
+    /// Keeps only joint paths (Definition 3).
+    pub fn joint_only(&self) -> PathSet {
+        self.filter(Path::is_joint)
+    }
+
+    /// Whether every path in the set is joint.
+    pub fn all_joint(&self) -> bool {
+        self.paths.iter().all(Path::is_joint)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &PathSet) -> bool {
+        self.paths.iter().all(|p| other.contains(p))
+    }
+
+    /// Set equality (independent of insertion order).
+    pub fn set_eq(&self, other: &PathSet) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+
+    /// Projects the endpoint pairs `(γ⁻(a), γ⁺(a))` of every non-ε path — the
+    /// §IV-C construction `E_αβ = ⋃_{a ∈ A ⋈◦ B} (γ⁻(a), γ⁺(a))`, deduplicated.
+    pub fn endpoints(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out: Vec<(VertexId, VertexId)> = self
+            .paths
+            .iter()
+            .filter_map(|p| match (p.tail_vertex(), p.head_vertex()) {
+                (Ok(t), Ok(h)) => Some((t, h)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The multiset of path labels `ω′(a)` for every path in the set.
+    pub fn path_labels(&self) -> Vec<Vec<LabelId>> {
+        self.paths.iter().map(Path::path_label).collect()
+    }
+
+    /// The distinct head vertices of the paths in the set (the traversal
+    /// "frontier" after this step).
+    pub fn head_vertices(&self) -> HashSet<VertexId> {
+        self.paths
+            .iter()
+            .filter_map(|p| p.head_vertex().ok())
+            .collect()
+    }
+
+    /// The distinct tail vertices of the paths in the set.
+    pub fn tail_vertices(&self) -> HashSet<VertexId> {
+        self.paths
+            .iter()
+            .filter_map(|p| p.tail_vertex().ok())
+            .collect()
+    }
+
+    /// Length histogram: map from `‖a‖` to the number of paths of that length.
+    pub fn length_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for p in &self.paths {
+            *h.entry(p.len()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl PartialEq for PathSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for PathSet {}
+
+impl FromIterator<Path> for PathSet {
+    fn from_iter<T: IntoIterator<Item = Path>>(iter: T) -> Self {
+        let mut s = PathSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<Path> for PathSet {
+    fn extend<T: IntoIterator<Item = Path>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a Path;
+    type IntoIter = std::slice::Iter<'a, Path>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+impl IntoIterator for PathSet {
+    type Item = Path;
+    type IntoIter = std::vec::IntoIter<Path>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.into_iter()
+    }
+}
+
+impl std::fmt::Display for PathSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.paths.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    /// The worked example of §II:
+    /// A = {(i,α,j), (j,β,k,k,α,j)}
+    /// B = {(j,β,j), (j,β,i,i,α,k), (i,β,k)}
+    /// with i=0, j=1, k=2, α=0, β=1.
+    fn paper_a() -> PathSet {
+        PathSet::from_paths([p(&[(0, 0, 1)]), p(&[(1, 1, 2), (2, 0, 1)])])
+    }
+
+    fn paper_b() -> PathSet {
+        PathSet::from_paths([
+            p(&[(1, 1, 1)]),
+            p(&[(1, 1, 0), (0, 0, 2)]),
+            p(&[(0, 1, 2)]),
+        ])
+    }
+
+    #[test]
+    fn join_reproduces_paper_worked_example() {
+        let result = paper_a().join(&paper_b());
+        let expected = PathSet::from_paths([
+            // (i,α,j,j,β,j)
+            p(&[(0, 0, 1), (1, 1, 1)]),
+            // (i,α,j,j,β,i,i,α,k)
+            p(&[(0, 0, 1), (1, 1, 0), (0, 0, 2)]),
+            // (j,β,k,k,α,j,j,β,j)
+            p(&[(1, 1, 2), (2, 0, 1), (1, 1, 1)]),
+            // (j,β,k,k,α,j,j,β,i,i,α,k)
+            p(&[(1, 1, 2), (2, 0, 1), (1, 1, 0), (0, 0, 2)]),
+        ]);
+        assert_eq!(result, expected);
+        assert!(result.all_joint());
+    }
+
+    #[test]
+    fn naive_join_agrees_with_indexed_join() {
+        let a = paper_a();
+        let b = paper_b();
+        assert_eq!(a.join(&b), a.join_naive(&b));
+        // and in the other direction too (join is not commutative, but both
+        // evaluation strategies must agree on either order)
+        assert_eq!(b.join(&a), b.join_naive(&a));
+    }
+
+    #[test]
+    fn join_is_subset_of_product_footnote_7() {
+        let a = paper_a();
+        let b = paper_b();
+        let join = a.join(&b);
+        let product = a.product(&b);
+        assert!(join.is_subset_of(&product));
+        assert_eq!(product.len(), a.len() * b.len());
+        assert!(join.len() < product.len());
+        // the product contains disjoint paths that the join excludes
+        assert!(!product.all_joint());
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let a = paper_a();
+        let b = paper_b();
+        let c = PathSet::from_paths([p(&[(2, 0, 1)]), p(&[(2, 1, 0)])]);
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn join_is_not_commutative() {
+        let a = paper_a();
+        let b = paper_b();
+        assert_ne!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn epsilon_set_is_identity_for_join_and_product() {
+        let a = paper_a();
+        let eps = PathSet::epsilon();
+        assert_eq!(eps.join(&a), a);
+        assert_eq!(a.join(&eps), a);
+        assert_eq!(eps.product(&a), a);
+        assert_eq!(a.product(&eps), a);
+    }
+
+    #[test]
+    fn empty_set_annihilates() {
+        let a = paper_a();
+        let empty = PathSet::new();
+        assert!(a.join(&empty).is_empty());
+        assert!(empty.join(&a).is_empty());
+        assert!(a.product(&empty).is_empty());
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = paper_a();
+        let b = paper_b();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 5);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        // idempotent
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn union_distributes_over_join() {
+        // (A ∪ B) ⋈◦ C = (A ⋈◦ C) ∪ (B ⋈◦ C)
+        let a = paper_a();
+        let b = paper_b();
+        let c = PathSet::from_paths([p(&[(1, 0, 2)]), p(&[(2, 1, 2)])]);
+        let lhs = a.union(&b).join(&c);
+        let rhs = a.join(&c).union(&b.join(&c));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn insertion_deduplicates() {
+        let mut s = PathSet::new();
+        assert!(s.insert(p(&[(0, 0, 1)])));
+        assert!(!s.insert(p(&[(0, 0, 1)])));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&p(&[(0, 0, 1)])));
+    }
+
+    #[test]
+    fn join_power_builds_length_n_paths() {
+        // simple cycle v0 -α-> v1 -α-> v2 -α-> v0
+        let edges = [e(0, 0, 1), e(1, 0, 2), e(2, 0, 0)];
+        let s = PathSet::from_edges(edges);
+        assert_eq!(s.join_power(0), PathSet::epsilon());
+        assert_eq!(s.join_power(1), s);
+        let p2 = s.join_power(2);
+        assert_eq!(p2.len(), 3);
+        assert!(p2.iter().all(|p| p.len() == 2 && p.is_joint()));
+        let p3 = s.join_power(3);
+        assert_eq!(p3.len(), 3);
+        assert!(p3.iter().all(|p| p.is_cycle()));
+    }
+
+    #[test]
+    fn restrictions_filter_by_endpoints_and_labels() {
+        let s = paper_a().join(&paper_b());
+        let tails: HashSet<VertexId> = [VertexId(1)].into_iter().collect();
+        let from_j = s.restrict_tails(&tails);
+        assert_eq!(from_j.len(), 2);
+        let heads: HashSet<VertexId> = [VertexId(2)].into_iter().collect();
+        let to_k = s.restrict_heads(&heads);
+        assert_eq!(to_k.len(), 2);
+        let labeled = s.restrict_path_label(&[LabelId(0), LabelId(1)]);
+        assert_eq!(labeled.len(), 1);
+    }
+
+    #[test]
+    fn endpoints_project_section_4c_edges() {
+        let a = PathSet::from_edges([e(0, 0, 1), e(3, 0, 1)]);
+        let b = PathSet::from_edges([e(1, 1, 2)]);
+        let eab = a.join(&b).endpoints();
+        assert_eq!(eab, vec![(VertexId(0), VertexId(2)), (VertexId(3), VertexId(2))]);
+    }
+
+    #[test]
+    fn frontier_projections() {
+        let s = paper_a();
+        let heads = s.head_vertices();
+        assert!(heads.contains(&VertexId(1)));
+        let tails = s.tail_vertices();
+        assert!(tails.contains(&VertexId(0)) && tails.contains(&VertexId(1)));
+    }
+
+    #[test]
+    fn length_histogram_counts_by_length() {
+        let s = paper_a().union(&paper_b());
+        let h = s.length_histogram();
+        assert_eq!(h.get(&1), Some(&3));
+        assert_eq!(h.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn joint_only_filters_product_to_join() {
+        let a = paper_a();
+        let b = paper_b();
+        // For ε-free operands: A ⋈◦ B = joint(A ×◦ B)
+        assert_eq!(a.product(&b).joint_only(), a.join(&b));
+    }
+
+    #[test]
+    fn display_formats_as_set() {
+        let s = PathSet::from_paths([p(&[(0, 0, 1)])]);
+        assert_eq!(s.to_string(), "{(v0, l0, v1)}");
+        assert_eq!(PathSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_graph_lifts_every_edge() {
+        let mut g = MultiGraph::new();
+        g.add_edge(e(0, 0, 1));
+        g.add_edge(e(1, 1, 2));
+        let s = PathSet::from_graph(&g);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|p| p.len() == 1));
+    }
+}

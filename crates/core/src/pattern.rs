@@ -1,0 +1,427 @@
+//! Set-builder edge patterns: `[i, α, j]` with wildcards (§IV-A).
+//!
+//! The paper introduces a concise notation for subsets of `E`:
+//!
+//! * `[i, _, _]` — all edges emanating from vertex `i` (a *source edge set*),
+//! * `[_, _, j]` — all edges terminating at vertex `j` (a *destination edge set*),
+//! * `[_, α, _]` — all edges labeled `α` (a *labeled edge set*),
+//! * `[_, _, _]` — the whole of `E`.
+//!
+//! [`EdgePattern`] generalises this to any combination of positions, each of
+//! which may be a wildcard, a single value, or a set of values (the latter is
+//! what §III-B/–D need: `Vs ⊆ V`, `Ω_e ⊆ Ω`, and their complements).
+
+use std::collections::HashSet;
+
+use crate::edge::Edge;
+use crate::graph::MultiGraph;
+use crate::ids::{LabelId, VertexId};
+use crate::pathset::PathSet;
+
+/// A constraint on one position of an edge pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Position<T: Eq + std::hash::Hash> {
+    /// `_`: matches anything.
+    Any,
+    /// Matches exactly this value.
+    Is(T),
+    /// Matches any value in the set.
+    In(HashSet<T>),
+    /// Matches any value *not* in the set (the complement notation `V̄s` of §III-B).
+    NotIn(HashSet<T>),
+}
+
+impl<T: Eq + std::hash::Hash> Position<T> {
+    /// Whether the position constraint accepts `value`.
+    pub fn matches(&self, value: &T) -> bool {
+        match self {
+            Position::Any => true,
+            Position::Is(v) => v == value,
+            Position::In(s) => s.contains(value),
+            Position::NotIn(s) => !s.contains(value),
+        }
+    }
+
+    /// Whether this position is the wildcard `_`.
+    pub fn is_any(&self) -> bool {
+        matches!(self, Position::Any)
+    }
+}
+
+/// A set-builder pattern `[tail, label, head]` selecting a subset of `E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgePattern {
+    /// Constraint on the tail vertex `γ⁻(e)`.
+    pub tail: Position<VertexId>,
+    /// Constraint on the label `ω(e)`.
+    pub label: Position<LabelId>,
+    /// Constraint on the head vertex `γ⁺(e)`.
+    pub head: Position<VertexId>,
+}
+
+impl EdgePattern {
+    /// `[_, _, _]`: the whole edge set `E`.
+    pub fn any() -> Self {
+        EdgePattern {
+            tail: Position::Any,
+            label: Position::Any,
+            head: Position::Any,
+        }
+    }
+
+    /// `[i, _, _]`: edges emanating from `i`.
+    pub fn from_vertex(i: VertexId) -> Self {
+        EdgePattern {
+            tail: Position::Is(i),
+            label: Position::Any,
+            head: Position::Any,
+        }
+    }
+
+    /// `[_, _, j]`: edges terminating at `j`.
+    pub fn to_vertex(j: VertexId) -> Self {
+        EdgePattern {
+            tail: Position::Any,
+            label: Position::Any,
+            head: Position::Is(j),
+        }
+    }
+
+    /// `[_, α, _]`: edges labeled `α`.
+    pub fn with_label(label: LabelId) -> Self {
+        EdgePattern {
+            tail: Position::Any,
+            label: Position::Is(label),
+            head: Position::Any,
+        }
+    }
+
+    /// `[i, α, j]`: a single fully-specified edge.
+    pub fn exact(i: VertexId, label: LabelId, j: VertexId) -> Self {
+        EdgePattern {
+            tail: Position::Is(i),
+            label: Position::Is(label),
+            head: Position::Is(j),
+        }
+    }
+
+    /// Edges emanating from any vertex in `Vs` (§III-B source restriction).
+    pub fn from_vertices<I: IntoIterator<Item = VertexId>>(vs: I) -> Self {
+        EdgePattern {
+            tail: Position::In(vs.into_iter().collect()),
+            label: Position::Any,
+            head: Position::Any,
+        }
+    }
+
+    /// Edges terminating at any vertex in `Vd` (§III-C destination restriction).
+    pub fn to_vertices<I: IntoIterator<Item = VertexId>>(vd: I) -> Self {
+        EdgePattern {
+            tail: Position::Any,
+            label: Position::Any,
+            head: Position::In(vd.into_iter().collect()),
+        }
+    }
+
+    /// Edges whose label is in `Ω_e` (§III-D labeled restriction).
+    pub fn with_labels<I: IntoIterator<Item = LabelId>>(labels: I) -> Self {
+        EdgePattern {
+            tail: Position::Any,
+            label: Position::In(labels.into_iter().collect()),
+            head: Position::Any,
+        }
+    }
+
+    /// Edges emanating from any vertex *not* in `Vs` — the complement
+    /// `V̄s = V \ Vs` notation of §III-B.
+    pub fn not_from_vertices<I: IntoIterator<Item = VertexId>>(vs: I) -> Self {
+        EdgePattern {
+            tail: Position::NotIn(vs.into_iter().collect()),
+            label: Position::Any,
+            head: Position::Any,
+        }
+    }
+
+    /// Builder: replace the tail constraint.
+    pub fn tail(mut self, pos: Position<VertexId>) -> Self {
+        self.tail = pos;
+        self
+    }
+
+    /// Builder: replace the label constraint.
+    pub fn label(mut self, pos: Position<LabelId>) -> Self {
+        self.label = pos;
+        self
+    }
+
+    /// Builder: replace the head constraint.
+    pub fn head(mut self, pos: Position<VertexId>) -> Self {
+        self.head = pos;
+        self
+    }
+
+    /// Whether the pattern matches the edge.
+    pub fn matches(&self, edge: &Edge) -> bool {
+        self.tail.matches(&edge.tail)
+            && self.label.matches(&edge.label)
+            && self.head.matches(&edge.head)
+    }
+
+    /// Evaluates the pattern against a graph, producing the selected edges.
+    ///
+    /// Uses the graph's secondary indexes whenever a position pins a single
+    /// value (`Is`): `[i,α,_]` and `[_,α,j]` hit the composite indexes,
+    /// `[i,_,_]` / `[_,_,j]` / `[_,α,_]` hit the single-column indexes, and only
+    /// fully unconstrained or set-valued patterns fall back to a filtered scan.
+    pub fn select(&self, graph: &MultiGraph) -> Vec<Edge> {
+        // Fast paths using indexes.
+        match (&self.tail, &self.label, &self.head) {
+            (Position::Is(i), Position::Is(l), Position::Any) => {
+                return graph
+                    .out_edges_labeled(*i, *l)
+                    .iter()
+                    .filter(|e| self.head.matches(&e.head))
+                    .copied()
+                    .collect();
+            }
+            (Position::Any, Position::Is(l), Position::Is(j)) => {
+                return graph
+                    .in_edges_labeled(*j, *l)
+                    .iter()
+                    .filter(|e| self.tail.matches(&e.tail))
+                    .copied()
+                    .collect();
+            }
+            (Position::Is(i), _, _) => {
+                return graph
+                    .out_edges(*i)
+                    .iter()
+                    .filter(|e| self.label.matches(&e.label) && self.head.matches(&e.head))
+                    .copied()
+                    .collect();
+            }
+            (_, _, Position::Is(j)) => {
+                return graph
+                    .in_edges(*j)
+                    .iter()
+                    .filter(|e| self.tail.matches(&e.tail) && self.label.matches(&e.label))
+                    .copied()
+                    .collect();
+            }
+            (_, Position::Is(l), _) => {
+                return graph
+                    .edges_with_label(*l)
+                    .iter()
+                    .filter(|e| self.tail.matches(&e.tail) && self.head.matches(&e.head))
+                    .copied()
+                    .collect();
+            }
+            _ => {}
+        }
+        graph
+            .edges()
+            .filter(|e| self.matches(e))
+            .copied()
+            .collect()
+    }
+
+    /// Evaluates the pattern to a [`PathSet`] of length-1 paths, ready to be
+    /// used as an operand of `⋈◦` / `×◦`.
+    pub fn select_paths(&self, graph: &MultiGraph) -> PathSet {
+        PathSet::from_edges(self.select(graph))
+    }
+
+    /// Conjunction of two patterns (both must match).
+    ///
+    /// Set-valued positions are combined by keeping both constraints as a
+    /// closure-free approximation: when both positions constrain the same
+    /// component, the more specific representation is produced where possible
+    /// and otherwise the match is expressed through [`EdgePattern::matches`]
+    /// of both (callers needing exact algebraic intersection should evaluate
+    /// and intersect the resulting edge sets).
+    pub fn and(&self, other: &EdgePattern) -> ConjunctivePattern {
+        ConjunctivePattern {
+            patterns: vec![self.clone(), other.clone()],
+        }
+    }
+}
+
+impl Default for EdgePattern {
+    fn default() -> Self {
+        EdgePattern::any()
+    }
+}
+
+/// A conjunction of several [`EdgePattern`]s; matches an edge iff every
+/// component pattern matches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctivePattern {
+    patterns: Vec<EdgePattern>,
+}
+
+impl ConjunctivePattern {
+    /// Whether all component patterns match the edge.
+    pub fn matches(&self, edge: &Edge) -> bool {
+        self.patterns.iter().all(|p| p.matches(edge))
+    }
+
+    /// Evaluates against a graph by selecting with the first pattern and
+    /// filtering with the rest.
+    pub fn select(&self, graph: &MultiGraph) -> Vec<Edge> {
+        match self.patterns.split_first() {
+            None => graph.edges().copied().collect(),
+            Some((first, rest)) => first
+                .select(graph)
+                .into_iter()
+                .filter(|e| rest.iter().all(|p| p.matches(e)))
+                .collect(),
+        }
+    }
+
+    /// Adds another conjunct.
+    pub fn and(mut self, pattern: EdgePattern) -> Self {
+        self.patterns.push(pattern);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    #[test]
+    fn wildcard_pattern_selects_all_of_e() {
+        let g = paper_graph();
+        assert_eq!(EdgePattern::any().select(&g).len(), g.edge_count());
+    }
+
+    #[test]
+    fn source_pattern_matches_out_edges() {
+        let g = paper_graph();
+        let sel = EdgePattern::from_vertex(VertexId(0)).select(&g);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.iter().all(|e| e.tail == VertexId(0)));
+    }
+
+    #[test]
+    fn destination_pattern_matches_in_edges() {
+        let g = paper_graph();
+        let sel = EdgePattern::to_vertex(VertexId(2)).select(&g);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.iter().all(|e| e.head == VertexId(2)));
+    }
+
+    #[test]
+    fn labeled_pattern_matches_label_index() {
+        let g = paper_graph();
+        let sel = EdgePattern::with_label(LabelId(1)).select(&g);
+        assert_eq!(sel.len(), 4);
+        assert!(sel.iter().all(|e| e.label == LabelId(1)));
+    }
+
+    #[test]
+    fn composite_patterns_use_pair_indexes() {
+        let g = paper_graph();
+        let ia = EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0)));
+        let sel = ia.select(&g);
+        assert_eq!(sel.len(), 2);
+        let aj = EdgePattern::to_vertex(VertexId(1)).label(Position::Is(LabelId(0)));
+        let sel = aj.select(&g);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn exact_pattern_selects_single_edge() {
+        let g = paper_graph();
+        let sel = EdgePattern::exact(VertexId(1), LabelId(1), VertexId(0)).select(&g);
+        assert_eq!(sel, vec![e(1, 1, 0)]);
+        let missing = EdgePattern::exact(VertexId(2), LabelId(1), VertexId(0)).select(&g);
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn set_valued_positions() {
+        let g = paper_graph();
+        let sel = EdgePattern::from_vertices([VertexId(0), VertexId(2)]).select(&g);
+        assert_eq!(sel.len(), 4);
+        let sel = EdgePattern::to_vertices([VertexId(1)]).select(&g);
+        assert_eq!(sel.len(), 3);
+        let sel = EdgePattern::with_labels([LabelId(0), LabelId(1)]).select(&g);
+        assert_eq!(sel.len(), 7);
+    }
+
+    #[test]
+    fn complement_positions_implement_vbar_notation() {
+        let g = paper_graph();
+        // start the traversal from all vertices except v0 (V̄s with Vs = {v0})
+        let sel = EdgePattern::not_from_vertices([VertexId(0)]).select(&g);
+        assert_eq!(sel.len(), 4);
+        assert!(sel.iter().all(|e| e.tail != VertexId(0)));
+    }
+
+    #[test]
+    fn pattern_matches_agrees_with_select() {
+        let g = paper_graph();
+        let patterns = [
+            EdgePattern::any(),
+            EdgePattern::from_vertex(VertexId(1)),
+            EdgePattern::to_vertex(VertexId(2)),
+            EdgePattern::with_label(LabelId(0)),
+            EdgePattern::from_vertices([VertexId(0), VertexId(1)]),
+            EdgePattern::not_from_vertices([VertexId(1)]),
+        ];
+        for pat in &patterns {
+            let by_select: HashSet<Edge> = pat.select(&g).into_iter().collect();
+            let by_match: HashSet<Edge> =
+                g.edges().filter(|e| pat.matches(e)).copied().collect();
+            assert_eq!(by_select, by_match, "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let g = paper_graph();
+        let conj = EdgePattern::from_vertex(VertexId(0)).and(&EdgePattern::with_label(LabelId(1)));
+        let sel = conj.select(&g);
+        assert_eq!(sel, vec![e(0, 1, 2)]);
+        assert!(conj.matches(&e(0, 1, 2)));
+        assert!(!conj.matches(&e(0, 0, 2)));
+        // three-way conjunction
+        let conj = conj.and(EdgePattern::to_vertex(VertexId(2)));
+        assert_eq!(conj.select(&g), vec![e(0, 1, 2)]);
+    }
+
+    #[test]
+    fn select_paths_returns_length_one_paths() {
+        let g = paper_graph();
+        let ps = EdgePattern::with_label(LabelId(0)).select_paths(&g);
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn default_is_wildcard() {
+        assert_eq!(EdgePattern::default(), EdgePattern::any());
+        assert!(Position::<VertexId>::Any.is_any());
+    }
+}

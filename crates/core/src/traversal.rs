@@ -1,0 +1,472 @@
+//! Basic traversals (§III): complete, source, destination, and labeled.
+//!
+//! All four idioms are restrictions of the same scheme: a chain of
+//! concatenative joins `A₁ ⋈◦ A₂ ⋈◦ … ⋈◦ Aₙ` where each operand `Aᵢ ⊆ E` is a
+//! subset of the edge set selected by an [`EdgePattern`]. The
+//! [`TraversalBuilder`] exposes exactly that scheme as a fluent API; the free
+//! functions cover the four named idioms of the paper.
+//!
+//! Because `E ⋈◦ⁿ E` explodes combinatorially on dense graphs (this is the
+//! point of §III: restriction is what makes traversals tractable — measured in
+//! experiments E2–E4), every entry point takes the number of steps explicitly
+//! and the builder also supports an optional cap on intermediate path-set size
+//! to guard against runaway evaluations.
+
+use std::collections::HashSet;
+
+use crate::error::{CoreError, CoreResult};
+use crate::graph::MultiGraph;
+use crate::ids::{LabelId, VertexId};
+use crate::pathset::PathSet;
+use crate::pattern::EdgePattern;
+
+/// All joint paths of length `n` in the graph: `E ⋈◦ … ⋈◦ E` (`n` operands).
+///
+/// `n = 0` yields `{ε}`.
+pub fn complete_traversal(graph: &MultiGraph, n: usize) -> PathSet {
+    PathSet::from_graph(graph).join_power(n)
+}
+
+/// All joint paths of length `n` emanating from a vertex in `sources`
+/// (§III-B): `A ⋈◦ E ⋈◦ … ⋈◦ E` with `A = {e ∈ E | γ⁻(e) ∈ Vs}`.
+pub fn source_traversal(
+    graph: &MultiGraph,
+    sources: &HashSet<VertexId>,
+    n: usize,
+) -> PathSet {
+    if n == 0 {
+        return PathSet::epsilon();
+    }
+    let a = EdgePattern::from_vertices(sources.iter().copied()).select_paths(graph);
+    extend_with_e(graph, a, n - 1)
+}
+
+/// All joint paths of length `n` terminating at a vertex in `destinations`
+/// (§III-C): `E ⋈◦ … ⋈◦ E ⋈◦ B` with `B = {e ∈ E | γ⁺(e) ∈ Vd}`.
+pub fn destination_traversal(
+    graph: &MultiGraph,
+    destinations: &HashSet<VertexId>,
+    n: usize,
+) -> PathSet {
+    if n == 0 {
+        return PathSet::epsilon();
+    }
+    let b = EdgePattern::to_vertices(destinations.iter().copied()).select_paths(graph);
+    // Evaluate right-to-left so the restriction prunes early:
+    // E ⋈◦ (E ⋈◦ (… ⋈◦ B))
+    let mut acc = b;
+    let e = PathSet::from_graph(graph);
+    for _ in 1..n {
+        acc = e.join(&acc);
+    }
+    acc
+}
+
+/// All joint paths of length `n` that start in `sources` and end in
+/// `destinations`: `A ⋈◦ E … E ⋈◦ B` (§III-C, combined form).
+pub fn source_destination_traversal(
+    graph: &MultiGraph,
+    sources: &HashSet<VertexId>,
+    destinations: &HashSet<VertexId>,
+    n: usize,
+) -> PathSet {
+    if n == 0 {
+        return PathSet::epsilon();
+    }
+    let paths = source_traversal(graph, sources, n);
+    paths.restrict_heads(destinations)
+}
+
+/// A labeled traversal (§III-D): one join operand per element of
+/// `label_steps`, the i-th operand being `{e ∈ E | ω(e) ∈ label_steps[i]}`.
+///
+/// The result contains exactly the joint paths `a` with `‖a‖ =
+/// label_steps.len()` and `ω(σ(a, i)) ∈ label_steps[i-1]` for every `i`.
+pub fn labeled_traversal(graph: &MultiGraph, label_steps: &[HashSet<LabelId>]) -> PathSet {
+    if label_steps.is_empty() {
+        return PathSet::epsilon();
+    }
+    let mut acc =
+        EdgePattern::with_labels(label_steps[0].iter().copied()).select_paths(graph);
+    for step in &label_steps[1..] {
+        let operand = EdgePattern::with_labels(step.iter().copied()).select_paths(graph);
+        acc = acc.join(&operand);
+    }
+    acc
+}
+
+/// Convenience for the common two-step `αβ-path` construction of §IV-C:
+/// `A ⋈◦ B` with `A = {e | ω(e) = α}` and `B = {e | ω(e) = β}`.
+pub fn label_composition(graph: &MultiGraph, alpha: LabelId, beta: LabelId) -> PathSet {
+    let a = EdgePattern::with_label(alpha).select_paths(graph);
+    let b = EdgePattern::with_label(beta).select_paths(graph);
+    a.join(&b)
+}
+
+fn extend_with_e(graph: &MultiGraph, start: PathSet, extra_steps: usize) -> PathSet {
+    let e = PathSet::from_graph(graph);
+    let mut acc = start;
+    for _ in 0..extra_steps {
+        acc = acc.join(&e);
+    }
+    acc
+}
+
+/// A fluent builder for traversals expressed as a chain of joins over
+/// pattern-selected edge sets, optionally interleaved with vertex
+/// restrictions ("ensure the path goes through these vertices at this step",
+/// §III-C last paragraph).
+#[derive(Debug, Clone)]
+pub struct TraversalBuilder<'g> {
+    graph: &'g MultiGraph,
+    steps: Vec<Step>,
+    max_intermediate: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Join with the edge set selected by the pattern.
+    Join(EdgePattern),
+    /// Restrict the current path set to paths whose head is in the set.
+    ThroughHeads(HashSet<VertexId>),
+    /// Restrict the current path set to paths whose tail is in the set.
+    ThroughTails(HashSet<VertexId>),
+    /// Union with another traversal's result.
+    Union(Vec<Step>),
+}
+
+impl<'g> TraversalBuilder<'g> {
+    /// Starts a new traversal over `graph`.
+    pub fn new(graph: &'g MultiGraph) -> Self {
+        TraversalBuilder {
+            graph,
+            steps: Vec::new(),
+            max_intermediate: None,
+        }
+    }
+
+    /// Caps the size of every intermediate path set; evaluation fails with
+    /// [`CoreError::BoundExceeded`] if the cap is exceeded.
+    pub fn max_intermediate(mut self, cap: usize) -> Self {
+        self.max_intermediate = Some(cap);
+        self
+    }
+
+    /// Appends a join with the whole edge set `E` (one "hop").
+    pub fn step(self) -> Self {
+        self.step_matching(EdgePattern::any())
+    }
+
+    /// Appends `n` joins with the whole edge set `E`.
+    pub fn steps(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            self = self.step();
+        }
+        self
+    }
+
+    /// Appends a join with the edge set selected by `pattern`.
+    pub fn step_matching(mut self, pattern: EdgePattern) -> Self {
+        self.steps.push(Step::Join(pattern));
+        self
+    }
+
+    /// Appends a join restricted to edges emanating from `sources`
+    /// (a source step, §III-B).
+    pub fn step_from<I: IntoIterator<Item = VertexId>>(self, sources: I) -> Self {
+        self.step_matching(EdgePattern::from_vertices(sources))
+    }
+
+    /// Appends a join restricted to edges terminating at `destinations`
+    /// (a destination step, §III-C).
+    pub fn step_to<I: IntoIterator<Item = VertexId>>(self, destinations: I) -> Self {
+        self.step_matching(EdgePattern::to_vertices(destinations))
+    }
+
+    /// Appends a join restricted to edges labeled with one of `labels`
+    /// (a labeled step, §III-D).
+    pub fn step_labeled<I: IntoIterator<Item = LabelId>>(self, labels: I) -> Self {
+        self.step_matching(EdgePattern::with_labels(labels))
+    }
+
+    /// Requires the paths built so far to currently end at one of `vertices`
+    /// before the next join is evaluated ("go through these vertices").
+    pub fn through<I: IntoIterator<Item = VertexId>>(mut self, vertices: I) -> Self {
+        self.steps
+            .push(Step::ThroughHeads(vertices.into_iter().collect()));
+        self
+    }
+
+    /// Requires the paths built so far to start at one of `vertices`.
+    pub fn starting_at<I: IntoIterator<Item = VertexId>>(mut self, vertices: I) -> Self {
+        self.steps
+            .push(Step::ThroughTails(vertices.into_iter().collect()));
+        self
+    }
+
+    /// Unions the result of another builder's steps into this traversal at
+    /// this point (both branches share the prefix built so far).
+    pub fn union_with(mut self, other: TraversalBuilder<'g>) -> Self {
+        self.steps.push(Step::Union(other.steps));
+        self
+    }
+
+    /// Evaluates the traversal, producing the final path set.
+    pub fn evaluate(&self) -> CoreResult<PathSet> {
+        self.eval_steps(PathSet::epsilon(), &self.steps)
+    }
+
+    fn eval_steps(&self, start: PathSet, steps: &[Step]) -> CoreResult<PathSet> {
+        let mut acc = start;
+        for step in steps {
+            acc = match step {
+                Step::Join(pattern) => {
+                    let operand = pattern.select_paths(self.graph);
+                    acc.join(&operand)
+                }
+                Step::ThroughHeads(vs) => acc.restrict_heads(vs),
+                Step::ThroughTails(vs) => acc.restrict_tails(vs),
+                Step::Union(branch) => {
+                    let branch_result = self.eval_steps(PathSet::epsilon(), branch)?;
+                    acc.union(&branch_result)
+                }
+            };
+            if let Some(cap) = self.max_intermediate {
+                if acc.len() > cap {
+                    return Err(CoreError::BoundExceeded {
+                        bound: cap,
+                        what: "intermediate path set size",
+                    });
+                }
+            }
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    fn vset(vs: &[u32]) -> HashSet<VertexId> {
+        vs.iter().map(|&v| VertexId(v)).collect()
+    }
+
+    fn lset(ls: &[u32]) -> HashSet<LabelId> {
+        ls.iter().map(|&l| LabelId(l)).collect()
+    }
+
+    #[test]
+    fn complete_traversal_length_one_is_e() {
+        let g = paper_graph();
+        let t1 = complete_traversal(&g, 1);
+        assert_eq!(t1.len(), g.edge_count());
+        assert!(t1.all_joint());
+    }
+
+    #[test]
+    fn complete_traversal_length_zero_is_epsilon() {
+        let g = paper_graph();
+        assert_eq!(complete_traversal(&g, 0), PathSet::epsilon());
+    }
+
+    #[test]
+    fn complete_traversal_length_two_counts_joint_pairs() {
+        let g = paper_graph();
+        let t2 = complete_traversal(&g, 2);
+        // count manually: for each edge, number of edges leaving its head
+        let expected: usize = g
+            .edges()
+            .map(|e| g.out_degree(e.head))
+            .sum();
+        assert_eq!(t2.len(), expected);
+        assert!(t2.iter().all(|p| p.len() == 2 && p.is_joint()));
+    }
+
+    #[test]
+    fn source_traversal_restricts_tails() {
+        let g = paper_graph();
+        let vs = vset(&[0]);
+        let t = source_traversal(&g, &vs, 2);
+        assert!(!t.is_empty());
+        assert!(t
+            .iter()
+            .all(|p| p.tail_vertex().unwrap() == VertexId(0) && p.len() == 2));
+        // source traversal from all of V is the complete traversal (§III-B)
+        let all: HashSet<VertexId> = g.vertices().collect();
+        assert_eq!(source_traversal(&g, &all, 2), complete_traversal(&g, 2));
+    }
+
+    #[test]
+    fn destination_traversal_restricts_heads() {
+        let g = paper_graph();
+        let vd = vset(&[2]);
+        let t = destination_traversal(&g, &vd, 2);
+        assert!(!t.is_empty());
+        assert!(t
+            .iter()
+            .all(|p| p.head_vertex().unwrap() == VertexId(2) && p.len() == 2));
+        // destination traversal to all of V is the complete traversal (§III-C)
+        let all: HashSet<VertexId> = g.vertices().collect();
+        assert_eq!(destination_traversal(&g, &all, 2), complete_traversal(&g, 2));
+    }
+
+    #[test]
+    fn source_and_destination_traversals_agree_with_complete_filtering() {
+        let g = paper_graph();
+        let vs = vset(&[0]);
+        let vd = vset(&[2]);
+        let n = 3;
+        let complete = complete_traversal(&g, n);
+        assert_eq!(
+            source_traversal(&g, &vs, n),
+            complete.restrict_tails(&vs)
+        );
+        assert_eq!(
+            destination_traversal(&g, &vd, n),
+            complete.restrict_heads(&vd)
+        );
+        assert_eq!(
+            source_destination_traversal(&g, &vs, &vd, n),
+            complete.restrict_tails(&vs).restrict_heads(&vd)
+        );
+    }
+
+    #[test]
+    fn labeled_traversal_constrains_path_labels() {
+        let g = paper_graph();
+        // all αβ-paths (α = l0, β = l1)
+        let t = labeled_traversal(&g, &[lset(&[0]), lset(&[1])]);
+        assert!(!t.is_empty());
+        for p in t.iter() {
+            assert_eq!(p.path_label(), vec![LabelId(0), LabelId(1)]);
+        }
+        // Ωe = Ωf = Ω gives the complete 2-traversal (§III-D)
+        let omega = lset(&[0, 1]);
+        let t_all = labeled_traversal(&g, &[omega.clone(), omega]);
+        assert_eq!(t_all, complete_traversal(&g, 2));
+    }
+
+    #[test]
+    fn label_composition_is_two_step_labeled_traversal() {
+        let g = paper_graph();
+        let ab = label_composition(&g, LabelId(0), LabelId(1));
+        let expected = labeled_traversal(&g, &[lset(&[0]), lset(&[1])]);
+        assert_eq!(ab, expected);
+    }
+
+    #[test]
+    fn empty_source_set_yields_empty_traversal() {
+        let g = paper_graph();
+        let t = source_traversal(&g, &HashSet::new(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn builder_matches_free_functions() {
+        let g = paper_graph();
+        let built = TraversalBuilder::new(&g).steps(2).evaluate().unwrap();
+        assert_eq!(built, complete_traversal(&g, 2));
+
+        let built = TraversalBuilder::new(&g)
+            .step_from(vset(&[0]))
+            .step()
+            .evaluate()
+            .unwrap();
+        assert_eq!(built, source_traversal(&g, &vset(&[0]), 2));
+
+        let built = TraversalBuilder::new(&g)
+            .step_labeled([LabelId(0)])
+            .step_labeled([LabelId(1)])
+            .evaluate()
+            .unwrap();
+        assert_eq!(built, label_composition(&g, LabelId(0), LabelId(1)));
+    }
+
+    #[test]
+    fn builder_through_restricts_midway() {
+        let g = paper_graph();
+        // paths of length 2 that pass through v1 after the first hop
+        let built = TraversalBuilder::new(&g)
+            .step()
+            .through(vset(&[1]))
+            .step()
+            .evaluate()
+            .unwrap();
+        assert!(!built.is_empty());
+        for p in built.iter() {
+            assert_eq!(p.sigma(1).unwrap().head, VertexId(1));
+        }
+    }
+
+    #[test]
+    fn builder_union_merges_branches() {
+        let g = paper_graph();
+        let from0 = TraversalBuilder::new(&g).step_from(vset(&[0]));
+        let built = TraversalBuilder::new(&g)
+            .step_from(vset(&[2]))
+            .union_with(from0)
+            .evaluate()
+            .unwrap();
+        let expected = source_traversal(&g, &vset(&[2]), 1).union(&source_traversal(&g, &vset(&[0]), 1));
+        assert_eq!(built, expected);
+    }
+
+    #[test]
+    fn builder_bound_is_enforced() {
+        let g = paper_graph();
+        let result = TraversalBuilder::new(&g)
+            .max_intermediate(3)
+            .steps(2)
+            .evaluate();
+        assert!(matches!(
+            result,
+            Err(CoreError::BoundExceeded { bound: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn builder_starting_at_restricts_tails() {
+        let g = paper_graph();
+        let built = TraversalBuilder::new(&g)
+            .steps(2)
+            .starting_at(vset(&[1]))
+            .evaluate()
+            .unwrap();
+        assert!(built.iter().all(|p| p.tail_vertex().unwrap() == VertexId(1)));
+    }
+
+    #[test]
+    fn traversal_growth_is_monotone_in_restriction() {
+        // restricted traversals never produce more paths than the complete one
+        let g = paper_graph();
+        for n in 1..=3 {
+            let complete = complete_traversal(&g, n).len();
+            let src = source_traversal(&g, &vset(&[0]), n).len();
+            let dst = destination_traversal(&g, &vset(&[1]), n).len();
+            assert!(src <= complete);
+            assert!(dst <= complete);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Synthetic multi-relational graph generators.
+//!
+//! All generators are deterministic given their seed and parameters. They
+//! produce plain [`MultiGraph`]s over dense ids; the property-graph generators
+//! live in [`crate::social`].
+
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+
+use mrpa_core::{Edge, LabelId, MultiGraph, VertexId};
+
+use crate::random::rng;
+
+/// Parameters for the labeled Erdős–Rényi generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ErConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of relation types `|Ω|`.
+    pub labels: usize,
+    /// Probability of each directed labeled edge `(i, α, j)`, `i ≠ j`.
+    pub edge_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Labeled Erdős–Rényi `G(n, m, p)`: every ordered pair `(i, j)`, `i ≠ j`, and
+/// every label `α` independently carries the edge `(i, α, j)` with probability
+/// `p`.
+pub fn erdos_renyi(config: ErConfig) -> MultiGraph {
+    let mut r = rng(config.seed);
+    let mut g = MultiGraph::with_capacity(
+        config.vertices,
+        (config.vertices * config.vertices) / 4,
+    );
+    for v in 0..config.vertices {
+        g.add_vertex(VertexId::from_index(v));
+    }
+    for i in 0..config.vertices {
+        for j in 0..config.vertices {
+            if i == j {
+                continue;
+            }
+            for l in 0..config.labels {
+                if r.gen_bool(config.edge_probability) {
+                    g.add_edge(Edge::new(
+                        VertexId::from_index(i),
+                        LabelId::from_index(l),
+                        VertexId::from_index(j),
+                    ));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A labeled Erdős–Rényi graph with an expected number of edges rather than a
+/// probability: convenience for size sweeps.
+pub fn erdos_renyi_with_edges(
+    vertices: usize,
+    labels: usize,
+    expected_edges: usize,
+    seed: u64,
+) -> MultiGraph {
+    let possible = vertices.saturating_mul(vertices.saturating_sub(1)) * labels.max(1);
+    let p = if possible == 0 {
+        0.0
+    } else {
+        (expected_edges as f64 / possible as f64).min(1.0)
+    };
+    erdos_renyi(ErConfig {
+        vertices,
+        labels,
+        edge_probability: p,
+        seed,
+    })
+}
+
+/// Parameters for the labeled preferential-attachment generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BaConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Edges attached from each new vertex.
+    pub edges_per_vertex: usize,
+    /// Number of relation types.
+    pub labels: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Labeled Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` out-edges to existing vertices chosen proportionally to
+/// their degree, each with a uniformly random label. Produces heavy-tailed
+/// in-degree distributions, the regime where source/destination restriction
+/// (§III) matters most.
+pub fn preferential_attachment(config: BaConfig) -> MultiGraph {
+    let mut r = rng(config.seed);
+    let mut g = MultiGraph::with_capacity(
+        config.vertices,
+        config.vertices * config.edges_per_vertex,
+    );
+    let m = config.edges_per_vertex.max(1);
+    // target multiset for preferential selection (vertex repeated per degree)
+    let mut targets: Vec<VertexId> = Vec::new();
+    let seed_vertices = m.min(config.vertices.max(1));
+    for v in 0..seed_vertices {
+        g.add_vertex(VertexId::from_index(v));
+        targets.push(VertexId::from_index(v));
+    }
+    for v in seed_vertices..config.vertices {
+        let source = VertexId::from_index(v);
+        g.add_vertex(source);
+        let mut chosen = std::collections::HashSet::new();
+        for _ in 0..m {
+            let target = if targets.is_empty() {
+                VertexId::from_index(r.gen_range(0..v.max(1)))
+            } else {
+                *targets.choose(&mut r).expect("non-empty targets")
+            };
+            if target == source || !chosen.insert(target) {
+                continue;
+            }
+            let label = LabelId::from_index(r.gen_range(0..config.labels.max(1)));
+            g.add_edge(Edge::new(source, label, target));
+            targets.push(source);
+            targets.push(target);
+        }
+    }
+    g
+}
+
+/// Parameters for the labeled stochastic block model.
+#[derive(Debug, Clone)]
+pub struct SbmConfig {
+    /// Vertices per block.
+    pub block_sizes: Vec<usize>,
+    /// Number of relation types.
+    pub labels: usize,
+    /// Probability of an edge within a block (per ordered pair and label).
+    pub within_probability: f64,
+    /// Probability of an edge across blocks (per ordered pair and label).
+    pub between_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A labeled stochastic block model; also returns the block (community) id of
+/// every vertex, which the assortativity experiments use as the categorical
+/// attribute.
+pub fn stochastic_block_model(config: &SbmConfig) -> (MultiGraph, Vec<usize>) {
+    let mut r = rng(config.seed);
+    let total: usize = config.block_sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(total);
+    for (b, &size) in config.block_sizes.iter().enumerate() {
+        for _ in 0..size {
+            block_of.push(b);
+        }
+    }
+    let mut g = MultiGraph::with_capacity(total, total * 4);
+    for v in 0..total {
+        g.add_vertex(VertexId::from_index(v));
+    }
+    for i in 0..total {
+        for j in 0..total {
+            if i == j {
+                continue;
+            }
+            let p = if block_of[i] == block_of[j] {
+                config.within_probability
+            } else {
+                config.between_probability
+            };
+            for l in 0..config.labels.max(1) {
+                if r.gen_bool(p) {
+                    g.add_edge(Edge::new(
+                        VertexId::from_index(i),
+                        LabelId::from_index(l),
+                        VertexId::from_index(j),
+                    ));
+                }
+            }
+        }
+    }
+    (g, block_of)
+}
+
+/// A directed chain `v0 → v1 → … → v_{n-1}` cycling through `labels` relation
+/// types in order.
+pub fn chain(vertices: usize, labels: usize) -> MultiGraph {
+    let mut g = MultiGraph::with_capacity(vertices, vertices);
+    for v in 0..vertices {
+        g.add_vertex(VertexId::from_index(v));
+    }
+    for v in 0..vertices.saturating_sub(1) {
+        g.add_edge(Edge::new(
+            VertexId::from_index(v),
+            LabelId::from_index(v % labels.max(1)),
+            VertexId::from_index(v + 1),
+        ));
+    }
+    g
+}
+
+/// A directed cycle over `vertices` vertices, labels cycling as in [`chain`].
+pub fn cycle(vertices: usize, labels: usize) -> MultiGraph {
+    let mut g = chain(vertices, labels);
+    if vertices > 1 {
+        g.add_edge(Edge::new(
+            VertexId::from_index(vertices - 1),
+            LabelId::from_index((vertices - 1) % labels.max(1)),
+            VertexId::from_index(0),
+        ));
+    }
+    g
+}
+
+/// A `rows × cols` directed grid with "right" edges labeled 0 and "down"
+/// edges labeled 1.
+pub fn grid(rows: usize, cols: usize) -> MultiGraph {
+    let mut g = MultiGraph::with_capacity(rows * cols, 2 * rows * cols);
+    let id = |r: usize, c: usize| VertexId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_vertex(id(r, c));
+            if c + 1 < cols {
+                g.add_edge(Edge::new(id(r, c), LabelId(0), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                g.add_edge(Edge::new(id(r, c), LabelId(1), id(r + 1, c)));
+            }
+        }
+    }
+    g
+}
+
+/// The complete multi-relational graph: every ordered pair of distinct
+/// vertices carries every label. The worst case for complete traversals (E2).
+pub fn complete(vertices: usize, labels: usize) -> MultiGraph {
+    let mut g = MultiGraph::with_capacity(vertices, vertices * vertices * labels);
+    for v in 0..vertices {
+        g.add_vertex(VertexId::from_index(v));
+    }
+    for i in 0..vertices {
+        for j in 0..vertices {
+            if i == j {
+                continue;
+            }
+            for l in 0..labels.max(1) {
+                g.add_edge(Edge::new(
+                    VertexId::from_index(i),
+                    LabelId::from_index(l),
+                    VertexId::from_index(j),
+                ));
+            }
+        }
+    }
+    g
+}
+
+/// A layered DAG: `layers` layers of `width` vertices; every vertex points to
+/// every vertex of the next layer with a label equal to the layer index
+/// modulo `labels`. Useful for labeled-traversal selectivity experiments.
+pub fn layered_dag(layers: usize, width: usize, labels: usize) -> MultiGraph {
+    let mut g = MultiGraph::with_capacity(layers * width, layers * width * width);
+    let id = |layer: usize, i: usize| VertexId::from_index(layer * width + i);
+    for layer in 0..layers {
+        for i in 0..width {
+            g.add_vertex(id(layer, i));
+        }
+    }
+    for layer in 0..layers.saturating_sub(1) {
+        let label = LabelId::from_index(layer % labels.max(1));
+        for i in 0..width {
+            for j in 0..width {
+                g.add_edge(Edge::new(id(layer, i), label, id(layer + 1, j)));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_and_sized() {
+        let cfg = ErConfig {
+            vertices: 30,
+            labels: 3,
+            edge_probability: 0.05,
+            seed: 7,
+        };
+        let a = erdos_renyi(cfg);
+        let b = erdos_renyi(cfg);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.vertex_count(), 30);
+        assert!(a.label_count() <= 3);
+        // expected edges ≈ 30·29·3·0.05 ≈ 130; allow wide tolerance
+        assert!(a.edge_count() > 60 && a.edge_count() < 220);
+        // no self loops
+        assert!(a.edges().all(|e| !e.is_loop()));
+    }
+
+    #[test]
+    fn erdos_renyi_with_edges_hits_target_roughly() {
+        let g = erdos_renyi_with_edges(50, 2, 400, 11);
+        assert!(g.edge_count() > 250 && g.edge_count() < 550);
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_hub() {
+        let g = preferential_attachment(BaConfig {
+            vertices: 200,
+            edges_per_vertex: 3,
+            labels: 2,
+            seed: 3,
+        });
+        assert_eq!(g.vertex_count(), 200);
+        assert!(g.edge_count() > 300);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!(max_in as f64 > 3.0 * mean_in, "hub {max_in} vs mean {mean_in}");
+    }
+
+    #[test]
+    fn sbm_blocks_are_denser_inside() {
+        let cfg = SbmConfig {
+            block_sizes: vec![20, 20],
+            labels: 1,
+            within_probability: 0.3,
+            between_probability: 0.02,
+            seed: 5,
+        };
+        let (g, blocks) = stochastic_block_model(&cfg);
+        assert_eq!(blocks.len(), 40);
+        let mut within = 0usize;
+        let mut between = 0usize;
+        for e in g.edges() {
+            if blocks[e.tail.index()] == blocks[e.head.index()] {
+                within += 1;
+            } else {
+                between += 1;
+            }
+        }
+        assert!(within > between);
+    }
+
+    #[test]
+    fn deterministic_shapes_have_expected_sizes() {
+        let c = chain(10, 2);
+        assert_eq!(c.vertex_count(), 10);
+        assert_eq!(c.edge_count(), 9);
+        let cy = cycle(10, 2);
+        assert_eq!(cy.edge_count(), 10);
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // right edges + down edges
+        let k = complete(5, 2);
+        assert_eq!(k.edge_count(), 5 * 4 * 2);
+        let dag = layered_dag(3, 4, 2);
+        assert_eq!(dag.vertex_count(), 12);
+        assert_eq!(dag.edge_count(), 2 * 4 * 4);
+        assert_eq!(chain(0, 1).edge_count(), 0);
+        assert_eq!(cycle(1, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn labels_cycle_in_chain() {
+        let c = chain(5, 2);
+        let labels: Vec<u32> = c.edges().map(|e| e.label.0).collect();
+        assert_eq!(labels, vec![0, 1, 0, 1]);
+    }
+}

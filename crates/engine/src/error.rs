@@ -1,0 +1,70 @@
+//! Error types for the traversal engine.
+
+use core::fmt;
+
+/// Errors raised by the traversal engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A vertex name could not be resolved.
+    UnknownVertex(String),
+    /// A label name could not be resolved.
+    UnknownLabel(String),
+    /// The traversal exceeded a configured bound.
+    BoundExceeded {
+        /// The bound that was exceeded.
+        bound: usize,
+        /// What exceeded it.
+        what: &'static str,
+    },
+    /// A lower-level algebra error.
+    Core(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownVertex(n) => write!(f, "unknown vertex {n:?}"),
+            EngineError::UnknownLabel(n) => write!(f, "unknown label {n:?}"),
+            EngineError::BoundExceeded { bound, what } => {
+                write!(f, "{what} exceeded bound {bound}")
+            }
+            EngineError::Core(msg) => write!(f, "algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<mrpa_core::CoreError> for EngineError {
+    fn from(e: mrpa_core::CoreError) -> Self {
+        match e {
+            mrpa_core::CoreError::BoundExceeded { bound, what } => {
+                EngineError::BoundExceeded { bound, what }
+            }
+            other => EngineError::Core(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(EngineError::UnknownVertex("x".into()).to_string().contains("x"));
+        assert!(EngineError::UnknownLabel("y".into()).to_string().contains("y"));
+        assert!(EngineError::BoundExceeded { bound: 5, what: "frontier" }
+            .to_string()
+            .contains("5"));
+        let converted: EngineError = mrpa_core::CoreError::EmptyPath.into();
+        assert!(matches!(converted, EngineError::Core(_)));
+        let converted: EngineError = mrpa_core::CoreError::BoundExceeded {
+            bound: 7,
+            what: "paths",
+        }
+        .into();
+        assert!(matches!(converted, EngineError::BoundExceeded { bound: 7, .. }));
+    }
+}

@@ -1,0 +1,482 @@
+//! Executors: evaluating a [`LogicalPlan`] against a [`GraphSnapshot`].
+//!
+//! Three strategies are provided, all computing the same result set (row
+//! *order* may differ for `Limit`-truncated traversals; everything else is
+//! order-insensitive):
+//!
+//! * [`ExecutionStrategy::Materialized`] — level-at-a-time evaluation that
+//!   materialises the full row set after every operation; this is the direct
+//!   analogue of evaluating the algebra's join chain on path sets and is the
+//!   reference implementation.
+//! * [`ExecutionStrategy::Streaming`] — row-at-a-time depth-first evaluation
+//!   that never materialises intermediate frontiers (constant memory per
+//!   branch) and can stop early under `Limit`.
+//! * [`ExecutionStrategy::Parallel`] — partitions the start frontier across
+//!   threads (crossbeam scoped threads), evaluates each partition with the
+//!   materialized strategy, and concatenates the partial results in partition
+//!   order (so the output is deterministic).
+//!
+//! Experiment E8 benchmarks the three against each other and against a
+//! hand-written algebra evaluation.
+
+use std::collections::HashSet;
+
+use mrpa_core::{Edge, EdgePattern, Path, VertexId};
+
+use crate::error::EngineError;
+use crate::plan::{Direction, LogicalPlan, PlanOp};
+use crate::query::{QueryResult, ResultRow};
+use crate::store::GraphSnapshot;
+
+/// Which executor evaluates the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionStrategy {
+    /// Level-at-a-time path-set evaluation (reference implementation).
+    Materialized,
+    /// Row-at-a-time depth-first evaluation.
+    Streaming,
+    /// Start-partitioned multi-threaded evaluation.
+    Parallel,
+}
+
+/// Executes a plan with the chosen strategy.
+pub fn execute(
+    snapshot: &GraphSnapshot,
+    plan: &LogicalPlan,
+    strategy: ExecutionStrategy,
+    max_intermediate: Option<usize>,
+) -> Result<QueryResult, EngineError> {
+    let rows = match strategy {
+        ExecutionStrategy::Materialized => {
+            materialized(snapshot, plan.start(), plan.ops(), max_intermediate)?
+        }
+        ExecutionStrategy::Streaming => streaming(snapshot, plan, max_intermediate)?,
+        ExecutionStrategy::Parallel => parallel(snapshot, plan, max_intermediate)?,
+    };
+    Ok(QueryResult::new(rows, snapshot.clone()))
+}
+
+fn initial_rows(start: &[VertexId]) -> Vec<ResultRow> {
+    start
+        .iter()
+        .map(|&v| ResultRow {
+            source: v,
+            path: Path::epsilon(),
+            head: v,
+        })
+        .collect()
+}
+
+/// Selects the expansion edges leaving `frontier` in the given direction,
+/// restricted to `labels`. For `Direction::In` the edges come from the
+/// reversed graph, so a result edge `(h, α, t)` represents walking the stored
+/// edge `(t, α, h)` backwards; the produced paths are joint paths of the
+/// reversed graph.
+fn expansion_edges(
+    snapshot: &GraphSnapshot,
+    frontier: &HashSet<VertexId>,
+    direction: Direction,
+    labels: &Option<Vec<mrpa_core::LabelId>>,
+) -> Vec<Edge> {
+    let graph = match direction {
+        Direction::Out => snapshot.graph(),
+        Direction::In => snapshot.reversed(),
+    };
+    let mut pattern = EdgePattern::from_vertices(frontier.iter().copied());
+    if let Some(ls) = labels {
+        pattern = pattern.label(mrpa_core::Position::In(ls.iter().copied().collect()));
+    }
+    pattern.select(graph)
+}
+
+fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
+    if let Some(cap) = cap {
+        if len > cap {
+            return Err(EngineError::BoundExceeded {
+                bound: cap,
+                what: "intermediate row count",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Level-at-a-time evaluation.
+fn materialized(
+    snapshot: &GraphSnapshot,
+    start: &[VertexId],
+    ops: &[PlanOp],
+    cap: Option<usize>,
+) -> Result<Vec<ResultRow>, EngineError> {
+    let mut rows = initial_rows(start);
+    check_cap(rows.len(), cap)?;
+    for op in ops {
+        rows = match op {
+            PlanOp::Expand { direction, labels } => {
+                let frontier: HashSet<VertexId> = rows.iter().map(|r| r.head).collect();
+                let edges = expansion_edges(snapshot, &frontier, *direction, labels);
+                // bucket edges by tail for the join
+                let mut by_tail: std::collections::HashMap<VertexId, Vec<&Edge>> =
+                    std::collections::HashMap::new();
+                for e in &edges {
+                    by_tail.entry(e.tail).or_default().push(e);
+                }
+                let mut next = Vec::new();
+                for row in &rows {
+                    if let Some(es) = by_tail.get(&row.head) {
+                        for &e in es {
+                            let mut path = row.path.clone();
+                            path.push(*e);
+                            next.push(ResultRow {
+                                source: row.source,
+                                path,
+                                head: e.head,
+                            });
+                        }
+                    }
+                }
+                next
+            }
+            PlanOp::RestrictVertices(vs) => {
+                rows.into_iter().filter(|r| vs.contains(&r.head)).collect()
+            }
+            PlanOp::RestrictProperty { key, predicate } => rows
+                .into_iter()
+                .filter(|r| predicate.eval(snapshot.vertex_property(r.head, key)))
+                .collect(),
+            PlanOp::DedupByVertex => {
+                let mut seen = HashSet::new();
+                rows.into_iter()
+                    .filter(|r| seen.insert(r.head))
+                    .collect()
+            }
+            PlanOp::Limit(n) => {
+                let mut rows = rows;
+                rows.truncate(*n);
+                rows
+            }
+        };
+        check_cap(rows.len(), cap)?;
+    }
+    Ok(rows)
+}
+
+/// Row-at-a-time depth-first evaluation.
+///
+/// `Dedup` and `Limit` are inherently global operations, so they are applied
+/// as the rows stream out of the recursion (first-come order).
+fn streaming(
+    snapshot: &GraphSnapshot,
+    plan: &LogicalPlan,
+    cap: Option<usize>,
+) -> Result<Vec<ResultRow>, EngineError> {
+    struct Ctx<'a> {
+        snapshot: &'a GraphSnapshot,
+        ops: &'a [PlanOp],
+        out: Vec<ResultRow>,
+        dedup_seen: Vec<HashSet<VertexId>>,
+        limit_counts: Vec<usize>,
+        cap: Option<usize>,
+        produced: usize,
+    }
+
+    fn emit(ctx: &mut Ctx<'_>, row: ResultRow, op_index: usize) -> Result<(), EngineError> {
+        ctx.produced += 1;
+        if let Some(cap) = ctx.cap {
+            if ctx.produced > cap.saturating_mul(ctx.ops.len().max(1) * 4).max(cap) {
+                // streaming produces rows one at a time; the cap guards
+                // against runaway traversals rather than memory use
+                return Err(EngineError::BoundExceeded {
+                    bound: cap,
+                    what: "streamed row count",
+                });
+            }
+        }
+        if op_index == ctx.ops.len() {
+            ctx.out.push(row);
+            return Ok(());
+        }
+        match &ctx.ops[op_index] {
+            PlanOp::Expand { direction, labels } => {
+                let frontier: HashSet<VertexId> = [row.head].into_iter().collect();
+                let edges = expansion_edges(ctx.snapshot, &frontier, *direction, labels);
+                for e in edges {
+                    let mut path = row.path.clone();
+                    path.push(e);
+                    emit(
+                        ctx,
+                        ResultRow {
+                            source: row.source,
+                            path,
+                            head: e.head,
+                        },
+                        op_index + 1,
+                    )?;
+                }
+                Ok(())
+            }
+            PlanOp::RestrictVertices(vs) => {
+                if vs.contains(&row.head) {
+                    emit(ctx, row, op_index + 1)?;
+                }
+                Ok(())
+            }
+            PlanOp::RestrictProperty { key, predicate } => {
+                if predicate.eval(ctx.snapshot.vertex_property(row.head, key)) {
+                    emit(ctx, row, op_index + 1)?;
+                }
+                Ok(())
+            }
+            PlanOp::DedupByVertex => {
+                if ctx.dedup_seen[op_index].insert(row.head) {
+                    emit(ctx, row, op_index + 1)?;
+                }
+                Ok(())
+            }
+            PlanOp::Limit(n) => {
+                if ctx.limit_counts[op_index] < *n {
+                    ctx.limit_counts[op_index] += 1;
+                    emit(ctx, row, op_index + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    let ops = plan.ops();
+    let mut ctx = Ctx {
+        snapshot,
+        ops,
+        out: Vec::new(),
+        dedup_seen: vec![HashSet::new(); ops.len()],
+        limit_counts: vec![0; ops.len()],
+        cap,
+        produced: 0,
+    };
+    for row in initial_rows(plan.start()) {
+        emit(&mut ctx, row, 0)?;
+    }
+    Ok(ctx.out)
+}
+
+/// Start-partitioned parallel evaluation (materialized per partition).
+///
+/// Note: global operations (`Dedup`, `Limit`) are applied per partition and
+/// then re-applied to the merged result, which preserves the semantics of
+/// "the set of rows" (dedup) and "at most n rows" (limit) while keeping the
+/// partitions independent.
+fn parallel(
+    snapshot: &GraphSnapshot,
+    plan: &LogicalPlan,
+    cap: Option<usize>,
+) -> Result<Vec<ResultRow>, EngineError> {
+    let start = plan.start();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(start.len().max(1));
+    if threads <= 1 || start.len() <= 1 {
+        return materialized(snapshot, start, plan.ops(), cap);
+    }
+    let chunk_size = start.len().div_ceil(threads);
+    let chunks: Vec<&[VertexId]> = start.chunks(chunk_size).collect();
+
+    let results: Vec<Result<Vec<ResultRow>, EngineError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| materialized(snapshot, chunk, plan.ops(), cap))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor thread panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut merged = Vec::new();
+    for r in results {
+        merged.extend(r?);
+    }
+    // re-apply global operations to the merged rows in plan order
+    for op in plan.ops() {
+        match op {
+            PlanOp::DedupByVertex => {
+                let mut seen = HashSet::new();
+                merged.retain(|r| seen.insert(r.head));
+            }
+            PlanOp::Limit(n) => merged.truncate(*n),
+            _ => {}
+        }
+    }
+    check_cap(merged.len(), cap)?;
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Traversal;
+    use crate::store::classic_social_graph;
+    use crate::value::{Predicate, Value};
+
+    fn head_set(result: &QueryResult) -> Vec<String> {
+        result.head_names()
+    }
+
+    #[test]
+    fn strategies_agree_on_simple_pipeline() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g).v(["marko"]).out(["knows"]).out(["created"]);
+        let m = base
+            .clone()
+            .strategy(ExecutionStrategy::Materialized)
+            .execute()
+            .unwrap();
+        let s = base
+            .clone()
+            .strategy(ExecutionStrategy::Streaming)
+            .execute()
+            .unwrap();
+        let p = base
+            .clone()
+            .strategy(ExecutionStrategy::Parallel)
+            .execute()
+            .unwrap();
+        assert_eq!(head_set(&m), head_set(&s));
+        assert_eq!(head_set(&m), head_set(&p));
+        assert_eq!(m.paths(), s.paths());
+        assert_eq!(m.paths(), p.paths());
+    }
+
+    #[test]
+    fn strategies_agree_on_complex_pipeline() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g)
+            .v_where("kind", Predicate::Eq(Value::from("software")))
+            .in_(["created"])
+            .has("age", Predicate::Ge(30.0))
+            .out(["created"])
+            .dedup();
+        let m = base
+            .clone()
+            .strategy(ExecutionStrategy::Materialized)
+            .execute()
+            .unwrap();
+        let s = base
+            .clone()
+            .strategy(ExecutionStrategy::Streaming)
+            .execute()
+            .unwrap();
+        let p = base
+            .clone()
+            .strategy(ExecutionStrategy::Parallel)
+            .execute()
+            .unwrap();
+        let mut mh = m.distinct_heads();
+        let mut sh = s.distinct_heads();
+        let mut ph = p.distinct_heads();
+        mh.sort();
+        sh.sort();
+        ph.sort();
+        assert_eq!(mh, sh);
+        assert_eq!(mh, ph);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn in_steps_walk_edges_backwards() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g).v(["lop"]).in_(["created"]).execute().unwrap();
+        let mut names = r.head_names();
+        names.sort();
+        assert_eq!(names, vec!["josh", "marko", "peter"]);
+    }
+
+    #[test]
+    fn limit_truncates_and_dedup_removes_duplicates() {
+        let g = classic_social_graph();
+        // every creator of java software, with duplicates (josh created two)
+        let all = Traversal::over(&g)
+            .v_where("lang", Predicate::Eq(Value::from("java")))
+            .in_(["created"])
+            .execute()
+            .unwrap();
+        assert_eq!(all.len(), 4);
+        let deduped = Traversal::over(&g)
+            .v_where("lang", Predicate::Eq(Value::from("java")))
+            .in_(["created"])
+            .dedup()
+            .execute()
+            .unwrap();
+        assert_eq!(deduped.len(), 3);
+        let limited = Traversal::over(&g)
+            .v_where("lang", Predicate::Eq(Value::from("java")))
+            .in_(["created"])
+            .limit(2)
+            .execute()
+            .unwrap();
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn max_intermediate_cap_aborts_materialized_and_parallel() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g).out_any().out_any().max_intermediate(2);
+        assert!(matches!(
+            base.clone()
+                .strategy(ExecutionStrategy::Materialized)
+                .execute(),
+            Err(EngineError::BoundExceeded { .. })
+        ));
+        assert!(matches!(
+            base.clone().strategy(ExecutionStrategy::Parallel).execute(),
+            Err(EngineError::BoundExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn is_step_restricts_to_named_vertices() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .is(["josh"])
+            .out(["created"])
+            .execute()
+            .unwrap();
+        assert_eq!(r.head_names(), vec!["lop", "ripple"]);
+    }
+
+    #[test]
+    fn parallel_with_single_start_falls_back_to_materialized() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .strategy(ExecutionStrategy::Parallel)
+            .execute()
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn whole_graph_start_with_parallel_strategy() {
+        let g = classic_social_graph();
+        let m = Traversal::over(&g)
+            .out_any()
+            .strategy(ExecutionStrategy::Materialized)
+            .execute()
+            .unwrap();
+        let p = Traversal::over(&g)
+            .out_any()
+            .strategy(ExecutionStrategy::Parallel)
+            .execute()
+            .unwrap();
+        // one row per edge in both cases
+        assert_eq!(m.len(), 6);
+        assert_eq!(p.len(), 6);
+        assert_eq!(m.paths(), p.paths());
+    }
+}

@@ -1,0 +1,61 @@
+//! # mrpa-engine — a multi-relational graph traversal engine
+//!
+//! The paper's stated purpose is to provide "a set of core operations for
+//! constructing a multi-relational graph traversal engine" (§I, §V). This
+//! crate is that engine:
+//!
+//! * [`PropertyGraph`] — a thread-safe multi-relational *property* graph whose
+//!   edge structure is exactly the ternary relation `E ⊆ V × Ω × V` of the
+//!   algebra, with string-keyed [`Value`] properties on vertices and edges.
+//! * [`Traversal`] — a Gremlin-style fluent pipeline DSL
+//!   (`.v(["marko"]).out(["knows"]).has("age", Gt(30)).out(["created"])`).
+//! * [`plan`] — a planner that rewrites pipelines into the paper's algebra:
+//!   restricted edge sets combined with concatenative joins (§III), with
+//!   vertex/property restrictions pushed into the join operands.
+//! * [`exec`] — three executors over the same logical plan: materialized
+//!   (path-set, the reference), streaming (row-at-a-time), and parallel
+//!   (start-partitioned, crossbeam scoped threads).
+//!
+//! ```
+//! use mrpa_engine::{classic_social_graph, Predicate, Traversal};
+//!
+//! let g = classic_social_graph();
+//! // "software created by the over-30 people marko knows"
+//! let result = Traversal::over(&g)
+//!     .v(["marko"])
+//!     .out(["knows"])
+//!     .has("age", Predicate::Gt(30.0))
+//!     .out(["created"])
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod exec;
+pub mod pipeline;
+pub mod plan;
+pub mod query;
+pub mod store;
+pub mod value;
+
+pub use error::EngineError;
+pub use exec::ExecutionStrategy;
+pub use pipeline::{StartSpec, Step, Traversal};
+pub use plan::{Direction, LogicalPlan, PlanOp};
+pub use query::{QueryResult, ResultRow};
+pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph};
+pub use value::{Predicate, Value};
+
+/// Convenient glob import: `use mrpa_engine::prelude::*;`.
+pub mod prelude {
+    pub use crate::exec::ExecutionStrategy;
+    pub use crate::pipeline::Traversal;
+    pub use crate::query::QueryResult;
+    pub use crate::store::{classic_social_graph, GraphSnapshot, PropertyGraph};
+    pub use crate::value::{Predicate, Value};
+}

@@ -1,0 +1,294 @@
+//! The Gremlin-style pipeline DSL.
+//!
+//! A [`Traversal`] is a description of a query as a sequence of steps — the
+//! surface syntax of the "multi-relational graph traversal engine" the paper
+//! motivates. Steps are *not* executed as written: the [`planner`](crate::plan)
+//! rewrites them into the paper's algebra (restricted edge sets combined with
+//! concatenative joins), which an [executor](crate::exec) then evaluates.
+//!
+//! ```
+//! use mrpa_engine::{classic_social_graph, Traversal};
+//!
+//! let g = classic_social_graph();
+//! // "software created by people marko knows"
+//! let result = Traversal::over(&g)
+//!     .v(["marko"])
+//!     .out(["knows"])
+//!     .out(["created"])
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+//! ```
+
+use crate::exec::ExecutionStrategy;
+use crate::query::QueryResult;
+use crate::store::PropertyGraph;
+use crate::value::Predicate;
+use crate::{error::EngineError, plan};
+
+/// How a traversal starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartSpec {
+    /// Start at every vertex of the graph.
+    AllVertices,
+    /// Start at the named vertices.
+    Named(Vec<String>),
+    /// Start at vertices whose property satisfies a predicate.
+    Where(String, Predicate),
+}
+
+/// One step of a traversal pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Traverse outgoing edges (optionally restricted to the given labels),
+    /// moving to the head vertices.
+    Out(Option<Vec<String>>),
+    /// Traverse incoming edges (optionally restricted to the given labels),
+    /// moving to the tail vertices.
+    In(Option<Vec<String>>),
+    /// Keep only rows whose current vertex has a property satisfying the
+    /// predicate.
+    Has(String, Predicate),
+    /// Keep only rows whose current vertex is one of the named vertices.
+    Is(Vec<String>),
+    /// Deduplicate rows by their current vertex.
+    DedupByVertex,
+    /// Keep at most this many rows.
+    Limit(usize),
+}
+
+/// A fluent traversal builder bound to a [`PropertyGraph`].
+#[derive(Debug, Clone)]
+pub struct Traversal {
+    graph: PropertyGraph,
+    start: StartSpec,
+    steps: Vec<Step>,
+    strategy: ExecutionStrategy,
+    max_intermediate: Option<usize>,
+}
+
+impl Traversal {
+    /// Starts building a traversal over the given graph. The default start is
+    /// every vertex; narrow it with [`Traversal::v`] or [`Traversal::v_where`].
+    pub fn over(graph: &PropertyGraph) -> Self {
+        Traversal {
+            graph: graph.clone(),
+            start: StartSpec::AllVertices,
+            steps: Vec::new(),
+            strategy: ExecutionStrategy::Materialized,
+            max_intermediate: None,
+        }
+    }
+
+    /// Starts at the named vertices.
+    pub fn v<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.start = StartSpec::Named(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Starts at every vertex whose property `key` satisfies `pred`.
+    pub fn v_where(mut self, key: &str, pred: Predicate) -> Self {
+        self.start = StartSpec::Where(key.to_owned(), pred);
+        self
+    }
+
+    /// Follows outgoing edges with any of the given labels.
+    pub fn out<I, S>(mut self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        self.steps.push(Step::Out(if labels.is_empty() {
+            None
+        } else {
+            Some(labels)
+        }));
+        self
+    }
+
+    /// Follows outgoing edges with any label.
+    pub fn out_any(mut self) -> Self {
+        self.steps.push(Step::Out(None));
+        self
+    }
+
+    /// Follows incoming edges with any of the given labels.
+    pub fn in_<I, S>(mut self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        self.steps.push(Step::In(if labels.is_empty() {
+            None
+        } else {
+            Some(labels)
+        }));
+        self
+    }
+
+    /// Follows incoming edges with any label.
+    pub fn in_any(mut self) -> Self {
+        self.steps.push(Step::In(None));
+        self
+    }
+
+    /// Filters on a property of the current vertex.
+    pub fn has(mut self, key: &str, pred: Predicate) -> Self {
+        self.steps.push(Step::Has(key.to_owned(), pred));
+        self
+    }
+
+    /// Filters to the named current vertices.
+    pub fn is<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.steps
+            .push(Step::Is(names.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Deduplicates rows by their current vertex.
+    pub fn dedup(mut self) -> Self {
+        self.steps.push(Step::DedupByVertex);
+        self
+    }
+
+    /// Keeps at most `n` rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.steps.push(Step::Limit(n));
+        self
+    }
+
+    /// Chooses the execution strategy (materialized by default).
+    pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps intermediate result sizes; exceeding the cap aborts the traversal.
+    pub fn max_intermediate(mut self, cap: usize) -> Self {
+        self.max_intermediate = Some(cap);
+        self
+    }
+
+    /// The steps accumulated so far (used by the planner and tests).
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The start specification.
+    pub fn start_spec(&self) -> &StartSpec {
+        &self.start
+    }
+
+    /// Plans and executes the traversal.
+    pub fn execute(&self) -> Result<QueryResult, EngineError> {
+        let snapshot = self.graph.snapshot();
+        let plan = plan::plan(&snapshot, &self.start, &self.steps)?;
+        crate::exec::execute(&snapshot, &plan, self.strategy, self.max_intermediate)
+    }
+
+    /// Plans the traversal and returns the logical plan without executing it
+    /// (useful for inspecting what the planner produced).
+    pub fn explain(&self) -> Result<plan::LogicalPlan, EngineError> {
+        let snapshot = self.graph.snapshot();
+        plan::plan(&snapshot, &self.start, &self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::classic_social_graph;
+    use crate::value::Value;
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let g = classic_social_graph();
+        let t = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .has("age", Predicate::Gt(30.0))
+            .dedup()
+            .limit(10);
+        assert_eq!(t.steps().len(), 4);
+        assert_eq!(
+            t.start_spec(),
+            &StartSpec::Named(vec!["marko".to_owned()])
+        );
+    }
+
+    #[test]
+    fn quickstart_pipeline_runs() {
+        let g = classic_social_graph();
+        let result = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .out(["created"])
+            .execute()
+            .unwrap();
+        assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+    }
+
+    #[test]
+    fn empty_label_list_means_any_label() {
+        let g = classic_social_graph();
+        let result = Traversal::over(&g)
+            .v(["marko"])
+            .out(Vec::<String>::new())
+            .execute()
+            .unwrap();
+        // marko's out-neighbours over all labels: vadas, josh, lop
+        assert_eq!(result.head_names().len(), 3);
+    }
+
+    #[test]
+    fn where_start_selects_by_property() {
+        let g = classic_social_graph();
+        let result = Traversal::over(&g)
+            .v_where("lang", Predicate::Eq(Value::from("java")))
+            .in_(["created"])
+            .dedup()
+            .execute()
+            .unwrap();
+        // creators of java software: marko, josh, peter
+        let mut names = result.head_names();
+        names.sort();
+        assert_eq!(names, vec!["josh", "marko", "peter"]);
+    }
+
+    #[test]
+    fn explain_reports_plan_operations() {
+        let g = classic_social_graph();
+        let plan = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .has("age", Predicate::Gt(30.0))
+            .explain()
+            .unwrap();
+        assert!(plan.ops().len() >= 2);
+        assert!(!plan.describe().is_empty());
+    }
+
+    #[test]
+    fn unknown_start_vertex_is_an_error() {
+        let g = classic_social_graph();
+        let err = Traversal::over(&g).v(["nobody"]).execute();
+        assert!(matches!(err, Err(EngineError::UnknownVertex(_))));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let g = classic_social_graph();
+        let err = Traversal::over(&g).v(["marko"]).out(["likes"]).execute();
+        assert!(matches!(err, Err(EngineError::UnknownLabel(_))));
+    }
+}

@@ -1,0 +1,273 @@
+//! The planner: rewriting pipeline steps into path-algebra operations.
+//!
+//! A pipeline like `.v(["marko"]).out(["knows"]).out(["created"])` is exactly
+//! the §III-B/§III-D combination "source traversal with labeled steps": the
+//! planner turns it into a chain of *restricted edge sets* joined with `⋈◦`,
+//! resolving names to ids once and pushing vertex restrictions into the first
+//! join operand (the paper's `A = {e | e ∈ E ∧ γ⁻(e) ∈ Vs}` construction).
+//!
+//! The logical plan is strategy-agnostic; see [`crate::exec`] for the
+//! materialized (path-set), streaming (row-at-a-time) and parallel executors.
+
+use std::collections::HashSet;
+
+use mrpa_core::{LabelId, VertexId};
+
+use crate::error::EngineError;
+use crate::pipeline::{StartSpec, Step};
+use crate::store::GraphSnapshot;
+use crate::value::Predicate;
+
+/// Direction of an expansion step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from tail to head (the graph as stored).
+    Out,
+    /// Follow edges from head to tail (evaluated on the reversed graph).
+    In,
+}
+
+/// One operation of the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Expand the frontier along edges: a concatenative join with the edge set
+    /// `{e | ω(e) ∈ labels}` (or all of `E` when `labels` is `None`),
+    /// restricted on its tail side to the current frontier.
+    Expand {
+        /// Direction of travel.
+        direction: Direction,
+        /// Label restriction (`None` = any label, the complete edge set).
+        labels: Option<Vec<LabelId>>,
+    },
+    /// Restrict the frontier to the given vertices (the "go through these
+    /// vertices" restriction of §III-C).
+    RestrictVertices(HashSet<VertexId>),
+    /// Restrict the frontier to vertices whose property satisfies a predicate
+    /// (resolved against the snapshot at execution time).
+    RestrictProperty {
+        /// Property key.
+        key: String,
+        /// Predicate on the property value.
+        predicate: Predicate,
+    },
+    /// Deduplicate rows by their current vertex.
+    DedupByVertex,
+    /// Keep at most this many rows.
+    Limit(usize),
+}
+
+/// A planned traversal: the initial vertex frontier plus a sequence of
+/// algebra-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalPlan {
+    start: Vec<VertexId>,
+    ops: Vec<PlanOp>,
+}
+
+impl LogicalPlan {
+    /// The initial frontier (start vertices).
+    pub fn start(&self) -> &[VertexId] {
+        &self.start
+    }
+
+    /// The planned operations.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Number of expansion (join) steps in the plan.
+    pub fn expansion_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PlanOp::Expand { .. }))
+            .count()
+    }
+
+    /// A compact human-readable description of the plan (used by
+    /// `Traversal::explain` and the experiment harness).
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("start({} vertices)", self.start.len())];
+        for op in &self.ops {
+            parts.push(match op {
+                PlanOp::Expand { direction, labels } => {
+                    let dir = match direction {
+                        Direction::Out => "out",
+                        Direction::In => "in",
+                    };
+                    match labels {
+                        Some(ls) => format!("join[{dir}, {} labels]", ls.len()),
+                        None => format!("join[{dir}, E]"),
+                    }
+                }
+                PlanOp::RestrictVertices(vs) => format!("restrict({} vertices)", vs.len()),
+                PlanOp::RestrictProperty { key, .. } => format!("has({key})"),
+                PlanOp::DedupByVertex => "dedup".to_owned(),
+                PlanOp::Limit(n) => format!("limit({n})"),
+            });
+        }
+        parts.join(" → ")
+    }
+}
+
+/// Plans a pipeline against a snapshot: resolves names, computes the start
+/// frontier, and lowers each step to a [`PlanOp`].
+pub fn plan(
+    snapshot: &GraphSnapshot,
+    start: &StartSpec,
+    steps: &[Step],
+) -> Result<LogicalPlan, EngineError> {
+    let start_vertices: Vec<VertexId> = match start {
+        StartSpec::AllVertices => snapshot.graph().vertices().collect(),
+        StartSpec::Named(names) => {
+            let mut vs = Vec::with_capacity(names.len());
+            for name in names {
+                vs.push(snapshot.vertex(name)?);
+            }
+            vs
+        }
+        StartSpec::Where(key, pred) => snapshot.vertices_where(key, pred),
+    };
+
+    let mut ops = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            Step::Out(labels) => ops.push(PlanOp::Expand {
+                direction: Direction::Out,
+                labels: resolve_labels(snapshot, labels.as_deref())?,
+            }),
+            Step::In(labels) => ops.push(PlanOp::Expand {
+                direction: Direction::In,
+                labels: resolve_labels(snapshot, labels.as_deref())?,
+            }),
+            Step::Has(key, pred) => ops.push(PlanOp::RestrictProperty {
+                key: key.clone(),
+                predicate: pred.clone(),
+            }),
+            Step::Is(names) => {
+                let mut vs = HashSet::with_capacity(names.len());
+                for name in names {
+                    vs.insert(snapshot.vertex(name)?);
+                }
+                ops.push(PlanOp::RestrictVertices(vs));
+            }
+            Step::DedupByVertex => ops.push(PlanOp::DedupByVertex),
+            Step::Limit(n) => ops.push(PlanOp::Limit(*n)),
+        }
+    }
+
+    Ok(LogicalPlan {
+        start: start_vertices,
+        ops,
+    })
+}
+
+fn resolve_labels(
+    snapshot: &GraphSnapshot,
+    labels: Option<&[String]>,
+) -> Result<Option<Vec<LabelId>>, EngineError> {
+    match labels {
+        None => Ok(None),
+        Some(names) => {
+            let mut ids = Vec::with_capacity(names.len());
+            for name in names {
+                ids.push(snapshot.label(name)?);
+            }
+            Ok(Some(ids))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::classic_social_graph;
+    use crate::value::{Predicate, Value};
+
+    #[test]
+    fn plan_resolves_names_and_lowers_steps() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(
+            &snap,
+            &StartSpec::Named(vec!["marko".into()]),
+            &[
+                Step::Out(Some(vec!["knows".into()])),
+                Step::Has("age".into(), Predicate::Gt(30.0)),
+                Step::Out(Some(vec!["created".into()])),
+                Step::DedupByVertex,
+                Step::Limit(5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.start().len(), 1);
+        assert_eq!(plan.ops().len(), 5);
+        assert_eq!(plan.expansion_count(), 2);
+        let desc = plan.describe();
+        assert!(desc.contains("join[out"));
+        assert!(desc.contains("has(age)"));
+        assert!(desc.contains("limit(5)"));
+    }
+
+    #[test]
+    fn all_vertices_start_covers_v() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(&snap, &StartSpec::AllVertices, &[]).unwrap();
+        assert_eq!(plan.start().len(), 6);
+        assert_eq!(plan.expansion_count(), 0);
+    }
+
+    #[test]
+    fn where_start_uses_property_index() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(
+            &snap,
+            &StartSpec::Where("lang".into(), Predicate::Eq(Value::from("java"))),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(plan.start().len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_error_at_plan_time() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        assert!(matches!(
+            plan(&snap, &StartSpec::Named(vec!["ghost".into()]), &[]),
+            Err(EngineError::UnknownVertex(_))
+        ));
+        assert!(matches!(
+            plan(
+                &snap,
+                &StartSpec::AllVertices,
+                &[Step::Out(Some(vec!["likes".into()]))]
+            ),
+            Err(EngineError::UnknownLabel(_))
+        ));
+        assert!(matches!(
+            plan(&snap, &StartSpec::AllVertices, &[Step::Is(vec!["ghost".into()])]),
+            Err(EngineError::UnknownVertex(_))
+        ));
+    }
+
+    #[test]
+    fn in_steps_plan_with_in_direction() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(
+            &snap,
+            &StartSpec::Named(vec!["lop".into()]),
+            &[Step::In(None)],
+        )
+        .unwrap();
+        assert_eq!(
+            plan.ops()[0],
+            PlanOp::Expand {
+                direction: Direction::In,
+                labels: None
+            }
+        );
+    }
+}

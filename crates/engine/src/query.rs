@@ -1,0 +1,131 @@
+//! Query results: the rows produced by executing a traversal.
+
+use mrpa_core::{Path, PathSet, VertexId};
+
+use crate::store::GraphSnapshot;
+
+/// One result row: where the traversal started, the path it took (ε if no
+/// expansion step has run), and the vertex it currently sits on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// The start vertex of this row.
+    pub source: VertexId,
+    /// The path of edges traversed so far (ε when no expansion has happened).
+    pub path: Path,
+    /// The vertex the row currently rests on (`γ⁺(path)`, or `source` for ε).
+    pub head: VertexId,
+}
+
+/// The result of executing a traversal.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    rows: Vec<ResultRow>,
+    snapshot: GraphSnapshot,
+}
+
+impl QueryResult {
+    pub(crate) fn new(rows: Vec<ResultRow>, snapshot: GraphSnapshot) -> Self {
+        QueryResult { rows, snapshot }
+    }
+
+    /// The result rows in executor order.
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The current (head) vertex of every row, in executor order.
+    pub fn heads(&self) -> Vec<VertexId> {
+        self.rows.iter().map(|r| r.head).collect()
+    }
+
+    /// The distinct head vertices, in ascending id order.
+    pub fn distinct_heads(&self) -> Vec<VertexId> {
+        let mut hs = self.heads();
+        hs.sort_unstable();
+        hs.dedup();
+        hs
+    }
+
+    /// The head vertices rendered as names, sorted alphabetically.
+    pub fn head_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| self.snapshot.render_vertex(r.head))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The traversed paths as a [`PathSet`] (ε rows contribute ε).
+    pub fn paths(&self) -> PathSet {
+        self.rows.iter().map(|r| r.path.clone()).collect()
+    }
+
+    /// Renders every row as `source -[path]-> head` using vertex names.
+    pub fn render_rows(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} -[{} edges]-> {}",
+                    self.snapshot.render_vertex(r.source),
+                    r.path.len(),
+                    self.snapshot.render_vertex(r.head)
+                )
+            })
+            .collect()
+    }
+
+    /// The snapshot the query ran against.
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Traversal;
+    use crate::store::classic_social_graph;
+
+    #[test]
+    fn result_exposes_rows_heads_and_paths() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .execute()
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.heads().len(), 2);
+        assert_eq!(r.distinct_heads().len(), 2);
+        assert_eq!(r.head_names(), vec!["josh", "vadas"]);
+        let paths = r.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.len() == 1));
+        assert_eq!(r.render_rows().len(), 2);
+        assert!(r.render_rows()[0].contains("marko"));
+        assert_eq!(r.snapshot().graph().edge_count(), 6);
+    }
+
+    #[test]
+    fn start_only_traversal_has_epsilon_paths() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g).v(["marko"]).execute().unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0].path, Path::epsilon());
+        assert_eq!(r.rows()[0].source, r.rows()[0].head);
+    }
+}

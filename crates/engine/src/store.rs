@@ -1,0 +1,367 @@
+//! The property-graph store underlying the traversal engine.
+//!
+//! [`PropertyGraph`] is a thread-safe multi-relational property graph: the
+//! edge structure is exactly the paper's ternary relation `E ⊆ V × Ω × V`
+//! (held in an [`mrpa_core::MultiGraph`]), while vertices and edges may carry
+//! string-keyed [`Value`] properties. Reads take a consistent
+//! [`GraphSnapshot`] so long-running traversals are not affected by concurrent
+//! mutation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mrpa_core::{Edge, GraphInterner, LabelId, MultiGraph, VertexId};
+
+use crate::error::EngineError;
+use crate::value::Value;
+
+#[derive(Debug, Default)]
+struct Inner {
+    graph: MultiGraph,
+    interner: GraphInterner,
+    vertex_props: HashMap<VertexId, HashMap<String, Value>>,
+    edge_props: HashMap<Edge, HashMap<String, Value>>,
+}
+
+/// A thread-safe multi-relational property graph.
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty property graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or fetches) a vertex by name.
+    pub fn add_vertex(&self, name: &str) -> VertexId {
+        let mut inner = self.inner.write();
+        let v = inner.interner.vertex(name);
+        inner.graph.add_vertex(v);
+        v
+    }
+
+    /// Adds a vertex with properties.
+    pub fn add_vertex_with(
+        &self,
+        name: &str,
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> VertexId {
+        let v = self.add_vertex(name);
+        for (k, value) in props {
+            self.set_vertex_property(v, k, value);
+        }
+        v
+    }
+
+    /// Adds the edge `(tail, label, head)` by names, creating vertices as
+    /// needed. Returns the edge.
+    pub fn add_edge(&self, tail: &str, label: &str, head: &str) -> Edge {
+        let mut inner = self.inner.write();
+        let t = inner.interner.vertex(tail);
+        let l = inner.interner.label(label);
+        let h = inner.interner.vertex(head);
+        inner.graph.add_vertex(t);
+        inner.graph.add_vertex(h);
+        let e = Edge::new(t, l, h);
+        inner.graph.add_edge(e);
+        e
+    }
+
+    /// Adds an edge with properties.
+    pub fn add_edge_with(
+        &self,
+        tail: &str,
+        label: &str,
+        head: &str,
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> Edge {
+        let e = self.add_edge(tail, label, head);
+        for (k, value) in props {
+            self.set_edge_property(e, k, value);
+        }
+        e
+    }
+
+    /// Sets a vertex property.
+    pub fn set_vertex_property(&self, v: VertexId, key: &str, value: Value) {
+        let mut inner = self.inner.write();
+        inner
+            .vertex_props
+            .entry(v)
+            .or_default()
+            .insert(key.to_owned(), value);
+    }
+
+    /// Sets an edge property.
+    pub fn set_edge_property(&self, e: Edge, key: &str, value: Value) {
+        let mut inner = self.inner.write();
+        inner
+            .edge_props
+            .entry(e)
+            .or_default()
+            .insert(key.to_owned(), value);
+    }
+
+    /// Reads a vertex property.
+    pub fn vertex_property(&self, v: VertexId, key: &str) -> Option<Value> {
+        self.inner
+            .read()
+            .vertex_props
+            .get(&v)
+            .and_then(|m| m.get(key))
+            .cloned()
+    }
+
+    /// Reads an edge property.
+    pub fn edge_property(&self, e: &Edge, key: &str) -> Option<Value> {
+        self.inner
+            .read()
+            .edge_props
+            .get(e)
+            .and_then(|m| m.get(key))
+            .cloned()
+    }
+
+    /// Resolves a vertex name.
+    pub fn vertex(&self, name: &str) -> Result<VertexId, EngineError> {
+        self.inner
+            .read()
+            .interner
+            .get_vertex(name)
+            .ok_or_else(|| EngineError::UnknownVertex(name.to_owned()))
+    }
+
+    /// Resolves a label name.
+    pub fn label(&self, name: &str) -> Result<LabelId, EngineError> {
+        self.inner
+            .read()
+            .interner
+            .get_label(name)
+            .ok_or_else(|| EngineError::UnknownLabel(name.to_owned()))
+    }
+
+    /// The name of a vertex, if it was added by name.
+    pub fn vertex_name(&self, v: VertexId) -> Option<String> {
+        self.inner.read().interner.vertex_name(v).map(str::to_owned)
+    }
+
+    /// The name of a label.
+    pub fn label_name(&self, l: LabelId) -> Option<String> {
+        self.inner.read().interner.label_name(l).map(str::to_owned)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.inner.read().graph.vertex_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.inner.read().graph.edge_count()
+    }
+
+    /// Takes a consistent snapshot of the graph structure and properties for
+    /// traversal evaluation. The snapshot is immutable and cheap to share.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let inner = self.inner.read();
+        GraphSnapshot {
+            graph: Arc::new(inner.graph.clone()),
+            reversed: Arc::new(inner.graph.reversed()),
+            vertex_props: Arc::new(inner.vertex_props.clone()),
+            edge_props: Arc::new(inner.edge_props.clone()),
+            interner: Arc::new(inner.interner.clone()),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`PropertyGraph`], shared by executors
+/// (including across threads in the parallel executor).
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    graph: Arc<MultiGraph>,
+    reversed: Arc<MultiGraph>,
+    vertex_props: Arc<HashMap<VertexId, HashMap<String, Value>>>,
+    edge_props: Arc<HashMap<Edge, HashMap<String, Value>>>,
+    interner: Arc<GraphInterner>,
+}
+
+impl GraphSnapshot {
+    /// The forward multi-relational graph.
+    pub fn graph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// The reversed graph (used by `in_`/incoming steps).
+    pub fn reversed(&self) -> &MultiGraph {
+        &self.reversed
+    }
+
+    /// The interner mapping names to ids.
+    pub fn interner(&self) -> &GraphInterner {
+        &self.interner
+    }
+
+    /// A vertex property value.
+    pub fn vertex_property(&self, v: VertexId, key: &str) -> Option<&Value> {
+        self.vertex_props.get(&v).and_then(|m| m.get(key))
+    }
+
+    /// An edge property value.
+    pub fn edge_property(&self, e: &Edge, key: &str) -> Option<&Value> {
+        self.edge_props.get(e).and_then(|m| m.get(key))
+    }
+
+    /// All vertices whose property `key` satisfies the predicate.
+    pub fn vertices_where(
+        &self,
+        key: &str,
+        pred: &crate::value::Predicate,
+    ) -> Vec<VertexId> {
+        self.graph
+            .vertices()
+            .filter(|&v| pred.eval(self.vertex_property(v, key)))
+            .collect()
+    }
+
+    /// Resolves a label name.
+    pub fn label(&self, name: &str) -> Result<LabelId, EngineError> {
+        self.interner
+            .get_label(name)
+            .ok_or_else(|| EngineError::UnknownLabel(name.to_owned()))
+    }
+
+    /// Resolves a vertex name.
+    pub fn vertex(&self, name: &str) -> Result<VertexId, EngineError> {
+        self.interner
+            .get_vertex(name)
+            .ok_or_else(|| EngineError::UnknownVertex(name.to_owned()))
+    }
+
+    /// Renders a vertex as its name (falling back to the id).
+    pub fn render_vertex(&self, v: VertexId) -> String {
+        self.interner
+            .vertex_name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string())
+    }
+}
+
+/// Builds the 6-vertex "TinkerPop classic"-style social/software graph used by
+/// examples, tests, and the engine benchmarks: people `know` each other and
+/// `created` software, with `age` and `lang` properties.
+pub fn classic_social_graph() -> PropertyGraph {
+    let g = PropertyGraph::new();
+    g.add_vertex_with("marko", [("age", Value::from(29i64)), ("kind", Value::from("person"))]);
+    g.add_vertex_with("vadas", [("age", Value::from(27i64)), ("kind", Value::from("person"))]);
+    g.add_vertex_with("josh", [("age", Value::from(32i64)), ("kind", Value::from("person"))]);
+    g.add_vertex_with("peter", [("age", Value::from(35i64)), ("kind", Value::from("person"))]);
+    g.add_vertex_with("lop", [("lang", Value::from("java")), ("kind", Value::from("software"))]);
+    g.add_vertex_with(
+        "ripple",
+        [("lang", Value::from("java")), ("kind", Value::from("software"))],
+    );
+    g.add_edge_with("marko", "knows", "vadas", [("weight", Value::from(0.5f64))]);
+    g.add_edge_with("marko", "knows", "josh", [("weight", Value::from(1.0f64))]);
+    g.add_edge_with("marko", "created", "lop", [("weight", Value::from(0.4f64))]);
+    g.add_edge_with("josh", "created", "ripple", [("weight", Value::from(1.0f64))]);
+    g.add_edge_with("josh", "created", "lop", [("weight", Value::from(0.4f64))]);
+    g.add_edge_with("peter", "created", "lop", [("weight", Value::from(0.2f64))]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Predicate;
+
+    #[test]
+    fn building_the_classic_graph() {
+        let g = classic_social_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        let marko = g.vertex("marko").unwrap();
+        assert_eq!(g.vertex_property(marko, "age"), Some(Value::Int(29)));
+        assert!(g.vertex("nobody").is_err());
+        assert!(g.label("knows").is_ok());
+        assert!(g.label("likes").is_err());
+    }
+
+    #[test]
+    fn edge_properties_roundtrip() {
+        let g = classic_social_graph();
+        let marko = g.vertex("marko").unwrap();
+        let josh = g.vertex("josh").unwrap();
+        let knows = g.label("knows").unwrap();
+        let e = Edge::new(marko, knows, josh);
+        assert_eq!(g.edge_property(&e, "weight"), Some(Value::Float(1.0)));
+        assert_eq!(g.edge_property(&e, "missing"), None);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let before = snap.graph().edge_count();
+        g.add_edge("vadas", "knows", "peter");
+        assert_eq!(snap.graph().edge_count(), before);
+        assert_eq!(g.edge_count(), before + 1);
+    }
+
+    #[test]
+    fn snapshot_reversed_graph_mirrors_edges() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        assert_eq!(snap.reversed().edge_count(), snap.graph().edge_count());
+        let marko = snap.vertex("marko").unwrap();
+        // in the reversed graph, marko has incoming edges from his out-neighbours
+        assert_eq!(
+            snap.reversed().in_edges(marko).len(),
+            snap.graph().out_edges(marko).len()
+        );
+    }
+
+    #[test]
+    fn vertices_where_filters_on_properties() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let adults = snap.vertices_where("age", &Predicate::Ge(30.0));
+        assert_eq!(adults.len(), 2); // josh (32), peter (35)
+        let java = snap.vertices_where("lang", &Predicate::Eq(Value::from("java")));
+        assert_eq!(java.len(), 2);
+        let nobody = snap.vertices_where("nope", &Predicate::Exists);
+        assert!(nobody.is_empty());
+    }
+
+    #[test]
+    fn rendering_and_name_lookups() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let marko = snap.vertex("marko").unwrap();
+        assert_eq!(snap.render_vertex(marko), "marko");
+        assert_eq!(g.vertex_name(marko), Some("marko".into()));
+        let knows = g.label("knows").unwrap();
+        assert_eq!(g.label_name(knows), Some("knows".into()));
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_do_not_deadlock() {
+        let g = classic_social_graph();
+        let g2 = g.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                g2.add_edge(&format!("p{i}"), "knows", &format!("p{}", i + 1));
+            }
+            g2.edge_count()
+        });
+        for _ in 0..100 {
+            let _ = g.snapshot().graph().edge_count();
+        }
+        let count = handle.join().unwrap();
+        assert!(count >= 106);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property values and predicates for the property-graph layer.
+//!
+//! The paper's algebra is property-free (it models only `V`, `Ω`, and `E`),
+//! but the traversal engine it motivates (§I, §V — Gremlin/Neo4j-style
+//! engines) operates on *property graphs*. This module supplies the value
+//! model: a small dynamically-typed value enum plus predicates used by
+//! `has(...)`-style pipeline steps.
+
+use core::fmt;
+
+/// A property value attached to a vertex or an edge.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl Value {
+    /// Numeric view of the value (integers widen to floats); `None` for
+    /// booleans and text.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value; `None` unless it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value; `None` unless it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+/// A predicate over property values, used by `has(key, predicate)` steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// The property exists (any value).
+    Exists,
+    /// The property equals the value.
+    Eq(Value),
+    /// The property differs from the value.
+    Ne(Value),
+    /// Numeric comparison: strictly less than.
+    Lt(f64),
+    /// Numeric comparison: less than or equal.
+    Le(f64),
+    /// Numeric comparison: strictly greater than.
+    Gt(f64),
+    /// Numeric comparison: greater than or equal.
+    Ge(f64),
+    /// Text containment (substring).
+    Contains(String),
+    /// Value is one of the listed alternatives.
+    Within(Vec<Value>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against an optional property value (`None`
+    /// means the property is absent, which only `Exists`' negation-free
+    /// semantics treat as a failure for every predicate).
+    pub fn eval(&self, value: Option<&Value>) -> bool {
+        let Some(v) = value else {
+            return false;
+        };
+        match self {
+            Predicate::Exists => true,
+            Predicate::Eq(x) => v == x,
+            Predicate::Ne(x) => v != x,
+            Predicate::Lt(x) => v.as_number().map(|n| n < *x).unwrap_or(false),
+            Predicate::Le(x) => v.as_number().map(|n| n <= *x).unwrap_or(false),
+            Predicate::Gt(x) => v.as_number().map(|n| n > *x).unwrap_or(false),
+            Predicate::Ge(x) => v.as_number().map(|n| n >= *x).unwrap_or(false),
+            Predicate::Contains(s) => v.as_text().map(|t| t.contains(s)).unwrap_or(false),
+            Predicate::Within(vs) => vs.contains(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions_and_views() {
+        assert_eq!(Value::from(3i64).as_number(), Some(3.0));
+        assert_eq!(Value::from(2.5f64).as_number(), Some(2.5));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_number(), None);
+        assert_eq!(Value::from(1i32), Value::Int(1));
+        assert_eq!(Value::from(String::from("s")), Value::Text("s".into()));
+    }
+
+    #[test]
+    fn display_renders_inner_value() {
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(false).to_string(), "false");
+        assert_eq!(Value::from(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn predicates_on_numbers() {
+        let v = Value::from(30i64);
+        assert!(Predicate::Eq(Value::Int(30)).eval(Some(&v)));
+        assert!(Predicate::Ne(Value::Int(31)).eval(Some(&v)));
+        assert!(Predicate::Lt(31.0).eval(Some(&v)));
+        assert!(Predicate::Le(30.0).eval(Some(&v)));
+        assert!(Predicate::Gt(29.0).eval(Some(&v)));
+        assert!(Predicate::Ge(30.0).eval(Some(&v)));
+        assert!(!Predicate::Gt(30.0).eval(Some(&v)));
+    }
+
+    #[test]
+    fn predicates_on_text_and_sets() {
+        let v = Value::from("ripple");
+        assert!(Predicate::Contains("ipp".into()).eval(Some(&v)));
+        assert!(!Predicate::Contains("xyz".into()).eval(Some(&v)));
+        assert!(Predicate::Within(vec![Value::from("lop"), Value::from("ripple")]).eval(Some(&v)));
+        assert!(!Predicate::Lt(1.0).eval(Some(&v)));
+    }
+
+    #[test]
+    fn missing_property_fails_every_predicate() {
+        assert!(!Predicate::Exists.eval(None));
+        assert!(!Predicate::Eq(Value::Int(1)).eval(None));
+        assert!(Predicate::Exists.eval(Some(&Value::Bool(false))));
+    }
+}

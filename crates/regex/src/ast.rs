@@ -1,0 +1,368 @@
+//! Regular path expressions over the edge alphabet `E` (§IV-A).
+//!
+//! The paper defines regular expressions whose alphabet is the *edge set* `E`
+//! (not the label set `Ω`, which is the Mendelzon–Wood formulation implemented
+//! in [`crate::label_regex`]): `∅`, `ε`, and any `e ∈ E` are regular
+//! expressions, and if `R`, `Q` are regular expressions then so are `R ∪ Q`,
+//! `R ⋈◦ Q`, and `R*`. In practice atoms are *edge sets* written with the
+//! set-builder notation `[i, α, j]` (wildcards allowed), because an automaton
+//! transition is taken on set membership rather than equality (Fig. 1,
+//! footnote 9).
+
+use std::collections::HashSet;
+
+use mrpa_core::{Edge, EdgePattern, MultiGraph, Path, PathSet};
+
+/// The label of an automaton transition / a regex atom: a subset of `E`
+/// described either intensionally (a pattern) or extensionally (an explicit
+/// edge set such as the `{(j, α, i)}` of Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeMatcher {
+    /// A set-builder pattern `[i, α, j]` with wildcards.
+    Pattern(EdgePattern),
+    /// An explicit, enumerated edge set.
+    Explicit(HashSet<Edge>),
+}
+
+impl EdgeMatcher {
+    /// Matcher for the whole edge set `E` (`[_, _, _]`).
+    pub fn any() -> Self {
+        EdgeMatcher::Pattern(EdgePattern::any())
+    }
+
+    /// Matcher for a single concrete edge (`{(i, α, j)}`).
+    pub fn single(edge: Edge) -> Self {
+        EdgeMatcher::Explicit([edge].into_iter().collect())
+    }
+
+    /// Whether the matcher accepts the edge.
+    pub fn matches(&self, edge: &Edge) -> bool {
+        match self {
+            EdgeMatcher::Pattern(p) => p.matches(edge),
+            EdgeMatcher::Explicit(set) => set.contains(edge),
+        }
+    }
+
+    /// Evaluates the matcher against a graph, producing the matched edge set.
+    pub fn select(&self, graph: &MultiGraph) -> Vec<Edge> {
+        match self {
+            EdgeMatcher::Pattern(p) => p.select(graph),
+            EdgeMatcher::Explicit(set) => {
+                graph.edges().filter(|e| set.contains(e)).copied().collect()
+            }
+        }
+    }
+
+    /// Evaluates the matcher to a path set of length-1 paths.
+    pub fn select_paths(&self, graph: &MultiGraph) -> PathSet {
+        PathSet::from_edges(self.select(graph))
+    }
+}
+
+impl From<EdgePattern> for EdgeMatcher {
+    fn from(p: EdgePattern) -> Self {
+        EdgeMatcher::Pattern(p)
+    }
+}
+
+impl From<Edge> for EdgeMatcher {
+    fn from(e: Edge) -> Self {
+        EdgeMatcher::single(e)
+    }
+}
+
+/// A regular path expression over the edge alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathRegex {
+    /// `∅`: matches nothing.
+    Empty,
+    /// `ε`: matches only the empty path.
+    Epsilon,
+    /// An edge-set atom: matches any single edge accepted by the matcher.
+    Edges(EdgeMatcher),
+    /// `R ∪ Q`: union / alternation.
+    Union(Box<PathRegex>, Box<PathRegex>),
+    /// `R ⋈◦ Q`: concatenative join (sequential composition).
+    Join(Box<PathRegex>, Box<PathRegex>),
+    /// `R*`: zero or more joins of `R` (Kleene star).
+    Star(Box<PathRegex>),
+}
+
+impl PathRegex {
+    /// The atom `[_, _, _]` matching any single edge.
+    pub fn any_edge() -> Self {
+        PathRegex::Edges(EdgeMatcher::any())
+    }
+
+    /// An atom from any pattern / matcher / edge.
+    pub fn atom<M: Into<EdgeMatcher>>(matcher: M) -> Self {
+        PathRegex::Edges(matcher.into())
+    }
+
+    /// `R ∪ Q`.
+    pub fn union(self, other: PathRegex) -> Self {
+        PathRegex::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `R ⋈◦ Q`.
+    pub fn join(self, other: PathRegex) -> Self {
+        PathRegex::Join(Box::new(self), Box::new(other))
+    }
+
+    /// `R*`.
+    pub fn star(self) -> Self {
+        PathRegex::Star(Box::new(self))
+    }
+
+    /// `R⁺ = R ⋈◦ R*` (footnote 8).
+    pub fn plus(self) -> Self {
+        self.clone().join(self.star())
+    }
+
+    /// `R? = R ∪ {ε}` (footnote 8).
+    pub fn optional(self) -> Self {
+        self.union(PathRegex::Epsilon)
+    }
+
+    /// `Rⁿ = R ⋈◦ … ⋈◦ R` (`n` times, footnote 8). `R⁰ = ε`.
+    pub fn repeat(self, n: usize) -> Self {
+        match n {
+            0 => PathRegex::Epsilon,
+            _ => {
+                let mut acc = self.clone();
+                for _ in 1..n {
+                    acc = acc.join(self.clone());
+                }
+                acc
+            }
+        }
+    }
+
+    /// Between `min` and `max` repetitions: `R{min,max} = Rᵐⁱⁿ ⋈◦ (R?)^(max-min)`.
+    pub fn repeat_range(self, min: usize, max: usize) -> Self {
+        assert!(min <= max, "repeat_range requires min <= max");
+        let mut acc = self.clone().repeat(min);
+        for _ in min..max {
+            acc = acc.join(self.clone().optional());
+        }
+        acc
+    }
+
+    /// Whether the regex accepts the empty path ε (its *nullability*).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            PathRegex::Empty => false,
+            PathRegex::Epsilon => true,
+            PathRegex::Edges(_) => false,
+            PathRegex::Union(a, b) => a.is_nullable() || b.is_nullable(),
+            PathRegex::Join(a, b) => a.is_nullable() && b.is_nullable(),
+            PathRegex::Star(_) => true,
+        }
+    }
+
+    /// Direct structural matching of a path against the regex, without
+    /// compiling an automaton. Exponential in the worst case (it tries every
+    /// split point for joins) but useful as an executable specification that
+    /// the NFA/DFA recognizers are validated against in tests.
+    pub fn matches_path(&self, path: &Path) -> bool {
+        let edges = path.edges();
+        self.matches_slice(edges)
+    }
+
+    fn matches_slice(&self, edges: &[Edge]) -> bool {
+        match self {
+            PathRegex::Empty => false,
+            PathRegex::Epsilon => edges.is_empty(),
+            PathRegex::Edges(m) => edges.len() == 1 && m.matches(&edges[0]),
+            PathRegex::Union(a, b) => a.matches_slice(edges) || b.matches_slice(edges),
+            PathRegex::Join(a, b) => (0..=edges.len())
+                .any(|k| a.matches_slice(&edges[..k]) && b.matches_slice(&edges[k..])),
+            PathRegex::Star(r) => {
+                if edges.is_empty() {
+                    return true;
+                }
+                // try every non-empty prefix matched by r, recurse on the rest
+                (1..=edges.len()).any(|k| {
+                    r.matches_slice(&edges[..k]) && self.matches_slice(&edges[k..])
+                })
+            }
+        }
+    }
+
+    /// The number of atoms (edge-set leaves) in the expression.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            PathRegex::Empty | PathRegex::Epsilon => 0,
+            PathRegex::Edges(_) => 1,
+            PathRegex::Union(a, b) | PathRegex::Join(a, b) => a.atom_count() + b.atom_count(),
+            PathRegex::Star(r) => r.atom_count(),
+        }
+    }
+
+    /// Builds the regular expression of **Figure 1** of the paper for the given
+    /// vertices `i`, `j`, `k` and labels `α`, `β`:
+    ///
+    /// `[i,α,_] ⋈◦ [_,β,_]* ⋈◦ (([_,α,j] ⋈◦ {(j,α,i)}) ∪ [_,α,k])`
+    pub fn figure_1(
+        i: mrpa_core::VertexId,
+        j: mrpa_core::VertexId,
+        k: mrpa_core::VertexId,
+        alpha: mrpa_core::LabelId,
+        beta: mrpa_core::LabelId,
+    ) -> Self {
+        use mrpa_core::Position;
+        let i_alpha_any = PathRegex::atom(EdgePattern::from_vertex(i).label(Position::Is(alpha)));
+        let any_beta_any = PathRegex::atom(EdgePattern::with_label(beta));
+        let any_alpha_j = PathRegex::atom(EdgePattern::to_vertex(j).label(Position::Is(alpha)));
+        let j_alpha_i = PathRegex::atom(Edge::new(j, alpha, i));
+        let any_alpha_k = PathRegex::atom(EdgePattern::to_vertex(k).label(Position::Is(alpha)));
+        i_alpha_any
+            .join(any_beta_any.star())
+            .join(any_alpha_j.join(j_alpha_i).union(any_alpha_k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{LabelId, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    #[test]
+    fn matcher_pattern_and_explicit_agree_on_membership() {
+        let pat = EdgeMatcher::Pattern(EdgePattern::with_label(LabelId(1)));
+        assert!(pat.matches(&e(0, 1, 2)));
+        assert!(!pat.matches(&e(0, 0, 2)));
+        let exp = EdgeMatcher::single(e(0, 1, 2));
+        assert!(exp.matches(&e(0, 1, 2)));
+        assert!(!exp.matches(&e(0, 1, 3)));
+    }
+
+    #[test]
+    fn matcher_select_filters_graph() {
+        let mut g = MultiGraph::new();
+        g.add_edge(e(0, 0, 1));
+        g.add_edge(e(1, 1, 2));
+        let any = EdgeMatcher::any();
+        assert_eq!(any.select(&g).len(), 2);
+        let single = EdgeMatcher::single(e(1, 1, 2));
+        assert_eq!(single.select(&g), vec![e(1, 1, 2)]);
+        let missing = EdgeMatcher::single(e(5, 5, 5));
+        assert!(missing.select(&g).is_empty());
+        assert_eq!(any.select_paths(&g).len(), 2);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!PathRegex::Empty.is_nullable());
+        assert!(PathRegex::Epsilon.is_nullable());
+        assert!(!PathRegex::any_edge().is_nullable());
+        assert!(PathRegex::any_edge().star().is_nullable());
+        assert!(PathRegex::any_edge().optional().is_nullable());
+        assert!(!PathRegex::any_edge().plus().is_nullable());
+        // a join is nullable only when both operands are
+        assert!(!PathRegex::any_edge().join(PathRegex::Epsilon.star()).is_nullable());
+        assert!(PathRegex::Epsilon.join(PathRegex::Epsilon.star()).is_nullable());
+    }
+
+    #[test]
+    fn structural_matching_basic() {
+        let r = PathRegex::any_edge();
+        assert!(r.matches_path(&p(&[(0, 0, 1)])));
+        assert!(!r.matches_path(&Path::epsilon()));
+        assert!(!r.matches_path(&p(&[(0, 0, 1), (1, 0, 2)])));
+    }
+
+    #[test]
+    fn structural_matching_join_and_union() {
+        let alpha = PathRegex::atom(EdgePattern::with_label(LabelId(0)));
+        let beta = PathRegex::atom(EdgePattern::with_label(LabelId(1)));
+        let r = alpha.clone().join(beta.clone());
+        assert!(r.matches_path(&p(&[(0, 0, 1), (1, 1, 2)])));
+        assert!(!r.matches_path(&p(&[(0, 1, 1), (1, 0, 2)])));
+        let u = alpha.union(beta);
+        assert!(u.matches_path(&p(&[(0, 0, 1)])));
+        assert!(u.matches_path(&p(&[(0, 1, 1)])));
+        assert!(!u.matches_path(&p(&[(0, 2, 1)])));
+    }
+
+    #[test]
+    fn structural_matching_star() {
+        let beta = PathRegex::atom(EdgePattern::with_label(LabelId(1))).star();
+        assert!(beta.matches_path(&Path::epsilon()));
+        assert!(beta.matches_path(&p(&[(0, 1, 1)])));
+        assert!(beta.matches_path(&p(&[(0, 1, 1), (1, 1, 2), (2, 1, 0)])));
+        assert!(!beta.matches_path(&p(&[(0, 1, 1), (1, 0, 2)])));
+    }
+
+    #[test]
+    fn derived_operators_expand_correctly() {
+        let a = PathRegex::atom(EdgePattern::with_label(LabelId(0)));
+        // plus = at least one
+        let plus = a.clone().plus();
+        assert!(!plus.matches_path(&Path::epsilon()));
+        assert!(plus.matches_path(&p(&[(0, 0, 1)])));
+        assert!(plus.matches_path(&p(&[(0, 0, 1), (1, 0, 2)])));
+        // optional
+        let opt = a.clone().optional();
+        assert!(opt.matches_path(&Path::epsilon()));
+        assert!(opt.matches_path(&p(&[(0, 0, 1)])));
+        // repeat
+        let r3 = a.clone().repeat(3);
+        assert!(r3.matches_path(&p(&[(0, 0, 1), (1, 0, 2), (2, 0, 3)])));
+        assert!(!r3.matches_path(&p(&[(0, 0, 1), (1, 0, 2)])));
+        assert_eq!(a.clone().repeat(0), PathRegex::Epsilon);
+        // range
+        let r12 = a.clone().repeat_range(1, 2);
+        assert!(r12.matches_path(&p(&[(0, 0, 1)])));
+        assert!(r12.matches_path(&p(&[(0, 0, 1), (1, 0, 2)])));
+        assert!(!r12.matches_path(&Path::epsilon()));
+        assert!(!r12.matches_path(&p(&[(0, 0, 1), (1, 0, 2), (2, 0, 3)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn repeat_range_validates_bounds() {
+        let _ = PathRegex::any_edge().repeat_range(3, 1);
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        assert_eq!(r.atom_count(), 5);
+        assert_eq!(PathRegex::Epsilon.atom_count(), 0);
+    }
+
+    #[test]
+    fn figure_1_matches_expected_shapes() {
+        // i=0, j=1, k=2, α=0, β=1
+        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        // shortest accepted forms: [i,α,_][_,α,j]{(j,α,i)} and [i,α,_][_,α,k]
+        assert!(r.matches_path(&p(&[(0, 0, 3), (3, 0, 1), (1, 0, 0)])));
+        assert!(r.matches_path(&p(&[(0, 0, 3), (3, 0, 2)])));
+        // with intermediate β edges
+        assert!(r.matches_path(&p(&[(0, 0, 3), (3, 1, 4), (4, 1, 5), (5, 0, 2)])));
+        // wrong start vertex
+        assert!(!r.matches_path(&p(&[(5, 0, 3), (3, 0, 2)])));
+        // wrong first label
+        assert!(!r.matches_path(&p(&[(0, 1, 3), (3, 0, 2)])));
+        // intermediate edge not β
+        assert!(!r.matches_path(&p(&[(0, 0, 3), (3, 0, 4), (4, 0, 2), (2, 0, 2)])));
+    }
+
+    #[test]
+    fn empty_regex_matches_nothing() {
+        assert!(!PathRegex::Empty.matches_path(&Path::epsilon()));
+        assert!(!PathRegex::Empty.matches_path(&p(&[(0, 0, 1)])));
+        // ∅ under union is identity-ish
+        let r = PathRegex::Empty.union(PathRegex::any_edge());
+        assert!(r.matches_path(&p(&[(0, 0, 1)])));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for the regular-path-expression crate.
+
+use core::fmt;
+
+/// Errors raised while parsing or evaluating regular path expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegexError {
+    /// A syntax error in the textual regex notation.
+    Parse(String),
+    /// An edge-set position referenced a vertex name that is not interned in
+    /// the graph the expression is being resolved against.
+    UnknownVertexName(String),
+    /// An edge-set position referenced a label name that is not interned in
+    /// the graph the expression is being resolved against.
+    UnknownLabelName(String),
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Parse(msg) => write!(f, "regex parse error: {msg}"),
+            RegexError::UnknownVertexName(n) => write!(f, "unknown vertex name {n:?}"),
+            RegexError::UnknownLabelName(n) => write!(f, "unknown label name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RegexError::Parse("oops".into()).to_string().contains("oops"));
+        assert!(RegexError::UnknownVertexName("x".into()).to_string().contains("x"));
+        assert!(RegexError::UnknownLabelName("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<RegexError>();
+    }
+}

@@ -1,0 +1,332 @@
+//! Regular path generators (§IV-B).
+//!
+//! The paper describes a non-deterministic single-stack automaton with stack
+//! alphabet `P(E*)`: the stack initially holds `{ε}`; on every state
+//! transition the path set on top of the stack is joined (`⋈◦`) on the right
+//! with the edge set labelling the transition and pushed back; a branch halts
+//! when its path set becomes `∅` or it sits in an accepting state; and the
+//! union of the surviving path sets at accepting states is the set of all
+//! paths in `G` satisfying the regular expression.
+//!
+//! This module implements that machine as a layered breadth-first product of
+//! the Thompson NFA with the graph: layer `d` holds, for every automaton
+//! state, the set of paths of length `d` that can reach it. Because a `*` over
+//! a cyclic graph yields infinitely many paths, generation takes an explicit
+//! [`GeneratorConfig::max_length`] bound (documented deviation, DESIGN.md §7);
+//! alternatively [`GeneratorConfig::simple_only`] restricts to simple paths,
+//! which is finite without a bound.
+
+use std::collections::HashMap;
+
+use mrpa_core::{CoreError, CoreResult, MultiGraph, Path, PathSet};
+
+use crate::ast::PathRegex;
+use crate::nfa::{Nfa, StateId, TransitionLabel};
+use crate::recognizer::Recognizer;
+
+/// Configuration for the path generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Maximum path length (number of edges). Mandatory because `*` over a
+    /// cyclic graph denotes an infinite path set.
+    pub max_length: usize,
+    /// If set, only *simple* paths (no repeated vertex) are generated.
+    pub simple_only: bool,
+    /// Optional cap on the total number of generated paths; exceeding it is an
+    /// error rather than a silent truncation.
+    pub max_paths: Option<usize>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_length: 8,
+            simple_only: false,
+            max_paths: None,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Config with the given length bound and no other restriction.
+    pub fn with_max_length(max_length: usize) -> Self {
+        GeneratorConfig {
+            max_length,
+            ..Default::default()
+        }
+    }
+
+    /// Restrict generation to simple paths.
+    pub fn simple(mut self) -> Self {
+        self.simple_only = true;
+        self
+    }
+
+    /// Cap the number of generated paths.
+    pub fn with_max_paths(mut self, cap: usize) -> Self {
+        self.max_paths = Some(cap);
+        self
+    }
+}
+
+/// A compiled generator for a fixed regular expression over a fixed graph.
+#[derive(Debug, Clone)]
+pub struct Generator<'g> {
+    graph: &'g MultiGraph,
+    nfa: Nfa,
+    /// Pre-selected edge set (as length-1 paths) for each matcher index.
+    matcher_paths: Vec<PathSet>,
+}
+
+impl<'g> Generator<'g> {
+    /// Compiles the generator: builds the NFA and evaluates every matcher
+    /// against the graph once.
+    pub fn new(regex: &PathRegex, graph: &'g MultiGraph) -> Self {
+        let nfa = Nfa::compile(regex);
+        let matcher_paths = nfa
+            .matchers
+            .iter()
+            .map(|m| m.select_paths(graph))
+            .collect();
+        Generator {
+            graph,
+            nfa,
+            matcher_paths,
+        }
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The graph this generator was compiled against.
+    pub fn graph(&self) -> &MultiGraph {
+        self.graph
+    }
+
+    /// Generates all paths in the graph recognised by the regular expression,
+    /// up to the configured bounds.
+    pub fn generate(&self, config: &GeneratorConfig) -> CoreResult<PathSet> {
+        let mut results = PathSet::new();
+
+        // Layer 0: {ε} at the ε-closure of the start state.
+        let mut layer: HashMap<StateId, PathSet> = HashMap::new();
+        for s in self.nfa.initial_states() {
+            layer.insert(s, PathSet::epsilon());
+        }
+        self.collect_accepting(&layer, &mut results, config)?;
+
+        for _depth in 1..=config.max_length {
+            let mut next: HashMap<StateId, PathSet> = HashMap::new();
+            for (&state, paths) in &layer {
+                for t in self.nfa.transitions_from(state) {
+                    let TransitionLabel::Matcher(m) = t.label else {
+                        continue;
+                    };
+                    let operand = &self.matcher_paths[m];
+                    if operand.is_empty() || paths.is_empty() {
+                        // the paper's halt condition: a branch with ∅ on its
+                        // stack makes no further progress
+                        continue;
+                    }
+                    let mut joined = paths.join(operand);
+                    if config.simple_only {
+                        joined = joined.filter(Path::is_simple);
+                    }
+                    if joined.is_empty() {
+                        continue;
+                    }
+                    for closed in self.nfa.epsilon_closure(&[t.to].into_iter().collect()) {
+                        next.entry(closed)
+                            .and_modify(|s| s.extend(joined.iter().cloned()))
+                            .or_insert_with(|| joined.clone());
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            self.collect_accepting(&next, &mut results, config)?;
+            layer = next;
+        }
+        Ok(results)
+    }
+
+    /// Convenience: generate with just a length bound.
+    pub fn generate_up_to(&self, max_length: usize) -> CoreResult<PathSet> {
+        self.generate(&GeneratorConfig::with_max_length(max_length))
+    }
+
+    /// Cross-validation helper (experiment E10): generates by scanning all
+    /// joint paths of the graph up to `max_length` and filtering them with a
+    /// recognizer. Semantically this must equal [`Generator::generate`]
+    /// restricted to joint paths — the generator only ever builds joint paths
+    /// because it uses `⋈◦`.
+    pub fn generate_by_scan(regex: &PathRegex, graph: &MultiGraph, max_length: usize) -> PathSet {
+        let recognizer = Recognizer::new(regex.clone());
+        recognizer.recognized_paths_by_scan(graph, max_length)
+    }
+
+    fn collect_accepting(
+        &self,
+        layer: &HashMap<StateId, PathSet>,
+        results: &mut PathSet,
+        config: &GeneratorConfig,
+    ) -> CoreResult<()> {
+        for (&state, paths) in layer {
+            if self.nfa.accept.contains(&state) {
+                results.extend(paths.iter().cloned());
+            }
+        }
+        if let Some(cap) = config.max_paths {
+            if results.len() > cap {
+                return Err(CoreError::BoundExceeded {
+                    bound: cap,
+                    what: "generated path count",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{Edge, EdgePattern, LabelId, Position, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    fn figure_1_regex() -> PathRegex {
+        PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1))
+    }
+
+    #[test]
+    fn generator_agrees_with_scan_on_figure_1() {
+        let g = paper_graph();
+        let regex = figure_1_regex();
+        let gen = Generator::new(&regex, &g);
+        let generated = gen.generate_up_to(5).unwrap();
+        let scanned = Generator::generate_by_scan(&regex, &g, 5);
+        assert_eq!(generated, scanned);
+        assert!(!generated.is_empty());
+        // every generated path is joint and recognised
+        let rec = Recognizer::new(regex);
+        assert!(generated.all_joint());
+        assert!(generated.iter().all(|p| rec.recognizes(p)));
+    }
+
+    #[test]
+    fn generator_agrees_with_scan_on_star_expression() {
+        let g = paper_graph();
+        let regex = PathRegex::atom(EdgePattern::with_label(LabelId(1))).star();
+        let gen = Generator::new(&regex, &g);
+        let generated = gen.generate_up_to(3).unwrap();
+        let scanned = Generator::generate_by_scan(&regex, &g, 3);
+        assert_eq!(generated, scanned);
+        // ε is part of the language of a star
+        assert!(generated.contains(&Path::epsilon()));
+    }
+
+    #[test]
+    fn generated_paths_emanate_from_source_atom() {
+        let g = paper_graph();
+        // [i,α,_] ⋈◦ [_,_,_]: length-2 paths starting at v0 with first label α
+        let regex = PathRegex::atom(
+            EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0))),
+        )
+        .join(PathRegex::any_edge());
+        let gen = Generator::new(&regex, &g);
+        let paths = gen.generate_up_to(2).unwrap();
+        assert!(!paths.is_empty());
+        for p in paths.iter() {
+            assert_eq!(p.len(), 2);
+            assert_eq!(p.tail_vertex().unwrap(), VertexId(0));
+            assert_eq!(p.sigma(1).unwrap().label, LabelId(0));
+        }
+    }
+
+    #[test]
+    fn length_bound_truncates_star_languages() {
+        let g = paper_graph();
+        let regex = PathRegex::any_edge().star();
+        let gen = Generator::new(&regex, &g);
+        let three = gen.generate_up_to(3).unwrap();
+        let four = gen.generate_up_to(4).unwrap();
+        assert!(three.len() < four.len());
+        assert!(three.is_subset_of(&four));
+        assert!(three.iter().all(|p| p.len() <= 3));
+    }
+
+    #[test]
+    fn simple_only_excludes_revisits() {
+        let g = paper_graph();
+        let regex = PathRegex::any_edge().plus();
+        let gen = Generator::new(&regex, &g);
+        let simple = gen
+            .generate(&GeneratorConfig::with_max_length(4).simple())
+            .unwrap();
+        assert!(!simple.is_empty());
+        assert!(simple.iter().all(|p| p.is_simple()));
+        let unrestricted = gen.generate_up_to(4).unwrap();
+        assert!(simple.len() < unrestricted.len());
+        assert!(simple.is_subset_of(&unrestricted));
+    }
+
+    #[test]
+    fn max_paths_cap_is_enforced() {
+        let g = paper_graph();
+        let regex = PathRegex::any_edge().star();
+        let gen = Generator::new(&regex, &g);
+        let result = gen.generate(&GeneratorConfig::with_max_length(5).with_max_paths(3));
+        assert!(matches!(
+            result,
+            Err(CoreError::BoundExceeded { bound: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_regex_generates_nothing() {
+        let g = paper_graph();
+        let gen = Generator::new(&PathRegex::Empty, &g);
+        assert!(gen.generate_up_to(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn epsilon_regex_generates_only_epsilon() {
+        let g = paper_graph();
+        let gen = Generator::new(&PathRegex::Epsilon, &g);
+        let out = gen.generate_up_to(4).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Path::epsilon()));
+    }
+
+    #[test]
+    fn unmatched_atom_halts_branch() {
+        let g = paper_graph();
+        // label 9 has no edges in the graph: the branch's path set becomes ∅
+        let regex = PathRegex::atom(EdgePattern::with_label(LabelId(9)))
+            .join(PathRegex::any_edge());
+        let gen = Generator::new(&regex, &g);
+        assert!(gen.generate_up_to(4).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Label-alphabet regular expressions: the Mendelzon–Wood baseline ([8]).
+//!
+//! §IV-A notes that earlier work on regular paths in graph databases
+//! (Mendelzon & Wood, VLDB 1989) defines regular expressions over the *label*
+//! alphabet `Ω`, whereas the paper's expressions range over the *edge*
+//! alphabet `E`. A label regex constrains only the path label `ω′(a) ∈ Ω*`; it
+//! cannot pin individual vertices the way `[i, α, _]` or `{(j, α, i)}` can.
+//! This module implements that baseline so experiment E7 can compare the two:
+//! every label regex is expressible as an edge regex (via
+//! [`LabelRegex::to_path_regex`]), but not vice versa.
+
+use std::collections::HashSet;
+
+use mrpa_core::{EdgePattern, LabelId, MultiGraph, Path, PathSet};
+
+use crate::ast::PathRegex;
+use crate::generator::{Generator, GeneratorConfig};
+
+/// A regular expression over the label alphabet `Ω`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelRegex {
+    /// `∅`.
+    Empty,
+    /// `ε`.
+    Epsilon,
+    /// A single label.
+    Label(LabelId),
+    /// Any label from the set.
+    AnyOf(Vec<LabelId>),
+    /// Union.
+    Union(Box<LabelRegex>, Box<LabelRegex>),
+    /// Concatenation.
+    Concat(Box<LabelRegex>, Box<LabelRegex>),
+    /// Kleene star.
+    Star(Box<LabelRegex>),
+}
+
+impl LabelRegex {
+    /// A single-label atom.
+    pub fn label(l: LabelId) -> Self {
+        LabelRegex::Label(l)
+    }
+
+    /// Union.
+    pub fn union(self, other: LabelRegex) -> Self {
+        LabelRegex::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Concatenation.
+    pub fn concat(self, other: LabelRegex) -> Self {
+        LabelRegex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Self {
+        LabelRegex::Star(Box::new(self))
+    }
+
+    /// One or more.
+    pub fn plus(self) -> Self {
+        self.clone().concat(self.star())
+    }
+
+    /// Zero or one.
+    pub fn optional(self) -> Self {
+        self.union(LabelRegex::Epsilon)
+    }
+
+    /// Whether the regex accepts the empty label string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            LabelRegex::Empty => false,
+            LabelRegex::Epsilon => true,
+            LabelRegex::Label(_) | LabelRegex::AnyOf(_) => false,
+            LabelRegex::Union(a, b) => a.is_nullable() || b.is_nullable(),
+            LabelRegex::Concat(a, b) => a.is_nullable() && b.is_nullable(),
+            LabelRegex::Star(_) => true,
+        }
+    }
+
+    /// Whether the label string matches the regex (direct structural match).
+    pub fn matches_labels(&self, labels: &[LabelId]) -> bool {
+        match self {
+            LabelRegex::Empty => false,
+            LabelRegex::Epsilon => labels.is_empty(),
+            LabelRegex::Label(l) => labels.len() == 1 && labels[0] == *l,
+            LabelRegex::AnyOf(ls) => labels.len() == 1 && ls.contains(&labels[0]),
+            LabelRegex::Union(a, b) => a.matches_labels(labels) || b.matches_labels(labels),
+            LabelRegex::Concat(a, b) => (0..=labels.len())
+                .any(|k| a.matches_labels(&labels[..k]) && b.matches_labels(&labels[k..])),
+            LabelRegex::Star(r) => {
+                if labels.is_empty() {
+                    return true;
+                }
+                (1..=labels.len())
+                    .any(|k| r.matches_labels(&labels[..k]) && self.matches_labels(&labels[k..]))
+            }
+        }
+    }
+
+    /// Whether a path's label `ω′(a)` matches — the Mendelzon–Wood notion of a
+    /// regular path.
+    pub fn matches_path(&self, path: &Path) -> bool {
+        self.matches_labels(&path.path_label())
+    }
+
+    /// Embeds the label regex into the edge-alphabet regex language: each
+    /// label atom becomes the labeled edge set `[_, α, _]`. This is the
+    /// formal sense in which the paper's formulation subsumes [8].
+    pub fn to_path_regex(&self) -> PathRegex {
+        match self {
+            LabelRegex::Empty => PathRegex::Empty,
+            LabelRegex::Epsilon => PathRegex::Epsilon,
+            LabelRegex::Label(l) => PathRegex::atom(EdgePattern::with_label(*l)),
+            LabelRegex::AnyOf(ls) => {
+                PathRegex::atom(EdgePattern::with_labels(ls.iter().copied()))
+            }
+            LabelRegex::Union(a, b) => a.to_path_regex().union(b.to_path_regex()),
+            LabelRegex::Concat(a, b) => a.to_path_regex().join(b.to_path_regex()),
+            LabelRegex::Star(r) => r.to_path_regex().star(),
+        }
+    }
+
+    /// Generates all joint paths of the graph (up to `max_length`) whose path
+    /// label matches, by embedding into the edge-alphabet machinery.
+    pub fn generate(&self, graph: &MultiGraph, max_length: usize) -> PathSet {
+        let regex = self.to_path_regex();
+        let gen = Generator::new(&regex, graph);
+        gen.generate(&GeneratorConfig::with_max_length(max_length))
+            .expect("no caps configured")
+    }
+
+    /// The set of labels mentioned by the regex.
+    pub fn alphabet(&self) -> HashSet<LabelId> {
+        let mut out = HashSet::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut HashSet<LabelId>) {
+        match self {
+            LabelRegex::Empty | LabelRegex::Epsilon => {}
+            LabelRegex::Label(l) => {
+                out.insert(*l);
+            }
+            LabelRegex::AnyOf(ls) => out.extend(ls.iter().copied()),
+            LabelRegex::Union(a, b) | LabelRegex::Concat(a, b) => {
+                a.collect_alphabet(out);
+                b.collect_alphabet(out);
+            }
+            LabelRegex::Star(r) => r.collect_alphabet(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizer::Recognizer;
+    use mrpa_core::{complete_traversal, Edge, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    #[test]
+    fn label_matching_is_purely_on_path_labels() {
+        // α β* α  (α = 0, β = 1)
+        let r = LabelRegex::label(LabelId(0))
+            .concat(LabelRegex::label(LabelId(1)).star())
+            .concat(LabelRegex::label(LabelId(0)));
+        assert!(r.matches_path(&p(&[(0, 0, 1), (1, 0, 2)])));
+        assert!(r.matches_path(&p(&[(0, 0, 1), (1, 1, 1), (1, 0, 2)])));
+        assert!(!r.matches_path(&p(&[(0, 1, 1), (1, 0, 2)])));
+        // label regexes cannot distinguish paths with the same label string
+        // even if they visit different vertices
+        assert!(r.matches_path(&p(&[(7, 0, 8), (8, 0, 9)])));
+    }
+
+    #[test]
+    fn embedding_preserves_the_language() {
+        let g = paper_graph();
+        let r = LabelRegex::label(LabelId(0)).concat(LabelRegex::label(LabelId(1)));
+        let embedded = Recognizer::new(r.to_path_regex());
+        for n in 0..=3 {
+            for path in complete_traversal(&g, n).iter() {
+                assert_eq!(
+                    r.matches_path(path),
+                    embedded.recognizes(path),
+                    "path {path}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_produces_paths_with_matching_labels() {
+        let g = paper_graph();
+        let r = LabelRegex::label(LabelId(0)).concat(LabelRegex::label(LabelId(1)));
+        let paths = r.generate(&g, 2);
+        assert!(!paths.is_empty());
+        for path in paths.iter() {
+            assert_eq!(path.path_label(), vec![LabelId(0), LabelId(1)]);
+        }
+    }
+
+    #[test]
+    fn edge_alphabet_is_strictly_more_expressive() {
+        // The edge regex [i,α,_] (paths starting *at vertex i*) has no label
+        // regex equivalent: the best a label regex can do is `α`, which also
+        // accepts α-edges starting elsewhere.
+        let g = paper_graph();
+        let edge_regex = PathRegex::atom(EdgePattern::from_vertex(VertexId(0)));
+        let edge_rec = Recognizer::new(edge_regex);
+        let label_approx = LabelRegex::AnyOf(vec![LabelId(0), LabelId(1)]);
+        let mut differ = false;
+        for path in complete_traversal(&g, 1).iter() {
+            if edge_rec.recognizes(path) != label_approx.matches_path(path) {
+                differ = true;
+            }
+        }
+        assert!(differ, "label regex should over-approximate the edge regex");
+    }
+
+    #[test]
+    fn nullability_and_alphabet() {
+        let r = LabelRegex::label(LabelId(0))
+            .union(LabelRegex::Epsilon)
+            .concat(LabelRegex::label(LabelId(1)).star());
+        assert!(r.is_nullable());
+        let alpha = r.alphabet();
+        assert!(alpha.contains(&LabelId(0)) && alpha.contains(&LabelId(1)));
+        assert!(!LabelRegex::label(LabelId(2)).is_nullable());
+        assert!(!LabelRegex::Empty.matches_labels(&[]));
+        assert!(LabelRegex::Epsilon.matches_labels(&[]));
+    }
+
+    #[test]
+    fn derived_operators() {
+        let plus = LabelRegex::label(LabelId(1)).plus();
+        assert!(!plus.matches_labels(&[]));
+        assert!(plus.matches_labels(&[LabelId(1)]));
+        assert!(plus.matches_labels(&[LabelId(1), LabelId(1)]));
+        let opt = LabelRegex::label(LabelId(1)).optional();
+        assert!(opt.matches_labels(&[]));
+        assert!(opt.matches_labels(&[LabelId(1)]));
+        assert!(!opt.matches_labels(&[LabelId(0)]));
+    }
+}

@@ -1,0 +1,74 @@
+//! # mrpa-regex — regular path expressions over edge alphabets
+//!
+//! Implements §IV of *A Path Algebra for Multi-Relational Graphs*: regular
+//! expressions whose alphabet is the **edge set** `E` of a multi-relational
+//! graph (atoms are the set-builder edge sets `[i, α, j]` with wildcards),
+//! their finite-state automata, and both directions of their use:
+//!
+//! * **Recognition** (§IV-A): does a path belong to the described path set?
+//!   Strategies: structural matching, Thompson NFA simulation, graph-relative
+//!   symbolic DFA, minimised DFA.
+//! * **Generation** (§IV-B): enumerate every path of a graph that the
+//!   expression describes, evaluated as the paper's non-deterministic
+//!   single-stack automaton over `P(E*)` (joins along every automaton branch).
+//!
+//! The label-alphabet formulation of Mendelzon & Wood (regexes over `Ω`,
+//! reference [8] of the paper) is provided as a baseline in [`label_regex`];
+//! it embeds into the edge-alphabet language but is strictly less expressive.
+//!
+//! ```
+//! use mrpa_core::GraphBuilder;
+//! use mrpa_regex::{parse, Generator, GeneratorConfig, Recognizer};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.edges([
+//!     ("i", "alpha", "j"),
+//!     ("j", "beta", "j"),
+//!     ("j", "alpha", "k"),
+//!     ("j", "alpha", "i"),
+//! ]);
+//! let g = b.build();
+//!
+//! // The Figure-1 style query: start at i with α, any number of β, end with α at k.
+//! let regex = parse("[i, alpha, _] . [_, beta, _]* . [_, alpha, k]", &g).unwrap();
+//! let recognizer = Recognizer::new(regex.clone());
+//! let generator = Generator::new(&regex, g.graph());
+//! let paths = generator.generate(&GeneratorConfig::with_max_length(5)).unwrap();
+//! assert!(paths.iter().all(|p| recognizer.recognizes(p)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod dfa;
+pub mod error;
+pub mod generator;
+pub mod label_regex;
+pub mod minimize;
+pub mod nfa;
+pub mod parser;
+pub mod recognizer;
+
+pub use ast::{EdgeMatcher, PathRegex};
+pub use dfa::{Dfa, EdgeClassifier};
+pub use error::RegexError;
+pub use generator::{Generator, GeneratorConfig};
+pub use label_regex::LabelRegex;
+pub use minimize::minimize;
+pub use nfa::{Nfa, StateId, Transition, TransitionLabel};
+pub use parser::parse;
+pub use recognizer::{Recognizer, RecognizerStrategy};
+
+/// Convenient glob import: `use mrpa_regex::prelude::*;`.
+pub mod prelude {
+    pub use crate::ast::{EdgeMatcher, PathRegex};
+    pub use crate::dfa::Dfa;
+    pub use crate::generator::{Generator, GeneratorConfig};
+    pub use crate::label_regex::LabelRegex;
+    pub use crate::minimize::minimize;
+    pub use crate::nfa::Nfa;
+    pub use crate::parser::parse;
+    pub use crate::recognizer::{Recognizer, RecognizerStrategy};
+}

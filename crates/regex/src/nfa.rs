@@ -1,0 +1,329 @@
+//! Thompson construction: compiling a [`PathRegex`] to a non-deterministic
+//! finite automaton whose transitions are labeled with *edge sets*
+//! ([`EdgeMatcher`]s), exactly as in Figure 1 of the paper (footnote 9: the
+//! transition function is based on set membership rather than equality).
+
+use std::collections::HashSet;
+
+use mrpa_core::{Edge, Path};
+
+use crate::ast::{EdgeMatcher, PathRegex};
+
+/// Identifier of an NFA state.
+pub type StateId = usize;
+
+/// A transition label: either ε or an edge-set matcher (stored by index into
+/// the automaton's matcher table so matchers can be shared and enumerated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionLabel {
+    /// An ε-transition (no edge consumed).
+    Epsilon,
+    /// A transition consuming one edge accepted by the matcher at this index.
+    Matcher(usize),
+}
+
+/// A transition `(from) --label--> (to)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Label.
+    pub label: TransitionLabel,
+    /// Target state.
+    pub to: StateId,
+}
+
+/// A non-deterministic finite automaton over the edge alphabet.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states (states are `0 .. state_count`).
+    pub state_count: usize,
+    /// The start state.
+    pub start: StateId,
+    /// Accepting states.
+    pub accept: HashSet<StateId>,
+    /// All transitions.
+    pub transitions: Vec<Transition>,
+    /// The matcher table referenced by [`TransitionLabel::Matcher`].
+    pub matchers: Vec<EdgeMatcher>,
+}
+
+impl Nfa {
+    /// Compiles a regular path expression into an NFA via Thompson's
+    /// construction. The resulting automaton has a single start state and a
+    /// single accept state per construction step, but after composition the
+    /// accept set is whatever the outermost fragment produced.
+    pub fn compile(regex: &PathRegex) -> Nfa {
+        let mut builder = NfaBuilder::default();
+        let frag = builder.compile(regex);
+        Nfa {
+            state_count: builder.state_count,
+            start: frag.start,
+            accept: [frag.accept].into_iter().collect(),
+            transitions: builder.transitions,
+            matchers: builder.matchers,
+        }
+    }
+
+    /// The outgoing transitions of a state.
+    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &HashSet<StateId>) -> HashSet<StateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for t in self.transitions_from(s) {
+                if t.label == TransitionLabel::Epsilon && closure.insert(t.to) {
+                    stack.push(t.to);
+                }
+            }
+        }
+        closure
+    }
+
+    /// One simulation step: from `states`, consume `edge` and return the
+    /// ε-closed set of reachable states.
+    pub fn step(&self, states: &HashSet<StateId>, edge: &Edge) -> HashSet<StateId> {
+        let mut next = HashSet::new();
+        for &s in states {
+            for t in self.transitions_from(s) {
+                if let TransitionLabel::Matcher(m) = t.label {
+                    if self.matchers[m].matches(edge) {
+                        next.insert(t.to);
+                    }
+                }
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// Whether the automaton accepts the path (NFA simulation).
+    pub fn accepts(&self, path: &Path) -> bool {
+        let mut current = self.epsilon_closure(&[self.start].into_iter().collect());
+        for edge in path.iter() {
+            if current.is_empty() {
+                return false;
+            }
+            current = self.step(&current, edge);
+        }
+        current.iter().any(|s| self.accept.contains(s))
+    }
+
+    /// Whether a state set contains an accepting state.
+    pub fn is_accepting(&self, states: &HashSet<StateId>) -> bool {
+        states.iter().any(|s| self.accept.contains(s))
+    }
+
+    /// The initial ε-closed state set.
+    pub fn initial_states(&self) -> HashSet<StateId> {
+        self.epsilon_closure(&[self.start].into_iter().collect())
+    }
+
+    /// Number of non-ε transitions.
+    pub fn matcher_transition_count(&self) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.label != TransitionLabel::Epsilon)
+            .count()
+    }
+}
+
+#[derive(Debug, Default)]
+struct NfaBuilder {
+    state_count: usize,
+    transitions: Vec<Transition>,
+    matchers: Vec<EdgeMatcher>,
+}
+
+/// A Thompson fragment: a sub-automaton with one start and one accept state.
+#[derive(Debug, Clone, Copy)]
+struct Fragment {
+    start: StateId,
+    accept: StateId,
+}
+
+impl NfaBuilder {
+    fn new_state(&mut self) -> StateId {
+        let s = self.state_count;
+        self.state_count += 1;
+        s
+    }
+
+    fn add_epsilon(&mut self, from: StateId, to: StateId) {
+        self.transitions.push(Transition {
+            from,
+            label: TransitionLabel::Epsilon,
+            to,
+        });
+    }
+
+    fn add_matcher(&mut self, from: StateId, matcher: EdgeMatcher, to: StateId) {
+        let idx = self.matchers.len();
+        self.matchers.push(matcher);
+        self.transitions.push(Transition {
+            from,
+            label: TransitionLabel::Matcher(idx),
+            to,
+        });
+    }
+
+    fn compile(&mut self, regex: &PathRegex) -> Fragment {
+        match regex {
+            PathRegex::Empty => {
+                // start and accept states with no connection
+                let start = self.new_state();
+                let accept = self.new_state();
+                Fragment { start, accept }
+            }
+            PathRegex::Epsilon => {
+                let start = self.new_state();
+                let accept = self.new_state();
+                self.add_epsilon(start, accept);
+                Fragment { start, accept }
+            }
+            PathRegex::Edges(matcher) => {
+                let start = self.new_state();
+                let accept = self.new_state();
+                self.add_matcher(start, matcher.clone(), accept);
+                Fragment { start, accept }
+            }
+            PathRegex::Union(a, b) => {
+                let fa = self.compile(a);
+                let fb = self.compile(b);
+                let start = self.new_state();
+                let accept = self.new_state();
+                self.add_epsilon(start, fa.start);
+                self.add_epsilon(start, fb.start);
+                self.add_epsilon(fa.accept, accept);
+                self.add_epsilon(fb.accept, accept);
+                Fragment { start, accept }
+            }
+            PathRegex::Join(a, b) => {
+                let fa = self.compile(a);
+                let fb = self.compile(b);
+                self.add_epsilon(fa.accept, fb.start);
+                Fragment {
+                    start: fa.start,
+                    accept: fb.accept,
+                }
+            }
+            PathRegex::Star(r) => {
+                let fr = self.compile(r);
+                let start = self.new_state();
+                let accept = self.new_state();
+                self.add_epsilon(start, fr.start);
+                self.add_epsilon(start, accept);
+                self.add_epsilon(fr.accept, fr.start);
+                self.add_epsilon(fr.accept, accept);
+                Fragment { start, accept }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{EdgePattern, LabelId, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    #[test]
+    fn empty_regex_accepts_nothing() {
+        let nfa = Nfa::compile(&PathRegex::Empty);
+        assert!(!nfa.accepts(&Path::epsilon()));
+        assert!(!nfa.accepts(&p(&[(0, 0, 1)])));
+    }
+
+    #[test]
+    fn epsilon_regex_accepts_only_epsilon() {
+        let nfa = Nfa::compile(&PathRegex::Epsilon);
+        assert!(nfa.accepts(&Path::epsilon()));
+        assert!(!nfa.accepts(&p(&[(0, 0, 1)])));
+    }
+
+    #[test]
+    fn atom_accepts_single_matching_edge() {
+        let nfa = Nfa::compile(&PathRegex::atom(EdgePattern::with_label(LabelId(0))));
+        assert!(nfa.accepts(&p(&[(0, 0, 1)])));
+        assert!(!nfa.accepts(&p(&[(0, 1, 1)])));
+        assert!(!nfa.accepts(&Path::epsilon()));
+        assert!(!nfa.accepts(&p(&[(0, 0, 1), (1, 0, 2)])));
+    }
+
+    #[test]
+    fn star_accepts_repetitions() {
+        let nfa = Nfa::compile(&PathRegex::atom(EdgePattern::with_label(LabelId(1))).star());
+        assert!(nfa.accepts(&Path::epsilon()));
+        assert!(nfa.accepts(&p(&[(0, 1, 1)])));
+        assert!(nfa.accepts(&p(&[(0, 1, 1), (1, 1, 2), (2, 1, 3)])));
+        assert!(!nfa.accepts(&p(&[(0, 1, 1), (1, 0, 2)])));
+    }
+
+    #[test]
+    fn nfa_agrees_with_structural_matcher_on_figure_1() {
+        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let nfa = Nfa::compile(&r);
+        let samples = vec![
+            p(&[(0, 0, 3), (3, 0, 1), (1, 0, 0)]),
+            p(&[(0, 0, 3), (3, 0, 2)]),
+            p(&[(0, 0, 3), (3, 1, 4), (4, 1, 5), (5, 0, 2)]),
+            p(&[(5, 0, 3), (3, 0, 2)]),
+            p(&[(0, 1, 3), (3, 0, 2)]),
+            p(&[(0, 0, 3), (3, 0, 4), (4, 0, 2), (2, 0, 2)]),
+            Path::epsilon(),
+            p(&[(0, 0, 1)]),
+        ];
+        for path in &samples {
+            assert_eq!(
+                nfa.accepts(path),
+                r.matches_path(path),
+                "disagreement on {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_branches_both_accept() {
+        let a = PathRegex::atom(EdgePattern::from_vertex(VertexId(0)));
+        let b = PathRegex::atom(EdgePattern::from_vertex(VertexId(1)));
+        let nfa = Nfa::compile(&a.union(b));
+        assert!(nfa.accepts(&p(&[(0, 5, 9)])));
+        assert!(nfa.accepts(&p(&[(1, 5, 9)])));
+        assert!(!nfa.accepts(&p(&[(2, 5, 9)])));
+    }
+
+    #[test]
+    fn epsilon_closure_and_initial_states() {
+        let r = PathRegex::any_edge().star();
+        let nfa = Nfa::compile(&r);
+        let init = nfa.initial_states();
+        // the start state of a star fragment can reach its accept state by ε
+        assert!(nfa.is_accepting(&init));
+        assert!(init.len() >= 2);
+    }
+
+    #[test]
+    fn matcher_transition_count_counts_atoms() {
+        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let nfa = Nfa::compile(&r);
+        assert_eq!(nfa.matcher_transition_count(), 5);
+        assert_eq!(nfa.matchers.len(), 5);
+    }
+
+    #[test]
+    fn step_from_empty_set_is_empty() {
+        let nfa = Nfa::compile(&PathRegex::any_edge());
+        let next = nfa.step(&HashSet::new(), &e(0, 0, 1));
+        assert!(next.is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! A small text syntax for regular path expressions.
+//!
+//! Examples and the traversal engine accept queries written in a compact
+//! concrete syntax that mirrors the paper's notation:
+//!
+//! ```text
+//! [i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! regex    := union
+//! union    := join ( '|' join )*
+//! join     := postfix ( '.' postfix )*
+//! postfix  := atom ( '*' | '+' | '?' | '{' INT '}' )*
+//! atom     := '(' union ')' | 'eps' | 'empty' | edgeset
+//! edgeset  := '[' pos ',' pos ',' pos ']'
+//! pos      := '_' | NAME
+//! ```
+//!
+//! In an edge set `[t, l, h]`, `t` and `h` are vertex names and `l` is a label
+//! name, all resolved against a [`NamedGraph`]'s interner; `_` is the
+//! wildcard. An edge set with all three positions bound denotes the singleton
+//! `{(t, l, h)}` of Fig. 1.
+
+use mrpa_core::{EdgePattern, NamedGraph, Position};
+
+use crate::ast::PathRegex;
+use crate::error::RegexError;
+
+/// Parses the textual syntax into a [`PathRegex`], resolving names against
+/// the graph's interner.
+pub fn parse(input: &str, graph: &NamedGraph) -> Result<PathRegex, RegexError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        graph,
+    };
+    let regex = parser.parse_union()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(RegexError::Parse(format!(
+            "unexpected trailing input at token {}",
+            parser.pos
+        )));
+    }
+    Ok(regex)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Pipe,
+    Star,
+    Plus,
+    Question,
+    Underscore,
+    Eps,
+    Empty,
+    Name(String),
+    Int(usize),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::RBrace);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '|' => {
+                chars.next();
+                tokens.push(Token::Pipe);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            '?' => {
+                chars.next();
+                tokens.push(Token::Question);
+            }
+            '_' => {
+                chars.next();
+                tokens.push(Token::Underscore);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0usize;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n = n * 10 + (d as usize - '0' as usize);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Int(n));
+            }
+            c if c.is_alphanumeric() => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '-' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "eps" | "epsilon" => tokens.push(Token::Eps),
+                    "empty" => tokens.push(Token::Empty),
+                    _ => tokens.push(Token::Name(name)),
+                }
+            }
+            other => {
+                return Err(RegexError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    graph: &'a NamedGraph,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), RegexError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(RegexError::Parse(format!(
+                "expected {token:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<PathRegex, RegexError> {
+        let mut left = self.parse_join()?;
+        while self.peek() == Some(&Token::Pipe) {
+            self.next();
+            let right = self.parse_join()?;
+            left = left.union(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_join(&mut self) -> Result<PathRegex, RegexError> {
+        let mut left = self.parse_postfix()?;
+        while self.peek() == Some(&Token::Dot) {
+            self.next();
+            let right = self.parse_postfix()?;
+            left = left.join(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_postfix(&mut self) -> Result<PathRegex, RegexError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.next();
+                    atom = atom.star();
+                }
+                Some(Token::Plus) => {
+                    self.next();
+                    atom = atom.plus();
+                }
+                Some(Token::Question) => {
+                    self.next();
+                    atom = atom.optional();
+                }
+                Some(Token::LBrace) => {
+                    self.next();
+                    let n = match self.next() {
+                        Some(Token::Int(n)) => n,
+                        other => {
+                            return Err(RegexError::Parse(format!(
+                                "expected repetition count, found {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect(Token::RBrace)?;
+                    atom = atom.repeat(n);
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<PathRegex, RegexError> {
+        match self.next() {
+            Some(Token::LParen) => {
+                let inner = self.parse_union()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Eps) => Ok(PathRegex::Epsilon),
+            Some(Token::Empty) => Ok(PathRegex::Empty),
+            Some(Token::LBracket) => self.parse_edge_set(),
+            other => Err(RegexError::Parse(format!(
+                "expected an atom, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_edge_set(&mut self) -> Result<PathRegex, RegexError> {
+        let tail = self.parse_pos()?;
+        self.expect(Token::Comma)?;
+        let label = self.parse_pos()?;
+        self.expect(Token::Comma)?;
+        let head = self.parse_pos()?;
+        self.expect(Token::RBracket)?;
+
+        let mut pattern = EdgePattern::any();
+        if let Some(name) = tail {
+            let v = self
+                .graph
+                .vertex(&name)
+                .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
+            pattern = pattern.tail(Position::Is(v));
+        }
+        if let Some(name) = label {
+            let l = self
+                .graph
+                .label(&name)
+                .map_err(|_| RegexError::UnknownLabelName(name.clone()))?;
+            pattern = pattern.label(Position::Is(l));
+        }
+        if let Some(name) = head {
+            let v = self
+                .graph
+                .vertex(&name)
+                .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
+            pattern = pattern.head(Position::Is(v));
+        }
+        Ok(PathRegex::atom(pattern))
+    }
+
+    fn parse_pos(&mut self) -> Result<Option<String>, RegexError> {
+        match self.next() {
+            Some(Token::Underscore) => Ok(None),
+            Some(Token::Name(n)) => Ok(Some(n)),
+            Some(Token::Int(n)) => Ok(Some(n.to_string())),
+            other => Err(RegexError::Parse(format!(
+                "expected '_' or a name in edge set, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognizer::Recognizer;
+    use mrpa_core::{GraphBuilder, Path};
+
+    fn paper_named_graph() -> NamedGraph {
+        let mut b = GraphBuilder::new();
+        b.edges([
+            ("i", "alpha", "j"),
+            ("j", "beta", "k"),
+            ("k", "alpha", "j"),
+            ("j", "beta", "j"),
+            ("j", "beta", "i"),
+            ("i", "alpha", "k"),
+            ("i", "beta", "k"),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn parses_wildcard_edge_set() {
+        let g = paper_named_graph();
+        let r = parse("[_, _, _]", &g).unwrap();
+        assert_eq!(r, PathRegex::any_edge());
+    }
+
+    #[test]
+    fn parses_figure_1_expression() {
+        let g = paper_named_graph();
+        let text = "[i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])";
+        let parsed = parse(text, &g).unwrap();
+        let built = PathRegex::figure_1(
+            g.vertex("i").unwrap(),
+            g.vertex("j").unwrap(),
+            g.vertex("k").unwrap(),
+            g.label("alpha").unwrap(),
+            g.label("beta").unwrap(),
+        );
+        // ASTs differ structurally only in how the fully-bound atom is
+        // expressed (pattern vs explicit edge); compare by language on sample paths.
+        let rec_parsed = Recognizer::new(parsed);
+        let rec_built = Recognizer::new(built);
+        for n in 0..=4 {
+            for p in mrpa_core::complete_traversal(g.graph(), n).iter() {
+                assert_eq!(rec_parsed.recognizes(p), rec_built.recognizes(p), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_postfix_operators() {
+        let g = paper_named_graph();
+        let star = parse("[_, beta, _]*", &g).unwrap();
+        assert!(star.is_nullable());
+        let plus = parse("[_, beta, _]+", &g).unwrap();
+        assert!(!plus.is_nullable());
+        let opt = parse("[_, beta, _]?", &g).unwrap();
+        assert!(opt.is_nullable());
+        let rep = parse("[_, beta, _]{3}", &g).unwrap();
+        let rec = Recognizer::new(rep);
+        let beta = g.label("beta").unwrap();
+        let j = g.vertex("j").unwrap();
+        let path = Path::from_edges([
+            mrpa_core::Edge::new(j, beta, j),
+            mrpa_core::Edge::new(j, beta, j),
+            mrpa_core::Edge::new(j, beta, j),
+        ]);
+        assert!(rec.recognizes(&path));
+    }
+
+    #[test]
+    fn parses_eps_and_empty() {
+        let g = paper_named_graph();
+        assert_eq!(parse("eps", &g).unwrap(), PathRegex::Epsilon);
+        assert_eq!(parse("empty", &g).unwrap(), PathRegex::Empty);
+        let r = parse("eps | [_, alpha, _]", &g).unwrap();
+        assert!(r.is_nullable());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let g = paper_named_graph();
+        assert!(matches!(
+            parse("[nobody, alpha, _]", &g),
+            Err(RegexError::UnknownVertexName(_))
+        ));
+        assert!(matches!(
+            parse("[_, gamma, _]", &g),
+            Err(RegexError::UnknownLabelName(_))
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let g = paper_named_graph();
+        assert!(matches!(parse("[i, alpha", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("[i, alpha, _] extra!", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("[i, alpha, _]{x}", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("!!", &g), Err(RegexError::Parse(_))));
+    }
+
+    #[test]
+    fn union_binds_looser_than_join() {
+        let g = paper_named_graph();
+        // a . b | c  must parse as (a . b) | c
+        let r = parse("[_, alpha, _] . [_, beta, _] | [_, beta, _]", &g).unwrap();
+        let rec = Recognizer::new(r);
+        let alpha = g.label("alpha").unwrap();
+        let beta = g.label("beta").unwrap();
+        let i = g.vertex("i").unwrap();
+        let j = g.vertex("j").unwrap();
+        let k = g.vertex("k").unwrap();
+        // single β edge accepted (right branch)
+        assert!(rec.recognizes(&Path::from_edge(mrpa_core::Edge::new(j, beta, j))));
+        // αβ pair accepted (left branch)
+        assert!(rec.recognizes(&Path::from_edges([
+            mrpa_core::Edge::new(i, alpha, j),
+            mrpa_core::Edge::new(j, beta, k),
+        ])));
+        // single α edge rejected
+        assert!(!rec.recognizes(&Path::from_edge(mrpa_core::Edge::new(i, alpha, j))));
+    }
+}

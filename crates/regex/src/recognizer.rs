@@ -1,0 +1,229 @@
+//! Regular path recognizers (§IV-A).
+//!
+//! A recognizer answers "does this path belong to the set of paths described
+//! by a regular expression over `E`?". Three evaluation strategies are
+//! provided, all semantically equivalent:
+//!
+//! * [`RecognizerStrategy::Structural`] — direct recursive matching on the
+//!   AST (the executable specification; exponential worst case),
+//! * [`RecognizerStrategy::Nfa`] — Thompson NFA simulation,
+//! * [`RecognizerStrategy::Dfa`] / [`RecognizerStrategy::MinDfa`] —
+//!   graph-relative symbolic DFA, optionally minimised.
+//!
+//! Experiment E9 benchmarks the trade-off: the DFA costs a compilation pass
+//! per (regex, graph) pair but recognises each path in `O(‖a‖)` transitions.
+
+use mrpa_core::{MultiGraph, Path, PathSet};
+
+use crate::ast::PathRegex;
+use crate::dfa::Dfa;
+use crate::minimize::minimize;
+use crate::nfa::Nfa;
+
+/// Which automaton (or none) the recognizer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecognizerStrategy {
+    /// Recursive matching on the AST.
+    Structural,
+    /// NFA simulation.
+    Nfa,
+    /// Graph-relative DFA.
+    Dfa,
+    /// Graph-relative minimised DFA.
+    MinDfa,
+}
+
+/// A compiled recognizer for a fixed regular expression (and, for the DFA
+/// strategies, a fixed graph).
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    regex: PathRegex,
+    nfa: Nfa,
+    dfa: Option<Dfa>,
+    strategy: RecognizerStrategy,
+}
+
+impl Recognizer {
+    /// Compiles a recognizer with the NFA strategy (no graph needed).
+    pub fn new(regex: PathRegex) -> Self {
+        let nfa = Nfa::compile(&regex);
+        Recognizer {
+            regex,
+            nfa,
+            dfa: None,
+            strategy: RecognizerStrategy::Nfa,
+        }
+    }
+
+    /// Compiles a recognizer with the requested strategy. The DFA strategies
+    /// require the graph the paths will come from.
+    pub fn with_strategy(
+        regex: PathRegex,
+        strategy: RecognizerStrategy,
+        graph: Option<&MultiGraph>,
+    ) -> Self {
+        let nfa = Nfa::compile(&regex);
+        let dfa = match strategy {
+            RecognizerStrategy::Dfa => {
+                let g = graph.expect("DFA strategy requires a graph");
+                Some(Dfa::compile(&nfa, g))
+            }
+            RecognizerStrategy::MinDfa => {
+                let g = graph.expect("MinDfa strategy requires a graph");
+                Some(minimize(&Dfa::compile(&nfa, g)))
+            }
+            _ => None,
+        };
+        Recognizer {
+            regex,
+            nfa,
+            dfa,
+            strategy,
+        }
+    }
+
+    /// The regular expression this recognizer was compiled from.
+    pub fn regex(&self) -> &PathRegex {
+        &self.regex
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> RecognizerStrategy {
+        self.strategy
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The underlying DFA, if a DFA strategy was selected.
+    pub fn dfa(&self) -> Option<&Dfa> {
+        self.dfa.as_ref()
+    }
+
+    /// Whether the path is recognised.
+    pub fn recognizes(&self, path: &Path) -> bool {
+        match self.strategy {
+            RecognizerStrategy::Structural => self.regex.matches_path(path),
+            RecognizerStrategy::Nfa => self.nfa.accepts(path),
+            RecognizerStrategy::Dfa | RecognizerStrategy::MinDfa => self
+                .dfa
+                .as_ref()
+                .map(|d| d.accepts(path))
+                .unwrap_or_else(|| self.nfa.accepts(path)),
+        }
+    }
+
+    /// Filters a path set down to the recognised paths.
+    pub fn filter(&self, paths: &PathSet) -> PathSet {
+        paths.filter(|p| self.recognizes(p))
+    }
+
+    /// Recognises every joint path of length `0..=max_length` in the graph —
+    /// the "recognise by exhaustive traversal" baseline that the §IV-B
+    /// generator is validated against (experiment E10).
+    pub fn recognized_paths_by_scan(&self, graph: &MultiGraph, max_length: usize) -> PathSet {
+        let mut out = PathSet::new();
+        for n in 0..=max_length {
+            let paths = mrpa_core::complete_traversal(graph, n);
+            for p in paths.iter() {
+                if self.recognizes(p) {
+                    out.insert(p.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{complete_traversal, Edge, EdgePattern, LabelId, VertexId};
+
+    fn e(i: u32, l: u32, j: u32) -> Edge {
+        Edge::from((i, l, j))
+    }
+
+    fn p(edges: &[(u32, u32, u32)]) -> Path {
+        Path::from_edges(edges.iter().map(|&(i, l, j)| e(i, l, j)))
+    }
+
+    fn paper_graph() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        g
+    }
+
+    fn figure_1_regex() -> PathRegex {
+        PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1))
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let g = paper_graph();
+        let regex = figure_1_regex();
+        let strategies = [
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Structural, None),
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None),
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Dfa, Some(&g)),
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::MinDfa, Some(&g)),
+        ];
+        for n in 0..=4 {
+            for path in complete_traversal(&g, n).iter() {
+                let answers: Vec<bool> = strategies.iter().map(|r| r.recognizes(path)).collect();
+                assert!(
+                    answers.iter().all(|&a| a == answers[0]),
+                    "strategies disagree on {path}: {answers:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_recognized() {
+        let g = paper_graph();
+        let rec = Recognizer::new(PathRegex::atom(EdgePattern::with_label(LabelId(0))));
+        let all = complete_traversal(&g, 1);
+        let filtered = rec.filter(&all);
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.iter().all(|p| p.path_label() == vec![LabelId(0)]));
+    }
+
+    #[test]
+    fn scan_recognition_respects_length_bound() {
+        let g = paper_graph();
+        let rec = Recognizer::new(PathRegex::any_edge().star());
+        let up_to_2 = rec.recognized_paths_by_scan(&g, 2);
+        // ε + all 1-paths + all joint 2-paths
+        let expected = 1 + complete_traversal(&g, 1).len() + complete_traversal(&g, 2).len();
+        assert_eq!(up_to_2.len(), expected);
+    }
+
+    #[test]
+    fn default_constructor_uses_nfa() {
+        let rec = Recognizer::new(PathRegex::any_edge());
+        assert_eq!(rec.strategy(), RecognizerStrategy::Nfa);
+        assert!(rec.dfa().is_none());
+        assert!(rec.recognizes(&p(&[(0, 0, 1)])));
+        assert!(rec.regex().atom_count() == 1);
+        assert!(rec.nfa().state_count >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a graph")]
+    fn dfa_strategy_without_graph_panics() {
+        let _ = Recognizer::with_strategy(PathRegex::any_edge(), RecognizerStrategy::Dfa, None);
+    }
+}

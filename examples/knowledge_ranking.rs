@@ -1,0 +1,82 @@
+//! Semantically rich single-relational graphs (§IV-C): ranking with derived
+//! relations.
+//!
+//! Builds a small organisational knowledge graph with two relations
+//! (`friend` between people, `works_for` from people to companies), derives
+//! single-relational graphs three ways, and compares what PageRank "means" on
+//! each — the paper's argument for deriving edges through paths instead of
+//! ignoring labels.
+//!
+//! Run with `cargo run --example knowledge_ranking`.
+
+use mrpa::algorithms::derive::{compose_labels, extract_label, ignore_labels};
+use mrpa::algorithms::spectral::{pagerank, rank_by_score, spearman_correlation};
+use mrpa::core::GraphBuilder;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    // friendships
+    for (x, y) in [
+        ("ana", "bo"),
+        ("bo", "cy"),
+        ("cy", "ana"),
+        ("dee", "ana"),
+        ("dee", "bo"),
+        ("eli", "dee"),
+        ("fay", "eli"),
+        ("fay", "cy"),
+    ] {
+        b.edge(x, "friend", y);
+    }
+    // employment
+    for (p, c) in [
+        ("ana", "acme"),
+        ("bo", "acme"),
+        ("cy", "initech"),
+        ("dee", "initech"),
+        ("eli", "globex"),
+        ("fay", "globex"),
+    ] {
+        b.edge(p, "works_for", c);
+    }
+    let named = b.build();
+    let g = named.graph();
+    let friend = named.label("friend").unwrap();
+    let works_for = named.label("works_for").unwrap();
+
+    let ignore = ignore_labels(g);
+    let employment = extract_label(g, works_for);
+    // "my friends' employers": friend ∘ works_for
+    let friends_employers = compose_labels(g, friend, works_for);
+
+    let render_top = |graph: &mrpa::algorithms::SingleGraph, title: &str| {
+        let pr = pagerank(graph, 0.85, Default::default());
+        let order = rank_by_score(&pr);
+        println!("\n{title} (|E| = {}):", graph.edge_count());
+        for v in order.iter().take(4) {
+            println!(
+                "  {:8} {:.4}",
+                named.interner().vertex_name(*v).unwrap_or("?"),
+                pr[v]
+            );
+        }
+        pr
+    };
+
+    let pr_ignore = render_top(&ignore, "PageRank, labels ignored (semantics muddled)");
+    let pr_extract = render_top(&employment, "PageRank, works_for only (company popularity)");
+    let pr_compose = render_top(
+        &friends_employers,
+        "PageRank, friend∘works_for (companies reached through friendships)",
+    );
+
+    if let Some(rho) = spearman_correlation(&pr_ignore, &pr_compose) {
+        println!("\nSpearman(ignore-labels, friend∘works_for) = {rho:.3}");
+    }
+    if let Some(rho) = spearman_correlation(&pr_extract, &pr_compose) {
+        println!("Spearman(works_for only, friend∘works_for) = {rho:.3}");
+    }
+    println!("\nThe three derivations rank vertices differently because they answer");
+    println!("different questions — the point of §IV-C: pick the derivation that encodes");
+    println!("the relationship you actually care about, via paths in the algebra.");
+}

@@ -1,0 +1,94 @@
+//! Quickstart: the paper's §II worked example, end to end.
+//!
+//! Builds the example graph, evaluates the `A ⋈◦ B` join exactly as printed in
+//! the paper, runs the four basic traversals of §III, and parses + runs the
+//! Figure-1 regular path expression.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::collections::HashSet;
+
+use mrpa::core::{
+    complete_traversal, labeled_traversal, source_traversal, EdgePattern, GraphBuilder, Path,
+    PathSet,
+};
+use mrpa::regex::{parse, Generator, GeneratorConfig};
+
+fn main() {
+    // --- the §II example graph --------------------------------------------
+    let mut b = GraphBuilder::new();
+    b.edges([
+        ("i", "alpha", "j"),
+        ("j", "beta", "k"),
+        ("k", "alpha", "j"),
+        ("j", "beta", "j"),
+        ("j", "beta", "i"),
+        ("i", "alpha", "k"),
+        ("i", "beta", "k"),
+    ]);
+    let named = b.build();
+    let g = named.graph();
+    println!("graph: {}", g.stats());
+
+    // --- the worked join example of §II ------------------------------------
+    let i = named.vertex("i").unwrap();
+    let j = named.vertex("j").unwrap();
+    let k = named.vertex("k").unwrap();
+    let alpha = named.label("alpha").unwrap();
+    let beta = named.label("beta").unwrap();
+
+    let a = PathSet::from_paths([
+        Path::from_edges([mrpa::core::Edge::new(i, alpha, j)]),
+        Path::from_edges([
+            mrpa::core::Edge::new(j, beta, k),
+            mrpa::core::Edge::new(k, alpha, j),
+        ]),
+    ]);
+    let b_set = PathSet::from_paths([
+        Path::from_edges([mrpa::core::Edge::new(j, beta, j)]),
+        Path::from_edges([
+            mrpa::core::Edge::new(j, beta, i),
+            mrpa::core::Edge::new(i, alpha, k),
+        ]),
+        Path::from_edges([mrpa::core::Edge::new(i, beta, k)]),
+    ]);
+    let joined = a.join(&b_set);
+    println!("\nA ⋈◦ B (the §II example, {} paths):", joined.len());
+    for p in joined.iter() {
+        println!("  {}", named.render_path(p));
+    }
+    assert_eq!(joined.len(), 4);
+
+    // --- basic traversals (§III) -------------------------------------------
+    println!("\ncomplete traversal, n = 2: {} paths", complete_traversal(g, 2).len());
+    let from_i: HashSet<_> = [i].into_iter().collect();
+    println!(
+        "source traversal from i, n = 2: {} paths",
+        source_traversal(g, &from_i, 2).len()
+    );
+    let alpha_beta = labeled_traversal(
+        g,
+        &[
+            [alpha].into_iter().collect(),
+            [beta].into_iter().collect(),
+        ],
+    );
+    println!("labeled αβ traversal: {} paths", alpha_beta.len());
+    let out_of_i = EdgePattern::from_vertex(i).select(g);
+    println!("set-builder [i, _, _]: {} edges", out_of_i.len());
+
+    // --- the Figure-1 regular path expression (§IV) -------------------------
+    let regex = parse(
+        "[i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])",
+        &named,
+    )
+    .unwrap();
+    let generator = Generator::new(&regex, g);
+    let generated = generator
+        .generate(&GeneratorConfig::with_max_length(6))
+        .unwrap();
+    println!("\nFigure-1 expression generates {} paths (≤ 6 edges):", generated.len());
+    for p in generated.iter() {
+        println!("  {}", named.render_path(p));
+    }
+}

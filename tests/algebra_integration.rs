@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: the algebra (mrpa-core) evaluated on
+//! generated workloads (mrpa-datagen).
+
+use std::collections::HashSet;
+
+use mrpa::core::{
+    complete_traversal, destination_traversal, labeled_traversal, source_traversal, EdgePattern,
+    LabelId, PathSet, VertexId,
+};
+use mrpa::datagen::{chain, complete, cycle, erdos_renyi, grid, ErConfig};
+
+fn random_graph(seed: u64) -> mrpa::core::MultiGraph {
+    erdos_renyi(ErConfig {
+        vertices: 30,
+        labels: 3,
+        edge_probability: 0.04,
+        seed,
+    })
+}
+
+#[test]
+fn complete_traversal_counts_on_known_shapes() {
+    // chain of n vertices has n-1-k+1 paths of length k... specifically n-k paths of length k ≤ n-1
+    let c = chain(10, 2);
+    for k in 1..=4usize {
+        assert_eq!(complete_traversal(&c, k).len(), 10 - k);
+    }
+    // cycle of n vertices has exactly n joint paths of every length
+    let cy = cycle(8, 2);
+    for k in 1..=4usize {
+        assert_eq!(complete_traversal(&cy, k).len(), 8);
+    }
+    // complete graph on n vertices with L labels: n·(n-1)·L edges,
+    // and each path of length k has ((n-1)·L)^(k-1) extensions per edge
+    let kg = complete(4, 2);
+    assert_eq!(complete_traversal(&kg, 1).len(), 4 * 3 * 2);
+    assert_eq!(complete_traversal(&kg, 2).len(), 4 * 3 * 2 * 3 * 2);
+}
+
+#[test]
+fn grid_paths_respect_monotone_structure() {
+    let g = grid(4, 4);
+    // all length-6 paths in a 4x4 grid end at the far corner only if they make
+    // 3 rights and 3 downs; count of monotone lattice paths = C(6,3) = 20
+    let corner: HashSet<VertexId> = [VertexId::from_index(15)].into_iter().collect();
+    let start: HashSet<VertexId> = [VertexId::from_index(0)].into_iter().collect();
+    let paths = source_traversal(&g, &start, 6).restrict_heads(&corner);
+    assert_eq!(paths.len(), 20);
+    assert!(paths.iter().all(|p| p.is_joint() && p.len() == 6));
+}
+
+#[test]
+fn source_and_destination_traversals_are_complete_traversal_filters() {
+    for seed in [1u64, 2, 3] {
+        let g = random_graph(seed);
+        let vs: HashSet<VertexId> = g.vertices().take(5).collect();
+        let vd: HashSet<VertexId> = g.vertices().skip(10).take(5).collect();
+        for n in 1..=3usize {
+            let all = complete_traversal(&g, n);
+            assert_eq!(source_traversal(&g, &vs, n), all.restrict_tails(&vs));
+            assert_eq!(destination_traversal(&g, &vd, n), all.restrict_heads(&vd));
+        }
+    }
+}
+
+#[test]
+fn labeled_traversal_equals_filtering_by_path_label() {
+    let g = random_graph(7);
+    let l0: HashSet<LabelId> = [LabelId(0)].into_iter().collect();
+    let l1: HashSet<LabelId> = [LabelId(1)].into_iter().collect();
+    let via_join = labeled_traversal(&g, &[l0, l1]);
+    let via_filter = complete_traversal(&g, 2).restrict_path_label(&[LabelId(0), LabelId(1)]);
+    assert_eq!(via_join, via_filter);
+}
+
+#[test]
+fn join_is_associative_on_generated_path_sets() {
+    let g = random_graph(11);
+    let a = EdgePattern::with_label(LabelId(0)).select_paths(&g);
+    let b = EdgePattern::with_label(LabelId(1)).select_paths(&g);
+    let c = EdgePattern::with_label(LabelId(2)).select_paths(&g);
+    assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    // and the indexed join always agrees with the naive join
+    assert_eq!(a.join(&b), a.join_naive(&b));
+    assert_eq!(b.join(&c), b.join_naive(&c));
+}
+
+#[test]
+fn product_contains_join_and_only_extra_disjoint_paths() {
+    let g = random_graph(13);
+    let a = EdgePattern::with_label(LabelId(0)).select_paths(&g);
+    let b = EdgePattern::with_label(LabelId(1)).select_paths(&g);
+    let join = a.join(&b);
+    let product = a.product(&b);
+    assert!(join.is_subset_of(&product));
+    for p in product.iter() {
+        if p.is_joint() {
+            assert!(join.contains(p), "joint product path missing from join: {p}");
+        } else {
+            assert!(!join.contains(p));
+        }
+    }
+}
+
+#[test]
+fn epsilon_pathset_is_join_identity_on_real_graphs() {
+    let g = random_graph(17);
+    let e = PathSet::from_graph(&g);
+    let eps = PathSet::epsilon();
+    assert_eq!(eps.join(&e), e);
+    assert_eq!(e.join(&eps), e);
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests for §IV-C: derivations + single-relational
+//! algorithms on generated multi-relational graphs.
+
+use mrpa::algorithms::prelude::*;
+use mrpa::algorithms::spectral;
+use mrpa::core::{label_composition, LabelId};
+use mrpa::datagen::{erdos_renyi, stochastic_block_model, ErConfig, SbmConfig};
+use mrpa::regex::PathRegex;
+
+#[test]
+fn compose_labels_equals_manual_endpoint_projection() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 40,
+        labels: 2,
+        edge_probability: 0.04,
+        seed: 3,
+    });
+    let composed = compose_labels(&g, LabelId(0), LabelId(1));
+    let paths = label_composition(&g, LabelId(0), LabelId(1));
+    let expected: std::collections::HashSet<_> = paths.endpoints().into_iter().collect();
+    let actual: std::collections::HashSet<_> = composed.edges().collect();
+    assert_eq!(actual, expected);
+}
+
+#[test]
+fn derive_from_regex_generalises_compose_labels() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 30,
+        labels: 2,
+        edge_probability: 0.05,
+        seed: 9,
+    });
+    let regex = PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(0)))
+        .join(PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(1))));
+    let via_regex = derive_from_regex(&g, &regex, 2);
+    let via_compose = compose_labels(&g, LabelId(0), LabelId(1));
+    let a: std::collections::HashSet<_> = via_regex.edges().collect();
+    let b: std::collections::HashSet<_> = via_compose.edges().collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn extraction_preserves_block_assortativity_while_ignoring_labels_dilutes_it() {
+    // two relations: label 0 wired within blocks, label 1 wired uniformly.
+    let (within, blocks) = stochastic_block_model(&SbmConfig {
+        block_sizes: vec![15, 15],
+        labels: 1,
+        within_probability: 0.25,
+        between_probability: 0.01,
+        seed: 21,
+    });
+    let mut g = mrpa::core::MultiGraph::new();
+    for e in within.edges() {
+        g.add_edge(*e); // label 0: community structure
+    }
+    // label 1: random cross edges
+    let noise = erdos_renyi(ErConfig {
+        vertices: 30,
+        labels: 1,
+        edge_probability: 0.05,
+        seed: 22,
+    });
+    for e in noise.edges() {
+        g.add(e.tail, LabelId(1), e.head);
+    }
+    let category: std::collections::HashMap<_, _> = g
+        .vertices()
+        .map(|v| (v, blocks.get(v.index()).copied().unwrap_or(0)))
+        .collect();
+
+    let community_only = extract_label(&g, LabelId(0));
+    let mixed = ignore_labels(&g);
+    let r_extract = discrete_assortativity(&community_only, &category).unwrap();
+    let r_mixed = discrete_assortativity(&mixed, &category).unwrap();
+    assert!(
+        r_extract > r_mixed,
+        "extraction ({r_extract:.3}) should preserve more community structure than label-ignoring ({r_mixed:.3})"
+    );
+    assert!(r_extract > 0.5);
+}
+
+#[test]
+fn centralities_are_defined_on_every_derivation() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 35,
+        labels: 3,
+        edge_probability: 0.05,
+        seed: 33,
+    });
+    for derived in [
+        ignore_labels(&g),
+        extract_label(&g, LabelId(0)),
+        compose_labels(&g, LabelId(0), LabelId(1)),
+    ] {
+        let pr = spectral::pagerank(&derived, 0.85, Default::default());
+        assert_eq!(pr.len(), g.vertex_count());
+        let total: f64 = pr.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        let closeness = closeness_centrality(&derived);
+        assert_eq!(closeness.len(), g.vertex_count());
+        let betweenness = betweenness_centrality(&derived, true);
+        assert!(betweenness.values().all(|&b| b >= 0.0));
+    }
+}
+
+#[test]
+fn rank_correlation_between_derivations_is_meaningful() {
+    let g = erdos_renyi(ErConfig {
+        vertices: 50,
+        labels: 2,
+        edge_probability: 0.04,
+        seed: 44,
+    });
+    let a = spectral::pagerank(&ignore_labels(&g), 0.85, Default::default());
+    let b = spectral::pagerank(&extract_label(&g, LabelId(0)), 0.85, Default::default());
+    // correlation exists and is strictly less than a self-comparison
+    let cross = spectral::spearman_correlation(&a, &b).unwrap();
+    let self_corr = spectral::spearman_correlation(&a, &a).unwrap();
+    assert!((self_corr - 1.0).abs() < 1e-9);
+    assert!(cross < 1.0);
+    assert!(cross > -1.0);
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) for the algebraic laws the paper states
+//! and the implementation relies on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mrpa::core::monoid::laws;
+use mrpa::core::{Edge, Path, PathSet};
+
+/// Strategy: an arbitrary edge over a small vocabulary (so joins actually
+/// find joinable pairs).
+fn edge_strategy() -> impl Strategy<Value = Edge> {
+    (0u32..6, 0u32..3, 0u32..6).prop_map(Edge::from)
+}
+
+/// Strategy: an arbitrary (possibly disjoint) path of up to 4 edges.
+fn path_strategy() -> impl Strategy<Value = Path> {
+    vec(edge_strategy(), 0..4).prop_map(Path::from_edges)
+}
+
+/// Strategy: a path set of up to 6 paths.
+fn pathset_strategy() -> impl Strategy<Value = PathSet> {
+    vec(path_strategy(), 0..6).prop_map(PathSet::from_paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concat_is_associative(a in path_strategy(), b in path_strategy(), c in path_strategy()) {
+        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+    }
+
+    #[test]
+    fn epsilon_is_concat_identity(a in path_strategy()) {
+        let eps = Path::epsilon();
+        prop_assert_eq!(eps.concat(&a), a.clone());
+        prop_assert_eq!(a.concat(&eps), a);
+    }
+
+    #[test]
+    fn path_length_is_additive(a in path_strategy(), b in path_strategy()) {
+        prop_assert_eq!(a.concat(&b).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn path_label_is_a_homomorphism(a in path_strategy(), b in path_strategy()) {
+        prop_assert!(laws::path_label_is_homomorphism(&a, &b));
+    }
+
+    #[test]
+    fn sigma_indexes_every_edge(a in path_strategy()) {
+        for n in 1..=a.len() {
+            prop_assert_eq!(a.sigma(n).unwrap(), a.edges()[n - 1]);
+        }
+        prop_assert!(a.sigma(a.len() + 1).is_err());
+    }
+
+    #[test]
+    fn join_is_associative(a in pathset_strategy(), b in pathset_strategy(), c in pathset_strategy()) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn indexed_join_equals_naive_join(a in pathset_strategy(), b in pathset_strategy()) {
+        prop_assert_eq!(a.join(&b), a.join_naive(&b));
+    }
+
+    #[test]
+    fn join_is_subset_of_product(a in pathset_strategy(), b in pathset_strategy()) {
+        prop_assert!(laws::join_subset_of_product(&a, &b));
+    }
+
+    #[test]
+    fn join_distributes_over_union(
+        a in pathset_strategy(),
+        b in pathset_strategy(),
+        c in pathset_strategy()
+    ) {
+        prop_assert!(laws::join_distributes_left(&a, &b, &c));
+        prop_assert!(laws::join_distributes_right(&a, &b, &c));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in pathset_strategy(), b in pathset_strategy()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn epsilon_set_is_join_identity(a in pathset_strategy()) {
+        let eps = PathSet::epsilon();
+        prop_assert_eq!(eps.join(&a), a.clone());
+        prop_assert_eq!(a.join(&eps), a);
+    }
+
+    #[test]
+    fn empty_set_annihilates_join(a in pathset_strategy()) {
+        prop_assert!(laws::empty_annihilates_join(&a));
+    }
+
+    #[test]
+    fn joint_product_paths_appear_in_the_join(a in pathset_strategy(), b in pathset_strategy()) {
+        // For operands consisting of non-empty *joint* paths:
+        // joint(A ×◦ B) = A ⋈◦ B. (With disjoint operand paths the join can
+        // itself emit disjoint paths — only the seam is checked — so the
+        // restriction to joint operands is essential.)
+        let a: PathSet = a.iter().filter(|p| !p.is_empty() && p.is_joint()).cloned().collect();
+        let b: PathSet = b.iter().filter(|p| !p.is_empty() && p.is_joint()).cloned().collect();
+        prop_assert_eq!(a.product(&b).joint_only(), a.join(&b));
+    }
+
+    #[test]
+    fn reversal_is_an_involution(a in path_strategy()) {
+        prop_assert_eq!(a.reversed().reversed(), a);
+    }
+
+    #[test]
+    fn jointness_is_preserved_by_joining_edges(edges in vec(edge_strategy(), 1..5)) {
+        // build a joint path by repeatedly joining single edges when possible
+        let mut path = Path::from_edge(edges[0]);
+        for e in &edges[1..] {
+            let candidate = Path::from_edge(*e);
+            if let Some(joined) = path.join(&candidate) {
+                path = joined;
+            }
+        }
+        prop_assert!(path.is_joint());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn recognizer_strategies_agree_on_random_paths(
+        edges in vec(edge_strategy(), 0..4),
+        seed in 0u64..4
+    ) {
+        use mrpa::regex::{Recognizer, RecognizerStrategy};
+        // a small fixed graph over the same vocabulary
+        let graph: mrpa::core::MultiGraph = (0u32..6)
+            .flat_map(|i| (0u32..3).map(move |l| Edge::from((i, l, (i + l + 1) % 6))))
+            .collect();
+        let regex = mrpa::datagen::random_regex(&graph, 3, seed);
+        let path = Path::from_edges(edges);
+        let nfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None);
+        let structural = Recognizer::with_strategy(regex, RecognizerStrategy::Structural, None);
+        prop_assert_eq!(nfa.recognizes(&path), structural.recognizes(&path));
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: regular path expressions (mrpa-regex)
+//! against the algebra and generated workloads.
+
+use mrpa::core::{complete_traversal, GraphBuilder};
+use mrpa::datagen::{erdos_renyi, random_regex, ErConfig};
+use mrpa::regex::{
+    minimize, parse, Dfa, Generator, GeneratorConfig, Nfa, Recognizer, RecognizerStrategy,
+};
+
+fn random_graph(seed: u64) -> mrpa::core::MultiGraph {
+    erdos_renyi(ErConfig {
+        vertices: 25,
+        labels: 3,
+        edge_probability: 0.05,
+        seed,
+    })
+}
+
+#[test]
+fn all_recognizer_strategies_agree_on_random_regexes_and_graphs() {
+    for seed in [1u64, 2, 3, 4] {
+        let g = random_graph(seed);
+        let regex = random_regex(&g, 3, seed * 31);
+        let structural =
+            Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Structural, None);
+        let nfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None);
+        let dfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Dfa, Some(&g));
+        let min = Recognizer::with_strategy(regex, RecognizerStrategy::MinDfa, Some(&g));
+        for n in 0..=3usize {
+            for p in complete_traversal(&g, n).iter() {
+                let expected = structural.recognizes(p);
+                assert_eq!(nfa.recognizes(p), expected, "nfa disagrees on {p}");
+                assert_eq!(dfa.recognizes(p), expected, "dfa disagrees on {p}");
+                assert_eq!(min.recognizes(p), expected, "min-dfa disagrees on {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generator_equals_recognizer_scan_on_random_instances() {
+    for seed in [5u64, 6, 7] {
+        let g = random_graph(seed);
+        let regex = random_regex(&g, 3, seed * 17);
+        let generator = Generator::new(&regex, &g);
+        let generated = generator
+            .generate(&GeneratorConfig::with_max_length(3))
+            .unwrap();
+        let scanned = Generator::generate_by_scan(&regex, &g, 3);
+        assert_eq!(generated, scanned, "seed {seed}");
+    }
+}
+
+#[test]
+fn minimized_dfa_never_larger_and_equivalent() {
+    for seed in [8u64, 9] {
+        let g = random_graph(seed);
+        let regex = random_regex(&g, 4, seed * 13);
+        let nfa = Nfa::compile(&regex);
+        let dfa = Dfa::compile(&nfa, &g);
+        let min = minimize(&dfa);
+        assert!(min.state_count <= dfa.state_count);
+        for n in 0..=3usize {
+            for p in complete_traversal(&g, n).iter() {
+                assert_eq!(dfa.accepts(p), min.accepts(p));
+            }
+        }
+    }
+}
+
+#[test]
+fn parsed_figure_1_expression_generates_the_expected_paths() {
+    // the paper's example graph, with the Fig. 1 query in concrete syntax
+    let mut b = GraphBuilder::new();
+    b.edges([
+        ("i", "alpha", "j"),
+        ("j", "beta", "k"),
+        ("k", "alpha", "j"),
+        ("j", "beta", "j"),
+        ("j", "beta", "i"),
+        ("i", "alpha", "k"),
+        ("i", "beta", "k"),
+    ]);
+    let named = b.build();
+    let regex = parse(
+        "[i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])",
+        &named,
+    )
+    .unwrap();
+    let generator = Generator::new(&regex, named.graph());
+    let paths = generator
+        .generate(&GeneratorConfig::with_max_length(6))
+        .unwrap();
+    assert!(!paths.is_empty());
+    let i = named.vertex("i").unwrap();
+    let k = named.vertex("k").unwrap();
+    let alpha = named.label("alpha").unwrap();
+    for p in paths.iter() {
+        // every accepted path starts at i with an α edge
+        assert_eq!(p.tail_vertex().unwrap(), i);
+        assert_eq!(p.sigma(1).unwrap().label, alpha);
+        // and terminates at i or k with an α edge (per the automaton)
+        let last = p.sigma(p.len()).unwrap();
+        assert_eq!(last.label, alpha);
+        let head = p.head_vertex().unwrap();
+        assert!(head == i || head == k);
+        // the branch ending at i consumes two trailing α edges ([_,α,j] then
+        // (j,α,i)); the branch ending at k consumes one. Everything between
+        // the leading α and the trailing α edge(s) must be β.
+        let beta = named.label("beta").unwrap();
+        let trailing = if head == i { 2 } else { 1 };
+        for n in 2..=p.len().saturating_sub(trailing) {
+            assert_eq!(p.sigma(n).unwrap().label, beta, "edge {n} of {p}");
+        }
+    }
+}
