@@ -172,12 +172,7 @@ mod tests {
     #[test]
     fn perfectly_assortative_categories() {
         // two cliques of category A and B with no cross edges
-        let g = SingleGraph::from_edges([
-            (v(0), v(1)),
-            (v(1), v(0)),
-            (v(2), v(3)),
-            (v(3), v(2)),
-        ]);
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(0)), (v(2), v(3)), (v(3), v(2))]);
         let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A"), (v(2), "B"), (v(3), "B")]
             .into_iter()
             .collect();
@@ -188,12 +183,7 @@ mod tests {
     #[test]
     fn perfectly_disassortative_categories() {
         // bipartite: every edge crosses categories
-        let g = SingleGraph::from_edges([
-            (v(0), v(2)),
-            (v(1), v(3)),
-            (v(2), v(1)),
-            (v(3), v(0)),
-        ]);
+        let g = SingleGraph::from_edges([(v(0), v(2)), (v(1), v(3)), (v(2), v(1)), (v(3), v(0))]);
         let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A"), (v(2), "B"), (v(3), "B")]
             .into_iter()
             .collect();
@@ -204,8 +194,9 @@ mod tests {
     #[test]
     fn single_category_has_undefined_assortativity() {
         let g = SingleGraph::from_edges([(v(0), v(1)), (v(1), v(2))]);
-        let cat: HashMap<VertexId, &str> =
-            [(v(0), "A"), (v(1), "A"), (v(2), "A")].into_iter().collect();
+        let cat: HashMap<VertexId, &str> = [(v(0), "A"), (v(1), "A"), (v(2), "A")]
+            .into_iter()
+            .collect();
         assert!(discrete_assortativity(&g, &cat).is_none());
     }
 
@@ -235,8 +226,9 @@ mod tests {
     fn scalar_assortativity_of_attribute() {
         // edges connect vertices with equal attribute → positive correlation
         let g = SingleGraph::from_edges([(v(0), v(1)), (v(2), v(3)), (v(1), v(0)), (v(3), v(2))]);
-        let attr: HashMap<VertexId, f64> =
-            [(v(0), 1.0), (v(1), 1.1), (v(2), 5.0), (v(3), 5.2)].into_iter().collect();
+        let attr: HashMap<VertexId, f64> = [(v(0), 1.0), (v(1), 1.1), (v(2), 5.0), (v(3), 5.2)]
+            .into_iter()
+            .collect();
         let r = scalar_assortativity(&g, &attr).unwrap();
         assert!(r > 0.9);
     }

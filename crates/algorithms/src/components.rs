@@ -69,8 +69,8 @@ pub fn strongly_connected_components(graph: &SingleGraph) -> Vec<Vec<VertexId>> 
             if frame.neighbor_index < neighbors.len() {
                 let w = neighbors[frame.neighbor_index];
                 frame.neighbor_index += 1;
-                if !index.contains_key(&w) {
-                    index.insert(w, index_counter);
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(w) {
+                    e.insert(index_counter);
                     lowlink.insert(w, index_counter);
                     index_counter += 1;
                     stack.push(w);

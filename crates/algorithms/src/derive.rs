@@ -65,11 +65,7 @@ pub fn derive_from_path_set(graph: &MultiGraph, paths: &PathSet) -> SingleGraph 
 
 /// Method 3 (regular-path form, §IV-B + §IV-C): generate every path matching
 /// the regular expression (up to `max_length`) and project its endpoints.
-pub fn derive_from_regex(
-    graph: &MultiGraph,
-    regex: &PathRegex,
-    max_length: usize,
-) -> SingleGraph {
+pub fn derive_from_regex(graph: &MultiGraph, regex: &PathRegex, max_length: usize) -> SingleGraph {
     let generator = Generator::new(regex, graph);
     let paths = generator
         .generate(&GeneratorConfig::with_max_length(max_length))
@@ -190,7 +186,11 @@ mod tests {
         let g = org_graph();
         let mut paths = label_composition(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0));
         // add a second path with the same endpoints
-        paths.extend(label_composition(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0)).into_iter());
+        paths.extend(label_composition(
+            &g,
+            mrpa_core::LabelId(1),
+            mrpa_core::LabelId(0),
+        ));
         let s = derive_from_path_set(&g, &paths);
         assert_eq!(s.edge_count(), 3);
     }
@@ -198,8 +198,9 @@ mod tests {
     #[test]
     fn derive_from_regex_matches_compose_for_two_step_expression() {
         let g = org_graph();
-        let regex = PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(1)))
-            .join(PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(0))));
+        let regex = PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(1))).join(
+            PathRegex::atom(EdgePattern::with_label(mrpa_core::LabelId(0))),
+        );
         let via_regex = derive_from_regex(&g, &regex, 2);
         let via_compose = compose_labels(&g, mrpa_core::LabelId(1), mrpa_core::LabelId(0));
         let a: Vec<_> = via_regex.edges().collect();

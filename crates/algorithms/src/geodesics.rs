@@ -122,11 +122,7 @@ pub fn eccentricities(graph: &SingleGraph) -> HashMap<VertexId, usize> {
     let mut out = HashMap::new();
     for v in graph.vertices() {
         let dist = crate::search::shortest_distances(graph, v);
-        let ecc = dist
-            .iter()
-            .filter(|(&u, _)| u != v)
-            .map(|(_, &d)| d)
-            .max();
+        let ecc = dist.iter().filter(|(&u, _)| u != v).map(|(_, &d)| d).max();
         if let Some(e) = ecc {
             out.insert(v, e);
         }
@@ -250,12 +246,7 @@ mod tests {
     #[test]
     fn betweenness_splits_over_equal_paths() {
         // two equal-length routes from 0 to 3: through 1 and through 2
-        let g = SingleGraph::from_edges([
-            (v(0), v(1)),
-            (v(0), v(2)),
-            (v(1), v(3)),
-            (v(2), v(3)),
-        ]);
+        let g = SingleGraph::from_edges([(v(0), v(1)), (v(0), v(2)), (v(1), v(3)), (v(2), v(3))]);
         let b = betweenness_centrality(&g, false);
         assert!((b[&v(1)] - 0.5).abs() < 1e-9);
         assert!((b[&v(2)] - 0.5).abs() < 1e-9);

@@ -53,8 +53,8 @@ pub fn bfs(graph: &SingleGraph, source: VertexId) -> BfsResult {
         order.push(u);
         let du = distance[&u];
         for &w in graph.out_neighbors(u) {
-            if !distance.contains_key(&w) {
-                distance.insert(w, du + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(w) {
+                e.insert(du + 1);
                 predecessor.insert(w, u);
                 queue.push_back(w);
             }

@@ -45,8 +45,7 @@ pub fn eigenvector_centrality(
     if n == 0 {
         return HashMap::new();
     }
-    let mut x: HashMap<VertexId, f64> =
-        vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
+    let mut x: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, 1.0 / n as f64)).collect();
     for _ in 0..config.max_iterations {
         // shifted iteration: next = Aᵀ x + x
         let mut next: HashMap<VertexId, f64> = vertices.iter().map(|&v| (v, x[&v])).collect();
@@ -98,7 +97,12 @@ pub fn pagerank(
             .sum();
         let mut next: HashMap<VertexId, f64> = vertices
             .iter()
-            .map(|&v| (v, (1.0 - damping) * uniform + damping * dangling_mass * uniform))
+            .map(|&v| {
+                (
+                    v,
+                    (1.0 - damping) * uniform + damping * dangling_mass * uniform,
+                )
+            })
             .collect();
         for &v in &vertices {
             let out = graph.out_degree(v);
@@ -192,17 +196,18 @@ pub fn spreading_activation(
 /// the experiment harness to compare derivation strategies.
 pub fn rank_by_score(scores: &HashMap<VertexId, f64>) -> Vec<VertexId> {
     let mut items: Vec<(VertexId, f64)> = scores.iter().map(|(&v, &s)| (v, s)).collect();
-    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    items.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     items.into_iter().map(|(v, _)| v).collect()
 }
 
 /// Spearman rank correlation between two score maps over the same vertex set.
 /// Returns `None` when fewer than two common vertices exist or a variance is
 /// zero.
-pub fn spearman_correlation(
-    a: &HashMap<VertexId, f64>,
-    b: &HashMap<VertexId, f64>,
-) -> Option<f64> {
+pub fn spearman_correlation(a: &HashMap<VertexId, f64>, b: &HashMap<VertexId, f64>) -> Option<f64> {
     let common: Vec<VertexId> = a.keys().filter(|v| b.contains_key(v)).copied().collect();
     if common.len() < 2 {
         return None;
@@ -348,24 +353,28 @@ mod tests {
 
     #[test]
     fn rank_by_score_orders_descending() {
-        let scores: HashMap<VertexId, f64> =
-            [(v(0), 0.1), (v(1), 0.7), (v(2), 0.2)].into_iter().collect();
+        let scores: HashMap<VertexId, f64> = [(v(0), 0.1), (v(1), 0.7), (v(2), 0.2)]
+            .into_iter()
+            .collect();
         assert_eq!(rank_by_score(&scores), vec![v(1), v(2), v(0)]);
     }
 
     #[test]
     fn spearman_detects_equal_and_reversed_rankings() {
-        let a: HashMap<VertexId, f64> =
-            [(v(0), 1.0), (v(1), 2.0), (v(2), 3.0)].into_iter().collect();
+        let a: HashMap<VertexId, f64> = [(v(0), 1.0), (v(1), 2.0), (v(2), 3.0)]
+            .into_iter()
+            .collect();
         let same = spearman_correlation(&a, &a).unwrap();
         assert!((same - 1.0).abs() < 1e-12);
-        let reversed: HashMap<VertexId, f64> =
-            [(v(0), 3.0), (v(1), 2.0), (v(2), 1.0)].into_iter().collect();
+        let reversed: HashMap<VertexId, f64> = [(v(0), 3.0), (v(1), 2.0), (v(2), 1.0)]
+            .into_iter()
+            .collect();
         let anti = spearman_correlation(&a, &reversed).unwrap();
         assert!((anti + 1.0).abs() < 1e-12);
         // constant vector has no variance
-        let constant: HashMap<VertexId, f64> =
-            [(v(0), 1.0), (v(1), 1.0), (v(2), 1.0)].into_iter().collect();
+        let constant: HashMap<VertexId, f64> = [(v(0), 1.0), (v(1), 1.0), (v(2), 1.0)]
+            .into_iter()
+            .collect();
         assert!(spearman_correlation(&a, &constant).is_none());
     }
 }

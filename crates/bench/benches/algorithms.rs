@@ -17,7 +17,9 @@ fn bench_algorithms(c: &mut Criterion) {
     });
     let g = ignore_labels(&mg);
     let mut group = c.benchmark_group("algorithms_substrate");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("pagerank", |b| {
         b.iter(|| spectral::pagerank(&g, 0.85, Default::default()))
     });

@@ -16,7 +16,9 @@ fn bench_derivations(c: &mut Criterion) {
         seed: 31,
     });
     let mut group = c.benchmark_group("E6_derivation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("ignore_labels", |b| b.iter(|| derive::ignore_labels(&g)));
     group.bench_function("extract_label", |b| {
         b.iter(|| derive::extract_label(&g, LabelId(0)))
@@ -28,7 +30,9 @@ fn bench_derivations(c: &mut Criterion) {
 
     let derived = derive::compose_labels(&g, LabelId(0), LabelId(1));
     let mut group = c.benchmark_group("E6_algorithms_on_derived");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("pagerank", |b| {
         b.iter(|| spectral::pagerank(&derived, 0.85, Default::default()))
     });

@@ -16,7 +16,9 @@ fn bench_engine(c: &mut Criterion) {
         seed: 42,
     });
     let mut group = c.benchmark_group("E8_engine_strategies");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for (name, strategy) in [
         ("materialized", ExecutionStrategy::Materialized),
         ("streaming", ExecutionStrategy::Streaming),

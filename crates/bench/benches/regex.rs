@@ -24,7 +24,9 @@ fn bench_recognizer_strategies(c: &mut Criterion) {
     let dfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Dfa, Some(&g));
     let min = Recognizer::with_strategy(regex, RecognizerStrategy::MinDfa, Some(&g));
     let mut group = c.benchmark_group("E9_recognizer_strategies");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for (name, rec) in [("nfa", &nfa), ("dfa", &dfa), ("min_dfa", &min)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), rec, |bench, rec| {
             bench.iter(|| paths.iter().filter(|p| rec.recognizes(p)).count())
@@ -35,10 +37,18 @@ fn bench_recognizer_strategies(c: &mut Criterion) {
 
 fn bench_figure_1_generation(c: &mut Criterion) {
     let g = graph();
-    let regex = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+    let regex = PathRegex::figure_1(
+        VertexId(0),
+        VertexId(1),
+        VertexId(2),
+        LabelId(0),
+        LabelId(1),
+    );
     let generator = Generator::new(&regex, &g);
     let mut group = c.benchmark_group("E1_E10_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("figure1_generator", |b| {
         b.iter(|| {
             generator
@@ -60,7 +70,9 @@ fn bench_label_regex_baseline(c: &mut Criterion) {
         .concat(mrpa_regex::LabelRegex::label(LabelId(2)));
     let embedded = Recognizer::new(label_query.to_path_regex());
     let mut group = c.benchmark_group("E7_label_vs_edge_alphabet");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("label_regex_structural", |b| {
         b.iter(|| paths.iter().filter(|p| label_query.matches_path(p)).count())
     });

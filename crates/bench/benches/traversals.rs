@@ -4,9 +4,7 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrpa_core::{
-    complete_traversal, labeled_traversal, source_traversal, LabelId, VertexId,
-};
+use mrpa_core::{complete_traversal, labeled_traversal, source_traversal, LabelId, VertexId};
 use mrpa_datagen::{erdos_renyi, sample_vertex_fraction, ErConfig};
 
 fn graph() -> mrpa_core::MultiGraph {
@@ -21,7 +19,9 @@ fn graph() -> mrpa_core::MultiGraph {
 fn bench_complete(c: &mut Criterion) {
     let g = graph();
     let mut group = c.benchmark_group("E2_complete_traversal");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for n in 1..=3usize {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
             bench.iter(|| complete_traversal(&g, n))
@@ -33,10 +33,13 @@ fn bench_complete(c: &mut Criterion) {
 fn bench_source_restriction(c: &mut Criterion) {
     let g = graph();
     let mut group = c.benchmark_group("E3_source_restriction");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for &fraction in &[1.0f64, 0.25, 0.05] {
-        let vs: HashSet<VertexId> =
-            sample_vertex_fraction(&g, fraction, 9).into_iter().collect();
+        let vs: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 9)
+            .into_iter()
+            .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{fraction:.2}")),
             &vs,
@@ -49,7 +52,9 @@ fn bench_source_restriction(c: &mut Criterion) {
 fn bench_labeled(c: &mut Criterion) {
     let g = graph();
     let mut group = c.benchmark_group("E4_labeled_traversal");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for &k in &[1usize, 2, 4] {
         let omega: HashSet<LabelId> = (0..k).map(LabelId::from_index).collect();
         let steps = vec![omega.clone(), omega.clone(), omega];
@@ -60,5 +65,10 @@ fn bench_labeled(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_complete, bench_source_restriction, bench_labeled);
+criterion_group!(
+    benches,
+    bench_complete,
+    bench_source_restriction,
+    bench_labeled
+);
 criterion_main!(benches);

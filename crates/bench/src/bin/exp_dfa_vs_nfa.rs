@@ -43,10 +43,10 @@ fn main() {
         let min_t = time_median(3, || paths.iter().filter(|p| min_rec.recognizes(p)).count());
 
         // sanity: all strategies agree
-        let agree = paths
-            .iter()
-            .all(|p| nfa_rec.recognizes(p) == dfa_rec.recognizes(p)
-                && dfa_rec.recognizes(p) == min_rec.recognizes(p));
+        let agree = paths.iter().all(|p| {
+            nfa_rec.recognizes(p) == dfa_rec.recognizes(p)
+                && dfa_rec.recognizes(p) == min_rec.recognizes(p)
+        });
         assert!(agree, "strategies disagree");
 
         table.row([

@@ -54,12 +54,8 @@ fn main() {
         let mat_ms = time_median(3, || {
             build(ExecutionStrategy::Materialized).execute().unwrap()
         });
-        let str_ms = time_median(3, || {
-            build(ExecutionStrategy::Streaming).execute().unwrap()
-        });
-        let par_ms = time_median(3, || {
-            build(ExecutionStrategy::Parallel).execute().unwrap()
-        });
+        let str_ms = time_median(3, || build(ExecutionStrategy::Streaming).execute().unwrap());
+        let par_ms = time_median(3, || build(ExecutionStrategy::Parallel).execute().unwrap());
 
         // hand-written algebra evaluation of the same query (no planner)
         let graph = snapshot.graph();

@@ -39,7 +39,7 @@ fn main() {
 
     println!("Figure 1 automaton on the paper's §II example graph (paths of length ≤ {max_len}):");
     for p in generated.iter() {
-        println!("  {}", named.render_path(p));
+        println!("  {}", named.render_path(&p));
     }
     println!(
         "generator paths = {}, recognizer∘scan paths = {}, agree = {}",
@@ -73,8 +73,11 @@ fn main() {
             mrpa_core::LabelId(1),
         );
         let generator = Generator::new(&regex, &g);
-        let (generated, gen_ms) =
-            time(|| generator.generate(&GeneratorConfig::with_max_length(4)).unwrap());
+        let (generated, gen_ms) = time(|| {
+            generator
+                .generate(&GeneratorConfig::with_max_length(4))
+                .unwrap()
+        });
         let (scanned, scan_ms) = time(|| Generator::generate_by_scan(&regex, &g, 4));
         table.row([
             n.to_string(),

@@ -20,9 +20,15 @@ fn main() {
     let steps = 3usize;
     let (complete, complete_ms) = time(|| complete_traversal(&g, steps));
 
-    let mut table = Table::new(["|Ωe|", "|Ωe|/|Ω|", "paths", "time ms", "fraction of complete"]);
+    let mut table = Table::new([
+        "|Ωe|",
+        "|Ωe|/|Ω|",
+        "paths",
+        "time ms",
+        "fraction of complete",
+    ]);
     for &k in &[1usize, 2, 4, 8] {
-        let omega: HashSet<LabelId> = (0..k).map(|l| LabelId::from_index(l)).collect();
+        let omega: HashSet<LabelId> = (0..k).map(LabelId::from_index).collect();
         let label_steps: Vec<HashSet<LabelId>> = (0..steps).map(|_| omega.clone()).collect();
         let (paths, ms) = time(|| labeled_traversal(&g, &label_steps));
         table.row([

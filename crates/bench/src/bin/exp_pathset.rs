@@ -1,0 +1,122 @@
+//! Deep-chain path-set benchmark: arena-backed frontier traversal vs the
+//! pre-arena `Vec<Path>` representation, on the E2 workload.
+//!
+//! Measures n-hop source traversals (`A ⋈◦ E ⋈◦ … ⋈◦ E`) at n = 2..6 over the
+//! standard E2 Erdős–Rényi graph, reporting wall-clock per traversal, ops/s
+//! (traversals per second), peak intermediate path-set size, and the speedup
+//! of the arena representation over the legacy baseline. With `--json` (or
+//! always, as a side effect) the machine-readable rows are written to
+//! `BENCH_pathset.json` so subsequent PRs have a perf trajectory to beat.
+
+use std::collections::HashSet;
+
+use mrpa_bench::legacy::LegacyPathSet;
+use mrpa_bench::{fmt_f, time_median, Table};
+use mrpa_core::{EdgePattern, PathSet, VertexId};
+use mrpa_datagen::{erdos_renyi, sample_vertices, ErConfig};
+
+/// The E2 traversal workload graph (same parameters as `benches/traversals.rs`).
+fn e2_graph() -> mrpa_core::MultiGraph {
+    erdos_renyi(ErConfig {
+        vertices: 50,
+        labels: 4,
+        edge_probability: 0.02,
+        seed: 7,
+    })
+}
+
+/// Arena-backed n-hop source traversal, tracking the peak intermediate set.
+fn arena_traversal(
+    graph: &mrpa_core::MultiGraph,
+    sources: &HashSet<VertexId>,
+    n: usize,
+) -> (PathSet, usize) {
+    let mut acc = EdgePattern::from_vertices(sources.iter().copied()).select_paths(graph);
+    let mut peak = acc.len();
+    let any = EdgePattern::any();
+    for _ in 1..n {
+        acc = acc.step_join(graph, &any);
+        peak = peak.max(acc.len());
+    }
+    (acc, peak)
+}
+
+fn main() {
+    let runs = 7;
+    let g = e2_graph();
+    let sources: HashSet<VertexId> = sample_vertices(&g, 5, 9).into_iter().collect();
+    println!(
+        "E2 workload: |V|={} |E|={} |Ω|={}, {} sources, median of {runs} runs",
+        g.vertex_count(),
+        g.edge_count(),
+        g.label_count(),
+        sources.len()
+    );
+
+    let mut table = Table::new([
+        "n",
+        "paths",
+        "peak set",
+        "arena ms",
+        "legacy ms",
+        "speedup",
+        "arena ops/s",
+        "legacy ops/s",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for n in 2..=6usize {
+        let (result, peak) = arena_traversal(&g, &sources, n);
+        let count = result.len();
+        // correctness cross-check before timing anything
+        let legacy = LegacyPathSet::source_traversal(&g, &sources, n);
+        assert_eq!(
+            PathSet::from_paths(legacy.paths().iter().cloned()),
+            result,
+            "legacy and arena traversals disagree at n = {n}"
+        );
+
+        let arena_ms = time_median(runs, || arena_traversal(&g, &sources, n));
+        let legacy_ms = time_median(runs, || LegacyPathSet::source_traversal(&g, &sources, n));
+        let speedup = legacy_ms / arena_ms.max(1e-9);
+        let arena_ops = 1e3 / arena_ms.max(1e-9);
+        let legacy_ops = 1e3 / legacy_ms.max(1e-9);
+
+        table.row([
+            n.to_string(),
+            count.to_string(),
+            peak.to_string(),
+            fmt_f(arena_ms),
+            fmt_f(legacy_ms),
+            format!("{speedup:.1}x"),
+            fmt_f(arena_ops),
+            fmt_f(legacy_ops),
+        ]);
+        json_rows.push(format!(
+            "    {{\"n\": {n}, \"paths\": {count}, \"peak_pathset\": {peak}, \
+             \"arena_ms\": {arena_ms:.4}, \"legacy_ms\": {legacy_ms:.4}, \
+             \"speedup\": {speedup:.2}, \"arena_ops_per_s\": {arena_ops:.2}, \
+             \"legacy_ops_per_s\": {legacy_ops:.2}}}"
+        ));
+    }
+
+    table.print(
+        "pathset deep chain: arena vs pre-arena representation (E2, n-hop source traversal)",
+    );
+    println!("Expectation: the arena join is allocation-free per pair, so the gap widens with n;");
+    println!("the acceptance bar is >= 5x at n = 4.");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"pathset_deep_chain\",\n  \"workload\": {{\"graph\": \"erdos_renyi\", \
+         \"vertices\": {}, \"edges\": {}, \"labels\": {}, \"edge_probability\": 0.02, \"seed\": 7, \
+         \"sources\": {}, \"runs\": {runs}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        g.label_count(),
+        sources.len(),
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_pathset.json";
+    std::fs::write(path, &json).expect("write BENCH_pathset.json");
+    println!("\nwrote {path}");
+}

@@ -27,7 +27,10 @@ fn main() {
         .concat(LabelRegex::label(LabelId(1)))
         .concat(LabelRegex::AnyOf(vec![LabelId(0), LabelId(1), LabelId(2)]));
     let edge_accepted = paths.iter().filter(|p| edge_rec.recognizes(p)).count();
-    let label_accepted = paths.iter().filter(|p| label_approx.matches_path(p)).count();
+    let label_accepted = paths
+        .iter()
+        .filter(|p| label_approx.matches_path(p))
+        .count();
 
     let mut table = Table::new(["formulation", "accepted of all 3-paths", "note"]);
     table.row([
@@ -52,16 +55,25 @@ fn main() {
         .concat(LabelRegex::label(LabelId(1)).star())
         .concat(LabelRegex::label(LabelId(2)));
     let embedded = Recognizer::new(label_query.to_path_regex());
-    let sample: Vec<_> = paths.iter().cloned().collect();
+    let sample: Vec<_> = paths.iter().collect();
     let label_ms = time_median(5, || {
-        sample.iter().filter(|p| label_query.matches_path(p)).count()
+        sample
+            .iter()
+            .filter(|p| label_query.matches_path(p))
+            .count()
     });
     let edge_ms = time_median(5, || {
         sample.iter().filter(|p| embedded.recognizes(p)).count()
     });
     let mut table2 = Table::new(["recognizer", "time ms (all paths)"]);
-    table2.row(["label-regex structural (Mendelzon–Wood)".to_string(), fmt_f(label_ms)]);
-    table2.row(["edge-regex NFA (this paper, embedded)".to_string(), fmt_f(edge_ms)]);
+    table2.row([
+        "label-regex structural (Mendelzon–Wood)".to_string(),
+        fmt_f(label_ms),
+    ]);
+    table2.row([
+        "edge-regex NFA (this paper, embedded)".to_string(),
+        fmt_f(edge_ms),
+    ]);
     table2.print("E7b: recognition throughput on a label-only query");
 
     println!("Expectation: every label regex embeds into the edge-alphabet formulation");

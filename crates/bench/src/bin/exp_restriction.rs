@@ -39,8 +39,12 @@ fn main() {
         "1.000".to_string(),
     ]);
     for &fraction in &[0.5f64, 0.25, 0.1, 0.02] {
-        let vs: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 99).into_iter().collect();
-        let vd: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 100).into_iter().collect();
+        let vs: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 99)
+            .into_iter()
+            .collect();
+        let vd: HashSet<VertexId> = sample_vertex_fraction(&g, fraction, 100)
+            .into_iter()
+            .collect();
         let (src, src_ms) = time(|| source_traversal(&g, &vs, n));
         let (dst, dst_ms) = time(|| destination_traversal(&g, &vd, n));
         let (both, both_ms) = time(|| source_destination_traversal(&g, &vs, &vd, n));

@@ -1,0 +1,158 @@
+//! The pre-arena path-set representation, preserved verbatim as the
+//! benchmark baseline.
+//!
+//! This is the seed implementation that the arena-backed
+//! [`mrpa_core::PathSet`] replaced: paths are owned `Vec<Edge>` values stored
+//! twice (once in insertion order, once in the dedup hash set), and every
+//! join output pair clones and reallocates the whole left path. It exists so
+//! `exp_pathset` / `BENCH_pathset.json` can report the arena speedup against
+//! the representation it replaced — do not use it for anything else.
+
+use std::collections::{HashMap, HashSet};
+
+use mrpa_core::{Edge, MultiGraph, Path, VertexId};
+
+/// The seed's path set: insertion-ordered `Vec<Path>` plus a `HashSet<Path>`
+/// that re-hashes whole edge vectors for dedup.
+#[derive(Debug, Clone, Default)]
+pub struct LegacyPathSet {
+    paths: Vec<Path>,
+    seen: HashSet<Path>,
+}
+
+impl LegacyPathSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every edge of the graph as a length-1 path.
+    pub fn from_graph(graph: &MultiGraph) -> Self {
+        let mut s = LegacyPathSet::new();
+        for e in graph.edges() {
+            s.insert(Path::from_edge(*e));
+        }
+        s
+    }
+
+    /// Length-1 paths from an edge iterator.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        let mut s = LegacyPathSet::new();
+        for e in edges {
+            s.insert(Path::from_edge(e));
+        }
+        s
+    }
+
+    /// Inserts a path (clone-into-set dedup, as the seed did).
+    pub fn insert(&mut self, path: Path) -> bool {
+        if self.seen.contains(&path) {
+            return false;
+        }
+        self.seen.insert(path.clone());
+        self.paths.push(path);
+        true
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The paths in insertion order.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The seed's `A ⋈◦ B`: buckets `B` by tail on every call and clones the
+    /// full left path per output pair (`Path::concat` allocates a fresh
+    /// `Vec<Edge>` of length `‖a‖ + ‖b‖`).
+    pub fn join(&self, other: &LegacyPathSet) -> LegacyPathSet {
+        let mut by_tail: HashMap<VertexId, Vec<&Path>> = HashMap::new();
+        let mut epsilons: Vec<&Path> = Vec::new();
+        for b in &other.paths {
+            match b.tail_vertex() {
+                Ok(v) => by_tail.entry(v).or_default().push(b),
+                Err(_) => epsilons.push(b),
+            }
+        }
+        let mut out = LegacyPathSet::new();
+        for a in &self.paths {
+            if a.is_empty() {
+                for b in &other.paths {
+                    out.insert((*b).clone());
+                }
+                continue;
+            }
+            let head = a.head_vertex().expect("non-empty path has a head");
+            if let Some(bs) = by_tail.get(&head) {
+                for b in bs {
+                    out.insert(a.concat(b));
+                }
+            }
+            for b in &epsilons {
+                out.insert(a.concat(b));
+            }
+        }
+        out
+    }
+
+    /// The seed's source traversal: select the source edges, then join with
+    /// the full materialised edge set `E` once per hop (re-bucketing `E` into
+    /// a fresh `HashMap` each time).
+    pub fn source_traversal(
+        graph: &MultiGraph,
+        sources: &HashSet<VertexId>,
+        n: usize,
+    ) -> LegacyPathSet {
+        if n == 0 {
+            let mut s = LegacyPathSet::new();
+            s.insert(Path::epsilon());
+            return s;
+        }
+        let mut acc =
+            LegacyPathSet::from_edges(graph.edges().filter(|e| sources.contains(&e.tail)).copied());
+        let e = LegacyPathSet::from_graph(graph);
+        for _ in 1..n {
+            acc = acc.join(&e);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_core::{source_traversal, PathSet};
+
+    #[test]
+    fn legacy_agrees_with_arena_source_traversal() {
+        let g = mrpa_datagen::erdos_renyi(mrpa_datagen::ErConfig {
+            vertices: 20,
+            labels: 2,
+            edge_probability: 0.08,
+            seed: 3,
+        });
+        let sources: HashSet<VertexId> = g.vertices().take(4).collect();
+        for n in 1..=3usize {
+            let legacy = LegacyPathSet::source_traversal(&g, &sources, n);
+            let arena = source_traversal(&g, &sources, n);
+            let legacy_as_set = PathSet::from_paths(legacy.paths().iter().cloned());
+            assert_eq!(legacy_as_set, arena, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn basic_set_behaviour() {
+        let mut s = LegacyPathSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Path::from_edge(Edge::from((0, 0, 1)))));
+        assert!(!s.insert(Path::from_edge(Edge::from((0, 0, 1)))));
+        assert_eq!(s.len(), 1);
+    }
+}

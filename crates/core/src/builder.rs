@@ -156,7 +156,7 @@ impl NamedGraph {
 
     /// Renders a path set with names.
     pub fn render_path_set(&self, set: &PathSet) -> String {
-        let mut parts: Vec<String> = set.iter().map(|p| self.render_path(p)).collect();
+        let mut parts: Vec<String> = set.iter().map(|p| self.render_path(&p)).collect();
         parts.sort();
         format!("{{{}}}", parts.join(", "))
     }

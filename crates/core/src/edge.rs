@@ -14,7 +14,6 @@ use crate::ids::{LabelId, VertexId};
 /// In the paper's notation: `γ⁻(e) = i` (tail), `ω(e) = α` (label),
 /// `γ⁺(e) = j` (head). An edge is also a path of length 1 (`e ∈ E ⊂ E*`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     /// Tail vertex `i = γ⁻(e)`.
     pub tail: VertexId,

@@ -64,18 +64,25 @@ mod tests {
         assert!(CoreError::UnknownVertex(VertexId(3))
             .to_string()
             .contains("v3"));
-        assert!(CoreError::UnknownLabel(LabelId(2)).to_string().contains("l2"));
-        assert!(CoreError::EmptyPath.to_string().contains("ε"));
-        assert!(CoreError::IndexOutOfBounds { index: 4, length: 2 }
+        assert!(CoreError::UnknownLabel(LabelId(2))
             .to_string()
-            .contains("4"));
+            .contains("l2"));
+        assert!(CoreError::EmptyPath.to_string().contains("ε"));
+        assert!(CoreError::IndexOutOfBounds {
+            index: 4,
+            length: 2
+        }
+        .to_string()
+        .contains("4"));
         assert!(CoreError::BoundExceeded {
             bound: 10,
             what: "generator frontier"
         }
         .to_string()
         .contains("10"));
-        assert!(CoreError::UnknownName("foo".into()).to_string().contains("foo"));
+        assert!(CoreError::UnknownName("foo".into())
+            .to_string()
+            .contains("foo"));
     }
 
     #[test]

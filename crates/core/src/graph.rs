@@ -7,10 +7,11 @@
 //! edge patterns of §IV-A (`[i,_,_]`, `[_,α,_]`, `[_,_,j]`, …) and the
 //! restricted traversals of §III are evaluated without scanning all of `E`.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 use crate::edge::Edge;
 use crate::error::{CoreError, CoreResult};
+use crate::fxhash::FxHashMap as HashMap;
 use crate::ids::{LabelId, VertexId};
 
 /// A directed multi-relational graph over interned vertex and label ids.
@@ -19,10 +20,13 @@ use crate::ids::{LabelId, VertexId};
 /// may exist without incident edges (isolated vertices are part of `V`).
 #[derive(Debug, Clone, Default)]
 pub struct MultiGraph {
-    /// All edges in insertion order (deduplicated).
+    /// All edges (deduplicated). Insertion order is preserved until the first
+    /// removal; [`MultiGraph::remove_edge`] swap-removes, so after removals
+    /// the order is unspecified (but still deterministic).
     edges: Vec<Edge>,
-    /// Fast membership test for `E`.
-    edge_set: HashSet<Edge>,
+    /// Membership and position in `edges` — makes removal O(deg) instead of a
+    /// full scan of `E`.
+    edge_pos: HashMap<Edge, usize>,
     /// All vertices (including isolated ones).
     vertices: BTreeSet<VertexId>,
     /// All labels in use.
@@ -50,14 +54,14 @@ impl MultiGraph {
     pub fn with_capacity(vertices: usize, edges: usize) -> Self {
         MultiGraph {
             edges: Vec::with_capacity(edges),
-            edge_set: HashSet::with_capacity(edges),
+            edge_pos: HashMap::with_capacity_and_hasher(edges, Default::default()),
             vertices: BTreeSet::new(),
             labels: BTreeSet::new(),
-            out_index: HashMap::with_capacity(vertices),
-            in_index: HashMap::with_capacity(vertices),
-            label_index: HashMap::new(),
-            out_label_index: HashMap::with_capacity(vertices),
-            in_label_index: HashMap::with_capacity(vertices),
+            out_index: HashMap::with_capacity_and_hasher(vertices, Default::default()),
+            in_index: HashMap::with_capacity_and_hasher(vertices, Default::default()),
+            label_index: HashMap::default(),
+            out_label_index: HashMap::with_capacity_and_hasher(vertices, Default::default()),
+            in_label_index: HashMap::with_capacity_and_hasher(vertices, Default::default()),
         }
     }
 
@@ -71,9 +75,10 @@ impl MultiGraph {
     /// into `V`. Returns `true` if the edge was newly inserted (i.e. it was not
     /// already an element of the edge *set*).
     pub fn add_edge(&mut self, edge: Edge) -> bool {
-        if !self.edge_set.insert(edge) {
+        if self.edge_pos.contains_key(&edge) {
             return false;
         }
+        self.edge_pos.insert(edge, self.edges.len());
         self.vertices.insert(edge.tail);
         self.vertices.insert(edge.head);
         self.labels.insert(edge.label);
@@ -99,38 +104,48 @@ impl MultiGraph {
 
     /// Removes an edge from `E`. Returns `true` if the edge was present.
     ///
-    /// Removal is `O(deg)` because the per-vertex index vectors are compacted.
-    /// Vertices are never removed implicitly (they stay in `V`).
+    /// Removal is `O(deg)`: the main edge vector is swap-removed through a
+    /// position map (no scan of all of `E`), the per-vertex/label index
+    /// buckets are compacted, and emptied buckets are dropped so repeated
+    /// add/remove cycles do not leak index entries. Vertices are never
+    /// removed implicitly (they stay in `V`).
     pub fn remove_edge(&mut self, edge: &Edge) -> bool {
-        if !self.edge_set.remove(edge) {
+        let Some(pos) = self.edge_pos.remove(edge) else {
             return false;
+        };
+        self.edges.swap_remove(pos);
+        if pos < self.edges.len() {
+            // the former last edge moved into `pos`
+            self.edge_pos.insert(self.edges[pos], pos);
         }
-        self.edges.retain(|e| e != edge);
-        if let Some(v) = self.out_index.get_mut(&edge.tail) {
-            v.retain(|e| e != edge);
-        }
-        if let Some(v) = self.in_index.get_mut(&edge.head) {
-            v.retain(|e| e != edge);
-        }
-        if let Some(v) = self.label_index.get_mut(&edge.label) {
-            v.retain(|e| e != edge);
-            if v.is_empty() {
-                self.label_index.remove(&edge.label);
-                self.labels.remove(&edge.label);
+        fn remove_from_bucket<K: Eq + std::hash::Hash>(
+            index: &mut HashMap<K, Vec<Edge>>,
+            key: K,
+            edge: &Edge,
+        ) {
+            if let Some(bucket) = index.get_mut(&key) {
+                if let Some(i) = bucket.iter().position(|e| e == edge) {
+                    bucket.swap_remove(i);
+                }
+                if bucket.is_empty() {
+                    index.remove(&key);
+                }
             }
         }
-        if let Some(v) = self.out_label_index.get_mut(&(edge.tail, edge.label)) {
-            v.retain(|e| e != edge);
+        remove_from_bucket(&mut self.out_index, edge.tail, edge);
+        remove_from_bucket(&mut self.in_index, edge.head, edge);
+        remove_from_bucket(&mut self.label_index, edge.label, edge);
+        if !self.label_index.contains_key(&edge.label) {
+            self.labels.remove(&edge.label);
         }
-        if let Some(v) = self.in_label_index.get_mut(&(edge.head, edge.label)) {
-            v.retain(|e| e != edge);
-        }
+        remove_from_bucket(&mut self.out_label_index, (edge.tail, edge.label), edge);
+        remove_from_bucket(&mut self.in_label_index, (edge.head, edge.label), edge);
         true
     }
 
     /// Whether `(i, α, j) ∈ E`.
     pub fn contains_edge(&self, edge: &Edge) -> bool {
-        self.edge_set.contains(edge)
+        self.edge_pos.contains_key(edge)
     }
 
     /// Whether `v ∈ V`.
@@ -163,12 +178,13 @@ impl MultiGraph {
         self.labels.iter().copied()
     }
 
-    /// Iterates over `E` in insertion order.
+    /// Iterates over `E` (insertion order until the first removal; see
+    /// [`MultiGraph::remove_edge`]).
     pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
         self.edges.iter()
     }
 
-    /// Returns `E` as a slice (insertion order).
+    /// Returns `E` as a slice.
     pub fn edge_slice(&self) -> &[Edge] {
         &self.edges
     }
@@ -269,7 +285,7 @@ impl MultiGraph {
     /// `Ė = {E₁, …, E_m}` discussed (and rejected) in §I/§II — useful for tests
     /// demonstrating why that representation loses path labels.
     pub fn to_edge_family(&self) -> HashMap<LabelId, Vec<(VertexId, VertexId)>> {
-        let mut family: HashMap<LabelId, Vec<(VertexId, VertexId)>> = HashMap::new();
+        let mut family: HashMap<LabelId, Vec<(VertexId, VertexId)>> = HashMap::default();
         for e in &self.edges {
             family.entry(e.label).or_default().push((e.tail, e.head));
         }
@@ -335,7 +351,11 @@ impl MultiGraph {
             .map(|v| self.out_degree(v))
             .max()
             .unwrap_or(0);
-        let max_in = self.vertices().map(|v| self.in_degree(v)).max().unwrap_or(0);
+        let max_in = self
+            .vertices()
+            .map(|v| self.in_degree(v))
+            .max()
+            .unwrap_or(0);
         GraphStats {
             vertex_count: self.vertex_count(),
             edge_count: self.edge_count(),
@@ -467,7 +487,10 @@ mod tests {
         assert_eq!(g.in_degree(VertexId(0)), 1);
         assert_eq!(g.degree(VertexId(0)), 4);
         assert_eq!(g.out_neighbors(VertexId(0)), vec![VertexId(1), VertexId(2)]);
-        assert_eq!(g.in_neighbors(VertexId(1)), vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            g.in_neighbors(VertexId(1)),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
     }
 
     #[test]
@@ -482,6 +505,48 @@ mod tests {
         assert!(g.remove_edge(&edge(2, 0, 1)));
         assert!(g.remove_edge(&edge(0, 0, 2)));
         assert_eq!(g.label_count(), 1);
+    }
+
+    #[test]
+    fn removal_drops_empty_index_buckets_and_stays_consistent() {
+        // add/remove churn must not leak (v, α) buckets or corrupt positions
+        let mut g = MultiGraph::new();
+        for round in 0..50u32 {
+            for i in 0..10u32 {
+                g.add_edge(edge(i, round % 3, (i + 1) % 10));
+            }
+            for i in 0..10u32 {
+                assert!(g.remove_edge(&edge(i, round % 3, (i + 1) % 10)));
+            }
+            assert_eq!(g.edge_count(), 0);
+            assert_eq!(g.label_count(), 0);
+            for v in 0..10u32 {
+                assert_eq!(g.out_degree(VertexId(v)), 0);
+                assert_eq!(g.in_degree(VertexId(v)), 0);
+                assert!(g
+                    .out_edges_labeled(VertexId(v), LabelId(round % 3))
+                    .is_empty());
+            }
+        }
+        // interleaved removal keeps the position map coherent
+        let mut g = paper_graph();
+        assert!(g.remove_edge(&edge(0, 0, 1)));
+        g.add_edge(edge(5, 0, 6));
+        assert!(g.contains_edge(&edge(5, 0, 6)));
+        assert!(g.remove_edge(&edge(1, 1, 1)));
+        assert_eq!(g.edge_count(), 6);
+        for e in [
+            edge(1, 1, 2),
+            edge(2, 0, 1),
+            edge(1, 1, 0),
+            edge(0, 0, 2),
+            edge(0, 1, 2),
+            edge(5, 0, 6),
+        ] {
+            assert!(g.contains_edge(&e), "{e} lost");
+            assert!(g.out_edges(e.tail).contains(&e));
+            assert!(g.in_edges(e.head).contains(&e));
+        }
     }
 
     #[test]

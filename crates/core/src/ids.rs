@@ -14,12 +14,10 @@ use core::fmt;
 /// [`GraphBuilder`](crate::builder::GraphBuilder) or chosen directly by the
 /// caller when constructing graphs programmatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub u32);
 
 /// Identifier of an edge label (relation type) `α ∈ Ω`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LabelId(pub u32);
 
 impl VertexId {

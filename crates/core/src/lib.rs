@@ -54,9 +54,11 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod builder;
 pub mod edge;
 pub mod error;
+pub mod fxhash;
 pub mod graph;
 pub mod ids;
 pub mod interner;
@@ -66,6 +68,7 @@ pub mod pathset;
 pub mod pattern;
 pub mod traversal;
 
+pub use arena::{PathArena, PathId};
 pub use builder::{GraphBuilder, NamedGraph};
 pub use edge::Edge;
 pub use error::{CoreError, CoreResult};
@@ -83,6 +86,7 @@ pub use traversal::{
 
 /// Convenient glob import: `use mrpa_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::arena::{PathArena, PathId};
     pub use crate::builder::{GraphBuilder, NamedGraph};
     pub use crate::edge::Edge;
     pub use crate::error::{CoreError, CoreResult};

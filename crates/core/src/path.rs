@@ -25,7 +25,6 @@ use crate::ids::{LabelId, VertexId};
 /// `⋈◦` on path sets only produces joint paths while the concatenative product
 /// `×◦` may produce disjoint ones.
 #[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Path {
     edges: Vec<Edge>,
 }
@@ -110,9 +109,7 @@ impl Path {
     /// The paper leaves `f(ε)` unspecified; we treat ε as joint (it is the
     /// identity of `⋈◦` and joins with everything), and document this choice.
     pub fn is_joint(&self) -> bool {
-        self.edges
-            .windows(2)
-            .all(|w| w[0].head == w[1].tail)
+        self.edges.windows(2).all(|w| w[0].head == w[1].tail)
     }
 
     /// `a ◦ b`: concatenation of two paths (total function; the result may be
@@ -329,11 +326,17 @@ mod tests {
         let a = Path::from_edges([e(0, 0, 1), e(1, 1, 2)]);
         assert_eq!(
             a.sigma(0),
-            Err(CoreError::IndexOutOfBounds { index: 0, length: 2 })
+            Err(CoreError::IndexOutOfBounds {
+                index: 0,
+                length: 2
+            })
         );
         assert_eq!(
             a.sigma(3),
-            Err(CoreError::IndexOutOfBounds { index: 3, length: 2 })
+            Err(CoreError::IndexOutOfBounds {
+                index: 3,
+                length: 2
+            })
         );
     }
 

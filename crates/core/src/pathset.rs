@@ -1,8 +1,16 @@
 //! Path sets: elements of `P(E*)` and the operations `∪`, `⋈◦`, `×◦` (§II).
 //!
-//! A [`PathSet`] is a finite set of paths. It keeps insertion order for
-//! deterministic display and iteration while deduplicating with a hash set
-//! (the paper's `P(E*)` is a set, so duplicates are meaningless).
+//! A [`PathSet`] is a finite set of paths backed by a hash-consed
+//! [`PathArena`]: each element is a [`PathId`] whose node caches `γ⁻`, `γ⁺`,
+//! `‖a‖`, and jointness, and whose prefix chain *shares structure* with the
+//! paths it was built from. The representation is what makes the paper's
+//! restricted traversals cheap:
+//!
+//! * `A ⋈◦ {e ∈ E}` appends one arena node per output pair — no edge-vector
+//!   clone, no per-pair allocation (see [`PathSet::step_join`] for the
+//!   frontier-driven single-hop form the traversal evaluators use);
+//! * deduplication hashes a `u32` id instead of a whole edge vector;
+//! * `union` of same-arena sets is an id merge.
 //!
 //! The two concatenative operations are:
 //!
@@ -15,150 +23,282 @@
 //!
 //! `A ⋈◦ B ⊆ A ×◦ B` always holds (footnote 7); experiment E5 quantifies the
 //! efficiency gap between evaluating the join directly versus filtering the
-//! product.
+//! product. [`PathSet::join_naive`] is retained as the O(|A|·|B|) correctness
+//! oracle.
+//!
+//! Sets keep insertion order for deterministic display and iteration.
+//! Iteration materialises paths on demand ([`PathSet::iter`] yields owned
+//! [`Path`] values); projections (`endpoints`, `head_vertices`, restriction
+//! by endpoint) never materialise at all.
 
 use std::collections::{HashMap, HashSet};
 
+use crate::arena::{PathArena, PathId};
 use crate::edge::Edge;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::graph::MultiGraph;
 use crate::ids::{LabelId, VertexId};
 use crate::path::Path;
+use crate::pattern::{EdgePattern, Position};
 
-/// A finite set of paths `A ∈ P(E*)` with deterministic iteration order.
-#[derive(Debug, Clone, Default)]
+/// A finite set of paths `A ∈ P(E*)` with deterministic iteration order,
+/// backed by a prefix-sharing [`PathArena`].
+#[derive(Debug, Clone)]
 pub struct PathSet {
-    paths: Vec<Path>,
-    seen: HashSet<Path>,
+    arena: PathArena,
+    ids: Vec<PathId>,
+    seen: FxHashSet<PathId>,
+}
+
+impl Default for PathSet {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PathSet {
-    /// Creates an empty path set (∅).
+    /// Creates an empty path set (∅) with a fresh arena.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in(&PathArena::new())
     }
 
-    /// Creates an empty path set with the given capacity.
+    /// Creates an empty path set sharing an existing arena. Joins, steps, and
+    /// unions of sets over one arena stay allocation-free per shared prefix.
+    pub fn new_in(arena: &PathArena) -> Self {
+        PathSet {
+            arena: arena.clone(),
+            ids: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Creates an empty path set with the given capacity (fresh arena).
     pub fn with_capacity(capacity: usize) -> Self {
         PathSet {
-            paths: Vec::with_capacity(capacity),
-            seen: HashSet::with_capacity(capacity),
+            arena: PathArena::new(),
+            ids: Vec::with_capacity(capacity),
+            seen: HashSet::with_capacity_and_hasher(capacity, Default::default()),
         }
     }
 
     /// The singleton `{ε}` — the identity of `⋈◦` and `×◦` and the initial
     /// stack element of the §IV-B generator automaton.
     pub fn epsilon() -> Self {
-        let mut s = PathSet::new();
-        s.insert(Path::epsilon());
+        Self::epsilon_in(&PathArena::new())
+    }
+
+    /// The singleton `{ε}` sharing an existing arena.
+    pub fn epsilon_in(arena: &PathArena) -> Self {
+        let mut s = PathSet::new_in(arena);
+        s.insert_id(PathId::EPSILON);
         s
+    }
+
+    /// The arena backing this set.
+    pub fn arena(&self) -> &PathArena {
+        &self.arena
+    }
+
+    /// The element ids in insertion order (meaningful relative to
+    /// [`PathSet::arena`]).
+    pub fn ids(&self) -> &[PathId] {
+        &self.ids
     }
 
     /// Builds a path set from every edge in the graph: the full edge set `E`
     /// viewed as length-1 paths (`[_,_,_]` in the §IV-A notation).
     pub fn from_graph(graph: &MultiGraph) -> Self {
-        graph.edges().copied().map(Path::from_edge).collect()
+        PathSet::from_edges(graph.edges().copied())
     }
 
     /// Builds a path set from an iterator of edges (each a length-1 path).
     pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
-        edges.into_iter().map(Path::from_edge).collect()
+        let mut out = PathSet::new();
+        let arena = out.arena.clone();
+        let mut core = arena.write();
+        for e in edges {
+            let id = core.append(PathId::EPSILON, e);
+            out.insert_id(id);
+        }
+        out
     }
 
     /// Builds a path set from an iterator of paths.
     pub fn from_paths<I: IntoIterator<Item = Path>>(paths: I) -> Self {
-        paths.into_iter().collect()
+        let mut out = PathSet::new();
+        let arena = out.arena.clone();
+        let mut core = arena.write();
+        for p in paths {
+            let id = core.intern_path(&p);
+            out.insert_id(id);
+        }
+        out
     }
 
     /// Inserts a path; returns `true` if it was not already present.
     pub fn insert(&mut self, path: Path) -> bool {
-        if self.seen.contains(&path) {
-            return false;
-        }
-        self.seen.insert(path.clone());
-        self.paths.push(path);
-        true
+        let id = self.arena.write().intern_path(&path);
+        self.insert_id(id)
     }
 
-    /// Whether the set contains the given path.
+    /// Inserts a path by id. The id must come from this set's arena (or an
+    /// arena for which [`PathArena::same_store`] holds). Returns `true` if
+    /// the path was not already present.
+    pub fn insert_id(&mut self, id: PathId) -> bool {
+        if self.seen.insert(id) {
+            self.ids.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the set contains the given path. The lookup walks the arena's
+    /// intern table (O(`‖path‖`)), never materialising anything.
     pub fn contains(&self, path: &Path) -> bool {
-        self.seen.contains(path)
+        match self.arena.read().find_path(path) {
+            Some(id) => self.seen.contains(&id),
+            None => false,
+        }
+    }
+
+    /// Whether the set contains the path with this id (same-arena ids only).
+    pub fn contains_id(&self, id: PathId) -> bool {
+        self.seen.contains(&id)
     }
 
     /// Number of paths in the set.
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.ids.len()
     }
 
     /// Whether the set is ∅.
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Iterates over the paths in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Path> {
-        self.paths.iter()
+    /// Materialises every path, in insertion order.
+    pub fn paths(&self) -> Vec<Path> {
+        let core = self.arena.read();
+        self.ids.iter().map(|&id| core.to_path(id)).collect()
     }
 
-    /// Returns the paths as a slice in insertion order.
-    pub fn as_slice(&self) -> &[Path] {
-        &self.paths
+    /// Iterates over the paths in insertion order, materialising each one.
+    ///
+    /// The iterator yields owned [`Path`] values: elements live in the arena,
+    /// not as stored edge vectors. Endpoint/length queries are cheaper
+    /// through [`PathSet::head_vertices`] / [`PathSet::length_histogram`] /
+    /// [`PathSet::endpoints`], which never materialise.
+    pub fn iter(&self) -> std::vec::IntoIter<Path> {
+        self.paths().into_iter()
     }
 
-    /// `A ∪ B`: set union.
+    /// `A ∪ B`: set union. Cloning `self` is O(|A|) id copies (the arena is
+    /// shared, not copied); see [`PathSet::merge`] for the in-place form.
     pub fn union(&self, other: &PathSet) -> PathSet {
         let mut out = self.clone();
-        for p in &other.paths {
-            out.insert(p.clone());
-        }
+        out.merge(other);
         out
     }
 
-    /// `A ⋈◦ B`: the concatenative join. Only pairs with `γ⁺(a) = γ⁻(b)` (or an
-    /// ε operand) are concatenated, so every produced path is joint whenever
-    /// the operands are joint.
+    /// In-place union: `self ← self ∪ other`. Same-arena merges move ids
+    /// only; cross-arena merges re-intern `other`'s paths once.
+    pub fn merge(&mut self, other: &PathSet) {
+        if self.arena.same_store(&other.arena) {
+            for &id in &other.ids {
+                self.insert_id(id);
+            }
+            return;
+        }
+        // Phase 1: materialise the foreign set (single read lock, then release).
+        let foreign: Vec<Vec<Edge>> = {
+            let core = other.arena.read();
+            other.ids.iter().map(|&id| core.edges_of(id)).collect()
+        };
+        // Phase 2: intern into our arena (single write lock).
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        for edges in &foreign {
+            let id = core.append_edges(PathId::EPSILON, edges);
+            self.insert_id(id);
+        }
+    }
+
+    /// `A ⋈◦ B`: the concatenative join. Only pairs with `γ⁺(a) = γ⁻(b)` (or
+    /// an ε operand) are concatenated, so every produced path is joint
+    /// whenever the operands are joint.
     ///
-    /// Evaluation is index-accelerated: `B` is bucketed by `γ⁻`, giving
-    /// `O(|A| + |B| + |output|)` pair enumeration instead of `O(|A| · |B|)`.
+    /// Evaluation is index-accelerated (`B` bucketed by `γ⁻`, giving
+    /// `O(|A| + |B| + |output|)` pair enumeration) and arena-backed: each
+    /// output pair costs `‖b‖` hash-consed appends onto the *shared* arena
+    /// node of `a` — for the edge-set operands of §III traversals that is one
+    /// append, never a clone of `a`. An ε in `A` contributes `B` exactly once
+    /// (hoisted out of the pair loop); an ε in `B` contributes `A` by id.
     pub fn join(&self, other: &PathSet) -> PathSet {
-        // Bucket B by tail vertex; ε goes in a separate bucket that joins with everything.
-        let mut by_tail: HashMap<VertexId, Vec<&Path>> = HashMap::new();
-        let mut epsilons: Vec<&Path> = Vec::new();
-        for b in &other.paths {
-            match b.tail_vertex() {
-                Ok(v) => by_tail.entry(v).or_default().push(b),
-                Err(_) => epsilons.push(b),
+        let mut out = PathSet::new_in(&self.arena);
+        // Phase 1: snapshot B's edge strings, bucketed by tail vertex
+        // (single read lock on B's arena, released before phase 2 so
+        // self-joins over one arena cannot deadlock).
+        let mut b_strings: Vec<Vec<Edge>> = Vec::with_capacity(other.ids.len());
+        let mut by_tail: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        let mut b_has_eps = false;
+        {
+            let core = other.arena.read();
+            for &b in &other.ids {
+                if b.is_epsilon() {
+                    b_has_eps = true;
+                    continue;
+                }
+                let idx = b_strings.len();
+                by_tail
+                    .entry(core.nodes[b.index()].tail)
+                    .or_default()
+                    .push(idx);
+                b_strings.push(core.edges_of(b));
             }
         }
-        let mut out = PathSet::new();
-        for a in &self.paths {
-            if a.is_empty() {
-                // ε ◦ b = b for every b ∈ B
-                for b in &other.paths {
-                    out.insert((*b).clone());
-                }
+        // Phase 2: build the output in A's arena (single write lock).
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        if self.seen.contains(&PathId::EPSILON) {
+            // ε ◦ b = b for every b ∈ B, contributed once regardless of how
+            // the ε was inserted.
+            if b_has_eps {
+                out.insert_id(PathId::EPSILON);
+            }
+            for edges in &b_strings {
+                let id = core.append_edges(PathId::EPSILON, edges);
+                out.insert_id(id);
+            }
+        }
+        for &a in &self.ids {
+            if a.is_epsilon() {
                 continue;
             }
-            let head = a.head_vertex().expect("non-empty path has a head");
-            if let Some(bs) = by_tail.get(&head) {
-                for b in bs {
-                    out.insert(a.concat(b));
+            let head = core.nodes[a.index()].head;
+            if let Some(bucket) = by_tail.get(&head) {
+                for &idx in bucket {
+                    let id = core.append_edges(a, &b_strings[idx]);
+                    out.insert_id(id);
                 }
             }
-            for b in &epsilons {
-                out.insert(a.concat(b));
+            if b_has_eps {
+                // a ◦ ε = a: the id itself, zero appends.
+                out.insert_id(a);
             }
         }
         out
     }
 
-    /// Naive `O(|A|·|B|)` evaluation of `A ⋈◦ B`, retained as the baseline for
-    /// the E5 ablation (indexed vs naive join). Semantically identical to
-    /// [`PathSet::join`].
+    /// Naive `O(|A|·|B|)` evaluation of `A ⋈◦ B` over materialised paths,
+    /// retained as the correctness oracle for the arena-backed
+    /// [`PathSet::join`] and as the baseline of the E5 ablation (indexed vs
+    /// naive join). Semantically identical to [`PathSet::join`].
     pub fn join_naive(&self, other: &PathSet) -> PathSet {
         let mut out = PathSet::new();
-        for a in &self.paths {
-            for b in &other.paths {
-                if let Some(ab) = a.join(b) {
+        for a in self.iter() {
+            for b in other.iter() {
+                if let Some(ab) = a.join(&b) {
                     out.insert(ab);
                 }
             }
@@ -166,21 +306,198 @@ impl PathSet {
         out
     }
 
-    /// `A ×◦ B`: the concatenative (Cartesian) product; disjoint concatenations
-    /// are kept.
+    /// `A ×◦ B`: the concatenative (Cartesian) product; disjoint
+    /// concatenations are kept.
     pub fn product(&self, other: &PathSet) -> PathSet {
-        let mut out = PathSet::with_capacity(self.len() * other.len());
-        for a in &self.paths {
-            for b in &other.paths {
-                out.insert(a.concat(b));
+        let mut out = PathSet::new_in(&self.arena);
+        let b_strings: Vec<Vec<Edge>> = {
+            let core = other.arena.read();
+            other.ids.iter().map(|&b| core.edges_of(b)).collect()
+        };
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        for &a in &self.ids {
+            for edges in &b_strings {
+                let id = core.append_edges(a, edges);
+                out.insert_id(id);
             }
+        }
+        out
+    }
+
+    /// One frontier-driven hop: `A ⋈◦ {e ∈ E | pattern accepts e}`, evaluated
+    /// against the graph's adjacency indexes instead of materialising the
+    /// pattern's edge set and re-bucketing it.
+    ///
+    /// For every non-ε path the candidate edges come straight from
+    /// `out_edges(γ⁺(a))` (or `out_edges_labeled` when the pattern pins
+    /// labels), so the cost is O(frontier degree), one arena append per
+    /// output, and zero per-step `HashMap` rebuilds. ε elements contribute
+    /// the pattern's full selection (they start fresh paths). Semantically
+    /// identical to `self.join(&pattern.select_paths(graph))`.
+    pub fn step_join(&self, graph: &MultiGraph, pattern: &EdgePattern) -> PathSet {
+        let mut out = PathSet::new_in(&self.arena);
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        // Upper-bound the output by the frontier's (pattern-restricted)
+        // out-degree and reserve once, so the hot append loop never rehashes
+        // or regrows. Paths failing the tail position and labels the pattern
+        // pins are excluded, so a selective step reserves proportionally.
+        let estimate: usize = self
+            .ids
+            .iter()
+            .map(|&a| {
+                if a.is_epsilon() {
+                    return graph.edge_count();
+                }
+                let head = core.nodes[a.index()].head;
+                if !pattern.tail.matches(&head) {
+                    return 0;
+                }
+                match &pattern.label {
+                    Position::Is(l) => graph.out_edges_labeled(head, *l).len(),
+                    Position::In(labels) => labels
+                        .iter()
+                        .map(|l| graph.out_edges_labeled(head, *l).len())
+                        .sum(),
+                    _ => graph.out_degree(head),
+                }
+            })
+            .sum();
+        core.reserve(estimate);
+        out.ids.reserve(estimate);
+        out.seen.reserve(estimate);
+        for &a in &self.ids {
+            if a.is_epsilon() {
+                for e in pattern.select(graph) {
+                    let id = core.append(PathId::EPSILON, e);
+                    out.insert_id(id);
+                }
+                continue;
+            }
+            let head = core.nodes[a.index()].head;
+            if !pattern.tail.matches(&head) {
+                continue;
+            }
+            match &pattern.label {
+                Position::Is(l) => {
+                    for e in graph.out_edges_labeled(head, *l) {
+                        if pattern.head.matches(&e.head) {
+                            let id = core.append(a, *e);
+                            out.insert_id(id);
+                        }
+                    }
+                }
+                Position::In(labels) => {
+                    for l in labels {
+                        for e in graph.out_edges_labeled(head, *l) {
+                            if pattern.head.matches(&e.head) {
+                                let id = core.append(a, *e);
+                                out.insert_id(id);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for e in graph.out_edges(head) {
+                        if pattern.label.matches(&e.label) && pattern.head.matches(&e.head) {
+                            let id = core.append(a, *e);
+                            out.insert_id(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One frontier-driven hop against an arbitrary edge predicate:
+    /// `A ⋈◦ {e ∈ E | accept(e)}`. Like [`PathSet::step_join`] but for callers
+    /// whose edge sets are not [`EdgePattern`]s (e.g. the explicit edge-set
+    /// atoms of regular path expressions).
+    pub fn step_join_where<F: Fn(&Edge) -> bool>(&self, graph: &MultiGraph, accept: F) -> PathSet {
+        // Phase 1: snapshot the frontier heads (read lock only), then run the
+        // user predicate with NO lock held — `accept` may touch this arena
+        // (e.g. probe another set sharing it) and the RwLock is not
+        // reentrant.
+        let heads: Vec<(PathId, Option<VertexId>)> = {
+            let core = self.arena.read();
+            self.ids
+                .iter()
+                .map(|&a| {
+                    if a.is_epsilon() {
+                        (a, None)
+                    } else {
+                        (a, Some(core.nodes[a.index()].head))
+                    }
+                })
+                .collect()
+        };
+        let mut accepted: Vec<(PathId, Edge)> = Vec::new();
+        for &(a, head) in &heads {
+            match head {
+                None => {
+                    for e in graph.edges() {
+                        if accept(e) {
+                            accepted.push((PathId::EPSILON, *e));
+                        }
+                    }
+                }
+                Some(h) => {
+                    for e in graph.out_edges(h) {
+                        if accept(e) {
+                            accepted.push((a, *e));
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2: append everything under a single write lock.
+        let mut out = PathSet::new_in(&self.arena);
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        core.reserve(accepted.len());
+        out.ids.reserve(accepted.len());
+        out.seen.reserve(accepted.len());
+        for (base, e) in accepted {
+            let id = core.append(base, e);
+            out.insert_id(id);
+        }
+        out
+    }
+
+    /// The set `{reverse(a) | a ∈ A}` with every edge reversed — the
+    /// re-orientation step of destination traversals evaluated on the
+    /// reversed graph.
+    ///
+    /// Walks each path's suffix chain (which is already reverse order)
+    /// appending reversed edges straight into the output arena: one pass per
+    /// path, no intermediate materialised `Path`s, and shared suffixes
+    /// become shared prefixes in the output.
+    pub fn reversed_paths(&self) -> PathSet {
+        let mut out = PathSet::new();
+        let out_arena = out.arena.clone();
+        let src = self.arena.read();
+        // distinct locks: `out_arena` was created above and has no other
+        // holder, so nesting the guards cannot deadlock
+        let mut dst = out_arena.write();
+        for &id in &self.ids {
+            let mut cur = id;
+            let mut acc = PathId::EPSILON;
+            while !cur.is_epsilon() {
+                let node = &src.nodes[cur.index()];
+                acc = dst.append(acc, node.edge.reversed());
+                cur = node.prefix;
+            }
+            out.insert_id(acc);
         }
         out
     }
 
     /// Repeated self-join: `A ⋈◦ A ⋈◦ … ⋈◦ A` (`n` operands). `n = 0` yields
     /// `{ε}` (the empty join), `n = 1` yields `A` itself. This is the paper's
-    /// `Rⁿ` (footnote 8) and the building block of complete traversals (§III-A).
+    /// `Rⁿ` (footnote 8) and the building block of complete traversals
+    /// (§III-A).
     pub fn join_power(&self, n: usize) -> PathSet {
         match n {
             0 => PathSet::epsilon(),
@@ -195,71 +512,121 @@ impl PathSet {
     }
 
     /// Keeps only the paths whose tail vertex is in `allowed` — the left
-    /// restriction underlying source traversals (§III-B). ε paths are dropped.
+    /// restriction underlying source traversals (§III-B). ε paths are
+    /// dropped. O(|A|) field reads, no materialisation.
     pub fn restrict_tails(&self, allowed: &HashSet<VertexId>) -> PathSet {
-        self.paths
-            .iter()
-            .filter(|p| p.tail_vertex().map(|v| allowed.contains(&v)).unwrap_or(false))
-            .cloned()
-            .collect()
+        let core = self.arena.read();
+        let mut out = PathSet::new_in(&self.arena);
+        for &id in &self.ids {
+            if !id.is_epsilon() && allowed.contains(&core.nodes[id.index()].tail) {
+                out.insert_id(id);
+            }
+        }
+        out
     }
 
     /// Keeps only the paths whose head vertex is in `allowed` — the right
     /// restriction underlying destination traversals (§III-C). ε paths are
-    /// dropped.
+    /// dropped. O(|A|) field reads, no materialisation.
     pub fn restrict_heads(&self, allowed: &HashSet<VertexId>) -> PathSet {
-        self.paths
-            .iter()
-            .filter(|p| p.head_vertex().map(|v| allowed.contains(&v)).unwrap_or(false))
-            .cloned()
-            .collect()
+        let core = self.arena.read();
+        let mut out = PathSet::new_in(&self.arena);
+        for &id in &self.ids {
+            if !id.is_epsilon() && allowed.contains(&core.nodes[id.index()].head) {
+                out.insert_id(id);
+            }
+        }
+        out
     }
 
     /// Keeps only the paths whose path label `ω′(a)` equals `labels`.
     pub fn restrict_path_label(&self, labels: &[LabelId]) -> PathSet {
-        self.paths
-            .iter()
-            .filter(|p| p.path_label() == labels)
-            .cloned()
-            .collect()
+        let core = self.arena.read();
+        let mut out = PathSet::new_in(&self.arena);
+        'next: for &id in &self.ids {
+            if core.nodes[id.index()].len as usize != labels.len() {
+                continue;
+            }
+            // walk the suffix chain, comparing labels back to front
+            let mut cur = id;
+            let mut k = labels.len();
+            while !cur.is_epsilon() {
+                let node = &core.nodes[cur.index()];
+                k -= 1;
+                if node.edge.label != labels[k] {
+                    continue 'next;
+                }
+                cur = node.prefix;
+            }
+            out.insert_id(id);
+        }
+        out
     }
 
-    /// Keeps only paths satisfying the predicate.
+    /// Keeps only paths satisfying the predicate (each candidate is
+    /// materialised once; the survivors keep their arena ids).
     pub fn filter<F: Fn(&Path) -> bool>(&self, pred: F) -> PathSet {
-        self.paths.iter().filter(|p| pred(p)).cloned().collect()
+        let materialised: Vec<(PathId, Path)> = {
+            let core = self.arena.read();
+            self.ids.iter().map(|&id| (id, core.to_path(id))).collect()
+        };
+        let mut out = PathSet::new_in(&self.arena);
+        for (id, path) in &materialised {
+            if pred(path) {
+                out.insert_id(*id);
+            }
+        }
+        out
     }
 
-    /// Keeps only joint paths (Definition 3).
+    /// Keeps only joint paths (Definition 3). O(|A|): jointness is a cached
+    /// node flag.
     pub fn joint_only(&self) -> PathSet {
-        self.filter(Path::is_joint)
+        let core = self.arena.read();
+        let mut out = PathSet::new_in(&self.arena);
+        for &id in &self.ids {
+            if core.nodes[id.index()].joint {
+                out.insert_id(id);
+            }
+        }
+        out
     }
 
-    /// Whether every path in the set is joint.
+    /// Whether every path in the set is joint (O(|A|) flag reads).
     pub fn all_joint(&self) -> bool {
-        self.paths.iter().all(Path::is_joint)
+        let core = self.arena.read();
+        self.ids.iter().all(|&id| core.nodes[id.index()].joint)
     }
 
     /// Whether `self ⊆ other`.
     pub fn is_subset_of(&self, other: &PathSet) -> bool {
-        self.paths.iter().all(|p| other.contains(p))
+        if self.arena.same_store(&other.arena) {
+            return self.ids.iter().all(|id| other.seen.contains(id));
+        }
+        let own: Vec<Path> = self.paths();
+        own.iter().all(|p| other.contains(p))
     }
 
-    /// Set equality (independent of insertion order).
+    /// Set equality (independent of insertion order and backing arena).
     pub fn set_eq(&self, other: &PathSet) -> bool {
         self.len() == other.len() && self.is_subset_of(other)
     }
 
     /// Projects the endpoint pairs `(γ⁻(a), γ⁺(a))` of every non-ε path — the
-    /// §IV-C construction `E_αβ = ⋃_{a ∈ A ⋈◦ B} (γ⁻(a), γ⁺(a))`, deduplicated.
+    /// §IV-C construction `E_αβ = ⋃_{a ∈ A ⋈◦ B} (γ⁻(a), γ⁺(a))`,
+    /// deduplicated. O(|A|) field reads.
     pub fn endpoints(&self) -> Vec<(VertexId, VertexId)> {
+        let core = self.arena.read();
         let mut out: Vec<(VertexId, VertexId)> = self
-            .paths
+            .ids
             .iter()
-            .filter_map(|p| match (p.tail_vertex(), p.head_vertex()) {
-                (Ok(t), Ok(h)) => Some((t, h)),
-                _ => None,
+            .filter(|id| !id.is_epsilon())
+            .map(|&id| {
+                let node = &core.nodes[id.index()];
+                (node.tail, node.head)
             })
             .collect();
+        drop(core);
         out.sort_unstable();
         out.dedup();
         out
@@ -267,31 +634,38 @@ impl PathSet {
 
     /// The multiset of path labels `ω′(a)` for every path in the set.
     pub fn path_labels(&self) -> Vec<Vec<LabelId>> {
-        self.paths.iter().map(Path::path_label).collect()
+        let core = self.arena.read();
+        self.ids.iter().map(|&id| core.labels_of(id)).collect()
     }
 
     /// The distinct head vertices of the paths in the set (the traversal
-    /// "frontier" after this step).
+    /// "frontier" after this step). O(|A|) field reads.
     pub fn head_vertices(&self) -> HashSet<VertexId> {
-        self.paths
+        let core = self.arena.read();
+        self.ids
             .iter()
-            .filter_map(|p| p.head_vertex().ok())
+            .filter(|id| !id.is_epsilon())
+            .map(|&id| core.nodes[id.index()].head)
             .collect()
     }
 
     /// The distinct tail vertices of the paths in the set.
     pub fn tail_vertices(&self) -> HashSet<VertexId> {
-        self.paths
+        let core = self.arena.read();
+        self.ids
             .iter()
-            .filter_map(|p| p.tail_vertex().ok())
+            .filter(|id| !id.is_epsilon())
+            .map(|&id| core.nodes[id.index()].tail)
             .collect()
     }
 
-    /// Length histogram: map from `‖a‖` to the number of paths of that length.
+    /// Length histogram: map from `‖a‖` to the number of paths of that
+    /// length. O(|A|) field reads.
     pub fn length_histogram(&self) -> HashMap<usize, usize> {
+        let core = self.arena.read();
         let mut h = HashMap::new();
-        for p in &self.paths {
-            *h.entry(p.len()).or_insert(0) += 1;
+        for &id in &self.ids {
+            *h.entry(core.nodes[id.index()].len as usize).or_insert(0) += 1;
         }
         h
     }
@@ -307,27 +681,30 @@ impl Eq for PathSet {}
 
 impl FromIterator<Path> for PathSet {
     fn from_iter<T: IntoIterator<Item = Path>>(iter: T) -> Self {
-        let mut s = PathSet::new();
-        for p in iter {
-            s.insert(p);
-        }
-        s
+        PathSet::from_paths(iter)
     }
 }
 
 impl Extend<Path> for PathSet {
     fn extend<T: IntoIterator<Item = Path>>(&mut self, iter: T) {
-        for p in iter {
-            self.insert(p);
+        // drain the caller's iterator before locking: it may itself read
+        // this arena (e.g. `set.extend(other.iter())` over a shared arena),
+        // and the RwLock is not reentrant
+        let paths: Vec<Path> = iter.into_iter().collect();
+        let arena = self.arena.clone();
+        let mut core = arena.write();
+        for p in &paths {
+            let id = core.intern_path(p);
+            self.insert_id(id);
         }
     }
 }
 
-impl<'a> IntoIterator for &'a PathSet {
-    type Item = &'a Path;
-    type IntoIter = std::slice::Iter<'a, Path>;
+impl IntoIterator for &PathSet {
+    type Item = Path;
+    type IntoIter = std::vec::IntoIter<Path>;
     fn into_iter(self) -> Self::IntoIter {
-        self.paths.iter()
+        self.iter()
     }
 }
 
@@ -335,14 +712,14 @@ impl IntoIterator for PathSet {
     type Item = Path;
     type IntoIter = std::vec::IntoIter<Path>;
     fn into_iter(self) -> Self::IntoIter {
-        self.paths.into_iter()
+        self.paths().into_iter()
     }
 }
 
 impl std::fmt::Display for PathSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{")?;
-        for (i, p) in self.paths.iter().enumerate() {
+        for (i, p) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -373,11 +750,7 @@ mod tests {
     }
 
     fn paper_b() -> PathSet {
-        PathSet::from_paths([
-            p(&[(1, 1, 1)]),
-            p(&[(1, 1, 0), (0, 0, 2)]),
-            p(&[(0, 1, 2)]),
-        ])
+        PathSet::from_paths([p(&[(1, 1, 1)]), p(&[(1, 1, 0), (0, 0, 2)]), p(&[(0, 1, 2)])])
     }
 
     #[test]
@@ -398,13 +771,22 @@ mod tests {
     }
 
     #[test]
-    fn naive_join_agrees_with_indexed_join() {
+    fn naive_join_agrees_with_arena_join() {
         let a = paper_a();
         let b = paper_b();
         assert_eq!(a.join(&b), a.join_naive(&b));
         // and in the other direction too (join is not commutative, but both
         // evaluation strategies must agree on either order)
         assert_eq!(b.join(&a), b.join_naive(&a));
+    }
+
+    #[test]
+    fn join_output_shares_the_left_operand_arena() {
+        let a = paper_a();
+        let b = paper_b();
+        let joined = a.join(&b);
+        assert!(joined.arena().same_store(a.arena()));
+        assert!(!joined.arena().same_store(b.arena()));
     }
 
     #[test]
@@ -446,6 +828,20 @@ mod tests {
     }
 
     #[test]
+    fn epsilon_in_both_operands_joins_to_epsilon() {
+        let mut a = paper_a();
+        a.insert(Path::epsilon());
+        let mut b = paper_b();
+        b.insert(Path::epsilon());
+        let joined = a.join(&b);
+        // ε ◦ ε = ε survives; A's paths survive via b = ε; B's via a = ε
+        assert!(joined.contains(&Path::epsilon()));
+        assert!(a.is_subset_of(&joined));
+        assert!(b.is_subset_of(&joined));
+        assert_eq!(joined, a.join_naive(&b));
+    }
+
+    #[test]
     fn empty_set_annihilates() {
         let a = paper_a();
         let empty = PathSet::new();
@@ -464,6 +860,19 @@ mod tests {
         assert!(b.is_subset_of(&u));
         // idempotent
         assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn merge_is_in_place_union() {
+        let mut a = paper_a();
+        let b = paper_b();
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        // same-arena merge is id-level
+        let c = a.clone();
+        let before = a.len();
+        a.merge(&c);
+        assert_eq!(a.len(), before);
     }
 
     #[test]
@@ -487,6 +896,19 @@ mod tests {
     }
 
     #[test]
+    fn same_edge_sequence_same_id() {
+        // the set-level interning invariant: dedup works by id because the
+        // arena canonicalises equal edge sequences to equal ids
+        let mut s = PathSet::new();
+        s.insert(p(&[(0, 0, 1), (1, 1, 2)]));
+        s.insert(p(&[(0, 0, 1), (1, 1, 2)]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ids().len(), 1);
+        let id = s.ids()[0];
+        assert_eq!(s.arena().find(&p(&[(0, 0, 1), (1, 1, 2)])), Some(id));
+    }
+
+    #[test]
     fn join_power_builds_length_n_paths() {
         // simple cycle v0 -α-> v1 -α-> v2 -α-> v0
         let edges = [e(0, 0, 1), e(1, 0, 2), e(2, 0, 0)];
@@ -499,6 +921,75 @@ mod tests {
         let p3 = s.join_power(3);
         assert_eq!(p3.len(), 3);
         assert!(p3.iter().all(|p| p.is_cycle()));
+    }
+
+    #[test]
+    fn step_join_equals_join_with_selected_paths() {
+        let mut g = MultiGraph::new();
+        for edge in [
+            e(0, 0, 1),
+            e(1, 1, 2),
+            e(2, 0, 1),
+            e(1, 1, 1),
+            e(1, 1, 0),
+            e(0, 0, 2),
+            e(0, 1, 2),
+        ] {
+            g.add_edge(edge);
+        }
+        let base = PathSet::from_edges([e(0, 0, 1), e(2, 0, 1), e(0, 1, 2)]);
+        let patterns = [
+            EdgePattern::any(),
+            EdgePattern::with_label(LabelId(1)),
+            EdgePattern::with_labels([LabelId(0), LabelId(1)]),
+            EdgePattern::to_vertex(VertexId(2)),
+            EdgePattern::from_vertex(VertexId(1)),
+        ];
+        for pat in &patterns {
+            let frontier = base.step_join(&g, pat);
+            let classic = base.join(&pat.select_paths(&g));
+            assert_eq!(frontier, classic, "pattern {pat:?}");
+        }
+        // starting from ε the step selects the pattern's edge set
+        let eps = PathSet::epsilon();
+        let first = eps.step_join(&g, &EdgePattern::with_label(LabelId(0)));
+        assert_eq!(first, EdgePattern::with_label(LabelId(0)).select_paths(&g));
+        // and the predicate form agrees with the pattern form
+        let by_pred = base.step_join_where(&g, |e| e.label == LabelId(1));
+        assert_eq!(
+            by_pred,
+            base.step_join(&g, &EdgePattern::with_label(LabelId(1)))
+        );
+    }
+
+    #[test]
+    fn step_join_where_predicate_may_touch_the_shared_arena() {
+        // the predicate runs with no arena lock held, so it may probe sets
+        // sharing this arena without deadlocking
+        let mut g = MultiGraph::new();
+        for edge in [e(0, 0, 1), e(1, 1, 2), e(1, 0, 0)] {
+            g.add_edge(edge);
+        }
+        let base = PathSet::from_edges([e(0, 0, 1)]);
+        let sibling = {
+            let mut s = PathSet::new_in(base.arena());
+            s.insert(p(&[(1, 1, 2)]));
+            s
+        };
+        let stepped = base.step_join_where(&g, |edge| {
+            sibling.contains(&Path::from_edge(*edge)) // reads the shared arena
+        });
+        assert_eq!(stepped, PathSet::from_paths([p(&[(0, 0, 1), (1, 1, 2)])]));
+    }
+
+    #[test]
+    fn extend_may_iterate_the_same_arena() {
+        // a lazy iterator whose adapters read the shared arena (here:
+        // `contains`) must not deadlock — extend drains it before locking
+        let a = paper_a();
+        let mut b = PathSet::new_in(a.arena());
+        b.extend(a.paths().into_iter().filter(|p| a.contains(p)));
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -519,7 +1010,10 @@ mod tests {
         let a = PathSet::from_edges([e(0, 0, 1), e(3, 0, 1)]);
         let b = PathSet::from_edges([e(1, 1, 2)]);
         let eab = a.join(&b).endpoints();
-        assert_eq!(eab, vec![(VertexId(0), VertexId(2)), (VertexId(3), VertexId(2))]);
+        assert_eq!(
+            eab,
+            vec![(VertexId(0), VertexId(2)), (VertexId(3), VertexId(2))]
+        );
     }
 
     #[test]
@@ -548,6 +1042,14 @@ mod tests {
     }
 
     #[test]
+    fn filter_keeps_matching_paths() {
+        let s = paper_a().union(&paper_b());
+        let long = s.filter(|p| p.len() >= 2);
+        assert_eq!(long.len(), 2);
+        assert!(long.arena().same_store(s.arena()));
+    }
+
+    #[test]
     fn display_formats_as_set() {
         let s = PathSet::from_paths([p(&[(0, 0, 1)])]);
         assert_eq!(s.to_string(), "{(v0, l0, v1)}");
@@ -562,5 +1064,15 @@ mod tests {
         let s = PathSet::from_graph(&g);
         assert_eq!(s.len(), 2);
         assert!(s.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn cross_arena_equality_and_subset() {
+        let a1 = paper_a();
+        let a2 = paper_a(); // different arena, same elements
+        assert!(!a1.arena().same_store(a2.arena()));
+        assert_eq!(a1, a2);
+        assert!(a1.is_subset_of(&a2));
+        assert_ne!(a1, paper_b());
     }
 }

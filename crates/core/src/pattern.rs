@@ -218,11 +218,7 @@ impl EdgePattern {
             }
             _ => {}
         }
-        graph
-            .edges()
-            .filter(|e| self.matches(e))
-            .copied()
-            .collect()
+        graph.edges().filter(|e| self.matches(e)).copied().collect()
     }
 
     /// Evaluates the pattern to a [`PathSet`] of length-1 paths, ready to be
@@ -392,8 +388,7 @@ mod tests {
         ];
         for pat in &patterns {
             let by_select: HashSet<Edge> = pat.select(&g).into_iter().collect();
-            let by_match: HashSet<Edge> =
-                g.edges().filter(|e| pat.matches(e)).copied().collect();
+            let by_match: HashSet<Edge> = g.edges().filter(|e| pat.matches(e)).copied().collect();
             assert_eq!(by_select, by_match, "pattern {pat:?}");
         }
     }

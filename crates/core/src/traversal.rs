@@ -6,6 +6,13 @@
 //! [`TraversalBuilder`] exposes exactly that scheme as a fluent API; the free
 //! functions cover the four named idioms of the paper.
 //!
+//! Evaluation is **frontier-driven**: each step extends the current path set
+//! through [`PathSet::step_join`], which walks `graph.out_edges(γ⁺(a))`
+//! adjacency directly — one hash-consed arena append per produced path —
+//! instead of materialising the step's edge set and re-bucketing it into a
+//! fresh hash map on every hop. Destination traversals run the same scheme
+//! over the reversed graph so the restriction still prunes first.
+//!
 //! Because `E ⋈◦ⁿ E` explodes combinatorially on dense graphs (this is the
 //! point of §III: restriction is what makes traversals tractable — measured in
 //! experiments E2–E4), every entry point takes the number of steps explicitly
@@ -24,25 +31,38 @@ use crate::pattern::EdgePattern;
 ///
 /// `n = 0` yields `{ε}`.
 pub fn complete_traversal(graph: &MultiGraph, n: usize) -> PathSet {
-    PathSet::from_graph(graph).join_power(n)
+    if n == 0 {
+        return PathSet::epsilon();
+    }
+    let mut acc = PathSet::from_graph(graph);
+    let any = EdgePattern::any();
+    for _ in 1..n {
+        acc = acc.step_join(graph, &any);
+    }
+    acc
 }
 
 /// All joint paths of length `n` emanating from a vertex in `sources`
 /// (§III-B): `A ⋈◦ E ⋈◦ … ⋈◦ E` with `A = {e ∈ E | γ⁻(e) ∈ Vs}`.
-pub fn source_traversal(
-    graph: &MultiGraph,
-    sources: &HashSet<VertexId>,
-    n: usize,
-) -> PathSet {
+pub fn source_traversal(graph: &MultiGraph, sources: &HashSet<VertexId>, n: usize) -> PathSet {
     if n == 0 {
         return PathSet::epsilon();
     }
-    let a = EdgePattern::from_vertices(sources.iter().copied()).select_paths(graph);
-    extend_with_e(graph, a, n - 1)
+    let mut acc = EdgePattern::from_vertices(sources.iter().copied()).select_paths(graph);
+    let any = EdgePattern::any();
+    for _ in 1..n {
+        acc = acc.step_join(graph, &any);
+    }
+    acc
 }
 
 /// All joint paths of length `n` terminating at a vertex in `destinations`
 /// (§III-C): `E ⋈◦ … ⋈◦ E ⋈◦ B` with `B = {e ∈ E | γ⁺(e) ∈ Vd}`.
+///
+/// Evaluated as a source traversal over the reversed graph (so the
+/// destination restriction prunes from the first step, and each step is a
+/// frontier extension instead of a right-to-left re-join of all of `E`),
+/// then re-oriented.
 pub fn destination_traversal(
     graph: &MultiGraph,
     destinations: &HashSet<VertexId>,
@@ -51,15 +71,8 @@ pub fn destination_traversal(
     if n == 0 {
         return PathSet::epsilon();
     }
-    let b = EdgePattern::to_vertices(destinations.iter().copied()).select_paths(graph);
-    // Evaluate right-to-left so the restriction prunes early:
-    // E ⋈◦ (E ⋈◦ (… ⋈◦ B))
-    let mut acc = b;
-    let e = PathSet::from_graph(graph);
-    for _ in 1..n {
-        acc = e.join(&acc);
-    }
-    acc
+    let reversed = graph.reversed();
+    source_traversal(&reversed, destinations, n).reversed_paths()
 }
 
 /// All joint paths of length `n` that start in `sources` and end in
@@ -86,11 +99,10 @@ pub fn labeled_traversal(graph: &MultiGraph, label_steps: &[HashSet<LabelId>]) -
     if label_steps.is_empty() {
         return PathSet::epsilon();
     }
-    let mut acc =
-        EdgePattern::with_labels(label_steps[0].iter().copied()).select_paths(graph);
+    let mut acc = EdgePattern::with_labels(label_steps[0].iter().copied()).select_paths(graph);
     for step in &label_steps[1..] {
-        let operand = EdgePattern::with_labels(step.iter().copied()).select_paths(graph);
-        acc = acc.join(&operand);
+        let pattern = EdgePattern::with_labels(step.iter().copied());
+        acc = acc.step_join(graph, &pattern);
     }
     acc
 }
@@ -99,17 +111,7 @@ pub fn labeled_traversal(graph: &MultiGraph, label_steps: &[HashSet<LabelId>]) -
 /// `A ⋈◦ B` with `A = {e | ω(e) = α}` and `B = {e | ω(e) = β}`.
 pub fn label_composition(graph: &MultiGraph, alpha: LabelId, beta: LabelId) -> PathSet {
     let a = EdgePattern::with_label(alpha).select_paths(graph);
-    let b = EdgePattern::with_label(beta).select_paths(graph);
-    a.join(&b)
-}
-
-fn extend_with_e(graph: &MultiGraph, start: PathSet, extra_steps: usize) -> PathSet {
-    let e = PathSet::from_graph(graph);
-    let mut acc = start;
-    for _ in 0..extra_steps {
-        acc = acc.join(&e);
-    }
-    acc
+    a.step_join(graph, &EdgePattern::with_label(beta))
 }
 
 /// A fluent builder for traversals expressed as a chain of joins over
@@ -220,10 +222,7 @@ impl<'g> TraversalBuilder<'g> {
         let mut acc = start;
         for step in steps {
             acc = match step {
-                Step::Join(pattern) => {
-                    let operand = pattern.select_paths(self.graph);
-                    acc.join(&operand)
-                }
+                Step::Join(pattern) => acc.step_join(self.graph, pattern),
                 Step::ThroughHeads(vs) => acc.restrict_heads(vs),
                 Step::ThroughTails(vs) => acc.restrict_tails(vs),
                 Step::Union(branch) => {
@@ -296,12 +295,19 @@ mod tests {
         let g = paper_graph();
         let t2 = complete_traversal(&g, 2);
         // count manually: for each edge, number of edges leaving its head
-        let expected: usize = g
-            .edges()
-            .map(|e| g.out_degree(e.head))
-            .sum();
+        let expected: usize = g.edges().map(|e| g.out_degree(e.head)).sum();
         assert_eq!(t2.len(), expected);
         assert!(t2.iter().all(|p| p.len() == 2 && p.is_joint()));
+    }
+
+    #[test]
+    fn complete_traversal_matches_join_power() {
+        // the frontier-driven evaluation is the same set as E ⋈◦ⁿ E
+        let g = paper_graph();
+        let e_set = PathSet::from_graph(&g);
+        for n in 1..=3 {
+            assert_eq!(complete_traversal(&g, n), e_set.join_power(n), "n = {n}");
+        }
     }
 
     #[test]
@@ -329,7 +335,10 @@ mod tests {
             .all(|p| p.head_vertex().unwrap() == VertexId(2) && p.len() == 2));
         // destination traversal to all of V is the complete traversal (§III-C)
         let all: HashSet<VertexId> = g.vertices().collect();
-        assert_eq!(destination_traversal(&g, &all, 2), complete_traversal(&g, 2));
+        assert_eq!(
+            destination_traversal(&g, &all, 2),
+            complete_traversal(&g, 2)
+        );
     }
 
     #[test]
@@ -339,10 +348,7 @@ mod tests {
         let vd = vset(&[2]);
         let n = 3;
         let complete = complete_traversal(&g, n);
-        assert_eq!(
-            source_traversal(&g, &vs, n),
-            complete.restrict_tails(&vs)
-        );
+        assert_eq!(source_traversal(&g, &vs, n), complete.restrict_tails(&vs));
         assert_eq!(
             destination_traversal(&g, &vd, n),
             complete.restrict_heads(&vd)
@@ -405,6 +411,17 @@ mod tests {
     }
 
     #[test]
+    fn builder_step_to_restricts_destinations() {
+        let g = paper_graph();
+        let built = TraversalBuilder::new(&g)
+            .step()
+            .step_to(vset(&[2]))
+            .evaluate()
+            .unwrap();
+        assert_eq!(built, destination_traversal(&g, &vset(&[2]), 2));
+    }
+
+    #[test]
     fn builder_through_restricts_midway() {
         let g = paper_graph();
         // paths of length 2 that pass through v1 after the first hop
@@ -429,7 +446,8 @@ mod tests {
             .union_with(from0)
             .evaluate()
             .unwrap();
-        let expected = source_traversal(&g, &vset(&[2]), 1).union(&source_traversal(&g, &vset(&[0]), 1));
+        let expected =
+            source_traversal(&g, &vset(&[2]), 1).union(&source_traversal(&g, &vset(&[0]), 1));
         assert_eq!(built, expected);
     }
 
@@ -454,7 +472,9 @@ mod tests {
             .starting_at(vset(&[1]))
             .evaluate()
             .unwrap();
-        assert!(built.iter().all(|p| p.tail_vertex().unwrap() == VertexId(1)));
+        assert!(built
+            .iter()
+            .all(|p| p.tail_vertex().unwrap() == VertexId(1)));
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub struct ErConfig {
 /// `p`.
 pub fn erdos_renyi(config: ErConfig) -> MultiGraph {
     let mut r = rng(config.seed);
-    let mut g = MultiGraph::with_capacity(
-        config.vertices,
-        (config.vertices * config.vertices) / 4,
-    );
+    let mut g = MultiGraph::with_capacity(config.vertices, (config.vertices * config.vertices) / 4);
     for v in 0..config.vertices {
         g.add_vertex(VertexId::from_index(v));
     }
@@ -97,10 +94,8 @@ pub struct BaConfig {
 /// (§III) matters most.
 pub fn preferential_attachment(config: BaConfig) -> MultiGraph {
     let mut r = rng(config.seed);
-    let mut g = MultiGraph::with_capacity(
-        config.vertices,
-        config.vertices * config.edges_per_vertex,
-    );
+    let mut g =
+        MultiGraph::with_capacity(config.vertices, config.vertices * config.edges_per_vertex);
     let m = config.edges_per_vertex.max(1);
     // target multiset for preferential selection (vertex repeated per degree)
     let mut targets: Vec<VertexId> = Vec::new();
@@ -322,7 +317,10 @@ mod tests {
         assert!(g.edge_count() > 300);
         let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
         let mean_in = g.edge_count() as f64 / g.vertex_count() as f64;
-        assert!(max_in as f64 > 3.0 * mean_in, "hub {max_in} vs mean {mean_in}");
+        assert!(
+            max_in as f64 > 3.0 * mean_in,
+            "hub {max_in} vs mean {mean_in}"
+        );
     }
 
     #[test]

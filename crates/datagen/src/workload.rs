@@ -179,7 +179,7 @@ mod tests {
         // it can be compiled and run without panicking
         let rec = mrpa_regex::Recognizer::new(r1);
         for p in mrpa_core::complete_traversal(&g, 2).iter().take(50) {
-            let _ = rec.recognizes(p);
+            let _ = rec.recognizes(&p);
         }
     }
 

@@ -53,11 +53,18 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(EngineError::UnknownVertex("x".into()).to_string().contains("x"));
-        assert!(EngineError::UnknownLabel("y".into()).to_string().contains("y"));
-        assert!(EngineError::BoundExceeded { bound: 5, what: "frontier" }
+        assert!(EngineError::UnknownVertex("x".into())
             .to_string()
-            .contains("5"));
+            .contains("x"));
+        assert!(EngineError::UnknownLabel("y".into())
+            .to_string()
+            .contains("y"));
+        assert!(EngineError::BoundExceeded {
+            bound: 5,
+            what: "frontier"
+        }
+        .to_string()
+        .contains("5"));
         let converted: EngineError = mrpa_core::CoreError::EmptyPath.into();
         assert!(matches!(converted, EngineError::Core(_)));
         let converted: EngineError = mrpa_core::CoreError::BoundExceeded {
@@ -65,6 +72,9 @@ mod tests {
             what: "paths",
         }
         .into();
-        assert!(matches!(converted, EngineError::BoundExceeded { bound: 7, .. }));
+        assert!(matches!(
+            converted,
+            EngineError::BoundExceeded { bound: 7, .. }
+        ));
     }
 }

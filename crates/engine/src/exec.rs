@@ -16,12 +16,19 @@
 //!   materialized strategy, and concatenates the partial results in partition
 //!   order (so the output is deterministic).
 //!
+//! Expansion is **frontier-driven**: each row's next edges come straight from
+//! `graph.out_edges(head)` / `out_edges_labeled(head, α)` adjacency (the
+//! reversed graph for `In` steps), and the row's path is a [`PathId`] into a
+//! per-execution [`PathArena`] — extending a row is one hash-consed arena
+//! append instead of cloning the whole edge vector. Rows are materialised
+//! into [`ResultRow`]s only once, at the end.
+//!
 //! Experiment E8 benchmarks the three against each other and against a
 //! hand-written algebra evaluation.
 
 use std::collections::HashSet;
 
-use mrpa_core::{Edge, EdgePattern, Path, VertexId};
+use mrpa_core::{Edge, LabelId, MultiGraph, PathArena, PathId, VertexId};
 
 use crate::error::EngineError;
 use crate::plan::{Direction, LogicalPlan, PlanOp};
@@ -56,37 +63,68 @@ pub fn execute(
     Ok(QueryResult::new(rows, snapshot.clone()))
 }
 
-fn initial_rows(start: &[VertexId]) -> Vec<ResultRow> {
+/// A result row during evaluation: the path lives in the execution's arena.
+#[derive(Debug, Clone, Copy)]
+struct ArenaRow {
+    source: VertexId,
+    path: PathId,
+    head: VertexId,
+}
+
+fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
     start
         .iter()
-        .map(|&v| ResultRow {
+        .map(|&v| ArenaRow {
             source: v,
-            path: Path::epsilon(),
+            path: PathId::EPSILON,
             head: v,
         })
         .collect()
 }
 
-/// Selects the expansion edges leaving `frontier` in the given direction,
-/// restricted to `labels`. For `Direction::In` the edges come from the
-/// reversed graph, so a result edge `(h, α, t)` represents walking the stored
-/// edge `(t, α, h)` backwards; the produced paths are joint paths of the
-/// reversed graph.
-fn expansion_edges(
-    snapshot: &GraphSnapshot,
-    frontier: &HashSet<VertexId>,
-    direction: Direction,
-    labels: &Option<Vec<mrpa_core::LabelId>>,
-) -> Vec<Edge> {
-    let graph = match direction {
+/// Materialises arena rows into public [`ResultRow`]s (done once, after
+/// evaluation).
+fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<ResultRow> {
+    rows.into_iter()
+        .map(|r| ResultRow {
+            source: r.source,
+            path: arena.to_path(r.path),
+            head: r.head,
+        })
+        .collect()
+}
+
+/// The edges leaving `v` in the step's direction, restricted to `labels`.
+/// For `Direction::In` the edges come from the reversed graph, so a result
+/// edge `(h, α, t)` represents walking the stored edge `(t, α, h)` backwards;
+/// the produced paths are joint paths of the reversed graph.
+fn for_each_expansion_edge(
+    graph: &MultiGraph,
+    v: VertexId,
+    labels: &Option<Vec<LabelId>>,
+    mut visit: impl FnMut(&Edge),
+) {
+    match labels {
+        None => {
+            for e in graph.out_edges(v) {
+                visit(e);
+            }
+        }
+        Some(ls) => {
+            for l in ls {
+                for e in graph.out_edges_labeled(v, *l) {
+                    visit(e);
+                }
+            }
+        }
+    }
+}
+
+fn direction_graph(snapshot: &GraphSnapshot, direction: Direction) -> &MultiGraph {
+    match direction {
         Direction::Out => snapshot.graph(),
         Direction::In => snapshot.reversed(),
-    };
-    let mut pattern = EdgePattern::from_vertices(frontier.iter().copied());
-    if let Some(ls) = labels {
-        pattern = pattern.label(mrpa_core::Position::In(ls.iter().copied().collect()));
     }
-    pattern.select(graph)
 }
 
 fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
@@ -101,40 +139,34 @@ fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
     Ok(())
 }
 
-/// Level-at-a-time evaluation.
+/// Level-at-a-time evaluation: frontier rows expand through the adjacency
+/// indexes, and each produced row is one arena append.
 fn materialized(
     snapshot: &GraphSnapshot,
     start: &[VertexId],
     ops: &[PlanOp],
     cap: Option<usize>,
 ) -> Result<Vec<ResultRow>, EngineError> {
+    let arena = PathArena::new();
     let mut rows = initial_rows(start);
     check_cap(rows.len(), cap)?;
     for op in ops {
         rows = match op {
             PlanOp::Expand { direction, labels } => {
-                let frontier: HashSet<VertexId> = rows.iter().map(|r| r.head).collect();
-                let edges = expansion_edges(snapshot, &frontier, *direction, labels);
-                // bucket edges by tail for the join
-                let mut by_tail: std::collections::HashMap<VertexId, Vec<&Edge>> =
-                    std::collections::HashMap::new();
-                for e in &edges {
-                    by_tail.entry(e.tail).or_default().push(e);
-                }
+                let graph = direction_graph(snapshot, *direction);
                 let mut next = Vec::new();
+                // one write-lock acquisition for the whole expansion level
+                let mut writer = arena.writer();
                 for row in &rows {
-                    if let Some(es) = by_tail.get(&row.head) {
-                        for &e in es {
-                            let mut path = row.path.clone();
-                            path.push(*e);
-                            next.push(ResultRow {
-                                source: row.source,
-                                path,
-                                head: e.head,
-                            });
-                        }
-                    }
+                    for_each_expansion_edge(graph, row.head, labels, |e| {
+                        next.push(ArenaRow {
+                            source: row.source,
+                            path: writer.append(row.path, *e),
+                            head: e.head,
+                        });
+                    });
                 }
+                drop(writer);
                 next
             }
             PlanOp::RestrictVertices(vs) => {
@@ -146,9 +178,7 @@ fn materialized(
                 .collect(),
             PlanOp::DedupByVertex => {
                 let mut seen = HashSet::new();
-                rows.into_iter()
-                    .filter(|r| seen.insert(r.head))
-                    .collect()
+                rows.into_iter().filter(|r| seen.insert(r.head)).collect()
             }
             PlanOp::Limit(n) => {
                 let mut rows = rows;
@@ -158,7 +188,7 @@ fn materialized(
         };
         check_cap(rows.len(), cap)?;
     }
-    Ok(rows)
+    Ok(materialise_rows(&arena, rows))
 }
 
 /// Row-at-a-time depth-first evaluation.
@@ -172,15 +202,16 @@ fn streaming(
 ) -> Result<Vec<ResultRow>, EngineError> {
     struct Ctx<'a> {
         snapshot: &'a GraphSnapshot,
+        arena: PathArena,
         ops: &'a [PlanOp],
-        out: Vec<ResultRow>,
+        out: Vec<ArenaRow>,
         dedup_seen: Vec<HashSet<VertexId>>,
         limit_counts: Vec<usize>,
         cap: Option<usize>,
         produced: usize,
     }
 
-    fn emit(ctx: &mut Ctx<'_>, row: ResultRow, op_index: usize) -> Result<(), EngineError> {
+    fn emit(ctx: &mut Ctx<'_>, row: ArenaRow, op_index: usize) -> Result<(), EngineError> {
         ctx.produced += 1;
         if let Some(cap) = ctx.cap {
             if ctx.produced > cap.saturating_mul(ctx.ops.len().max(1) * 4).max(cap) {
@@ -198,20 +229,22 @@ fn streaming(
         }
         match &ctx.ops[op_index] {
             PlanOp::Expand { direction, labels } => {
-                let frontier: HashSet<VertexId> = [row.head].into_iter().collect();
-                let edges = expansion_edges(ctx.snapshot, &frontier, *direction, labels);
-                for e in edges {
-                    let mut path = row.path.clone();
-                    path.push(e);
-                    emit(
-                        ctx,
-                        ResultRow {
+                let graph = direction_graph(ctx.snapshot, *direction);
+                // collect this row's expansions under one lock acquisition,
+                // then recurse depth-first with the lock released
+                let mut expansions: Vec<ArenaRow> = Vec::new();
+                {
+                    let mut writer = ctx.arena.writer();
+                    for_each_expansion_edge(graph, row.head, labels, |e| {
+                        expansions.push(ArenaRow {
                             source: row.source,
-                            path,
+                            path: writer.append(row.path, *e),
                             head: e.head,
-                        },
-                        op_index + 1,
-                    )?;
+                        });
+                    });
+                }
+                for next in expansions {
+                    emit(ctx, next, op_index + 1)?;
                 }
                 Ok(())
             }
@@ -246,6 +279,7 @@ fn streaming(
     let ops = plan.ops();
     let mut ctx = Ctx {
         snapshot,
+        arena: PathArena::new(),
         ops,
         out: Vec::new(),
         dedup_seen: vec![HashSet::new(); ops.len()],
@@ -256,7 +290,7 @@ fn streaming(
     for row in initial_rows(plan.start()) {
         emit(&mut ctx, row, 0)?;
     }
-    Ok(ctx.out)
+    Ok(materialise_rows(&ctx.arena, ctx.out))
 }
 
 /// Start-partitioned parallel evaluation (materialized per partition).
@@ -284,9 +318,7 @@ fn parallel(
     let results: Vec<Result<Vec<ResultRow>, EngineError>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| materialized(snapshot, chunk, plan.ops(), cap))
-            })
+            .map(|chunk| scope.spawn(move |_| materialized(snapshot, chunk, plan.ops(), cap)))
             .collect();
         handles
             .into_iter()
@@ -328,7 +360,10 @@ mod tests {
     #[test]
     fn strategies_agree_on_simple_pipeline() {
         let g = classic_social_graph();
-        let base = Traversal::over(&g).v(["marko"]).out(["knows"]).out(["created"]);
+        let base = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .out(["created"]);
         let m = base
             .clone()
             .strategy(ExecutionStrategy::Materialized)
@@ -388,7 +423,11 @@ mod tests {
     #[test]
     fn in_steps_walk_edges_backwards() {
         let g = classic_social_graph();
-        let r = Traversal::over(&g).v(["lop"]).in_(["created"]).execute().unwrap();
+        let r = Traversal::over(&g)
+            .v(["lop"])
+            .in_(["created"])
+            .execute()
+            .unwrap();
         let mut names = r.head_names();
         names.sort();
         assert_eq!(names, vec!["josh", "marko", "peter"]);

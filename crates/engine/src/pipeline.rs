@@ -220,10 +220,7 @@ mod tests {
             .dedup()
             .limit(10);
         assert_eq!(t.steps().len(), 4);
-        assert_eq!(
-            t.start_spec(),
-            &StartSpec::Named(vec!["marko".to_owned()])
-        );
+        assert_eq!(t.start_spec(), &StartSpec::Named(vec!["marko".to_owned()]));
     }
 
     #[test]

@@ -168,9 +168,14 @@ fn resolve_labels(
     match labels {
         None => Ok(None),
         Some(names) => {
+            // deduplicate while preserving order: a label set, so listing a
+            // label twice must not double the expansion's rows
             let mut ids = Vec::with_capacity(names.len());
             for name in names {
-                ids.push(snapshot.label(name)?);
+                let id = snapshot.label(name)?;
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
             }
             Ok(Some(ids))
         }
@@ -247,9 +252,34 @@ mod tests {
             Err(EngineError::UnknownLabel(_))
         ));
         assert!(matches!(
-            plan(&snap, &StartSpec::AllVertices, &[Step::Is(vec!["ghost".into()])]),
+            plan(
+                &snap,
+                &StartSpec::AllVertices,
+                &[Step::Is(vec!["ghost".into()])]
+            ),
             Err(EngineError::UnknownVertex(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_labels_are_deduplicated_at_plan_time() {
+        // `.out(["knows", "knows"])` is a label *set*: listing a label twice
+        // must not double the expansion's rows
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(
+            &snap,
+            &StartSpec::Named(vec!["marko".into()]),
+            &[Step::Out(Some(vec!["knows".into(), "knows".into()]))],
+        )
+        .unwrap();
+        assert_eq!(
+            plan.ops()[0],
+            PlanOp::Expand {
+                direction: Direction::Out,
+                labels: Some(vec![snap.label("knows").unwrap()])
+            }
+        );
     }
 
     #[test]

@@ -217,11 +217,7 @@ impl GraphSnapshot {
     }
 
     /// All vertices whose property `key` satisfies the predicate.
-    pub fn vertices_where(
-        &self,
-        key: &str,
-        pred: &crate::value::Predicate,
-    ) -> Vec<VertexId> {
+    pub fn vertices_where(&self, key: &str, pred: &crate::value::Predicate) -> Vec<VertexId> {
         self.graph
             .vertices()
             .filter(|&v| pred.eval(self.vertex_property(v, key)))
@@ -256,19 +252,45 @@ impl GraphSnapshot {
 /// `created` software, with `age` and `lang` properties.
 pub fn classic_social_graph() -> PropertyGraph {
     let g = PropertyGraph::new();
-    g.add_vertex_with("marko", [("age", Value::from(29i64)), ("kind", Value::from("person"))]);
-    g.add_vertex_with("vadas", [("age", Value::from(27i64)), ("kind", Value::from("person"))]);
-    g.add_vertex_with("josh", [("age", Value::from(32i64)), ("kind", Value::from("person"))]);
-    g.add_vertex_with("peter", [("age", Value::from(35i64)), ("kind", Value::from("person"))]);
-    g.add_vertex_with("lop", [("lang", Value::from("java")), ("kind", Value::from("software"))]);
+    g.add_vertex_with(
+        "marko",
+        [("age", Value::from(29i64)), ("kind", Value::from("person"))],
+    );
+    g.add_vertex_with(
+        "vadas",
+        [("age", Value::from(27i64)), ("kind", Value::from("person"))],
+    );
+    g.add_vertex_with(
+        "josh",
+        [("age", Value::from(32i64)), ("kind", Value::from("person"))],
+    );
+    g.add_vertex_with(
+        "peter",
+        [("age", Value::from(35i64)), ("kind", Value::from("person"))],
+    );
+    g.add_vertex_with(
+        "lop",
+        [
+            ("lang", Value::from("java")),
+            ("kind", Value::from("software")),
+        ],
+    );
     g.add_vertex_with(
         "ripple",
-        [("lang", Value::from("java")), ("kind", Value::from("software"))],
+        [
+            ("lang", Value::from("java")),
+            ("kind", Value::from("software")),
+        ],
     );
     g.add_edge_with("marko", "knows", "vadas", [("weight", Value::from(0.5f64))]);
     g.add_edge_with("marko", "knows", "josh", [("weight", Value::from(1.0f64))]);
     g.add_edge_with("marko", "created", "lop", [("weight", Value::from(0.4f64))]);
-    g.add_edge_with("josh", "created", "ripple", [("weight", Value::from(1.0f64))]);
+    g.add_edge_with(
+        "josh",
+        "created",
+        "ripple",
+        [("weight", Value::from(1.0f64))],
+    );
     g.add_edge_with("josh", "created", "lop", [("weight", Value::from(0.4f64))]);
     g.add_edge_with("peter", "created", "lop", [("weight", Value::from(0.2f64))]);
     g

@@ -10,7 +10,6 @@ use core::fmt;
 
 /// A property value attached to a vertex or an edge.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// Boolean.
     Bool(bool),

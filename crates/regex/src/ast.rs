@@ -182,9 +182,8 @@ impl PathRegex {
                     return true;
                 }
                 // try every non-empty prefix matched by r, recurse on the rest
-                (1..=edges.len()).any(|k| {
-                    r.matches_slice(&edges[..k]) && self.matches_slice(&edges[k..])
-                })
+                (1..=edges.len())
+                    .any(|k| r.matches_slice(&edges[..k]) && self.matches_slice(&edges[k..]))
             }
         }
     }
@@ -268,8 +267,12 @@ mod tests {
         assert!(PathRegex::any_edge().optional().is_nullable());
         assert!(!PathRegex::any_edge().plus().is_nullable());
         // a join is nullable only when both operands are
-        assert!(!PathRegex::any_edge().join(PathRegex::Epsilon.star()).is_nullable());
-        assert!(PathRegex::Epsilon.join(PathRegex::Epsilon.star()).is_nullable());
+        assert!(!PathRegex::any_edge()
+            .join(PathRegex::Epsilon.star())
+            .is_nullable());
+        assert!(PathRegex::Epsilon
+            .join(PathRegex::Epsilon.star())
+            .is_nullable());
     }
 
     #[test]
@@ -335,7 +338,13 @@ mod tests {
 
     #[test]
     fn atom_count_counts_leaves() {
-        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let r = PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        );
         assert_eq!(r.atom_count(), 5);
         assert_eq!(PathRegex::Epsilon.atom_count(), 0);
     }
@@ -343,7 +352,13 @@ mod tests {
     #[test]
     fn figure_1_matches_expected_shapes() {
         // i=0, j=1, k=2, α=0, β=1
-        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let r = PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        );
         // shortest accepted forms: [i,α,_][_,α,j]{(j,α,i)} and [i,α,_][_,α,k]
         assert!(r.matches_path(&p(&[(0, 0, 3), (3, 0, 1), (1, 0, 0)])));
         assert!(r.matches_path(&p(&[(0, 0, 3), (3, 0, 2)])));

@@ -140,8 +140,7 @@ impl Dfa {
                 if next.is_empty() {
                     continue;
                 }
-                let closed: BTreeSet<StateId> =
-                    nfa.epsilon_closure(&next).into_iter().collect();
+                let closed: BTreeSet<StateId> = nfa.epsilon_closure(&next).into_iter().collect();
                 let target = match state_index.get(&closed) {
                     Some(&idx) => idx,
                     None => {
@@ -254,7 +253,13 @@ mod tests {
     }
 
     fn figure_1_regex() -> PathRegex {
-        PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1))
+        PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        )
     }
 
     #[test]
@@ -283,8 +288,8 @@ mod tests {
             let paths = mrpa_core::complete_traversal(&g, n);
             for path in paths.iter() {
                 assert_eq!(
-                    dfa.accepts(path),
-                    nfa.accepts(path),
+                    dfa.accepts(&path),
+                    nfa.accepts(&path),
                     "disagreement on {path}"
                 );
             }
@@ -321,8 +326,9 @@ mod tests {
     #[test]
     fn dfa_with_source_restricted_atom() {
         let g = paper_graph();
-        let r = PathRegex::atom(EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0))))
-            .join(PathRegex::any_edge());
+        let r =
+            PathRegex::atom(EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0))))
+                .join(PathRegex::any_edge());
         let nfa = Nfa::compile(&r);
         let dfa = Dfa::compile(&nfa, &g);
         assert!(dfa.accepts(&p(&[(0, 0, 1), (1, 1, 2)])));

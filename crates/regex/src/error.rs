@@ -34,9 +34,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(RegexError::Parse("oops".into()).to_string().contains("oops"));
-        assert!(RegexError::UnknownVertexName("x".into()).to_string().contains("x"));
-        assert!(RegexError::UnknownLabelName("y".into()).to_string().contains("y"));
+        assert!(RegexError::Parse("oops".into())
+            .to_string()
+            .contains("oops"));
+        assert!(RegexError::UnknownVertexName("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(RegexError::UnknownLabelName("y".into())
+            .to_string()
+            .contains("y"));
     }
 
     #[test]

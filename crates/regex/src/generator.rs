@@ -15,12 +15,18 @@
 //! [`GeneratorConfig::max_length`] bound (documented deviation, DESIGN.md §7);
 //! alternatively [`GeneratorConfig::simple_only`] restricts to simple paths,
 //! which is finite without a bound.
+//!
+//! Every layer's path sets share a single [`PathArena`]: a transition step is
+//! a frontier-driven [`PathSet::step_join`] against the graph's adjacency
+//! indexes (one hash-consed append per produced path), and moving path sets
+//! between states / into the result set is an id-level merge — the generator
+//! never re-materialises or re-buckets edge sets per step.
 
 use std::collections::HashMap;
 
-use mrpa_core::{CoreError, CoreResult, MultiGraph, Path, PathSet};
+use mrpa_core::{CoreError, CoreResult, MultiGraph, Path, PathArena, PathSet};
 
-use crate::ast::PathRegex;
+use crate::ast::{EdgeMatcher, PathRegex};
 use crate::nfa::{Nfa, StateId, TransitionLabel};
 use crate::recognizer::Recognizer;
 
@@ -74,25 +80,14 @@ impl GeneratorConfig {
 pub struct Generator<'g> {
     graph: &'g MultiGraph,
     nfa: Nfa,
-    /// Pre-selected edge set (as length-1 paths) for each matcher index.
-    matcher_paths: Vec<PathSet>,
 }
 
 impl<'g> Generator<'g> {
-    /// Compiles the generator: builds the NFA and evaluates every matcher
-    /// against the graph once.
+    /// Compiles the generator (builds the NFA; matcher edge sets are walked
+    /// through the graph's adjacency indexes during generation).
     pub fn new(regex: &PathRegex, graph: &'g MultiGraph) -> Self {
         let nfa = Nfa::compile(regex);
-        let matcher_paths = nfa
-            .matchers
-            .iter()
-            .map(|m| m.select_paths(graph))
-            .collect();
-        Generator {
-            graph,
-            nfa,
-            matcher_paths,
-        }
+        Generator { graph, nfa }
     }
 
     /// The underlying NFA.
@@ -108,12 +103,15 @@ impl<'g> Generator<'g> {
     /// Generates all paths in the graph recognised by the regular expression,
     /// up to the configured bounds.
     pub fn generate(&self, config: &GeneratorConfig) -> CoreResult<PathSet> {
-        let mut results = PathSet::new();
+        // One shared arena for the whole generation: all layers and the
+        // result set exchange paths by id.
+        let arena = PathArena::new();
+        let mut results = PathSet::new_in(&arena);
 
         // Layer 0: {ε} at the ε-closure of the start state.
         let mut layer: HashMap<StateId, PathSet> = HashMap::new();
         for s in self.nfa.initial_states() {
-            layer.insert(s, PathSet::epsilon());
+            layer.insert(s, PathSet::epsilon_in(&arena));
         }
         self.collect_accepting(&layer, &mut results, config)?;
 
@@ -124,13 +122,20 @@ impl<'g> Generator<'g> {
                     let TransitionLabel::Matcher(m) = t.label else {
                         continue;
                     };
-                    let operand = &self.matcher_paths[m];
-                    if operand.is_empty() || paths.is_empty() {
+                    if paths.is_empty() {
                         // the paper's halt condition: a branch with ∅ on its
                         // stack makes no further progress
                         continue;
                     }
-                    let mut joined = paths.join(operand);
+                    // Frontier-driven step: walk out_edges(γ⁺) adjacency and
+                    // append in the shared arena — the `⋈◦` with the matcher's
+                    // edge set without materialising that edge set.
+                    let mut joined = match &self.nfa.matchers[m] {
+                        EdgeMatcher::Pattern(p) => paths.step_join(self.graph, p),
+                        EdgeMatcher::Explicit(set) => {
+                            paths.step_join_where(self.graph, |e| set.contains(e))
+                        }
+                    };
                     if config.simple_only {
                         joined = joined.filter(Path::is_simple);
                     }
@@ -139,7 +144,7 @@ impl<'g> Generator<'g> {
                     }
                     for closed in self.nfa.epsilon_closure(&[t.to].into_iter().collect()) {
                         next.entry(closed)
-                            .and_modify(|s| s.extend(joined.iter().cloned()))
+                            .and_modify(|s| s.merge(&joined))
                             .or_insert_with(|| joined.clone());
                     }
                 }
@@ -176,7 +181,7 @@ impl<'g> Generator<'g> {
     ) -> CoreResult<()> {
         for (&state, paths) in layer {
             if self.nfa.accept.contains(&state) {
-                results.extend(paths.iter().cloned());
+                results.merge(paths);
             }
         }
         if let Some(cap) = config.max_paths {
@@ -217,7 +222,13 @@ mod tests {
     }
 
     fn figure_1_regex() -> PathRegex {
-        PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1))
+        PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        )
     }
 
     #[test]
@@ -232,7 +243,7 @@ mod tests {
         // every generated path is joint and recognised
         let rec = Recognizer::new(regex);
         assert!(generated.all_joint());
-        assert!(generated.iter().all(|p| rec.recognizes(p)));
+        assert!(generated.iter().all(|p| rec.recognizes(&p)));
     }
 
     #[test]
@@ -251,10 +262,9 @@ mod tests {
     fn generated_paths_emanate_from_source_atom() {
         let g = paper_graph();
         // [i,α,_] ⋈◦ [_,_,_]: length-2 paths starting at v0 with first label α
-        let regex = PathRegex::atom(
-            EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0))),
-        )
-        .join(PathRegex::any_edge());
+        let regex =
+            PathRegex::atom(EdgePattern::from_vertex(VertexId(0)).label(Position::Is(LabelId(0))))
+                .join(PathRegex::any_edge());
         let gen = Generator::new(&regex, &g);
         let paths = gen.generate_up_to(2).unwrap();
         assert!(!paths.is_empty());
@@ -324,8 +334,8 @@ mod tests {
     fn unmatched_atom_halts_branch() {
         let g = paper_graph();
         // label 9 has no edges in the graph: the branch's path set becomes ∅
-        let regex = PathRegex::atom(EdgePattern::with_label(LabelId(9)))
-            .join(PathRegex::any_edge());
+        let regex =
+            PathRegex::atom(EdgePattern::with_label(LabelId(9))).join(PathRegex::any_edge());
         let gen = Generator::new(&regex, &g);
         assert!(gen.generate_up_to(4).unwrap().is_empty());
     }

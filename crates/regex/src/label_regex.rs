@@ -112,9 +112,7 @@ impl LabelRegex {
             LabelRegex::Empty => PathRegex::Empty,
             LabelRegex::Epsilon => PathRegex::Epsilon,
             LabelRegex::Label(l) => PathRegex::atom(EdgePattern::with_label(*l)),
-            LabelRegex::AnyOf(ls) => {
-                PathRegex::atom(EdgePattern::with_labels(ls.iter().copied()))
-            }
+            LabelRegex::AnyOf(ls) => PathRegex::atom(EdgePattern::with_labels(ls.iter().copied())),
             LabelRegex::Union(a, b) => a.to_path_regex().union(b.to_path_regex()),
             LabelRegex::Concat(a, b) => a.to_path_regex().join(b.to_path_regex()),
             LabelRegex::Star(r) => r.to_path_regex().star(),
@@ -205,8 +203,8 @@ mod tests {
         for n in 0..=3 {
             for path in complete_traversal(&g, n).iter() {
                 assert_eq!(
-                    r.matches_path(path),
-                    embedded.recognizes(path),
+                    r.matches_path(&path),
+                    embedded.recognizes(&path),
                     "path {path}"
                 );
             }
@@ -235,7 +233,7 @@ mod tests {
         let label_approx = LabelRegex::AnyOf(vec![LabelId(0), LabelId(1)]);
         let mut differ = false;
         for path in complete_traversal(&g, 1).iter() {
-            if edge_rec.recognizes(path) != label_approx.matches_path(path) {
+            if edge_rec.recognizes(&path) != label_approx.matches_path(&path) {
                 differ = true;
             }
         }

@@ -34,7 +34,7 @@
 //! let recognizer = Recognizer::new(regex.clone());
 //! let generator = Generator::new(&regex, g.graph());
 //! let paths = generator.generate(&GeneratorConfig::with_max_length(5)).unwrap();
-//! assert!(paths.iter().all(|p| recognizer.recognizes(p)));
+//! assert!(paths.iter().all(|p| recognizer.recognizes(&p)));
 //! ```
 
 #![warn(missing_docs)]

@@ -65,9 +65,9 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         if dfa.accept.contains(&s) {
             accept.insert(b);
         }
-        for c in 0..class_count {
+        for (c, slot) in transitions[b].iter_mut().enumerate().take(class_count) {
             if let Some(t) = dfa.transition(s, c) {
-                transitions[b][c] = Some(block_of[t]);
+                *slot = Some(block_of[t]);
             }
         }
     }
@@ -79,13 +79,11 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     index.insert(start_block, 0);
     reachable.push(start_block);
     while let Some(b) = stack.pop() {
-        for c in 0..class_count {
-            if let Some(t) = transitions[b][c] {
-                if !index.contains_key(&t) {
-                    index.insert(t, reachable.len());
-                    reachable.push(t);
-                    stack.push(t);
-                }
+        for t in transitions[b].iter().copied().flatten() {
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(t) {
+                e.insert(reachable.len());
+                reachable.push(t);
+                stack.push(t);
             }
         }
     }
@@ -138,7 +136,7 @@ mod tests {
     fn assert_equivalent_up_to(dfa: &Dfa, min: &Dfa, g: &MultiGraph, max_len: usize) {
         for n in 0..=max_len {
             for path in complete_traversal(g, n).iter() {
-                assert_eq!(dfa.accepts(path), min.accepts(path), "path {path}");
+                assert_eq!(dfa.accepts(&path), min.accepts(&path), "path {path}");
             }
         }
     }

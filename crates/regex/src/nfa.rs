@@ -271,7 +271,13 @@ mod tests {
 
     #[test]
     fn nfa_agrees_with_structural_matcher_on_figure_1() {
-        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let r = PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        );
         let nfa = Nfa::compile(&r);
         let samples = vec![
             p(&[(0, 0, 3), (3, 0, 1), (1, 0, 0)]),
@@ -314,7 +320,13 @@ mod tests {
 
     #[test]
     fn matcher_transition_count_counts_atoms() {
-        let r = PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1));
+        let r = PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        );
         let nfa = Nfa::compile(&r);
         assert_eq!(nfa.matcher_transition_count(), 5);
         assert_eq!(nfa.matchers.len(), 5);

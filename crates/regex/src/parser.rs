@@ -339,7 +339,8 @@ mod tests {
     #[test]
     fn parses_figure_1_expression() {
         let g = paper_named_graph();
-        let text = "[i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])";
+        let text =
+            "[i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])";
         let parsed = parse(text, &g).unwrap();
         let built = PathRegex::figure_1(
             g.vertex("i").unwrap(),
@@ -354,7 +355,7 @@ mod tests {
         let rec_built = Recognizer::new(built);
         for n in 0..=4 {
             for p in mrpa_core::complete_traversal(g.graph(), n).iter() {
-                assert_eq!(rec_parsed.recognizes(p), rec_built.recognizes(p), "{p}");
+                assert_eq!(rec_parsed.recognizes(&p), rec_built.recognizes(&p), "{p}");
             }
         }
     }
@@ -407,8 +408,14 @@ mod tests {
         let g = paper_named_graph();
         assert!(matches!(parse("[i, alpha", &g), Err(RegexError::Parse(_))));
         assert!(matches!(parse("", &g), Err(RegexError::Parse(_))));
-        assert!(matches!(parse("[i, alpha, _] extra!", &g), Err(RegexError::Parse(_))));
-        assert!(matches!(parse("[i, alpha, _]{x}", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(
+            parse("[i, alpha, _] extra!", &g),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("[i, alpha, _]{x}", &g),
+            Err(RegexError::Parse(_))
+        ));
         assert!(matches!(parse("!!", &g), Err(RegexError::Parse(_))));
     }
 

@@ -128,8 +128,8 @@ impl Recognizer {
         for n in 0..=max_length {
             let paths = mrpa_core::complete_traversal(graph, n);
             for p in paths.iter() {
-                if self.recognizes(p) {
-                    out.insert(p.clone());
+                if self.recognizes(&p) {
+                    out.insert(p);
                 }
             }
         }
@@ -167,7 +167,13 @@ mod tests {
     }
 
     fn figure_1_regex() -> PathRegex {
-        PathRegex::figure_1(VertexId(0), VertexId(1), VertexId(2), LabelId(0), LabelId(1))
+        PathRegex::figure_1(
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            LabelId(0),
+            LabelId(1),
+        )
     }
 
     #[test]
@@ -182,7 +188,7 @@ mod tests {
         ];
         for n in 0..=4 {
             for path in complete_traversal(&g, n).iter() {
-                let answers: Vec<bool> = strategies.iter().map(|r| r.recognizes(path)).collect();
+                let answers: Vec<bool> = strategies.iter().map(|r| r.recognizes(&path)).collect();
                 assert!(
                     answers.iter().all(|&a| a == answers[0]),
                     "strategies disagree on {path}: {answers:?}"

@@ -55,12 +55,15 @@ fn main() {
     let joined = a.join(&b_set);
     println!("\nA ⋈◦ B (the §II example, {} paths):", joined.len());
     for p in joined.iter() {
-        println!("  {}", named.render_path(p));
+        println!("  {}", named.render_path(&p));
     }
     assert_eq!(joined.len(), 4);
 
     // --- basic traversals (§III) -------------------------------------------
-    println!("\ncomplete traversal, n = 2: {} paths", complete_traversal(g, 2).len());
+    println!(
+        "\ncomplete traversal, n = 2: {} paths",
+        complete_traversal(g, 2).len()
+    );
     let from_i: HashSet<_> = [i].into_iter().collect();
     println!(
         "source traversal from i, n = 2: {} paths",
@@ -68,10 +71,7 @@ fn main() {
     );
     let alpha_beta = labeled_traversal(
         g,
-        &[
-            [alpha].into_iter().collect(),
-            [beta].into_iter().collect(),
-        ],
+        &[[alpha].into_iter().collect(), [beta].into_iter().collect()],
     );
     println!("labeled αβ traversal: {} paths", alpha_beta.len());
     let out_of_i = EdgePattern::from_vertex(i).select(g);
@@ -87,8 +87,11 @@ fn main() {
     let generated = generator
         .generate(&GeneratorConfig::with_max_length(6))
         .unwrap();
-    println!("\nFigure-1 expression generates {} paths (≤ 6 edges):", generated.len());
+    println!(
+        "\nFigure-1 expression generates {} paths (≤ 6 edges):",
+        generated.len()
+    );
     for p in generated.iter() {
-        println!("  {}", named.render_path(p));
+        println!("  {}", named.render_path(&p));
     }
 }

@@ -22,7 +22,11 @@ fn main() {
     });
     let snap = g.snapshot();
     let graph = snap.graph();
-    println!("citation graph: {} vertices, {} edges", graph.vertex_count(), graph.edge_count());
+    println!(
+        "citation graph: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
 
     let authored = snap.label("authored").unwrap();
     let cites = snap.label("cites").unwrap();
@@ -30,8 +34,7 @@ fn main() {
 
     // authored ⋈◦ cites⁺, anchored at author0
     let regex = PathRegex::atom(
-        mrpa::core::EdgePattern::from_vertex(author0)
-            .label(mrpa::core::Position::Is(authored)),
+        mrpa::core::EdgePattern::from_vertex(author0).label(mrpa::core::Position::Is(authored)),
     )
     .join(PathRegex::atom(mrpa::core::EdgePattern::with_label(cites)).plus());
 
@@ -43,15 +46,16 @@ fn main() {
         "\npaths matching  [author0, authored, _] . [_, cites, _]+  (≤ 4 edges): {}",
         paths.len()
     );
-    let cited: std::collections::HashSet<_> = paths
-        .iter()
-        .filter_map(|p| p.head_vertex().ok())
-        .collect();
-    println!("distinct papers in author0's citation neighbourhood: {}", cited.len());
+    let cited: std::collections::HashSet<_> =
+        paths.iter().filter_map(|p| p.head_vertex().ok()).collect();
+    println!(
+        "distinct papers in author0's citation neighbourhood: {}",
+        cited.len()
+    );
 
     // every generated path is recognised
     let recognizer = Recognizer::new(regex);
-    assert!(paths.iter().all(|p| recognizer.recognizes(p)));
+    assert!(paths.iter().all(|p| recognizer.recognizes(&p)));
 
     // the label-alphabet baseline cannot anchor author0: it accepts the same
     // label strings starting from *any* author

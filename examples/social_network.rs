@@ -18,7 +18,11 @@ fn main() {
         uses_per_person: 2,
         seed: 7,
     });
-    println!("social graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "social graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     // Q1: which software do the friends of person0 use?
     let q1 = Traversal::over(&g)
@@ -43,7 +47,10 @@ fn main() {
         .dedup()
         .execute()
         .unwrap();
-    println!("\nQ2 senior creators reachable through friends' software: {}", q2.len());
+    println!(
+        "\nQ2 senior creators reachable through friends' software: {}",
+        q2.len()
+    );
 
     // Q3: the same query under all three execution strategies agrees.
     let build = |s: ExecutionStrategy| {
@@ -60,7 +67,9 @@ fn main() {
     let m = build(ExecutionStrategy::Materialized);
     let s = build(ExecutionStrategy::Streaming);
     let p = build(ExecutionStrategy::Parallel);
-    println!("\nQ3 software with at least one creator: materialized={m} streaming={s} parallel={p}");
+    println!(
+        "\nQ3 software with at least one creator: materialized={m} streaming={s} parallel={p}"
+    );
     assert_eq!(m, s);
     assert_eq!(m, p);
 

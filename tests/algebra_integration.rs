@@ -95,9 +95,12 @@ fn product_contains_join_and_only_extra_disjoint_paths() {
     assert!(join.is_subset_of(&product));
     for p in product.iter() {
         if p.is_joint() {
-            assert!(join.contains(p), "joint product path missing from join: {p}");
+            assert!(
+                join.contains(&p),
+                "joint product path missing from join: {p}"
+            );
         } else {
-            assert!(!join.contains(p));
+            assert!(!join.contains(&p));
         }
     }
 }

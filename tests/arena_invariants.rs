@@ -1,0 +1,167 @@
+//! Arena-representation invariants on randomized Erdős–Rényi workloads.
+//!
+//! The acceptance bar for the arena-backed path store: on ≥ 100 random
+//! multi-relational graphs, the arena `⋈◦` must agree exactly with the
+//! materialised nested-loop oracle (`join_naive`), `join_power` must be
+//! associative, endpoint/label projections must match what the materialised
+//! paths say, and interning must be canonical (same edge sequence ⇒ same
+//! `PathId`).
+
+use std::collections::HashSet;
+
+use mrpa::core::{
+    complete_traversal, source_traversal, EdgePattern, LabelId, Path, PathArena, PathSet, VertexId,
+};
+use mrpa::datagen::{erdos_renyi, ErConfig};
+
+/// 100+ small random graphs; dense enough that 2–3-hop joins are non-trivial.
+fn random_graphs() -> impl Iterator<Item = (u64, mrpa::core::MultiGraph)> {
+    (0u64..104).map(|seed| {
+        (
+            seed,
+            erdos_renyi(ErConfig {
+                vertices: 14,
+                labels: 3,
+                edge_probability: 0.09,
+                seed,
+            }),
+        )
+    })
+}
+
+#[test]
+fn arena_join_equals_naive_join_on_100_random_graphs() {
+    let mut nonempty = 0;
+    for (seed, g) in random_graphs() {
+        let a = EdgePattern::with_label(LabelId(0)).select_paths(&g);
+        let b = EdgePattern::with_label(LabelId(1)).select_paths(&g);
+        let joined = a.join(&b);
+        assert_eq!(joined, a.join_naive(&b), "seed {seed}: join != join_naive");
+        // a second hop over the full edge set, including via the
+        // frontier-driven step
+        let e = PathSet::from_graph(&g);
+        let two_hop = joined.join(&e);
+        assert_eq!(
+            two_hop,
+            joined.join_naive(&e),
+            "seed {seed}: 2-hop join != join_naive"
+        );
+        assert_eq!(
+            two_hop,
+            joined.step_join(&g, &EdgePattern::any()),
+            "seed {seed}: step_join != join"
+        );
+        if !two_hop.is_empty() {
+            nonempty += 1;
+        }
+    }
+    // the workload must actually exercise the join, not vacuously pass
+    assert!(nonempty > 50, "only {nonempty} graphs produced 2-hop paths");
+}
+
+#[test]
+fn join_power_is_associative_on_random_graphs() {
+    for (seed, g) in random_graphs().take(50) {
+        let e = PathSet::from_graph(&g);
+        // E ⋈◦ (E ⋈◦ E) = (E ⋈◦ E) ⋈◦ E = E^3
+        let p3 = e.join_power(3);
+        assert_eq!(p3, e.join(&e.join(&e)), "seed {seed}: right-assoc");
+        assert_eq!(p3, e.join(&e).join(&e), "seed {seed}: left-assoc");
+        // and the traversal evaluator agrees
+        assert_eq!(p3, complete_traversal(&g, 3), "seed {seed}: traversal");
+    }
+}
+
+#[test]
+fn projections_match_materialised_paths() {
+    for (seed, g) in random_graphs().take(50) {
+        let sources: HashSet<VertexId> = g.vertices().take(4).collect();
+        let paths = source_traversal(&g, &sources, 3);
+
+        // endpoints: compare the O(1)-per-path arena projection against the
+        // materialised paths
+        let mut expected: Vec<(VertexId, VertexId)> = paths
+            .iter()
+            .map(|p| (p.tail_vertex().unwrap(), p.head_vertex().unwrap()))
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(paths.endpoints(), expected, "seed {seed}: endpoints");
+
+        // label projection
+        let labels: Vec<Vec<LabelId>> = paths.iter().map(|p| p.path_label()).collect();
+        assert_eq!(paths.path_labels(), labels, "seed {seed}: path_labels");
+
+        // frontier projections
+        let heads: HashSet<VertexId> = paths.iter().filter_map(|p| p.head_vertex().ok()).collect();
+        assert_eq!(paths.head_vertices(), heads, "seed {seed}: head_vertices");
+        let tails: HashSet<VertexId> = paths.iter().filter_map(|p| p.tail_vertex().ok()).collect();
+        assert_eq!(paths.tail_vertices(), tails, "seed {seed}: tail_vertices");
+
+        // every path is restricted and joint, and lengths agree with the
+        // histogram
+        assert!(paths.all_joint(), "seed {seed}: all_joint");
+        let histogram = paths.length_histogram();
+        assert_eq!(
+            histogram.get(&3).copied().unwrap_or(0),
+            paths.len(),
+            "seed {seed}: histogram"
+        );
+    }
+}
+
+#[test]
+fn interning_is_canonical_across_construction_orders() {
+    // same edge sequence ⇒ same PathId, regardless of how the path was built
+    for (seed, g) in random_graphs().take(20) {
+        let arena = PathArena::new();
+        let paths = complete_traversal(&g, 2);
+        for p in paths.iter() {
+            let whole = arena.intern(&p);
+            let again = arena.intern(&p);
+            assert_eq!(whole, again, "seed {seed}: re-intern changed id");
+            let stepwise = p
+                .edges()
+                .iter()
+                .fold(mrpa::core::PathId::EPSILON, |acc, &e| arena.append(acc, e));
+            assert_eq!(whole, stepwise, "seed {seed}: stepwise intern differs");
+            assert_eq!(arena.find(&p), Some(whole), "seed {seed}: find misses");
+            assert_eq!(arena.to_path(whole), p, "seed {seed}: round-trip");
+        }
+        // distinct paths get distinct ids (hash-consing is injective)
+        let ids: HashSet<_> = paths.iter().map(|p| arena.intern(&p)).collect();
+        assert_eq!(ids.len(), paths.len(), "seed {seed}: id collision");
+    }
+}
+
+#[test]
+fn dedup_is_id_level_and_exact() {
+    for (seed, g) in random_graphs().take(20) {
+        // inserting every 2-path twice leaves the set unchanged
+        let paths = complete_traversal(&g, 2);
+        let mut set = PathSet::new();
+        for p in paths.iter() {
+            assert!(set.insert(p.clone()), "seed {seed}: first insert rejected");
+        }
+        for p in paths.iter() {
+            assert!(!set.insert(p), "seed {seed}: duplicate accepted");
+        }
+        assert_eq!(set.len(), paths.len(), "seed {seed}");
+        assert_eq!(set, paths, "seed {seed}");
+    }
+}
+
+#[test]
+fn destination_traversal_agrees_with_oracle_on_random_graphs() {
+    // destination traversals run over the reversed graph + re-orientation;
+    // check against restricting the complete traversal
+    for (seed, g) in random_graphs().take(30) {
+        let dests: HashSet<VertexId> = g.vertices().take(3).collect();
+        for n in 1..=3usize {
+            let fast = mrpa::core::destination_traversal(&g, &dests, n);
+            let oracle = complete_traversal(&g, n).restrict_heads(&dests);
+            assert_eq!(fast, oracle, "seed {seed} n {n}");
+            assert!(fast.iter().all(|p: Path| p.is_joint()), "seed {seed} n {n}");
+        }
+    }
+}

@@ -30,8 +30,9 @@ fn derive_from_regex_generalises_compose_labels() {
         edge_probability: 0.05,
         seed: 9,
     });
-    let regex = PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(0)))
-        .join(PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(1))));
+    let regex = PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(0))).join(
+        PathRegex::atom(mrpa::core::EdgePattern::with_label(LabelId(1))),
+    );
     let via_regex = derive_from_regex(&g, &regex, 2);
     let via_compose = compose_labels(&g, LabelId(0), LabelId(1));
     let a: std::collections::HashSet<_> = via_regex.edges().collect();

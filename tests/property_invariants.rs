@@ -1,123 +1,191 @@
-//! Property-based tests (proptest) for the algebraic laws the paper states
+//! Seeded randomized property tests for the algebraic laws the paper states
 //! and the implementation relies on.
+//!
+//! The build environment vendors no proptest, so these are hand-rolled
+//! property tests: every case is drawn from a ChaCha8 stream with a fixed
+//! seed (via `mrpa::datagen::random`), so failures are exactly reproducible —
+//! re-run with the printed case number to shrink by hand.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::Rng as _;
 
 use mrpa::core::monoid::laws;
 use mrpa::core::{Edge, Path, PathSet};
+use mrpa::datagen::random::{rng_stream, Rng};
 
-/// Strategy: an arbitrary edge over a small vocabulary (so joins actually
-/// find joinable pairs).
-fn edge_strategy() -> impl Strategy<Value = Edge> {
-    (0u32..6, 0u32..3, 0u32..6).prop_map(Edge::from)
+const CASES: usize = 64;
+
+/// An arbitrary edge over a small vocabulary (so joins actually find
+/// joinable pairs).
+fn arb_edge(r: &mut Rng) -> Edge {
+    Edge::from((
+        r.gen_range(0u32..6),
+        r.gen_range(0u32..3),
+        r.gen_range(0u32..6),
+    ))
 }
 
-/// Strategy: an arbitrary (possibly disjoint) path of up to 4 edges.
-fn path_strategy() -> impl Strategy<Value = Path> {
-    vec(edge_strategy(), 0..4).prop_map(Path::from_edges)
+/// An arbitrary (possibly disjoint) path of up to 4 edges.
+fn arb_path(r: &mut Rng) -> Path {
+    let len = r.gen_range(0usize..4);
+    Path::from_edges((0..len).map(|_| arb_edge(r)))
 }
 
-/// Strategy: a path set of up to 6 paths.
-fn pathset_strategy() -> impl Strategy<Value = PathSet> {
-    vec(path_strategy(), 0..6).prop_map(PathSet::from_paths)
+/// An arbitrary path set of up to 6 paths.
+fn arb_pathset(r: &mut Rng) -> PathSet {
+    let n = r.gen_range(0usize..6);
+    PathSet::from_paths((0..n).map(|_| arb_path(r)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn concat_is_associative(a in path_strategy(), b in path_strategy(), c in path_strategy()) {
-        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+/// Runs `check` for [`CASES`] independently-seeded cases on stream `stream`.
+fn cases(stream: u64, mut check: impl FnMut(&mut Rng, usize)) {
+    for case in 0..CASES {
+        let mut r = rng_stream(0xa1_6eb4a, stream.wrapping_mul(1000) + case as u64);
+        check(&mut r, case);
     }
+}
 
-    #[test]
-    fn epsilon_is_concat_identity(a in path_strategy()) {
+#[test]
+fn concat_is_associative() {
+    cases(1, |r, case| {
+        let (a, b, c) = (arb_path(r), arb_path(r), arb_path(r));
+        assert_eq!(
+            a.concat(&b).concat(&c),
+            a.concat(&b.concat(&c)),
+            "case {case}"
+        );
+    });
+}
+
+#[test]
+fn epsilon_is_concat_identity() {
+    cases(2, |r, case| {
+        let a = arb_path(r);
         let eps = Path::epsilon();
-        prop_assert_eq!(eps.concat(&a), a.clone());
-        prop_assert_eq!(a.concat(&eps), a);
-    }
+        assert_eq!(eps.concat(&a), a, "case {case}");
+        assert_eq!(a.concat(&eps), a, "case {case}");
+    });
+}
 
-    #[test]
-    fn path_length_is_additive(a in path_strategy(), b in path_strategy()) {
-        prop_assert_eq!(a.concat(&b).len(), a.len() + b.len());
-    }
+#[test]
+fn path_length_is_additive() {
+    cases(3, |r, case| {
+        let (a, b) = (arb_path(r), arb_path(r));
+        assert_eq!(a.concat(&b).len(), a.len() + b.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn path_label_is_a_homomorphism(a in path_strategy(), b in path_strategy()) {
-        prop_assert!(laws::path_label_is_homomorphism(&a, &b));
-    }
+#[test]
+fn path_label_is_a_homomorphism() {
+    cases(4, |r, case| {
+        let (a, b) = (arb_path(r), arb_path(r));
+        assert!(laws::path_label_is_homomorphism(&a, &b), "case {case}");
+    });
+}
 
-    #[test]
-    fn sigma_indexes_every_edge(a in path_strategy()) {
+#[test]
+fn sigma_indexes_every_edge() {
+    cases(5, |r, case| {
+        let a = arb_path(r);
         for n in 1..=a.len() {
-            prop_assert_eq!(a.sigma(n).unwrap(), a.edges()[n - 1]);
+            assert_eq!(a.sigma(n).unwrap(), a.edges()[n - 1], "case {case}");
         }
-        prop_assert!(a.sigma(a.len() + 1).is_err());
-    }
+        assert!(a.sigma(a.len() + 1).is_err(), "case {case}");
+    });
+}
 
-    #[test]
-    fn join_is_associative(a in pathset_strategy(), b in pathset_strategy(), c in pathset_strategy()) {
-        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-    }
+#[test]
+fn join_is_associative() {
+    cases(6, |r, case| {
+        let (a, b, c) = (arb_pathset(r), arb_pathset(r), arb_pathset(r));
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)), "case {case}");
+    });
+}
 
-    #[test]
-    fn indexed_join_equals_naive_join(a in pathset_strategy(), b in pathset_strategy()) {
-        prop_assert_eq!(a.join(&b), a.join_naive(&b));
-    }
+#[test]
+fn arena_join_equals_naive_join() {
+    cases(7, |r, case| {
+        let (a, b) = (arb_pathset(r), arb_pathset(r));
+        assert_eq!(a.join(&b), a.join_naive(&b), "case {case}");
+    });
+}
 
-    #[test]
-    fn join_is_subset_of_product(a in pathset_strategy(), b in pathset_strategy()) {
-        prop_assert!(laws::join_subset_of_product(&a, &b));
-    }
+#[test]
+fn join_is_subset_of_product() {
+    cases(8, |r, case| {
+        let (a, b) = (arb_pathset(r), arb_pathset(r));
+        assert!(laws::join_subset_of_product(&a, &b), "case {case}");
+    });
+}
 
-    #[test]
-    fn join_distributes_over_union(
-        a in pathset_strategy(),
-        b in pathset_strategy(),
-        c in pathset_strategy()
-    ) {
-        prop_assert!(laws::join_distributes_left(&a, &b, &c));
-        prop_assert!(laws::join_distributes_right(&a, &b, &c));
-    }
+#[test]
+fn join_distributes_over_union() {
+    cases(9, |r, case| {
+        let (a, b, c) = (arb_pathset(r), arb_pathset(r), arb_pathset(r));
+        assert!(laws::join_distributes_left(&a, &b, &c), "case {case}");
+        assert!(laws::join_distributes_right(&a, &b, &c), "case {case}");
+    });
+}
 
-    #[test]
-    fn union_is_commutative_and_idempotent(a in pathset_strategy(), b in pathset_strategy()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&a), a);
-    }
+#[test]
+fn union_is_commutative_and_idempotent() {
+    cases(10, |r, case| {
+        let (a, b) = (arb_pathset(r), arb_pathset(r));
+        assert_eq!(a.union(&b), b.union(&a), "case {case}");
+        assert_eq!(a.union(&a), a, "case {case}");
+    });
+}
 
-    #[test]
-    fn epsilon_set_is_join_identity(a in pathset_strategy()) {
+#[test]
+fn epsilon_set_is_join_identity() {
+    cases(11, |r, case| {
+        let a = arb_pathset(r);
         let eps = PathSet::epsilon();
-        prop_assert_eq!(eps.join(&a), a.clone());
-        prop_assert_eq!(a.join(&eps), a);
-    }
+        assert_eq!(eps.join(&a), a, "case {case}");
+        assert_eq!(a.join(&eps), a, "case {case}");
+    });
+}
 
-    #[test]
-    fn empty_set_annihilates_join(a in pathset_strategy()) {
-        prop_assert!(laws::empty_annihilates_join(&a));
-    }
+#[test]
+fn empty_set_annihilates_join() {
+    cases(12, |r, case| {
+        let a = arb_pathset(r);
+        assert!(laws::empty_annihilates_join(&a), "case {case}");
+    });
+}
 
-    #[test]
-    fn joint_product_paths_appear_in_the_join(a in pathset_strategy(), b in pathset_strategy()) {
+#[test]
+fn joint_product_paths_appear_in_the_join() {
+    cases(13, |r, case| {
         // For operands consisting of non-empty *joint* paths:
         // joint(A ×◦ B) = A ⋈◦ B. (With disjoint operand paths the join can
         // itself emit disjoint paths — only the seam is checked — so the
         // restriction to joint operands is essential.)
-        let a: PathSet = a.iter().filter(|p| !p.is_empty() && p.is_joint()).cloned().collect();
-        let b: PathSet = b.iter().filter(|p| !p.is_empty() && p.is_joint()).cloned().collect();
-        prop_assert_eq!(a.product(&b).joint_only(), a.join(&b));
-    }
+        let a: PathSet = arb_pathset(r)
+            .iter()
+            .filter(|p| !p.is_empty() && p.is_joint())
+            .collect();
+        let b: PathSet = arb_pathset(r)
+            .iter()
+            .filter(|p| !p.is_empty() && p.is_joint())
+            .collect();
+        assert_eq!(a.product(&b).joint_only(), a.join(&b), "case {case}");
+    });
+}
 
-    #[test]
-    fn reversal_is_an_involution(a in path_strategy()) {
-        prop_assert_eq!(a.reversed().reversed(), a);
-    }
+#[test]
+fn reversal_is_an_involution() {
+    cases(14, |r, case| {
+        let a = arb_path(r);
+        assert_eq!(a.reversed().reversed(), a, "case {case}");
+    });
+}
 
-    #[test]
-    fn jointness_is_preserved_by_joining_edges(edges in vec(edge_strategy(), 1..5)) {
+#[test]
+fn jointness_is_preserved_by_joining_edges() {
+    cases(15, |r, case| {
         // build a joint path by repeatedly joining single edges when possible
+        let n = r.gen_range(1usize..5);
+        let edges: Vec<Edge> = (0..n).map(|_| arb_edge(r)).collect();
         let mut path = Path::from_edge(edges[0]);
         for e in &edges[1..] {
             let candidate = Path::from_edge(*e);
@@ -125,27 +193,28 @@ proptest! {
                 path = joined;
             }
         }
-        prop_assert!(path.is_joint());
-    }
+        assert!(path.is_joint(), "case {case}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn recognizer_strategies_agree_on_random_paths(
-        edges in vec(edge_strategy(), 0..4),
-        seed in 0u64..4
-    ) {
-        use mrpa::regex::{Recognizer, RecognizerStrategy};
-        // a small fixed graph over the same vocabulary
-        let graph: mrpa::core::MultiGraph = (0u32..6)
-            .flat_map(|i| (0u32..3).map(move |l| Edge::from((i, l, (i + l + 1) % 6))))
-            .collect();
+#[test]
+fn recognizer_strategies_agree_on_random_paths() {
+    use mrpa::regex::{Recognizer, RecognizerStrategy};
+    // a small fixed graph over the same vocabulary
+    let graph: mrpa::core::MultiGraph = (0u32..6)
+        .flat_map(|i| (0u32..3).map(move |l| Edge::from((i, l, (i + l + 1) % 6))))
+        .collect();
+    for seed in 0u64..4 {
         let regex = mrpa::datagen::random_regex(&graph, 3, seed);
-        let path = Path::from_edges(edges);
         let nfa = Recognizer::with_strategy(regex.clone(), RecognizerStrategy::Nfa, None);
         let structural = Recognizer::with_strategy(regex, RecognizerStrategy::Structural, None);
-        prop_assert_eq!(nfa.recognizes(&path), structural.recognizes(&path));
+        cases(16 + seed, |r, case| {
+            let path = arb_path(r);
+            assert_eq!(
+                nfa.recognizes(&path),
+                structural.recognizes(&path),
+                "seed {seed} case {case}: {path}"
+            );
+        });
     }
 }

@@ -28,10 +28,10 @@ fn all_recognizer_strategies_agree_on_random_regexes_and_graphs() {
         let min = Recognizer::with_strategy(regex, RecognizerStrategy::MinDfa, Some(&g));
         for n in 0..=3usize {
             for p in complete_traversal(&g, n).iter() {
-                let expected = structural.recognizes(p);
-                assert_eq!(nfa.recognizes(p), expected, "nfa disagrees on {p}");
-                assert_eq!(dfa.recognizes(p), expected, "dfa disagrees on {p}");
-                assert_eq!(min.recognizes(p), expected, "min-dfa disagrees on {p}");
+                let expected = structural.recognizes(&p);
+                assert_eq!(nfa.recognizes(&p), expected, "nfa disagrees on {p}");
+                assert_eq!(dfa.recognizes(&p), expected, "dfa disagrees on {p}");
+                assert_eq!(min.recognizes(&p), expected, "min-dfa disagrees on {p}");
             }
         }
     }
@@ -62,7 +62,7 @@ fn minimized_dfa_never_larger_and_equivalent() {
         assert!(min.state_count <= dfa.state_count);
         for n in 0..=3usize {
             for p in complete_traversal(&g, n).iter() {
-                assert_eq!(dfa.accepts(p), min.accepts(p));
+                assert_eq!(dfa.accepts(&p), min.accepts(&p));
             }
         }
     }

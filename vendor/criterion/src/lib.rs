@@ -1,0 +1,205 @@
+//! Offline shim implementing the subset of the `criterion` API used by this
+//! workspace's benches: `Criterion::benchmark_group`, `sample_size`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are simple median-of-samples wall-clock timings printed to
+//! stdout — enough to compare implementations on one machine, with none of
+//! criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export used by the macros.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Median nanoseconds per iteration, recorded by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times the closure: a few warm-up calls, then up to `samples` timed
+    /// calls bounded by the measurement budget; records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets how many timed samples to collect per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-case measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run_case<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            median_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        println!(
+            "bench {}/{}: median {:.1} ns/iter",
+            self.name, id, bencher.median_ns
+        );
+    }
+
+    /// Runs one case identified by `id` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let case = id.id.clone();
+        self.run_case(&case, |b| f(b, input));
+        self
+    }
+
+    /// Runs one case identified by name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let case = id.into().id;
+        self.run_case(&case, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` invoking the named group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_cases_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        group.bench_function("add", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,67 @@
+//! Slice sampling helpers (`SliceRandom`), shim for `rand::seq`.
+
+use crate::RngCore;
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (rng.next_u64() % self.len() as u64) as usize;
+            self.get(idx)
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            self.0
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_the_slice() {
+        let mut r = Lcg(9);
+        let v = vec![1, 2, 3, 4, 5];
+        assert!(v.contains(v.as_slice().choose(&mut r).unwrap()));
+        assert!(Vec::<i32>::new().as_slice().choose(&mut r).is_none());
+        let mut s = v.clone();
+        s.shuffle(&mut r);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, v);
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline shim providing a real ChaCha8-based RNG with the subset of the
+//! `rand_chacha` 0.3 API this workspace uses (`ChaCha8Rng`,
+//! `seed_from_u64`, `set_stream`).
+//!
+//! The core is a genuine ChaCha permutation with 8 double-rounds; the
+//! seed-to-key expansion uses SplitMix64, so streams are deterministic for a
+//! given `(seed, stream)` pair but not bit-compatible with upstream.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha RNG with 8 double-rounds and a settable stream id.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill".
+    cursor: usize,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects an independent stream (nonce) for the same key, restarting the
+    /// stream from its beginning.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.cursor = 16;
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..8 {
+            // column round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut s);
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let av: Vec<u64> = (0..64).map(|_| a.gen()).collect();
+        let bv: Vec<u64> = (0..64).map(|_| b.gen()).collect();
+        let cv: Vec<u64> = (0..64).map(|_| c.gen()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(1);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+        assert_eq!(a.get_stream(), 1);
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        let mut r = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64000 bits total; expect ~32000 ones
+        assert!((30000..34000).contains(&ones), "ones = {ones}");
+    }
+}
