@@ -10,7 +10,7 @@
 //!
 //! This crate provides both halves:
 //!
-//! * [`derive`] — the three derivation strategies (ignore labels, extract one
+//! * [`derive`](mod@derive) — the three derivation strategies (ignore labels, extract one
 //!   label, compose labels / regular paths) from a
 //!   [`MultiGraph`](mrpa_core::MultiGraph) to a [`SingleGraph`];
 //! * the algorithm library itself — [`search`], [`components`], [`geodesics`]

@@ -1,0 +1,155 @@
+//! Optimizer benchmark: executing the rewritten plan vs the naive plan on
+//! E2-style engine workloads.
+//!
+//! Builds a deterministic social property graph, plans each workload pipeline
+//! twice — the naive 1:1 lowering and the optimizer's rewrite — and times
+//! both under the materialized and streaming executors (median of several
+//! runs), after cross-checking that they produce the exact same row sequence.
+//! The machine-readable rows are written to `BENCH_optimizer.json` so
+//! subsequent PRs have a perf trajectory to beat.
+
+use mrpa_bench::{fmt_f, time_median, Table};
+use mrpa_datagen::{social_graph, SocialConfig};
+use mrpa_engine::{exec, plan, ExecutionStrategy, Pipeline, Predicate, StartSpec, Value};
+
+struct Workload {
+    name: &'static str,
+    start: StartSpec,
+    pipeline: Pipeline,
+}
+
+fn workloads() -> Vec<Workload> {
+    let people: Vec<String> = (0..40).map(|i| format!("person{i}")).collect();
+    vec![
+        // R1 + R6: a chain of filters that fuses into the expansions
+        Workload {
+            name: "filter_fusion",
+            start: StartSpec::Where("kind".into(), Predicate::Eq(Value::from("person"))),
+            pipeline: Pipeline::new()
+                .is(people.clone())
+                .has("age", Predicate::Gt(30.0))
+                .out(["knows"])
+                .is(people)
+                .out(["uses"]),
+        },
+        // R5: consecutive same-direction expansions merge into one automaton
+        Workload {
+            name: "expand_merge",
+            start: StartSpec::Where("kind".into(), Predicate::Eq(Value::from("person"))),
+            pipeline: Pipeline::new()
+                .out(["knows"])
+                .out(["knows"])
+                .out(["created"]),
+        },
+        // R2 + R3: redundant dedups and stacked limits collapse
+        Workload {
+            name: "dedup_limit",
+            start: StartSpec::Where("kind".into(), Predicate::Eq(Value::from("person"))),
+            pipeline: Pipeline::new()
+                .out(["knows"])
+                .out(["uses"])
+                .dedup()
+                .has("lang", Predicate::Exists)
+                .dedup()
+                .limit(500)
+                .limit(100),
+        },
+    ]
+}
+
+fn main() {
+    let runs = 9;
+    let g = social_graph(SocialConfig {
+        people: 400,
+        software: 60,
+        knows_per_person: 4,
+        created_per_person: 1,
+        uses_per_person: 2,
+        seed: 11,
+    });
+    let snapshot = g.snapshot();
+    println!(
+        "E2-style social workload: |V|={} |E|={}, median of {runs} runs",
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    let strategies = [
+        ("materialized", ExecutionStrategy::Materialized),
+        ("streaming", ExecutionStrategy::Streaming),
+    ];
+
+    let mut table = Table::new([
+        "workload",
+        "strategy",
+        "rows",
+        "naive ops",
+        "opt ops",
+        "naive ms",
+        "opt ms",
+        "speedup",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for w in workloads() {
+        let naive = plan::plan(&snapshot, &w.start, w.pipeline.steps()).expect("plan");
+        let optimized = plan::optimize(&snapshot, &naive);
+        assert_ne!(naive, optimized, "workload {} was not rewritten", w.name);
+        for (sname, strategy) in strategies {
+            // correctness cross-check before timing anything
+            let naive_rows = exec::execute(&snapshot, &naive, strategy, None).expect("naive run");
+            let opt_rows =
+                exec::execute(&snapshot, &optimized, strategy, None).expect("optimized run");
+            assert_eq!(
+                naive_rows.rows(),
+                opt_rows.rows(),
+                "optimized ≠ naive on {} / {sname}",
+                w.name
+            );
+            let rows = naive_rows.len();
+
+            let naive_ms = time_median(runs, || {
+                exec::execute(&snapshot, &naive, strategy, None).unwrap()
+            });
+            let opt_ms = time_median(runs, || {
+                exec::execute(&snapshot, &optimized, strategy, None).unwrap()
+            });
+            let speedup = naive_ms / opt_ms.max(1e-9);
+
+            table.row([
+                w.name.to_string(),
+                sname.to_string(),
+                rows.to_string(),
+                naive.ops().len().to_string(),
+                optimized.ops().len().to_string(),
+                fmt_f(naive_ms),
+                fmt_f(opt_ms),
+                format!("{speedup:.2}x"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"workload\": \"{}\", \"strategy\": \"{sname}\", \"rows\": {rows}, \
+                 \"naive_ops\": {}, \"optimized_ops\": {}, \"naive_ms\": {naive_ms:.4}, \
+                 \"optimized_ms\": {opt_ms:.4}, \"speedup\": {speedup:.2}}}",
+                w.name,
+                naive.ops().len(),
+                optimized.ops().len(),
+            ));
+        }
+    }
+
+    table.print("optimizer: rewritten plan vs naive plan (E2-style social workloads)");
+    println!("Expectation: fused filters and pushed restrictions avoid materialising rejected");
+    println!("rows; plan-shape rewrites (merge/dedup/limit) must never be slower than naive.");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"optimizer_rewrite\",\n  \"workload\": {{\"graph\": \"social\", \
+         \"people\": 400, \"software\": 60, \"seed\": 11, \"vertices\": {}, \"edges\": {}, \
+         \"runs\": {runs}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_optimizer.json";
+    std::fs::write(path, &json).expect("write BENCH_optimizer.json");
+    println!("\nwrote {path}");
+}

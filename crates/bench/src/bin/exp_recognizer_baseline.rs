@@ -1,4 +1,4 @@
-//! E7 — §IV-A vs Mendelzon–Wood [8]: edge-alphabet vs label-alphabet regexes.
+//! E7 — §IV-A vs Mendelzon–Wood \[8\]: edge-alphabet vs label-alphabet regexes.
 //!
 //! (a) Expressiveness: a vertex-anchored edge regex has no label-regex
 //!     equivalent — the closest label regex over-approximates it.

@@ -10,7 +10,7 @@ use core::fmt;
 /// Identifier of a vertex `v ∈ V`.
 ///
 /// Vertex ids are dense indices handed out by
-/// [`Interner`](crate::interner::Interner) /
+/// [`StringInterner`](crate::interner::StringInterner) /
 /// [`GraphBuilder`](crate::builder::GraphBuilder) or chosen directly by the
 /// caller when constructing graphs programmatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -17,6 +17,10 @@ pub enum EngineError {
         /// What exceeded it.
         what: &'static str,
     },
+    /// A `match_` path pattern failed to parse or compile.
+    InvalidPattern(String),
+    /// The pipeline asked for a step combination the planner does not support.
+    Unsupported(String),
     /// A lower-level algebra error.
     Core(String),
 }
@@ -29,6 +33,8 @@ impl fmt::Display for EngineError {
             EngineError::BoundExceeded { bound, what } => {
                 write!(f, "{what} exceeded bound {bound}")
             }
+            EngineError::InvalidPattern(msg) => write!(f, "invalid path pattern: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported pipeline: {msg}"),
             EngineError::Core(msg) => write!(f, "algebra error: {msg}"),
         }
     }
@@ -43,6 +49,17 @@ impl From<mrpa_core::CoreError> for EngineError {
                 EngineError::BoundExceeded { bound, what }
             }
             other => EngineError::Core(other.to_string()),
+        }
+    }
+}
+
+impl From<mrpa_regex::RegexError> for EngineError {
+    fn from(e: mrpa_regex::RegexError) -> Self {
+        match e {
+            // label names in a pattern resolve through the same interner as
+            // `.out([...])` labels, so they surface as the same error
+            mrpa_regex::RegexError::UnknownLabelName(n) => EngineError::UnknownLabel(n),
+            other => EngineError::InvalidPattern(other.to_string()),
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Executors: evaluating a [`LogicalPlan`] against a [`GraphSnapshot`].
 //!
-//! Three strategies are provided, all computing the same result set (row
-//! *order* may differ for `Limit`-truncated traversals; everything else is
-//! order-insensitive):
+//! Three strategies are provided, all computing the same result set. Rows
+//! come out in one canonical order — row-major: each input row's expansions
+//! are contiguous, depth-/iteration-ordered within a row — which is what
+//! makes `Limit` deterministic across strategies:
 //!
 //! * [`ExecutionStrategy::Materialized`] — level-at-a-time evaluation that
 //!   materialises the full row set after every operation; this is the direct
@@ -10,30 +11,43 @@
 //!   reference implementation.
 //! * [`ExecutionStrategy::Streaming`] — row-at-a-time depth-first evaluation
 //!   that never materialises intermediate frontiers (constant memory per
-//!   branch) and can stop early under `Limit`.
+//!   branch) and can stop early under `Limit`. Composite ops
+//!   ([`PlanOp::ExpandAutomaton`], [`PlanOp::Repeat`]) are expanded per-row:
+//!   a single row's full emission set is computed (these ops are stateless
+//!   per row by construction), then streamed onward one at a time — so a
+//!   downstream `Limit` cannot cut a composite op's walk short mid-row; use
+//!   `max_intermediate` to bound dense automaton expansions.
 //! * [`ExecutionStrategy::Parallel`] — partitions the start frontier across
-//!   threads (crossbeam scoped threads), evaluates each partition with the
-//!   materialized strategy, and concatenates the partial results in partition
-//!   order (so the output is deterministic).
+//!   threads (crossbeam scoped threads), evaluates the plan's stateless
+//!   prefix (everything before the first `Dedup`/`Limit`) per partition with
+//!   the materialized strategy, concatenates the partial results in
+//!   partition order, and evaluates the stateful suffix globally — so the
+//!   output is row-for-row identical to the materialized strategy.
 //!
 //! Expansion is **frontier-driven**: each row's next edges come straight from
 //! `graph.out_edges(head)` / `out_edges_labeled(head, α)` adjacency (the
-//! reversed graph for `In` steps), and the row's path is a [`PathId`] into a
-//! per-execution [`PathArena`] — extending a row is one hash-consed arena
-//! append instead of cloning the whole edge vector. Rows are materialised
-//! into [`ResultRow`]s only once, at the end.
+//! reversed graph for `In` steps; both graphs for `Both`), and the row's path
+//! is a [`PathId`] into a per-execution [`PathArena`] — extending a row is one
+//! hash-consed arena append instead of cloning the whole edge vector.
+//! [`PlanOp::ExpandAutomaton`] runs the product construction: the frontier
+//! carries `(row, dfa-state)` pairs, each hop walks the adjacency index for
+//! the labels with transitions out of the current state, and rows landing in
+//! accepting states are emitted at every depth up to the spec's bound. Rows
+//! are materialised into [`ResultRow`]s only once, at the end.
 //!
 //! Experiment E8 benchmarks the three against each other and against a
-//! hand-written algebra evaluation.
+//! hand-written algebra evaluation; `exp_optimizer` benchmarks optimized
+//! against naive plans.
 
 use std::collections::HashSet;
 
-use mrpa_core::{Edge, LabelId, MultiGraph, PathArena, PathId, VertexId};
+use mrpa_core::{Edge, LabelId, PathArena, PathId, VertexId};
 
 use crate::error::EngineError;
-use crate::plan::{Direction, LogicalPlan, PlanOp};
+use crate::plan::{AutomatonSpec, Direction, LogicalPlan, PlanOp};
 use crate::query::{QueryResult, ResultRow};
 use crate::store::GraphSnapshot;
+use crate::value::Predicate;
 
 /// Which executor evaluates the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,17 +108,19 @@ fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<ResultRow> {
         .collect()
 }
 
-/// The edges leaving `v` in the step's direction, restricted to `labels`.
-/// For `Direction::In` the edges come from the reversed graph, so a result
-/// edge `(h, α, t)` represents walking the stored edge `(t, α, h)` backwards;
-/// the produced paths are joint paths of the reversed graph.
+/// Visits the edges leaving `v` in the step's direction, restricted to
+/// `labels`. For `Direction::In` the edges come from the reversed graph, so a
+/// result edge `(h, α, t)` represents walking the stored edge `(t, α, h)`
+/// backwards; the produced paths are joint paths of the reversed graph.
+/// `Direction::Both` visits the forward edges first, then the reversed ones.
 fn for_each_expansion_edge(
-    graph: &MultiGraph,
+    snapshot: &GraphSnapshot,
+    direction: Direction,
     v: VertexId,
     labels: &Option<Vec<LabelId>>,
     mut visit: impl FnMut(&Edge),
 ) {
-    match labels {
+    let mut walk = |graph: &mrpa_core::MultiGraph| match labels {
         None => {
             for e in graph.out_edges(v) {
                 visit(e);
@@ -117,13 +133,14 @@ fn for_each_expansion_edge(
                 }
             }
         }
-    }
-}
-
-fn direction_graph(snapshot: &GraphSnapshot, direction: Direction) -> &MultiGraph {
+    };
     match direction {
-        Direction::Out => snapshot.graph(),
-        Direction::In => snapshot.reversed(),
+        Direction::Out => walk(snapshot.graph()),
+        Direction::In => walk(snapshot.reversed()),
+        Direction::Both => {
+            walk(snapshot.graph());
+            walk(snapshot.reversed());
+        }
     }
 }
 
@@ -139,6 +156,192 @@ fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
     Ok(())
 }
 
+fn in_set(set: &Option<HashSet<VertexId>>, v: VertexId) -> bool {
+    set.as_ref().map(|s| s.contains(&v)).unwrap_or(true)
+}
+
+fn eval_until(snapshot: &GraphSnapshot, until: &(String, Predicate), v: VertexId) -> bool {
+    until.1.eval(snapshot.vertex_property(v, &until.0))
+}
+
+/// Applies one plan op to a materialised row set (level-at-a-time). Also used
+/// by the streaming executor to expand composite ops for a single row.
+fn apply_op(
+    snapshot: &GraphSnapshot,
+    arena: &PathArena,
+    rows: Vec<ArenaRow>,
+    op: &PlanOp,
+    cap: Option<usize>,
+) -> Result<Vec<ArenaRow>, EngineError> {
+    Ok(match op {
+        PlanOp::Expand {
+            direction,
+            labels,
+            from,
+            to,
+        } => {
+            let mut next = Vec::new();
+            // one write-lock acquisition for the whole expansion level
+            let mut writer = arena.writer();
+            for row in &rows {
+                if !in_set(from, row.head) {
+                    continue;
+                }
+                for_each_expansion_edge(snapshot, *direction, row.head, labels, |e| {
+                    if !in_set(to, e.head) {
+                        return;
+                    }
+                    next.push(ArenaRow {
+                        source: row.source,
+                        path: writer.append(row.path, *e),
+                        head: e.head,
+                    });
+                });
+            }
+            next
+        }
+        PlanOp::ExpandAutomaton { spec, from, to } => {
+            expand_automaton(snapshot, arena, rows, spec, from, to, cap)?
+        }
+        PlanOp::Repeat {
+            body,
+            min,
+            max,
+            until,
+        } => {
+            // evaluated per input row so emissions are row-major (each input
+            // row's emissions contiguous, iteration count ascending within a
+            // row) — the canonical order all three strategies share
+            let mut emitted: Vec<ArenaRow> = Vec::new();
+            for row in rows {
+                let mut frontier = vec![row];
+                for k in 0..=*max {
+                    match until {
+                        Some(cond) if k >= *min => {
+                            let mut stay = Vec::with_capacity(frontier.len());
+                            for row in frontier {
+                                if eval_until(snapshot, cond, row.head) {
+                                    emitted.push(row);
+                                } else {
+                                    stay.push(row);
+                                }
+                            }
+                            frontier = stay;
+                        }
+                        Some(_) => {}
+                        None => {
+                            if k >= *min {
+                                emitted.extend(frontier.iter().copied());
+                            }
+                        }
+                    }
+                    if k == *max || frontier.is_empty() {
+                        break;
+                    }
+                    frontier = apply_ops(snapshot, arena, frontier, body, cap)?;
+                    check_cap(frontier.len() + emitted.len(), cap)?;
+                }
+            }
+            emitted
+        }
+        PlanOp::RestrictVertices(vs) => rows.into_iter().filter(|r| vs.contains(&r.head)).collect(),
+        PlanOp::RestrictProperty { key, predicate } => rows
+            .into_iter()
+            .filter(|r| predicate.eval(snapshot.vertex_property(r.head, key)))
+            .collect(),
+        PlanOp::DedupByVertex => {
+            let mut seen = HashSet::new();
+            rows.into_iter().filter(|r| seen.insert(r.head)).collect()
+        }
+        PlanOp::Limit(n) => {
+            let mut rows = rows;
+            rows.truncate(*n);
+            rows
+        }
+    })
+}
+
+fn apply_ops(
+    snapshot: &GraphSnapshot,
+    arena: &PathArena,
+    mut rows: Vec<ArenaRow>,
+    ops: &[PlanOp],
+    cap: Option<usize>,
+) -> Result<Vec<ArenaRow>, EngineError> {
+    for op in ops {
+        rows = apply_op(snapshot, arena, rows, op, cap)?;
+        check_cap(rows.len(), cap)?;
+    }
+    Ok(rows)
+}
+
+/// Product-automaton expansion: per input row, a breadth-first walk over
+/// `(row, dfa-state)` pairs; every hop consumes one edge whose label has a
+/// transition out of the row's current state, and rows in accepting states
+/// are emitted at each depth (including depth 0 when the automaton is
+/// nullable). Evaluated row by row so emissions are row-major (each input
+/// row's emissions contiguous, depth-ordered within a row) — the canonical
+/// order all three strategies share.
+fn expand_automaton(
+    snapshot: &GraphSnapshot,
+    arena: &PathArena,
+    rows: Vec<ArenaRow>,
+    spec: &AutomatonSpec,
+    from: &Option<HashSet<VertexId>>,
+    to: &Option<HashSet<VertexId>>,
+    cap: Option<usize>,
+) -> Result<Vec<ArenaRow>, EngineError> {
+    let mut emitted: Vec<ArenaRow> = Vec::new();
+    let start = spec.start_state();
+    let start_accepts = spec.is_accept(start);
+    let graph = match spec.direction() {
+        Direction::Out => snapshot.graph(),
+        Direction::In => snapshot.reversed(),
+        Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
+    };
+    let mut writer = arena.writer();
+    for row in rows {
+        if !in_set(from, row.head) {
+            continue;
+        }
+        if start_accepts && in_set(to, row.head) {
+            emitted.push(row);
+        }
+        let mut frontier: Vec<(ArenaRow, usize)> = vec![(row, start)];
+        for hop in 1..=spec.max_hops() {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next: Vec<(ArenaRow, usize)> = Vec::new();
+            for (row, state) in &frontier {
+                for &(label, target) in spec.moves(*state) {
+                    // a row only joins the next frontier if it can still make
+                    // progress: there are hops left and the target state moves
+                    let survives = hop < spec.max_hops() && !spec.moves(target).is_empty();
+                    let accepts = spec.is_accept(target);
+                    for e in graph.out_edges_labeled(row.head, label) {
+                        let produced = ArenaRow {
+                            source: row.source,
+                            path: writer.append(row.path, *e),
+                            head: e.head,
+                        };
+                        if accepts && in_set(to, e.head) {
+                            emitted.push(produced);
+                        }
+                        if survives {
+                            next.push((produced, target));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            check_cap(frontier.len() + emitted.len(), cap)?;
+        }
+    }
+    drop(writer);
+    Ok(emitted)
+}
+
 /// Level-at-a-time evaluation: frontier rows expand through the adjacency
 /// indexes, and each produced row is one arena append.
 fn materialized(
@@ -148,53 +351,18 @@ fn materialized(
     cap: Option<usize>,
 ) -> Result<Vec<ResultRow>, EngineError> {
     let arena = PathArena::new();
-    let mut rows = initial_rows(start);
+    let rows = initial_rows(start);
     check_cap(rows.len(), cap)?;
-    for op in ops {
-        rows = match op {
-            PlanOp::Expand { direction, labels } => {
-                let graph = direction_graph(snapshot, *direction);
-                let mut next = Vec::new();
-                // one write-lock acquisition for the whole expansion level
-                let mut writer = arena.writer();
-                for row in &rows {
-                    for_each_expansion_edge(graph, row.head, labels, |e| {
-                        next.push(ArenaRow {
-                            source: row.source,
-                            path: writer.append(row.path, *e),
-                            head: e.head,
-                        });
-                    });
-                }
-                drop(writer);
-                next
-            }
-            PlanOp::RestrictVertices(vs) => {
-                rows.into_iter().filter(|r| vs.contains(&r.head)).collect()
-            }
-            PlanOp::RestrictProperty { key, predicate } => rows
-                .into_iter()
-                .filter(|r| predicate.eval(snapshot.vertex_property(r.head, key)))
-                .collect(),
-            PlanOp::DedupByVertex => {
-                let mut seen = HashSet::new();
-                rows.into_iter().filter(|r| seen.insert(r.head)).collect()
-            }
-            PlanOp::Limit(n) => {
-                let mut rows = rows;
-                rows.truncate(*n);
-                rows
-            }
-        };
-        check_cap(rows.len(), cap)?;
-    }
+    let rows = apply_ops(snapshot, &arena, rows, ops, cap)?;
     Ok(materialise_rows(&arena, rows))
 }
 
 /// Row-at-a-time depth-first evaluation.
 ///
 /// `Dedup` and `Limit` are inherently global operations, so they are applied
-/// as the rows stream out of the recursion (first-come order).
+/// as the rows stream out of the recursion (first-come order). Composite ops
+/// (`ExpandAutomaton`, `Repeat`) are stateless per row; each row's emission
+/// set is computed via the materialized helper and streamed onward.
 fn streaming(
     snapshot: &GraphSnapshot,
     plan: &LogicalPlan,
@@ -227,15 +395,26 @@ fn streaming(
             ctx.out.push(row);
             return Ok(());
         }
-        match &ctx.ops[op_index] {
-            PlanOp::Expand { direction, labels } => {
-                let graph = direction_graph(ctx.snapshot, *direction);
+        let op = &ctx.ops[op_index];
+        match op {
+            PlanOp::Expand {
+                direction,
+                labels,
+                from,
+                to,
+            } => {
+                if !in_set(from, row.head) {
+                    return Ok(());
+                }
                 // collect this row's expansions under one lock acquisition,
                 // then recurse depth-first with the lock released
                 let mut expansions: Vec<ArenaRow> = Vec::new();
                 {
                     let mut writer = ctx.arena.writer();
-                    for_each_expansion_edge(graph, row.head, labels, |e| {
+                    for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
+                        if !in_set(to, e.head) {
+                            return;
+                        }
                         expansions.push(ArenaRow {
                             source: row.source,
                             path: writer.append(row.path, *e),
@@ -244,6 +423,15 @@ fn streaming(
                     });
                 }
                 for next in expansions {
+                    emit(ctx, next, op_index + 1)?;
+                }
+                Ok(())
+            }
+            PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. } => {
+                // stateless per row: expand this row's emissions level-at-a-
+                // time, then stream each produced row onward
+                let produced = apply_op(ctx.snapshot, &ctx.arena, vec![row], op, ctx.cap)?;
+                for next in produced {
                     emit(ctx, next, op_index + 1)?;
                 }
                 Ok(())
@@ -293,24 +481,45 @@ fn streaming(
     Ok(materialise_rows(&ctx.arena, ctx.out))
 }
 
-/// Start-partitioned parallel evaluation (materialized per partition).
+/// Start-partitioned parallel evaluation.
 ///
-/// Note: global operations (`Dedup`, `Limit`) are applied per partition and
-/// then re-applied to the merged result, which preserves the semantics of
-/// "the set of rows" (dedup) and "at most n rows" (limit) while keeping the
-/// partitions independent.
+/// The plan is split at the first *stateful* op (`Dedup`/`Limit` — only ever
+/// top-level; repeat bodies are validated stateless at plan time). The
+/// stateless prefix distributes over rows, so each partition evaluates it
+/// with the materialized strategy; the partial results are concatenated in
+/// partition order (row-major order is preserved, because stateless ops map
+/// each input row to a contiguous run of output rows) and the remaining
+/// suffix is then evaluated globally, single-threaded. The result is
+/// row-for-row identical to the materialized strategy. A plan that *starts*
+/// with a stateful op has no parallelizable prefix and falls back to
+/// materialized outright.
 fn parallel(
     snapshot: &GraphSnapshot,
     plan: &LogicalPlan,
     cap: Option<usize>,
 ) -> Result<Vec<ResultRow>, EngineError> {
-    let start = plan.start();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(start.len().max(1));
-    if threads <= 1 || start.len() <= 1 {
-        return materialized(snapshot, start, plan.ops(), cap);
+        .unwrap_or(4);
+    parallel_with_threads(snapshot, plan, cap, threads)
+}
+
+fn parallel_with_threads(
+    snapshot: &GraphSnapshot,
+    plan: &LogicalPlan,
+    cap: Option<usize>,
+    threads: usize,
+) -> Result<Vec<ResultRow>, EngineError> {
+    let start = plan.start();
+    let ops = plan.ops();
+    let split = ops
+        .iter()
+        .position(|op| matches!(op, PlanOp::DedupByVertex | PlanOp::Limit(_)))
+        .unwrap_or(ops.len());
+    let (prefix, suffix) = ops.split_at(split);
+    let threads = threads.min(start.len().max(1));
+    if threads <= 1 || start.len() <= 1 || prefix.is_empty() {
+        return materialized(snapshot, start, ops, cap);
     }
     let chunk_size = start.len().div_ceil(threads);
     let chunks: Vec<&[VertexId]> = start.chunks(chunk_size).collect();
@@ -318,7 +527,7 @@ fn parallel(
     let results: Vec<Result<Vec<ResultRow>, EngineError>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|chunk| scope.spawn(move |_| materialized(snapshot, chunk, plan.ops(), cap)))
+            .map(|chunk| scope.spawn(move |_| materialized(snapshot, chunk, prefix, cap)))
             .collect();
         handles
             .into_iter()
@@ -331,19 +540,23 @@ fn parallel(
     for r in results {
         merged.extend(r?);
     }
-    // re-apply global operations to the merged rows in plan order
-    for op in plan.ops() {
-        match op {
-            PlanOp::DedupByVertex => {
-                let mut seen = HashSet::new();
-                merged.retain(|r| seen.insert(r.head));
-            }
-            PlanOp::Limit(n) => merged.truncate(*n),
-            _ => {}
-        }
-    }
     check_cap(merged.len(), cap)?;
-    Ok(merged)
+    if suffix.is_empty() {
+        return Ok(merged);
+    }
+    // evaluate the stateful suffix globally: re-intern the merged rows into a
+    // fresh arena and continue level-at-a-time
+    let arena = PathArena::new();
+    let rows: Vec<ArenaRow> = merged
+        .into_iter()
+        .map(|r| ArenaRow {
+            source: r.source,
+            path: arena.intern(&r.path),
+            head: r.head,
+        })
+        .collect();
+    let rows = apply_ops(snapshot, &arena, rows, suffix, cap)?;
+    Ok(materialise_rows(&arena, rows))
 }
 
 #[cfg(test)]
@@ -357,13 +570,7 @@ mod tests {
         result.head_names()
     }
 
-    #[test]
-    fn strategies_agree_on_simple_pipeline() {
-        let g = classic_social_graph();
-        let base = Traversal::over(&g)
-            .v(["marko"])
-            .out(["knows"])
-            .out(["created"]);
+    fn all_strategies(base: &Traversal) -> (QueryResult, QueryResult, QueryResult) {
         let m = base
             .clone()
             .strategy(ExecutionStrategy::Materialized)
@@ -379,6 +586,17 @@ mod tests {
             .strategy(ExecutionStrategy::Parallel)
             .execute()
             .unwrap();
+        (m, s, p)
+    }
+
+    #[test]
+    fn strategies_agree_on_simple_pipeline() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .out(["created"]);
+        let (m, s, p) = all_strategies(&base);
         assert_eq!(head_set(&m), head_set(&s));
         assert_eq!(head_set(&m), head_set(&p));
         assert_eq!(m.paths(), s.paths());
@@ -394,21 +612,7 @@ mod tests {
             .has("age", Predicate::Ge(30.0))
             .out(["created"])
             .dedup();
-        let m = base
-            .clone()
-            .strategy(ExecutionStrategy::Materialized)
-            .execute()
-            .unwrap();
-        let s = base
-            .clone()
-            .strategy(ExecutionStrategy::Streaming)
-            .execute()
-            .unwrap();
-        let p = base
-            .clone()
-            .strategy(ExecutionStrategy::Parallel)
-            .execute()
-            .unwrap();
+        let (m, s, p) = all_strategies(&base);
         let mut mh = m.distinct_heads();
         let mut sh = s.distinct_heads();
         let mut ph = p.distinct_heads();
@@ -428,9 +632,95 @@ mod tests {
             .in_(["created"])
             .execute()
             .unwrap();
-        let mut names = r.head_names();
-        names.sort();
-        assert_eq!(names, vec!["josh", "marko", "peter"]);
+        assert_eq!(r.head_names_sorted(), vec!["josh", "marko", "peter"]);
+    }
+
+    #[test]
+    fn both_steps_union_out_and_in_edges() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g).v(["josh"]).both(["created", "knows"]);
+        let (m, s, p) = all_strategies(&base);
+        // josh: created→{ripple, lop} (out), knows→{marko} (in)
+        assert_eq!(m.head_names_sorted(), vec!["lop", "marko", "ripple"]);
+        assert_eq!(m.paths(), s.paths());
+        assert_eq!(m.paths(), p.paths());
+    }
+
+    #[test]
+    fn match_runs_the_product_automaton_under_all_strategies() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g).v(["marko"]).match_("knows+·created");
+        let (m, s, p) = all_strategies(&base);
+        assert_eq!(m.head_names_sorted(), vec!["lop", "ripple"]);
+        assert_eq!(m.paths(), s.paths());
+        assert_eq!(m.paths(), p.paths());
+        // every matching path is knowsᵏ·created for some k ≥ 1
+        for row in m.rows() {
+            assert!(row.path.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn match_with_nullable_pattern_emits_epsilon_rows() {
+        let g = classic_social_graph();
+        let r = Traversal::over(&g)
+            .v(["marko"])
+            .match_("knows*")
+            .execute()
+            .unwrap();
+        // ε (marko itself) + knows-paths to vadas and josh
+        assert_eq!(r.head_names_sorted(), vec!["josh", "marko", "vadas"]);
+        assert!(r.rows().iter().any(|row| row.path.is_empty()));
+    }
+
+    #[test]
+    fn repeat_emits_union_over_the_iteration_range() {
+        let g = classic_social_graph();
+        let base = Traversal::over(&g)
+            .v(["marko"])
+            .repeat(1..=2, |p| p.out(["knows"]));
+        let (m, s, p) = all_strategies(&base);
+        // marko -knows-> {vadas, josh}; no second knows hop exists
+        assert_eq!(m.head_names_sorted(), vec!["josh", "vadas"]);
+        assert_eq!(m.paths(), s.paths());
+        assert_eq!(m.paths(), p.paths());
+        // times(1..=1) and the plain step agree exactly
+        let plain = Traversal::over(&g)
+            .v(["marko"])
+            .out(["knows"])
+            .execute()
+            .unwrap();
+        let once = Traversal::over(&g)
+            .v(["marko"])
+            .repeat(1..=1, |p| p.out(["knows"]))
+            .execute()
+            .unwrap();
+        assert_eq!(plain.paths(), once.paths());
+    }
+
+    #[test]
+    fn repeat_until_exits_rows_when_the_predicate_holds() {
+        let g = classic_social_graph();
+        // walk out-edges until reaching software, at most 3 hops
+        let r = Traversal::over(&g)
+            .v(["marko"])
+            .repeat_until(3, "kind", Predicate::Eq(Value::from("software")), |p| {
+                p.out_any()
+            })
+            .execute()
+            .unwrap();
+        // reachable software from marko: lop (direct), ripple & lop via josh
+        assert_eq!(r.head_names_sorted(), vec!["lop", "lop", "ripple"]);
+        // a start row that already satisfies the predicate exits at depth 0
+        let r = Traversal::over(&g)
+            .v(["lop"])
+            .repeat_until(3, "kind", Predicate::Eq(Value::from("software")), |p| {
+                p.out_any()
+            })
+            .execute()
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.rows()[0].path.is_empty());
     }
 
     #[test]
@@ -485,7 +775,59 @@ mod tests {
             .out(["created"])
             .execute()
             .unwrap();
-        assert_eq!(r.head_names(), vec!["lop", "ripple"]);
+        assert_eq!(r.head_names_sorted(), vec!["lop", "ripple"]);
+    }
+
+    #[test]
+    fn forced_multithread_parallel_matches_materialized_row_for_row() {
+        // `available_parallelism` may report 1 core in CI sandboxes, hiding
+        // the partitioned path — force it. Mid-plan stateful ops are the
+        // regression of interest: a dedup *before* an expansion must not be
+        // re-applied to the final rows.
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let pipelines: Vec<Traversal> = vec![
+            // dedup before expand: 4 created-rows survive (lop ×3, ripple)
+            Traversal::over(&g).dedup().out(["created"]),
+            // stateful suffix after a parallel prefix
+            Traversal::over(&g)
+                .out_any()
+                .out(["created"])
+                .dedup()
+                .limit(3),
+            // limit sandwiched between expansions
+            Traversal::over(&g).out_any().limit(4).out(["created"]),
+            // stateless-only plan
+            Traversal::over(&g).both_any(),
+            // automaton + repeat prefix with stateful tail
+            Traversal::over(&g).match_("knows*·created").dedup(),
+        ];
+        for (i, t) in pipelines.iter().enumerate() {
+            let naive = crate::plan::plan(&snap, t.start_spec(), t.steps()).unwrap();
+            let optimized = crate::plan::optimize(&snap, &naive);
+            let reference = materialized(&snap, naive.start(), naive.ops(), None).unwrap();
+            for plan in [&naive, &optimized] {
+                for threads in [2, 3, 7] {
+                    let rows = parallel_with_threads(&snap, plan, None, threads).unwrap();
+                    assert_eq!(rows, reference, "pipeline {i}, {threads} threads");
+                }
+            }
+        }
+        // the dedup-before-expand case keeps duplicate final heads
+        let r = materialized(
+            &snap,
+            &snap.graph().vertices().collect::<Vec<_>>(),
+            crate::plan::plan(
+                &snap,
+                Traversal::over(&g).dedup().out(["created"]).start_spec(),
+                Traversal::over(&g).dedup().out(["created"]).steps(),
+            )
+            .unwrap()
+            .ops(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4);
     }
 
     #[test]

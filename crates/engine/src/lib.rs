@@ -8,10 +8,15 @@
 //!   edge structure is exactly the ternary relation `E ⊆ V × Ω × V` of the
 //!   algebra, with string-keyed [`Value`] properties on vertices and edges.
 //! * [`Traversal`] — a Gremlin-style fluent pipeline DSL
-//!   (`.v(["marko"]).out(["knows"]).has("age", Gt(30)).out(["created"])`).
-//! * [`plan`] — a planner that rewrites pipelines into the paper's algebra:
-//!   restricted edge sets combined with concatenative joins (§III), with
-//!   vertex/property restrictions pushed into the join operands.
+//!   (`.v(["marko"]).out(["knows"]).has("age", Gt(30)).out(["created"])`),
+//!   including regular path patterns (`.match_("knows+·created")`), bounded
+//!   iteration (`.repeat(1..=3, |p| p.out(["knows"]))`), and bidirectional
+//!   steps (`.both([...])`).
+//! * [`plan`] — a planner that lowers every pipeline into one algebraic IR
+//!   (restricted edge sets combined with concatenative joins, §III; label
+//!   regexes become minimized product automata, §IV) and then rewrites it
+//!   with an explicit optimizer pass. `Traversal::explain` returns the
+//!   pre-/post-rewrite plans plus cardinality estimates.
 //! * [`exec`] — three executors over the same logical plan: materialized
 //!   (path-set, the reference), streaming (row-at-a-time), and parallel
 //!   (start-partitioned, crossbeam scoped threads).
@@ -28,7 +33,15 @@
 //!     .out(["created"])
 //!     .execute()
 //!     .unwrap();
-//! assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+//! assert_eq!(result.head_names_sorted(), vec!["lop", "ripple"]);
+//!
+//! // the same reachability, phrased as a regular path query
+//! let result = Traversal::over(&g)
+//!     .v(["marko"])
+//!     .match_("knows+·created")
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.head_names_sorted(), vec!["lop", "ripple"]);
 //! ```
 
 #![warn(missing_docs)]
@@ -45,8 +58,10 @@ pub mod value;
 
 pub use error::EngineError;
 pub use exec::ExecutionStrategy;
-pub use pipeline::{StartSpec, Step, Traversal};
-pub use plan::{Direction, LogicalPlan, PlanOp};
+pub use pipeline::{Pipeline, StartSpec, Step, Traversal};
+pub use plan::{
+    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, DEFAULT_MATCH_MAX_HOPS,
+};
 pub use query::{QueryResult, ResultRow};
 pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph};
 pub use value::{Predicate, Value};
@@ -54,7 +69,8 @@ pub use value::{Predicate, Value};
 /// Convenient glob import: `use mrpa_engine::prelude::*;`.
 pub mod prelude {
     pub use crate::exec::ExecutionStrategy;
-    pub use crate::pipeline::Traversal;
+    pub use crate::pipeline::{Pipeline, Traversal};
+    pub use crate::plan::PlanReport;
     pub use crate::query::QueryResult;
     pub use crate::store::{classic_social_graph, GraphSnapshot, PropertyGraph};
     pub use crate::value::{Predicate, Value};

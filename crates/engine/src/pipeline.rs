@@ -3,8 +3,19 @@
 //! A [`Traversal`] is a description of a query as a sequence of steps — the
 //! surface syntax of the "multi-relational graph traversal engine" the paper
 //! motivates. Steps are *not* executed as written: the [`planner`](crate::plan)
-//! rewrites them into the paper's algebra (restricted edge sets combined with
-//! concatenative joins), which an [executor](crate::exec) then evaluates.
+//! lowers them into the paper's algebra (restricted edge sets combined with
+//! concatenative joins), rewrites the result with an optimizer pass, and an
+//! [executor](crate::exec) then evaluates the rewritten plan.
+//!
+//! Three families of steps share one algebraic IR:
+//!
+//! * **step-at-a-time traversal** — `out` / `in_` / `both`, filters (`has`,
+//!   `is`), `dedup`, `limit`;
+//! * **regular path patterns** — [`Traversal::match_`] takes a label regex
+//!   like `"knows+·created"` and compiles it to a minimized product automaton;
+//! * **bounded iteration** — [`Traversal::repeat`] runs a nested pipeline
+//!   fragment (a [`Pipeline`]) between `min` and `max` times, with an
+//!   optional `until` early-exit predicate.
 //!
 //! ```
 //! use mrpa_engine::{classic_social_graph, Traversal};
@@ -17,14 +28,25 @@
 //!     .out(["created"])
 //!     .execute()
 //!     .unwrap();
-//! assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+//! assert_eq!(result.head_names_sorted(), vec!["lop", "ripple"]);
+//!
+//! // the same query as a regular path pattern
+//! let result = Traversal::over(&g)
+//!     .v(["marko"])
+//!     .match_("knows·created")
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(result.head_names_sorted(), vec!["lop", "ripple"]);
 //! ```
 
+use std::ops::RangeInclusive;
+
 use crate::exec::ExecutionStrategy;
+use crate::plan::{self, DEFAULT_MATCH_MAX_HOPS};
 use crate::query::QueryResult;
 use crate::store::PropertyGraph;
 use crate::value::Predicate;
-use crate::{error::EngineError, plan};
+use crate::{error::EngineError, plan::PlanReport};
 
 /// How a traversal starts.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +68,31 @@ pub enum Step {
     /// Traverse incoming edges (optionally restricted to the given labels),
     /// moving to the tail vertices.
     In(Option<Vec<String>>),
+    /// Traverse edges in both directions (optionally restricted to the given
+    /// labels).
+    Both(Option<Vec<String>>),
+    /// Traverse outgoing edge sequences whose label word matches a regular
+    /// path pattern (`"knows+·created"`), bounded to `max_hops` edges.
+    Match {
+        /// The label-regex pattern text (parsed at plan time).
+        pattern: String,
+        /// Depth bound on automaton evaluation.
+        max_hops: usize,
+    },
+    /// Bounded Kleene iteration of a nested pipeline fragment: rows that have
+    /// completed `k` body iterations for `min ≤ k ≤ max` are emitted. With
+    /// `until`, a row instead exits (and is emitted) as soon as its head
+    /// satisfies the predicate, checked from iteration `min` on.
+    Repeat {
+        /// The loop body.
+        body: Vec<Step>,
+        /// Minimum completed iterations before emission.
+        min: usize,
+        /// Maximum iterations.
+        max: usize,
+        /// Optional early-exit predicate `(property key, predicate)`.
+        until: Option<(String, Predicate)>,
+    },
     /// Keep only rows whose current vertex has a property satisfying the
     /// predicate.
     Has(String, Predicate),
@@ -57,12 +104,171 @@ pub enum Step {
     Limit(usize),
 }
 
+fn label_list<I, S>(labels: I) -> Option<Vec<String>>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+    if labels.is_empty() {
+        None
+    } else {
+        Some(labels)
+    }
+}
+
+/// A free-standing pipeline fragment: the same step vocabulary as
+/// [`Traversal`], but not bound to a graph or a start set. Used to build
+/// [`Traversal::repeat`] bodies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pipeline {
+    steps: Vec<Step>,
+}
+
+impl Pipeline {
+    /// An empty fragment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Consumes the fragment, returning its steps.
+    pub fn into_steps(self) -> Vec<Step> {
+        self.steps
+    }
+
+    fn push(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Follows outgoing edges with any of the given labels (empty = any).
+    pub fn out<I, S>(self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push(Step::Out(label_list(labels)))
+    }
+
+    /// Follows outgoing edges with any label.
+    pub fn out_any(self) -> Self {
+        self.push(Step::Out(None))
+    }
+
+    /// Follows incoming edges with any of the given labels (empty = any).
+    pub fn in_<I, S>(self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push(Step::In(label_list(labels)))
+    }
+
+    /// Follows incoming edges with any label.
+    pub fn in_any(self) -> Self {
+        self.push(Step::In(None))
+    }
+
+    /// Follows edges in both directions with any of the given labels
+    /// (empty = any).
+    pub fn both<I, S>(self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push(Step::Both(label_list(labels)))
+    }
+
+    /// Follows edges in both directions with any label.
+    pub fn both_any(self) -> Self {
+        self.push(Step::Both(None))
+    }
+
+    /// Traverses outgoing edge sequences whose label word matches the pattern
+    /// (see [`Traversal::match_`]).
+    pub fn match_(self, pattern: &str) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops: DEFAULT_MATCH_MAX_HOPS,
+        })
+    }
+
+    /// [`Pipeline::match_`] with an explicit depth bound.
+    pub fn match_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops,
+        })
+    }
+
+    /// Repeats a nested fragment between `times.start()` and `times.end()`
+    /// iterations (see [`Traversal::repeat`]).
+    pub fn repeat(
+        self,
+        times: RangeInclusive<usize>,
+        body: impl FnOnce(Pipeline) -> Pipeline,
+    ) -> Self {
+        self.push(Step::Repeat {
+            body: body(Pipeline::new()).into_steps(),
+            min: *times.start(),
+            max: *times.end(),
+            until: None,
+        })
+    }
+
+    /// Repeats a nested fragment until the row's head satisfies the predicate
+    /// (see [`Traversal::repeat_until`]).
+    pub fn repeat_until(
+        self,
+        max: usize,
+        key: &str,
+        pred: Predicate,
+        body: impl FnOnce(Pipeline) -> Pipeline,
+    ) -> Self {
+        self.push(Step::Repeat {
+            body: body(Pipeline::new()).into_steps(),
+            min: 0,
+            max,
+            until: Some((key.to_owned(), pred)),
+        })
+    }
+
+    /// Filters on a property of the current vertex.
+    pub fn has(self, key: &str, pred: Predicate) -> Self {
+        self.push(Step::Has(key.to_owned(), pred))
+    }
+
+    /// Filters to the named current vertices.
+    pub fn is<I, S>(self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push(Step::Is(names.into_iter().map(Into::into).collect()))
+    }
+
+    /// Deduplicates rows by their current vertex.
+    pub fn dedup(self) -> Self {
+        self.push(Step::DedupByVertex)
+    }
+
+    /// Keeps at most `n` rows.
+    pub fn limit(self, n: usize) -> Self {
+        self.push(Step::Limit(n))
+    }
+}
+
 /// A fluent traversal builder bound to a [`PropertyGraph`].
 #[derive(Debug, Clone)]
 pub struct Traversal {
     graph: PropertyGraph,
     start: StartSpec,
-    steps: Vec<Step>,
+    pipeline: Pipeline,
     strategy: ExecutionStrategy,
     max_intermediate: Option<usize>,
 }
@@ -74,7 +280,7 @@ impl Traversal {
         Traversal {
             graph: graph.clone(),
             start: StartSpec::AllVertices,
-            steps: Vec::new(),
+            pipeline: Pipeline::new(),
             strategy: ExecutionStrategy::Materialized,
             max_intermediate: None,
         }
@@ -96,51 +302,140 @@ impl Traversal {
         self
     }
 
-    /// Follows outgoing edges with any of the given labels.
+    /// Applies an arbitrary [`Pipeline`]-building closure to the traversal's
+    /// step sequence.
+    pub fn step(mut self, f: impl FnOnce(Pipeline) -> Pipeline) -> Self {
+        self.pipeline = f(self.pipeline);
+        self
+    }
+
+    /// Follows outgoing edges with any of the given labels (empty = any).
     pub fn out<I, S>(mut self, labels: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
-        self.steps.push(Step::Out(if labels.is_empty() {
-            None
-        } else {
-            Some(labels)
-        }));
+        self.pipeline = self.pipeline.out(labels);
         self
     }
 
     /// Follows outgoing edges with any label.
     pub fn out_any(mut self) -> Self {
-        self.steps.push(Step::Out(None));
+        self.pipeline = self.pipeline.out_any();
         self
     }
 
-    /// Follows incoming edges with any of the given labels.
+    /// Follows incoming edges with any of the given labels (empty = any).
     pub fn in_<I, S>(mut self, labels: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
-        self.steps.push(Step::In(if labels.is_empty() {
-            None
-        } else {
-            Some(labels)
-        }));
+        self.pipeline = self.pipeline.in_(labels);
         self
     }
 
     /// Follows incoming edges with any label.
     pub fn in_any(mut self) -> Self {
-        self.steps.push(Step::In(None));
+        self.pipeline = self.pipeline.in_any();
+        self
+    }
+
+    /// Follows edges in both directions with any of the given labels
+    /// (empty = any): the union of [`Traversal::out`] and [`Traversal::in_`]
+    /// expansions.
+    pub fn both<I, S>(mut self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.pipeline = self.pipeline.both(labels);
+        self
+    }
+
+    /// Follows edges in both directions with any label.
+    pub fn both_any(mut self) -> Self {
+        self.pipeline = self.pipeline.both_any();
+        self
+    }
+
+    /// Traverses outgoing edge sequences whose label word matches a regular
+    /// path pattern — the paper's regular-path-query surface. The pattern is
+    /// a regex over label names: `·` (or `.`) concatenation, `|` union, `*`,
+    /// `+`, `?`, `{n}`, `{min,max}`, `_` for any label, parentheses. Each row
+    /// walks edge sequences whose label word is in the pattern's language; a
+    /// row is emitted per matching path. Evaluation is bounded to
+    /// [`DEFAULT_MATCH_MAX_HOPS`] edges (a `*`/`+` over a cyclic graph
+    /// denotes infinitely many walks); use [`Traversal::match_within`] to
+    /// choose the bound.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .match_("knows+·created")
+    ///     .execute()
+    ///     .unwrap();
+    /// assert_eq!(r.head_names_sorted(), vec!["lop", "ripple"]);
+    /// ```
+    pub fn match_(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.match_(pattern);
+        self
+    }
+
+    /// [`Traversal::match_`] with an explicit bound on the number of edges a
+    /// matching walk may take.
+    pub fn match_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self.pipeline.match_within(pattern, max_hops);
+        self
+    }
+
+    /// Repeats a pipeline fragment between `times.start()` and `times.end()`
+    /// iterations (bounded Kleene iteration). A row is emitted once per
+    /// completed iteration count `k` with `min ≤ k ≤ max` — so
+    /// `repeat(n..=n, …)` is classic `times(n)`, and `repeat(0..=n, …)` also
+    /// emits the unexpanded input rows. The body must be stateless per row
+    /// (no `dedup`/`limit`).
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// // 1 or 2 hops along any label
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .repeat(1..=2, |p| p.out_any())
+    ///     .execute()
+    ///     .unwrap();
+    /// assert!(r.len() > 0);
+    /// ```
+    pub fn repeat(
+        mut self,
+        times: RangeInclusive<usize>,
+        body: impl FnOnce(Pipeline) -> Pipeline,
+    ) -> Self {
+        self.pipeline = self.pipeline.repeat(times, body);
+        self
+    }
+
+    /// Repeats a pipeline fragment until the row's head vertex satisfies
+    /// `pred` on property `key` (checked before each iteration, including the
+    /// zeroth), for at most `max` iterations. Rows that never satisfy the
+    /// predicate are dropped.
+    pub fn repeat_until(
+        mut self,
+        max: usize,
+        key: &str,
+        pred: Predicate,
+        body: impl FnOnce(Pipeline) -> Pipeline,
+    ) -> Self {
+        self.pipeline = self.pipeline.repeat_until(max, key, pred, body);
         self
     }
 
     /// Filters on a property of the current vertex.
     pub fn has(mut self, key: &str, pred: Predicate) -> Self {
-        self.steps.push(Step::Has(key.to_owned(), pred));
+        self.pipeline = self.pipeline.has(key, pred);
         self
     }
 
@@ -150,20 +445,19 @@ impl Traversal {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.steps
-            .push(Step::Is(names.into_iter().map(Into::into).collect()));
+        self.pipeline = self.pipeline.is(names);
         self
     }
 
     /// Deduplicates rows by their current vertex.
     pub fn dedup(mut self) -> Self {
-        self.steps.push(Step::DedupByVertex);
+        self.pipeline = self.pipeline.dedup();
         self
     }
 
     /// Keeps at most `n` rows.
     pub fn limit(mut self, n: usize) -> Self {
-        self.steps.push(Step::Limit(n));
+        self.pipeline = self.pipeline.limit(n);
         self
     }
 
@@ -181,7 +475,7 @@ impl Traversal {
 
     /// The steps accumulated so far (used by the planner and tests).
     pub fn steps(&self) -> &[Step] {
-        &self.steps
+        self.pipeline.steps()
     }
 
     /// The start specification.
@@ -189,18 +483,21 @@ impl Traversal {
         &self.start
     }
 
-    /// Plans and executes the traversal.
+    /// Plans, optimizes, and executes the traversal.
     pub fn execute(&self) -> Result<QueryResult, EngineError> {
         let snapshot = self.graph.snapshot();
-        let plan = plan::plan(&snapshot, &self.start, &self.steps)?;
-        crate::exec::execute(&snapshot, &plan, self.strategy, self.max_intermediate)
+        let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
+        let optimized = plan::optimize(&snapshot, &naive);
+        crate::exec::execute(&snapshot, &optimized, self.strategy, self.max_intermediate)
     }
 
-    /// Plans the traversal and returns the logical plan without executing it
-    /// (useful for inspecting what the planner produced).
-    pub fn explain(&self) -> Result<plan::LogicalPlan, EngineError> {
+    /// Plans the traversal without executing it, returning a structured
+    /// [`PlanReport`]: the naive (pre-rewrite) plan, the optimized
+    /// (post-rewrite) plan, and per-op cardinality estimates derived from
+    /// snapshot label frequencies.
+    pub fn explain(&self) -> Result<PlanReport, EngineError> {
         let snapshot = self.graph.snapshot();
-        plan::plan(&snapshot, &self.start, &self.steps)
+        plan::report(&snapshot, &self.start, self.pipeline.steps())
     }
 }
 
@@ -224,6 +521,26 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_fragments_build_repeat_bodies() {
+        let g = classic_social_graph();
+        let t = Traversal::over(&g)
+            .v(["marko"])
+            .repeat(1..=3, |p| p.out(["knows"]).has("age", Predicate::Gt(0.0)));
+        let Step::Repeat {
+            body,
+            min,
+            max,
+            until,
+        } = &t.steps()[0]
+        else {
+            panic!("expected a repeat step");
+        };
+        assert_eq!(body.len(), 2);
+        assert_eq!((*min, *max), (1, 3));
+        assert!(until.is_none());
+    }
+
+    #[test]
     fn quickstart_pipeline_runs() {
         let g = classic_social_graph();
         let result = Traversal::over(&g)
@@ -232,7 +549,7 @@ mod tests {
             .out(["created"])
             .execute()
             .unwrap();
-        assert_eq!(result.head_names(), vec!["lop", "ripple"]);
+        assert_eq!(result.head_names_sorted(), vec!["lop", "ripple"]);
     }
 
     #[test]
@@ -257,22 +574,22 @@ mod tests {
             .execute()
             .unwrap();
         // creators of java software: marko, josh, peter
-        let mut names = result.head_names();
-        names.sort();
-        assert_eq!(names, vec!["josh", "marko", "peter"]);
+        assert_eq!(result.head_names_sorted(), vec!["josh", "marko", "peter"]);
     }
 
     #[test]
-    fn explain_reports_plan_operations() {
+    fn explain_reports_pre_and_post_rewrite_plans() {
         let g = classic_social_graph();
-        let plan = Traversal::over(&g)
+        let report = Traversal::over(&g)
             .v(["marko"])
             .out(["knows"])
             .has("age", Predicate::Gt(30.0))
             .explain()
             .unwrap();
-        assert!(plan.ops().len() >= 2);
-        assert!(!plan.describe().is_empty());
+        assert!(report.before().ops().len() >= 2);
+        assert!(!report.before().describe().is_empty());
+        assert!(!report.after().describe().is_empty());
+        assert_eq!(report.estimates().len(), report.after().ops().len() + 1);
     }
 
     #[test]
@@ -287,5 +604,14 @@ mod tests {
         let g = classic_social_graph();
         let err = Traversal::over(&g).v(["marko"]).out(["likes"]).execute();
         assert!(matches!(err, Err(EngineError::UnknownLabel(_))));
+        let err = Traversal::over(&g).v(["marko"]).match_("likes+").execute();
+        assert!(matches!(err, Err(EngineError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn bad_patterns_error_at_plan_time() {
+        let g = classic_social_graph();
+        let err = Traversal::over(&g).v(["marko"]).match_("knows |").execute();
+        assert!(matches!(err, Err(EngineError::InvalidPattern(_))));
     }
 }

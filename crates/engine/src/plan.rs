@@ -1,17 +1,106 @@
-//! The planner: rewriting pipeline steps into path-algebra operations.
+//! The planner: lowering pipeline steps into a single algebraic IR, then
+//! rewriting that IR with an explicit optimizer pass.
+//!
+//! # Lowering
 //!
 //! A pipeline like `.v(["marko"]).out(["knows"]).out(["created"])` is exactly
 //! the §III-B/§III-D combination "source traversal with labeled steps": the
 //! planner turns it into a chain of *restricted edge sets* joined with `⋈◦`,
-//! resolving names to ids once and pushing vertex restrictions into the first
-//! join operand (the paper's `A = {e | e ∈ E ∧ γ⁻(e) ∈ Vs}` construction).
+//! resolving names to ids once. Everything the surface DSL can express lowers
+//! into the same IR:
 //!
-//! The logical plan is strategy-agnostic; see [`crate::exec`] for the
-//! materialized (path-set), streaming (row-at-a-time) and parallel executors.
+//! * `out`/`in_`/`both` become [`PlanOp::Expand`] — one `⋈◦` with the edge set
+//!   `{e | ω(e) ∈ labels}`, optionally restricted on its tail side
+//!   (`{e | γ⁻(e) ∈ Vs}`) and head side (`{e | γ⁺(e) ∈ Vs}`).
+//! * `match_("knows+·created")` parses a label regex
+//!   ([`mrpa_regex::parse_label_expr`]), compiles it through the Thompson
+//!   NFA → graph-relative symbolic DFA → minimisation pipeline of
+//!   `mrpa-regex`, and lowers to [`PlanOp::ExpandAutomaton`]: a product
+//!   automaton evaluated over `(vertex, dfa-state)` frontiers.
+//! * `repeat(min..=max, body)` lowers to [`PlanOp::Repeat`] — bounded Kleene
+//!   iteration of a nested op sequence.
+//!
+//! This is the paper's thesis operationalised: Gremlin-style steps, regular
+//! path queries, and the path algebra are one language — every pipeline is a
+//! regular expression over restricted edge sets combined with `⋈◦` (§III/§IV).
+//!
+//! # The rewriting optimizer
+//!
+//! [`optimize`] applies a fixed set of rewrite rules to a fixpoint. Each rule
+//! preserves the *exact row sequence* an executor produces (not merely the row
+//! set), so `Limit` keeps its meaning. The rules, with their soundness
+//! arguments:
+//!
+//! **R1 — restriction fusion.** Adjacent `RestrictVertices(A)`,
+//! `RestrictVertices(B)` fuse to `RestrictVertices(A ∩ B)`: both are
+//! order-preserving filters on the row's head, and membership in both sets is
+//! membership in the intersection. A `RestrictProperty` adjacent to a
+//! `RestrictVertices` folds into it by filtering the (concrete) vertex set
+//! with the predicate at plan time: the predicate is evaluated against the
+//! same immutable snapshot the query executes on, so `head ∈ A ∧ p(head)`
+//! iff `head ∈ {v ∈ A | p(v)}`. Two adjacent `RestrictProperty` ops are left
+//! alone (predicates are opaque; there is no conjunction node, and fusing
+//! them into a vertex set would cost an O(|V|) scan at plan time).
+//!
+//! **R2 — limit fusion and dead-tail elimination.** `Limit(m)` then
+//! `Limit(n)` is `Limit(min(m, n))`: truncating a sequence twice truncates to
+//! the shorter prefix. After a `Limit(0)` every row set is empty and all
+//! remaining ops are identities on the empty sequence, so the tail is dropped.
+//!
+//! **R3 — redundant-dedup elimination.** The optimizer tracks a
+//! "rows-distinct-by-head" dataflow fact: it holds after `DedupByVertex`, is
+//! preserved by the filters (`RestrictVertices`, `RestrictProperty`) and by
+//! `Limit` (any subsequence of a head-distinct sequence is head-distinct), and
+//! is destroyed by every expansion (`Expand`, `ExpandAutomaton`, `Repeat`),
+//! which can map distinct heads to equal heads. A `DedupByVertex` reached
+//! while the fact holds is the identity and is removed.
+//!
+//! **R4 — `Limit` does *not* commute with `DedupByVertex`.** The tempting
+//! rewrite `Dedup → Limit(n)` ⇒ `Limit(n) → Dedup` is unsound: on head
+//! sequence `[a, a, b]`, `Dedup → Limit(2)` yields `[a, b]` while
+//! `Limit(2) → Dedup` yields `[a]`. The opposite direction is equally unsound
+//! (`Limit` first can under-supply the dedup). The only case where the swap
+//! is sound is when the input is already head-distinct — and there R3 removes
+//! the dedup entirely, which is strictly stronger. The optimizer therefore
+//! never reorders the two; `optimizer_leaves_dedup_limit_order_alone` pins
+//! this.
+//!
+//! **R5 — expansion merging.** A run of ≥ 2 consecutive *single-label*
+//! `Expand` ops with the same direction (`Out` or `In`) and no endpoint
+//! restrictions merges into one `ExpandAutomaton` whose regex is the
+//! concatenation `ℓ₁·ℓ₂·…·ℓₖ`. Soundness: the chain DFA has exactly one move
+//! per state, so the product construction walks, per input row,
+//! `out_edges_labeled(head, ℓᵢ)` at step i — the same adjacency slices in the
+//! same row-major order as the op chain — and accepts exactly at depth `k`
+//! (`max_hops = k` makes evaluation finite). Multi-label and wildcard steps
+//! are deliberately *not* merged: a multi-label `Expand` emits edges in the
+//! step's label-list (respectively raw adjacency) order, while an automaton
+//! state's moves are in graph label order, so merging would reorder rows and
+//! change what a downstream `Limit` keeps. Runs longer than the symbolic
+//! DFA's 64-matcher budget are also left unmerged.
+//!
+//! **R6 — restriction pushdown into expansions** (the paper's
+//! `A = {e | γ⁻(e) ∈ Vs}` construction, §III-C). `RestrictVertices(Vs)`
+//! immediately *before* an expansion becomes the expansion's tail-side edge
+//! restriction (`from`): expanding only rows whose head lies in `Vs` is the
+//! `⋈◦` with the tail-restricted edge set. `RestrictVertices(Vs)` immediately
+//! *after* an expansion becomes the head-side restriction (`to`): an emitted
+//! row passes iff its new head (the edge's `γ⁺`) lies in `Vs`, so filtering
+//! edges during expansion produces the same rows in the same order without
+//! materialising the rejected ones. For `ExpandAutomaton`, `from` filters the
+//! input rows and `to` filters *emitted* rows only — intermediate automaton
+//! states must still traverse arbitrary vertices.
+//!
+//! The naive (pre-rewrite) plan remains available: [`plan`] lowers without
+//! rewriting, [`optimize`] rewrites, and [`report`] packages both plus
+//! per-op cardinality estimates into a [`PlanReport`] for
+//! `Traversal::explain`.
 
 use std::collections::HashSet;
+use std::fmt::Write as _;
 
 use mrpa_core::{LabelId, VertexId};
+use mrpa_regex::{minimize, parse_label_expr, Dfa, LabelRegex, Nfa};
 
 use crate::error::EngineError;
 use crate::pipeline::{StartSpec, Step};
@@ -25,19 +114,119 @@ pub enum Direction {
     Out,
     /// Follow edges from head to tail (evaluated on the reversed graph).
     In,
+    /// Follow edges in both directions (union of `Out` and `In`).
+    Both,
+}
+
+/// Default bound on the number of automaton hops for `match_` steps: a `+` or
+/// `*` over a cyclic graph denotes an infinite walk set, so product-automaton
+/// evaluation is depth-bounded (`Traversal::match_within` overrides).
+pub const DEFAULT_MATCH_MAX_HOPS: usize = 16;
+
+/// The symbolic DFA's matcher budget (signatures are packed into a `u64`).
+const MAX_AUTOMATON_ATOMS: usize = 64;
+
+/// A compiled, minimized label-regex automaton ready for product evaluation:
+/// transitions are per-`(state, label)` moves derived from the graph-relative
+/// symbolic DFA, so executors walk `out_edges_labeled` adjacency directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutomatonSpec {
+    /// The surface pattern this automaton was compiled from (display only).
+    pattern: String,
+    /// Direction of travel (`Out` or `In`; never `Both`).
+    direction: Direction,
+    /// Depth bound on product evaluation.
+    max_hops: usize,
+    /// Start state.
+    start: usize,
+    /// Per-state acceptance.
+    accept: Vec<bool>,
+    /// Per-state `(label, target)` moves, in the graph's label order.
+    by_label: Vec<Vec<(LabelId, usize)>>,
+}
+
+impl AutomatonSpec {
+    /// The surface pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Direction of travel.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The depth bound.
+    pub fn max_hops(&self) -> usize {
+        self.max_hops
+    }
+
+    /// The start state.
+    pub fn start_state(&self) -> usize {
+        self.start
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accept(&self, state: usize) -> bool {
+        self.accept[state]
+    }
+
+    /// The `(label, target)` moves out of `state`.
+    pub fn moves(&self, state: usize) -> &[(LabelId, usize)] {
+        &self.by_label[state]
+    }
 }
 
 /// One operation of the logical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanOp {
     /// Expand the frontier along edges: a concatenative join with the edge set
-    /// `{e | ω(e) ∈ labels}` (or all of `E` when `labels` is `None`),
-    /// restricted on its tail side to the current frontier.
+    /// `{e | ω(e) ∈ labels ∧ γ⁻(e) ∈ from ∧ γ⁺(e) ∈ to}` (each restriction
+    /// optional; `labels = None` is the complete edge set).
     Expand {
         /// Direction of travel.
         direction: Direction,
-        /// Label restriction (`None` = any label, the complete edge set).
+        /// Label restriction (`None` = any label).
         labels: Option<Vec<LabelId>>,
+        /// Tail-side vertex restriction pushed in by the optimizer (R6).
+        from: Option<HashSet<VertexId>>,
+        /// Head-side vertex restriction pushed in by the optimizer (R6).
+        to: Option<HashSet<VertexId>>,
+    },
+    /// Product-automaton expansion: rows carry a DFA state alongside their
+    /// head vertex; rows at accepting states are emitted at every depth up to
+    /// the spec's `max_hops`.
+    ExpandAutomaton {
+        /// The compiled automaton.
+        spec: AutomatonSpec,
+        /// Restriction on the input rows' heads (R6).
+        from: Option<HashSet<VertexId>>,
+        /// Restriction on *emitted* rows' heads (R6); intermediate automaton
+        /// steps are unrestricted.
+        to: Option<HashSet<VertexId>>,
+    },
+    /// Bounded Kleene iteration of a nested op sequence: rows that have
+    /// completed `k` iterations for `min ≤ k ≤ max` are emitted (union
+    /// semantics; `min..=min` is classic `times(n)`). With `until`, a row
+    /// exits the loop — and is emitted — as soon as its head satisfies the
+    /// predicate (checked from iteration `min` on); rows that never satisfy
+    /// it within `max` iterations are dropped.
+    Repeat {
+        /// The loop body (contains no `DedupByVertex`/`Limit`; enforced at
+        /// plan time so the body is stateless per row and distributes over
+        /// row-at-a-time and partitioned execution).
+        body: Vec<PlanOp>,
+        /// Minimum completed iterations before a row may be emitted.
+        min: usize,
+        /// Maximum iterations.
+        max: usize,
+        /// Optional early-exit predicate on the row's head vertex.
+        until: Option<(String, Predicate)>,
     },
     /// Restrict the frontier to the given vertices (the "go through these
     /// vertices" restriction of §III-C).
@@ -75,11 +264,16 @@ impl LogicalPlan {
         &self.ops
     }
 
-    /// Number of expansion (join) steps in the plan.
+    /// Number of expansion (join) steps at the top level of the plan.
     pub fn expansion_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| matches!(op, PlanOp::Expand { .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    PlanOp::Expand { .. } | PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. }
+                )
+            })
             .count()
     }
 
@@ -88,29 +282,81 @@ impl LogicalPlan {
     pub fn describe(&self) -> String {
         let mut parts = vec![format!("start({} vertices)", self.start.len())];
         for op in &self.ops {
-            parts.push(match op {
-                PlanOp::Expand { direction, labels } => {
-                    let dir = match direction {
-                        Direction::Out => "out",
-                        Direction::In => "in",
-                    };
-                    match labels {
-                        Some(ls) => format!("join[{dir}, {} labels]", ls.len()),
-                        None => format!("join[{dir}, E]"),
-                    }
-                }
-                PlanOp::RestrictVertices(vs) => format!("restrict({} vertices)", vs.len()),
-                PlanOp::RestrictProperty { key, .. } => format!("has({key})"),
-                PlanOp::DedupByVertex => "dedup".to_owned(),
-                PlanOp::Limit(n) => format!("limit({n})"),
-            });
+            parts.push(describe_op(op));
         }
         parts.join(" → ")
     }
 }
 
-/// Plans a pipeline against a snapshot: resolves names, computes the start
-/// frontier, and lowers each step to a [`PlanOp`].
+fn describe_restrictions(
+    from: &Option<HashSet<VertexId>>,
+    to: &Option<HashSet<VertexId>>,
+) -> String {
+    let mut s = String::new();
+    if let Some(f) = from {
+        let _ = write!(s, ", tail⊆{}", f.len());
+    }
+    if let Some(t) = to {
+        let _ = write!(s, ", head⊆{}", t.len());
+    }
+    s
+}
+
+fn describe_op(op: &PlanOp) -> String {
+    match op {
+        PlanOp::Expand {
+            direction,
+            labels,
+            from,
+            to,
+        } => {
+            let dir = match direction {
+                Direction::Out => "out",
+                Direction::In => "in",
+                Direction::Both => "both",
+            };
+            let labels = match labels {
+                Some(ls) => format!("{} labels", ls.len()),
+                None => "E".to_owned(),
+            };
+            format!("join[{dir}, {labels}{}]", describe_restrictions(from, to))
+        }
+        PlanOp::ExpandAutomaton { spec, from, to } => {
+            let dir = match spec.direction {
+                Direction::Out => "",
+                Direction::In => ", in",
+                Direction::Both => ", both",
+            };
+            format!(
+                "automaton[{}, ≤{} hops, {} states{dir}{}]",
+                spec.pattern,
+                spec.max_hops,
+                spec.state_count(),
+                describe_restrictions(from, to)
+            )
+        }
+        PlanOp::Repeat {
+            body,
+            min,
+            max,
+            until,
+        } => {
+            let inner: Vec<String> = body.iter().map(describe_op).collect();
+            let until = match until {
+                Some((key, _)) => format!(", until({key})"),
+                None => String::new(),
+            };
+            format!("repeat[{min}..={max}{until}]{{{}}}", inner.join(" → "))
+        }
+        PlanOp::RestrictVertices(vs) => format!("restrict({} vertices)", vs.len()),
+        PlanOp::RestrictProperty { key, .. } => format!("has({key})"),
+        PlanOp::DedupByVertex => "dedup".to_owned(),
+        PlanOp::Limit(n) => format!("limit({n})"),
+    }
+}
+
+/// Plans a pipeline against a snapshot without rewriting: resolves names,
+/// computes the start frontier, and lowers each step 1:1 to a [`PlanOp`].
 pub fn plan(
     snapshot: &GraphSnapshot,
     start: &StartSpec,
@@ -128,17 +374,55 @@ pub fn plan(
         StartSpec::Where(key, pred) => snapshot.vertices_where(key, pred),
     };
 
+    Ok(LogicalPlan {
+        start: start_vertices,
+        ops: lower_steps(snapshot, steps)?,
+    })
+}
+
+fn lower_steps(snapshot: &GraphSnapshot, steps: &[Step]) -> Result<Vec<PlanOp>, EngineError> {
     let mut ops = Vec::with_capacity(steps.len());
     for step in steps {
         match step {
-            Step::Out(labels) => ops.push(PlanOp::Expand {
-                direction: Direction::Out,
-                labels: resolve_labels(snapshot, labels.as_deref())?,
+            Step::Out(labels) => ops.push(expand(snapshot, Direction::Out, labels.as_deref())?),
+            Step::In(labels) => ops.push(expand(snapshot, Direction::In, labels.as_deref())?),
+            Step::Both(labels) => ops.push(expand(snapshot, Direction::Both, labels.as_deref())?),
+            Step::Match { pattern, max_hops } => ops.push(PlanOp::ExpandAutomaton {
+                spec: compile_pattern(snapshot, pattern, *max_hops)?,
+                from: None,
+                to: None,
             }),
-            Step::In(labels) => ops.push(PlanOp::Expand {
-                direction: Direction::In,
-                labels: resolve_labels(snapshot, labels.as_deref())?,
-            }),
+            Step::Repeat {
+                body,
+                min,
+                max,
+                until,
+            } => {
+                if body.is_empty() {
+                    return Err(EngineError::Unsupported(
+                        "repeat requires a non-empty body".to_owned(),
+                    ));
+                }
+                if min > max {
+                    return Err(EngineError::Unsupported(format!(
+                        "repeat requires min <= max, got {min}..={max}"
+                    )));
+                }
+                let body_ops = lower_steps(snapshot, body)?;
+                if body_ops.iter().any(contains_stateful) {
+                    return Err(EngineError::Unsupported(
+                        "dedup/limit inside a repeat body are not supported (the body must be \
+                         stateless per row)"
+                            .to_owned(),
+                    ));
+                }
+                ops.push(PlanOp::Repeat {
+                    body: body_ops,
+                    min: *min,
+                    max: *max,
+                    until: until.clone(),
+                });
+            }
             Step::Has(key, pred) => ops.push(PlanOp::RestrictProperty {
                 key: key.clone(),
                 predicate: pred.clone(),
@@ -154,10 +438,27 @@ pub fn plan(
             Step::Limit(n) => ops.push(PlanOp::Limit(*n)),
         }
     }
+    Ok(ops)
+}
 
-    Ok(LogicalPlan {
-        start: start_vertices,
-        ops,
+fn contains_stateful(op: &PlanOp) -> bool {
+    match op {
+        PlanOp::DedupByVertex | PlanOp::Limit(_) => true,
+        PlanOp::Repeat { body, .. } => body.iter().any(contains_stateful),
+        _ => false,
+    }
+}
+
+fn expand(
+    snapshot: &GraphSnapshot,
+    direction: Direction,
+    labels: Option<&[String]>,
+) -> Result<PlanOp, EngineError> {
+    Ok(PlanOp::Expand {
+        direction,
+        labels: resolve_labels(snapshot, labels)?,
+        from: None,
+        to: None,
     })
 }
 
@@ -182,11 +483,536 @@ fn resolve_labels(
     }
 }
 
+/// Compiles a `match_` pattern: parse the label regex, resolve label names
+/// against the snapshot, run it through the NFA → symbolic DFA → minimisation
+/// pipeline of `mrpa-regex`, and collapse the result to a per-`(state, label)`
+/// transition table.
+fn compile_pattern(
+    snapshot: &GraphSnapshot,
+    pattern: &str,
+    max_hops: usize,
+) -> Result<AutomatonSpec, EngineError> {
+    let expr = parse_label_expr(pattern)?;
+    if expr.atom_count() > MAX_AUTOMATON_ATOMS {
+        return Err(EngineError::InvalidPattern(format!(
+            "pattern {pattern:?} desugars to {} atoms, more than the {MAX_AUTOMATON_ATOMS} the \
+             symbolic DFA supports",
+            expr.atom_count()
+        )));
+    }
+    let label_regex = expr.resolve(&mut |name| snapshot.label(name))?;
+    // a pattern whose shortest word is longer than the depth bound could only
+    // ever return an empty result — reject it instead of silently matching
+    // nothing (`min_word_len` is `None` for the empty language, which is
+    // legitimately empty at every bound)
+    if let Some(min) = label_regex.min_word_len() {
+        if min > max_hops {
+            return Err(EngineError::InvalidPattern(format!(
+                "pattern {pattern:?} needs at least {min} edges but evaluation is bounded to \
+                 {max_hops} hops; raise the bound with match_within"
+            )));
+        }
+    }
+    Ok(compile_label_regex(
+        snapshot,
+        &label_regex,
+        pattern.to_owned(),
+        Direction::Out,
+        max_hops,
+    ))
+}
+
+/// Compiles an already-resolved [`LabelRegex`] into an [`AutomatonSpec`].
+/// Infallible: the caller guarantees the atom budget.
+fn compile_label_regex(
+    snapshot: &GraphSnapshot,
+    regex: &LabelRegex,
+    pattern: String,
+    direction: Direction,
+    max_hops: usize,
+) -> AutomatonSpec {
+    debug_assert!(direction != Direction::Both);
+    let graph = snapshot.graph();
+    let nfa = Nfa::compile(&regex.to_path_regex());
+    let dfa = minimize(&Dfa::compile(&nfa, graph));
+    let accept = (0..dfa.state_count)
+        .map(|s| dfa.is_accept_state(s))
+        .collect();
+    AutomatonSpec {
+        pattern,
+        direction,
+        max_hops,
+        start: dfa.start,
+        accept,
+        by_label: dfa.label_transition_table(graph),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rewriting optimizer
+// ---------------------------------------------------------------------------
+
+/// Rewrites a plan with the rule set described in the module docs. The
+/// rewritten plan produces the exact row sequence of the input plan under
+/// every execution strategy.
+pub fn optimize(snapshot: &GraphSnapshot, plan: &LogicalPlan) -> LogicalPlan {
+    // R3's dataflow fact for the initial rows: heads are the start vertices,
+    // which are distinct unless the same name was listed twice.
+    let mut seen = HashSet::with_capacity(plan.start.len());
+    let start_distinct = plan.start.iter().all(|v| seen.insert(*v));
+    LogicalPlan {
+        start: plan.start.clone(),
+        ops: optimize_ops(snapshot, plan.ops.clone(), start_distinct),
+    }
+}
+
+fn optimize_ops(
+    snapshot: &GraphSnapshot,
+    mut ops: Vec<PlanOp>,
+    start_distinct: bool,
+) -> Vec<PlanOp> {
+    // optimize repeat bodies first (their incoming rows are arbitrary, so the
+    // distinctness fact never holds on entry)
+    for op in &mut ops {
+        if let PlanOp::Repeat { body, .. } = op {
+            *body = optimize_ops(snapshot, std::mem::take(body), false);
+        }
+    }
+    // apply the rule passes to a fixpoint (each pass only ever shrinks or
+    // annotates the op list, so this converges quickly; the bound is a guard)
+    for _ in 0..8 {
+        let mut changed = false;
+        ops = fuse_restrictions(snapshot, ops, &mut changed);
+        ops = fuse_limits(ops, &mut changed);
+        ops = remove_redundant_dedups(ops, start_distinct, &mut changed);
+        ops = merge_expand_runs(snapshot, ops, &mut changed);
+        ops = push_restrictions_into_expands(ops, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    ops
+}
+
+/// R1: fuse adjacent vertex/property restrictions.
+fn fuse_restrictions(
+    snapshot: &GraphSnapshot,
+    ops: Vec<PlanOp>,
+    changed: &mut bool,
+) -> Vec<PlanOp> {
+    let mut out: Vec<PlanOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let fused = match (out.last(), &op) {
+            (Some(PlanOp::RestrictVertices(a)), PlanOp::RestrictVertices(b)) => Some(
+                PlanOp::RestrictVertices(a.intersection(b).copied().collect()),
+            ),
+            (Some(PlanOp::RestrictVertices(a)), PlanOp::RestrictProperty { key, predicate }) => {
+                Some(PlanOp::RestrictVertices(
+                    a.iter()
+                        .copied()
+                        .filter(|&v| predicate.eval(snapshot.vertex_property(v, key)))
+                        .collect(),
+                ))
+            }
+            (Some(PlanOp::RestrictProperty { key, predicate }), PlanOp::RestrictVertices(b)) => {
+                Some(PlanOp::RestrictVertices(
+                    b.iter()
+                        .copied()
+                        .filter(|&v| predicate.eval(snapshot.vertex_property(v, key)))
+                        .collect(),
+                ))
+            }
+            _ => None,
+        };
+        match fused {
+            Some(newop) => {
+                out.pop();
+                out.push(newop);
+                *changed = true;
+            }
+            None => out.push(op),
+        }
+    }
+    out
+}
+
+/// R2: fuse adjacent limits; drop everything after a `Limit(0)`.
+fn fuse_limits(ops: Vec<PlanOp>, changed: &mut bool) -> Vec<PlanOp> {
+    let mut out: Vec<PlanOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if matches!(out.last(), Some(PlanOp::Limit(0))) {
+            *changed = true;
+            continue; // dead tail
+        }
+        if let (Some(PlanOp::Limit(m)), PlanOp::Limit(n)) = (out.last(), &op) {
+            let fused = (*m).min(*n);
+            out.pop();
+            out.push(PlanOp::Limit(fused));
+            *changed = true;
+            continue;
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// R3: remove `DedupByVertex` ops whose input rows are provably
+/// distinct-by-head.
+fn remove_redundant_dedups(
+    ops: Vec<PlanOp>,
+    start_distinct: bool,
+    changed: &mut bool,
+) -> Vec<PlanOp> {
+    let mut distinct = start_distinct;
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match &op {
+            PlanOp::DedupByVertex => {
+                if distinct {
+                    *changed = true;
+                    continue; // identity
+                }
+                distinct = true;
+            }
+            PlanOp::RestrictVertices(_) | PlanOp::RestrictProperty { .. } | PlanOp::Limit(_) => {}
+            PlanOp::Expand { .. } | PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. } => {
+                distinct = false;
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// R5: merge runs of ≥ 2 consecutive unrestricted same-direction
+/// *single-label* expansions into one product-automaton step.
+///
+/// Only single-label steps are mergeable because only they preserve the row
+/// sequence: a single-label `Expand` and the chain automaton both emit
+/// `out_edges_labeled(head, ℓ)` adjacency in the same order. A multi-label or
+/// wildcard `Expand` emits edges in the step's label-list (respectively raw
+/// adjacency) order, while the automaton's per-state moves are in *graph
+/// label order* — merging those would reorder rows and change what a
+/// downstream `Limit` keeps.
+fn merge_expand_runs(
+    snapshot: &GraphSnapshot,
+    ops: Vec<PlanOp>,
+    changed: &mut bool,
+) -> Vec<PlanOp> {
+    let mergeable = |op: &PlanOp, dir: Direction| {
+        matches!(
+            op,
+            PlanOp::Expand { direction, labels: Some(ls), from: None, to: None }
+                if *direction == dir && ls.len() == 1
+        )
+    };
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let run_dir = match &ops[i] {
+            PlanOp::Expand {
+                direction: direction @ (Direction::Out | Direction::In),
+                ..
+            } => *direction,
+            _ => {
+                out.push(ops[i].clone());
+                i += 1;
+                continue;
+            }
+        };
+        if !mergeable(&ops[i], run_dir) {
+            out.push(ops[i].clone());
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < ops.len() && mergeable(&ops[j], run_dir) {
+            j += 1;
+        }
+        let run = &ops[i..j];
+        if run.len() < 2 || run.len() > MAX_AUTOMATON_ATOMS {
+            out.extend_from_slice(run);
+        } else {
+            out.push(merge_run(snapshot, run, run_dir));
+            *changed = true;
+        }
+        i = j;
+    }
+    out
+}
+
+fn merge_run(snapshot: &GraphSnapshot, run: &[PlanOp], direction: Direction) -> PlanOp {
+    let mut regex: Option<LabelRegex> = None;
+    let mut pattern = String::new();
+    for (idx, op) in run.iter().enumerate() {
+        let PlanOp::Expand {
+            labels: Some(ls), ..
+        } = op
+        else {
+            unreachable!("merge_run only receives labeled Expand ops");
+        };
+        let [label] = ls[..] else {
+            unreachable!("merge_run only receives single-label Expand ops");
+        };
+        if idx > 0 {
+            pattern.push('·');
+        }
+        pattern.push_str(&render_label(snapshot, label));
+        let atom = LabelRegex::Label(label);
+        regex = Some(match regex {
+            None => atom,
+            Some(prev) => prev.concat(atom),
+        });
+    }
+    let regex = regex.expect("run is non-empty");
+    PlanOp::ExpandAutomaton {
+        spec: compile_label_regex(snapshot, &regex, pattern, direction, run.len()),
+        from: None,
+        to: None,
+    }
+}
+
+fn render_label(snapshot: &GraphSnapshot, label: LabelId) -> String {
+    snapshot
+        .interner()
+        .label_name(label)
+        .map(str::to_owned)
+        .unwrap_or_else(|| label.to_string())
+}
+
+/// R6: push `RestrictVertices` into the neighbouring expansion's edge-set
+/// restriction.
+fn push_restrictions_into_expands(ops: Vec<PlanOp>, changed: &mut bool) -> Vec<PlanOp> {
+    let mut out: Vec<PlanOp> = Vec::with_capacity(ops.len());
+    for mut op in ops {
+        // restriction *after* an expansion → head-side (`to`) restriction
+        if let PlanOp::RestrictVertices(vs) = &op {
+            if let Some(PlanOp::Expand { to, .. } | PlanOp::ExpandAutomaton { to, .. }) =
+                out.last_mut()
+            {
+                intersect_into(to, vs);
+                *changed = true;
+                continue;
+            }
+        }
+        // restriction *before* an expansion → tail-side (`from`) restriction
+        if let PlanOp::Expand { from, .. } | PlanOp::ExpandAutomaton { from, .. } = &mut op {
+            if let Some(PlanOp::RestrictVertices(vs)) = out.last() {
+                let vs = vs.clone();
+                intersect_into(from, &vs);
+                out.pop();
+                *changed = true;
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+fn intersect_into(slot: &mut Option<HashSet<VertexId>>, vs: &HashSet<VertexId>) {
+    match slot {
+        Some(existing) => existing.retain(|v| vs.contains(v)),
+        None => *slot = Some(vs.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimation and the plan report
+// ---------------------------------------------------------------------------
+
+/// A per-op cardinality estimate (rows *after* the op has run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpEstimate {
+    /// Human-readable op description.
+    pub op: String,
+    /// Estimated row count after the op.
+    pub rows: f64,
+}
+
+/// The structured output of `Traversal::explain`: the naive (pre-rewrite)
+/// plan, the optimized (post-rewrite) plan, and per-op cardinality estimates
+/// for the optimized plan derived from snapshot label frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    before: LogicalPlan,
+    after: LogicalPlan,
+    estimates: Vec<OpEstimate>,
+}
+
+impl PlanReport {
+    /// The naive plan, as lowered 1:1 from the pipeline steps.
+    pub fn before(&self) -> &LogicalPlan {
+        &self.before
+    }
+
+    /// The plan after the rewriting optimizer ran.
+    pub fn after(&self) -> &LogicalPlan {
+        &self.after
+    }
+
+    /// Per-op estimates for the optimized plan: entry 0 is the start
+    /// frontier, entry `i + 1` the rows after `after().ops()[i]`.
+    pub fn estimates(&self) -> &[OpEstimate] {
+        &self.estimates
+    }
+
+    /// Whether the optimizer changed the plan.
+    pub fn rewritten(&self) -> bool {
+        self.before != self.after
+    }
+
+    /// A multi-line rendering of the report.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "before: {}", self.before.describe());
+        let _ = writeln!(s, "after:  {}", self.after.describe());
+        let _ = writeln!(s, "estimates:");
+        for e in &self.estimates {
+            let _ = writeln!(s, "  {:>12.2}  {}", e.rows, e.op);
+        }
+        s
+    }
+}
+
+/// Plans, optimizes, and estimates a pipeline: the full report behind
+/// `Traversal::explain`.
+pub fn report(
+    snapshot: &GraphSnapshot,
+    start: &StartSpec,
+    steps: &[Step],
+) -> Result<PlanReport, EngineError> {
+    let before = plan(snapshot, start, steps)?;
+    let after = optimize(snapshot, &before);
+    let estimates = estimate(snapshot, &after);
+    Ok(PlanReport {
+        before,
+        after,
+        estimates,
+    })
+}
+
+/// Estimates per-op row counts for a plan from snapshot label frequencies
+/// (average label degree `|E_ℓ| / |V|`), vertex-set sizes, and — for `has` —
+/// the predicate's actual selectivity over `V`. Expansion estimates assume
+/// frontier heads are uniformly distributed over `V`; automaton and repeat
+/// estimates additionally assume depth-independence. Heuristics, not bounds.
+pub fn estimate(snapshot: &GraphSnapshot, plan: &LogicalPlan) -> Vec<OpEstimate> {
+    let mut rows = plan.start.len() as f64;
+    let mut out = vec![OpEstimate {
+        op: format!("start({} vertices)", plan.start.len()),
+        rows,
+    }];
+    for op in &plan.ops {
+        rows = estimate_op(snapshot, rows, op);
+        out.push(OpEstimate {
+            op: describe_op(op),
+            rows,
+        });
+    }
+    out
+}
+
+fn vertex_count(snapshot: &GraphSnapshot) -> f64 {
+    snapshot.graph().vertex_count().max(1) as f64
+}
+
+fn set_selectivity(snapshot: &GraphSnapshot, set: &Option<HashSet<VertexId>>) -> f64 {
+    match set {
+        None => 1.0,
+        Some(vs) => (vs.len() as f64 / vertex_count(snapshot)).min(1.0),
+    }
+}
+
+fn avg_degree(snapshot: &GraphSnapshot, direction: Direction, labels: Option<&[LabelId]>) -> f64 {
+    let g = snapshot.graph();
+    let total = match labels {
+        None => g.edge_count(),
+        Some(ls) => ls.iter().map(|&l| g.edges_with_label(l).len()).sum(),
+    } as f64;
+    let per_vertex = total / vertex_count(snapshot);
+    match direction {
+        Direction::Both => 2.0 * per_vertex,
+        _ => per_vertex,
+    }
+}
+
+fn estimate_op(snapshot: &GraphSnapshot, rows: f64, op: &PlanOp) -> f64 {
+    let v = vertex_count(snapshot);
+    match op {
+        PlanOp::Expand {
+            direction,
+            labels,
+            from,
+            to,
+        } => {
+            rows * set_selectivity(snapshot, from)
+                * avg_degree(snapshot, *direction, labels.as_deref())
+                * set_selectivity(snapshot, to)
+        }
+        PlanOp::ExpandAutomaton { spec, from, to } => {
+            let labels: Vec<LabelId> = {
+                let mut ls: Vec<LabelId> = spec
+                    .by_label
+                    .iter()
+                    .flat_map(|moves| moves.iter().map(|&(l, _)| l))
+                    .collect();
+                ls.sort_unstable();
+                ls.dedup();
+                ls
+            };
+            let deg = avg_degree(snapshot, spec.direction, Some(&labels));
+            let accept_ratio = spec.accept.iter().filter(|&&a| a).count() as f64
+                / spec.state_count().max(1) as f64;
+            let mut frontier = rows * set_selectivity(snapshot, from);
+            let mut emitted = if spec.is_accept(spec.start) {
+                frontier
+            } else {
+                0.0
+            };
+            for _ in 1..=spec.max_hops {
+                frontier *= deg;
+                emitted += frontier * accept_ratio;
+                if frontier < 1e-9 {
+                    break;
+                }
+            }
+            emitted * set_selectivity(snapshot, to)
+        }
+        PlanOp::Repeat { body, min, max, .. } => {
+            let mut frontier = rows;
+            let mut emitted = if *min == 0 { rows } else { 0.0 };
+            for k in 1..=*max {
+                for body_op in body {
+                    frontier = estimate_op(snapshot, frontier, body_op);
+                }
+                if k >= *min {
+                    emitted += frontier;
+                }
+                if frontier < 1e-9 {
+                    break;
+                }
+            }
+            emitted
+        }
+        PlanOp::RestrictVertices(vs) => rows * (vs.len() as f64 / v).min(1.0),
+        PlanOp::RestrictProperty { key, predicate } => {
+            let matching = snapshot.vertices_where(key, predicate).len() as f64;
+            rows * (matching / v).min(1.0)
+        }
+        PlanOp::DedupByVertex => rows.min(v),
+        PlanOp::Limit(n) => rows.min(*n as f64),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::store::classic_social_graph;
     use crate::value::{Predicate, Value};
+
+    fn out_step(labels: &[&str]) -> Step {
+        Step::Out(Some(labels.iter().map(|s| s.to_string()).collect()))
+    }
 
     #[test]
     fn plan_resolves_names_and_lowers_steps() {
@@ -196,9 +1022,9 @@ mod tests {
             &snap,
             &StartSpec::Named(vec!["marko".into()]),
             &[
-                Step::Out(Some(vec!["knows".into()])),
+                out_step(&["knows"]),
                 Step::Has("age".into(), Predicate::Gt(30.0)),
-                Step::Out(Some(vec!["created".into()])),
+                out_step(&["created"]),
                 Step::DedupByVertex,
                 Step::Limit(5),
             ],
@@ -244,11 +1070,7 @@ mod tests {
             Err(EngineError::UnknownVertex(_))
         ));
         assert!(matches!(
-            plan(
-                &snap,
-                &StartSpec::AllVertices,
-                &[Step::Out(Some(vec!["likes".into()]))]
-            ),
+            plan(&snap, &StartSpec::AllVertices, &[out_step(&["likes"])]),
             Err(EngineError::UnknownLabel(_))
         ));
         assert!(matches!(
@@ -259,6 +1081,51 @@ mod tests {
             ),
             Err(EngineError::UnknownVertex(_))
         ));
+        assert!(matches!(
+            plan(
+                &snap,
+                &StartSpec::AllVertices,
+                &[Step::Match {
+                    pattern: "likes".into(),
+                    max_hops: 4
+                }]
+            ),
+            Err(EngineError::UnknownLabel(_))
+        ));
+        assert!(matches!(
+            plan(
+                &snap,
+                &StartSpec::AllVertices,
+                &[Step::Match {
+                    pattern: "knows |".into(),
+                    max_hops: 4
+                }]
+            ),
+            Err(EngineError::InvalidPattern(_))
+        ));
+        // a bound the pattern's shortest word cannot fit is rejected, not
+        // silently empty
+        assert!(matches!(
+            plan(
+                &snap,
+                &StartSpec::AllVertices,
+                &[Step::Match {
+                    pattern: "knows{17}".into(),
+                    max_hops: 16
+                }]
+            ),
+            Err(EngineError::InvalidPattern(_))
+        ));
+        // ...while the empty language is legitimately empty at any bound
+        assert!(plan(
+            &snap,
+            &StartSpec::AllVertices,
+            &[Step::Match {
+                pattern: "empty".into(),
+                max_hops: 4
+            }]
+        )
+        .is_ok());
     }
 
     #[test]
@@ -270,34 +1137,346 @@ mod tests {
         let plan = plan(
             &snap,
             &StartSpec::Named(vec!["marko".into()]),
-            &[Step::Out(Some(vec!["knows".into(), "knows".into()]))],
+            &[out_step(&["knows", "knows"])],
         )
         .unwrap();
         assert_eq!(
             plan.ops()[0],
             PlanOp::Expand {
                 direction: Direction::Out,
-                labels: Some(vec![snap.label("knows").unwrap()])
+                labels: Some(vec![snap.label("knows").unwrap()]),
+                from: None,
+                to: None,
             }
         );
     }
 
     #[test]
-    fn in_steps_plan_with_in_direction() {
+    fn in_and_both_steps_plan_with_their_directions() {
         let g = classic_social_graph();
         let snap = g.snapshot();
         let plan = plan(
             &snap,
             &StartSpec::Named(vec!["lop".into()]),
-            &[Step::In(None)],
+            &[Step::In(None), Step::Both(None)],
         )
         .unwrap();
-        assert_eq!(
+        assert!(matches!(
             plan.ops()[0],
             PlanOp::Expand {
                 direction: Direction::In,
-                labels: None
+                labels: None,
+                ..
             }
+        ));
+        assert!(matches!(
+            plan.ops()[1],
+            PlanOp::Expand {
+                direction: Direction::Both,
+                labels: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn match_lowers_to_a_minimized_product_automaton() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let plan = plan(
+            &snap,
+            &StartSpec::Named(vec!["marko".into()]),
+            &[Step::Match {
+                pattern: "knows+·created".into(),
+                max_hops: 8,
+            }],
+        )
+        .unwrap();
+        let PlanOp::ExpandAutomaton { spec, .. } = &plan.ops()[0] else {
+            panic!("expected an automaton op, got {:?}", plan.ops()[0]);
+        };
+        assert_eq!(spec.pattern(), "knows+·created");
+        assert_eq!(spec.max_hops(), 8);
+        assert!(spec.state_count() >= 3);
+        assert!(!spec.is_accept(spec.start_state()));
+        assert!(plan.describe().contains("automaton[knows+·created"));
+    }
+
+    #[test]
+    fn repeat_bodies_reject_stateful_ops() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let bad = Step::Repeat {
+            body: vec![out_step(&["knows"]), Step::Limit(3)],
+            min: 1,
+            max: 3,
+            until: None,
+        };
+        assert!(matches!(
+            plan(&snap, &StartSpec::AllVertices, &[bad]),
+            Err(EngineError::Unsupported(_))
+        ));
+        let empty = Step::Repeat {
+            body: vec![],
+            min: 0,
+            max: 3,
+            until: None,
+        };
+        assert!(matches!(
+            plan(&snap, &StartSpec::AllVertices, &[empty]),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    // -- optimizer rules ----------------------------------------------------
+
+    fn named_start(names: &[&str]) -> StartSpec {
+        StartSpec::Named(names.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn optimized(
+        g: &crate::store::PropertyGraph,
+        start: &StartSpec,
+        steps: &[Step],
+    ) -> LogicalPlan {
+        let snap = g.snapshot();
+        let naive = plan(&snap, start, steps).unwrap();
+        optimize(&snap, &naive)
+    }
+
+    #[test]
+    fn r1_adjacent_restrictions_fuse() {
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[
+                Step::Is(vec!["marko".into(), "josh".into(), "lop".into()]),
+                Step::Is(vec!["josh".into(), "lop".into()]),
+                Step::Has("kind".into(), Predicate::Eq(Value::from("person"))),
+            ],
         );
+        // three filters fuse into one concrete vertex set {josh}
+        assert_eq!(plan.ops().len(), 1);
+        let PlanOp::RestrictVertices(vs) = &plan.ops()[0] else {
+            panic!("expected fused restriction, got {:?}", plan.ops()[0]);
+        };
+        let snap = g.snapshot();
+        assert_eq!(vs.len(), 1);
+        assert!(vs.contains(&snap.vertex("josh").unwrap()));
+    }
+
+    #[test]
+    fn r2_limits_fuse_and_limit_zero_kills_the_tail() {
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[Step::Limit(7), Step::Limit(3), Step::Limit(5)],
+        );
+        assert_eq!(plan.ops(), &[PlanOp::Limit(3)]);
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[Step::Limit(0), Step::Out(None), Step::DedupByVertex],
+        );
+        assert_eq!(plan.ops(), &[PlanOp::Limit(0)]);
+    }
+
+    #[test]
+    fn r3_redundant_dedups_are_removed() {
+        let g = classic_social_graph();
+        // distinct start + filters: both dedups are identities
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[
+                Step::DedupByVertex,
+                Step::Has("kind".into(), Predicate::Exists),
+                Step::DedupByVertex,
+            ],
+        );
+        assert!(plan
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, PlanOp::DedupByVertex)));
+        // after an expansion the dedup must survive
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[Step::Out(None), Step::DedupByVertex],
+        );
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PlanOp::DedupByVertex)));
+        // duplicate start names: the first dedup is NOT redundant
+        let plan = optimized(
+            &g,
+            &named_start(&["marko", "marko"]),
+            &[Step::DedupByVertex],
+        );
+        assert_eq!(plan.ops(), &[PlanOp::DedupByVertex]);
+    }
+
+    #[test]
+    fn r4_optimizer_leaves_dedup_limit_order_alone() {
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &StartSpec::AllVertices,
+            &[Step::Out(None), Step::DedupByVertex, Step::Limit(2)],
+        );
+        // dedup (not redundant here) must still precede limit
+        let dedup_pos = plan
+            .ops()
+            .iter()
+            .position(|op| matches!(op, PlanOp::DedupByVertex))
+            .expect("dedup survives");
+        let limit_pos = plan
+            .ops()
+            .iter()
+            .position(|op| matches!(op, PlanOp::Limit(_)))
+            .expect("limit survives");
+        assert!(dedup_pos < limit_pos);
+    }
+
+    #[test]
+    fn r5_expand_runs_merge_into_an_automaton() {
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[out_step(&["knows"]), out_step(&["created"])],
+        );
+        assert_eq!(plan.ops().len(), 1);
+        let PlanOp::ExpandAutomaton { spec, .. } = &plan.ops()[0] else {
+            panic!("expected merged automaton, got {:?}", plan.ops()[0]);
+        };
+        assert_eq!(spec.pattern(), "knows·created");
+        assert_eq!(spec.max_hops(), 2);
+        assert_eq!(spec.direction(), Direction::Out);
+        // a direction change breaks the run
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[out_step(&["knows"]), Step::In(Some(vec!["created".into()]))],
+        );
+        assert_eq!(plan.ops().len(), 2);
+    }
+
+    #[test]
+    fn r5_multi_label_and_wildcard_runs_are_not_merged() {
+        // Merging would reorder rows: the automaton emits edges grouped by
+        // graph label order, a multi-label Expand in the step's label-list
+        // order — under a downstream Limit those keep different rows.
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[
+                out_step(&["knows", "created"]),
+                out_step(&["created", "knows"]),
+            ],
+        );
+        assert_eq!(plan.ops().len(), 2);
+        assert!(plan
+            .ops()
+            .iter()
+            .all(|op| matches!(op, PlanOp::Expand { .. })));
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[Step::Out(None), Step::Out(None)],
+        );
+        assert_eq!(plan.ops().len(), 2);
+        // mixed runs merge only the single-label suffix/prefix of length ≥ 2
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[
+                Step::Out(None),
+                out_step(&["knows"]),
+                out_step(&["created"]),
+            ],
+        );
+        assert_eq!(plan.ops().len(), 2);
+        assert!(matches!(plan.ops()[0], PlanOp::Expand { .. }));
+        assert!(matches!(plan.ops()[1], PlanOp::ExpandAutomaton { .. }));
+    }
+
+    #[test]
+    fn r6_is_restrictions_push_into_expansions() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let josh = snap.vertex("josh").unwrap();
+        // restriction after the expand → head-side restriction
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[out_step(&["knows"]), Step::Is(vec!["josh".into()])],
+        );
+        assert_eq!(plan.ops().len(), 1);
+        let PlanOp::Expand { to: Some(to), .. } = &plan.ops()[0] else {
+            panic!("expected pushed head restriction, got {:?}", plan.ops()[0]);
+        };
+        assert!(to.contains(&josh));
+        // restriction between two expands → from-side of the second
+        let plan = optimized(
+            &g,
+            &named_start(&["marko"]),
+            &[
+                out_step(&["knows"]),
+                Step::Is(vec!["josh".into()]),
+                Step::In(Some(vec!["knows".into()])),
+            ],
+        );
+        // the Is lands as `to` of the first expand (scan order), leaving two ops
+        assert_eq!(plan.ops().len(), 2);
+        assert!(plan.describe().contains("head⊆1"));
+    }
+
+    #[test]
+    fn report_carries_pre_and_post_rewrite_plans_and_estimates() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let report = report(
+            &snap,
+            &named_start(&["marko"]),
+            &[
+                out_step(&["knows"]),
+                out_step(&["created"]),
+                Step::DedupByVertex,
+            ],
+        )
+        .unwrap();
+        assert!(report.rewritten());
+        assert_eq!(report.before().ops().len(), 3);
+        assert!(report.before().ops().len() > report.after().ops().len());
+        assert_eq!(report.estimates().len(), report.after().ops().len() + 1);
+        assert_eq!(report.estimates()[0].rows, 1.0);
+        // every estimate is finite and non-negative
+        assert!(report
+            .estimates()
+            .iter()
+            .all(|e| e.rows.is_finite() && e.rows >= 0.0));
+        let text = report.describe();
+        assert!(text.contains("before:"));
+        assert!(text.contains("after:"));
+        assert!(text.contains("estimates:"));
+    }
+
+    #[test]
+    fn estimates_scale_with_label_frequency() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let p = plan(&snap, &StartSpec::AllVertices, &[Step::Out(None)]).unwrap();
+        let est = estimate(&snap, &p);
+        // 6 start vertices × (6 edges / 6 vertices) = 6 expected rows
+        assert!((est[1].rows - 6.0).abs() < 1e-9);
+        let p = plan(&snap, &StartSpec::AllVertices, &[out_step(&["knows"])]).unwrap();
+        let est = estimate(&snap, &p);
+        // 6 × (2 knows-edges / 6) = 2
+        assert!((est[1].rows - 2.0).abs() < 1e-9);
     }
 }

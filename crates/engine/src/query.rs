@@ -56,13 +56,20 @@ impl QueryResult {
         hs
     }
 
-    /// The head vertices rendered as names, sorted alphabetically.
+    /// The head vertices rendered as names, in executor (row) order —
+    /// consistent with [`QueryResult::heads`] and [`QueryResult::rows`].
     pub fn head_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .rows
+        self.rows
             .iter()
             .map(|r| self.snapshot.render_vertex(r.head))
-            .collect();
+            .collect()
+    }
+
+    /// The head vertices rendered as names, sorted alphabetically (duplicates
+    /// kept). Use this when asserting on results whose row order is
+    /// strategy-dependent.
+    pub fn head_names_sorted(&self) -> Vec<String> {
+        let mut names = self.head_names();
         names.sort();
         names
     }
@@ -111,7 +118,16 @@ mod tests {
         assert!(!r.is_empty());
         assert_eq!(r.heads().len(), 2);
         assert_eq!(r.distinct_heads().len(), 2);
-        assert_eq!(r.head_names(), vec!["josh", "vadas"]);
+        // head_names preserves row order (marko's knows-edges were inserted
+        // vadas first); head_names_sorted sorts alphabetically
+        assert_eq!(r.head_names(), vec!["vadas", "josh"]);
+        assert_eq!(r.head_names_sorted(), vec!["josh", "vadas"]);
+        let row_order: Vec<String> = r
+            .heads()
+            .iter()
+            .map(|&v| r.snapshot().render_vertex(v))
+            .collect();
+        assert_eq!(r.head_names(), row_order);
         let paths = r.paths();
         assert_eq!(paths.len(), 2);
         assert!(paths.iter().all(|p| p.len() == 1));

@@ -9,11 +9,11 @@
 //! the automaton, so the construction is exact.
 //!
 //! Experiment E9 compares recognition throughput of the NFA simulation, the
-//! DFA, and the minimised DFA ([`crate::minimize`]).
+//! DFA, and the minimised DFA ([`fn@crate::minimize`]).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use mrpa_core::{Edge, MultiGraph, Path};
+use mrpa_core::{Edge, LabelId, MultiGraph, Path};
 
 use crate::nfa::{Nfa, StateId, TransitionLabel};
 
@@ -203,6 +203,51 @@ impl Dfa {
         &self.classifier
     }
 
+    /// Whether a state is accepting.
+    pub fn is_accept_state(&self, state: usize) -> bool {
+        self.accept.contains(&state)
+    }
+
+    /// Collapses the symbolic transition structure into a per-`(state, label)`
+    /// table: for every state, the list of `(label, target)` moves, in the
+    /// graph's label order.
+    ///
+    /// This is only meaningful when every matcher of the source NFA is
+    /// *label-determined* — it accepts or rejects an edge based solely on the
+    /// edge's label, as is the case for automata compiled from
+    /// [`crate::label_regex::LabelRegex`] expressions. Then all edges sharing
+    /// a label have the same minterm signature, so one representative edge per
+    /// label determines the class (and hence the transition) of the whole
+    /// label. Matchers that also inspect endpoints would make the table an
+    /// over-approximation; callers must not use it for such automata.
+    pub fn label_transition_table(&self, graph: &MultiGraph) -> Vec<Vec<(LabelId, usize)>> {
+        let mut table: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); self.state_count];
+        for label in graph.labels() {
+            let Some(edge) = graph.edges_with_label(label).first() else {
+                continue;
+            };
+            let Some(class) = self.classifier.class_of(edge) else {
+                continue;
+            };
+            // check the label-determinism precondition: the representative's
+            // class must generalize to every edge of the label
+            debug_assert!(
+                graph
+                    .edges_with_label(label)
+                    .iter()
+                    .all(|e| self.classifier.class_of(e) == Some(class)),
+                "label_transition_table requires label-determined matchers, but edges with \
+                 label {label:?} fall into different minterm classes"
+            );
+            for (state, row) in table.iter_mut().enumerate() {
+                if let Some(target) = self.transition(state, class) {
+                    row.push((label, target));
+                }
+            }
+        }
+        table
+    }
+
     /// Internal: replaces the transition table and accept set (used by
     /// minimisation). The classifier is preserved.
     pub(crate) fn rebuild(
@@ -333,6 +378,45 @@ mod tests {
         let dfa = Dfa::compile(&nfa, &g);
         assert!(dfa.accepts(&p(&[(0, 0, 1), (1, 1, 2)])));
         assert!(!dfa.accepts(&p(&[(2, 0, 1), (1, 1, 2)])));
+    }
+
+    #[test]
+    fn label_transition_table_walks_label_regex_words() {
+        use crate::label_regex::LabelRegex;
+        use crate::minimize::minimize;
+        let g = paper_graph();
+        // α β* α over the label alphabet (α = 0, β = 1)
+        let r = LabelRegex::label(LabelId(0))
+            .concat(LabelRegex::label(LabelId(1)).star())
+            .concat(LabelRegex::label(LabelId(0)));
+        let dfa = minimize(&Dfa::compile(&Nfa::compile(&r.to_path_regex()), &g));
+        let table = dfa.label_transition_table(&g);
+        assert_eq!(table.len(), dfa.state_count);
+        // simulate words through the table and compare with matches_labels
+        let alpha = LabelId(0);
+        let beta = LabelId(1);
+        let words: Vec<Vec<LabelId>> = vec![
+            vec![],
+            vec![alpha],
+            vec![alpha, alpha],
+            vec![alpha, beta, alpha],
+            vec![alpha, beta, beta, alpha],
+            vec![beta, alpha],
+            vec![alpha, beta],
+        ];
+        for word in words {
+            let mut state = Some(dfa.start);
+            for l in &word {
+                state = state.and_then(|s| {
+                    table[s]
+                        .iter()
+                        .find(|(label, _)| label == l)
+                        .map(|&(_, t)| t)
+                });
+            }
+            let accepted = state.map(|s| dfa.is_accept_state(s)).unwrap_or(false);
+            assert_eq!(accepted, r.matches_labels(&word), "word {word:?}");
+        }
     }
 
     #[test]

@@ -21,6 +21,16 @@
 //! indexes (one hash-consed append per produced path), and moving path sets
 //! between states / into the result set is an id-level merge — the generator
 //! never re-materialises or re-buckets edge sets per step.
+//!
+//! **No cross-depth dedup is needed**, even for cyclic automata over cyclic
+//! graphs: every NFA transition consumes exactly one edge (ε-moves are closed
+//! eagerly), so the depth-`d` layer holds only length-`d` paths — a
+//! `(state, path)` pair can never recur at a later depth. Within a depth,
+//! overlapping ε-closures of different transitions can merge the same path
+//! into the same state, but [`PathSet`] has set semantics and deduplicates by
+//! interned id. The invariant is debug-asserted in the generation loop and
+//! pinned by the 2-cycle regression test
+//! (`cyclic_automata_on_a_two_cycle_do_not_rederive_paths`).
 
 use std::collections::HashMap;
 
@@ -115,7 +125,7 @@ impl<'g> Generator<'g> {
         }
         self.collect_accepting(&layer, &mut results, config)?;
 
-        for _depth in 1..=config.max_length {
+        for depth in 1..=config.max_length {
             let mut next: HashMap<StateId, PathSet> = HashMap::new();
             for (&state, paths) in &layer {
                 for t in self.nfa.transitions_from(state) {
@@ -142,6 +152,17 @@ impl<'g> Generator<'g> {
                     if joined.is_empty() {
                         continue;
                     }
+                    // Layer invariant (see module docs): every path produced
+                    // at depth d has length exactly d, so cross-depth
+                    // re-derivation is impossible and the set-semantics merge
+                    // below removes within-depth duplicates.
+                    debug_assert!(
+                        joined
+                            .ids()
+                            .iter()
+                            .all(|&id| joined.arena().path_len(id) == depth),
+                        "depth-{depth} layer produced a path of a different length"
+                    );
                     for closed in self.nfa.epsilon_closure(&[t.to].into_iter().collect()) {
                         next.entry(closed)
                             .and_modify(|s| s.merge(&joined))
@@ -312,6 +333,39 @@ mod tests {
             result,
             Err(CoreError::BoundExceeded { bound: 3, .. })
         ));
+    }
+
+    #[test]
+    fn cyclic_automata_on_a_two_cycle_do_not_rederive_paths() {
+        // Pins the layer invariant (module docs): a 2-cycle graph under
+        // starred automata exercises both a cyclic graph and cyclic NFAs with
+        // overlapping ε-closures — the generated set must contain each path
+        // exactly once, with no cross-depth re-derivation.
+        let mut g = MultiGraph::new();
+        g.add_edge(e(0, 0, 1));
+        g.add_edge(e(1, 0, 0));
+        let star = PathRegex::atom(EdgePattern::with_label(LabelId(0))).star();
+        let gen = Generator::new(&star, &g);
+        let got = gen.generate_up_to(5).unwrap();
+        // exactly ε plus one walk per (start vertex, length): 1 + 2·5
+        assert_eq!(got.len(), 11);
+        assert_eq!(got, Generator::generate_by_scan(&star, &g, 5));
+
+        // a redundant union inside the star multiplies derivation routes; the
+        // language (and hence the generated set) must not change
+        let redundant = PathRegex::atom(EdgePattern::with_label(LabelId(0)))
+            .union(PathRegex::atom(EdgePattern::with_label(LabelId(0))))
+            .star();
+        let gen2 = Generator::new(&redundant, &g);
+        let got2 = gen2.generate_up_to(5).unwrap();
+        assert_eq!(got2, got);
+
+        // nested stars (a*)* — the classic ε-cycle blowup shape
+        let nested = PathRegex::atom(EdgePattern::with_label(LabelId(0)))
+            .star()
+            .star();
+        let gen3 = Generator::new(&nested, &g);
+        assert_eq!(gen3.generate_up_to(5).unwrap(), got);
     }
 
     #[test]

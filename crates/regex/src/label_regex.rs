@@ -1,4 +1,4 @@
-//! Label-alphabet regular expressions: the Mendelzon–Wood baseline ([8]).
+//! Label-alphabet regular expressions: the Mendelzon–Wood baseline (\[8\]).
 //!
 //! §IV-A notes that earlier work on regular paths in graph databases
 //! (Mendelzon & Wood, VLDB 1989) defines regular expressions over the *label*
@@ -27,6 +27,8 @@ pub enum LabelRegex {
     Label(LabelId),
     /// Any label from the set.
     AnyOf(Vec<LabelId>),
+    /// Any label at all (the wildcard `_`: one edge, unrestricted).
+    Any,
     /// Union.
     Union(Box<LabelRegex>, Box<LabelRegex>),
     /// Concatenation.
@@ -66,12 +68,52 @@ impl LabelRegex {
         self.union(LabelRegex::Epsilon)
     }
 
+    /// `Rⁿ` (`n`-fold concatenation; `R⁰ = ε`).
+    pub fn repeat(self, n: usize) -> Self {
+        match n {
+            0 => LabelRegex::Epsilon,
+            _ => {
+                let mut acc = self.clone();
+                for _ in 1..n {
+                    acc = acc.concat(self.clone());
+                }
+                acc
+            }
+        }
+    }
+
+    /// Between `min` and `max` repetitions: `R{min,max} = Rᵐⁱⁿ · (R?)^(max-min)`.
+    pub fn repeat_range(self, min: usize, max: usize) -> Self {
+        assert!(min <= max, "repeat_range requires min <= max");
+        let mut acc = self.clone().repeat(min);
+        for _ in min..max {
+            acc = acc.concat(self.clone().optional());
+        }
+        acc
+    }
+
+    /// The length of the shortest label word the regex accepts, or `None`
+    /// when the language is empty. Used by evaluators to reject depth bounds
+    /// that could never produce a match.
+    pub fn min_word_len(&self) -> Option<usize> {
+        match self {
+            LabelRegex::Empty => None,
+            LabelRegex::Epsilon | LabelRegex::Star(_) => Some(0),
+            LabelRegex::Label(_) | LabelRegex::AnyOf(_) | LabelRegex::Any => Some(1),
+            LabelRegex::Union(a, b) => match (a.min_word_len(), b.min_word_len()) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            },
+            LabelRegex::Concat(a, b) => Some(a.min_word_len()? + b.min_word_len()?),
+        }
+    }
+
     /// Whether the regex accepts the empty label string.
     pub fn is_nullable(&self) -> bool {
         match self {
             LabelRegex::Empty => false,
             LabelRegex::Epsilon => true,
-            LabelRegex::Label(_) | LabelRegex::AnyOf(_) => false,
+            LabelRegex::Label(_) | LabelRegex::AnyOf(_) | LabelRegex::Any => false,
             LabelRegex::Union(a, b) => a.is_nullable() || b.is_nullable(),
             LabelRegex::Concat(a, b) => a.is_nullable() && b.is_nullable(),
             LabelRegex::Star(_) => true,
@@ -85,6 +127,7 @@ impl LabelRegex {
             LabelRegex::Epsilon => labels.is_empty(),
             LabelRegex::Label(l) => labels.len() == 1 && labels[0] == *l,
             LabelRegex::AnyOf(ls) => labels.len() == 1 && ls.contains(&labels[0]),
+            LabelRegex::Any => labels.len() == 1,
             LabelRegex::Union(a, b) => a.matches_labels(labels) || b.matches_labels(labels),
             LabelRegex::Concat(a, b) => (0..=labels.len())
                 .any(|k| a.matches_labels(&labels[..k]) && b.matches_labels(&labels[k..])),
@@ -106,13 +149,14 @@ impl LabelRegex {
 
     /// Embeds the label regex into the edge-alphabet regex language: each
     /// label atom becomes the labeled edge set `[_, α, _]`. This is the
-    /// formal sense in which the paper's formulation subsumes [8].
+    /// formal sense in which the paper's formulation subsumes \[8\].
     pub fn to_path_regex(&self) -> PathRegex {
         match self {
             LabelRegex::Empty => PathRegex::Empty,
             LabelRegex::Epsilon => PathRegex::Epsilon,
             LabelRegex::Label(l) => PathRegex::atom(EdgePattern::with_label(*l)),
             LabelRegex::AnyOf(ls) => PathRegex::atom(EdgePattern::with_labels(ls.iter().copied())),
+            LabelRegex::Any => PathRegex::any_edge(),
             LabelRegex::Union(a, b) => a.to_path_regex().union(b.to_path_regex()),
             LabelRegex::Concat(a, b) => a.to_path_regex().join(b.to_path_regex()),
             LabelRegex::Star(r) => r.to_path_regex().star(),
@@ -137,7 +181,9 @@ impl LabelRegex {
 
     fn collect_alphabet(&self, out: &mut HashSet<LabelId>) {
         match self {
-            LabelRegex::Empty | LabelRegex::Epsilon => {}
+            // `Any` mentions no label by name: callers that need the concrete
+            // alphabet must union in the graph's label set themselves.
+            LabelRegex::Empty | LabelRegex::Epsilon | LabelRegex::Any => {}
             LabelRegex::Label(l) => {
                 out.insert(*l);
             }
@@ -147,6 +193,114 @@ impl LabelRegex {
                 b.collect_alphabet(out);
             }
             LabelRegex::Star(r) => r.collect_alphabet(out),
+        }
+    }
+}
+
+/// A label regex over label *names*, as produced by
+/// [`crate::parser::parse_label_expr`] — the surface syntax of path patterns
+/// like `knows+·created`. Names are not resolved until the expression is bound
+/// to a concrete graph (via [`LabelExpr::resolve`]), so a `LabelExpr` can be
+/// built and stored independently of any graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelExpr {
+    /// `∅` (`empty`).
+    Empty,
+    /// `ε` (`eps`).
+    Epsilon,
+    /// The wildcard `_`: any single label.
+    Any,
+    /// A named label.
+    Name(String),
+    /// `a | b`.
+    Union(Box<LabelExpr>, Box<LabelExpr>),
+    /// `a · b` (also written `a . b`).
+    Concat(Box<LabelExpr>, Box<LabelExpr>),
+    /// `a*`.
+    Star(Box<LabelExpr>),
+    /// `a+`.
+    Plus(Box<LabelExpr>),
+    /// `a?`.
+    Optional(Box<LabelExpr>),
+    /// `a{min,max}` (`a{n}` is `a{n,n}`).
+    Repeat(Box<LabelExpr>, usize, usize),
+}
+
+impl LabelExpr {
+    /// Resolves every label name through `lookup`, producing a [`LabelRegex`]
+    /// over concrete label ids. Derived operators (`+`, `?`, `{min,max}`) are
+    /// desugared into the core union/concat/star combinators. The error type
+    /// must absorb [`crate::error::RegexError`] so that structurally invalid
+    /// expressions
+    /// (a hand-built `Repeat` with `min > max`; the parser rejects these)
+    /// surface as errors rather than panics.
+    pub fn resolve<E, F>(&self, lookup: &mut F) -> Result<LabelRegex, E>
+    where
+        F: FnMut(&str) -> Result<LabelId, E>,
+        E: From<crate::error::RegexError>,
+    {
+        Ok(match self {
+            LabelExpr::Empty => LabelRegex::Empty,
+            LabelExpr::Epsilon => LabelRegex::Epsilon,
+            LabelExpr::Any => LabelRegex::Any,
+            LabelExpr::Name(n) => LabelRegex::Label(lookup(n)?),
+            LabelExpr::Union(a, b) => a.resolve(lookup)?.union(b.resolve(lookup)?),
+            LabelExpr::Concat(a, b) => a.resolve(lookup)?.concat(b.resolve(lookup)?),
+            LabelExpr::Star(r) => r.resolve(lookup)?.star(),
+            LabelExpr::Plus(r) => r.resolve(lookup)?.plus(),
+            LabelExpr::Optional(r) => r.resolve(lookup)?.optional(),
+            LabelExpr::Repeat(r, min, max) => {
+                if min > max {
+                    return Err(crate::error::RegexError::Parse(format!(
+                        "repetition requires min <= max, got {{{min},{max}}}"
+                    ))
+                    .into());
+                }
+                r.resolve(lookup)?.repeat_range(*min, *max)
+            }
+        })
+    }
+
+    /// The label names mentioned by the expression, in first-mention order.
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            LabelExpr::Empty | LabelExpr::Epsilon | LabelExpr::Any => {}
+            LabelExpr::Name(n) => {
+                if !out.iter().any(|existing| existing == n) {
+                    out.push(n.clone());
+                }
+            }
+            LabelExpr::Union(a, b) | LabelExpr::Concat(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            LabelExpr::Star(r) | LabelExpr::Plus(r) | LabelExpr::Optional(r) => {
+                r.collect_names(out)
+            }
+            LabelExpr::Repeat(r, _, _) => r.collect_names(out),
+        }
+    }
+
+    /// Number of atoms (named or wildcard leaves) in the expression, counting
+    /// the desugared size of `{min,max}` repetitions. An upper bound on the
+    /// matcher count of the compiled automaton. Saturating, so adversarially
+    /// nested repetitions cannot wrap the count past a caller's budget check.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            LabelExpr::Empty | LabelExpr::Epsilon => 0,
+            LabelExpr::Any | LabelExpr::Name(_) => 1,
+            LabelExpr::Union(a, b) | LabelExpr::Concat(a, b) => {
+                a.atom_count().saturating_add(b.atom_count())
+            }
+            LabelExpr::Star(r) | LabelExpr::Optional(r) => r.atom_count(),
+            LabelExpr::Plus(r) => r.atom_count().saturating_mul(2),
+            LabelExpr::Repeat(r, _, max) => (*max).max(1).saturating_mul(r.atom_count()),
         }
     }
 }
@@ -263,5 +417,94 @@ mod tests {
         assert!(opt.matches_labels(&[]));
         assert!(opt.matches_labels(&[LabelId(1)]));
         assert!(!opt.matches_labels(&[LabelId(0)]));
+    }
+
+    #[test]
+    fn any_matches_exactly_one_arbitrary_label() {
+        assert!(LabelRegex::Any.matches_labels(&[LabelId(7)]));
+        assert!(!LabelRegex::Any.matches_labels(&[]));
+        assert!(!LabelRegex::Any.matches_labels(&[LabelId(0), LabelId(1)]));
+        assert!(!LabelRegex::Any.is_nullable());
+        assert!(LabelRegex::Any.alphabet().is_empty());
+        assert_eq!(LabelRegex::Any.to_path_regex(), PathRegex::any_edge());
+    }
+
+    #[test]
+    fn repeat_range_unrolls_like_the_path_regex_version() {
+        let a = LabelRegex::label(LabelId(0));
+        let r = a.clone().repeat_range(1, 3);
+        assert!(r.matches_labels(&[LabelId(0)]));
+        assert!(r.matches_labels(&[LabelId(0); 2]));
+        assert!(r.matches_labels(&[LabelId(0); 3]));
+        assert!(!r.matches_labels(&[]));
+        assert!(!r.matches_labels(&[LabelId(0); 4]));
+        assert_eq!(a.clone().repeat(0), LabelRegex::Epsilon);
+    }
+
+    #[test]
+    fn label_expr_resolves_and_desugars() {
+        use crate::error::RegexError;
+        let mut lookup = |name: &str| -> Result<LabelId, RegexError> {
+            match name {
+                "knows" => Ok(LabelId(0)),
+                "created" => Ok(LabelId(1)),
+                other => Err(RegexError::UnknownLabelName(other.to_owned())),
+            }
+        };
+        let expr = LabelExpr::Concat(
+            Box::new(LabelExpr::Plus(Box::new(LabelExpr::Name("knows".into())))),
+            Box::new(LabelExpr::Name("created".into())),
+        );
+        assert_eq!(expr.names(), vec!["knows", "created"]);
+        assert_eq!(expr.atom_count(), 3);
+        let resolved = expr.resolve(&mut lookup).unwrap();
+        // knows+ · created
+        assert!(resolved.matches_labels(&[LabelId(0), LabelId(1)]));
+        assert!(resolved.matches_labels(&[LabelId(0), LabelId(0), LabelId(1)]));
+        assert!(!resolved.matches_labels(&[LabelId(1)]));
+        // unknown names surface the lookup error
+        let bad = LabelExpr::Name("likes".into());
+        assert!(bad.resolve(&mut lookup).is_err());
+        // a hand-built inverted repetition errors instead of panicking
+        let inverted = LabelExpr::Repeat(Box::new(LabelExpr::Name("knows".into())), 3, 1);
+        assert!(matches!(
+            inverted.resolve(&mut lookup),
+            Err(crate::error::RegexError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn atom_count_saturates_instead_of_wrapping() {
+        // nested huge repetitions must not wrap atom_count to a small number
+        // (that would bypass downstream automaton-size budget checks)
+        let huge = LabelExpr::Repeat(
+            Box::new(LabelExpr::Repeat(
+                Box::new(LabelExpr::Name("a".into())),
+                1 << 32,
+                1 << 32,
+            )),
+            1 << 32,
+            1 << 32,
+        );
+        assert_eq!(huge.atom_count(), usize::MAX);
+    }
+
+    #[test]
+    fn min_word_len_is_the_shortest_accepted_word() {
+        let a = LabelRegex::label(LabelId(0));
+        let b = LabelRegex::label(LabelId(1));
+        assert_eq!(LabelRegex::Empty.min_word_len(), None);
+        assert_eq!(LabelRegex::Epsilon.min_word_len(), Some(0));
+        assert_eq!(a.clone().min_word_len(), Some(1));
+        assert_eq!(a.clone().star().min_word_len(), Some(0));
+        assert_eq!(a.clone().plus().min_word_len(), Some(1));
+        assert_eq!(a.clone().concat(b.clone()).min_word_len(), Some(2));
+        assert_eq!(a.clone().repeat(5).min_word_len(), Some(5));
+        assert_eq!(a.clone().repeat_range(2, 7).min_word_len(), Some(2));
+        assert_eq!(
+            LabelRegex::Empty.union(a.clone().repeat(3)).min_word_len(),
+            Some(3)
+        );
+        assert_eq!(a.concat(LabelRegex::Empty).min_word_len(), None);
     }
 }

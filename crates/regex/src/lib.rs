@@ -13,7 +13,7 @@
 //!   single-stack automaton over `P(E*)` (joins along every automaton branch).
 //!
 //! The label-alphabet formulation of Mendelzon & Wood (regexes over `Ω`,
-//! reference [8] of the paper) is provided as a baseline in [`label_regex`];
+//! reference \[8\] of the paper) is provided as a baseline in [`label_regex`];
 //! it embeds into the edge-alphabet language but is strictly less expressive.
 //!
 //! ```
@@ -55,10 +55,10 @@ pub use ast::{EdgeMatcher, PathRegex};
 pub use dfa::{Dfa, EdgeClassifier};
 pub use error::RegexError;
 pub use generator::{Generator, GeneratorConfig};
-pub use label_regex::LabelRegex;
+pub use label_regex::{LabelExpr, LabelRegex};
 pub use minimize::minimize;
 pub use nfa::{Nfa, StateId, Transition, TransitionLabel};
-pub use parser::parse;
+pub use parser::{parse, parse_label_expr};
 pub use recognizer::{Recognizer, RecognizerStrategy};
 
 /// Convenient glob import: `use mrpa_regex::prelude::*;`.

@@ -7,13 +7,13 @@
 //! [i, alpha, _] . [_, beta, _]* . (([_, alpha, j] . [j, alpha, i]) | [_, alpha, k])
 //! ```
 //!
-//! Grammar (whitespace-insensitive):
+//! Grammar (whitespace-insensitive; `·` is accepted as a synonym for `.`):
 //!
 //! ```text
 //! regex    := union
 //! union    := join ( '|' join )*
-//! join     := postfix ( '.' postfix )*
-//! postfix  := atom ( '*' | '+' | '?' | '{' INT '}' )*
+//! join     := postfix ( ('.' | '·') postfix )*
+//! postfix  := atom ( '*' | '+' | '?' | '{' INT (',' INT)? '}' )*
 //! atom     := '(' union ')' | 'eps' | 'empty' | edgeset
 //! edgeset  := '[' pos ',' pos ',' pos ']'
 //! pos      := '_' | NAME
@@ -23,28 +23,34 @@
 //! name, all resolved against a [`NamedGraph`]'s interner; `_` is the
 //! wildcard. An edge set with all three positions bound denotes the singleton
 //! `{(t, l, h)}` of Fig. 1.
+//!
+//! A second entry point, [`parse_label_expr`], parses the *label-alphabet*
+//! surface syntax used by the traversal engine's `match_` step (the
+//! Mendelzon–Wood formulation of [`crate::label_regex`]): atoms are bare label
+//! names (or `_` for any label) instead of edge sets, e.g. `knows+·created`.
+//! Label expressions are graph-independent — names are resolved later, when
+//! the expression is bound to a snapshot via [`LabelExpr::resolve`].
 
 use mrpa_core::{EdgePattern, NamedGraph, Position};
 
 use crate::ast::PathRegex;
 use crate::error::RegexError;
+use crate::label_regex::LabelExpr;
 
 /// Parses the textual syntax into a [`PathRegex`], resolving names against
 /// the graph's interner.
 pub fn parse(input: &str, graph: &NamedGraph) -> Result<PathRegex, RegexError> {
-    let tokens = tokenize(input)?;
-    let mut parser = Parser {
-        tokens,
+    let mut c = Cursor {
+        tokens: tokenize(input)?,
         pos: 0,
-        graph,
     };
-    let regex = parser.parse_union()?;
-    if parser.pos != parser.tokens.len() {
-        return Err(RegexError::Parse(format!(
-            "unexpected trailing input at token {}",
-            parser.pos
-        )));
-    }
+    let regex = parse_union_level(&mut c, &mut |c, token| match token {
+        Token::LBracket => parse_edge_set(c, graph),
+        other => Err(RegexError::Parse(format!(
+            "expected an atom, found {other:?}"
+        ))),
+    })?;
+    c.finish()?;
     Ok(regex)
 }
 
@@ -105,7 +111,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
                 chars.next();
                 tokens.push(Token::Comma);
             }
-            '.' => {
+            '.' | '·' => {
                 chars.next();
                 tokens.push(Token::Dot);
             }
@@ -165,13 +171,82 @@ fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
     Ok(tokens)
 }
 
-struct Parser<'a> {
-    tokens: Vec<Token>,
-    pos: usize,
-    graph: &'a NamedGraph,
+/// The operator vocabulary shared by both regex surface syntaxes. The
+/// recursive-descent core ([`parse_union_level`] and friends) is written once
+/// against this trait; the two grammars differ only in their leaf (atom)
+/// rule — edge sets `[t, l, h]` for [`PathRegex`], bare label names / `_`
+/// for [`LabelExpr`].
+trait RegexSyntax: Sized {
+    fn syntax_eps() -> Self;
+    fn syntax_empty() -> Self;
+    fn syntax_union(a: Self, b: Self) -> Self;
+    fn syntax_concat(a: Self, b: Self) -> Self;
+    fn syntax_star(a: Self) -> Self;
+    fn syntax_plus(a: Self) -> Self;
+    fn syntax_optional(a: Self) -> Self;
+    fn syntax_repeat(a: Self, min: usize, max: usize) -> Self;
 }
 
-impl<'a> Parser<'a> {
+impl RegexSyntax for PathRegex {
+    fn syntax_eps() -> Self {
+        PathRegex::Epsilon
+    }
+    fn syntax_empty() -> Self {
+        PathRegex::Empty
+    }
+    fn syntax_union(a: Self, b: Self) -> Self {
+        a.union(b)
+    }
+    fn syntax_concat(a: Self, b: Self) -> Self {
+        a.join(b)
+    }
+    fn syntax_star(a: Self) -> Self {
+        a.star()
+    }
+    fn syntax_plus(a: Self) -> Self {
+        a.plus()
+    }
+    fn syntax_optional(a: Self) -> Self {
+        a.optional()
+    }
+    fn syntax_repeat(a: Self, min: usize, max: usize) -> Self {
+        a.repeat_range(min, max)
+    }
+}
+
+impl RegexSyntax for LabelExpr {
+    fn syntax_eps() -> Self {
+        LabelExpr::Epsilon
+    }
+    fn syntax_empty() -> Self {
+        LabelExpr::Empty
+    }
+    fn syntax_union(a: Self, b: Self) -> Self {
+        LabelExpr::Union(Box::new(a), Box::new(b))
+    }
+    fn syntax_concat(a: Self, b: Self) -> Self {
+        LabelExpr::Concat(Box::new(a), Box::new(b))
+    }
+    fn syntax_star(a: Self) -> Self {
+        LabelExpr::Star(Box::new(a))
+    }
+    fn syntax_plus(a: Self) -> Self {
+        LabelExpr::Plus(Box::new(a))
+    }
+    fn syntax_optional(a: Self) -> Self {
+        LabelExpr::Optional(Box::new(a))
+    }
+    fn syntax_repeat(a: Self, min: usize, max: usize) -> Self {
+        LabelExpr::Repeat(Box::new(a), min, max)
+    }
+}
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
@@ -193,120 +268,208 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_union(&mut self) -> Result<PathRegex, RegexError> {
-        let mut left = self.parse_join()?;
-        while self.peek() == Some(&Token::Pipe) {
-            self.next();
-            let right = self.parse_join()?;
-            left = left.union(right);
+    fn finish(&self) -> Result<(), RegexError> {
+        if self.pos != self.tokens.len() {
+            return Err(RegexError::Parse(format!(
+                "unexpected trailing input at token {}",
+                self.pos
+            )));
         }
-        Ok(left)
+        Ok(())
     }
+}
 
-    fn parse_join(&mut self) -> Result<PathRegex, RegexError> {
-        let mut left = self.parse_postfix()?;
-        while self.peek() == Some(&Token::Dot) {
-            self.next();
-            let right = self.parse_postfix()?;
-            left = left.join(right);
-        }
-        Ok(left)
+/// A language-specific atom rule: receives the already-consumed first token
+/// of the atom (never `(`, `eps`, or `empty` — those are handled generically).
+type LeafRule<'g, A> = dyn FnMut(&mut Cursor, Token) -> Result<A, RegexError> + 'g;
+
+fn parse_union_level<A: RegexSyntax>(
+    c: &mut Cursor,
+    leaf: &mut LeafRule<'_, A>,
+) -> Result<A, RegexError> {
+    let mut left = parse_concat_level(c, leaf)?;
+    while c.peek() == Some(&Token::Pipe) {
+        c.next();
+        let right = parse_concat_level(c, leaf)?;
+        left = A::syntax_union(left, right);
     }
+    Ok(left)
+}
 
-    fn parse_postfix(&mut self) -> Result<PathRegex, RegexError> {
-        let mut atom = self.parse_atom()?;
-        loop {
-            match self.peek() {
-                Some(Token::Star) => {
-                    self.next();
-                    atom = atom.star();
-                }
-                Some(Token::Plus) => {
-                    self.next();
-                    atom = atom.plus();
-                }
-                Some(Token::Question) => {
-                    self.next();
-                    atom = atom.optional();
-                }
-                Some(Token::LBrace) => {
-                    self.next();
-                    let n = match self.next() {
-                        Some(Token::Int(n)) => n,
-                        other => {
-                            return Err(RegexError::Parse(format!(
-                                "expected repetition count, found {other:?}"
-                            )))
-                        }
-                    };
-                    self.expect(Token::RBrace)?;
-                    atom = atom.repeat(n);
-                }
-                _ => break,
+fn parse_concat_level<A: RegexSyntax>(
+    c: &mut Cursor,
+    leaf: &mut LeafRule<'_, A>,
+) -> Result<A, RegexError> {
+    let mut left = parse_postfix_level(c, leaf)?;
+    while c.peek() == Some(&Token::Dot) {
+        c.next();
+        let right = parse_postfix_level(c, leaf)?;
+        left = A::syntax_concat(left, right);
+    }
+    Ok(left)
+}
+
+fn parse_postfix_level<A: RegexSyntax>(
+    c: &mut Cursor,
+    leaf: &mut LeafRule<'_, A>,
+) -> Result<A, RegexError> {
+    let mut atom = parse_atom_level(c, leaf)?;
+    loop {
+        match c.peek() {
+            Some(Token::Star) => {
+                c.next();
+                atom = A::syntax_star(atom);
             }
-        }
-        Ok(atom)
-    }
-
-    fn parse_atom(&mut self) -> Result<PathRegex, RegexError> {
-        match self.next() {
-            Some(Token::LParen) => {
-                let inner = self.parse_union()?;
-                self.expect(Token::RParen)?;
-                Ok(inner)
+            Some(Token::Plus) => {
+                c.next();
+                atom = A::syntax_plus(atom);
             }
-            Some(Token::Eps) => Ok(PathRegex::Epsilon),
-            Some(Token::Empty) => Ok(PathRegex::Empty),
-            Some(Token::LBracket) => self.parse_edge_set(),
-            other => Err(RegexError::Parse(format!(
-                "expected an atom, found {other:?}"
-            ))),
+            Some(Token::Question) => {
+                c.next();
+                atom = A::syntax_optional(atom);
+            }
+            Some(Token::LBrace) => {
+                c.next();
+                let (min, max) = parse_repetition(c)?;
+                atom = A::syntax_repeat(atom, min, max);
+            }
+            _ => break,
         }
     }
+    Ok(atom)
+}
 
-    fn parse_edge_set(&mut self) -> Result<PathRegex, RegexError> {
-        let tail = self.parse_pos()?;
-        self.expect(Token::Comma)?;
-        let label = self.parse_pos()?;
-        self.expect(Token::Comma)?;
-        let head = self.parse_pos()?;
-        self.expect(Token::RBracket)?;
-
-        let mut pattern = EdgePattern::any();
-        if let Some(name) = tail {
-            let v = self
-                .graph
-                .vertex(&name)
-                .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
-            pattern = pattern.tail(Position::Is(v));
+fn parse_atom_level<A: RegexSyntax>(
+    c: &mut Cursor,
+    leaf: &mut LeafRule<'_, A>,
+) -> Result<A, RegexError> {
+    match c.next() {
+        Some(Token::LParen) => {
+            let inner = parse_union_level(c, leaf)?;
+            c.expect(Token::RParen)?;
+            Ok(inner)
         }
-        if let Some(name) = label {
-            let l = self
-                .graph
-                .label(&name)
-                .map_err(|_| RegexError::UnknownLabelName(name.clone()))?;
-            pattern = pattern.label(Position::Is(l));
-        }
-        if let Some(name) = head {
-            let v = self
-                .graph
-                .vertex(&name)
-                .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
-            pattern = pattern.head(Position::Is(v));
-        }
-        Ok(PathRegex::atom(pattern))
+        Some(Token::Eps) => Ok(A::syntax_eps()),
+        Some(Token::Empty) => Ok(A::syntax_empty()),
+        Some(token) => leaf(c, token),
+        None => Err(RegexError::Parse(
+            "expected an atom, found end of input".to_owned(),
+        )),
     }
+}
 
-    fn parse_pos(&mut self) -> Result<Option<String>, RegexError> {
-        match self.next() {
-            Some(Token::Underscore) => Ok(None),
-            Some(Token::Name(n)) => Ok(Some(n)),
-            Some(Token::Int(n)) => Ok(Some(n.to_string())),
-            other => Err(RegexError::Parse(format!(
-                "expected '_' or a name in edge set, found {other:?}"
-            ))),
+/// Upper bound on `{n}` / `{min,max}` repetition counts accepted by the
+/// parsers. Repetitions are desugared by *unrolling* (eagerly for edge
+/// regexes, at resolve time for label expressions), so an unbounded count in
+/// a short pattern string could exhaust memory before evaluation even starts.
+pub const MAX_PARSED_REPETITION: usize = 512;
+
+/// Parses the inside of a `{…}` repetition (the `{` has been consumed):
+/// `{n}` yields `(n, n)`, `{min,max}` yields `(min, max)` after validating
+/// `min <= max` and `max <=` [`MAX_PARSED_REPETITION`].
+fn parse_repetition(c: &mut Cursor) -> Result<(usize, usize), RegexError> {
+    let min = match c.next() {
+        Some(Token::Int(n)) => n,
+        other => {
+            return Err(RegexError::Parse(format!(
+                "expected repetition count, found {other:?}"
+            )))
         }
+    };
+    let bounds = match c.next() {
+        Some(Token::RBrace) => (min, min),
+        Some(Token::Comma) => {
+            let max = match c.next() {
+                Some(Token::Int(n)) => n,
+                other => {
+                    return Err(RegexError::Parse(format!(
+                        "expected repetition upper bound, found {other:?}"
+                    )))
+                }
+            };
+            c.expect(Token::RBrace)?;
+            if min > max {
+                return Err(RegexError::Parse(format!(
+                    "repetition requires min <= max, got {{{min},{max}}}"
+                )));
+            }
+            (min, max)
+        }
+        other => {
+            return Err(RegexError::Parse(format!(
+                "expected '}}' or ',' in repetition, found {other:?}"
+            )))
+        }
+    };
+    if bounds.1 > MAX_PARSED_REPETITION {
+        return Err(RegexError::Parse(format!(
+            "repetition bound {} exceeds the supported maximum {MAX_PARSED_REPETITION}",
+            bounds.1
+        )));
     }
+    Ok(bounds)
+}
+
+fn parse_edge_set(c: &mut Cursor, graph: &NamedGraph) -> Result<PathRegex, RegexError> {
+    let tail = parse_pos(c)?;
+    c.expect(Token::Comma)?;
+    let label = parse_pos(c)?;
+    c.expect(Token::Comma)?;
+    let head = parse_pos(c)?;
+    c.expect(Token::RBracket)?;
+
+    let mut pattern = EdgePattern::any();
+    if let Some(name) = tail {
+        let v = graph
+            .vertex(&name)
+            .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
+        pattern = pattern.tail(Position::Is(v));
+    }
+    if let Some(name) = label {
+        let l = graph
+            .label(&name)
+            .map_err(|_| RegexError::UnknownLabelName(name.clone()))?;
+        pattern = pattern.label(Position::Is(l));
+    }
+    if let Some(name) = head {
+        let v = graph
+            .vertex(&name)
+            .map_err(|_| RegexError::UnknownVertexName(name.clone()))?;
+        pattern = pattern.head(Position::Is(v));
+    }
+    Ok(PathRegex::atom(pattern))
+}
+
+fn parse_pos(c: &mut Cursor) -> Result<Option<String>, RegexError> {
+    match c.next() {
+        Some(Token::Underscore) => Ok(None),
+        Some(Token::Name(n)) => Ok(Some(n)),
+        Some(Token::Int(n)) => Ok(Some(n.to_string())),
+        other => Err(RegexError::Parse(format!(
+            "expected '_' or a name in edge set, found {other:?}"
+        ))),
+    }
+}
+
+/// Parses the label-alphabet surface syntax (`knows+·created`,
+/// `(knows | uses)* . created{1,2}`, `_+`) into a graph-independent
+/// [`LabelExpr`]. Same operator grammar as [`parse`], but atoms are bare
+/// label names or the wildcard `_` instead of `[t, l, h]` edge sets.
+pub fn parse_label_expr(input: &str) -> Result<LabelExpr, RegexError> {
+    let mut c = Cursor {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let expr = parse_union_level(&mut c, &mut |_c, token| match token {
+        Token::Underscore => Ok(LabelExpr::Any),
+        Token::Name(n) => Ok(LabelExpr::Name(n)),
+        Token::Int(n) => Ok(LabelExpr::Name(n.to_string())),
+        other => Err(RegexError::Parse(format!(
+            "expected a label name, '_', or '(', found {other:?}"
+        ))),
+    })?;
+    c.finish()?;
+    Ok(expr)
 }
 
 #[cfg(test)]
@@ -417,6 +580,100 @@ mod tests {
             Err(RegexError::Parse(_))
         ));
         assert!(matches!(parse("!!", &g), Err(RegexError::Parse(_))));
+    }
+
+    #[test]
+    fn bounded_repetition_ranges_parse() {
+        let g = paper_named_graph();
+        let r = parse("[_, beta, _]{1,2}", &g).unwrap();
+        let rec = Recognizer::new(r);
+        let beta = g.label("beta").unwrap();
+        let j = g.vertex("j").unwrap();
+        let one = Path::from_edge(mrpa_core::Edge::new(j, beta, j));
+        let two = Path::from_edges([
+            mrpa_core::Edge::new(j, beta, j),
+            mrpa_core::Edge::new(j, beta, j),
+        ]);
+        let three = Path::from_edges(vec![mrpa_core::Edge::new(j, beta, j); 3]);
+        assert!(rec.recognizes(&one));
+        assert!(rec.recognizes(&two));
+        assert!(!rec.recognizes(&three));
+        assert!(!rec.recognizes(&Path::epsilon()));
+        assert!(matches!(
+            parse("[_, beta, _]{3,1}", &g),
+            Err(RegexError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn label_expr_surface_syntax_parses() {
+        use crate::label_regex::LabelExpr;
+        let e = parse_label_expr("knows+·created").unwrap();
+        assert_eq!(
+            e,
+            LabelExpr::Concat(
+                Box::new(LabelExpr::Plus(Box::new(LabelExpr::Name("knows".into())))),
+                Box::new(LabelExpr::Name("created".into()))
+            )
+        );
+        // '.' and '·' are synonyms
+        assert_eq!(parse_label_expr("knows+.created").unwrap(), e);
+        // wildcard, unions, grouping, repetition ranges
+        let e = parse_label_expr("(knows | uses)* . _{1,2}").unwrap();
+        assert_eq!(e.names(), vec!["knows", "uses"]);
+        assert!(matches!(e, LabelExpr::Concat(_, _)));
+        assert_eq!(
+            parse_label_expr("knows{2}").unwrap(),
+            LabelExpr::Repeat(Box::new(LabelExpr::Name("knows".into())), 2, 2)
+        );
+        assert_eq!(parse_label_expr("eps").unwrap(), LabelExpr::Epsilon);
+        assert_eq!(parse_label_expr("empty").unwrap(), LabelExpr::Empty);
+    }
+
+    #[test]
+    fn oversized_repetitions_are_rejected_not_unrolled() {
+        // repetitions desugar by unrolling, so unbounded counts in a short
+        // string must be rejected up front instead of exhausting memory
+        let g = paper_named_graph();
+        assert!(matches!(
+            parse("[_, beta, _]{1,2000000000}", &g),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("[_, beta, _]{4000000000}", &g),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_label_expr("knows{600}"),
+            Err(RegexError::Parse(_))
+        ));
+        // at the boundary the parse succeeds
+        assert!(parse_label_expr(&format!("knows{{{MAX_PARSED_REPETITION}}}")).is_ok());
+    }
+
+    #[test]
+    fn label_expr_syntax_errors_are_reported() {
+        assert!(matches!(parse_label_expr(""), Err(RegexError::Parse(_))));
+        assert!(matches!(
+            parse_label_expr("knows |"),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_label_expr("(knows"),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_label_expr("knows{2,1}"),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_label_expr("knows created"),
+            Err(RegexError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_label_expr("[i, alpha, j]"),
+            Err(RegexError::Parse(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Regular path patterns, repetition, and the rewriting optimizer — the
+//! unified query IR behind the pipeline DSL.
+//!
+//! The paper's thesis (§III/§IV) is that Gremlin-style traversals and regular
+//! path queries are the same thing: regular expressions over restricted edge
+//! sets combined with `⋈◦`. This example runs the same question three ways —
+//! step-at-a-time, as a label regex, and as bounded repetition — and then
+//! shows what the planner's optimizer does to a naive pipeline.
+//!
+//! Run with `cargo run --example regex_pipeline`.
+
+use mrpa::engine::{classic_social_graph, ExecutionStrategy, Predicate, Traversal, Value};
+
+fn main() {
+    let g = classic_social_graph();
+    println!(
+        "classic social graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    // Q1: "software created by anyone marko can reach over one or more
+    // knows-edges" — the flagship regular path query, `knows+·created`.
+    let q1 = Traversal::over(&g)
+        .v(["marko"])
+        .match_("knows+·created")
+        .execute()
+        .unwrap();
+    println!("\nQ1 match_(\"knows+·created\") from marko:");
+    for line in q1.render_rows() {
+        println!("  {line}");
+    }
+    assert_eq!(q1.head_names_sorted(), vec!["lop", "ripple"]);
+
+    // The same language, written as bounded repetition + a step:
+    let q1b = Traversal::over(&g)
+        .v(["marko"])
+        .repeat(1..=3, |p| p.out(["knows"]))
+        .out(["created"])
+        .execute()
+        .unwrap();
+    assert_eq!(q1b.head_names_sorted(), q1.head_names_sorted());
+
+    // Q2: patterns compose like any regex: optional hops, unions, wildcards.
+    let q2 = Traversal::over(&g)
+        .v(["marko"])
+        .match_("knows?·created")
+        .execute()
+        .unwrap();
+    println!(
+        "\nQ2 match_(\"knows?·created\"): {} paths (marko's own and his friends' software)",
+        q2.len()
+    );
+
+    // Q3: `both` walks edges in either direction: josh's full neighbourhood.
+    let q3 = Traversal::over(&g)
+        .v(["josh"])
+        .both_any()
+        .execute()
+        .unwrap();
+    println!("\nQ3 josh's neighbourhood (both directions):");
+    for name in q3.head_names_sorted() {
+        println!("  {name}");
+    }
+
+    // Q4: repeat_until — walk forward until reaching software.
+    let q4 = Traversal::over(&g)
+        .v(["marko"])
+        .repeat_until(4, "kind", Predicate::Eq(Value::from("software")), |p| {
+            p.out_any()
+        })
+        .execute()
+        .unwrap();
+    println!("\nQ4 walks from marko that end at software: {}", q4.len());
+
+    // Q5: the optimizer at work. A deliberately naive pipeline...
+    let traversal = Traversal::over(&g)
+        .v(["marko"])
+        .out(["knows"])
+        .is(["josh"])
+        .has("age", Predicate::Gt(30.0))
+        .out(["created"])
+        .dedup()
+        .dedup()
+        .limit(10)
+        .limit(5);
+    let report = traversal.explain().unwrap();
+    println!(
+        "\nQ5 what the rewriting optimizer does:\n{}",
+        report.describe()
+    );
+    assert!(report.rewritten());
+
+    // ...and all three executors agree on the optimized plan.
+    for strategy in [
+        ExecutionStrategy::Materialized,
+        ExecutionStrategy::Streaming,
+        ExecutionStrategy::Parallel,
+    ] {
+        let r = traversal.clone().strategy(strategy).execute().unwrap();
+        assert_eq!(r.head_names_sorted(), vec!["lop", "ripple"]);
+    }
+    println!("all strategies agree: lop, ripple");
+}

@@ -73,12 +73,13 @@ fn main() {
     assert_eq!(m, s);
     assert_eq!(m, p);
 
-    // Q4: explain shows the algebra the planner produced.
-    let plan = Traversal::over(&g)
+    // Q4: explain shows the algebra the planner produced — the naive
+    // lowering, the optimizer's rewrite, and per-op cardinality estimates.
+    let report = Traversal::over(&g)
         .v(["person0"])
         .out(["knows"])
         .out(["created"])
         .explain()
         .unwrap();
-    println!("\nQ4 plan: {}", plan.describe());
+    println!("\nQ4 plan:\n{}", report.describe());
 }

@@ -27,7 +27,7 @@
 //!     .out(["created"])
 //!     .execute()
 //!     .unwrap();
-//! assert_eq!(created_by_friends.head_names(), vec!["lop", "ripple"]);
+//! assert_eq!(created_by_friends.head_names_sorted(), vec!["lop", "ripple"]);
 //! ```
 
 #![warn(missing_docs)]
