@@ -1,0 +1,136 @@
+//! Streaming/early-exit benchmark: the demand-driven cursor vs full
+//! materialization.
+//!
+//! Two workload families on graphs where walk enumeration is expensive:
+//!
+//! * **limit(1) on a dense `match_`** — a complete `knows`-digraph, pattern
+//!   `knows+`: full evaluation enumerates every walk up to the hop bound
+//!   (hundreds of thousands of rows); the cursor surfaces one row after a
+//!   single adjacency scan. Measured under all three strategies — the
+//!   materialized executor early-exits through the optimizer's R7 emission
+//!   cap, the streaming cursor through the pull protocol itself, the
+//!   parallel executor through per-partition cursors.
+//! * **time-to-first-row** — the same workload consumed through
+//!   `Traversal::cursor()`: latency until the first row is in hand, against
+//!   the latency of materializing the full result set.
+//!
+//! The machine-readable rows go to `BENCH_streaming.json`; the run fails if
+//! `limit(1)` is not at least 10× faster than full enumeration (the
+//! acceptance bar for the cursor redesign).
+
+use mrpa_bench::{fmt_f, time, time_median, Table};
+use mrpa_engine::{ExecutionStrategy, PropertyGraph, Traversal};
+
+/// A complete `knows`-digraph on `n` vertices.
+fn complete_graph(n: usize) -> PropertyGraph {
+    let g = PropertyGraph::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(&format!("v{i}"), "knows", &format!("v{j}"));
+            }
+        }
+    }
+    g
+}
+
+fn main() {
+    let runs = 7;
+    let n = 12usize;
+    let hops = 4usize;
+    let g = complete_graph(n);
+    println!(
+        "dense early-exit workload: K{n} knows-digraph, match_within(\"knows+\", {hops}), \
+         median of {runs} runs"
+    );
+
+    let strategies = [
+        ("materialized", ExecutionStrategy::Materialized),
+        ("streaming", ExecutionStrategy::Streaming),
+        ("parallel", ExecutionStrategy::Parallel),
+    ];
+
+    let mut table = Table::new([
+        "strategy",
+        "full rows",
+        "full ms",
+        "limit(1) ms",
+        "speedup",
+        "first-row ms",
+        "expansions(limit1)",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+
+    for (sname, strategy) in strategies {
+        let base = Traversal::over(&g)
+            .match_within("knows+", hops)
+            .strategy(strategy);
+
+        let full = base.clone().execute().expect("full run");
+        let full_rows = full.len();
+        let full_ms = time_median(runs, || base.clone().execute().unwrap());
+
+        // correctness: limit(1) surfaces exactly the first row of the full run
+        let limited = base.clone().limit(1).execute().expect("limit(1) run");
+        assert_eq!(
+            limited.rows(),
+            &full.rows()[..1],
+            "{sname}: wrong first row"
+        );
+        let limit1_ms = time_median(runs, || base.clone().limit(1).execute().unwrap());
+
+        // time-to-first-row through the public cursor
+        let (_, first_ms) = time(|| {
+            let mut cursor = base.clone().limit(1).cursor().unwrap();
+            cursor.next_row().unwrap().expect("a first row")
+        });
+
+        // bounded-work proof: expansions under limit(1), not wall time
+        let mut cursor = base.clone().limit(1).cursor().unwrap();
+        cursor.next_row().unwrap().expect("a first row");
+        let expansions = cursor.stats().expansions;
+        assert!(
+            expansions <= (n * (n - 1)) as u64,
+            "{sname}: limit(1) expanded {expansions} edges"
+        );
+
+        let speedup = full_ms / limit1_ms.max(1e-9);
+        min_speedup = min_speedup.min(speedup);
+        table.row([
+            sname.to_string(),
+            full_rows.to_string(),
+            fmt_f(full_ms),
+            fmt_f(limit1_ms),
+            format!("{speedup:.1}x"),
+            fmt_f(first_ms),
+            expansions.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"strategy\": \"{sname}\", \"full_rows\": {full_rows}, \
+             \"full_ms\": {full_ms:.4}, \"limit1_ms\": {limit1_ms:.4}, \
+             \"speedup\": {speedup:.2}, \"first_row_ms\": {first_ms:.4}, \
+             \"limit1_expansions\": {expansions}}}"
+        ));
+    }
+
+    table.print("early exit: limit(1) / first-row vs full walk enumeration (dense match_)");
+    println!("Expectation: the cursor surfaces the first row after one adjacency scan; full");
+    println!("enumeration walks every knows-walk up to the hop bound.");
+
+    assert!(
+        min_speedup >= 10.0,
+        "limit(1) speedup fell below the 10x acceptance bar: {min_speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"streaming_early_exit\",\n  \"workload\": {{\"graph\": \
+         \"complete\", \"vertices\": {n}, \"edges\": {}, \"pattern\": \"knows+\", \
+         \"max_hops\": {hops}, \"runs\": {runs}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        n * (n - 1),
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_streaming.json";
+    std::fs::write(path, &json).expect("write BENCH_streaming.json");
+    println!("\nwrote {path} (min speedup {min_speedup:.1}x)");
+}

@@ -68,7 +68,7 @@ pub mod pathset;
 pub mod pattern;
 pub mod traversal;
 
-pub use arena::{PathArena, PathId};
+pub use arena::{ArenaWriter, PathArena, PathId};
 pub use builder::{GraphBuilder, NamedGraph};
 pub use edge::Edge;
 pub use error::{CoreError, CoreResult};

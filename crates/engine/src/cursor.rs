@@ -1,0 +1,1151 @@
+//! Demand-driven execution: the pull-based [`RowCursor`] protocol.
+//!
+//! Every [`PlanOp`] compiles to a *stage* that yields rows on demand. A pull
+//! returns one of three things, modelled as
+//! `ControlFlow<(), Option<ArenaRow>>`:
+//!
+//! * `Continue(Some(row))` — a row;
+//! * `Break(())` — the stage will never produce another row, no matter what.
+//!   `Break` propagates *downstream* to the consumer, and — because a broken
+//!   consumer simply stops pulling — acts *upstream* as cancellation: a
+//!   saturated `Limit` never pulls its input again, so an in-flight
+//!   product-automaton frontier suspended mid-layer is dropped without
+//!   finishing the walk;
+//! * `Continue(None)` — the stage is starved: its source is a feedable queue
+//!   (parallel suffix evaluation) that has no rows *right now*. Ordinary
+//!   source-backed pipelines never produce this.
+//!
+//! Composite ops keep resumable per-input-row state. The automaton stage
+//! holds an `AutoWalk`: the current `(row, dfa-state)` frontier layer, the
+//! index of the next entry to expand (the mid-layer suspension point), the
+//! half-built next layer, and a queue of emissions awaiting delivery — one
+//! `next()` expands at most one frontier entry beyond what it needs to hand
+//! out a row. The same walker, drained to exhaustion, is the materialized
+//! executor's batch evaluation, so both granularities share one definition of
+//! the walk (order, caps, semantics, emission limits).
+//!
+//! `max_intermediate` is enforced per stage: each stage counts the rows it
+//! has emitted over its lifetime and fails once the count exceeds the cap.
+//! For top-level ops this is exactly the materialized executor's per-level
+//! check (a top-level op runs once, so its cumulative output *is* its level),
+//! making the cap strategy-agnostic.
+
+use std::collections::{HashSet, VecDeque};
+use std::ops::ControlFlow;
+
+use mrpa_core::fxhash::FxHashSet;
+use mrpa_core::{ArenaWriter, PathArena, VertexId};
+
+use crate::error::EngineError;
+use crate::exec::{
+    apply_ops, check_cap, eval_until, for_each_expansion_edge, in_set, initial_rows, materialized,
+    ArenaRow, Counters, ExecCtx, ExecStats, ExecutionStrategy,
+};
+use crate::plan::{AutomatonSpec, Direction, LogicalPlan, PlanOp, Semantics};
+use crate::query::ResultRow;
+use crate::store::GraphSnapshot;
+use crate::value::Predicate;
+
+use mrpa_core::LabelId;
+
+/// One pull from a stage. See the module docs for the three outcomes.
+pub(crate) type Pull = ControlFlow<(), Option<ArenaRow>>;
+
+/// Consumes one unit of an optional emission budget. Returns whether the
+/// emission is allowed.
+fn take_budget(remaining: &mut Option<usize>) -> bool {
+    match remaining {
+        None => true,
+        Some(0) => false,
+        Some(n) => {
+            *n -= 1;
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resumable walkers (shared by batch evaluation and cursor stages)
+// ---------------------------------------------------------------------------
+
+/// A resumable product-automaton walk for **one input row**: breadth-first
+/// over `(row, dfa-state)` pairs, suspended between frontier entries.
+///
+/// * `frontier`/`idx` — the current layer and the next entry to expand;
+/// * `next` — the half-built next layer;
+/// * `pending` — emissions generated but not yet handed out;
+/// * `seen` — `Some` under [`Semantics::Reachable`]: `(vertex, state)` pairs
+///   already reached for this input row; duplicates are dropped before they
+///   are emitted or join the next layer.
+#[derive(Debug)]
+pub(crate) struct AutoWalk {
+    frontier: Vec<(ArenaRow, usize)>,
+    next: Vec<(ArenaRow, usize)>,
+    hop: usize,
+    idx: usize,
+    pending: VecDeque<ArenaRow>,
+    seen: Option<FxHashSet<(VertexId, usize)>>,
+}
+
+impl AutoWalk {
+    /// Begins the walk for one input row. The caller has already applied the
+    /// `from` restriction and checked the emission budget is non-empty. Seeds
+    /// the depth-0 emission when the start state accepts.
+    pub(crate) fn start(
+        spec: &AutomatonSpec,
+        to: &Option<HashSet<VertexId>>,
+        row: ArenaRow,
+        remaining: &mut Option<usize>,
+    ) -> AutoWalk {
+        let mut pending = VecDeque::new();
+        if spec.is_accept(spec.start_state()) && in_set(to, row.head) && take_budget(remaining) {
+            pending.push_back(row);
+        }
+        let halted = matches!(remaining, Some(0));
+        let frontier = if spec.max_hops() == 0 || halted {
+            Vec::new()
+        } else {
+            vec![(row, spec.start_state())]
+        };
+        let seen = match spec.semantics() {
+            Semantics::Reachable => {
+                let mut s = FxHashSet::default();
+                s.insert((row.head, spec.start_state()));
+                Some(s)
+            }
+            Semantics::Walks => None,
+        };
+        AutoWalk {
+            frontier,
+            next: Vec::new(),
+            hop: 1,
+            idx: 0,
+            pending,
+            seen,
+        }
+    }
+
+    /// Takes the next emission awaiting delivery, if any.
+    pub(crate) fn pop(&mut self) -> Option<ArenaRow> {
+        self.pending.pop_front()
+    }
+
+    /// Moves every pending emission into `out` in one bulk drain (batch
+    /// evaluation's fast path).
+    pub(crate) fn drain_pending_into(&mut self, out: &mut Vec<ArenaRow>) {
+        out.extend(self.pending.drain(..));
+    }
+
+    /// Whether the walk can produce no further emissions.
+    pub(crate) fn finished(&self) -> bool {
+        self.pending.is_empty() && self.frontier.is_empty() && self.next.is_empty()
+    }
+
+    fn halt(&mut self) {
+        self.frontier.clear();
+        self.next.clear();
+        self.idx = 0;
+    }
+
+    /// Whether the current layer is exhausted and the walk must roll over to
+    /// the next one before another entry can be expanded.
+    pub(crate) fn needs_roll(&self) -> bool {
+        self.idx >= self.frontier.len()
+    }
+
+    /// Rolls the layer over: the half-built next layer becomes current. This
+    /// is where the intermediate-size cap is checked — `delivered` (rows the
+    /// enclosing op already handed out) plus the pending emissions plus the
+    /// live frontier, exactly the materialized executor's per-layer check.
+    pub(crate) fn roll(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        spec: &AutomatonSpec,
+        delivered: usize,
+    ) -> Result<(), EngineError> {
+        self.frontier = std::mem::take(&mut self.next);
+        self.idx = 0;
+        self.hop += 1;
+        check_cap(
+            self.frontier.len() + delivered + self.pending.len(),
+            ctx.cap,
+        )?;
+        if self.hop > spec.max_hops() {
+            self.frontier.clear();
+        }
+        Ok(())
+    }
+
+    /// Expands one frontier entry (or rolls the layer over), pushing any
+    /// emissions into the pending queue. The incremental (cursor) entry
+    /// point: acquires a short-lived arena writer per entry so no lock is
+    /// held across pulls. Batch evaluation instead drives
+    /// [`AutoWalk::step_entry`] directly under one long-lived writer.
+    /// `remaining` is the op-level R7 emission budget; reaching zero halts
+    /// the walk.
+    pub(crate) fn advance(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        spec: &AutomatonSpec,
+        to: &Option<HashSet<VertexId>>,
+        delivered: usize,
+        remaining: &mut Option<usize>,
+    ) -> Result<(), EngineError> {
+        if self.needs_roll() {
+            return self.roll(ctx, spec, delivered);
+        }
+        let mut writer = arena.writer();
+        self.step_entry(ctx, &mut writer, spec, to, remaining);
+        Ok(())
+    }
+
+    /// Expands exactly one frontier entry under the caller's writer. Must not
+    /// be called when [`AutoWalk::needs_roll`] — entries only exist mid-layer.
+    pub(crate) fn step_entry(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        writer: &mut ArenaWriter<'_>,
+        spec: &AutomatonSpec,
+        to: &Option<HashSet<VertexId>>,
+        remaining: &mut Option<usize>,
+    ) {
+        let (row, state) = self.frontier[self.idx];
+        self.idx += 1;
+        let graph = match spec.direction() {
+            Direction::Out => ctx.snapshot.graph(),
+            Direction::In => ctx.snapshot.reversed(),
+            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
+        };
+        for &(label, target) in spec.moves(state) {
+            // a row only joins the next frontier if it can still make
+            // progress: there are hops left and the target state moves
+            let survives = self.hop < spec.max_hops() && !spec.moves(target).is_empty();
+            let accepts = spec.is_accept(target);
+            for e in graph.out_edges_labeled(row.head, label) {
+                ctx.count_expansion();
+                if let Some(seen) = &mut self.seen {
+                    if !seen.insert((e.head, target)) {
+                        continue;
+                    }
+                }
+                let produced = ArenaRow {
+                    source: row.source,
+                    path: writer.append(row.path, *e),
+                    head: e.head,
+                };
+                if accepts && in_set(to, e.head) {
+                    if take_budget(remaining) {
+                        self.pending.push_back(produced);
+                        if matches!(remaining, Some(0)) {
+                            self.halt();
+                            return;
+                        }
+                    } else {
+                        self.halt();
+                        return;
+                    }
+                }
+                if survives {
+                    self.next.push((produced, target));
+                }
+            }
+        }
+    }
+}
+
+/// The static parameters of a `Repeat` op, borrowed from the plan.
+#[derive(Clone, Copy)]
+pub(crate) struct RepeatSpec<'a> {
+    pub(crate) body: &'a [PlanOp],
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+    pub(crate) until: Option<&'a (String, Predicate)>,
+}
+
+/// A resumable bounded-Kleene iteration for **one input row**, suspended at
+/// iteration granularity: one `advance` emits the rows due at the current
+/// iteration count and applies the body once.
+#[derive(Debug)]
+pub(crate) struct RepeatWalk {
+    frontier: Vec<ArenaRow>,
+    k: usize,
+    pending: VecDeque<ArenaRow>,
+    done: bool,
+}
+
+impl RepeatWalk {
+    pub(crate) fn new(row: ArenaRow) -> RepeatWalk {
+        RepeatWalk {
+            frontier: vec![row],
+            k: 0,
+            pending: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ArenaRow> {
+        self.pending.pop_front()
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.pending.is_empty() && self.done
+    }
+
+    /// Moves every pending emission into `out` in one bulk drain (batch
+    /// evaluation's fast path).
+    pub(crate) fn drain_pending_into(&mut self, out: &mut Vec<ArenaRow>) {
+        out.extend(self.pending.drain(..));
+    }
+
+    /// One iteration step, replicating the materialized order exactly:
+    /// emissions for the current count `k` first, then one body application.
+    pub(crate) fn advance(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        spec: RepeatSpec<'_>,
+        delivered: usize,
+    ) -> Result<(), EngineError> {
+        let RepeatSpec {
+            body,
+            min,
+            max,
+            until,
+        } = spec;
+        if self.done {
+            return Ok(());
+        }
+        match until {
+            Some(cond) if self.k >= min => {
+                let mut stay = Vec::with_capacity(self.frontier.len());
+                for row in std::mem::take(&mut self.frontier) {
+                    if eval_until(ctx.snapshot, cond, row.head) {
+                        self.pending.push_back(row);
+                    } else {
+                        stay.push(row);
+                    }
+                }
+                self.frontier = stay;
+            }
+            Some(_) => {}
+            None => {
+                if self.k >= min {
+                    self.pending.extend(self.frontier.iter().copied());
+                }
+            }
+        }
+        if self.k == max || self.frontier.is_empty() {
+            self.done = true;
+            return Ok(());
+        }
+        self.frontier = apply_ops(ctx, arena, std::mem::take(&mut self.frontier), body)?;
+        check_cap(
+            self.frontier.len() + delivered + self.pending.len(),
+            ctx.cap,
+        )?;
+        self.k += 1;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+/// One pull-based stage with its lifetime output counter (the cap check).
+#[derive(Debug)]
+pub(crate) struct Stage {
+    op: StageOp,
+    out_count: usize,
+}
+
+#[derive(Debug)]
+enum StageOp {
+    /// Fixed start rows.
+    Source {
+        rows: Vec<ArenaRow>,
+        idx: usize,
+    },
+    /// Feedable source for the parallel suffix: rows arrive in batches.
+    Feed {
+        queue: VecDeque<ArenaRow>,
+        closed: bool,
+    },
+    Expand {
+        input: Box<Stage>,
+        direction: Direction,
+        labels: Option<Vec<LabelId>>,
+        from: Option<HashSet<VertexId>>,
+        to: Option<HashSet<VertexId>>,
+        buf: VecDeque<ArenaRow>,
+    },
+    Automaton {
+        input: Box<Stage>,
+        spec: AutomatonSpec,
+        from: Option<HashSet<VertexId>>,
+        to: Option<HashSet<VertexId>>,
+        /// The R7 emission budget; `Some(0)` saturates the stage.
+        remaining: Option<usize>,
+        walk: Option<AutoWalk>,
+    },
+    Repeat {
+        input: Box<Stage>,
+        body: Vec<PlanOp>,
+        min: usize,
+        max: usize,
+        until: Option<(String, Predicate)>,
+        walk: Option<RepeatWalk>,
+    },
+    RestrictVertices {
+        input: Box<Stage>,
+        vs: HashSet<VertexId>,
+    },
+    RestrictProperty {
+        input: Box<Stage>,
+        key: String,
+        predicate: Predicate,
+    },
+    Dedup {
+        input: Box<Stage>,
+        seen: HashSet<VertexId>,
+    },
+    Limit {
+        input: Box<Stage>,
+        remaining: usize,
+    },
+}
+
+impl Stage {
+    fn new(op: StageOp) -> Stage {
+        Stage { op, out_count: 0 }
+    }
+
+    /// A pipeline over fixed start rows. Consumes the op sequence — cursor
+    /// compilation moves plan ops into the stage tree rather than cloning.
+    pub(crate) fn pipeline(start: Vec<ArenaRow>, ops: Vec<PlanOp>) -> Stage {
+        Self::build(
+            Stage::new(StageOp::Source {
+                rows: start,
+                idx: 0,
+            }),
+            ops,
+        )
+    }
+
+    /// A pipeline over a feedable source (parallel suffix evaluation).
+    pub(crate) fn fed_pipeline(ops: Vec<PlanOp>) -> Stage {
+        Self::build(
+            Stage::new(StageOp::Feed {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ops,
+        )
+    }
+
+    fn build(source: Stage, ops: Vec<PlanOp>) -> Stage {
+        let mut cur = source;
+        for op in ops {
+            let op = match op {
+                PlanOp::Expand {
+                    direction,
+                    labels,
+                    from,
+                    to,
+                } => StageOp::Expand {
+                    input: Box::new(cur),
+                    direction,
+                    labels,
+                    from,
+                    to,
+                    buf: VecDeque::new(),
+                },
+                PlanOp::ExpandAutomaton {
+                    spec,
+                    from,
+                    to,
+                    limit,
+                } => StageOp::Automaton {
+                    input: Box::new(cur),
+                    spec,
+                    from,
+                    to,
+                    remaining: limit,
+                    walk: None,
+                },
+                PlanOp::Repeat {
+                    body,
+                    min,
+                    max,
+                    until,
+                } => StageOp::Repeat {
+                    input: Box::new(cur),
+                    body,
+                    min,
+                    max,
+                    until,
+                    walk: None,
+                },
+                PlanOp::RestrictVertices(vs) => StageOp::RestrictVertices {
+                    input: Box::new(cur),
+                    vs,
+                },
+                PlanOp::RestrictProperty { key, predicate } => StageOp::RestrictProperty {
+                    input: Box::new(cur),
+                    key,
+                    predicate,
+                },
+                PlanOp::DedupByVertex => StageOp::Dedup {
+                    input: Box::new(cur),
+                    seen: HashSet::new(),
+                },
+                PlanOp::Limit(n) => StageOp::Limit {
+                    input: Box::new(cur),
+                    remaining: n,
+                },
+            };
+            cur = Stage::new(op);
+        }
+        cur
+    }
+
+    /// The innermost source stage (for feeding the parallel suffix).
+    fn source_mut(&mut self) -> &mut Stage {
+        if matches!(self.op, StageOp::Source { .. } | StageOp::Feed { .. }) {
+            return self;
+        }
+        match &mut self.op {
+            StageOp::Expand { input, .. }
+            | StageOp::Automaton { input, .. }
+            | StageOp::Repeat { input, .. }
+            | StageOp::RestrictVertices { input, .. }
+            | StageOp::RestrictProperty { input, .. }
+            | StageOp::Dedup { input, .. }
+            | StageOp::Limit { input, .. } => input.source_mut(),
+            StageOp::Source { .. } | StageOp::Feed { .. } => unreachable!(),
+        }
+    }
+
+    /// Enqueues rows into the feedable source.
+    pub(crate) fn feed(&mut self, rows: impl IntoIterator<Item = ArenaRow>) {
+        if let StageOp::Feed { queue, .. } = &mut self.source_mut().op {
+            queue.extend(rows);
+        } else {
+            unreachable!("feed called on a pipeline without a Feed source");
+        }
+    }
+
+    /// Marks the feedable source as complete: once its queue drains, the
+    /// pipeline reports `Break` instead of starvation.
+    pub(crate) fn close_feed(&mut self) {
+        if let StageOp::Feed { closed, .. } = &mut self.source_mut().op {
+            *closed = true;
+        }
+    }
+
+    /// Pulls one row, counting the stage's lifetime output against the cap.
+    pub(crate) fn pull(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+    ) -> Result<Pull, EngineError> {
+        let pulled = Self::pull_op(&mut self.op, self.out_count, ctx, arena)?;
+        if matches!(pulled, ControlFlow::Continue(Some(_))) {
+            self.out_count += 1;
+            check_cap(self.out_count, ctx.cap)?;
+        }
+        Ok(pulled)
+    }
+
+    fn pull_op(
+        op: &mut StageOp,
+        delivered: usize,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+    ) -> Result<Pull, EngineError> {
+        match op {
+            StageOp::Source { rows, idx } => {
+                if *idx < rows.len() {
+                    *idx += 1;
+                    Ok(ControlFlow::Continue(Some(rows[*idx - 1])))
+                } else {
+                    Ok(ControlFlow::Break(()))
+                }
+            }
+            StageOp::Feed { queue, closed } => match queue.pop_front() {
+                Some(row) => Ok(ControlFlow::Continue(Some(row))),
+                None if *closed => Ok(ControlFlow::Break(())),
+                None => Ok(ControlFlow::Continue(None)),
+            },
+            StageOp::Expand {
+                input,
+                direction,
+                labels,
+                from,
+                to,
+                buf,
+            } => loop {
+                if let Some(row) = buf.pop_front() {
+                    return Ok(ControlFlow::Continue(Some(row)));
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(ControlFlow::Break(())),
+                    ControlFlow::Continue(None) => return Ok(ControlFlow::Continue(None)),
+                    ControlFlow::Continue(Some(row)) => {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        // collect this row's expansions under one lock
+                        // acquisition; they stream out one pull at a time
+                        let mut writer = arena.writer();
+                        for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
+                            ctx.count_expansion();
+                            if !in_set(to, e.head) {
+                                return;
+                            }
+                            buf.push_back(ArenaRow {
+                                source: row.source,
+                                path: writer.append(row.path, *e),
+                                head: e.head,
+                            });
+                        });
+                    }
+                }
+            },
+            StageOp::Automaton {
+                input,
+                spec,
+                from,
+                to,
+                remaining,
+                walk,
+            } => loop {
+                if let Some(w) = walk {
+                    if let Some(row) = w.pop() {
+                        return Ok(ControlFlow::Continue(Some(row)));
+                    }
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    w.advance(ctx, arena, spec, to, delivered, remaining)?;
+                    continue;
+                }
+                if matches!(remaining, Some(0)) {
+                    return Ok(ControlFlow::Break(()));
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(ControlFlow::Break(())),
+                    ControlFlow::Continue(None) => return Ok(ControlFlow::Continue(None)),
+                    ControlFlow::Continue(Some(row)) => {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        *walk = Some(AutoWalk::start(spec, to, row, remaining));
+                    }
+                }
+            },
+            StageOp::Repeat {
+                input,
+                body,
+                min,
+                max,
+                until,
+                walk,
+            } => loop {
+                if let Some(w) = walk {
+                    if let Some(row) = w.pop() {
+                        return Ok(ControlFlow::Continue(Some(row)));
+                    }
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    w.advance(
+                        ctx,
+                        arena,
+                        RepeatSpec {
+                            body,
+                            min: *min,
+                            max: *max,
+                            until: until.as_ref(),
+                        },
+                        delivered,
+                    )?;
+                    continue;
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(ControlFlow::Break(())),
+                    ControlFlow::Continue(None) => return Ok(ControlFlow::Continue(None)),
+                    ControlFlow::Continue(Some(row)) => *walk = Some(RepeatWalk::new(row)),
+                }
+            },
+            StageOp::RestrictVertices { input, vs } => loop {
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Continue(Some(row)) if !vs.contains(&row.head) => continue,
+                    other => return Ok(other),
+                }
+            },
+            StageOp::RestrictProperty {
+                input,
+                key,
+                predicate,
+            } => loop {
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Continue(Some(row))
+                        if !predicate.eval(ctx.snapshot.vertex_property(row.head, key)) =>
+                    {
+                        continue
+                    }
+                    other => return Ok(other),
+                }
+            },
+            StageOp::Dedup { input, seen } => loop {
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Continue(Some(row)) if !seen.insert(row.head) => continue,
+                    other => return Ok(other),
+                }
+            },
+            StageOp::Limit { input, remaining } => {
+                if *remaining == 0 {
+                    // saturated: never pull upstream again — this is the
+                    // ControlFlow::Break that cancels suspended walks above
+                    return Ok(ControlFlow::Break(()));
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Continue(Some(row)) => {
+                        *remaining -= 1;
+                        Ok(ControlFlow::Continue(Some(row)))
+                    }
+                    other => Ok(other),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public cursor
+// ---------------------------------------------------------------------------
+
+/// A demand-driven cursor over a planned traversal: the pull-based execution
+/// protocol behind [`Traversal::cursor`](crate::Traversal::cursor) and the
+/// non-materializing terminals (`first`, `exists`, `count`).
+///
+/// Each `next_row` pull performs only the work needed to surface one row —
+/// composite ops (`match_` product automata, `repeat`) suspend their frontier
+/// mid-layer between pulls — so `limit(k)`, `first()` and external
+/// [`Iterator`] consumption early-exit dense expansions instead of
+/// enumerating them. The cursor honours the traversal's
+/// [`ExecutionStrategy`]:
+///
+/// * `Streaming` — fully incremental (the protocol's native granularity);
+/// * `Materialized` — evaluates the plan level-at-a-time on the first pull
+///   and then yields from the buffer (early exit comes from the optimizer's
+///   limit-pushdown annotation, not from the pull protocol);
+/// * `Parallel` — pulls batches from partitioned prefix cursors on scoped
+///   threads, preserving partition order.
+///
+/// Dropping the cursor drops all suspended state; an error fuses it (further
+/// pulls return `Ok(None)`).
+#[derive(Debug)]
+pub struct RowCursor {
+    snapshot: GraphSnapshot,
+    cap: Option<usize>,
+    counters: Counters,
+    inner: Inner,
+    fused: bool,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Pipe {
+        arena: PathArena,
+        root: Box<Stage>,
+    },
+    Batch {
+        plan: LogicalPlan,
+        buffered: Option<std::vec::IntoIter<ResultRow>>,
+    },
+    Parallel(Box<ParallelState>),
+}
+
+impl RowCursor {
+    /// Compiles a cursor for an already-planned traversal.
+    pub(crate) fn compile(
+        snapshot: GraphSnapshot,
+        plan: LogicalPlan,
+        strategy: ExecutionStrategy,
+        cap: Option<usize>,
+    ) -> RowCursor {
+        match strategy {
+            ExecutionStrategy::Materialized => Self::batch(snapshot, plan, cap),
+            ExecutionStrategy::Streaming => {
+                let (start, ops) = plan.into_parts();
+                let root = Stage::pipeline(initial_rows(&start), ops);
+                RowCursor {
+                    snapshot,
+                    cap,
+                    counters: Counters::default(),
+                    inner: Inner::Pipe {
+                        arena: PathArena::new(),
+                        root: Box::new(root),
+                    },
+                    fused: false,
+                }
+            }
+            ExecutionStrategy::Parallel => Self::compile_parallel(snapshot, plan, cap, None),
+        }
+    }
+
+    fn batch(snapshot: GraphSnapshot, plan: LogicalPlan, cap: Option<usize>) -> RowCursor {
+        RowCursor {
+            snapshot,
+            cap,
+            counters: Counters::default(),
+            inner: Inner::Batch {
+                plan,
+                buffered: None,
+            },
+            fused: false,
+        }
+    }
+
+    /// Compiles the parallel variant, optionally forcing the thread count.
+    /// Falls back to the materialized batch cursor when partitioning cannot
+    /// help (single thread, single start vertex, or a plan that begins with a
+    /// stateful op and therefore has no parallelizable prefix).
+    pub(crate) fn compile_parallel(
+        snapshot: GraphSnapshot,
+        plan: LogicalPlan,
+        cap: Option<usize>,
+        threads: Option<usize>,
+    ) -> RowCursor {
+        let threads = threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .min(plan.start().len().max(1));
+        let split = plan
+            .ops()
+            .iter()
+            .position(|op| matches!(op, PlanOp::DedupByVertex | PlanOp::Limit(_)))
+            .unwrap_or(plan.ops().len());
+        if threads <= 1 || plan.start().len() <= 1 || split == 0 {
+            return Self::batch(snapshot, plan, cap);
+        }
+        let (start, mut prefix) = plan.into_parts();
+        let suffix = prefix.split_off(split);
+        let chunk_size = start.len().div_ceil(threads);
+        let partitions: Vec<Partition> = start
+            .chunks(chunk_size)
+            .map(|chunk| Partition {
+                arena: PathArena::new(),
+                root: Stage::pipeline(initial_rows(chunk), prefix.clone()),
+                counters: Counters::default(),
+                queue: VecDeque::new(),
+                done: false,
+            })
+            .collect();
+        let suffix = if suffix.is_empty() {
+            None
+        } else {
+            Some(SuffixPipe {
+                arena: PathArena::new(),
+                root: Stage::fed_pipeline(suffix),
+            })
+        };
+        RowCursor {
+            snapshot,
+            cap,
+            counters: Counters::default(),
+            inner: Inner::Parallel(Box::new(ParallelState {
+                partitions,
+                current: 0,
+                suffix,
+                feed_closed: false,
+                fed: 0,
+                batch: INITIAL_BATCH,
+            })),
+            fused: false,
+        }
+    }
+
+    /// Pulls the next result row, or `None` when the traversal is exhausted
+    /// (or a `Limit` upstream broke the pipeline). After an error the cursor
+    /// is fused and returns `Ok(None)`.
+    pub fn next_row(&mut self) -> Result<Option<ResultRow>, EngineError> {
+        if self.fused {
+            return Ok(None);
+        }
+        let out = self.advance_inner(true);
+        match out {
+            Ok(Some(RowDelivery::Materialised(row))) => Ok(Some(row)),
+            Ok(Some(RowDelivery::Counted)) => unreachable!("materialise requested"),
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.fused = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Advances past one row without materialising its path (the `count`
+    /// terminal). Returns whether a row was consumed.
+    pub(crate) fn advance_row(&mut self) -> Result<bool, EngineError> {
+        if self.fused {
+            return Ok(false);
+        }
+        match self.advance_inner(false) {
+            Ok(opt) => Ok(opt.is_some()),
+            Err(e) => {
+                self.fused = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn advance_inner(&mut self, materialise: bool) -> Result<Option<RowDelivery>, EngineError> {
+        let ctx = ExecCtx {
+            snapshot: &self.snapshot,
+            cap: self.cap,
+            counters: &self.counters,
+        };
+        match &mut self.inner {
+            Inner::Pipe { arena, root } => match root.pull(&ctx, arena)? {
+                ControlFlow::Continue(Some(row)) => Ok(Some(if materialise {
+                    RowDelivery::Materialised(ResultRow {
+                        source: row.source,
+                        path: arena.to_path(row.path),
+                        head: row.head,
+                    })
+                } else {
+                    RowDelivery::Counted
+                })),
+                ControlFlow::Continue(None) | ControlFlow::Break(()) => Ok(None),
+            },
+            Inner::Batch { plan, buffered } => {
+                if buffered.is_none() {
+                    let rows = materialized(&ctx, plan.start(), plan.ops())?;
+                    *buffered = Some(rows.into_iter());
+                }
+                Ok(buffered
+                    .as_mut()
+                    .and_then(|it| it.next())
+                    .map(RowDelivery::Materialised))
+            }
+            Inner::Parallel(state) => Ok(state.next_row(&ctx)?.map(RowDelivery::Materialised)),
+        }
+    }
+
+    /// Work counters accumulated so far (across all partitions for the
+    /// parallel strategy).
+    pub fn stats(&self) -> ExecStats {
+        let mut stats = self.counters.stats();
+        if let Inner::Parallel(state) = &self.inner {
+            for p in &state.partitions {
+                stats.expansions += p.counters.stats().expansions;
+            }
+        }
+        stats
+    }
+}
+
+enum RowDelivery {
+    Materialised(ResultRow),
+    Counted,
+}
+
+/// External iteration: yields `Err` once on failure, then fuses.
+impl Iterator for RowCursor {
+    type Item = Result<ResultRow, EngineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel cursor
+// ---------------------------------------------------------------------------
+
+const INITIAL_BATCH: usize = 64;
+const MAX_BATCH: usize = 8192;
+
+/// One start-frontier partition: its own arena, prefix pipeline, counters
+/// (merged into [`RowCursor::stats`] on demand), and the queue of rows it has
+/// produced but the consumer has not reached yet.
+#[derive(Debug)]
+struct Partition {
+    arena: PathArena,
+    root: Stage,
+    counters: Counters,
+    queue: VecDeque<ResultRow>,
+    done: bool,
+}
+
+impl Partition {
+    /// Pulls up to `batch` rows from the partition's prefix pipeline
+    /// (runs on a scoped worker thread).
+    fn pull_batch(
+        &mut self,
+        snapshot: &GraphSnapshot,
+        cap: Option<usize>,
+        batch: usize,
+    ) -> Result<(), EngineError> {
+        let ctx = ExecCtx {
+            snapshot,
+            cap,
+            counters: &self.counters,
+        };
+        for _ in 0..batch {
+            match self.root.pull(&ctx, &self.arena)? {
+                ControlFlow::Continue(Some(row)) => self.queue.push_back(ResultRow {
+                    source: row.source,
+                    path: self.arena.to_path(row.path),
+                    head: row.head,
+                }),
+                ControlFlow::Continue(None) | ControlFlow::Break(()) => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct SuffixPipe {
+    arena: PathArena,
+    root: Stage,
+}
+
+/// Start-partitioned parallel evaluation as a cursor.
+///
+/// The plan is split at the first *stateful* op (`Dedup`/`Limit` — only ever
+/// top-level; repeat bodies are validated stateless at plan time). The
+/// stateless prefix distributes over rows, so each partition evaluates it
+/// with its own pull pipeline; scoped threads refill the partition queues in
+/// growing batches, and the consumer drains the queues strictly in partition
+/// order (row-major order is preserved, because stateless ops map each input
+/// row to a contiguous run of output rows) — feeding the stateful suffix
+/// pipeline, which runs globally, single-threaded. The result is row-for-row
+/// identical to the materialized strategy; when the suffix reports
+/// `ControlFlow::Break` (a saturated `Limit`), the partition cursors are
+/// simply never pulled again, so at most one speculative batch per partition
+/// is wasted.
+#[derive(Debug)]
+struct ParallelState {
+    partitions: Vec<Partition>,
+    current: usize,
+    suffix: Option<SuffixPipe>,
+    feed_closed: bool,
+    fed: usize,
+    batch: usize,
+}
+
+impl ParallelState {
+    fn next_row(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<ResultRow>, EngineError> {
+        loop {
+            // 1. serve from the suffix pipeline if there is one
+            if let Some(sfx) = &mut self.suffix {
+                match sfx.root.pull(ctx, &sfx.arena)? {
+                    ControlFlow::Break(()) => return Ok(None),
+                    ControlFlow::Continue(Some(row)) => {
+                        return Ok(Some(ResultRow {
+                            source: row.source,
+                            path: sfx.arena.to_path(row.path),
+                            head: row.head,
+                        }))
+                    }
+                    ControlFlow::Continue(None) => {} // starved: feed below
+                }
+            } else if self.current < self.partitions.len() {
+                if let Some(row) = self.partitions[self.current].queue.pop_front() {
+                    self.fed += 1;
+                    check_cap(self.fed, ctx.cap)?;
+                    return Ok(Some(row));
+                }
+            }
+
+            // 2. make sure the current partition has queued rows (or move on)
+            loop {
+                if self.current >= self.partitions.len() {
+                    match &mut self.suffix {
+                        None => return Ok(None),
+                        Some(sfx) => {
+                            if self.feed_closed {
+                                // the suffix was already flushed and is
+                                // starved again — nothing more will come
+                                return Ok(None);
+                            }
+                            sfx.root.close_feed();
+                            self.feed_closed = true;
+                            break; // flush the suffix
+                        }
+                    }
+                }
+                let part = &self.partitions[self.current];
+                if !part.queue.is_empty() {
+                    break;
+                }
+                if part.done {
+                    self.current += 1;
+                    continue;
+                }
+                self.fill_round(ctx)?;
+            }
+
+            // 3. feed the suffix from the current partition, in order
+            if let Some(sfx) = &mut self.suffix {
+                if self.current < self.partitions.len() {
+                    let part = &mut self.partitions[self.current];
+                    let rows: Vec<ArenaRow> = part
+                        .queue
+                        .drain(..)
+                        .map(|row| {
+                            self.fed += 1;
+                            ArenaRow {
+                                source: row.source,
+                                path: sfx.arena.intern(&row.path),
+                                head: row.head,
+                            }
+                        })
+                        .collect();
+                    check_cap(self.fed, ctx.cap)?;
+                    sfx.root.feed(rows);
+                }
+            }
+        }
+    }
+
+    /// One parallel refill round: every live partition whose queue is below
+    /// the batch target pulls a batch on its own scoped thread.
+    fn fill_round(&mut self, ctx: &ExecCtx<'_>) -> Result<(), EngineError> {
+        let batch = self.batch;
+        let cap = ctx.cap;
+        let snapshot = ctx.snapshot;
+        let results: Vec<Result<(), EngineError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .partitions
+                .iter_mut()
+                .filter(|p| !p.done && p.queue.len() < batch)
+                .map(|part| scope.spawn(move |_| part.pull_batch(snapshot, cap, batch)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition thread panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+        for r in results {
+            r?;
+        }
+        self.batch = (self.batch * 2).min(MAX_BATCH);
+        Ok(())
+    }
+}

@@ -8,21 +8,22 @@
 //! * [`ExecutionStrategy::Materialized`] — level-at-a-time evaluation that
 //!   materialises the full row set after every operation; this is the direct
 //!   analogue of evaluating the algebra's join chain on path sets and is the
-//!   reference implementation.
-//! * [`ExecutionStrategy::Streaming`] — row-at-a-time depth-first evaluation
-//!   that never materialises intermediate frontiers (constant memory per
-//!   branch) and can stop early under `Limit`. Composite ops
-//!   ([`PlanOp::ExpandAutomaton`], [`PlanOp::Repeat`]) are expanded per-row:
-//!   a single row's full emission set is computed (these ops are stateless
-//!   per row by construction), then streamed onward one at a time — so a
-//!   downstream `Limit` cannot cut a composite op's walk short mid-row; use
-//!   `max_intermediate` to bound dense automaton expansions.
+//!   reference implementation. Under `limit(k)` it early-exits only through
+//!   the optimizer's R7 annotation (the automaton emission cap).
+//! * [`ExecutionStrategy::Streaming`] — the demand-driven cursor: every plan
+//!   op compiles to a pull-based stage ([`crate::cursor`]), rows flow one at
+//!   a time, and a downstream `Limit`/`first()` propagates
+//!   `ControlFlow::Break` upstream — including suspending an in-flight
+//!   `(vertex, dfa-state)` product-automaton frontier mid-layer and dropping
+//!   it without finishing the walk.
 //! * [`ExecutionStrategy::Parallel`] — partitions the start frontier across
-//!   threads (crossbeam scoped threads), evaluates the plan's stateless
-//!   prefix (everything before the first `Dedup`/`Limit`) per partition with
-//!   the materialized strategy, concatenates the partial results in
-//!   partition order, and evaluates the stateful suffix globally — so the
-//!   output is row-for-row identical to the materialized strategy.
+//!   threads; each partition evaluates the plan's stateless prefix
+//!   (everything before the first `Dedup`/`Limit`) through its own cursor,
+//!   pulled in growing batches by scoped threads, and the stateful suffix
+//!   consumes the batches globally *in partition order* — so the output is
+//!   row-for-row identical to the materialized strategy, and an early
+//!   `ControlFlow::Break` from the suffix stops all partition cursors with
+//!   only their last speculative batch wasted.
 //!
 //! Expansion is **frontier-driven**: each row's next edges come straight from
 //! `graph.out_edges(head)` / `out_edges_labeled(head, α)` adjacency (the
@@ -32,32 +33,91 @@
 //! [`PlanOp::ExpandAutomaton`] runs the product construction: the frontier
 //! carries `(row, dfa-state)` pairs, each hop walks the adjacency index for
 //! the labels with transitions out of the current state, and rows landing in
-//! accepting states are emitted at every depth up to the spec's bound. Rows
-//! are materialised into [`ResultRow`]s only once, at the end.
+//! accepting states are emitted at every depth up to the spec's bound
+//! (deduplicated by `(vertex, state)` under [`Semantics::Reachable`]). Rows
+//! are materialised into [`ResultRow`]s only once, at the cursor boundary.
+//!
+//! Every execution shares one [`ExecStats`] counter set (exposed through
+//! [`QueryResult::stats`] and `RowCursor::stats`), so early-exit claims are
+//! assertable: `expansions` counts adjacency entries visited, not wall time.
 //!
 //! Experiment E8 benchmarks the three against each other and against a
 //! hand-written algebra evaluation; `exp_optimizer` benchmarks optimized
-//! against naive plans.
+//! against naive plans; `exp_streaming` measures time-to-first-row and
+//! `limit(1)` early-exit against full materialization.
 
+use std::cell::Cell;
 use std::collections::HashSet;
 
 use mrpa_core::{Edge, LabelId, PathArena, PathId, VertexId};
 
+use crate::cursor::{AutoWalk, RepeatWalk, RowCursor};
 use crate::error::EngineError;
-use crate::plan::{AutomatonSpec, Direction, LogicalPlan, PlanOp};
+use crate::plan::{Direction, LogicalPlan, PlanOp};
 use crate::query::{QueryResult, ResultRow};
 use crate::store::GraphSnapshot;
 use crate::value::Predicate;
+
+#[cfg(doc)]
+use crate::plan::Semantics;
 
 /// Which executor evaluates the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionStrategy {
     /// Level-at-a-time path-set evaluation (reference implementation).
     Materialized,
-    /// Row-at-a-time depth-first evaluation.
+    /// Demand-driven pull-cursor evaluation (row-at-a-time).
     Streaming,
-    /// Start-partitioned multi-threaded evaluation.
+    /// Start-partitioned multi-threaded evaluation over partition cursors.
     Parallel,
+}
+
+/// Counters describing how much work an execution (or a cursor so far) did.
+///
+/// `expansions` counts adjacency entries visited by expansion ops — every
+/// edge considered by an `out`/`in_`/`both` step, a product-automaton hop, or
+/// a repeat body. It is the measure early-exit guarantees are stated in:
+/// `first()` after a dense `match_` performs a *bounded* number of
+/// expansions, asserted by counter rather than wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Adjacency entries visited by expansion operations.
+    pub expansions: u64,
+}
+
+/// Mutable work counters. Deliberately *not* atomic: counting happens on
+/// every visited edge, so it must be a plain increment. Each `Counters`
+/// instance is only ever touched by one thread — the parallel strategy gives
+/// every partition its own instance (moved into the worker via
+/// `&mut Partition`) and sums them in `RowCursor::stats`.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) expansions: Cell<u64>,
+}
+
+impl Counters {
+    pub(crate) fn stats(&self) -> ExecStats {
+        ExecStats {
+            expansions: self.expansions.get(),
+        }
+    }
+}
+
+/// Per-execution context threaded through batch evaluation and cursor pulls.
+#[derive(Clone, Copy)]
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) snapshot: &'a GraphSnapshot,
+    pub(crate) cap: Option<usize>,
+    pub(crate) counters: &'a Counters,
+}
+
+impl ExecCtx<'_> {
+    #[inline]
+    pub(crate) fn count_expansion(&self) {
+        self.counters
+            .expansions
+            .set(self.counters.expansions.get() + 1);
+    }
 }
 
 /// Executes a plan with the chosen strategy.
@@ -67,25 +127,23 @@ pub fn execute(
     strategy: ExecutionStrategy,
     max_intermediate: Option<usize>,
 ) -> Result<QueryResult, EngineError> {
-    let rows = match strategy {
-        ExecutionStrategy::Materialized => {
-            materialized(snapshot, plan.start(), plan.ops(), max_intermediate)?
-        }
-        ExecutionStrategy::Streaming => streaming(snapshot, plan, max_intermediate)?,
-        ExecutionStrategy::Parallel => parallel(snapshot, plan, max_intermediate)?,
-    };
-    Ok(QueryResult::new(rows, snapshot.clone()))
+    let mut cursor = RowCursor::compile(snapshot.clone(), plan.clone(), strategy, max_intermediate);
+    let mut rows = Vec::new();
+    while let Some(row) = cursor.next_row()? {
+        rows.push(row);
+    }
+    Ok(QueryResult::new(rows, snapshot.clone(), cursor.stats()))
 }
 
 /// A result row during evaluation: the path lives in the execution's arena.
 #[derive(Debug, Clone, Copy)]
-struct ArenaRow {
-    source: VertexId,
-    path: PathId,
-    head: VertexId,
+pub(crate) struct ArenaRow {
+    pub(crate) source: VertexId,
+    pub(crate) path: PathId,
+    pub(crate) head: VertexId,
 }
 
-fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
+pub(crate) fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
     start
         .iter()
         .map(|&v| ArenaRow {
@@ -98,7 +156,7 @@ fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
 
 /// Materialises arena rows into public [`ResultRow`]s (done once, after
 /// evaluation).
-fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<ResultRow> {
+pub(crate) fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<ResultRow> {
     rows.into_iter()
         .map(|r| ResultRow {
             source: r.source,
@@ -113,7 +171,7 @@ fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<ResultRow> {
 /// result edge `(h, α, t)` represents walking the stored edge `(t, α, h)`
 /// backwards; the produced paths are joint paths of the reversed graph.
 /// `Direction::Both` visits the forward edges first, then the reversed ones.
-fn for_each_expansion_edge(
+pub(crate) fn for_each_expansion_edge(
     snapshot: &GraphSnapshot,
     direction: Direction,
     v: VertexId,
@@ -144,7 +202,7 @@ fn for_each_expansion_edge(
     }
 }
 
-fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
+pub(crate) fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
     if let Some(cap) = cap {
         if len > cap {
             return Err(EngineError::BoundExceeded {
@@ -156,22 +214,27 @@ fn check_cap(len: usize, cap: Option<usize>) -> Result<(), EngineError> {
     Ok(())
 }
 
-fn in_set(set: &Option<HashSet<VertexId>>, v: VertexId) -> bool {
+pub(crate) fn in_set(set: &Option<HashSet<VertexId>>, v: VertexId) -> bool {
     set.as_ref().map(|s| s.contains(&v)).unwrap_or(true)
 }
 
-fn eval_until(snapshot: &GraphSnapshot, until: &(String, Predicate), v: VertexId) -> bool {
+pub(crate) fn eval_until(
+    snapshot: &GraphSnapshot,
+    until: &(String, Predicate),
+    v: VertexId,
+) -> bool {
     until.1.eval(snapshot.vertex_property(v, &until.0))
 }
 
-/// Applies one plan op to a materialised row set (level-at-a-time). Also used
-/// by the streaming executor to expand composite ops for a single row.
-fn apply_op(
-    snapshot: &GraphSnapshot,
+/// Applies one plan op to a materialised row set (level-at-a-time). The
+/// composite ops drive the same resumable walkers ([`AutoWalk`],
+/// [`RepeatWalk`]) the cursor stages use, drained to exhaustion — one
+/// implementation, two consumption granularities.
+pub(crate) fn apply_op(
+    ctx: &ExecCtx<'_>,
     arena: &PathArena,
     rows: Vec<ArenaRow>,
     op: &PlanOp,
-    cap: Option<usize>,
 ) -> Result<Vec<ArenaRow>, EngineError> {
     Ok(match op {
         PlanOp::Expand {
@@ -187,7 +250,8 @@ fn apply_op(
                 if !in_set(from, row.head) {
                     continue;
                 }
-                for_each_expansion_edge(snapshot, *direction, row.head, labels, |e| {
+                for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
+                    ctx.count_expansion();
                     if !in_set(to, e.head) {
                         return;
                     }
@@ -200,8 +264,41 @@ fn apply_op(
             }
             next
         }
-        PlanOp::ExpandAutomaton { spec, from, to } => {
-            expand_automaton(snapshot, arena, rows, spec, from, to, cap)?
+        PlanOp::ExpandAutomaton {
+            spec,
+            from,
+            to,
+            limit,
+        } => {
+            // product-automaton expansion, row by row so emissions are
+            // row-major; `remaining` is the R7 emission cap shared across
+            // input rows. One write-lock acquisition for the whole op —
+            // dropped around layer rollovers, which hold no writer.
+            let mut emitted: Vec<ArenaRow> = Vec::new();
+            let mut remaining = *limit;
+            let mut writer = arena.writer();
+            for row in rows {
+                if matches!(remaining, Some(0)) {
+                    break;
+                }
+                if !in_set(from, row.head) {
+                    continue;
+                }
+                let mut walk = AutoWalk::start(spec, to, row, &mut remaining);
+                loop {
+                    walk.drain_pending_into(&mut emitted);
+                    if walk.finished() {
+                        break;
+                    }
+                    if walk.needs_roll() {
+                        walk.roll(ctx, spec, emitted.len())?;
+                    } else {
+                        walk.step_entry(ctx, &mut writer, spec, to, &mut remaining);
+                    }
+                }
+            }
+            drop(writer);
+            emitted
         }
         PlanOp::Repeat {
             body,
@@ -214,32 +311,23 @@ fn apply_op(
             // row) — the canonical order all three strategies share
             let mut emitted: Vec<ArenaRow> = Vec::new();
             for row in rows {
-                let mut frontier = vec![row];
-                for k in 0..=*max {
-                    match until {
-                        Some(cond) if k >= *min => {
-                            let mut stay = Vec::with_capacity(frontier.len());
-                            for row in frontier {
-                                if eval_until(snapshot, cond, row.head) {
-                                    emitted.push(row);
-                                } else {
-                                    stay.push(row);
-                                }
-                            }
-                            frontier = stay;
-                        }
-                        Some(_) => {}
-                        None => {
-                            if k >= *min {
-                                emitted.extend(frontier.iter().copied());
-                            }
-                        }
-                    }
-                    if k == *max || frontier.is_empty() {
+                let mut walk = RepeatWalk::new(row);
+                loop {
+                    walk.drain_pending_into(&mut emitted);
+                    if walk.finished() {
                         break;
                     }
-                    frontier = apply_ops(snapshot, arena, frontier, body, cap)?;
-                    check_cap(frontier.len() + emitted.len(), cap)?;
+                    walk.advance(
+                        ctx,
+                        arena,
+                        crate::cursor::RepeatSpec {
+                            body,
+                            min: *min,
+                            max: *max,
+                            until: until.as_ref(),
+                        },
+                        emitted.len(),
+                    )?;
                 }
             }
             emitted
@@ -247,7 +335,7 @@ fn apply_op(
         PlanOp::RestrictVertices(vs) => rows.into_iter().filter(|r| vs.contains(&r.head)).collect(),
         PlanOp::RestrictProperty { key, predicate } => rows
             .into_iter()
-            .filter(|r| predicate.eval(snapshot.vertex_property(r.head, key)))
+            .filter(|r| predicate.eval(ctx.snapshot.vertex_property(r.head, key)))
             .collect(),
         PlanOp::DedupByVertex => {
             let mut seen = HashSet::new();
@@ -261,302 +349,50 @@ fn apply_op(
     })
 }
 
-fn apply_ops(
-    snapshot: &GraphSnapshot,
+pub(crate) fn apply_ops(
+    ctx: &ExecCtx<'_>,
     arena: &PathArena,
     mut rows: Vec<ArenaRow>,
     ops: &[PlanOp],
-    cap: Option<usize>,
 ) -> Result<Vec<ArenaRow>, EngineError> {
     for op in ops {
-        rows = apply_op(snapshot, arena, rows, op, cap)?;
-        check_cap(rows.len(), cap)?;
+        rows = apply_op(ctx, arena, rows, op)?;
+        check_cap(rows.len(), ctx.cap)?;
     }
     Ok(rows)
 }
 
-/// Product-automaton expansion: per input row, a breadth-first walk over
-/// `(row, dfa-state)` pairs; every hop consumes one edge whose label has a
-/// transition out of the row's current state, and rows in accepting states
-/// are emitted at each depth (including depth 0 when the automaton is
-/// nullable). Evaluated row by row so emissions are row-major (each input
-/// row's emissions contiguous, depth-ordered within a row) — the canonical
-/// order all three strategies share.
-fn expand_automaton(
-    snapshot: &GraphSnapshot,
-    arena: &PathArena,
-    rows: Vec<ArenaRow>,
-    spec: &AutomatonSpec,
-    from: &Option<HashSet<VertexId>>,
-    to: &Option<HashSet<VertexId>>,
-    cap: Option<usize>,
-) -> Result<Vec<ArenaRow>, EngineError> {
-    let mut emitted: Vec<ArenaRow> = Vec::new();
-    let start = spec.start_state();
-    let start_accepts = spec.is_accept(start);
-    let graph = match spec.direction() {
-        Direction::Out => snapshot.graph(),
-        Direction::In => snapshot.reversed(),
-        Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
-    };
-    let mut writer = arena.writer();
-    for row in rows {
-        if !in_set(from, row.head) {
-            continue;
-        }
-        if start_accepts && in_set(to, row.head) {
-            emitted.push(row);
-        }
-        let mut frontier: Vec<(ArenaRow, usize)> = vec![(row, start)];
-        for hop in 1..=spec.max_hops() {
-            if frontier.is_empty() {
-                break;
-            }
-            let mut next: Vec<(ArenaRow, usize)> = Vec::new();
-            for (row, state) in &frontier {
-                for &(label, target) in spec.moves(*state) {
-                    // a row only joins the next frontier if it can still make
-                    // progress: there are hops left and the target state moves
-                    let survives = hop < spec.max_hops() && !spec.moves(target).is_empty();
-                    let accepts = spec.is_accept(target);
-                    for e in graph.out_edges_labeled(row.head, label) {
-                        let produced = ArenaRow {
-                            source: row.source,
-                            path: writer.append(row.path, *e),
-                            head: e.head,
-                        };
-                        if accepts && in_set(to, e.head) {
-                            emitted.push(produced);
-                        }
-                        if survives {
-                            next.push((produced, target));
-                        }
-                    }
-                }
-            }
-            frontier = next;
-            check_cap(frontier.len() + emitted.len(), cap)?;
-        }
-    }
-    drop(writer);
-    Ok(emitted)
-}
-
 /// Level-at-a-time evaluation: frontier rows expand through the adjacency
 /// indexes, and each produced row is one arena append.
-fn materialized(
-    snapshot: &GraphSnapshot,
+pub(crate) fn materialized(
+    ctx: &ExecCtx<'_>,
     start: &[VertexId],
     ops: &[PlanOp],
-    cap: Option<usize>,
 ) -> Result<Vec<ResultRow>, EngineError> {
     let arena = PathArena::new();
     let rows = initial_rows(start);
-    check_cap(rows.len(), cap)?;
-    let rows = apply_ops(snapshot, &arena, rows, ops, cap)?;
+    check_cap(rows.len(), ctx.cap)?;
+    let rows = apply_ops(ctx, &arena, rows, ops)?;
     Ok(materialise_rows(&arena, rows))
 }
 
-/// Row-at-a-time depth-first evaluation.
-///
-/// `Dedup` and `Limit` are inherently global operations, so they are applied
-/// as the rows stream out of the recursion (first-come order). Composite ops
-/// (`ExpandAutomaton`, `Repeat`) are stateless per row; each row's emission
-/// set is computed via the materialized helper and streamed onward.
-fn streaming(
-    snapshot: &GraphSnapshot,
-    plan: &LogicalPlan,
-    cap: Option<usize>,
-) -> Result<Vec<ResultRow>, EngineError> {
-    struct Ctx<'a> {
-        snapshot: &'a GraphSnapshot,
-        arena: PathArena,
-        ops: &'a [PlanOp],
-        out: Vec<ArenaRow>,
-        dedup_seen: Vec<HashSet<VertexId>>,
-        limit_counts: Vec<usize>,
-        cap: Option<usize>,
-        produced: usize,
-    }
-
-    fn emit(ctx: &mut Ctx<'_>, row: ArenaRow, op_index: usize) -> Result<(), EngineError> {
-        ctx.produced += 1;
-        if let Some(cap) = ctx.cap {
-            if ctx.produced > cap.saturating_mul(ctx.ops.len().max(1) * 4).max(cap) {
-                // streaming produces rows one at a time; the cap guards
-                // against runaway traversals rather than memory use
-                return Err(EngineError::BoundExceeded {
-                    bound: cap,
-                    what: "streamed row count",
-                });
-            }
-        }
-        if op_index == ctx.ops.len() {
-            ctx.out.push(row);
-            return Ok(());
-        }
-        let op = &ctx.ops[op_index];
-        match op {
-            PlanOp::Expand {
-                direction,
-                labels,
-                from,
-                to,
-            } => {
-                if !in_set(from, row.head) {
-                    return Ok(());
-                }
-                // collect this row's expansions under one lock acquisition,
-                // then recurse depth-first with the lock released
-                let mut expansions: Vec<ArenaRow> = Vec::new();
-                {
-                    let mut writer = ctx.arena.writer();
-                    for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
-                        if !in_set(to, e.head) {
-                            return;
-                        }
-                        expansions.push(ArenaRow {
-                            source: row.source,
-                            path: writer.append(row.path, *e),
-                            head: e.head,
-                        });
-                    });
-                }
-                for next in expansions {
-                    emit(ctx, next, op_index + 1)?;
-                }
-                Ok(())
-            }
-            PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. } => {
-                // stateless per row: expand this row's emissions level-at-a-
-                // time, then stream each produced row onward
-                let produced = apply_op(ctx.snapshot, &ctx.arena, vec![row], op, ctx.cap)?;
-                for next in produced {
-                    emit(ctx, next, op_index + 1)?;
-                }
-                Ok(())
-            }
-            PlanOp::RestrictVertices(vs) => {
-                if vs.contains(&row.head) {
-                    emit(ctx, row, op_index + 1)?;
-                }
-                Ok(())
-            }
-            PlanOp::RestrictProperty { key, predicate } => {
-                if predicate.eval(ctx.snapshot.vertex_property(row.head, key)) {
-                    emit(ctx, row, op_index + 1)?;
-                }
-                Ok(())
-            }
-            PlanOp::DedupByVertex => {
-                if ctx.dedup_seen[op_index].insert(row.head) {
-                    emit(ctx, row, op_index + 1)?;
-                }
-                Ok(())
-            }
-            PlanOp::Limit(n) => {
-                if ctx.limit_counts[op_index] < *n {
-                    ctx.limit_counts[op_index] += 1;
-                    emit(ctx, row, op_index + 1)?;
-                }
-                Ok(())
-            }
-        }
-    }
-
-    let ops = plan.ops();
-    let mut ctx = Ctx {
-        snapshot,
-        arena: PathArena::new(),
-        ops,
-        out: Vec::new(),
-        dedup_seen: vec![HashSet::new(); ops.len()],
-        limit_counts: vec![0; ops.len()],
-        cap,
-        produced: 0,
-    };
-    for row in initial_rows(plan.start()) {
-        emit(&mut ctx, row, 0)?;
-    }
-    Ok(materialise_rows(&ctx.arena, ctx.out))
-}
-
-/// Start-partitioned parallel evaluation.
-///
-/// The plan is split at the first *stateful* op (`Dedup`/`Limit` — only ever
-/// top-level; repeat bodies are validated stateless at plan time). The
-/// stateless prefix distributes over rows, so each partition evaluates it
-/// with the materialized strategy; the partial results are concatenated in
-/// partition order (row-major order is preserved, because stateless ops map
-/// each input row to a contiguous run of output rows) and the remaining
-/// suffix is then evaluated globally, single-threaded. The result is
-/// row-for-row identical to the materialized strategy. A plan that *starts*
-/// with a stateful op has no parallelizable prefix and falls back to
-/// materialized outright.
-fn parallel(
-    snapshot: &GraphSnapshot,
-    plan: &LogicalPlan,
-    cap: Option<usize>,
-) -> Result<Vec<ResultRow>, EngineError> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    parallel_with_threads(snapshot, plan, cap, threads)
-}
-
-fn parallel_with_threads(
+/// Evaluates a plan with the parallel strategy and an explicit thread count
+/// (tests force multi-threading because `available_parallelism` may report a
+/// single core in CI sandboxes).
+#[cfg(test)]
+pub(crate) fn parallel_with_threads(
     snapshot: &GraphSnapshot,
     plan: &LogicalPlan,
     cap: Option<usize>,
     threads: usize,
 ) -> Result<Vec<ResultRow>, EngineError> {
-    let start = plan.start();
-    let ops = plan.ops();
-    let split = ops
-        .iter()
-        .position(|op| matches!(op, PlanOp::DedupByVertex | PlanOp::Limit(_)))
-        .unwrap_or(ops.len());
-    let (prefix, suffix) = ops.split_at(split);
-    let threads = threads.min(start.len().max(1));
-    if threads <= 1 || start.len() <= 1 || prefix.is_empty() {
-        return materialized(snapshot, start, ops, cap);
+    let mut cursor =
+        RowCursor::compile_parallel(snapshot.clone(), plan.clone(), cap, Some(threads));
+    let mut rows = Vec::new();
+    while let Some(row) = cursor.next_row()? {
+        rows.push(row);
     }
-    let chunk_size = start.len().div_ceil(threads);
-    let chunks: Vec<&[VertexId]> = start.chunks(chunk_size).collect();
-
-    let results: Vec<Result<Vec<ResultRow>, EngineError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| scope.spawn(move |_| materialized(snapshot, chunk, prefix, cap)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("executor thread panicked"))
-            .collect()
-    })
-    .expect("thread scope failed");
-
-    let mut merged = Vec::new();
-    for r in results {
-        merged.extend(r?);
-    }
-    check_cap(merged.len(), cap)?;
-    if suffix.is_empty() {
-        return Ok(merged);
-    }
-    // evaluate the stateful suffix globally: re-intern the merged rows into a
-    // fresh arena and continue level-at-a-time
-    let arena = PathArena::new();
-    let rows: Vec<ArenaRow> = merged
-        .into_iter()
-        .map(|r| ArenaRow {
-            source: r.source,
-            path: arena.intern(&r.path),
-            head: r.head,
-        })
-        .collect();
-    let rows = apply_ops(snapshot, &arena, rows, suffix, cap)?;
-    Ok(materialise_rows(&arena, rows))
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -763,6 +599,13 @@ mod tests {
             base.clone().strategy(ExecutionStrategy::Parallel).execute(),
             Err(EngineError::BoundExceeded { .. })
         ));
+        // the cursor counts per-stage output against the same cap
+        assert!(matches!(
+            base.clone()
+                .strategy(ExecutionStrategy::Streaming)
+                .execute(),
+            Err(EngineError::BoundExceeded { .. })
+        ));
     }
 
     #[test]
@@ -805,7 +648,13 @@ mod tests {
         for (i, t) in pipelines.iter().enumerate() {
             let naive = crate::plan::plan(&snap, t.start_spec(), t.steps()).unwrap();
             let optimized = crate::plan::optimize(&snap, &naive);
-            let reference = materialized(&snap, naive.start(), naive.ops(), None).unwrap();
+            let counters = Counters::default();
+            let ctx = ExecCtx {
+                snapshot: &snap,
+                cap: None,
+                counters: &counters,
+            };
+            let reference = materialized(&ctx, naive.start(), naive.ops()).unwrap();
             for plan in [&naive, &optimized] {
                 for threads in [2, 3, 7] {
                     let rows = parallel_with_threads(&snap, plan, None, threads).unwrap();
@@ -814,19 +663,15 @@ mod tests {
             }
         }
         // the dedup-before-expand case keeps duplicate final heads
-        let r = materialized(
-            &snap,
-            &snap.graph().vertices().collect::<Vec<_>>(),
-            crate::plan::plan(
-                &snap,
-                Traversal::over(&g).dedup().out(["created"]).start_spec(),
-                Traversal::over(&g).dedup().out(["created"]).steps(),
-            )
-            .unwrap()
-            .ops(),
-            None,
-        )
-        .unwrap();
+        let t = Traversal::over(&g).dedup().out(["created"]);
+        let plan = crate::plan::plan(&snap, t.start_spec(), t.steps()).unwrap();
+        let counters = Counters::default();
+        let ctx = ExecCtx {
+            snapshot: &snap,
+            cap: None,
+            counters: &counters,
+        };
+        let r = materialized(&ctx, plan.start(), plan.ops()).unwrap();
         assert_eq!(r.len(), 4);
     }
 
@@ -859,5 +704,24 @@ mod tests {
         assert_eq!(m.len(), 6);
         assert_eq!(p.len(), 6);
         assert_eq!(m.paths(), p.paths());
+    }
+
+    #[test]
+    fn execute_reports_expansion_stats() {
+        let g = classic_social_graph();
+        for strategy in [
+            ExecutionStrategy::Materialized,
+            ExecutionStrategy::Streaming,
+            ExecutionStrategy::Parallel,
+        ] {
+            let r = Traversal::over(&g)
+                .v(["marko"])
+                .out_any()
+                .strategy(strategy)
+                .execute()
+                .unwrap();
+            // marko has exactly 3 out-edges
+            assert_eq!(r.stats().expansions, 3, "{strategy:?}");
+        }
     }
 }

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod cursor;
 pub mod error;
 pub mod exec;
 pub mod pipeline;
@@ -56,11 +57,13 @@ pub mod query;
 pub mod store;
 pub mod value;
 
+pub use cursor::RowCursor;
 pub use error::EngineError;
-pub use exec::ExecutionStrategy;
+pub use exec::{ExecStats, ExecutionStrategy};
 pub use pipeline::{Pipeline, StartSpec, Step, Traversal};
 pub use plan::{
-    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, DEFAULT_MATCH_MAX_HOPS,
+    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, Semantics,
+    DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 pub use query::{QueryResult, ResultRow};
 pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph};
@@ -68,9 +71,10 @@ pub use value::{Predicate, Value};
 
 /// Convenient glob import: `use mrpa_engine::prelude::*;`.
 pub mod prelude {
-    pub use crate::exec::ExecutionStrategy;
+    pub use crate::cursor::RowCursor;
+    pub use crate::exec::{ExecStats, ExecutionStrategy};
     pub use crate::pipeline::{Pipeline, Traversal};
-    pub use crate::plan::PlanReport;
+    pub use crate::plan::{PlanReport, Semantics};
     pub use crate::query::QueryResult;
     pub use crate::store::{classic_social_graph, GraphSnapshot, PropertyGraph};
     pub use crate::value::{Predicate, Value};

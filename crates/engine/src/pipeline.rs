@@ -41,9 +41,10 @@
 
 use std::ops::RangeInclusive;
 
+use crate::cursor::RowCursor;
 use crate::exec::ExecutionStrategy;
-use crate::plan::{self, DEFAULT_MATCH_MAX_HOPS};
-use crate::query::QueryResult;
+use crate::plan::{self, Direction, Semantics, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS};
+use crate::query::{QueryResult, ResultRow};
 use crate::store::PropertyGraph;
 use crate::value::Predicate;
 use crate::{error::EngineError, plan::PlanReport};
@@ -71,13 +72,22 @@ pub enum Step {
     /// Traverse edges in both directions (optionally restricted to the given
     /// labels).
     Both(Option<Vec<String>>),
-    /// Traverse outgoing edge sequences whose label word matches a regular
-    /// path pattern (`"knows+·created"`), bounded to `max_hops` edges.
+    /// Traverse edge sequences whose label word matches a regular path
+    /// pattern (`"knows+·created"`), bounded to `max_hops` edges. `direction`
+    /// chooses between outgoing (`Out`) and incoming (`In`) walks;
+    /// `semantics` between all-walks and reachability evaluation.
     Match {
         /// The label-regex pattern text (parsed at plan time).
         pattern: String,
-        /// Depth bound on automaton evaluation.
+        /// Depth bound on automaton evaluation
+        /// ([`crate::plan::UNBOUNDED_MATCH_HOPS`] = none; requires
+        /// [`Semantics::Reachable`]).
         max_hops: usize,
+        /// Direction of travel (`Out` or `In`; `Both` is rejected at plan
+        /// time).
+        direction: Direction,
+        /// Walk vs. reachability evaluation semantics.
+        semantics: Semantics,
     },
     /// Bounded Kleene iteration of a nested pipeline fragment: rows that have
     /// completed `k` body iterations for `min ≤ k ≤ max` are emitted. With
@@ -192,17 +202,59 @@ impl Pipeline {
     /// Traverses outgoing edge sequences whose label word matches the pattern
     /// (see [`Traversal::match_`]).
     pub fn match_(self, pattern: &str) -> Self {
-        self.push(Step::Match {
-            pattern: pattern.to_owned(),
-            max_hops: DEFAULT_MATCH_MAX_HOPS,
-        })
+        self.match_dir(Direction::Out, pattern)
     }
 
     /// [`Pipeline::match_`] with an explicit depth bound.
     pub fn match_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.match_dir_within(Direction::Out, pattern, max_hops)
+    }
+
+    /// Traverses *incoming* edge sequences whose label word matches the
+    /// pattern (see [`Traversal::match_in_`]).
+    pub fn match_in_(self, pattern: &str) -> Self {
+        self.match_dir(Direction::In, pattern)
+    }
+
+    /// [`Pipeline::match_in_`] with an explicit depth bound.
+    pub fn match_in_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.match_dir_within(Direction::In, pattern, max_hops)
+    }
+
+    /// A path pattern with an explicit traversal direction (see
+    /// [`Traversal::match_dir`]).
+    pub fn match_dir(self, direction: Direction, pattern: &str) -> Self {
+        self.match_dir_within(direction, pattern, DEFAULT_MATCH_MAX_HOPS)
+    }
+
+    /// [`Pipeline::match_dir`] with an explicit depth bound.
+    pub fn match_dir_within(self, direction: Direction, pattern: &str, max_hops: usize) -> Self {
         self.push(Step::Match {
             pattern: pattern.to_owned(),
             max_hops,
+            direction,
+            semantics: Semantics::Walks,
+        })
+    }
+
+    /// A path pattern evaluated under reachability semantics (see
+    /// [`Traversal::match_reachable`]).
+    pub fn match_reachable(self, pattern: &str) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops: UNBOUNDED_MATCH_HOPS,
+            direction: Direction::Out,
+            semantics: Semantics::Reachable,
+        })
+    }
+
+    /// [`Pipeline::match_reachable`] with an explicit depth bound.
+    pub fn match_reachable_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops,
+            direction: Direction::Out,
+            semantics: Semantics::Reachable,
         })
     }
 
@@ -391,6 +443,88 @@ impl Traversal {
         self
     }
 
+    /// Traverses *incoming* edge sequences whose label word matches a regular
+    /// path pattern: the `In`-direction counterpart of [`Traversal::match_`],
+    /// evaluated as a product automaton over the reversed graph — each hop
+    /// walks a stored edge backwards, exactly like [`Traversal::in_`].
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// // "people who know someone who created lop" — walked from lop
+    /// let r = Traversal::over(&g)
+    ///     .v(["lop"])
+    ///     .match_in_("created·knows")
+    ///     .execute()
+    ///     .unwrap();
+    /// assert_eq!(r.head_names_sorted(), vec!["marko"]);
+    /// ```
+    pub fn match_in_(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.match_in_(pattern);
+        self
+    }
+
+    /// [`Traversal::match_in_`] with an explicit depth bound.
+    pub fn match_in_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self.pipeline.match_in_within(pattern, max_hops);
+        self
+    }
+
+    /// A path pattern with an explicit traversal direction:
+    /// `match_dir(Direction::Out, p)` ≡ `match_(p)`,
+    /// `match_dir(Direction::In, p)` ≡ `match_in_(p)`. `Direction::Both` is
+    /// rejected at plan time (automata are compiled against one adjacency
+    /// orientation).
+    pub fn match_dir(mut self, direction: Direction, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.match_dir(direction, pattern);
+        self
+    }
+
+    /// [`Traversal::match_dir`] with an explicit depth bound.
+    pub fn match_dir_within(
+        mut self,
+        direction: Direction,
+        pattern: &str,
+        max_hops: usize,
+    ) -> Self {
+        self.pipeline = self.pipeline.match_dir_within(direction, pattern, max_hops);
+        self
+    }
+
+    /// Traverses a path pattern under **reachability semantics**
+    /// ([`Semantics::Reachable`]): per input row, the product-automaton
+    /// frontier is deduplicated by `(vertex, dfa-state)`, so rows that differ
+    /// only in their path collapse to the breadth-first first walk. Because
+    /// each pair is expanded at most once, evaluation terminates on cyclic
+    /// graphs without a hop bound or `max_intermediate` — this variant is
+    /// unbounded (`*`/`+` mean true reachability), unlike [`Traversal::match_`]
+    /// which enumerates every walk and must stay depth-bounded.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// // everything transitively reachable from marko, one row per vertex+state
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .match_reachable("_+")
+    ///     .execute()
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     r.head_names_sorted(),
+    ///     vec!["josh", "lop", "ripple", "vadas"]
+    /// );
+    /// ```
+    pub fn match_reachable(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.match_reachable(pattern);
+        self
+    }
+
+    /// [`Traversal::match_reachable`] with an explicit depth bound.
+    pub fn match_reachable_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self.pipeline.match_reachable_within(pattern, max_hops);
+        self
+    }
+
     /// Repeats a pipeline fragment between `times.start()` and `times.end()`
     /// iterations (bounded Kleene iteration). A row is emitted once per
     /// completed iteration count `k` with `min ≤ k ≤ max` — so
@@ -483,12 +617,97 @@ impl Traversal {
         &self.start
     }
 
-    /// Plans, optimizes, and executes the traversal.
+    /// Plans, optimizes, and executes the traversal, collecting every row.
+    /// [`QueryResult`] is a thin collect of [`Traversal::cursor`]; use the
+    /// cursor or the `first`/`exists`/`count` terminals when you do not need
+    /// the full row set.
     pub fn execute(&self) -> Result<QueryResult, EngineError> {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
         crate::exec::execute(&snapshot, &optimized, self.strategy, self.max_intermediate)
+    }
+
+    /// Plans, optimizes, and compiles the traversal into a demand-driven
+    /// [`RowCursor`] without executing anything: rows are produced one
+    /// `next_row` pull at a time, and work stops as soon as you stop pulling
+    /// — a dense `match_` walk is suspended mid-frontier between pulls.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let mut cursor = Traversal::over(&g).v(["marko"]).out_any().cursor().unwrap();
+    /// let first = cursor.next_row().unwrap().unwrap();
+    /// // only marko's adjacency has been touched so far
+    /// assert!(cursor.stats().expansions <= 3);
+    /// // RowCursor is also an Iterator over Result<ResultRow, _>
+    /// assert_eq!(cursor.count(), 2);
+    /// ```
+    pub fn cursor(&self) -> Result<RowCursor, EngineError> {
+        let snapshot = self.graph.snapshot();
+        let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
+        let optimized = plan::optimize(&snapshot, &naive);
+        Ok(RowCursor::compile(
+            snapshot,
+            optimized,
+            self.strategy,
+            self.max_intermediate,
+        ))
+    }
+
+    /// The first result row, or `None` — without enumerating the rest.
+    /// Equivalent to `limit(1)` + one cursor pull, so even a dense
+    /// `match_("knows+")` on a cyclic graph performs a bounded number of
+    /// expansions under every strategy.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let row = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .match_("knows+·created")
+    ///     .first()
+    ///     .unwrap()
+    ///     .expect("marko's friends created software");
+    /// assert!(row.path.len() >= 2);
+    /// ```
+    pub fn first(&self) -> Result<Option<ResultRow>, EngineError> {
+        // the explicit limit(1) lets the optimizer's R7 rule annotate the
+        // automaton, so the batch (materialized) strategy early-exits too
+        let mut cursor = self.clone().limit(1).cursor()?;
+        cursor.next_row()
+    }
+
+    /// Whether the traversal produces at least one row — `first().is_some()`
+    /// without materialising the row.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// assert!(Traversal::over(&g).v(["marko"]).match_("knows+").exists().unwrap());
+    /// assert!(!Traversal::over(&g).v(["vadas"]).out(["created"]).exists().unwrap());
+    /// ```
+    pub fn exists(&self) -> Result<bool, EngineError> {
+        let mut cursor = self.clone().limit(1).cursor()?;
+        cursor.advance_row()
+    }
+
+    /// Number of result rows, counted off the cursor without materialising
+    /// paths or collecting a row vector.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let n = Traversal::over(&g).v(["marko"]).out_any().count().unwrap();
+    /// assert_eq!(n, 3);
+    /// ```
+    pub fn count(&self) -> Result<usize, EngineError> {
+        let mut cursor = self.cursor()?;
+        let mut n = 0usize;
+        while cursor.advance_row()? {
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// Plans the traversal without executing it, returning a structured

@@ -91,6 +91,22 @@
 //! input rows and `to` filters *emitted* rows only — intermediate automaton
 //! states must still traverse arbitrary vertices.
 //!
+//! **R7 — limit pushdown into automata.** A `Limit(n)` immediately after an
+//! `ExpandAutomaton` becomes the automaton's emission cap: the walk stops —
+//! and the remaining input rows are skipped — once `n` rows have been
+//! emitted. The truncated emission sequence is exactly the prefix the limit
+//! keeps, so the rewrite preserves the row sequence while letting *every*
+//! executor (including the level-at-a-time materialized one) early-exit a
+//! dense product-automaton walk under `limit(k)`/`first()`.
+//!
+//! **R8 — reachability upgrade before dedup.** A *cyclic* `ExpandAutomaton`
+//! (one that can revisit a DFA state, i.e. whose walk set can blow up) whose
+//! downstream (through head-based filters) is a `DedupByVertex` is switched
+//! from [`Semantics::Walks`] to [`Semantics::Reachable`]: only the first
+//! emission per head survives the dedup anyway, and the reachable emission
+//! sequence keeps exactly the first walk per `(head, state)` — see
+//! [`Semantics`] and the rule's soundness note.
+//!
 //! The naive (pre-rewrite) plan remains available: [`plan`] lowers without
 //! rewriting, [`optimize`] rewrites, and [`report`] packages both plus
 //! per-op cardinality estimates into a [`PlanReport`] for
@@ -123,6 +139,31 @@ pub enum Direction {
 /// evaluation is depth-bounded (`Traversal::match_within` overrides).
 pub const DEFAULT_MATCH_MAX_HOPS: usize = 16;
 
+/// Hop bound meaning "no depth bound": evaluation runs until the frontier
+/// empties. Only meaningful under [`Semantics::Reachable`], where the frontier
+/// is deduplicated by `(vertex, state)` and therefore provably empties after
+/// at most `|V| · |states|` layers; under [`Semantics::Walks`] an unbounded
+/// `+`/`*` over a cyclic graph never terminates.
+pub const UNBOUNDED_MATCH_HOPS: usize = usize::MAX;
+
+/// Path semantics of product-automaton evaluation (cf. Martens et al.,
+/// *Representing Paths in Graph Database Pattern Matching*: the choice of
+/// path semantics is what makes regular path queries tractable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Semantics {
+    /// Every distinct walk is a row: a row per matching edge sequence, paths
+    /// included. The default, and the only mode whose row sequence is the
+    /// algebra's full join chain.
+    #[default]
+    Walks,
+    /// Reachability over the product space: the per-input-row frontier is
+    /// deduplicated by `(vertex, dfa-state)`, so each pair is expanded — and
+    /// each accepting pair emitted — at most once, with the breadth-first
+    /// *first* walk as its path. Rows that differ only in their path collapse;
+    /// `match_` over a cyclic graph terminates without `max_intermediate`.
+    Reachable,
+}
+
 /// The symbolic DFA's matcher budget (signatures are packed into a `u64`).
 const MAX_AUTOMATON_ATOMS: usize = 64;
 
@@ -137,6 +178,8 @@ pub struct AutomatonSpec {
     direction: Direction,
     /// Depth bound on product evaluation.
     max_hops: usize,
+    /// Walk vs. reachability evaluation semantics.
+    semantics: Semantics,
     /// Start state.
     start: usize,
     /// Per-state acceptance.
@@ -161,6 +204,11 @@ impl AutomatonSpec {
         self.max_hops
     }
 
+    /// Walk vs. reachability evaluation semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
     /// The start state.
     pub fn start_state(&self) -> usize {
         self.start
@@ -179,6 +227,36 @@ impl AutomatonSpec {
     /// The `(label, target)` moves out of `state`.
     pub fn moves(&self, state: usize) -> &[(LabelId, usize)] {
         &self.by_label[state]
+    }
+
+    /// Whether the DFA can revisit a state (a `*`/`+`/`{n,}` in the
+    /// pattern): exactly the automata whose walk sets can grow without bound
+    /// on cyclic graphs. Iterative three-colour DFS from the start state.
+    pub fn has_cycle(&self) -> bool {
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour = vec![WHITE; self.state_count()];
+        // stack of (state, next-move index); grey while its frame is live
+        let mut stack = vec![(self.start, 0usize)];
+        colour[self.start] = GREY;
+        while let Some((state, idx)) = stack.pop() {
+            match self.by_label[state].get(idx) {
+                None => colour[state] = BLACK,
+                Some(&(_, target)) => {
+                    stack.push((state, idx + 1));
+                    match colour[target] {
+                        GREY => return true,
+                        WHITE => {
+                            colour[target] = GREY;
+                            stack.push((target, 0));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        false
     }
 }
 
@@ -209,6 +287,12 @@ pub enum PlanOp {
         /// Restriction on *emitted* rows' heads (R6); intermediate automaton
         /// steps are unrestricted.
         to: Option<HashSet<VertexId>>,
+        /// Emission cap pushed in by the optimizer (R7): stop the walk — and
+        /// skip the remaining input rows — once this many rows have been
+        /// emitted. Sound only because a `Limit(n ≥ limit)` follows
+        /// immediately, so the truncated emission sequence is exactly the
+        /// prefix that limit would keep.
+        limit: Option<usize>,
     },
     /// Bounded Kleene iteration of a nested op sequence: rows that have
     /// completed `k` iterations for `min ≤ k ≤ max` are emitted (union
@@ -262,6 +346,13 @@ impl LogicalPlan {
     /// The planned operations.
     pub fn ops(&self) -> &[PlanOp] {
         &self.ops
+    }
+
+    /// Decomposes the plan into its start frontier and op sequence (used by
+    /// cursor compilation to move the ops into the stage tree instead of
+    /// cloning them).
+    pub fn into_parts(self) -> (Vec<VertexId>, Vec<PlanOp>) {
+        (self.start, self.ops)
     }
 
     /// Number of expansion (join) steps at the top level of the plan.
@@ -321,16 +412,33 @@ fn describe_op(op: &PlanOp) -> String {
             };
             format!("join[{dir}, {labels}{}]", describe_restrictions(from, to))
         }
-        PlanOp::ExpandAutomaton { spec, from, to } => {
+        PlanOp::ExpandAutomaton {
+            spec,
+            from,
+            to,
+            limit,
+        } => {
             let dir = match spec.direction {
                 Direction::Out => "",
                 Direction::In => ", in",
                 Direction::Both => ", both",
             };
+            let hops = if spec.max_hops == UNBOUNDED_MATCH_HOPS {
+                "≤∞ hops".to_owned()
+            } else {
+                format!("≤{} hops", spec.max_hops)
+            };
+            let sem = match spec.semantics {
+                Semantics::Walks => "",
+                Semantics::Reachable => ", reachable",
+            };
+            let lim = match limit {
+                Some(n) => format!(", emit≤{n}"),
+                None => String::new(),
+            };
             format!(
-                "automaton[{}, ≤{} hops, {} states{dir}{}]",
+                "automaton[{}, {hops}, {} states{dir}{sem}{lim}{}]",
                 spec.pattern,
-                spec.max_hops,
                 spec.state_count(),
                 describe_restrictions(from, to)
             )
@@ -387,11 +495,33 @@ fn lower_steps(snapshot: &GraphSnapshot, steps: &[Step]) -> Result<Vec<PlanOp>, 
             Step::Out(labels) => ops.push(expand(snapshot, Direction::Out, labels.as_deref())?),
             Step::In(labels) => ops.push(expand(snapshot, Direction::In, labels.as_deref())?),
             Step::Both(labels) => ops.push(expand(snapshot, Direction::Both, labels.as_deref())?),
-            Step::Match { pattern, max_hops } => ops.push(PlanOp::ExpandAutomaton {
-                spec: compile_pattern(snapshot, pattern, *max_hops)?,
-                from: None,
-                to: None,
-            }),
+            Step::Match {
+                pattern,
+                max_hops,
+                direction,
+                semantics,
+            } => {
+                if *direction == Direction::Both {
+                    return Err(EngineError::Unsupported(
+                        "match_ patterns traverse Out or In; Both-direction automata are not \
+                         supported"
+                            .to_owned(),
+                    ));
+                }
+                if *max_hops == UNBOUNDED_MATCH_HOPS && *semantics == Semantics::Walks {
+                    return Err(EngineError::Unsupported(
+                        "an unbounded hop count requires Semantics::Reachable (the walk set of a \
+                         cyclic graph is infinite); use match_within or match_reachable"
+                            .to_owned(),
+                    ));
+                }
+                ops.push(PlanOp::ExpandAutomaton {
+                    spec: compile_pattern(snapshot, pattern, *max_hops, *direction, *semantics)?,
+                    from: None,
+                    to: None,
+                    limit: None,
+                });
+            }
             Step::Repeat {
                 body,
                 min,
@@ -491,6 +621,8 @@ fn compile_pattern(
     snapshot: &GraphSnapshot,
     pattern: &str,
     max_hops: usize,
+    direction: Direction,
+    semantics: Semantics,
 ) -> Result<AutomatonSpec, EngineError> {
     let expr = parse_label_expr(pattern)?;
     if expr.atom_count() > MAX_AUTOMATON_ATOMS {
@@ -517,8 +649,9 @@ fn compile_pattern(
         snapshot,
         &label_regex,
         pattern.to_owned(),
-        Direction::Out,
+        direction,
         max_hops,
+        semantics,
     ))
 }
 
@@ -530,6 +663,7 @@ fn compile_label_regex(
     pattern: String,
     direction: Direction,
     max_hops: usize,
+    semantics: Semantics,
 ) -> AutomatonSpec {
     debug_assert!(direction != Direction::Both);
     let graph = snapshot.graph();
@@ -542,6 +676,7 @@ fn compile_label_regex(
         pattern,
         direction,
         max_hops,
+        semantics,
         start: dfa.start,
         accept,
         by_label: dfa.label_transition_table(graph),
@@ -587,6 +722,8 @@ fn optimize_ops(
         ops = remove_redundant_dedups(ops, start_distinct, &mut changed);
         ops = merge_expand_runs(snapshot, ops, &mut changed);
         ops = push_restrictions_into_expands(ops, &mut changed);
+        push_limits_into_automata(&mut ops, &mut changed);
+        upgrade_automata_to_reachability(&mut ops, &mut changed);
         if !changed {
             break;
         }
@@ -766,9 +903,17 @@ fn merge_run(snapshot: &GraphSnapshot, run: &[PlanOp], direction: Direction) -> 
     }
     let regex = regex.expect("run is non-empty");
     PlanOp::ExpandAutomaton {
-        spec: compile_label_regex(snapshot, &regex, pattern, direction, run.len()),
+        spec: compile_label_regex(
+            snapshot,
+            &regex,
+            pattern,
+            direction,
+            run.len(),
+            Semantics::Walks,
+        ),
         from: None,
         to: None,
+        limit: None,
     }
 }
 
@@ -813,6 +958,84 @@ fn intersect_into(slot: &mut Option<HashSet<VertexId>>, vs: &HashSet<VertexId>) 
     match slot {
         Some(existing) => existing.retain(|v| vs.contains(v)),
         None => *slot = Some(vs.clone()),
+    }
+}
+
+/// R7: push a `Limit(n)` that immediately follows an `ExpandAutomaton` into
+/// the automaton's emission cap.
+///
+/// Soundness: `Limit(n)` keeps the first `n` rows of the automaton's emission
+/// sequence; an automaton that stops walking (and skips its remaining input
+/// rows) after emitting `n` rows produces *exactly* that prefix, in the same
+/// order. The `Limit` op itself is kept — the annotation only lets every
+/// executor stop the product-automaton walk the moment the limit is covered
+/// instead of enumerating the full (possibly astronomically large) walk set
+/// and truncating afterwards. Emissions are counted after the automaton's
+/// `to`-restriction, i.e. exactly the rows the `Limit` sees.
+fn push_limits_into_automata(ops: &mut [PlanOp], changed: &mut bool) {
+    for i in 1..ops.len() {
+        let PlanOp::Limit(n) = ops[i] else { continue };
+        if let PlanOp::ExpandAutomaton { limit, .. } = &mut ops[i - 1] {
+            let fused = limit.map_or(n, |l| l.min(n));
+            if *limit != Some(fused) {
+                *limit = Some(fused);
+                *changed = true;
+            }
+        }
+    }
+}
+
+/// R8: evaluate an automaton under reachability semantics when only
+/// reachability is observable downstream.
+///
+/// A `DedupByVertex` that follows an `ExpandAutomaton` — possibly with
+/// head-based filters (`RestrictVertices`, `RestrictProperty`) in between, but
+/// no `Limit` or expansion — keeps only the *first* emission per head.
+/// Switching the automaton to [`Semantics::Reachable`] drops, per input row,
+/// every frontier entry whose `(vertex, dfa-state)` pair was already seen.
+/// Such an entry is a duplicate of an earlier entry with the same pair, whose
+/// canonical copy produces the same descendants *earlier* in the emission
+/// order (same vertex + same state ⇒ same moves over the same adjacency
+/// slices). By induction over BFS layers, the reachable emission sequence is
+/// exactly the subsequence of the walk emission sequence keeping the first
+/// emission per `(head, state)` — same rows, same paths, same relative order.
+/// The first emission per *head* is therefore the same row in both modes, the
+/// intervening filters decide on heads alone, and the dedup output is
+/// row-for-row identical — while the walk itself shrinks from the walk set
+/// (exponential on dense cyclic graphs) to at most `|V| · |states|` frontier
+/// entries per input row. An already-annotated emission `limit` blocks the
+/// rewrite: the limit counts walks, and truncating the deduplicated sequence
+/// at `n` keeps different rows than truncating the full one.
+///
+/// Only *cyclic* automata (a `*`/`+`/`{n,}` in the pattern) are upgraded:
+/// they are the ones whose walk set can grow without bound, so the per-row
+/// seen-set pays for itself. An acyclic (chain-shaped) automaton — e.g. an
+/// R5-merged `ℓ₁·ℓ₂` run — has its walk count bounded by the depth anyway,
+/// and the dedup bookkeeping would be pure overhead (`exp_optimizer`'s
+/// `dedup_limit` workload regressed 3× before this gate).
+fn upgrade_automata_to_reachability(ops: &mut [PlanOp], changed: &mut bool) {
+    for i in 0..ops.len() {
+        let followed_by_dedup = ops[i + 1..]
+            .iter()
+            .find(|op| {
+                !matches!(
+                    op,
+                    PlanOp::RestrictVertices(_) | PlanOp::RestrictProperty { .. }
+                )
+            })
+            .is_some_and(|op| matches!(op, PlanOp::DedupByVertex));
+        if !followed_by_dedup {
+            continue;
+        }
+        if let PlanOp::ExpandAutomaton {
+            spec, limit: None, ..
+        } = &mut ops[i]
+        {
+            if spec.semantics == Semantics::Walks && spec.has_cycle() {
+                spec.semantics = Semantics::Reachable;
+                *changed = true;
+            }
+        }
     }
 }
 
@@ -949,7 +1172,12 @@ fn estimate_op(snapshot: &GraphSnapshot, rows: f64, op: &PlanOp) -> f64 {
                 * avg_degree(snapshot, *direction, labels.as_deref())
                 * set_selectivity(snapshot, to)
         }
-        PlanOp::ExpandAutomaton { spec, from, to } => {
+        PlanOp::ExpandAutomaton {
+            spec,
+            from,
+            to,
+            limit,
+        } => {
             let labels: Vec<LabelId> = {
                 let mut ls: Vec<LabelId> = spec
                     .by_label
@@ -969,14 +1197,24 @@ fn estimate_op(snapshot: &GraphSnapshot, rows: f64, op: &PlanOp) -> f64 {
             } else {
                 0.0
             };
-            for _ in 1..=spec.max_hops {
+            // the estimation loop is depth-capped independently of max_hops:
+            // an unbounded reachable automaton terminates on frontier
+            // saturation, which the depth-independence heuristic cannot model
+            for _ in 1..=spec.max_hops.min(64) {
                 frontier *= deg;
                 emitted += frontier * accept_ratio;
                 if frontier < 1e-9 {
                     break;
                 }
             }
-            emitted * set_selectivity(snapshot, to)
+            if spec.semantics == Semantics::Reachable {
+                emitted = emitted.min(vertex_count(snapshot) * spec.state_count() as f64 * rows);
+            }
+            let emitted = emitted * set_selectivity(snapshot, to);
+            match limit {
+                Some(n) => emitted.min(*n as f64),
+                None => emitted,
+            }
         }
         PlanOp::Repeat { body, min, max, .. } => {
             let mut frontier = rows;
@@ -1087,7 +1325,9 @@ mod tests {
                 &StartSpec::AllVertices,
                 &[Step::Match {
                     pattern: "likes".into(),
-                    max_hops: 4
+                    max_hops: 4,
+                    direction: Direction::Out,
+                    semantics: Semantics::Walks,
                 }]
             ),
             Err(EngineError::UnknownLabel(_))
@@ -1098,7 +1338,9 @@ mod tests {
                 &StartSpec::AllVertices,
                 &[Step::Match {
                     pattern: "knows |".into(),
-                    max_hops: 4
+                    max_hops: 4,
+                    direction: Direction::Out,
+                    semantics: Semantics::Walks,
                 }]
             ),
             Err(EngineError::InvalidPattern(_))
@@ -1111,7 +1353,9 @@ mod tests {
                 &StartSpec::AllVertices,
                 &[Step::Match {
                     pattern: "knows{17}".into(),
-                    max_hops: 16
+                    max_hops: 16,
+                    direction: Direction::Out,
+                    semantics: Semantics::Walks,
                 }]
             ),
             Err(EngineError::InvalidPattern(_))
@@ -1122,7 +1366,9 @@ mod tests {
             &StartSpec::AllVertices,
             &[Step::Match {
                 pattern: "empty".into(),
-                max_hops: 4
+                max_hops: 4,
+                direction: Direction::Out,
+                semantics: Semantics::Walks,
             }]
         )
         .is_ok());
@@ -1189,6 +1435,8 @@ mod tests {
             &[Step::Match {
                 pattern: "knows+·created".into(),
                 max_hops: 8,
+                direction: Direction::Out,
+                semantics: Semantics::Walks,
             }],
         )
         .unwrap();

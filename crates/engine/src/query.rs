@@ -1,7 +1,13 @@
 //! Query results: the rows produced by executing a traversal.
+//!
+//! A [`QueryResult`] is a thin collect of the execution cursor: `execute()`
+//! drains the strategy's [`RowCursor`](crate::RowCursor) into a row vector
+//! and attaches the work counters. Consumers that do not need every row
+//! should use the cursor (or the `first`/`exists`/`count` terminals) instead.
 
 use mrpa_core::{Path, PathSet, VertexId};
 
+use crate::exec::ExecStats;
 use crate::store::GraphSnapshot;
 
 /// One result row: where the traversal started, the path it took (ε if no
@@ -21,11 +27,22 @@ pub struct ResultRow {
 pub struct QueryResult {
     rows: Vec<ResultRow>,
     snapshot: GraphSnapshot,
+    stats: ExecStats,
 }
 
 impl QueryResult {
-    pub(crate) fn new(rows: Vec<ResultRow>, snapshot: GraphSnapshot) -> Self {
-        QueryResult { rows, snapshot }
+    pub(crate) fn new(rows: Vec<ResultRow>, snapshot: GraphSnapshot, stats: ExecStats) -> Self {
+        QueryResult {
+            rows,
+            snapshot,
+            stats,
+        }
+    }
+
+    /// Work counters for the execution that produced this result (e.g. the
+    /// number of adjacency entries the expansion ops visited).
+    pub fn stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// The result rows in executor order.

@@ -111,72 +111,54 @@ impl<'g> Generator<'g> {
     }
 
     /// Generates all paths in the graph recognised by the regular expression,
-    /// up to the configured bounds.
+    /// up to the configured bounds: drives a [`GeneratorRun`] to exhaustion
+    /// and merges the per-depth accepting sets.
     pub fn generate(&self, config: &GeneratorConfig) -> CoreResult<PathSet> {
-        // One shared arena for the whole generation: all layers and the
-        // result set exchange paths by id.
-        let arena = PathArena::new();
-        let mut results = PathSet::new_in(&arena);
+        let mut run = self.run(config.clone());
+        let mut results = PathSet::new_in(run.arena());
+        while let Some(layer) = run.next_layer()? {
+            results.merge(&layer);
+        }
+        Ok(results)
+    }
 
+    /// Begins a **resumable** generation: a [`GeneratorRun`] steps the
+    /// layered breadth-first product one depth per [`GeneratorRun::next_layer`]
+    /// call, so a consumer that only needs the shallowest matches (or any
+    /// match at all — see [`Generator::shortest_match`]) stops pulling and
+    /// the deeper frontier is never expanded.
+    pub fn run(&self, config: GeneratorConfig) -> GeneratorRun<'_, 'g> {
+        // One shared arena for the whole run: all layers and every reported
+        // accepting set exchange paths by id.
+        let arena = PathArena::new();
         // Layer 0: {ε} at the ε-closure of the start state.
         let mut layer: HashMap<StateId, PathSet> = HashMap::new();
         for s in self.nfa.initial_states() {
             layer.insert(s, PathSet::epsilon_in(&arena));
         }
-        self.collect_accepting(&layer, &mut results, config)?;
-
-        for depth in 1..=config.max_length {
-            let mut next: HashMap<StateId, PathSet> = HashMap::new();
-            for (&state, paths) in &layer {
-                for t in self.nfa.transitions_from(state) {
-                    let TransitionLabel::Matcher(m) = t.label else {
-                        continue;
-                    };
-                    if paths.is_empty() {
-                        // the paper's halt condition: a branch with ∅ on its
-                        // stack makes no further progress
-                        continue;
-                    }
-                    // Frontier-driven step: walk out_edges(γ⁺) adjacency and
-                    // append in the shared arena — the `⋈◦` with the matcher's
-                    // edge set without materialising that edge set.
-                    let mut joined = match &self.nfa.matchers[m] {
-                        EdgeMatcher::Pattern(p) => paths.step_join(self.graph, p),
-                        EdgeMatcher::Explicit(set) => {
-                            paths.step_join_where(self.graph, |e| set.contains(e))
-                        }
-                    };
-                    if config.simple_only {
-                        joined = joined.filter(Path::is_simple);
-                    }
-                    if joined.is_empty() {
-                        continue;
-                    }
-                    // Layer invariant (see module docs): every path produced
-                    // at depth d has length exactly d, so cross-depth
-                    // re-derivation is impossible and the set-semantics merge
-                    // below removes within-depth duplicates.
-                    debug_assert!(
-                        joined
-                            .ids()
-                            .iter()
-                            .all(|&id| joined.arena().path_len(id) == depth),
-                        "depth-{depth} layer produced a path of a different length"
-                    );
-                    for closed in self.nfa.epsilon_closure(&[t.to].into_iter().collect()) {
-                        next.entry(closed)
-                            .and_modify(|s| s.merge(&joined))
-                            .or_insert_with(|| joined.clone());
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            self.collect_accepting(&next, &mut results, config)?;
-            layer = next;
+        GeneratorRun {
+            generator: self,
+            config,
+            arena,
+            layer,
+            depth: 0,
+            emitted: 0,
+            exhausted: false,
         }
-        Ok(results)
+    }
+
+    /// The first (shortest) recognised path, if any — an early-exit terminal:
+    /// generation stops at the shallowest depth with an accepting path
+    /// instead of enumerating every layer up to the bound. Ties at the same
+    /// depth resolve to an arbitrary member of that depth's accepting set.
+    pub fn shortest_match(&self, config: &GeneratorConfig) -> CoreResult<Option<Path>> {
+        let mut run = self.run(config.clone());
+        while let Some(layer) = run.next_layer()? {
+            if let Some(path) = layer.iter().next() {
+                return Ok(Some(path));
+            }
+        }
+        Ok(None)
     }
 
     /// Convenience: generate with just a length bound.
@@ -193,27 +175,128 @@ impl<'g> Generator<'g> {
         let recognizer = Recognizer::new(regex.clone());
         recognizer.recognized_paths_by_scan(graph, max_length)
     }
+}
 
-    fn collect_accepting(
-        &self,
-        layer: &HashMap<StateId, PathSet>,
-        results: &mut PathSet,
-        config: &GeneratorConfig,
-    ) -> CoreResult<()> {
-        for (&state, paths) in layer {
-            if self.nfa.accept.contains(&state) {
-                results.merge(paths);
+/// A resumable, depth-at-a-time generation: the single-stack automaton's
+/// layered breadth-first product, suspended between layers.
+///
+/// Each [`GeneratorRun::next_layer`] call reports the accepting paths of the
+/// current depth (depth 0 first, so nullable expressions report `{ε}`
+/// immediately) and then advances the frontier by exactly one `⋈◦` step.
+/// Dropping the run drops the un-expanded frontier — the demand-driven
+/// counterpart of [`Generator::generate`], mirroring the engine's row-cursor
+/// protocol at the path-set layer.
+#[derive(Debug)]
+pub struct GeneratorRun<'a, 'g> {
+    generator: &'a Generator<'g>,
+    config: GeneratorConfig,
+    arena: PathArena,
+    layer: HashMap<StateId, PathSet>,
+    depth: usize,
+    emitted: usize,
+    exhausted: bool,
+}
+
+impl GeneratorRun<'_, '_> {
+    /// The arena all reported path sets live in.
+    pub fn arena(&self) -> &PathArena {
+        &self.arena
+    }
+
+    /// The depth the *next* [`GeneratorRun::next_layer`] call will report.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Reports the accepting paths at the current depth and advances the
+    /// frontier one step. `None` once the frontier is empty or the length
+    /// bound is reached; the `max_paths` cap counts cumulatively across the
+    /// layers reported so far.
+    pub fn next_layer(&mut self) -> CoreResult<Option<PathSet>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        let nfa = &self.generator.nfa;
+        let mut accepting = PathSet::new_in(&self.arena);
+        for (&state, paths) in &self.layer {
+            if nfa.accept.contains(&state) {
+                accepting.merge(paths);
             }
         }
-        if let Some(cap) = config.max_paths {
-            if results.len() > cap {
+        self.emitted += accepting.len();
+        if let Some(cap) = self.config.max_paths {
+            if self.emitted > cap {
                 return Err(CoreError::BoundExceeded {
                     bound: cap,
                     what: "generated path count",
                 });
             }
         }
-        Ok(())
+        // advance the frontier one ⋈◦ step (or exhaust the run)
+        if self.depth == self.config.max_length {
+            self.exhausted = true;
+        } else {
+            let next = self.step()?;
+            if next.is_empty() {
+                self.exhausted = true;
+            } else {
+                self.layer = next;
+                self.depth += 1;
+            }
+        }
+        Ok(Some(accepting))
+    }
+
+    /// One frontier step: every state's path set is joined on the right with
+    /// each outgoing matcher's edge set and handed to the ε-closure of the
+    /// transition target.
+    fn step(&mut self) -> CoreResult<HashMap<StateId, PathSet>> {
+        let nfa = &self.generator.nfa;
+        let graph = self.generator.graph;
+        let depth = self.depth + 1;
+        let mut next: HashMap<StateId, PathSet> = HashMap::new();
+        for (&state, paths) in &self.layer {
+            for t in nfa.transitions_from(state) {
+                let TransitionLabel::Matcher(m) = t.label else {
+                    continue;
+                };
+                if paths.is_empty() {
+                    // the paper's halt condition: a branch with ∅ on its
+                    // stack makes no further progress
+                    continue;
+                }
+                // Frontier-driven step: walk out_edges(γ⁺) adjacency and
+                // append in the shared arena — the `⋈◦` with the matcher's
+                // edge set without materialising that edge set.
+                let mut joined = match &nfa.matchers[m] {
+                    EdgeMatcher::Pattern(p) => paths.step_join(graph, p),
+                    EdgeMatcher::Explicit(set) => paths.step_join_where(graph, |e| set.contains(e)),
+                };
+                if self.config.simple_only {
+                    joined = joined.filter(Path::is_simple);
+                }
+                if joined.is_empty() {
+                    continue;
+                }
+                // Layer invariant (see module docs): every path produced
+                // at depth d has length exactly d, so cross-depth
+                // re-derivation is impossible and the set-semantics merge
+                // below removes within-depth duplicates.
+                debug_assert!(
+                    joined
+                        .ids()
+                        .iter()
+                        .all(|&id| joined.arena().path_len(id) == depth),
+                    "depth-{depth} layer produced a path of a different length"
+                );
+                for closed in nfa.epsilon_closure(&[t.to].into_iter().collect()) {
+                    next.entry(closed)
+                        .and_modify(|s| s.merge(&joined))
+                        .or_insert_with(|| joined.clone());
+                }
+            }
+        }
+        Ok(next)
     }
 }
 
@@ -366,6 +449,60 @@ mod tests {
             .star();
         let gen3 = Generator::new(&nested, &g);
         assert_eq!(gen3.generate_up_to(5).unwrap(), got);
+    }
+
+    #[test]
+    fn layer_stepping_agrees_with_generate_and_reports_depths() {
+        let g = paper_graph();
+        let regex = PathRegex::any_edge().star();
+        let gen = Generator::new(&regex, &g);
+        let full = gen.generate_up_to(4).unwrap();
+        let mut run = gen.run(GeneratorConfig::with_max_length(4));
+        let mut merged = PathSet::new_in(run.arena());
+        let mut depth = 0;
+        while let Some(layer) = run.next_layer().unwrap() {
+            // each reported layer holds exactly the depth-length paths
+            assert!(layer.iter().all(|p| p.len() == depth), "depth {depth}");
+            merged.merge(&layer);
+            depth += 1;
+        }
+        assert_eq!(merged, full);
+        // the run is exhausted and stays exhausted
+        assert!(run.next_layer().unwrap().is_none());
+    }
+
+    #[test]
+    fn shortest_match_early_exits_at_the_shallowest_accepting_depth() {
+        let g = paper_graph();
+        // ε is in the language: the shortest match is ε, found at depth 0
+        let star = PathRegex::any_edge().star();
+        let gen = Generator::new(&star, &g);
+        let p = gen
+            .shortest_match(&GeneratorConfig::with_max_length(5))
+            .unwrap()
+            .unwrap();
+        assert!(p.is_empty());
+        // a + requires at least one edge
+        let plus = PathRegex::atom(EdgePattern::with_label(LabelId(1))).plus();
+        let gen = Generator::new(&plus, &g);
+        let p = gen
+            .shortest_match(&GeneratorConfig::with_max_length(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.len(), 1);
+        // the early exit sidesteps max_paths blowups deeper layers would hit:
+        // generate() errors under this cap, the shortest match does not
+        let dense = PathRegex::any_edge().star();
+        let gen = Generator::new(&dense, &g);
+        let config = GeneratorConfig::with_max_length(5).with_max_paths(3);
+        assert!(gen.generate(&config).is_err());
+        assert!(gen.shortest_match(&config).unwrap().is_some());
+        // an empty language has no match at any depth
+        let gen = Generator::new(&PathRegex::Empty, &g);
+        assert!(gen
+            .shortest_match(&GeneratorConfig::with_max_length(4))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod recognizer;
 pub use ast::{EdgeMatcher, PathRegex};
 pub use dfa::{Dfa, EdgeClassifier};
 pub use error::RegexError;
-pub use generator::{Generator, GeneratorConfig};
+pub use generator::{Generator, GeneratorConfig, GeneratorRun};
 pub use label_regex::{LabelExpr, LabelRegex};
 pub use minimize::minimize;
 pub use nfa::{Nfa, StateId, Transition, TransitionLabel};
@@ -65,7 +65,7 @@ pub use recognizer::{Recognizer, RecognizerStrategy};
 pub mod prelude {
     pub use crate::ast::{EdgeMatcher, PathRegex};
     pub use crate::dfa::Dfa;
-    pub use crate::generator::{Generator, GeneratorConfig};
+    pub use crate::generator::{Generator, GeneratorConfig, GeneratorRun};
     pub use crate::label_regex::LabelRegex;
     pub use crate::minimize::minimize;
     pub use crate::nfa::Nfa;

@@ -1,0 +1,379 @@
+//! Early-exit and execution-semantics properties of the cursor protocol.
+//!
+//! Four families, each over ≥ 30 independently-seeded random **cyclic**
+//! property graphs (hand-rolled property tests — the build environment
+//! vendors no proptest; failures print the case number for reproduction):
+//!
+//! 1. `limit(k)` ≡ the first `k` rows of the unlimited run, under every
+//!    execution strategy (early exit never changes *which* rows come out);
+//! 2. cursor consumption (the `Streaming` strategy and the public
+//!    [`RowCursor`] iterator) is row-for-row identical to the materialized
+//!    reference under `Semantics::Walks`;
+//! 3. the optimizer's reachability upgrade (R8) and the explicit
+//!    `match_reachable` surface produce exactly the walk-semantics rows once
+//!    a dedup collapses paths;
+//! 4. `In`-direction patterns agree with chains of `in_` steps.
+//!
+//! Plus direct regressions: `first()` after a dense `match_` on a complete
+//! graph performs a *bounded* number of expansions (asserted via the
+//! expansion counter, not wall time), and `Semantics::Reachable` terminates
+//! on cyclic graphs where walk enumeration trips `max_intermediate`.
+
+use rand::Rng as _;
+
+use mrpa::datagen::random::{rng_stream, Rng};
+use mrpa::engine::{
+    exec, plan, Direction, EngineError, ExecutionStrategy, PropertyGraph, QueryResult, Traversal,
+    Value, UNBOUNDED_MATCH_HOPS,
+};
+
+const CASES: usize = 32;
+
+const STRATEGIES: [ExecutionStrategy; 3] = [
+    ExecutionStrategy::Materialized,
+    ExecutionStrategy::Streaming,
+    ExecutionStrategy::Parallel,
+];
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+/// A small random property graph that is **guaranteed cyclic**: a labelled
+/// `a`-cycle through every vertex, plus random extra edges. Every label of
+/// [`LABELS`] is always interned.
+fn random_cyclic_graph(r: &mut Rng) -> PropertyGraph {
+    let g = PropertyGraph::new();
+    let n = r.gen_range(4usize..12);
+    for i in 0..n {
+        let v = g.add_vertex(&format!("v{i}"));
+        g.set_vertex_property(v, "age", Value::Int(r.gen_range(10i64..60)));
+    }
+    // the guaranteed cycle (and the guaranteed `a` label)
+    for i in 0..n {
+        g.add_edge(&format!("v{i}"), "a", &format!("v{}", (i + 1) % n));
+    }
+    g.add_edge("v0", "b", "v1");
+    g.add_edge("v1", "c", "v2");
+    let m = r.gen_range(4usize..20);
+    for _ in 0..m {
+        let t = format!("v{}", r.gen_range(0..n));
+        let h = format!("v{}", r.gen_range(0..n));
+        let l = LABELS[r.gen_range(0..LABELS.len())];
+        g.add_edge(&t, l, &h);
+    }
+    g
+}
+
+fn cases(stream: u64, mut check: impl FnMut(&mut Rng, usize)) {
+    for case in 0..CASES {
+        let mut r = rng_stream(0x0EE7_CAFE, stream.wrapping_mul(1000) + case as u64);
+        check(&mut r, case);
+    }
+}
+
+fn row_sequence(result: &QueryResult) -> Vec<String> {
+    result
+        .rows()
+        .iter()
+        .map(|row| format!("{}-[{}]->{}", row.source, row.path, row.head))
+        .collect()
+}
+
+/// Pipelines whose unlimited runs are cheap (bounded hops) but walk cyclic
+/// structure, exercising automaton, repeat, filter, and dedup stages.
+fn pipelines(g: &PropertyGraph) -> Vec<Traversal> {
+    vec![
+        Traversal::over(g).match_within("a+", 4),
+        Traversal::over(g).match_within("a·(b|c)?", 3).out_any(),
+        Traversal::over(g)
+            .repeat(1..=3, |p| p.out(["a"]))
+            .has("age", mrpa::engine::Predicate::Gt(20.0)),
+        Traversal::over(g).out_any().match_within("a{2}", 2).dedup(),
+        Traversal::over(g).in_(["a"]).out_any(),
+    ]
+}
+
+#[test]
+fn limit_k_is_the_prefix_of_the_unlimited_run_under_every_strategy() {
+    cases(1, |r, case| {
+        let g = random_cyclic_graph(r);
+        for (pi, base) in pipelines(&g).into_iter().enumerate() {
+            let unlimited = base.clone().execute().unwrap();
+            let reference = row_sequence(&unlimited);
+            for k in [0usize, 1, 3, 7] {
+                for strategy in STRATEGIES {
+                    let limited = base.clone().limit(k).strategy(strategy).execute().unwrap();
+                    let got = row_sequence(&limited);
+                    let want = &reference[..k.min(reference.len())];
+                    assert_eq!(
+                        got, want,
+                        "case {case} pipeline {pi} limit({k}) {strategy:?}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn cursor_rows_equal_materialized_rows_under_walk_semantics() {
+    cases(2, |r, case| {
+        let g = random_cyclic_graph(r);
+        for (pi, base) in pipelines(&g).into_iter().enumerate() {
+            let reference = row_sequence(&base.clone().execute().unwrap());
+            // the Streaming strategy is the cursor drained by execute()
+            let streamed = base
+                .clone()
+                .strategy(ExecutionStrategy::Streaming)
+                .execute()
+                .unwrap();
+            assert_eq!(
+                row_sequence(&streamed),
+                reference,
+                "case {case} pipeline {pi} streaming"
+            );
+            // external Iterator consumption of the public cursor
+            let cursor = base
+                .clone()
+                .strategy(ExecutionStrategy::Streaming)
+                .cursor()
+                .unwrap();
+            let iterated: Vec<String> = cursor
+                .map(|row| {
+                    let row = row.unwrap();
+                    format!("{}-[{}]->{}", row.source, row.path, row.head)
+                })
+                .collect();
+            assert_eq!(iterated, reference, "case {case} pipeline {pi} iterator");
+        }
+    });
+}
+
+#[test]
+fn terminals_agree_with_execute() {
+    cases(3, |r, case| {
+        let g = random_cyclic_graph(r);
+        for (pi, base) in pipelines(&g).into_iter().enumerate() {
+            let all = base.clone().execute().unwrap();
+            assert_eq!(
+                base.count().unwrap(),
+                all.len(),
+                "case {case} pipeline {pi} count"
+            );
+            assert_eq!(
+                base.exists().unwrap(),
+                !all.is_empty(),
+                "case {case} pipeline {pi} exists"
+            );
+            let first = base.first().unwrap();
+            match all.rows().first() {
+                Some(row) => assert_eq!(first.as_ref(), Some(row), "case {case} pipeline {pi}"),
+                None => assert!(first.is_none(), "case {case} pipeline {pi}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn first_on_a_dense_match_performs_bounded_expansions() {
+    // A complete knows-digraph: the walk set of knows+ within 16 hops is
+    // astronomically large (Σ_{d≤16} 11·10^{d-1} walks from one vertex), so
+    // anything that enumerates it will not finish. The assertion is on the
+    // expansion counter, not wall time: one frontier entry's adjacency is
+    // enough to surface the first row.
+    let g = PropertyGraph::new();
+    let n = 12usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(&format!("v{i}"), "knows", &format!("v{j}"));
+            }
+        }
+    }
+    // the terminal itself (default strategy) is bounded
+    let row = Traversal::over(&g)
+        .v(["v0"])
+        .match_("knows+")
+        .first()
+        .unwrap()
+        .expect("a complete graph has knows-walks");
+    assert_eq!(row.path.len(), 1);
+    // and the bound holds under every strategy, from the whole-graph start
+    for strategy in STRATEGIES {
+        let mut cursor = Traversal::over(&g)
+            .match_("knows+")
+            .limit(1)
+            .strategy(strategy)
+            .cursor()
+            .unwrap();
+        let row = cursor.next_row().unwrap().expect("one row");
+        assert_eq!(row.path.len(), 1);
+        let expansions = cursor.stats().expansions;
+        // at most one adjacency scan per partition (the parallel strategy
+        // speculatively pulls one batch per partition)
+        assert!(
+            expansions <= (n * (n - 1)) as u64,
+            "{strategy:?} expanded {expansions} edges"
+        );
+    }
+    // exists() on the same dense automaton is equally bounded
+    assert!(Traversal::over(&g).match_("knows+").exists().unwrap());
+}
+
+#[test]
+fn reachable_semantics_terminates_where_walk_enumeration_trips_the_cap() {
+    // Two interleaved cycles: every vertex has two knows-successors, so the
+    // walk count doubles per depth (2^d) and a deep walk enumeration trips
+    // max_intermediate. Reachability dedups the frontier by (vertex, state)
+    // and terminates — without any hop bound at all.
+    let g = PropertyGraph::new();
+    let n = 24usize;
+    for i in 0..n {
+        g.add_edge(&format!("v{i}"), "knows", &format!("v{}", (i + 1) % n));
+        g.add_edge(&format!("v{i}"), "knows", &format!("v{}", (i + 2) % n));
+    }
+    let walks = Traversal::over(&g)
+        .v(["v0"])
+        .match_within("knows+", 1000)
+        .max_intermediate(100_000)
+        .execute();
+    assert!(matches!(walks, Err(EngineError::BoundExceeded { .. })));
+    // unbounded reachability: every vertex is reachable, one row per
+    // (vertex, accepting state) — here exactly one accepting state
+    let reached = Traversal::over(&g)
+        .v(["v0"])
+        .match_reachable("knows+")
+        .execute()
+        .unwrap();
+    assert_eq!(reached.len(), n);
+    let mut heads = reached.distinct_heads();
+    heads.sort_unstable();
+    assert_eq!(heads.len(), n);
+    // each surviving path is the breadth-first first walk to its head
+    for strategy in STRATEGIES {
+        let r = Traversal::over(&g)
+            .v(["v0"])
+            .match_reachable("knows+")
+            .strategy(strategy)
+            .execute()
+            .unwrap();
+        assert_eq!(row_sequence(&r), row_sequence(&reached), "{strategy:?}");
+    }
+    // an unbounded hop count without reachability is rejected at plan time
+    let err = Traversal::over(&g)
+        .v(["v0"])
+        .match_within("knows+", UNBOUNDED_MATCH_HOPS)
+        .execute();
+    assert!(matches!(err, Err(EngineError::Unsupported(_))));
+}
+
+#[test]
+fn reachability_upgrade_preserves_the_dedup_output_exactly() {
+    // R8: automaton + dedup(head) rewrites to reachability semantics. The
+    // rewritten plan must produce the naive (walk-semantics) rows verbatim —
+    // paths included, because dedup keeps the first walk per head and the
+    // reachable sequence keeps exactly the first walk per (head, state).
+    let mut upgraded = 0usize;
+    cases(4, |r, case| {
+        let g = random_cyclic_graph(r);
+        let snapshot = g.snapshot();
+        for (pi, base) in [
+            Traversal::over(&g).match_within("a+", 5).dedup(),
+            Traversal::over(&g)
+                .out_any()
+                .match_within("a·a·a?", 4)
+                .has("age", mrpa::engine::Predicate::Gt(15.0))
+                .dedup(),
+            Traversal::over(&g)
+                .match_within("(a|b)+", 4)
+                .dedup()
+                .out(["a"]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let naive = plan::plan(&snapshot, base.start_spec(), base.steps()).unwrap();
+            let optimized = plan::optimize(&snapshot, &naive);
+            if format!("{optimized:?}").contains("Reachable") {
+                upgraded += 1;
+            }
+            for strategy in STRATEGIES {
+                let naive_rows = exec::execute(&snapshot, &naive, strategy, None).unwrap();
+                let opt_rows = exec::execute(&snapshot, &optimized, strategy, None).unwrap();
+                assert_eq!(
+                    row_sequence(&naive_rows),
+                    row_sequence(&opt_rows),
+                    "case {case} pipeline {pi} {strategy:?}"
+                );
+            }
+        }
+    });
+    // the property is vacuous if the upgrade never fires
+    assert!(upgraded >= CASES, "R8 fired only {upgraded} times");
+}
+
+#[test]
+fn in_direction_patterns_agree_with_in_step_chains() {
+    cases(5, |r, case| {
+        let g = random_cyclic_graph(r);
+        let l1 = LABELS[r.gen_range(0..LABELS.len())];
+        let l2 = LABELS[r.gen_range(0..LABELS.len())];
+        let pattern = format!("{l1}·{l2}");
+        for strategy in STRATEGIES {
+            let via_match = Traversal::over(&g)
+                .match_in_(&pattern)
+                .strategy(strategy)
+                .execute()
+                .unwrap();
+            let via_steps = Traversal::over(&g)
+                .in_([l1])
+                .in_([l2])
+                .strategy(strategy)
+                .execute()
+                .unwrap();
+            let mut a = row_sequence(&via_match);
+            let mut b = row_sequence(&via_steps);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "case {case} pattern {pattern} {strategy:?}");
+        }
+    });
+    // match_dir is the generic spelling; Both is rejected at plan time
+    let g = random_cyclic_graph(&mut rng_stream(0x0EE7_CAFE, 99));
+    let via_dir = Traversal::over(&g)
+        .match_dir(Direction::In, "a·b")
+        .execute()
+        .unwrap();
+    let via_in = Traversal::over(&g).match_in_("a·b").execute().unwrap();
+    assert_eq!(row_sequence(&via_dir), row_sequence(&via_in));
+    let err = Traversal::over(&g)
+        .match_dir(Direction::Both, "a·b")
+        .execute();
+    assert!(matches!(err, Err(EngineError::Unsupported(_))));
+}
+
+#[test]
+fn limit_pushdown_annotates_the_automaton() {
+    let g = random_cyclic_graph(&mut rng_stream(0x0EE7_CAFE, 7));
+    let report = Traversal::over(&g)
+        .match_within("a+", 4)
+        .limit(2)
+        .explain()
+        .unwrap();
+    assert!(report.rewritten());
+    assert!(
+        report.after().describe().contains("emit≤2"),
+        "plan: {}",
+        report.after().describe()
+    );
+    // and the reachability upgrade is visible in explain() too
+    let report = Traversal::over(&g)
+        .match_within("a+", 4)
+        .dedup()
+        .explain()
+        .unwrap();
+    assert!(
+        report.after().describe().contains("reachable"),
+        "plan: {}",
+        report.after().describe()
+    );
+}
