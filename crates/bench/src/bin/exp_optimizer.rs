@@ -139,9 +139,9 @@ fn main() {
 
     table.print("optimizer: rewritten plan vs naive plan (E2-style social workloads)");
     println!("Expectation: fused filters and pushed restrictions avoid materialising rejected");
-    println!("rows; plan-shape rewrites (merge/dedup/limit) stay near parity (the resumable");
-    println!("automaton walker costs ~10-15% on dense batch scans — the price of the cursor");
-    println!("protocol's mid-walk suspension; exp_streaming measures what that buys).");
+    println!("rows; plan-shape rewrites (merge/dedup/limit) stay at or above parity — the");
+    println!("batch executor steps whole frontier layers per call (AutoWalk::run_layer), so");
+    println!("the resumable walker no longer taxes dense full-enumeration scans.");
 
     let json = format!(
         "{{\n  \"experiment\": \"optimizer_rewrite\",\n  \"workload\": {{\"graph\": \"social\", \

@@ -1,0 +1,184 @@
+//! Weighted-search benchmark: best-first `cheapest_`/`widest_` + `top_k(1)`
+//! against full enumeration + fold + sort.
+//!
+//! The workload is an E2-style social graph whose edges carry random `weight`
+//! properties. The baseline answers "the best destination matching
+//! `knows+`" the pre-subsystem way: enumerate every bounded matching walk
+//! through the unweighted automaton, fold each walk's weight with the
+//! semiring, sort, and keep the best. The weighted subsystem answers it with
+//! one best-first product-automaton search capped at `top_k(1)` (optimizer
+//! rule R9), which settles no more of the product space than the first
+//! result requires.
+//!
+//! Correctness is cross-checked (same best head, same best cost), and the
+//! early-exit claim is **asserted on the expansion counter** (`ExecStats`),
+//! not wall time: the run fails unless best-first `top_k(1)` expands
+//! strictly fewer adjacency entries than the full enumeration, under every
+//! measured strategy. Machine-readable rows go to `BENCH_weights.json`.
+
+use mrpa_bench::{fmt_f, time_median, Table};
+use mrpa_core::semiring::{MaxMin, MinPlus, Semiring};
+use mrpa_datagen::{social_graph, SocialConfig};
+use mrpa_engine::{ExecutionStrategy, PropertyGraph, QueryResult, ResultRow, Traversal};
+
+const PATTERN: &str = "knows+";
+const HOPS: usize = 5;
+
+/// Folds a result row's path weight the brute-force way.
+fn fold<S: Semiring<Elem = f64>>(snap: &mrpa_engine::GraphSnapshot, row: &ResultRow) -> f64 {
+    S::fold_path(row.path.iter().map(|e| {
+        snap.edge_weight(e, "weight")
+            .expect("social edges carry weights")
+    }))
+}
+
+/// The baseline: enumerate every bounded matching walk, fold, and keep the
+/// best `(cost, head)` under `better`.
+fn enumerate_best<S: Semiring<Elem = f64>>(
+    g: &PropertyGraph,
+    source: &str,
+    strategy: ExecutionStrategy,
+    better: impl Fn(f64, f64) -> bool,
+) -> (QueryResult, f64, mrpa_core::VertexId) {
+    let all = Traversal::over(g)
+        .v([source])
+        .match_within(PATTERN, HOPS)
+        .strategy(strategy)
+        .execute()
+        .expect("full enumeration");
+    let snap = all.snapshot();
+    let mut costs: Vec<(f64, mrpa_core::VertexId)> = all
+        .rows()
+        .iter()
+        .map(|row| (fold::<S>(snap, row), row.head))
+        .collect();
+    costs.sort_by(|a, b| {
+        if better(a.0, b.0) {
+            std::cmp::Ordering::Less
+        } else if better(b.0, a.0) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    let (best_cost, best_head) = costs.first().copied().expect("walks exist");
+    (all, best_cost, best_head)
+}
+
+fn main() {
+    let runs = 9;
+    let g = social_graph(SocialConfig {
+        people: 300,
+        software: 40,
+        knows_per_person: 8,
+        created_per_person: 1,
+        uses_per_person: 2,
+        seed: 23,
+    });
+    let source = "person0";
+    println!(
+        "weighted search workload: |V|={} |E|={}, {PATTERN} within {HOPS} hops from {source}, \
+         median of {runs} runs",
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    let strategies = [
+        ("materialized", ExecutionStrategy::Materialized),
+        ("streaming", ExecutionStrategy::Streaming),
+    ];
+
+    let mut table = Table::new([
+        "semiring",
+        "strategy",
+        "walks",
+        "enum+sort ms",
+        "best-first ms",
+        "speedup",
+        "enum exp",
+        "top1 exp",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for (sr_name, widest) in [("shortest", false), ("widest", true)] {
+        for (s_name, strategy) in strategies {
+            let weighted_base = || {
+                let t = Traversal::over(&g).v([source]);
+                let t = if widest {
+                    t.widest_within(PATTERN, HOPS)
+                } else {
+                    t.cheapest_within(PATTERN, HOPS)
+                };
+                t.weight_by("weight").top_k(1).strategy(strategy)
+            };
+
+            // correctness cross-check: best-first top-1 == enumerate-and-sort
+            let (full, best_cost, _) = if widest {
+                enumerate_best::<MaxMin>(&g, source, strategy, |a, b| a > b)
+            } else {
+                enumerate_best::<MinPlus>(&g, source, strategy, |a, b| a < b)
+            };
+            let top1 = weighted_base().execute().expect("best-first run");
+            assert_eq!(top1.len(), 1, "{sr_name}/{s_name}: top_k(1) emits one row");
+            let got = top1.rows()[0].weight.expect("weighted rows carry costs");
+            assert_eq!(
+                got, best_cost,
+                "{sr_name}/{s_name}: best-first cost disagrees with enumerate+fold+sort"
+            );
+
+            // the early-exit claim, asserted on work counters — not wall time
+            let enum_expansions = full.stats().expansions;
+            let top1_expansions = top1.stats().expansions;
+            assert!(
+                top1_expansions < enum_expansions,
+                "{sr_name}/{s_name}: best-first top_k(1) expanded {top1_expansions} edges, \
+                 full enumeration {enum_expansions} — early exit must expand strictly fewer"
+            );
+
+            let enum_ms = time_median(runs, || {
+                if widest {
+                    enumerate_best::<MaxMin>(&g, source, strategy, |a, b| a > b)
+                } else {
+                    enumerate_best::<MinPlus>(&g, source, strategy, |a, b| a < b)
+                }
+            });
+            let best_ms = time_median(runs, || weighted_base().execute().unwrap());
+            let speedup = enum_ms / best_ms.max(1e-9);
+
+            table.row([
+                sr_name.to_string(),
+                s_name.to_string(),
+                full.len().to_string(),
+                fmt_f(enum_ms),
+                fmt_f(best_ms),
+                format!("{speedup:.1}x"),
+                enum_expansions.to_string(),
+                top1_expansions.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"semiring\": \"{sr_name}\", \"strategy\": \"{s_name}\", \
+                 \"walks\": {}, \"enumerate_ms\": {enum_ms:.4}, \"best_first_ms\": \
+                 {best_ms:.4}, \"speedup\": {speedup:.2}, \"enumerate_expansions\": \
+                 {enum_expansions}, \"top1_expansions\": {top1_expansions}}}",
+                full.len(),
+            ));
+        }
+    }
+
+    table.print("weighted search: best-first top_k(1) vs full enumeration + fold + sort");
+    println!("Expectation: the best-first walk settles (and expands) only what the first");
+    println!("result requires — the expansion counters above are asserted, not just shown.");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"weighted_search\",\n  \"workload\": {{\"graph\": \"social\", \
+         \"people\": 300, \"software\": 40, \"seed\": 23, \"vertices\": {}, \"edges\": {}, \
+         \"pattern\": \"{PATTERN}\", \"max_hops\": {HOPS}, \"runs\": {runs}}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_weights.json";
+    std::fs::write(path, &json).expect("write BENCH_weights.json");
+    println!("\nwrote {path}");
+}

@@ -66,6 +66,7 @@ pub mod monoid;
 pub mod path;
 pub mod pathset;
 pub mod pattern;
+pub mod semiring;
 pub mod traversal;
 
 pub use arena::{ArenaWriter, PathArena, PathId};
@@ -79,6 +80,7 @@ pub use monoid::{JoinMonoid, Monoid, ProductMonoid, UnionMonoid};
 pub use path::Path;
 pub use pathset::PathSet;
 pub use pattern::{ConjunctivePattern, EdgePattern, Position};
+pub use semiring::{Counting, HopCount, MaxMin, MinPlus, SelectiveSemiring, Semiring};
 pub use traversal::{
     complete_traversal, destination_traversal, label_composition, labeled_traversal,
     source_destination_traversal, source_traversal, TraversalBuilder,

@@ -11,6 +11,9 @@
 //!
 //! This module provides a small trait hierarchy plus instances for [`Path`]
 //! and [`PathSet`], and law-checking helpers used by unit and property tests.
+//! The scalar (path-*weight*) counterpart of this structure — semirings such
+//! as tropical min-plus, whose `⊗` plays `◦` and whose `⊕` plays `∪` — lives
+//! in [`crate::semiring`] and reuses [`Monoid`] for its two halves.
 
 use crate::path::Path;
 use crate::pathset::PathSet;

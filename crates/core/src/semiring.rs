@@ -1,0 +1,509 @@
+//! Semirings over path weights: the algebraic ground for weighted search.
+//!
+//! The paper grounds the path algebra in an *idempotent semiring* (see
+//! [`crate::monoid`]: `(P(E*), ∪, ⋈◦)` with `∅` and `{ε}`), and the companion
+//! papers (Rodriguez & Shinavier; "From Primes to Paths") argue that weighted
+//! mappings are what connect the algebra to real analysis workloads. This
+//! module supplies the scalar side of that story: a [`Semiring`] trait — an
+//! additive commutative monoid `(⊕, 0̄)` and a multiplicative monoid
+//! `(⊗, 1̄)` with distributivity and annihilation — whose elements are *path
+//! weights* instead of path sets.
+//!
+//! The intended reading mirrors the classic algebraic-path framework: a walk's
+//! weight is the `⊗`-fold of its edge weights (`⊗` plays the role of path
+//! concatenation `◦`), and alternative walks between the same endpoints are
+//! summarised with `⊕` (which plays the role of `∪`). Choosing the semiring
+//! chooses the problem:
+//!
+//! | instance      | ⊕        | ⊗              | 0̄    | 1̄    | solves               |
+//! |---------------|----------|----------------|------|------|----------------------|
+//! | [`MinPlus`]   | min      | +              | +∞   | 0    | shortest path        |
+//! | [`MaxMin`]    | max      | min            | −∞   | +∞   | widest / bottleneck  |
+//! | [`HopCount`]  | min      | saturating +   | ∞    | 0    | fewest edges         |
+//! | [`Counting`]  | +        | ×              | 0    | 1    | walk counting        |
+//!
+//! The first three are **selective** ([`SelectiveSemiring`]): `⊕` picks the
+//! better of its arguments under a total order, which is exactly what makes
+//! Dijkstra-style best-first search sound — the engine's weighted product-
+//! automaton traversal is generic over that subtrait. [`Counting`] is a
+//! semiring but not selective (a sum is not a choice), so it participates in
+//! folds and law checks but not in best-first search.
+//!
+//! The multiplicative and additive structures are [`Monoid`]s in the sense of
+//! [`crate::monoid`]; [`AddMonoid`] and [`MulMonoid`] are the explicit
+//! wrappers, so the semiring laws can be checked with the same helpers the
+//! path-set monoids use.
+
+use core::cmp::Ordering;
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+use crate::monoid::Monoid;
+
+/// A semiring `(S, ⊕, ⊗, 0̄, 1̄)`: `⊕` is a commutative monoid with identity
+/// `0̄`, `⊗` is a monoid with identity `1̄`, `⊗` distributes over `⊕`, and `0̄`
+/// annihilates `⊗`. Implementations are zero-sized marker types; the element
+/// type is an associated type so one scalar (e.g. `f64`) can carry several
+/// semiring structures.
+pub trait Semiring {
+    /// The element (weight) type.
+    type Elem: Clone + PartialEq + Debug;
+
+    /// The additive identity `0̄` (and multiplicative annihilator).
+    fn zero() -> Self::Elem;
+
+    /// The multiplicative identity `1̄` — the weight of the empty path ε.
+    fn one() -> Self::Elem;
+
+    /// The additive operation `⊕` (summarise alternative paths).
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The multiplicative operation `⊗` (extend a path).
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The weight of a path: the `⊗`-fold of its edge weights, left to right,
+    /// starting from `1̄`. (`ω` is a monoid homomorphism from `(E*, ◦, ε)`
+    /// into `(S, ⊗, 1̄)` — the weighted analogue of the path-label map.)
+    fn fold_path<I: IntoIterator<Item = Self::Elem>>(weights: I) -> Self::Elem {
+        weights
+            .into_iter()
+            .fold(Self::one(), |acc, w| Self::mul(&acc, &w))
+    }
+
+    /// The `⊕`-summary of a set of alternatives, starting from `0̄`.
+    fn sum<I: IntoIterator<Item = Self::Elem>>(items: I) -> Self::Elem {
+        items
+            .into_iter()
+            .fold(Self::zero(), |acc, w| Self::add(&acc, &w))
+    }
+}
+
+/// A semiring whose `⊕` *selects* the better of its arguments under a total
+/// order: `a ⊕ b ∈ {a, b}` and `a ⊕ b = min(a, b)` w.r.t. [`compare`].
+///
+/// Selectivity (plus the derived monotonicity requirement that `a ⊗ w` is
+/// never better than `a` for the weights actually supplied) is the soundness
+/// condition for Dijkstra-style best-first search: the first time a product
+/// state is settled, its weight is `⊕`-optimal.
+///
+/// [`compare`]: SelectiveSemiring::compare
+pub trait SelectiveSemiring: Semiring {
+    /// Total order on weights: `Ordering::Less` means the left argument is
+    /// *strictly better* (would be selected by `⊕`).
+    fn compare(a: &Self::Elem, b: &Self::Elem) -> Ordering;
+
+    /// Whether `a` is strictly better than `b`.
+    fn better(a: &Self::Elem, b: &Self::Elem) -> bool {
+        Self::compare(a, b) == Ordering::Less
+    }
+}
+
+/// The tropical **min-plus** semiring over `f64`: shortest paths.
+/// Best-first search additionally requires non-negative edge weights
+/// (monotone extension); the engine validates that at weight-resolution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Elem = f64;
+
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+
+    fn one() -> f64 {
+        0.0
+    }
+
+    fn add(a: &f64, b: &f64) -> f64 {
+        if a.total_cmp(b) == Ordering::Greater {
+            *b
+        } else {
+            *a
+        }
+    }
+
+    fn mul(a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+}
+
+impl SelectiveSemiring for MinPlus {
+    fn compare(a: &f64, b: &f64) -> Ordering {
+        a.total_cmp(b)
+    }
+}
+
+/// The **max-min** (bottleneck) semiring over `f64`: widest paths. A path's
+/// weight is its narrowest edge; alternatives keep the widest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxMin;
+
+impl Semiring for MaxMin {
+    type Elem = f64;
+
+    fn zero() -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn one() -> f64 {
+        f64::INFINITY
+    }
+
+    fn add(a: &f64, b: &f64) -> f64 {
+        if a.total_cmp(b) == Ordering::Less {
+            *b
+        } else {
+            *a
+        }
+    }
+
+    fn mul(a: &f64, b: &f64) -> f64 {
+        if a.total_cmp(b) == Ordering::Greater {
+            *b
+        } else {
+            *a
+        }
+    }
+}
+
+impl SelectiveSemiring for MaxMin {
+    // larger width is better
+    fn compare(a: &f64, b: &f64) -> Ordering {
+        b.total_cmp(a)
+    }
+}
+
+/// The **hop-count** semiring over `u64`: min-plus restricted to unit edge
+/// weights, with `u64::MAX` as `∞` and saturating extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopCount;
+
+impl Semiring for HopCount {
+    type Elem = u64;
+
+    fn zero() -> u64 {
+        u64::MAX
+    }
+
+    fn one() -> u64 {
+        0
+    }
+
+    fn add(a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+}
+
+impl SelectiveSemiring for HopCount {
+    fn compare(a: &u64, b: &u64) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+/// The **counting** semiring over `u64`: `⊕` is addition, `⊗` is
+/// multiplication (both saturating), so the `⊕`-sum over all walks of the
+/// `⊗`-fold of unit weights counts walks. Not selective: a sum is not a
+/// choice, so this instance is excluded from best-first search by
+/// construction (it does not implement [`SelectiveSemiring`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counting;
+
+impl Semiring for Counting {
+    type Elem = u64;
+
+    fn zero() -> u64 {
+        0
+    }
+
+    fn one() -> u64 {
+        1
+    }
+
+    fn add(a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a.saturating_mul(*b)
+    }
+}
+
+/// A semiring's additive structure as a [`Monoid`] value: `(S, ⊕, 0̄)`.
+#[derive(Debug)]
+pub struct AddMonoid<S: Semiring>(pub S::Elem, PhantomData<S>);
+
+impl<S: Semiring> AddMonoid<S> {
+    /// Wraps a weight in the additive monoid.
+    pub fn new(elem: S::Elem) -> Self {
+        AddMonoid(elem, PhantomData)
+    }
+}
+
+impl<S: Semiring> Clone for AddMonoid<S> {
+    fn clone(&self) -> Self {
+        Self::new(self.0.clone())
+    }
+}
+
+impl<S: Semiring> PartialEq for AddMonoid<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<S: Semiring> Monoid for AddMonoid<S> {
+    fn identity() -> Self {
+        Self::new(S::zero())
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        Self::new(S::add(&self.0, &other.0))
+    }
+}
+
+/// A semiring's multiplicative structure as a [`Monoid`] value: `(S, ⊗, 1̄)`.
+#[derive(Debug)]
+pub struct MulMonoid<S: Semiring>(pub S::Elem, PhantomData<S>);
+
+impl<S: Semiring> MulMonoid<S> {
+    /// Wraps a weight in the multiplicative monoid.
+    pub fn new(elem: S::Elem) -> Self {
+        MulMonoid(elem, PhantomData)
+    }
+}
+
+impl<S: Semiring> Clone for MulMonoid<S> {
+    fn clone(&self) -> Self {
+        Self::new(self.0.clone())
+    }
+}
+
+impl<S: Semiring> PartialEq for MulMonoid<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<S: Semiring> Monoid for MulMonoid<S> {
+    fn identity() -> Self {
+        Self::new(S::one())
+    }
+
+    fn combine(&self, other: &Self) -> Self {
+        Self::new(S::mul(&self.0, &other.0))
+    }
+}
+
+/// Semiring law checkers on concrete elements, mirroring
+/// [`crate::monoid::laws`]. Used by unit and property tests.
+pub mod laws {
+    use super::{Ordering, SelectiveSemiring, Semiring};
+
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)` and `(a ⊗ b) ⊗ c = a ⊗ (b ⊗ c)`.
+    pub fn associative<S: Semiring>(a: &S::Elem, b: &S::Elem, c: &S::Elem) -> bool {
+        S::add(&S::add(a, b), c) == S::add(a, &S::add(b, c))
+            && S::mul(&S::mul(a, b), c) == S::mul(a, &S::mul(b, c))
+    }
+
+    /// `0̄ ⊕ a = a = a ⊕ 0̄` and `1̄ ⊗ a = a = a ⊗ 1̄`.
+    pub fn identities<S: Semiring>(a: &S::Elem) -> bool {
+        S::add(&S::zero(), a) == *a
+            && S::add(a, &S::zero()) == *a
+            && S::mul(&S::one(), a) == *a
+            && S::mul(a, &S::one()) == *a
+    }
+
+    /// `a ⊕ b = b ⊕ a`.
+    pub fn add_commutative<S: Semiring>(a: &S::Elem, b: &S::Elem) -> bool {
+        S::add(a, b) == S::add(b, a)
+    }
+
+    /// `a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)` and the right-hand mirror.
+    pub fn distributive<S: Semiring>(a: &S::Elem, b: &S::Elem, c: &S::Elem) -> bool {
+        S::mul(a, &S::add(b, c)) == S::add(&S::mul(a, b), &S::mul(a, c))
+            && S::mul(&S::add(a, b), c) == S::add(&S::mul(a, c), &S::mul(b, c))
+    }
+
+    /// `0̄ ⊗ a = a ⊗ 0̄ = 0̄`.
+    pub fn zero_annihilates<S: Semiring>(a: &S::Elem) -> bool {
+        S::mul(&S::zero(), a) == S::zero() && S::mul(a, &S::zero()) == S::zero()
+    }
+
+    /// `a ⊕ a = a` (holds for every selective semiring).
+    pub fn add_idempotent<S: Semiring>(a: &S::Elem) -> bool {
+        S::add(a, a) == *a
+    }
+
+    /// `a ⊕ b` selects the [`SelectiveSemiring::compare`]-better argument.
+    pub fn add_selects<S: SelectiveSemiring>(a: &S::Elem, b: &S::Elem) -> bool {
+        let sum = S::add(a, b);
+        match S::compare(a, b) {
+            Ordering::Less | Ordering::Equal => sum == *a,
+            Ordering::Greater => sum == *b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::laws::*;
+    use super::*;
+
+    // dyadic rationals: exactly representable, so even the non-idempotent
+    // `+` of MinPlus is exactly associative on these samples
+    fn float_samples() -> Vec<f64> {
+        vec![0.0, 0.25, 1.0, 2.5, 7.25, f64::INFINITY]
+    }
+
+    fn int_samples() -> Vec<u64> {
+        vec![0, 1, 2, 5, 100, u64::MAX]
+    }
+
+    fn check_float_semiring<S: Semiring<Elem = f64>>() {
+        let xs = float_samples();
+        for a in &xs {
+            assert!(identities::<S>(a), "identities failed at {a}");
+            assert!(zero_annihilates::<S>(a), "annihilation failed at {a}");
+            for b in &xs {
+                assert!(add_commutative::<S>(a, b));
+                for c in &xs {
+                    assert!(associative::<S>(a, b, c), "associativity at {a},{b},{c}");
+                    assert!(distributive::<S>(a, b, c), "distributivity at {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    fn check_int_semiring<S: Semiring<Elem = u64>>(check_distributive: bool) {
+        let xs = int_samples();
+        for a in &xs {
+            assert!(identities::<S>(a), "identities failed at {a}");
+            assert!(zero_annihilates::<S>(a), "annihilation failed at {a}");
+            for b in &xs {
+                assert!(add_commutative::<S>(a, b));
+                for c in &xs {
+                    assert!(associative::<S>(a, b, c), "associativity at {a},{b},{c}");
+                    if check_distributive {
+                        assert!(distributive::<S>(a, b, c), "distributivity at {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_is_an_idempotent_selective_semiring() {
+        check_float_semiring::<MinPlus>();
+        for a in float_samples() {
+            assert!(add_idempotent::<MinPlus>(&a));
+            for b in float_samples() {
+                assert!(add_selects::<MinPlus>(&a, &b));
+            }
+        }
+        // shortest-path reading: the fold sums, the sum takes the minimum
+        assert_eq!(MinPlus::fold_path([1.0, 2.0, 0.5]), 3.5);
+        assert_eq!(MinPlus::sum([3.5, 2.0, 4.0]), 2.0);
+        assert_eq!(MinPlus::fold_path(std::iter::empty()), 0.0);
+        assert_eq!(MinPlus::sum(std::iter::empty()), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_min_is_an_idempotent_selective_semiring() {
+        check_float_semiring::<MaxMin>();
+        for a in float_samples() {
+            assert!(add_idempotent::<MaxMin>(&a));
+            for b in float_samples() {
+                assert!(add_selects::<MaxMin>(&a, &b));
+            }
+        }
+        // widest-path reading: the fold takes the bottleneck, the sum the widest
+        assert_eq!(MaxMin::fold_path([0.9, 0.4, 0.7]), 0.4);
+        assert_eq!(MaxMin::sum([0.4, 0.8, 0.6]), 0.8);
+        // ε has infinite width (the identity of min)
+        assert_eq!(MaxMin::fold_path(std::iter::empty()), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_min_distributes_over_negative_infinity_edge_cases() {
+        // the annihilator −∞ must survive both operations
+        assert_eq!(MaxMin::mul(&f64::NEG_INFINITY, &5.0), f64::NEG_INFINITY);
+        assert_eq!(MaxMin::add(&f64::NEG_INFINITY, &5.0), 5.0);
+        assert!(distributive::<MaxMin>(&f64::NEG_INFINITY, &1.0, &2.0));
+    }
+
+    #[test]
+    fn hop_count_is_min_plus_over_saturating_naturals() {
+        check_int_semiring::<HopCount>(true);
+        for a in int_samples() {
+            assert!(add_idempotent::<HopCount>(&a));
+            for b in int_samples() {
+                assert!(add_selects::<HopCount>(&a, &b));
+            }
+        }
+        assert_eq!(HopCount::fold_path([1, 1, 1]), 3);
+        assert_eq!(HopCount::sum([3, 2, 7]), 2);
+        // saturation keeps ∞ absorbing instead of wrapping
+        assert_eq!(HopCount::mul(&u64::MAX, &1), u64::MAX);
+    }
+
+    #[test]
+    fn counting_semiring_counts_walks() {
+        // distributivity over the saturating samples fails only at the
+        // saturation boundary (saturating arithmetic is not exactly a
+        // semiring at u64::MAX), so check it on small values separately
+        check_int_semiring::<Counting>(false);
+        for a in [0u64, 1, 2, 5] {
+            for b in [0u64, 1, 2, 5] {
+                for c in [0u64, 1, 2, 5] {
+                    assert!(distributive::<Counting>(&a, &b, &c));
+                }
+            }
+        }
+        // two parallel length-2 routes: 1·1 + 1·1 = 2 walks
+        let route = Counting::fold_path([1, 1]);
+        assert_eq!(Counting::sum([route, route]), 2);
+        assert!(!add_idempotent::<Counting>(&1));
+    }
+
+    #[test]
+    fn monoid_wrappers_satisfy_the_monoid_laws() {
+        use crate::monoid::laws as mlaws;
+        let (a, b, c) = (
+            MulMonoid::<MinPlus>::new(1.5),
+            MulMonoid::<MinPlus>::new(2.0),
+            MulMonoid::<MinPlus>::new(0.25),
+        );
+        assert!(mlaws::associative(&a, &b, &c));
+        assert!(mlaws::identity_laws(&a));
+        let (a, b, c) = (
+            AddMonoid::<MaxMin>::new(0.5),
+            AddMonoid::<MaxMin>::new(0.9),
+            AddMonoid::<MaxMin>::new(0.1),
+        );
+        assert!(mlaws::associative(&a, &b, &c));
+        assert!(mlaws::identity_laws(&a));
+        assert!(mlaws::commutative(&a, &b));
+        assert!(mlaws::idempotent(&a));
+        // combine_all is the semiring sum
+        let summed = Monoid::combine_all([a.clone(), b.clone(), c.clone()]);
+        assert_eq!(summed.0, MaxMin::sum([0.5, 0.9, 0.1]));
+    }
+
+    #[test]
+    fn selective_compare_orients_best_first_search() {
+        // MinPlus: smaller is better; MaxMin: larger is better
+        assert!(MinPlus::better(&1.0, &2.0));
+        assert!(!MinPlus::better(&2.0, &1.0));
+        assert!(MaxMin::better(&2.0, &1.0));
+        assert!(!MaxMin::better(&1.0, &2.0));
+        assert!(HopCount::better(&1, &4));
+        // zero is the worst element in a selective semiring
+        assert!(MinPlus::better(&123.0, &MinPlus::zero()));
+        assert!(MaxMin::better(&0.0, &MaxMin::zero()));
+    }
+}

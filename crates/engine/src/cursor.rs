@@ -30,18 +30,20 @@
 //! check (a top-level op runs once, so its cumulative output *is* its level),
 //! making the cap strategy-agnostic.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::ops::ControlFlow;
 
 use mrpa_core::fxhash::FxHashSet;
-use mrpa_core::{ArenaWriter, PathArena, VertexId};
+use mrpa_core::{ArenaWriter, Edge, PathArena, VertexId};
 
 use crate::error::EngineError;
 use crate::exec::{
     apply_ops, check_cap, eval_until, for_each_expansion_edge, in_set, initial_rows, materialized,
     ArenaRow, Counters, ExecCtx, ExecStats, ExecutionStrategy,
 };
-use crate::plan::{AutomatonSpec, Direction, LogicalPlan, PlanOp, Semantics};
+use crate::plan::{
+    AutomatonSpec, Direction, LogicalPlan, PlanOp, Semantics, SemiringKind, WeightSource,
+};
 use crate::query::ResultRow;
 use crate::store::GraphSnapshot;
 use crate::value::Predicate;
@@ -68,15 +70,22 @@ fn take_budget(remaining: &mut Option<usize>) -> bool {
 // Resumable walkers (shared by batch evaluation and cursor stages)
 // ---------------------------------------------------------------------------
 
+/// The frontier dedup set of (global) reachability evaluation: `(vertex,
+/// dfa-state)` pairs already reached. Owned by the *caller* of the walk —
+/// created per input row under [`Semantics::Reachable`], shared across every
+/// input row of the op under [`Semantics::GlobalReachable`], absent under
+/// [`Semantics::Walks`].
+pub(crate) type SeenSet = FxHashSet<(VertexId, usize)>;
+
 /// A resumable product-automaton walk for **one input row**: breadth-first
 /// over `(row, dfa-state)` pairs, suspended between frontier entries.
 ///
 /// * `frontier`/`idx` — the current layer and the next entry to expand;
 /// * `next` — the half-built next layer;
-/// * `pending` — emissions generated but not yet handed out;
-/// * `seen` — `Some` under [`Semantics::Reachable`]: `(vertex, state)` pairs
-///   already reached for this input row; duplicates are dropped before they
-///   are emitted or join the next layer.
+/// * `pending` — emissions generated but not yet handed out.
+///
+/// Reachability dedup state lives outside the walk (see [`SeenSet`]) so one
+/// set can span input rows under [`Semantics::GlobalReachable`].
 #[derive(Debug)]
 pub(crate) struct AutoWalk {
     frontier: Vec<(ArenaRow, usize)>,
@@ -84,19 +93,32 @@ pub(crate) struct AutoWalk {
     hop: usize,
     idx: usize,
     pending: VecDeque<ArenaRow>,
-    seen: Option<FxHashSet<(VertexId, usize)>>,
 }
 
 impl AutoWalk {
     /// Begins the walk for one input row. The caller has already applied the
     /// `from` restriction and checked the emission budget is non-empty. Seeds
-    /// the depth-0 emission when the start state accepts.
+    /// the depth-0 emission when the start state accepts. A start pair the
+    /// shared seen-set has already reached yields an immediately-finished
+    /// walk (its expansions and emission happened at first reach).
     pub(crate) fn start(
         spec: &AutomatonSpec,
         to: &Option<HashSet<VertexId>>,
         row: ArenaRow,
         remaining: &mut Option<usize>,
+        seen: Option<&mut SeenSet>,
     ) -> AutoWalk {
+        if let Some(seen) = seen {
+            if !seen.insert((row.head, spec.start_state())) {
+                return AutoWalk {
+                    frontier: Vec::new(),
+                    next: Vec::new(),
+                    hop: 1,
+                    idx: 0,
+                    pending: VecDeque::new(),
+                };
+            }
+        }
         let mut pending = VecDeque::new();
         if spec.is_accept(spec.start_state()) && in_set(to, row.head) && take_budget(remaining) {
             pending.push_back(row);
@@ -107,21 +129,12 @@ impl AutoWalk {
         } else {
             vec![(row, spec.start_state())]
         };
-        let seen = match spec.semantics() {
-            Semantics::Reachable => {
-                let mut s = FxHashSet::default();
-                s.insert((row.head, spec.start_state()));
-                Some(s)
-            }
-            Semantics::Walks => None,
-        };
         AutoWalk {
             frontier,
             next: Vec::new(),
             hop: 1,
             idx: 0,
             pending,
-            seen,
         }
     }
 
@@ -183,6 +196,7 @@ impl AutoWalk {
     /// [`AutoWalk::step_entry`] directly under one long-lived writer.
     /// `remaining` is the op-level R7 emission budget; reaching zero halts
     /// the walk.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn advance(
         &mut self,
         ctx: &ExecCtx<'_>,
@@ -191,17 +205,21 @@ impl AutoWalk {
         to: &Option<HashSet<VertexId>>,
         delivered: usize,
         remaining: &mut Option<usize>,
+        seen: Option<&mut SeenSet>,
     ) -> Result<(), EngineError> {
         if self.needs_roll() {
             return self.roll(ctx, spec, delivered);
         }
         let mut writer = arena.writer();
-        self.step_entry(ctx, &mut writer, spec, to, remaining);
+        self.step_entry(ctx, &mut writer, spec, to, remaining, seen);
         Ok(())
     }
 
     /// Expands exactly one frontier entry under the caller's writer. Must not
     /// be called when [`AutoWalk::needs_roll`] — entries only exist mid-layer.
+    ///
+    /// Kept in lockstep with [`AutoWalk::run_layer`] (the batch fast path);
+    /// the `cursor ≡ materialized` property suites pin their equivalence.
     pub(crate) fn step_entry(
         &mut self,
         ctx: &ExecCtx<'_>,
@@ -209,6 +227,7 @@ impl AutoWalk {
         spec: &AutomatonSpec,
         to: &Option<HashSet<VertexId>>,
         remaining: &mut Option<usize>,
+        mut seen: Option<&mut SeenSet>,
     ) {
         let (row, state) = self.frontier[self.idx];
         self.idx += 1;
@@ -224,7 +243,7 @@ impl AutoWalk {
             let accepts = spec.is_accept(target);
             for e in graph.out_edges_labeled(row.head, label) {
                 ctx.count_expansion();
-                if let Some(seen) = &mut self.seen {
+                if let Some(seen) = seen.as_deref_mut() {
                     if !seen.insert((e.head, target)) {
                         continue;
                     }
@@ -233,6 +252,7 @@ impl AutoWalk {
                     source: row.source,
                     path: writer.append(row.path, *e),
                     head: e.head,
+                    weight: row.weight,
                 };
                 if accepts && in_set(to, e.head) {
                     if take_budget(remaining) {
@@ -248,6 +268,72 @@ impl AutoWalk {
                 }
                 if survives {
                     self.next.push((produced, target));
+                }
+            }
+        }
+    }
+
+    /// Expands the **entire current layer** in one tight batch loop, pushing
+    /// emissions straight into `out` — the materialized executor's fast path
+    /// (the ~10–15% the per-entry dispatch of [`AutoWalk::step_entry`] costs
+    /// on dense full-enumeration scans came from per-entry calls plus
+    /// pending-queue traffic; this recovers it without giving up the
+    /// cursor's mid-layer suspension points, which keep using `step_entry`).
+    ///
+    /// Semantically identical to driving `step_entry` until
+    /// [`AutoWalk::needs_roll`] and draining `pending` after each entry:
+    /// same emission order, same budget halting, same seen-set discipline.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_layer(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        writer: &mut ArenaWriter<'_>,
+        spec: &AutomatonSpec,
+        to: &Option<HashSet<VertexId>>,
+        remaining: &mut Option<usize>,
+        mut seen: Option<&mut SeenSet>,
+        out: &mut Vec<ArenaRow>,
+    ) {
+        let graph = match spec.direction() {
+            Direction::Out => ctx.snapshot.graph(),
+            Direction::In => ctx.snapshot.reversed(),
+            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
+        };
+        let max_hops = spec.max_hops();
+        while self.idx < self.frontier.len() {
+            let (row, state) = self.frontier[self.idx];
+            self.idx += 1;
+            for &(label, target) in spec.moves(state) {
+                let survives = self.hop < max_hops && !spec.moves(target).is_empty();
+                let accepts = spec.is_accept(target);
+                for e in graph.out_edges_labeled(row.head, label) {
+                    ctx.count_expansion();
+                    if let Some(seen) = seen.as_deref_mut() {
+                        if !seen.insert((e.head, target)) {
+                            continue;
+                        }
+                    }
+                    let produced = ArenaRow {
+                        source: row.source,
+                        path: writer.append(row.path, *e),
+                        head: e.head,
+                        weight: row.weight,
+                    };
+                    if accepts && in_set(to, e.head) {
+                        if take_budget(remaining) {
+                            out.push(produced);
+                            if matches!(remaining, Some(0)) {
+                                self.halt();
+                                return;
+                            }
+                        } else {
+                            self.halt();
+                            return;
+                        }
+                    }
+                    if survives {
+                        self.next.push((produced, target));
+                    }
                 }
             }
         }
@@ -349,6 +435,225 @@ impl RepeatWalk {
     }
 }
 
+/// One prioritized entry of a best-first weighted walk. Ordered so that the
+/// std max-heap pops the **smallest key first** (the semiring-normalized
+/// priority: smaller = better), with insertion order (`seq`) as the
+/// deterministic tie-break — equal-cost paths come out in discovery order,
+/// which is identical across all strategies.
+#[derive(Debug)]
+struct WeightedEntry {
+    key: f64,
+    seq: u64,
+    cost: f64,
+    row: ArenaRow,
+    state: usize,
+    hop: usize,
+}
+
+impl PartialEq for WeightedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key.total_cmp(&other.key).is_eq() && self.seq == other.seq
+    }
+}
+
+impl Eq for WeightedEntry {}
+
+impl PartialOrd for WeightedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WeightedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed on both fields: BinaryHeap is a max-heap, we want the
+        // smallest (key, seq) on top
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A resumable **best-first** (Dijkstra-style) product-automaton walk for one
+/// input row, behind [`PlanOp::ExpandWeighted`].
+///
+/// The priority queue holds `(cost, row, dfa-state, hops)` entries ordered by
+/// the semiring's selection order. One [`WeightedWalk::advance`] pops one
+/// entry: the first pop of a product key *settles* it — its cost is
+/// semiring-optimal, because extension (`⊗` with a validated weight) never
+/// improves a cost — and only settling expands adjacency. An accepting settle
+/// whose head has not been emitted yet emits one row carrying the optimal
+/// cost, so emissions come out **best-first, one per reachable head**, and a
+/// top-k cap (R9) makes pulling the k-th result expand no more of the
+/// product space than that result requires.
+///
+/// * Unbounded (`max_hops == usize::MAX`, the default): settle per
+///   `(vertex, state)` — at most `|V|·|states|` settles, so the walk
+///   terminates on cyclic graphs without any bound.
+/// * Bounded: a cheapest bounded walk may be forced through a vertex whose
+///   unbounded-optimal path is too long, so settling is per
+///   `(vertex, state, hops)` — the layered product space is a DAG and the
+///   same optimality argument applies per layer. The DFA's
+///   distance-to-accept hook prunes entries that cannot finish in budget.
+#[derive(Debug)]
+pub(crate) struct WeightedWalk {
+    heap: BinaryHeap<WeightedEntry>,
+    settled: FxHashSet<(VertexId, usize, usize)>,
+    emitted_heads: FxHashSet<VertexId>,
+    pending: VecDeque<ArenaRow>,
+    seq: u64,
+    bounded: bool,
+}
+
+impl WeightedWalk {
+    /// Begins the walk for one input row (the caller has applied the `from`
+    /// restriction). Nothing is emitted here — even the depth-0 emission of a
+    /// nullable pattern goes through the settle-ordered queue.
+    pub(crate) fn start(spec: &AutomatonSpec, semiring: SemiringKind, row: ArenaRow) -> Self {
+        let one = semiring.one();
+        let mut heap = BinaryHeap::new();
+        heap.push(WeightedEntry {
+            key: semiring.key(one),
+            seq: 0,
+            cost: one,
+            row,
+            state: spec.start_state(),
+            hop: 0,
+        });
+        WeightedWalk {
+            heap,
+            settled: FxHashSet::default(),
+            emitted_heads: FxHashSet::default(),
+            pending: VecDeque::new(),
+            seq: 0,
+            bounded: spec.max_hops() != usize::MAX,
+        }
+    }
+
+    /// Takes the next emission awaiting delivery, if any.
+    pub(crate) fn pop(&mut self) -> Option<ArenaRow> {
+        self.pending.pop_front()
+    }
+
+    /// Moves every pending emission into `out` in one bulk drain.
+    pub(crate) fn drain_pending_into(&mut self, out: &mut Vec<ArenaRow>) {
+        out.extend(self.pending.drain(..));
+    }
+
+    /// Whether the walk can produce no further emissions.
+    pub(crate) fn finished(&self) -> bool {
+        self.pending.is_empty() && self.heap.is_empty()
+    }
+
+    fn halt(&mut self) {
+        self.heap.clear();
+    }
+
+    fn settle_key(&self, v: VertexId, state: usize, hop: usize) -> (VertexId, usize, usize) {
+        (v, state, if self.bounded { hop } else { 0 })
+    }
+
+    /// Pops (and, if fresh, settles and expands) one queue entry — the
+    /// bounded-work unit of the lazy cursor stage. `remaining` is the
+    /// op-level R9 top-k budget; reaching zero halts the walk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn advance(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        spec: &AutomatonSpec,
+        semiring: SemiringKind,
+        weight: &WeightSource,
+        to: &Option<HashSet<VertexId>>,
+        delivered: usize,
+        remaining: &mut Option<usize>,
+    ) -> Result<(), EngineError> {
+        let Some(entry) = self.heap.pop() else {
+            return Ok(());
+        };
+        let WeightedEntry {
+            cost,
+            row,
+            state,
+            hop,
+            ..
+        } = entry;
+        if !self.settled.insert(self.settle_key(row.head, state, hop)) {
+            return Ok(()); // a stale (worse) duplicate of an earlier settle
+        }
+        // an accepting settle is this head's semiring-optimal match; emit it
+        // once per head — a head suppressed by `to` still counts as emitted,
+        // so the output equals post-filtering the unrestricted emissions
+        if spec.is_accept(state) && self.emitted_heads.insert(row.head) && in_set(to, row.head) {
+            let mut emitted = row;
+            emitted.weight = Some(cost);
+            if take_budget(remaining) {
+                self.pending.push_back(emitted);
+                if matches!(remaining, Some(0)) {
+                    self.halt();
+                    return Ok(());
+                }
+            } else {
+                self.halt();
+                return Ok(());
+            }
+        }
+        if hop >= spec.max_hops() {
+            return Ok(());
+        }
+        let graph = match spec.direction() {
+            Direction::Out => ctx.snapshot.graph(),
+            Direction::In => ctx.snapshot.reversed(),
+            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
+        };
+        let mut writer = arena.writer();
+        for &(label, target) in spec.moves(state) {
+            // admissible bound pruning: any completion from `target` needs at
+            // least dist_to_accept more edges (compile-time pruning already
+            // removed moves into states that can never accept)
+            if self.bounded {
+                match spec.dist_to_accept(target) {
+                    Some(d) if hop + 1 + d <= spec.max_hops() => {}
+                    _ => continue,
+                }
+            }
+            for e in graph.out_edges_labeled(row.head, label) {
+                ctx.count_expansion();
+                if self
+                    .settled
+                    .contains(&self.settle_key(e.head, target, hop + 1))
+                {
+                    continue;
+                }
+                // property lookup always uses the stored orientation
+                let stored = match spec.direction() {
+                    Direction::In => Edge::new(e.head, e.label, e.tail),
+                    _ => *e,
+                };
+                let w = weight.resolve(ctx.snapshot, &stored, semiring)?;
+                let cost2 = semiring.extend(cost, w);
+                self.seq += 1;
+                self.heap.push(WeightedEntry {
+                    key: semiring.key(cost2),
+                    seq: self.seq,
+                    cost: cost2,
+                    row: ArenaRow {
+                        source: row.source,
+                        path: writer.append(row.path, *e),
+                        head: e.head,
+                        weight: row.weight,
+                    },
+                    state: target,
+                    hop: hop + 1,
+                });
+            }
+        }
+        check_cap(self.heap.len() + delivered + self.pending.len(), ctx.cap)?;
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Stages
 // ---------------------------------------------------------------------------
@@ -388,6 +693,21 @@ enum StageOp {
         /// The R7 emission budget; `Some(0)` saturates the stage.
         remaining: Option<usize>,
         walk: Option<AutoWalk>,
+        /// Reachability dedup state: reset per input row under
+        /// [`Semantics::Reachable`], carried across rows under
+        /// [`Semantics::GlobalReachable`], `None` under [`Semantics::Walks`].
+        seen: Option<SeenSet>,
+    },
+    Weighted {
+        input: Box<Stage>,
+        spec: AutomatonSpec,
+        semiring: SemiringKind,
+        weight: WeightSource,
+        from: Option<HashSet<VertexId>>,
+        to: Option<HashSet<VertexId>>,
+        /// The R9 top-k budget; `Some(0)` saturates the stage.
+        remaining: Option<usize>,
+        walk: Option<WeightedWalk>,
     },
     Repeat {
         input: Box<Stage>,
@@ -466,12 +786,36 @@ impl Stage {
                     from,
                     to,
                     limit,
-                } => StageOp::Automaton {
-                    input: Box::new(cur),
+                } => {
+                    let seen = match spec.semantics() {
+                        Semantics::GlobalReachable => Some(SeenSet::default()),
+                        Semantics::Walks | Semantics::Reachable => None,
+                    };
+                    StageOp::Automaton {
+                        input: Box::new(cur),
+                        spec,
+                        from,
+                        to,
+                        remaining: limit,
+                        walk: None,
+                        seen,
+                    }
+                }
+                PlanOp::ExpandWeighted {
                     spec,
+                    semiring,
+                    weight,
                     from,
                     to,
-                    remaining: limit,
+                    k,
+                } => StageOp::Weighted {
+                    input: Box::new(cur),
+                    spec,
+                    semiring,
+                    weight,
+                    from,
+                    to,
+                    remaining: k,
                     walk: None,
                 },
                 PlanOp::Repeat {
@@ -518,6 +862,7 @@ impl Stage {
         match &mut self.op {
             StageOp::Expand { input, .. }
             | StageOp::Automaton { input, .. }
+            | StageOp::Weighted { input, .. }
             | StageOp::Repeat { input, .. }
             | StageOp::RestrictVertices { input, .. }
             | StageOp::RestrictProperty { input, .. }
@@ -608,6 +953,7 @@ impl Stage {
                                 source: row.source,
                                 path: writer.append(row.path, *e),
                                 head: e.head,
+                                weight: row.weight,
                             });
                         });
                     }
@@ -616,6 +962,46 @@ impl Stage {
             StageOp::Automaton {
                 input,
                 spec,
+                from,
+                to,
+                remaining,
+                walk,
+                seen,
+            } => loop {
+                if let Some(w) = walk {
+                    if let Some(row) = w.pop() {
+                        return Ok(ControlFlow::Continue(Some(row)));
+                    }
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    w.advance(ctx, arena, spec, to, delivered, remaining, seen.as_mut())?;
+                    continue;
+                }
+                if matches!(remaining, Some(0)) {
+                    return Ok(ControlFlow::Break(()));
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(ControlFlow::Break(())),
+                    ControlFlow::Continue(None) => return Ok(ControlFlow::Continue(None)),
+                    ControlFlow::Continue(Some(row)) => {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        if spec.semantics() == Semantics::Reachable {
+                            // per-row reachability: fresh dedup state per walk
+                            *seen = Some(SeenSet::default());
+                        }
+                        *walk = Some(AutoWalk::start(spec, to, row, remaining, seen.as_mut()));
+                    }
+                }
+            },
+            StageOp::Weighted {
+                input,
+                spec,
+                semiring,
+                weight,
                 from,
                 to,
                 remaining,
@@ -629,7 +1015,9 @@ impl Stage {
                         *walk = None;
                         continue;
                     }
-                    w.advance(ctx, arena, spec, to, delivered, remaining)?;
+                    w.advance(
+                        ctx, arena, spec, *semiring, weight, to, delivered, remaining,
+                    )?;
                     continue;
                 }
                 if matches!(remaining, Some(0)) {
@@ -642,7 +1030,7 @@ impl Stage {
                         if !in_set(from, row.head) {
                             continue;
                         }
-                        *walk = Some(AutoWalk::start(spec, to, row, remaining));
+                        *walk = Some(WeightedWalk::start(spec, *semiring, row));
                     }
                 }
             },
@@ -829,10 +1217,23 @@ impl RowCursor {
                     .unwrap_or(4)
             })
             .min(plan.start().len().max(1));
+        // stateful-across-rows ops must run in the global single-threaded
+        // suffix: Dedup/Limit, and a GlobalReachable automaton (its shared
+        // seen-set makes each row's output depend on every earlier row —
+        // per-partition seen-sets would change emissions, unlike the R7/R9
+        // emission caps, which are sound per-partition over-approximations)
+        let stateful = |op: &PlanOp| {
+            matches!(op, PlanOp::DedupByVertex | PlanOp::Limit(_))
+                || matches!(
+                    op,
+                    PlanOp::ExpandAutomaton { spec, .. }
+                        if spec.semantics() == Semantics::GlobalReachable
+                )
+        };
         let split = plan
             .ops()
             .iter()
-            .position(|op| matches!(op, PlanOp::DedupByVertex | PlanOp::Limit(_)))
+            .position(stateful)
             .unwrap_or(plan.ops().len());
         if threads <= 1 || plan.start().len() <= 1 || split == 0 {
             return Self::batch(snapshot, plan, cap);
@@ -921,6 +1322,7 @@ impl RowCursor {
                         source: row.source,
                         path: arena.to_path(row.path),
                         head: row.head,
+                        weight: row.weight,
                     })
                 } else {
                     RowDelivery::Counted
@@ -1007,6 +1409,7 @@ impl Partition {
                     source: row.source,
                     path: self.arena.to_path(row.path),
                     head: row.head,
+                    weight: row.weight,
                 }),
                 ControlFlow::Continue(None) | ControlFlow::Break(()) => {
                     self.done = true;
@@ -1060,6 +1463,7 @@ impl ParallelState {
                             source: row.source,
                             path: sfx.arena.to_path(row.path),
                             head: row.head,
+                            weight: row.weight,
                         }))
                     }
                     ControlFlow::Continue(None) => {} // starved: feed below
@@ -1113,6 +1517,7 @@ impl ParallelState {
                                 source: row.source,
                                 path: sfx.arena.intern(&row.path),
                                 head: row.head,
+                                weight: row.weight,
                             }
                         })
                         .collect();

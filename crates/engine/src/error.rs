@@ -19,6 +19,11 @@ pub enum EngineError {
     },
     /// A `match_` path pattern failed to parse or compile.
     InvalidPattern(String),
+    /// A weighted traversal could not resolve a usable weight for a traversed
+    /// edge (missing/non-numeric property, label absent from the weight
+    /// table, non-finite value, or a negative weight under shortest-path
+    /// search).
+    BadWeight(String),
     /// The pipeline asked for a step combination the planner does not support.
     Unsupported(String),
     /// A lower-level algebra error.
@@ -34,6 +39,7 @@ impl fmt::Display for EngineError {
                 write!(f, "{what} exceeded bound {bound}")
             }
             EngineError::InvalidPattern(msg) => write!(f, "invalid path pattern: {msg}"),
+            EngineError::BadWeight(msg) => write!(f, "bad edge weight: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported pipeline: {msg}"),
             EngineError::Core(msg) => write!(f, "algebra error: {msg}"),
         }

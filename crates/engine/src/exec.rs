@@ -51,15 +51,12 @@ use std::collections::HashSet;
 
 use mrpa_core::{Edge, LabelId, PathArena, PathId, VertexId};
 
-use crate::cursor::{AutoWalk, RepeatWalk, RowCursor};
+use crate::cursor::{AutoWalk, RepeatWalk, RowCursor, SeenSet, WeightedWalk};
 use crate::error::EngineError;
-use crate::plan::{Direction, LogicalPlan, PlanOp};
+use crate::plan::{Direction, LogicalPlan, PlanOp, Semantics};
 use crate::query::{QueryResult, ResultRow};
 use crate::store::GraphSnapshot;
 use crate::value::Predicate;
-
-#[cfg(doc)]
-use crate::plan::Semantics;
 
 /// Which executor evaluates the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,11 +133,14 @@ pub fn execute(
 }
 
 /// A result row during evaluation: the path lives in the execution's arena.
+/// `weight` is the semiring cost assigned by the most recent weighted op
+/// (`None` until one runs); unweighted ops propagate it unchanged.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ArenaRow {
     pub(crate) source: VertexId,
     pub(crate) path: PathId,
     pub(crate) head: VertexId,
+    pub(crate) weight: Option<f64>,
 }
 
 pub(crate) fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
@@ -150,6 +150,7 @@ pub(crate) fn initial_rows(start: &[VertexId]) -> Vec<ArenaRow> {
             source: v,
             path: PathId::EPSILON,
             head: v,
+            weight: None,
         })
         .collect()
 }
@@ -162,6 +163,7 @@ pub(crate) fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<Re
             source: r.source,
             path: arena.to_path(r.path),
             head: r.head,
+            weight: r.weight,
         })
         .collect()
 }
@@ -259,6 +261,7 @@ pub(crate) fn apply_op(
                         source: row.source,
                         path: writer.append(row.path, *e),
                         head: e.head,
+                        weight: row.weight,
                     });
                 });
             }
@@ -273,9 +276,15 @@ pub(crate) fn apply_op(
             // product-automaton expansion, row by row so emissions are
             // row-major; `remaining` is the R7 emission cap shared across
             // input rows. One write-lock acquisition for the whole op —
-            // dropped around layer rollovers, which hold no writer.
+            // dropped around layer rollovers, which hold no writer. Each
+            // layer runs through the batch-stepping fast path
+            // (`AutoWalk::run_layer`) instead of per-entry dispatch.
             let mut emitted: Vec<ArenaRow> = Vec::new();
             let mut remaining = *limit;
+            let mut seen: Option<SeenSet> = match spec.semantics() {
+                Semantics::GlobalReachable => Some(SeenSet::default()),
+                Semantics::Walks | Semantics::Reachable => None,
+            };
             let mut writer = arena.writer();
             for row in rows {
                 if matches!(remaining, Some(0)) {
@@ -284,20 +293,72 @@ pub(crate) fn apply_op(
                 if !in_set(from, row.head) {
                     continue;
                 }
-                let mut walk = AutoWalk::start(spec, to, row, &mut remaining);
+                if spec.semantics() == Semantics::Reachable {
+                    seen = Some(SeenSet::default());
+                }
+                let mut walk = AutoWalk::start(spec, to, row, &mut remaining, seen.as_mut());
+                walk.drain_pending_into(&mut emitted);
                 loop {
-                    walk.drain_pending_into(&mut emitted);
                     if walk.finished() {
                         break;
                     }
                     if walk.needs_roll() {
                         walk.roll(ctx, spec, emitted.len())?;
                     } else {
-                        walk.step_entry(ctx, &mut writer, spec, to, &mut remaining);
+                        walk.run_layer(
+                            ctx,
+                            &mut writer,
+                            spec,
+                            to,
+                            &mut remaining,
+                            seen.as_mut(),
+                            &mut emitted,
+                        );
                     }
                 }
             }
             drop(writer);
+            emitted
+        }
+        PlanOp::ExpandWeighted {
+            spec,
+            semiring,
+            weight,
+            from,
+            to,
+            k,
+        } => {
+            // best-first weighted expansion, row by row (row-major emission
+            // order); `remaining` is the R9 top-k cap shared across rows.
+            // The walker acquires a short-lived writer per settle, so no
+            // lock is held across heap operations.
+            let mut emitted: Vec<ArenaRow> = Vec::new();
+            let mut remaining = *k;
+            for row in rows {
+                if matches!(remaining, Some(0)) {
+                    break;
+                }
+                if !in_set(from, row.head) {
+                    continue;
+                }
+                let mut walk = WeightedWalk::start(spec, *semiring, row);
+                loop {
+                    walk.drain_pending_into(&mut emitted);
+                    if walk.finished() {
+                        break;
+                    }
+                    walk.advance(
+                        ctx,
+                        arena,
+                        spec,
+                        *semiring,
+                        weight,
+                        to,
+                        emitted.len(),
+                        &mut remaining,
+                    )?;
+                }
+            }
             emitted
         }
         PlanOp::Repeat {
@@ -644,6 +705,17 @@ mod tests {
             Traversal::over(&g).both_any(),
             // automaton + repeat prefix with stateful tail
             Traversal::over(&g).match_("knows*·created").dedup(),
+            // a GlobalReachable automaton is stateful across rows: it must
+            // land in the global suffix, not the partitioned prefix
+            Traversal::over(&g)
+                .out_any()
+                .match_reachable_global("knows+"),
+            // weighted ops are parallel-safe in the prefix (per-row search);
+            // the R9 cap is a sound per-partition over-approximation
+            Traversal::over(&g)
+                .cheapest_("(knows|created)+")
+                .weight_by("weight")
+                .top_k(3),
         ];
         for (i, t) in pipelines.iter().enumerate() {
             let naive = crate::plan::plan(&snap, t.start_spec(), t.steps()).unwrap();

@@ -60,10 +60,10 @@ pub mod value;
 pub use cursor::RowCursor;
 pub use error::EngineError;
 pub use exec::{ExecStats, ExecutionStrategy};
-pub use pipeline::{Pipeline, StartSpec, Step, Traversal};
+pub use pipeline::{Pipeline, StartSpec, Step, Traversal, WeightSpec};
 pub use plan::{
-    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, Semantics,
-    DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
+    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, Semantics, SemiringKind,
+    WeightSource, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 pub use query::{QueryResult, ResultRow};
 pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph};
@@ -73,8 +73,8 @@ pub use value::{Predicate, Value};
 pub mod prelude {
     pub use crate::cursor::RowCursor;
     pub use crate::exec::{ExecStats, ExecutionStrategy};
-    pub use crate::pipeline::{Pipeline, Traversal};
-    pub use crate::plan::{PlanReport, Semantics};
+    pub use crate::pipeline::{Pipeline, Traversal, WeightSpec};
+    pub use crate::plan::{PlanReport, Semantics, SemiringKind};
     pub use crate::query::QueryResult;
     pub use crate::store::{classic_social_graph, GraphSnapshot, PropertyGraph};
     pub use crate::value::{Predicate, Value};

@@ -43,7 +43,9 @@ use std::ops::RangeInclusive;
 
 use crate::cursor::RowCursor;
 use crate::exec::ExecutionStrategy;
-use crate::plan::{self, Direction, Semantics, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS};
+use crate::plan::{
+    self, Direction, Semantics, SemiringKind, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
+};
 use crate::query::{QueryResult, ResultRow};
 use crate::store::PropertyGraph;
 use crate::value::Predicate;
@@ -58,6 +60,20 @@ pub enum StartSpec {
     Named(Vec<String>),
     /// Start at vertices whose property satisfies a predicate.
     Where(String, Predicate),
+}
+
+/// How a weighted step ([`Step::Weighted`]) obtains each traversed edge's
+/// weight — the name-level counterpart of the plan's
+/// [`WeightSource`](crate::plan::WeightSource), resolved at plan time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightSpec {
+    /// Every edge weighs 1 (hop counting). The default for
+    /// [`Traversal::cheapest_`] and [`Traversal::widest_`].
+    Unit,
+    /// Read the weight from this edge property.
+    Property(String),
+    /// A per-label weight table.
+    Labels(Vec<(String, f64)>),
 }
 
 /// One step of a traversal pipeline.
@@ -89,6 +105,30 @@ pub enum Step {
         /// Walk vs. reachability evaluation semantics.
         semantics: Semantics,
     },
+    /// Semiring-weighted best-first path search: per input row, one row per
+    /// reachable head matching the pattern, carrying the semiring-optimal
+    /// path and cost, emitted best-cost-first. Built by
+    /// [`Traversal::cheapest_`] / [`Traversal::widest_`] and refined by
+    /// [`Traversal::weight_by`] / [`Traversal::weight_by_labels`].
+    Weighted {
+        /// The label-regex pattern text (parsed at plan time).
+        pattern: String,
+        /// Depth bound ([`crate::plan::UNBOUNDED_MATCH_HOPS`] = none;
+        /// unbounded is safe here — best-first settling terminates on cyclic
+        /// graphs by itself).
+        max_hops: usize,
+        /// Direction of travel (`Out` or `In`; `Both` is rejected at plan
+        /// time).
+        direction: Direction,
+        /// Which selective semiring orders the search.
+        semiring: SemiringKind,
+        /// Where edge weights come from.
+        weight: WeightSpec,
+    },
+    /// A dangling `weight_by` that did not follow a weighted step; rejected
+    /// at plan time (the builder folds a well-placed `weight_by` into the
+    /// preceding [`Step::Weighted`] instead of emitting this).
+    WeightBy(WeightSpec),
     /// Bounded Kleene iteration of a nested pipeline fragment: rows that have
     /// completed `k` body iterations for `min ≤ k ≤ max` are emitted. With
     /// `until`, a row instead exits (and is emitted) as soon as its head
@@ -256,6 +296,99 @@ impl Pipeline {
             direction: Direction::Out,
             semantics: Semantics::Reachable,
         })
+    }
+
+    /// A path pattern under **global** reachability semantics (see
+    /// [`Traversal::match_reachable_global`]): one shared `(vertex, state)`
+    /// seen-set across all input rows.
+    pub fn match_reachable_global(self, pattern: &str) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops: UNBOUNDED_MATCH_HOPS,
+            direction: Direction::Out,
+            semantics: Semantics::GlobalReachable,
+        })
+    }
+
+    /// [`Pipeline::match_reachable_global`] with an explicit depth bound.
+    pub fn match_reachable_global_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.push(Step::Match {
+            pattern: pattern.to_owned(),
+            max_hops,
+            direction: Direction::Out,
+            semantics: Semantics::GlobalReachable,
+        })
+    }
+
+    /// Best-first shortest-path search over a pattern (see
+    /// [`Traversal::cheapest_`]). Unit weights (hop counting) by default;
+    /// follow with [`Pipeline::weight_by`] for property weights.
+    pub fn cheapest_(self, pattern: &str) -> Self {
+        self.cheapest_within(pattern, UNBOUNDED_MATCH_HOPS)
+    }
+
+    /// [`Pipeline::cheapest_`] with an explicit depth bound.
+    pub fn cheapest_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.push(Step::Weighted {
+            pattern: pattern.to_owned(),
+            max_hops,
+            direction: Direction::Out,
+            semiring: SemiringKind::Shortest,
+            weight: WeightSpec::Unit,
+        })
+    }
+
+    /// Best-first widest-path (bottleneck) search over a pattern (see
+    /// [`Traversal::widest_`]).
+    pub fn widest_(self, pattern: &str) -> Self {
+        self.widest_within(pattern, UNBOUNDED_MATCH_HOPS)
+    }
+
+    /// [`Pipeline::widest_`] with an explicit depth bound.
+    pub fn widest_within(self, pattern: &str, max_hops: usize) -> Self {
+        self.push(Step::Weighted {
+            pattern: pattern.to_owned(),
+            max_hops,
+            direction: Direction::Out,
+            semiring: SemiringKind::Widest,
+            weight: WeightSpec::Unit,
+        })
+    }
+
+    fn set_weight(mut self, weight: WeightSpec) -> Self {
+        match self.steps.last_mut() {
+            Some(Step::Weighted { weight: slot, .. }) => {
+                *slot = weight;
+                self
+            }
+            // dangling: remember it so planning reports the misuse
+            _ => self.push(Step::WeightBy(weight)),
+        }
+    }
+
+    /// Weights the preceding weighted step by an edge property (see
+    /// [`Traversal::weight_by`]).
+    pub fn weight_by(self, key: &str) -> Self {
+        self.set_weight(WeightSpec::Property(key.to_owned()))
+    }
+
+    /// Weights the preceding weighted step by a per-label table (see
+    /// [`Traversal::weight_by_labels`]).
+    pub fn weight_by_labels<I, S>(self, table: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        self.set_weight(WeightSpec::Labels(
+            table.into_iter().map(|(s, w)| (s.into(), w)).collect(),
+        ))
+    }
+
+    /// Keeps the first `k` rows of a weighted search (see
+    /// [`Traversal::top_k`] for the per-input-row ordering caveat). Sugar
+    /// for [`Pipeline::limit`].
+    pub fn top_k(self, k: usize) -> Self {
+        self.limit(k)
     }
 
     /// Repeats a nested fragment between `times.start()` and `times.end()`
@@ -522,6 +655,156 @@ impl Traversal {
     /// [`Traversal::match_reachable`] with an explicit depth bound.
     pub fn match_reachable_within(mut self, pattern: &str, max_hops: usize) -> Self {
         self.pipeline = self.pipeline.match_reachable_within(pattern, max_hops);
+        self
+    }
+
+    /// Traverses a path pattern under **global reachability semantics**
+    /// ([`Semantics::GlobalReachable`]): like [`Traversal::match_reachable`],
+    /// but one `(vertex, dfa-state)` seen-set is shared across *all* input
+    /// rows, so each pair is expanded — and emitted — at most once for the
+    /// whole step, attributed to the first source (in row order) that
+    /// reaches it. The multi-source reachability mode: `n` sources cost one
+    /// sweep of the product space instead of `n`.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// // vertices reachable from *any* vertex, each reported exactly once
+    /// let r = Traversal::over(&g).match_reachable_global("_+").execute().unwrap();
+    /// assert_eq!(
+    ///     r.head_names_sorted(),
+    ///     vec!["josh", "lop", "ripple", "vadas"]
+    /// );
+    /// ```
+    pub fn match_reachable_global(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.match_reachable_global(pattern);
+        self
+    }
+
+    /// [`Traversal::match_reachable_global`] with an explicit depth bound.
+    pub fn match_reachable_global_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self
+            .pipeline
+            .match_reachable_global_within(pattern, max_hops);
+        self
+    }
+
+    /// Best-first **shortest-path** search over a regular path pattern: per
+    /// input row, one row per reachable head whose walk matches the pattern,
+    /// carrying the minimum-cost path and its cost
+    /// ([`crate::ResultRow::weight`]), emitted cheapest-first. Costs are the
+    /// tropical min-plus fold of edge weights — unit weights (hop counting)
+    /// unless a [`Traversal::weight_by`] variant follows. Evaluation is
+    /// Dijkstra over the `(vertex, dfa-state)` product automaton, so it
+    /// terminates on cyclic graphs without a hop bound, and a following
+    /// [`Traversal::top_k`] expands no more of the product space than the
+    /// k-th result requires (optimizer rule R9).
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .cheapest_("knows·created")
+    ///     .weight_by("weight")
+    ///     .execute()
+    ///     .unwrap();
+    /// // cheapest matching path per destination, cheapest destination first
+    /// assert_eq!(r.head_names(), vec!["lop", "ripple"]);
+    /// let w: Vec<f64> = r.weights().into_iter().flatten().collect();
+    /// assert!((w[0] - 1.4).abs() < 1e-9); // marko -knows(1.0)-> josh -created(0.4)-> lop
+    /// assert!((w[1] - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn cheapest_(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.cheapest_(pattern);
+        self
+    }
+
+    /// [`Traversal::cheapest_`] with an explicit bound on the number of
+    /// edges a matching walk may take. Bounded search settles per
+    /// `(vertex, state, hops)`, so results are optimal *within the bound*.
+    pub fn cheapest_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self.pipeline.cheapest_within(pattern, max_hops);
+        self
+    }
+
+    /// Best-first **widest-path** (bottleneck) search over a pattern: like
+    /// [`Traversal::cheapest_`] but under the max-min semiring — a path's
+    /// cost is its *narrowest* edge weight, and per head the path maximising
+    /// that bottleneck wins, widest head first.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .widest_("knows·created")
+    ///     .weight_by("weight")
+    ///     .execute()
+    ///     .unwrap();
+    /// // ripple's route sustains weight 1.0 throughout; lop's best is 0.4
+    /// assert_eq!(r.head_names(), vec!["ripple", "lop"]);
+    /// ```
+    pub fn widest_(mut self, pattern: &str) -> Self {
+        self.pipeline = self.pipeline.widest_(pattern);
+        self
+    }
+
+    /// [`Traversal::widest_`] with an explicit depth bound.
+    pub fn widest_within(mut self, pattern: &str, max_hops: usize) -> Self {
+        self.pipeline = self.pipeline.widest_within(pattern, max_hops);
+        self
+    }
+
+    /// Weights the preceding `cheapest_`/`widest_` step by an edge property:
+    /// each traversed edge must carry a finite numeric value under `key`
+    /// (missing or non-numeric values are a
+    /// [`crate::EngineError::BadWeight`] error, and shortest-path search
+    /// additionally rejects negative weights). Anywhere else in the pipeline,
+    /// `weight_by` is rejected at plan time.
+    pub fn weight_by(mut self, key: &str) -> Self {
+        self.pipeline = self.pipeline.weight_by(key);
+        self
+    }
+
+    /// Weights the preceding `cheapest_`/`widest_` step by a per-label
+    /// table, resolved at plan time — the "weighted mapping" of
+    /// multi-relational analysis: relation types priced by how strongly they
+    /// connect.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let r = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .cheapest_("(knows|created)+")
+    ///     .weight_by_labels([("knows", 1.0), ("created", 10.0)])
+    ///     .top_k(2)
+    ///     .execute()
+    ///     .unwrap();
+    /// // the two destinations cheapest under "created is 10x knows"
+    /// assert_eq!(r.head_names(), vec!["vadas", "josh"]);
+    /// ```
+    pub fn weight_by_labels<I, S>(mut self, table: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        self.pipeline = self.pipeline.weight_by_labels(table);
+        self
+    }
+
+    /// Keeps the first `k` rows of a weighted search. Sugar for
+    /// [`Traversal::limit`]: a weighted step emits its rows best-cost-first
+    /// **within each input row** (rows stay row-major across input rows), so
+    /// with a single start vertex — the common shape for ranking queries —
+    /// truncation is exactly top-k, and the optimizer (rule R9) pushes the
+    /// cap into the best-first walk, which then settles only as much of the
+    /// product space as the k-th result requires. With several start
+    /// vertices the kept rows are the first `k` of the per-source streams in
+    /// source order, *not* a global cost ranking.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.pipeline = self.pipeline.top_k(k);
         self
     }
 

@@ -107,6 +107,16 @@
 //! sequence keeps exactly the first walk per `(head, state)` — see
 //! [`Semantics`] and the rule's soundness note.
 //!
+//! **R9 — top-k pushdown into weighted expansions.** A `Limit(n)` immediately
+//! after a [`PlanOp::ExpandWeighted`] becomes the weighted op's `k` cap: the
+//! best-first walk stops (and the remaining input rows are skipped) once `n`
+//! rows have been emitted. Identical soundness argument to R7 — the weighted
+//! op's emission sequence is already the sequence the limit truncates — but
+//! the payoff is bigger: because emissions within an input row come out in
+//! semiring cost order, the cap turns "enumerate all best paths, keep `n`"
+//! into a true *top-k* search that settles no more of the product space than
+//! the k-th result requires.
+//!
 //! The naive (pre-rewrite) plan remains available: [`plan`] lowers without
 //! rewriting, [`optimize`] rewrites, and [`report`] packages both plus
 //! per-op cardinality estimates into a [`PlanReport`] for
@@ -115,11 +125,13 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
-use mrpa_core::{LabelId, VertexId};
+use mrpa_core::fxhash::FxHashMap;
+use mrpa_core::semiring::{MaxMin, MinPlus, SelectiveSemiring, Semiring};
+use mrpa_core::{Edge, LabelId, VertexId};
 use mrpa_regex::{minimize, parse_label_expr, Dfa, LabelRegex, Nfa};
 
 use crate::error::EngineError;
-use crate::pipeline::{StartSpec, Step};
+use crate::pipeline::{StartSpec, Step, WeightSpec};
 use crate::store::GraphSnapshot;
 use crate::value::Predicate;
 
@@ -162,6 +174,136 @@ pub enum Semantics {
     /// *first* walk as its path. Rows that differ only in their path collapse;
     /// `match_` over a cyclic graph terminates without `max_intermediate`.
     Reachable,
+    /// [`Semantics::Reachable`] with **one seen-set shared across all input
+    /// rows**: each `(vertex, dfa-state)` pair is expanded — and emitted — at
+    /// most once for the whole operation, attributed to the first input row
+    /// (in row-major order) that reaches it. The multi-source reachability
+    /// mode: `n` sources cost one BFS over the product space instead of `n`.
+    /// Stateful across rows, so it forces the parallel strategy's
+    /// global-suffix split and is rejected inside `repeat` bodies.
+    GlobalReachable,
+}
+
+/// Which selective semiring a [`PlanOp::ExpandWeighted`] optimises over. The
+/// scalar structures live in [`mrpa_core::semiring`]; this enum is the
+/// plan-level (runtime) selection between them, over `f64` weights.
+///
+/// Hop counting ([`mrpa_core::semiring::HopCount`]) is expressed as
+/// `Shortest` × [`WeightSource::Unit`]; the counting semiring is not
+/// selective and therefore has no best-first plan op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiringKind {
+    /// Tropical min-plus ([`MinPlus`]): minimise the sum of edge weights.
+    /// Best-first search requires non-negative weights (checked when each
+    /// weight is resolved).
+    Shortest,
+    /// Max-min ([`MaxMin`]): maximise the bottleneck (minimum edge weight).
+    Widest,
+}
+
+impl SemiringKind {
+    /// The weight of the empty path ε (`1̄`).
+    pub fn one(self) -> f64 {
+        match self {
+            SemiringKind::Shortest => MinPlus::one(),
+            SemiringKind::Widest => MaxMin::one(),
+        }
+    }
+
+    /// Extends a path cost by one edge weight (`⊗`).
+    pub fn extend(self, cost: f64, w: f64) -> f64 {
+        match self {
+            SemiringKind::Shortest => MinPlus::mul(&cost, &w),
+            SemiringKind::Widest => MaxMin::mul(&cost, &w),
+        }
+    }
+
+    /// Whether `a` is strictly better than `b` under the semiring's
+    /// selection order.
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            SemiringKind::Shortest => MinPlus::better(&a, &b),
+            SemiringKind::Widest => MaxMin::better(&a, &b),
+        }
+    }
+
+    /// A priority key for best-first search: smaller keys pop first, and
+    /// `key(a) < key(b)` iff `a` is better than `b`.
+    pub(crate) fn key(self, cost: f64) -> f64 {
+        match self {
+            SemiringKind::Shortest => cost,
+            SemiringKind::Widest => -cost,
+        }
+    }
+
+    /// Validates a resolved edge weight for this semiring: weights must be
+    /// finite, and `Shortest` additionally requires non-negativity (the
+    /// Dijkstra monotonicity condition — a negative edge could improve a
+    /// settled cost).
+    fn validate(self, w: f64, edge: &Edge) -> Result<f64, EngineError> {
+        if !w.is_finite() {
+            return Err(EngineError::BadWeight(format!(
+                "edge {edge} has non-finite weight {w}"
+            )));
+        }
+        if self == SemiringKind::Shortest && w < 0.0 {
+            return Err(EngineError::BadWeight(format!(
+                "edge {edge} has negative weight {w}; best-first shortest-path search requires \
+                 non-negative weights"
+            )));
+        }
+        Ok(w)
+    }
+}
+
+/// Where a [`PlanOp::ExpandWeighted`] reads each traversed edge's weight.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightSource {
+    /// Every edge weighs `1.0` (hop counting under `Shortest`).
+    Unit,
+    /// Read the weight from this edge property; a missing or non-numeric
+    /// value is a [`EngineError::BadWeight`] error, not a silent skip.
+    Property(String),
+    /// A per-label weight table (resolved from names at plan time); an edge
+    /// whose label is absent from the table is an error.
+    Labels(FxHashMap<LabelId, f64>),
+}
+
+impl WeightSource {
+    /// Resolves the weight of a traversed edge, given in the *stored*
+    /// orientation (callers walking the reversed graph flip the edge first so
+    /// property lookup matches `add_edge_with`), validated for `semiring`.
+    pub(crate) fn resolve(
+        &self,
+        snapshot: &GraphSnapshot,
+        edge: &Edge,
+        semiring: SemiringKind,
+    ) -> Result<f64, EngineError> {
+        let w = match self {
+            WeightSource::Unit => 1.0,
+            WeightSource::Property(key) => match snapshot.edge_property(edge, key) {
+                Some(v) => v.as_finite_number().ok_or_else(|| {
+                    EngineError::BadWeight(format!(
+                        "edge {edge} property {key:?} is not a finite number: {v}"
+                    ))
+                })?,
+                None => {
+                    return Err(EngineError::BadWeight(format!(
+                        "edge {edge} has no {key:?} property to weight it by"
+                    )))
+                }
+            },
+            WeightSource::Labels(table) => match table.get(&edge.label) {
+                Some(&w) => w,
+                None => {
+                    return Err(EngineError::BadWeight(format!(
+                        "edge {edge} has a label missing from the weight table"
+                    )))
+                }
+            },
+        };
+        semiring.validate(w, edge)
+    }
 }
 
 /// The symbolic DFA's matcher budget (signatures are packed into a `u64`).
@@ -184,8 +326,16 @@ pub struct AutomatonSpec {
     start: usize,
     /// Per-state acceptance.
     accept: Vec<bool>,
-    /// Per-state `(label, target)` moves, in the graph's label order.
+    /// Per-state `(label, target)` moves, in the graph's label order. Moves
+    /// into states that cannot reach an accepting state over the graph's
+    /// label alphabet are pruned at compile time (they could only ever feed
+    /// dead frontier entries).
     by_label: Vec<Vec<(LabelId, usize)>>,
+    /// Per-state minimum edges to reach acceptance
+    /// ([`mrpa_regex::Dfa::min_edges_to_accept`]); an admissible lower bound
+    /// used by bounded weighted search to prune entries that cannot finish
+    /// within the hop budget.
+    dist_to_accept: Vec<Option<usize>>,
 }
 
 impl AutomatonSpec {
@@ -227,6 +377,13 @@ impl AutomatonSpec {
     /// The `(label, target)` moves out of `state`.
     pub fn moves(&self, state: usize) -> &[(LabelId, usize)] {
         &self.by_label[state]
+    }
+
+    /// Minimum number of edges any word needs to reach an accepting state
+    /// from `state` (over the graph's label alphabet); `None` if acceptance
+    /// is unreachable. `Some(0)` exactly for accepting states.
+    pub fn dist_to_accept(&self, state: usize) -> Option<usize> {
+        self.dist_to_accept[state]
     }
 
     /// Whether the DFA can revisit a state (a `*`/`+`/`{n,}` in the
@@ -293,6 +450,33 @@ pub enum PlanOp {
         /// immediately, so the truncated emission sequence is exactly the
         /// prefix that limit would keep.
         limit: Option<usize>,
+    },
+    /// Weighted product-automaton expansion, evaluated **best-first**
+    /// (Dijkstra over `(vertex, dfa-state)` pairs) instead of breadth-first.
+    /// Per input row, one row is emitted per distinct reachable head whose
+    /// product state accepts, carrying the semiring-optimal path and its
+    /// cost ([`crate::ResultRow::weight`]) — emissions come out in cost
+    /// order, best first, so a downstream `Limit(k)` is a top-k query (rule
+    /// R9 pushes it into the `k` cap and the walk settles no more of the
+    /// product space than the k-th result requires).
+    ExpandWeighted {
+        /// The compiled automaton (shared machinery with `ExpandAutomaton`;
+        /// its `semantics` field is not consulted — best-first settling is
+        /// its own discipline).
+        spec: AutomatonSpec,
+        /// Which selective semiring orders the search.
+        semiring: SemiringKind,
+        /// Where each traversed edge's weight comes from.
+        weight: WeightSource,
+        /// Restriction on the input rows' heads (R6).
+        from: Option<HashSet<VertexId>>,
+        /// Restriction on *emitted* rows' heads (R6); intermediate automaton
+        /// steps are unrestricted, and a head suppressed here still counts as
+        /// emitted (the op emits at most one row per head either way).
+        to: Option<HashSet<VertexId>>,
+        /// Top-k emission cap pushed in by the optimizer (R9), shared across
+        /// input rows like R7's automaton cap.
+        k: Option<usize>,
     },
     /// Bounded Kleene iteration of a nested op sequence: rows that have
     /// completed `k` iterations for `min ≤ k ≤ max` are emitted (union
@@ -362,7 +546,10 @@ impl LogicalPlan {
             .filter(|op| {
                 matches!(
                     op,
-                    PlanOp::Expand { .. } | PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. }
+                    PlanOp::Expand { .. }
+                        | PlanOp::ExpandAutomaton { .. }
+                        | PlanOp::ExpandWeighted { .. }
+                        | PlanOp::Repeat { .. }
                 )
             })
             .count()
@@ -431,6 +618,7 @@ fn describe_op(op: &PlanOp) -> String {
             let sem = match spec.semantics {
                 Semantics::Walks => "",
                 Semantics::Reachable => ", reachable",
+                Semantics::GlobalReachable => ", global-reachable",
             };
             let lim = match limit {
                 Some(n) => format!(", emit≤{n}"),
@@ -438,6 +626,44 @@ fn describe_op(op: &PlanOp) -> String {
             };
             format!(
                 "automaton[{}, {hops}, {} states{dir}{sem}{lim}{}]",
+                spec.pattern,
+                spec.state_count(),
+                describe_restrictions(from, to)
+            )
+        }
+        PlanOp::ExpandWeighted {
+            spec,
+            semiring,
+            weight,
+            from,
+            to,
+            k,
+        } => {
+            let dir = match spec.direction {
+                Direction::Out => "",
+                Direction::In => ", in",
+                Direction::Both => ", both",
+            };
+            let hops = if spec.max_hops == UNBOUNDED_MATCH_HOPS {
+                String::new()
+            } else {
+                format!(", ≤{} hops", spec.max_hops)
+            };
+            let sr = match semiring {
+                SemiringKind::Shortest => "shortest",
+                SemiringKind::Widest => "widest",
+            };
+            let src = match weight {
+                WeightSource::Unit => "hops".to_owned(),
+                WeightSource::Property(key) => format!("edge.{key}"),
+                WeightSource::Labels(t) => format!("{} labels", t.len()),
+            };
+            let cap = match k {
+                Some(n) => format!(", top≤{n}"),
+                None => String::new(),
+            };
+            format!(
+                "weighted[{}, {sr} by {src}{hops}, {} states{dir}{cap}{}]",
                 spec.pattern,
                 spec.state_count(),
                 describe_restrictions(from, to)
@@ -510,8 +736,9 @@ fn lower_steps(snapshot: &GraphSnapshot, steps: &[Step]) -> Result<Vec<PlanOp>, 
                 }
                 if *max_hops == UNBOUNDED_MATCH_HOPS && *semantics == Semantics::Walks {
                     return Err(EngineError::Unsupported(
-                        "an unbounded hop count requires Semantics::Reachable (the walk set of a \
-                         cyclic graph is infinite); use match_within or match_reachable"
+                        "an unbounded hop count requires reachability semantics (the walk set of \
+                         a cyclic graph is infinite); use match_within, match_reachable, or \
+                         match_reachable_global"
                             .to_owned(),
                     ));
                 }
@@ -521,6 +748,55 @@ fn lower_steps(snapshot: &GraphSnapshot, steps: &[Step]) -> Result<Vec<PlanOp>, 
                     to: None,
                     limit: None,
                 });
+            }
+            Step::Weighted {
+                pattern,
+                max_hops,
+                direction,
+                semiring,
+                weight,
+            } => {
+                if *direction == Direction::Both {
+                    return Err(EngineError::Unsupported(
+                        "weighted patterns traverse Out or In; Both-direction automata are not \
+                         supported"
+                            .to_owned(),
+                    ));
+                }
+                // best-first settling terminates without a hop bound (each
+                // settled product pair expands once), so unbounded is the
+                // default here — no Walks-style restriction
+                let weight = match weight {
+                    WeightSpec::Unit => WeightSource::Unit,
+                    WeightSpec::Property(key) => WeightSource::Property(key.clone()),
+                    WeightSpec::Labels(pairs) => {
+                        let mut table = FxHashMap::default();
+                        for (name, w) in pairs {
+                            table.insert(snapshot.label(name)?, *w);
+                        }
+                        WeightSource::Labels(table)
+                    }
+                };
+                ops.push(PlanOp::ExpandWeighted {
+                    spec: compile_pattern(
+                        snapshot,
+                        pattern,
+                        *max_hops,
+                        *direction,
+                        Semantics::Walks,
+                    )?,
+                    semiring: *semiring,
+                    weight,
+                    from: None,
+                    to: None,
+                    k: None,
+                });
+            }
+            Step::WeightBy(_) => {
+                return Err(EngineError::Unsupported(
+                    "weight_by must immediately follow a weighted step (cheapest_/widest_)"
+                        .to_owned(),
+                ))
             }
             Step::Repeat {
                 body,
@@ -574,6 +850,8 @@ fn lower_steps(snapshot: &GraphSnapshot, steps: &[Step]) -> Result<Vec<PlanOp>, 
 fn contains_stateful(op: &PlanOp) -> bool {
     match op {
         PlanOp::DedupByVertex | PlanOp::Limit(_) => true,
+        // the shared seen-set makes the op stateful across rows
+        PlanOp::ExpandAutomaton { spec, .. } => spec.semantics() == Semantics::GlobalReachable,
         PlanOp::Repeat { body, .. } => body.iter().any(contains_stateful),
         _ => false,
     }
@@ -672,6 +950,15 @@ fn compile_label_regex(
     let accept = (0..dfa.state_count)
         .map(|s| dfa.is_accept_state(s))
         .collect();
+    let mut by_label = dfa.label_transition_table(graph);
+    let dist_to_accept = dfa.min_edges_to_accept_from_table(&by_label);
+    // dead-state pruning: a move into a state that cannot reach acceptance
+    // (e.g. the minimized DFA's merged dead block, or a suffix requiring a
+    // label with no edges) can only feed frontier entries that never emit —
+    // dropping it preserves the emission sequence exactly
+    for row in &mut by_label {
+        row.retain(|&(_, target)| dist_to_accept[target].is_some());
+    }
     AutomatonSpec {
         pattern,
         direction,
@@ -679,7 +966,8 @@ fn compile_label_regex(
         semantics,
         start: dfa.start,
         accept,
-        by_label: dfa.label_transition_table(graph),
+        by_label,
+        dist_to_accept,
     }
 }
 
@@ -812,7 +1100,10 @@ fn remove_redundant_dedups(
                 distinct = true;
             }
             PlanOp::RestrictVertices(_) | PlanOp::RestrictProperty { .. } | PlanOp::Limit(_) => {}
-            PlanOp::Expand { .. } | PlanOp::ExpandAutomaton { .. } | PlanOp::Repeat { .. } => {
+            PlanOp::Expand { .. }
+            | PlanOp::ExpandAutomaton { .. }
+            | PlanOp::ExpandWeighted { .. }
+            | PlanOp::Repeat { .. } => {
                 distinct = false;
             }
         }
@@ -932,8 +1223,11 @@ fn push_restrictions_into_expands(ops: Vec<PlanOp>, changed: &mut bool) -> Vec<P
     for mut op in ops {
         // restriction *after* an expansion → head-side (`to`) restriction
         if let PlanOp::RestrictVertices(vs) = &op {
-            if let Some(PlanOp::Expand { to, .. } | PlanOp::ExpandAutomaton { to, .. }) =
-                out.last_mut()
+            if let Some(
+                PlanOp::Expand { to, .. }
+                | PlanOp::ExpandAutomaton { to, .. }
+                | PlanOp::ExpandWeighted { to, .. },
+            ) = out.last_mut()
             {
                 intersect_into(to, vs);
                 *changed = true;
@@ -941,7 +1235,10 @@ fn push_restrictions_into_expands(ops: Vec<PlanOp>, changed: &mut bool) -> Vec<P
             }
         }
         // restriction *before* an expansion → tail-side (`from`) restriction
-        if let PlanOp::Expand { from, .. } | PlanOp::ExpandAutomaton { from, .. } = &mut op {
+        if let PlanOp::Expand { from, .. }
+        | PlanOp::ExpandAutomaton { from, .. }
+        | PlanOp::ExpandWeighted { from, .. } = &mut op
+        {
             if let Some(PlanOp::RestrictVertices(vs)) = out.last() {
                 let vs = vs.clone();
                 intersect_into(from, &vs);
@@ -975,7 +1272,12 @@ fn intersect_into(slot: &mut Option<HashSet<VertexId>>, vs: &HashSet<VertexId>) 
 fn push_limits_into_automata(ops: &mut [PlanOp], changed: &mut bool) {
     for i in 1..ops.len() {
         let PlanOp::Limit(n) = ops[i] else { continue };
-        if let PlanOp::ExpandAutomaton { limit, .. } = &mut ops[i - 1] {
+        // R7 for breadth-first automata, R9 for best-first weighted ones —
+        // the cap semantics (truncate the emission sequence, then skip the
+        // remaining input rows) is identical
+        if let PlanOp::ExpandAutomaton { limit, .. } | PlanOp::ExpandWeighted { k: limit, .. } =
+            &mut ops[i - 1]
+        {
             let fused = limit.map_or(n, |l| l.min(n));
             if *limit != Some(fused) {
                 *limit = Some(fused);
@@ -1207,11 +1509,24 @@ fn estimate_op(snapshot: &GraphSnapshot, rows: f64, op: &PlanOp) -> f64 {
                     break;
                 }
             }
-            if spec.semantics == Semantics::Reachable {
+            if spec.semantics != Semantics::Walks {
                 emitted = emitted.min(vertex_count(snapshot) * spec.state_count() as f64 * rows);
+            }
+            if spec.semantics == Semantics::GlobalReachable {
+                // one emission per (vertex, state) for the whole op
+                emitted = emitted.min(vertex_count(snapshot) * spec.state_count() as f64);
             }
             let emitted = emitted * set_selectivity(snapshot, to);
             match limit {
+                Some(n) => emitted.min(*n as f64),
+                None => emitted,
+            }
+        }
+        PlanOp::ExpandWeighted { from, to, k, .. } => {
+            // at most one emission per (input row, head vertex)
+            let emitted = rows * set_selectivity(snapshot, from) * vertex_count(snapshot);
+            let emitted = emitted * set_selectivity(snapshot, to);
+            match k {
                 Some(n) => emitted.min(*n as f64),
                 None => emitted,
             }
@@ -1682,6 +1997,140 @@ mod tests {
         // the Is lands as `to` of the first expand (scan order), leaving two ops
         assert_eq!(plan.ops().len(), 2);
         assert!(plan.describe().contains("head⊆1"));
+    }
+
+    #[test]
+    fn weighted_steps_lower_to_expand_weighted() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let t = crate::Traversal::over(&g)
+            .v(["marko"])
+            .cheapest_("knows+·created")
+            .weight_by_labels([("knows", 1.0), ("created", 2.5)]);
+        let plan = plan(&snap, t.start_spec(), t.steps()).unwrap();
+        let PlanOp::ExpandWeighted {
+            spec,
+            semiring,
+            weight,
+            k,
+            ..
+        } = &plan.ops()[0]
+        else {
+            panic!("expected a weighted op, got {:?}", plan.ops()[0]);
+        };
+        assert_eq!(spec.pattern(), "knows+·created");
+        assert_eq!(spec.max_hops(), UNBOUNDED_MATCH_HOPS);
+        assert_eq!(*semiring, SemiringKind::Shortest);
+        assert_eq!(*k, None);
+        let WeightSource::Labels(table) = weight else {
+            panic!("expected a resolved label table, got {weight:?}");
+        };
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[&snap.label("created").unwrap()], 2.5);
+        assert!(plan
+            .describe()
+            .contains("weighted[knows+·created, shortest"));
+        assert_eq!(plan.expansion_count(), 1);
+    }
+
+    #[test]
+    fn dangling_weight_by_is_rejected_at_plan_time() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let t = crate::Traversal::over(&g)
+            .out(["knows"])
+            .weight_by("weight");
+        assert!(matches!(
+            plan(&snap, t.start_spec(), t.steps()),
+            Err(EngineError::Unsupported(_))
+        ));
+        // and a weight table with an unknown label name fails resolution
+        let t = crate::Traversal::over(&g)
+            .cheapest_("knows")
+            .weight_by_labels([("likes", 1.0)]);
+        assert!(matches!(
+            plan(&snap, t.start_spec(), t.steps()),
+            Err(EngineError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn r9_limit_pushes_into_the_weighted_top_k_cap() {
+        let g = classic_social_graph();
+        let t = crate::Traversal::over(&g)
+            .v(["marko"])
+            .cheapest_("knows+")
+            .top_k(2);
+        let snap = g.snapshot();
+        let naive = plan(&snap, t.start_spec(), t.steps()).unwrap();
+        let optimized = optimize(&snap, &naive);
+        let PlanOp::ExpandWeighted { k, .. } = &optimized.ops()[0] else {
+            panic!("expected a weighted op");
+        };
+        assert_eq!(*k, Some(2));
+        // the Limit itself is kept (R9 annotates, like R7)
+        assert!(matches!(optimized.ops()[1], PlanOp::Limit(2)));
+        assert!(optimized.describe().contains("top≤2"));
+    }
+
+    #[test]
+    fn r6_restrictions_push_into_weighted_expansions() {
+        let g = classic_social_graph();
+        let plan = optimized(
+            &g,
+            &named_start(&["marko", "josh"]),
+            &[
+                Step::Is(vec!["marko".into()]),
+                Step::Weighted {
+                    pattern: "knows·created".into(),
+                    max_hops: UNBOUNDED_MATCH_HOPS,
+                    direction: Direction::Out,
+                    semiring: SemiringKind::Shortest,
+                    weight: WeightSpec::Unit,
+                },
+                Step::Is(vec!["lop".into()]),
+            ],
+        );
+        assert_eq!(plan.ops().len(), 1);
+        let PlanOp::ExpandWeighted {
+            from: Some(from),
+            to: Some(to),
+            ..
+        } = &plan.ops()[0]
+        else {
+            panic!("expected pushed restrictions, got {:?}", plan.ops()[0]);
+        };
+        assert_eq!(from.len(), 1);
+        assert_eq!(to.len(), 1);
+    }
+
+    #[test]
+    fn global_reachability_is_stateful_in_repeat_bodies() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let t = crate::Traversal::over(&g).repeat(1..=2, |p| p.match_reachable_global("knows+"));
+        assert!(matches!(
+            plan(&snap, t.start_spec(), t.steps()),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_automata_carry_accept_distances_and_prune_dead_moves() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let spec =
+            compile_pattern(&snap, "knows·created", 8, Direction::Out, Semantics::Walks).unwrap();
+        // the chain start is 2 edges from acceptance; accepting states are 0
+        assert_eq!(spec.dist_to_accept(spec.start_state()), Some(2));
+        for state in 0..spec.state_count() {
+            assert_eq!(spec.is_accept(state), spec.dist_to_accept(state) == Some(0));
+            // the dead-state pruning invariant: every surviving move leads
+            // to a state that can still reach acceptance
+            for &(_, target) in spec.moves(state) {
+                assert!(spec.dist_to_accept(target).is_some());
+            }
+        }
     }
 
     #[test]

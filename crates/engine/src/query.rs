@@ -11,7 +11,8 @@ use crate::exec::ExecStats;
 use crate::store::GraphSnapshot;
 
 /// One result row: where the traversal started, the path it took (ε if no
-/// expansion step has run), and the vertex it currently sits on.
+/// expansion step has run), the vertex it currently sits on, and — when a
+/// weighted step produced it — the path's semiring cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
     /// The start vertex of this row.
@@ -20,6 +21,12 @@ pub struct ResultRow {
     pub path: Path,
     /// The vertex the row currently rests on (`γ⁺(path)`, or `source` for ε).
     pub head: VertexId,
+    /// The semiring cost assigned by the most recent weighted step
+    /// (`cheapest_`/`widest_`): the `⊗`-fold of that step's edge weights
+    /// along `path`'s weighted segment. `None` when no weighted step has
+    /// run; preserved unchanged through filters, dedup, limits, and
+    /// unweighted expansions.
+    pub weight: Option<f64>,
 }
 
 /// The result of executing a traversal.
@@ -71,6 +78,12 @@ impl QueryResult {
         hs.sort_unstable();
         hs.dedup();
         hs
+    }
+
+    /// The per-row semiring costs, in executor order (`None` for rows no
+    /// weighted step produced).
+    pub fn weights(&self) -> Vec<Option<f64>> {
+        self.rows.iter().map(|r| r.weight).collect()
     }
 
     /// The head vertices rendered as names, in executor (row) order —

@@ -216,6 +216,14 @@ impl GraphSnapshot {
         self.edge_props.get(e).and_then(|m| m.get(key))
     }
 
+    /// An edge property read as a finite number — the convenience behind
+    /// brute-force weight folds in tests and benchmarks (the engine's own
+    /// weighted search goes through `WeightSource`, which distinguishes the
+    /// missing and non-numeric cases as errors).
+    pub fn edge_weight(&self, e: &Edge, key: &str) -> Option<f64> {
+        self.edge_property(e, key).and_then(Value::as_finite_number)
+    }
+
     /// All vertices whose property `key` satisfies the predicate.
     pub fn vertices_where(&self, key: &str, pred: &crate::value::Predicate) -> Vec<VertexId> {
         self.graph

@@ -32,6 +32,14 @@ impl Value {
         }
     }
 
+    /// Numeric view restricted to *finite* numbers: like
+    /// [`Value::as_number`] but `None` for `NaN` and infinities. Weighted
+    /// traversals use this so a stored non-finite weight surfaces as an
+    /// explicit error instead of poisoning a best-first queue.
+    pub fn as_finite_number(&self) -> Option<f64> {
+        self.as_number().filter(|n| n.is_finite())
+    }
+
     /// String view of the value; `None` unless it is text.
     pub fn as_text(&self) -> Option<&str> {
         match self {

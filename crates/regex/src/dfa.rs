@@ -248,6 +248,60 @@ impl Dfa {
         table
     }
 
+    /// For every state, the minimum number of edges any word needs to reach
+    /// an accepting state from it over the graph's label alphabet — `Some(0)`
+    /// for accepting states, `None` for states from which no accepting state
+    /// is reachable (the minimized DFA's merged dead block, if any).
+    ///
+    /// Reverse breadth-first search over [`Dfa::label_transition_table`], so
+    /// the same label-determinism precondition applies. This is the automaton
+    /// reuse hook behind the engine's product-traversal pruning: transitions
+    /// into a `None` state can never contribute an emission, and in bounded
+    /// weighted search `hops_taken + min_edges_to_accept(state)` is an
+    /// admissible lower bound on the total hops of any completion.
+    pub fn min_edges_to_accept(&self, graph: &MultiGraph) -> Vec<Option<usize>> {
+        self.min_edges_to_accept_from_table(&self.label_transition_table(graph))
+    }
+
+    /// [`Dfa::min_edges_to_accept`] over an already-built
+    /// [`Dfa::label_transition_table`], so callers that need both do not
+    /// construct the table twice.
+    pub fn min_edges_to_accept_from_table(
+        &self,
+        table: &[Vec<(LabelId, usize)>],
+    ) -> Vec<Option<usize>> {
+        // reverse adjacency: predecessors[target] = states with a move into it
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); self.state_count];
+        for (state, row) in table.iter().enumerate() {
+            for &(_, target) in row {
+                predecessors[target].push(state);
+            }
+        }
+        let mut dist: Vec<Option<usize>> = vec![None; self.state_count];
+        let mut frontier: Vec<usize> = Vec::new();
+        for (state, d) in dist.iter_mut().enumerate() {
+            if self.is_accept_state(state) {
+                *d = Some(0);
+                frontier.push(state);
+            }
+        }
+        let mut d = 0usize;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &state in &frontier {
+                for &p in &predecessors[state] {
+                    if dist[p].is_none() {
+                        dist[p] = Some(d);
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
     /// Internal: replaces the transition table and accept set (used by
     /// minimisation). The classifier is preserved.
     pub(crate) fn rebuild(
@@ -417,6 +471,40 @@ mod tests {
             let accepted = state.map(|s| dfa.is_accept_state(s)).unwrap_or(false);
             assert_eq!(accepted, r.matches_labels(&word), "word {word:?}");
         }
+    }
+
+    #[test]
+    fn min_edges_to_accept_is_a_reverse_bfs_distance() {
+        use crate::label_regex::LabelRegex;
+        use crate::minimize::minimize;
+        let g = paper_graph();
+        // α β α: the chain DFA has distances 3, 2, 1, 0 along the chain
+        let r = LabelRegex::label(LabelId(0))
+            .concat(LabelRegex::label(LabelId(1)))
+            .concat(LabelRegex::label(LabelId(0)));
+        let dfa = minimize(&Dfa::compile(&Nfa::compile(&r.to_path_regex()), &g));
+        let dist = dfa.min_edges_to_accept(&g);
+        assert_eq!(dist.len(), dfa.state_count);
+        assert_eq!(dist[dfa.start], Some(3));
+        for (state, d) in dist.iter().enumerate() {
+            assert_eq!(dfa.is_accept_state(state), *d == Some(0));
+        }
+        // every non-None distance is witnessed by exactly one table move
+        let table = dfa.label_transition_table(&g);
+        for (state, d) in dist.iter().enumerate() {
+            if let Some(d) = d {
+                if *d > 0 {
+                    assert!(
+                        table[state].iter().any(|&(_, t)| dist[t] == Some(d - 1)),
+                        "state {state} has no move decreasing the distance"
+                    );
+                }
+            }
+        }
+        // a nullable pattern accepts at the start state
+        let star = LabelRegex::label(LabelId(0)).star();
+        let dfa = minimize(&Dfa::compile(&Nfa::compile(&star.to_path_regex()), &g));
+        assert_eq!(dfa.min_edges_to_accept(&g)[dfa.start], Some(0));
     }
 
     #[test]

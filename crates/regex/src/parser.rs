@@ -132,8 +132,28 @@ fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
                 tokens.push(Token::Question);
             }
             '_' => {
-                chars.next();
-                tokens.push(Token::Underscore);
+                // a standalone `_` is the any-label wildcard; `_` followed by
+                // a name character starts a name (labels like `works_for`)
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&d) if d.is_alphanumeric() || d == '-' || d == '_' => {
+                        let mut name = String::new();
+                        while let Some(&d) = chars.peek() {
+                            if d.is_alphanumeric() || d == '-' || d == '_' {
+                                name.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        tokens.push(Token::Name(name));
+                    }
+                    _ => {
+                        chars.next();
+                        tokens.push(Token::Underscore);
+                    }
+                }
             }
             c if c.is_ascii_digit() => {
                 let mut n = 0usize;
@@ -150,7 +170,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
             c if c.is_alphanumeric() => {
                 let mut name = String::new();
                 while let Some(&d) = chars.peek() {
-                    if d.is_alphanumeric() || d == '-' {
+                    if d.is_alphanumeric() || d == '-' || d == '_' {
                         name.push(d);
                         chars.next();
                     } else {
@@ -628,6 +648,28 @@ mod tests {
         );
         assert_eq!(parse_label_expr("eps").unwrap(), LabelExpr::Epsilon);
         assert_eq!(parse_label_expr("empty").unwrap(), LabelExpr::Empty);
+    }
+
+    #[test]
+    fn underscores_in_label_names_do_not_clash_with_the_wildcard() {
+        use crate::label_regex::LabelExpr;
+        // `works_for` is one name, not `works` · wildcard · `for`
+        assert_eq!(
+            parse_label_expr("friend+·works_for").unwrap(),
+            LabelExpr::Concat(
+                Box::new(LabelExpr::Plus(Box::new(LabelExpr::Name("friend".into())))),
+                Box::new(LabelExpr::Name("works_for".into()))
+            )
+        );
+        // a leading underscore still starts a name when followed by one
+        assert_eq!(
+            parse_label_expr("_private").unwrap(),
+            LabelExpr::Name("_private".into())
+        );
+        // the standalone wildcard is unaffected, including before operators
+        assert_eq!(parse_label_expr("_+").unwrap().names().len(), 0);
+        assert!(parse_label_expr("_·_").is_ok());
+        assert!(parse_label_expr("_{1,2}").is_ok());
     }
 
     #[test]

@@ -312,6 +312,59 @@ fn reachability_upgrade_preserves_the_dedup_output_exactly() {
 }
 
 #[test]
+fn global_reachability_shares_one_seen_set_across_sources() {
+    // For a pattern with a single accepting DFA state, sharing the seen-set
+    // across input rows is observationally identical to per-row reachability
+    // followed by a head dedup — same rows, same paths, same order, same
+    // source attribution (each head belongs to the first source that reaches
+    // it) — while expanding each (vertex, state) pair once for the whole op
+    // instead of once per source.
+    cases(6, |r, case| {
+        let g = random_cyclic_graph(r);
+        for pattern in ["a+", "(a|b)+"] {
+            let via_dedup = Traversal::over(&g)
+                .match_reachable(pattern)
+                .dedup()
+                .execute()
+                .unwrap();
+            for strategy in STRATEGIES {
+                let global = Traversal::over(&g)
+                    .match_reachable_global(pattern)
+                    .strategy(strategy)
+                    .execute()
+                    .unwrap();
+                assert_eq!(
+                    row_sequence(&global),
+                    row_sequence(&via_dedup),
+                    "case {case} pattern {pattern} {strategy:?}"
+                );
+            }
+        }
+    });
+    // and the sharing is visible in the work counters: per-row reachability
+    // re-walks the cycle from every source, the global mode walks it once
+    let g = PropertyGraph::new();
+    let n = 16usize;
+    for i in 0..n {
+        g.add_edge(&format!("v{i}"), "a", &format!("v{}", (i + 1) % n));
+    }
+    let per_row = Traversal::over(&g).match_reachable("a+").execute().unwrap();
+    let global = Traversal::over(&g)
+        .match_reachable_global("a+")
+        .execute()
+        .unwrap();
+    // per-row: every source reaches every vertex (n² rows); global: each
+    // vertex is attributed to the first source that reaches it (v0)
+    assert_eq!(per_row.len(), n * n);
+    assert_eq!(global.len(), n);
+    assert!(global
+        .rows()
+        .iter()
+        .all(|row| row.source == global.rows()[0].source));
+    assert!(global.stats().expansions < per_row.stats().expansions / (n as u64 / 2));
+}
+
+#[test]
 fn in_direction_patterns_agree_with_in_step_chains() {
     cases(5, |r, case| {
         let g = random_cyclic_graph(r);
