@@ -1,0 +1,205 @@
+//! Concurrency benchmark: O(1) epoch snapshots and the id-forwarding
+//! parallel partition boundary.
+//!
+//! Three measurements, written to `BENCH_parallel.json`:
+//!
+//! * **snapshot acquisition** — `PropertyGraph::snapshot()` latency on a
+//!   large graph versus the seed's behaviour (an eager O(V+E) deep clone of
+//!   the graph, its reversed copy, properties, and interner), simulated by
+//!   performing exactly those copies on the snapshotted state. The store's
+//!   `deep_clones` counter is asserted 0 across every timed snapshot.
+//! * **partition boundary** — moving deep-chain rows across an arena
+//!   boundary by memoized id forwarding ([`IdForwarder`]) versus the
+//!   round-trip the parallel executor used to do (`to_path` + re-intern per
+//!   row). Asserted ≥ 3× on the deep-chain workload, with the node-append
+//!   counts printed alongside the wall times.
+//! * **end-to-end** — the boundary-bound parallel query (deep chains into a
+//!   stateful `dedup` suffix, forced multi-threading) against the
+//!   materialized reference, row-for-row checked, with the engine's
+//!   `interned_nodes` counter versus what round-tripping would have
+//!   appended.
+
+use mrpa_bench::{fmt_f, time_median, Table};
+use mrpa_core::{IdForwarder, PathArena, PathId};
+use mrpa_engine::{ExecutionStrategy, PropertyGraph, Traversal};
+
+/// `chains` disjoint `next`-chains of `len` edges each; returns the graph
+/// and the chain-head vertex names.
+fn chain_graph(chains: usize, len: usize) -> (PropertyGraph, Vec<String>) {
+    let g = PropertyGraph::new();
+    let mut heads = Vec::with_capacity(chains);
+    for c in 0..chains {
+        heads.push(format!("c{c}_0"));
+        for i in 0..len {
+            g.add_edge(&format!("c{c}_{i}"), "next", &format!("c{c}_{}", i + 1));
+        }
+    }
+    (g, heads)
+}
+
+fn main() {
+    let runs = 9;
+
+    // -----------------------------------------------------------------
+    // 1. snapshot acquisition: O(1) epoch pin vs the seed's deep clone
+    // -----------------------------------------------------------------
+    let (big, _) = chain_graph(200, 120); // 24 000 edges, 24 200 vertices
+    let clones_before = big.stats().deep_clones;
+    let snap_ms = time_median(runs, || big.snapshot());
+    assert_eq!(
+        big.stats().deep_clones,
+        clones_before,
+        "snapshot() must not deep-clone"
+    );
+    // the seed's snapshot(): clone graph + build reversed + clone interner
+    // (property maps are empty here, so this under-counts the old cost)
+    let reference = big.snapshot();
+    let deep_ms = time_median(runs, || {
+        let g = reference.graph().clone();
+        let r = reference.graph().reversed();
+        let i = reference.interner().clone();
+        (g.edge_count(), r.edge_count(), i)
+    });
+    let snap_speedup = deep_ms / snap_ms.max(1e-9);
+
+    let mut t1 = Table::new(["acquisition", "ms", "speedup"]);
+    t1.row([
+        "epoch snapshot (O(1))".into(),
+        fmt_f(snap_ms),
+        String::new(),
+    ]);
+    t1.row([
+        "seed deep clone (O(V+E))".into(),
+        fmt_f(deep_ms),
+        format!("{snap_speedup:.0}x"),
+    ]);
+    t1.print("snapshot acquisition on |V|≈24k, |E|=24k (median)");
+
+    // -----------------------------------------------------------------
+    // 2. the partition boundary in isolation: id forwarding vs round-trip
+    // -----------------------------------------------------------------
+    let chains = 16usize;
+    let len = 64usize;
+    // one source arena holding every prefix of every chain — exactly the
+    // row set a partition's prefix pipeline produces on the chain workload
+    let src = PathArena::new();
+    let mut rows: Vec<PathId> = Vec::new();
+    for c in 0..chains {
+        let mut cur = PathId::EPSILON;
+        for i in 0..len {
+            let tail = (c * (len + 1) + i) as u32;
+            cur = src.append(cur, mrpa_core::Edge::from((tail, 0, tail + 1)));
+            rows.push(cur);
+        }
+    }
+    let legacy_nodes: usize = (1..=len).sum::<usize>() * chains;
+    let forward_ms = time_median(runs, || {
+        let dst = PathArena::new();
+        let mut fwd = IdForwarder::new();
+        let mut appended = 0usize;
+        for &id in &rows {
+            appended += fwd.forward(&src, &dst, id).1;
+        }
+        assert_eq!(appended, chains * len);
+        appended
+    });
+    let legacy_ms = time_median(runs, || {
+        let dst = PathArena::new();
+        for &id in &rows {
+            // the seed boundary: materialise, then re-intern edge by edge
+            let path = src.to_path(id);
+            dst.intern(&path);
+        }
+        dst.node_count()
+    });
+    let boundary_speedup = legacy_ms / forward_ms.max(1e-9);
+
+    let mut t2 = Table::new(["boundary", "ms", "nodes appended", "rows/sec"]);
+    t2.row([
+        "to_path + intern (seed)".into(),
+        fmt_f(legacy_ms),
+        legacy_nodes.to_string(),
+        fmt_f(rows.len() as f64 / (legacy_ms / 1e3)),
+    ]);
+    t2.row([
+        "id forwarding".into(),
+        fmt_f(forward_ms),
+        (chains * len).to_string(),
+        fmt_f(rows.len() as f64 / (forward_ms / 1e3)),
+    ]);
+    t2.print(&format!(
+        "partition→suffix boundary, {} rows of ≤{len}-edge chain paths ({boundary_speedup:.1}x)",
+        rows.len()
+    ));
+    assert!(
+        boundary_speedup >= 3.0,
+        "id forwarding fell below the 3x acceptance bar: {boundary_speedup:.1}x"
+    );
+
+    // -----------------------------------------------------------------
+    // 3. end to end: the boundary-bound parallel query
+    // -----------------------------------------------------------------
+    let (g, heads) = chain_graph(chains, len);
+    let base = Traversal::over(&g)
+        .v(heads.iter().map(String::as_str))
+        .match_within("next+", len)
+        .dedup();
+    let reference = base
+        .clone()
+        .strategy(ExecutionStrategy::Materialized)
+        .execute()
+        .expect("materialized run");
+    let parallel = base
+        .clone()
+        .strategy(ExecutionStrategy::Parallel)
+        .parallel_threads(4)
+        .execute()
+        .expect("parallel run");
+    assert_eq!(
+        parallel.rows(),
+        reference.rows(),
+        "boundary must be row-for-row ≡ materialized"
+    );
+    let interned = parallel.stats().interned_nodes;
+    assert_eq!(interned, (chains * len) as u64, "each node crosses once");
+    assert!(
+        interned * 3 <= legacy_nodes as u64,
+        "forwarding appended {interned}, round-tripping would append {legacy_nodes}"
+    );
+    let par_ms = time_median(runs, || {
+        base.clone()
+            .strategy(ExecutionStrategy::Parallel)
+            .parallel_threads(4)
+            .execute()
+            .unwrap()
+    });
+
+    let mut t3 = Table::new(["measure", "value"]);
+    t3.row(["parallel query ms".into(), fmt_f(par_ms)]);
+    t3.row(["rows".into(), reference.len().to_string()]);
+    t3.row(["boundary appends (forwarded)".into(), interned.to_string()]);
+    t3.row([
+        "boundary appends (seed round-trip)".into(),
+        legacy_nodes.to_string(),
+    ]);
+    t3.print("end-to-end: deep-chain match_ into dedup suffix, 4 threads");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"parallel_boundary_and_snapshots\",\n  \
+         \"snapshot\": {{\"vertices\": 24200, \"edges\": 24000, \
+         \"snapshot_ms\": {snap_ms:.5}, \"deep_clone_ms\": {deep_ms:.4}, \
+         \"speedup\": {snap_speedup:.1}, \"deep_clones_counted\": 0}},\n  \
+         \"boundary\": {{\"rows\": {}, \"chain_len\": {len}, \
+         \"forward_ms\": {forward_ms:.4}, \"legacy_ms\": {legacy_ms:.4}, \
+         \"speedup\": {boundary_speedup:.2}, \
+         \"forward_nodes\": {}, \"legacy_nodes\": {legacy_nodes}}},\n  \
+         \"end_to_end\": {{\"parallel_ms\": {par_ms:.4}, \"rows\": {}, \
+         \"interned_nodes\": {interned}}}\n}}\n",
+        rows.len(),
+        chains * len,
+        reference.len(),
+    );
+    let path = "BENCH_parallel.json";
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {path} (snapshot {snap_speedup:.0}x, boundary {boundary_speedup:.1}x)");
+}

@@ -69,7 +69,7 @@ pub mod pattern;
 pub mod semiring;
 pub mod traversal;
 
-pub use arena::{ArenaWriter, PathArena, PathId};
+pub use arena::{ArenaWriter, IdForwarder, PathArena, PathId};
 pub use builder::{GraphBuilder, NamedGraph};
 pub use edge::Edge;
 pub use error::{CoreError, CoreResult};
@@ -78,7 +78,7 @@ pub use ids::{LabelId, VertexId};
 pub use interner::{GraphInterner, StringInterner};
 pub use monoid::{JoinMonoid, Monoid, ProductMonoid, UnionMonoid};
 pub use path::Path;
-pub use pathset::PathSet;
+pub use pathset::{PathRef, PathSet, PathSetView};
 pub use pattern::{ConjunctivePattern, EdgePattern, Position};
 pub use semiring::{Counting, HopCount, MaxMin, MinPlus, SelectiveSemiring, Semiring};
 pub use traversal::{

@@ -188,9 +188,58 @@ impl PathSet {
     /// The iterator yields owned [`Path`] values: elements live in the arena,
     /// not as stored edge vectors. Endpoint/length queries are cheaper
     /// through [`PathSet::head_vertices`] / [`PathSet::length_histogram`] /
-    /// [`PathSet::endpoints`], which never materialise.
+    /// [`PathSet::endpoints`], which never materialise — and read-only
+    /// consumers that need per-path detail should prefer the borrowing
+    /// cursor behind [`PathSet::view`], which materialises nothing at all.
     pub fn iter(&self) -> std::vec::IntoIter<Path> {
         self.paths().into_iter()
+    }
+
+    /// Takes a read-locked, zero-copy view of the set: [`PathSetView::iter`]
+    /// yields borrowing [`PathRef`] cursors over the arena nodes instead of
+    /// materialised [`Path`]s.
+    ///
+    /// The view holds the arena's read lock for its whole lifetime, which is
+    /// what makes the borrows possible — so, like [`PathArena::writer`], **do
+    /// not call back into this arena** (inserts, joins, `to_path` on the set,
+    /// …) while a view is alive. Multiple views may coexist (read locks are
+    /// shared).
+    ///
+    /// ```
+    /// use mrpa_core::pathset::PathSet;
+    /// use mrpa_core::{Edge, VertexId};
+    /// let set = PathSet::from_edges([Edge::from((0, 0, 1)), Edge::from((1, 0, 2))]);
+    /// let view = set.view();
+    /// // projections and label scans without a single allocation
+    /// assert!(view.iter().all(|p| p.len() == 1));
+    /// assert_eq!(view.iter().filter(|p| p.head() == Some(VertexId(2))).count(), 1);
+    /// ```
+    pub fn view(&self) -> PathSetView<'_> {
+        PathSetView {
+            core: self.arena.read(),
+            ids: &self.ids,
+        }
+    }
+
+    /// Keeps only paths satisfying a predicate over borrowing [`PathRef`]s —
+    /// the zero-materialisation form of [`PathSet::filter`]. The arena's
+    /// read lock is held across predicate calls, so the predicate must not
+    /// call back into this arena (project through the `PathRef` instead).
+    pub fn filter_refs<F: Fn(PathRef<'_>) -> bool>(&self, pred: F) -> PathSet {
+        let mut keep = Vec::new();
+        {
+            let view = self.view();
+            for (i, r) in view.iter().enumerate() {
+                if pred(r) {
+                    keep.push(self.ids[i]);
+                }
+            }
+        }
+        let mut out = PathSet::new_in(&self.arena);
+        for id in keep {
+            out.insert_id(id);
+        }
+        out
     }
 
     /// `A ∪ B`: set union. Cloning `self` is O(|A|) id copies (the arena is
@@ -539,28 +588,10 @@ impl PathSet {
         out
     }
 
-    /// Keeps only the paths whose path label `ω′(a)` equals `labels`.
+    /// Keeps only the paths whose path label `ω′(a)` equals `labels`
+    /// (allocation-free: a borrowed label scan along each prefix chain).
     pub fn restrict_path_label(&self, labels: &[LabelId]) -> PathSet {
-        let core = self.arena.read();
-        let mut out = PathSet::new_in(&self.arena);
-        'next: for &id in &self.ids {
-            if core.nodes[id.index()].len as usize != labels.len() {
-                continue;
-            }
-            // walk the suffix chain, comparing labels back to front
-            let mut cur = id;
-            let mut k = labels.len();
-            while !cur.is_epsilon() {
-                let node = &core.nodes[cur.index()];
-                k -= 1;
-                if node.edge.label != labels[k] {
-                    continue 'next;
-                }
-                cur = node.prefix;
-            }
-            out.insert_id(id);
-        }
-        out
+        self.filter_refs(|r| r.label_word_is(labels))
     }
 
     /// Keeps only paths satisfying the predicate (each candidate is
@@ -671,6 +702,143 @@ impl PathSet {
     }
 }
 
+/// A read-locked, zero-copy view of a [`PathSet`] (see [`PathSet::view`]).
+///
+/// Holding the view holds the backing arena's read lock; drop it before
+/// mutating the arena or the set.
+pub struct PathSetView<'s> {
+    core: std::sync::RwLockReadGuard<'s, crate::arena::ArenaCore>,
+    ids: &'s [PathId],
+}
+
+impl PathSetView<'_> {
+    /// Number of paths in the viewed set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the viewed set is ∅.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over the set in insertion order, yielding borrowing
+    /// [`PathRef`]s — no path is materialised.
+    pub fn iter(&self) -> impl Iterator<Item = PathRef<'_>> + '_ {
+        self.ids.iter().map(move |&id| PathRef {
+            core: &self.core,
+            id,
+        })
+    }
+
+    /// The `idx`-th path of the set (insertion order), as a borrowing ref.
+    pub fn get(&self, idx: usize) -> Option<PathRef<'_>> {
+        self.ids.get(idx).map(|&id| PathRef {
+            core: &self.core,
+            id,
+        })
+    }
+}
+
+/// A borrowed path inside an arena: O(1) cached projections (`γ⁻`, `γ⁺`,
+/// `‖a‖`, jointness) plus allocation-free edge/label scans along the prefix
+/// chain. Obtained from [`PathSetView::iter`]; lives as long as the view.
+#[derive(Clone, Copy)]
+pub struct PathRef<'a> {
+    core: &'a crate::arena::ArenaCore,
+    id: PathId,
+}
+
+impl PathRef<'_> {
+    /// The path's arena id.
+    pub fn id(&self) -> PathId {
+        self.id
+    }
+
+    /// `‖a‖` (O(1), cached).
+    pub fn len(&self) -> usize {
+        self.core.nodes[self.id.index()].len as usize
+    }
+
+    /// Whether this is ε.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_epsilon()
+    }
+
+    /// `γ⁻(a)` (O(1), cached); `None` for ε.
+    pub fn tail(&self) -> Option<VertexId> {
+        if self.id.is_epsilon() {
+            None
+        } else {
+            Some(self.core.nodes[self.id.index()].tail)
+        }
+    }
+
+    /// `γ⁺(a)` (O(1), cached); `None` for ε.
+    pub fn head(&self) -> Option<VertexId> {
+        if self.id.is_epsilon() {
+            None
+        } else {
+            Some(self.core.nodes[self.id.index()].head)
+        }
+    }
+
+    /// Definition 3 jointness (O(1), cached; ε is joint).
+    pub fn is_joint(&self) -> bool {
+        self.core.nodes[self.id.index()].joint
+    }
+
+    /// The edges in **reverse** order (head-to-tail along the prefix chain —
+    /// the order the arena stores them in, O(1) per step, no allocation).
+    /// Use [`PathRef::to_path`] when forward order matters.
+    pub fn edges_rev(&self) -> impl Iterator<Item = Edge> + '_ {
+        let mut cur = self.id;
+        std::iter::from_fn(move || {
+            if cur.is_epsilon() {
+                return None;
+            }
+            let node = &self.core.nodes[cur.index()];
+            cur = node.prefix;
+            Some(node.edge)
+        })
+    }
+
+    /// The label word `ω′(a)` in **reverse** order (allocation-free; see
+    /// [`PathRef::edges_rev`]).
+    pub fn labels_rev(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.edges_rev().map(|e| e.label)
+    }
+
+    /// Whether the path's label word equals `labels` (forward order).
+    /// Allocation-free: compares back-to-front along the prefix chain.
+    pub fn label_word_is(&self, labels: &[LabelId]) -> bool {
+        self.len() == labels.len() && self.labels_rev().eq(labels.iter().rev().copied())
+    }
+
+    /// The vertex sequence in **reverse** order (`γ⁺` back to `γ⁻` along the
+    /// prefix chain; empty for ε). Allocation-free; only meaningful as a
+    /// sequence for joint paths, like [`Path::vertex_sequence`].
+    pub fn vertices_rev(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.edges_rev().map(|e| e.head).chain(self.tail())
+    }
+
+    /// Whether the path is *simple* (joint, no vertex visited twice) — the
+    /// borrowing analogue of [`Path::is_simple`], used by the regex
+    /// generator's simple-path restriction without materialising candidates.
+    pub fn is_simple(&self) -> bool {
+        if !self.is_joint() {
+            return false;
+        }
+        let mut seen = FxHashSet::with_capacity_and_hasher(self.len() + 1, Default::default());
+        self.vertices_rev().all(|v| seen.insert(v))
+    }
+
+    /// Materialises the path (the one escape hatch that allocates).
+    pub fn to_path(&self) -> Path {
+        self.core.to_path(self.id)
+    }
+}
+
 impl PartialEq for PathSet {
     fn eq(&self, other: &Self) -> bool {
         self.set_eq(other)
@@ -751,6 +919,57 @@ mod tests {
 
     fn paper_b() -> PathSet {
         PathSet::from_paths([p(&[(1, 1, 1)]), p(&[(1, 1, 0), (0, 0, 2)]), p(&[(0, 1, 2)])])
+    }
+
+    #[test]
+    fn view_borrows_paths_without_materialising() {
+        let s = paper_a();
+        // materialise the reference BEFORE taking the view: the view holds
+        // the arena's read lock, and the lock is not reentrant
+        let owned = s.paths();
+        let view = s.view();
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        for (r, path) in view.iter().zip(&owned) {
+            assert_eq!(r.len(), path.len());
+            assert_eq!(r.tail(), path.tail_vertex().ok());
+            assert_eq!(r.head(), path.head_vertex().ok());
+            assert_eq!(r.is_joint(), path.is_joint());
+            assert_eq!(r.to_path(), *path);
+            // edges_rev is the reverse of the forward edge string
+            let mut fwd: Vec<Edge> = r.edges_rev().collect();
+            fwd.reverse();
+            assert_eq!(fwd, path.edges());
+            assert!(r.label_word_is(&path.path_label()));
+            assert!(!r.label_word_is(&[LabelId(9)]));
+            assert_eq!(r.is_simple(), path.is_simple());
+            let mut vs: Vec<VertexId> = r.vertices_rev().collect();
+            vs.reverse();
+            assert_eq!(vs, path.vertex_sequence());
+        }
+        assert_eq!(view.get(1).unwrap().len(), 2);
+        assert!(view.get(2).is_none());
+        // ε has no endpoints and an empty label word
+        let eps = PathSet::epsilon();
+        let ev = eps.view();
+        let r = ev.get(0).unwrap();
+        assert!(r.is_empty() && r.tail().is_none() && r.head().is_none());
+        assert!(r.label_word_is(&[]));
+        assert_eq!(r.edges_rev().count(), 0);
+    }
+
+    #[test]
+    fn filter_refs_agrees_with_filter() {
+        let s = paper_a().join(&paper_b());
+        let by_refs = s.filter_refs(|r| r.len() >= 3 && r.is_joint());
+        let by_paths = s.filter(|p| p.len() >= 3 && p.is_joint());
+        assert_eq!(by_refs, by_paths);
+        // survivors keep their arena ids (same-store, same ids)
+        assert!(by_refs.arena().same_store(s.arena()));
+        // multiple views may coexist (read locks are shared)
+        let v1 = s.view();
+        let v2 = s.view();
+        assert_eq!(v1.len(), v2.len());
     }
 
     #[test]

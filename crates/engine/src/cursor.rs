@@ -34,7 +34,7 @@ use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::ops::ControlFlow;
 
 use mrpa_core::fxhash::FxHashSet;
-use mrpa_core::{ArenaWriter, Edge, PathArena, VertexId};
+use mrpa_core::{ArenaWriter, Edge, IdForwarder, PathArena, VertexId};
 
 use crate::error::EngineError;
 use crate::exec::{
@@ -1160,12 +1160,15 @@ enum Inner {
 }
 
 impl RowCursor {
-    /// Compiles a cursor for an already-planned traversal.
-    pub(crate) fn compile(
+    /// Compiles a cursor for an already-planned traversal, optionally forcing
+    /// the parallel strategy's worker thread count (`None` =
+    /// `available_parallelism`; ignored by the other strategies).
+    pub(crate) fn compile_with_threads(
         snapshot: GraphSnapshot,
         plan: LogicalPlan,
         strategy: ExecutionStrategy,
         cap: Option<usize>,
+        threads: Option<usize>,
     ) -> RowCursor {
         match strategy {
             ExecutionStrategy::Materialized => Self::batch(snapshot, plan, cap),
@@ -1183,7 +1186,7 @@ impl RowCursor {
                     fused: false,
                 }
             }
-            ExecutionStrategy::Parallel => Self::compile_parallel(snapshot, plan, cap, None),
+            ExecutionStrategy::Parallel => Self::compile_parallel(snapshot, plan, cap, threads),
         }
     }
 
@@ -1238,8 +1241,15 @@ impl RowCursor {
         if threads <= 1 || plan.start().len() <= 1 || split == 0 {
             return Self::batch(snapshot, plan, cap);
         }
+        // build the reversed graph once, up front, if the plan will need it —
+        // otherwise every worker's first In/Both hop would block on the
+        // lazy per-generation build
+        if plan.needs_reversed() {
+            snapshot.prewarm_reversed();
+        }
         let (start, mut prefix) = plan.into_parts();
         let suffix = prefix.split_off(split);
+        let has_suffix = !suffix.is_empty();
         let chunk_size = start.len().div_ceil(threads);
         let partitions: Vec<Partition> = start
             .chunks(chunk_size)
@@ -1247,7 +1257,10 @@ impl RowCursor {
                 arena: PathArena::new(),
                 root: Stage::pipeline(initial_rows(chunk), prefix.clone()),
                 counters: Counters::default(),
-                queue: VecDeque::new(),
+                rows: VecDeque::new(),
+                finished: VecDeque::new(),
+                materialise: !has_suffix,
+                forward: IdForwarder::new(),
                 done: false,
             })
             .collect();
@@ -1349,7 +1362,9 @@ impl RowCursor {
         let mut stats = self.counters.stats();
         if let Inner::Parallel(state) = &self.inner {
             for p in &state.partitions {
-                stats.expansions += p.counters.stats().expansions;
+                let ps = p.counters.stats();
+                stats.expansions += ps.expansions;
+                stats.interned_nodes += ps.interned_nodes;
             }
         }
         stats
@@ -1378,20 +1393,37 @@ const INITIAL_BATCH: usize = 64;
 const MAX_BATCH: usize = 8192;
 
 /// One start-frontier partition: its own arena, prefix pipeline, counters
-/// (merged into [`RowCursor::stats`] on demand), and the queue of rows it has
-/// produced but the consumer has not reached yet.
+/// (merged into [`RowCursor::stats`] on demand), the queue of rows it has
+/// produced but the consumer has not reached yet, and the memoized
+/// partition-arena → suffix-arena id translation used when those rows cross
+/// the boundary into the stateful suffix.
 #[derive(Debug)]
 struct Partition {
     arena: PathArena,
     root: Stage,
     counters: Counters,
-    queue: VecDeque<ResultRow>,
+    /// Rows awaiting the suffix boundary (id-forwarding plans).
+    rows: VecDeque<ArenaRow>,
+    /// Rows materialised on the worker thread (suffix-free plans).
+    finished: VecDeque<ResultRow>,
+    /// Whether this partition's rows are final output (no suffix pipeline):
+    /// then workers materialise in parallel inside [`Partition::pull_batch`];
+    /// otherwise rows stay as ids for the forwarder.
+    materialise: bool,
+    forward: IdForwarder,
     done: bool,
 }
 
 impl Partition {
-    /// Pulls up to `batch` rows from the partition's prefix pipeline
-    /// (runs on a scoped worker thread).
+    /// Rows queued and not yet consumed (either representation).
+    fn queued(&self) -> usize {
+        self.rows.len() + self.finished.len()
+    }
+
+    /// Pulls up to `batch` rows from the partition's prefix pipeline (runs on
+    /// a scoped worker thread). Suffix-free plans materialise here — path
+    /// reconstruction runs in parallel across partitions; plans with a
+    /// stateful suffix keep [`ArenaRow`]s for the consumer's id forwarder.
     fn pull_batch(
         &mut self,
         snapshot: &GraphSnapshot,
@@ -1405,12 +1437,18 @@ impl Partition {
         };
         for _ in 0..batch {
             match self.root.pull(&ctx, &self.arena)? {
-                ControlFlow::Continue(Some(row)) => self.queue.push_back(ResultRow {
-                    source: row.source,
-                    path: self.arena.to_path(row.path),
-                    head: row.head,
-                    weight: row.weight,
-                }),
+                ControlFlow::Continue(Some(row)) => {
+                    if self.materialise {
+                        self.finished.push_back(ResultRow {
+                            source: row.source,
+                            path: self.arena.to_path(row.path),
+                            head: row.head,
+                            weight: row.weight,
+                        });
+                    } else {
+                        self.rows.push_back(row);
+                    }
+                }
                 ControlFlow::Continue(None) | ControlFlow::Break(()) => {
                     self.done = true;
                     break;
@@ -1441,6 +1479,13 @@ struct SuffixPipe {
 /// `ControlFlow::Break` (a saturated `Limit`), the partition cursors are
 /// simply never pulled again, so at most one speculative batch per partition
 /// is wasted.
+///
+/// The partition → suffix boundary is **copy-free**: instead of
+/// materialising each row's path and re-interning it into the suffix arena
+/// (O(path length) per row, discarding the partition arena's prefix
+/// sharing), each partition keeps a memoized [`IdForwarder`] that translates
+/// its arena ids into the suffix arena — O(new nodes) amortised, counted in
+/// [`ExecStats::interned_nodes`](crate::exec::ExecStats).
 #[derive(Debug)]
 struct ParallelState {
     partitions: Vec<Partition>,
@@ -1469,7 +1514,8 @@ impl ParallelState {
                     ControlFlow::Continue(None) => {} // starved: feed below
                 }
             } else if self.current < self.partitions.len() {
-                if let Some(row) = self.partitions[self.current].queue.pop_front() {
+                // suffix-free plans: the worker threads already materialised
+                if let Some(row) = self.partitions[self.current].finished.pop_front() {
                     self.fed += 1;
                     check_cap(self.fed, ctx.cap)?;
                     return Ok(Some(row));
@@ -1494,7 +1540,7 @@ impl ParallelState {
                     }
                 }
                 let part = &self.partitions[self.current];
-                if !part.queue.is_empty() {
+                if part.queued() > 0 {
                     break;
                 }
                 if part.done {
@@ -1504,23 +1550,25 @@ impl ParallelState {
                 self.fill_round(ctx)?;
             }
 
-            // 3. feed the suffix from the current partition, in order
+            // 3. feed the suffix from the current partition, in order —
+            // id forwarding, not a materialise/re-intern round trip: each
+            // partition-arena node crosses the boundary at most once
             if let Some(sfx) = &mut self.suffix {
                 if self.current < self.partitions.len() {
                     let part = &mut self.partitions[self.current];
-                    let rows: Vec<ArenaRow> = part
-                        .queue
-                        .drain(..)
-                        .map(|row| {
-                            self.fed += 1;
-                            ArenaRow {
-                                source: row.source,
-                                path: sfx.arena.intern(&row.path),
-                                head: row.head,
-                                weight: row.weight,
-                            }
-                        })
-                        .collect();
+                    let mut rows: Vec<ArenaRow> = Vec::with_capacity(part.rows.len());
+                    for row in part.rows.drain(..) {
+                        self.fed += 1;
+                        let (path, appended) =
+                            part.forward.forward(&part.arena, &sfx.arena, row.path);
+                        ctx.count_interned(appended);
+                        rows.push(ArenaRow {
+                            source: row.source,
+                            path,
+                            head: row.head,
+                            weight: row.weight,
+                        });
+                    }
                     check_cap(self.fed, ctx.cap)?;
                     sfx.root.feed(rows);
                 }
@@ -1538,7 +1586,7 @@ impl ParallelState {
             let handles: Vec<_> = self
                 .partitions
                 .iter_mut()
-                .filter(|p| !p.done && p.queue.len() < batch)
+                .filter(|p| !p.done && p.queued() < batch)
                 .map(|part| scope.spawn(move |_| part.pull_batch(snapshot, cap, batch)))
                 .collect();
             handles

@@ -80,6 +80,12 @@ pub enum ExecutionStrategy {
 pub struct ExecStats {
     /// Adjacency entries visited by expansion operations.
     pub expansions: u64,
+    /// Arena nodes appended while forwarding rows across the parallel
+    /// strategy's partition → suffix boundary. The id-forwarding boundary
+    /// appends each distinct partition-arena node at most once, so this is
+    /// O(new nodes) for the whole execution — the materialise-and-re-intern
+    /// boundary it replaced appended O(path length) nodes *per row*.
+    pub interned_nodes: u64,
 }
 
 /// Mutable work counters. Deliberately *not* atomic: counting happens on
@@ -90,12 +96,14 @@ pub struct ExecStats {
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub(crate) expansions: Cell<u64>,
+    pub(crate) interned_nodes: Cell<u64>,
 }
 
 impl Counters {
     pub(crate) fn stats(&self) -> ExecStats {
         ExecStats {
             expansions: self.expansions.get(),
+            interned_nodes: self.interned_nodes.get(),
         }
     }
 }
@@ -115,6 +123,13 @@ impl ExecCtx<'_> {
             .expansions
             .set(self.counters.expansions.get() + 1);
     }
+
+    #[inline]
+    pub(crate) fn count_interned(&self, n: usize) {
+        self.counters
+            .interned_nodes
+            .set(self.counters.interned_nodes.get() + n as u64);
+    }
 }
 
 /// Executes a plan with the chosen strategy.
@@ -124,7 +139,29 @@ pub fn execute(
     strategy: ExecutionStrategy,
     max_intermediate: Option<usize>,
 ) -> Result<QueryResult, EngineError> {
-    let mut cursor = RowCursor::compile(snapshot.clone(), plan.clone(), strategy, max_intermediate);
+    execute_with_threads(snapshot, plan, strategy, max_intermediate, None)
+}
+
+/// Executes a plan, optionally forcing the parallel strategy's worker thread
+/// count (`None` = `available_parallelism`; ignored by the other
+/// strategies). Tests and benchmarks use this to exercise the partitioned
+/// path on machines whose `available_parallelism` reports a single core —
+/// the snapshot-isolation suite runs it against frozen snapshots while
+/// writers churn the live graph.
+pub fn execute_with_threads(
+    snapshot: &GraphSnapshot,
+    plan: &LogicalPlan,
+    strategy: ExecutionStrategy,
+    max_intermediate: Option<usize>,
+    threads: Option<usize>,
+) -> Result<QueryResult, EngineError> {
+    let mut cursor = RowCursor::compile_with_threads(
+        snapshot.clone(),
+        plan.clone(),
+        strategy,
+        max_intermediate,
+        threads,
+    );
     let mut rows = Vec::new();
     while let Some(row) = cursor.next_row()? {
         rows.push(row);

@@ -66,7 +66,7 @@ pub use plan::{
     WeightSource, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 pub use query::{QueryResult, ResultRow};
-pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph};
+pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph, StoreStats};
 pub use value::{Predicate, Value};
 
 /// Convenient glob import: `use mrpa_engine::prelude::*;`.

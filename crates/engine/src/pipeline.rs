@@ -456,6 +456,7 @@ pub struct Traversal {
     pipeline: Pipeline,
     strategy: ExecutionStrategy,
     max_intermediate: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl Traversal {
@@ -468,6 +469,7 @@ impl Traversal {
             pipeline: Pipeline::new(),
             strategy: ExecutionStrategy::Materialized,
             max_intermediate: None,
+            threads: None,
         }
     }
 
@@ -890,6 +892,16 @@ impl Traversal {
         self
     }
 
+    /// Forces the parallel strategy's worker thread count (the default is
+    /// `available_parallelism`). Useful for tests and benchmarks —
+    /// single-core CI machines otherwise silently fall back to the
+    /// materialized path — and for pinning resource use in servers. Ignored
+    /// by the other strategies.
+    pub fn parallel_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// The steps accumulated so far (used by the planner and tests).
     pub fn steps(&self) -> &[Step] {
         self.pipeline.steps()
@@ -908,7 +920,13 @@ impl Traversal {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
-        crate::exec::execute(&snapshot, &optimized, self.strategy, self.max_intermediate)
+        crate::exec::execute_with_threads(
+            &snapshot,
+            &optimized,
+            self.strategy,
+            self.max_intermediate,
+            self.threads,
+        )
     }
 
     /// Plans, optimizes, and compiles the traversal into a demand-driven
@@ -930,11 +948,12 @@ impl Traversal {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
-        Ok(RowCursor::compile(
+        Ok(RowCursor::compile_with_threads(
             snapshot,
             optimized,
             self.strategy,
             self.max_intermediate,
+            self.threads,
         ))
     }
 

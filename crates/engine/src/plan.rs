@@ -539,6 +539,29 @@ impl LogicalPlan {
         (self.start, self.ops)
     }
 
+    /// Whether any op of the plan (recursively, through repeat bodies) ever
+    /// traverses `In`/`Both` edges — i.e. whether evaluating it can touch the
+    /// snapshot's reversed graph. Pure-`Out` plans never trigger the lazy
+    /// per-generation reversed-graph build; the parallel executor uses this
+    /// annotation to prewarm the cache *before* spawning workers when the
+    /// plan does need it (see [`GraphSnapshot::prewarm_reversed`]).
+    pub fn needs_reversed(&self) -> bool {
+        fn op_needs(op: &PlanOp) -> bool {
+            match op {
+                PlanOp::Expand { direction, .. } => *direction != Direction::Out,
+                PlanOp::ExpandAutomaton { spec, .. } | PlanOp::ExpandWeighted { spec, .. } => {
+                    spec.direction() != Direction::Out
+                }
+                PlanOp::Repeat { body, .. } => body.iter().any(op_needs),
+                PlanOp::RestrictVertices(_)
+                | PlanOp::RestrictProperty { .. }
+                | PlanOp::DedupByVertex
+                | PlanOp::Limit(_) => false,
+            }
+        }
+        self.ops.iter().any(op_needs)
+    }
+
     /// Number of expansion (join) steps at the top level of the plan.
     pub fn expansion_count(&self) -> usize {
         self.ops
@@ -1590,6 +1613,46 @@ mod tests {
         assert!(desc.contains("join[out"));
         assert!(desc.contains("has(age)"));
         assert!(desc.contains("limit(5)"));
+    }
+
+    #[test]
+    fn needs_reversed_detects_in_and_both_anywhere_in_the_plan() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let p = |steps: &[Step]| plan(&snap, &StartSpec::AllVertices, steps).unwrap();
+        // pure-Out plans — including stateful tails and Out-repeat bodies
+        assert!(!p(&[out_step(&["knows"]), Step::DedupByVertex]).needs_reversed());
+        assert!(!p(&[Step::Repeat {
+            body: vec![out_step(&["knows"])],
+            min: 1,
+            max: 2,
+            until: None,
+        }])
+        .needs_reversed());
+        assert!(!p(&[Step::Match {
+            pattern: "knows+".into(),
+            max_hops: 3,
+            direction: Direction::Out,
+            semantics: Semantics::Walks,
+        }])
+        .needs_reversed());
+        // In/Both steps flip the bit, wherever they sit
+        assert!(p(&[Step::In(None)]).needs_reversed());
+        assert!(p(&[Step::Both(None)]).needs_reversed());
+        assert!(p(&[Step::Repeat {
+            body: vec![Step::In(None)],
+            min: 1,
+            max: 2,
+            until: None,
+        }])
+        .needs_reversed());
+        assert!(p(&[Step::Match {
+            pattern: "knows+".into(),
+            max_hops: 3,
+            direction: Direction::In,
+            semantics: Semantics::Walks,
+        }])
+        .needs_reversed());
     }
 
     #[test]

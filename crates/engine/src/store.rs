@@ -6,9 +6,28 @@
 //! string-keyed [`Value`] properties. Reads take a consistent
 //! [`GraphSnapshot`] so long-running traversals are not affected by concurrent
 //! mutation.
+//!
+//! # Epochs and copy-on-write snapshots
+//!
+//! The store holds its state as an `Arc`-shared **generation**
+//! ([`GraphSnapshot`] pins one). Taking a snapshot is O(1) — an `Arc` clone
+//! and an epoch read, never a copy of the graph, the property maps, or the
+//! interner. Mutators go through [`Arc::make_mut`]: while no snapshot of the
+//! current generation is alive they mutate in place (zero copies on any
+//! build-then-query workload); the first mutation *after* a snapshot was
+//! taken pays one O(V+E) deep clone to start a new generation, leaving every
+//! outstanding snapshot frozen on the old one. Each mutation bumps the
+//! store's epoch, so `snapshot().generation()` identifies the pinned state.
+//!
+//! The reversed graph (used by `in_`/`both` steps) is a **lazily-built,
+//! per-generation cache**: it is constructed at most once per generation, on
+//! first use, and never for pure-`Out` workloads. [`PropertyGraph::stats`]
+//! exposes counters (`deep_clones`, `reversed_builds`) that make both cost
+//! claims assertable in tests and benchmarks.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
@@ -17,12 +36,108 @@ use mrpa_core::{Edge, GraphInterner, LabelId, MultiGraph, VertexId};
 use crate::error::EngineError;
 use crate::value::Value;
 
+/// Monotonic counters shared by every generation of one store (cloning a
+/// generation keeps the same handle, so the counts are per-`PropertyGraph`).
 #[derive(Debug, Default)]
-struct Inner {
+struct StoreMetrics {
+    /// Generation deep clones performed by copy-on-write mutators.
+    deep_clones: AtomicU64,
+    /// Reversed-graph builds (at most one per generation, only on demand).
+    reversed_builds: AtomicU64,
+}
+
+/// Copy-on-write counters of a [`PropertyGraph`], for asserting the snapshot
+/// cost model: `deep_clones` counts the O(V+E) generation copies (zero on the
+/// unchanged-graph snapshot path), `reversed_builds` counts reversed-graph
+/// constructions (at most one per generation, zero for pure-`Out` workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// The current epoch (bumped by every mutation).
+    pub generation: u64,
+    /// O(V+E) copy-on-write generation clones performed so far.
+    pub deep_clones: u64,
+    /// Reversed-graph builds performed so far.
+    pub reversed_builds: u64,
+}
+
+/// One immutable generation of the store. `Clone` is the copy-on-write deep
+/// clone (counted in [`StoreMetrics::deep_clones`]); the lazily-built
+/// reversed graph is *not* carried over — a fresh generation rebuilds it on
+/// first demand.
+#[derive(Debug, Default)]
+struct GraphState {
     graph: MultiGraph,
     interner: GraphInterner,
     vertex_props: HashMap<VertexId, HashMap<String, Value>>,
     edge_props: HashMap<Edge, HashMap<String, Value>>,
+    /// Per-generation cache of `graph.reversed()`, built at most once. An
+    /// `Arc` so that a property-only copy-on-write (which cannot change edge
+    /// structure) can carry the built cache into the new generation.
+    reversed: OnceLock<Arc<MultiGraph>>,
+    /// Shared across generations of one store (a handle, not data).
+    metrics: Arc<StoreMetrics>,
+}
+
+impl Clone for GraphState {
+    fn clone(&self) -> Self {
+        self.metrics.deep_clones.fetch_add(1, Ordering::Relaxed);
+        GraphState {
+            graph: self.graph.clone(),
+            interner: self.interner.clone(),
+            vertex_props: self.vertex_props.clone(),
+            edge_props: self.edge_props.clone(),
+            reversed: OnceLock::new(),
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+}
+
+impl GraphState {
+    /// The reversed graph of this generation, built on first use.
+    fn reversed(&self) -> &MultiGraph {
+        self.reversed
+            .get_or_init(|| {
+                self.metrics.reversed_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.graph.reversed())
+            })
+            .as_ref()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    state: Arc<GraphState>,
+    epoch: u64,
+}
+
+impl Inner {
+    /// Prepares the current generation for a **structural** mutation: bumps
+    /// the epoch and returns exclusive access to the state. If a snapshot
+    /// pins the current generation this performs the one copy-on-write deep
+    /// clone; otherwise it mutates in place. Either way the reversed-graph
+    /// cache is dropped — the edge structure is about to change, so the next
+    /// generation rebuilds it on demand.
+    fn mutate(&mut self) -> &mut GraphState {
+        self.epoch += 1;
+        let state = Arc::make_mut(&mut self.state);
+        state.reversed.take();
+        state
+    }
+
+    /// Prepares the current generation for a **property-only** mutation:
+    /// like [`Inner::mutate`], but keeps the reversed-graph cache — property
+    /// values cannot change edge structure, so even the copy-on-write path
+    /// carries the built cache (an `Arc` clone) into the new generation.
+    fn mutate_props(&mut self) -> &mut GraphState {
+        self.epoch += 1;
+        let carried = self.state.reversed.get().cloned();
+        let state = Arc::make_mut(&mut self.state);
+        if let Some(reversed) = carried {
+            // no-op on the in-place path (the cache is still set there)
+            let _ = state.reversed.set(reversed);
+        }
+        state
+    }
 }
 
 /// A thread-safe multi-relational property graph.
@@ -37,11 +152,18 @@ impl PropertyGraph {
         Self::default()
     }
 
-    /// Adds (or fetches) a vertex by name.
+    /// Adds (or fetches) a vertex by name. Fetching an existing vertex is a
+    /// pure read — it neither bumps the epoch nor triggers a copy-on-write.
     pub fn add_vertex(&self, name: &str) -> VertexId {
         let mut inner = self.inner.write();
-        let v = inner.interner.vertex(name);
-        inner.graph.add_vertex(v);
+        if let Some(v) = inner.state.interner.get_vertex(name) {
+            if inner.state.graph.contains_vertex(v) {
+                return v;
+            }
+        }
+        let state = inner.mutate();
+        let v = state.interner.vertex(name);
+        state.graph.add_vertex(v);
         v
     }
 
@@ -62,14 +184,46 @@ impl PropertyGraph {
     /// needed. Returns the edge.
     pub fn add_edge(&self, tail: &str, label: &str, head: &str) -> Edge {
         let mut inner = self.inner.write();
-        let t = inner.interner.vertex(tail);
-        let l = inner.interner.label(label);
-        let h = inner.interner.vertex(head);
-        inner.graph.add_vertex(t);
-        inner.graph.add_vertex(h);
+        // re-adding an existing edge is a pure read: no epoch bump, no COW
+        if let (Some(t), Some(l), Some(h)) = (
+            inner.state.interner.get_vertex(tail),
+            inner.state.interner.get_label(label),
+            inner.state.interner.get_vertex(head),
+        ) {
+            let e = Edge::new(t, l, h);
+            if inner.state.graph.contains_edge(&e) {
+                return e;
+            }
+        }
+        let state = inner.mutate();
+        let t = state.interner.vertex(tail);
+        let l = state.interner.label(label);
+        let h = state.interner.vertex(head);
+        state.graph.add_vertex(t);
+        state.graph.add_vertex(h);
         let e = Edge::new(t, l, h);
-        inner.graph.add_edge(e);
+        state.graph.add_edge(e);
         e
+    }
+
+    /// Removes the edge `(tail, label, head)` by names. Returns whether the
+    /// edge was present (unknown names simply report `false`).
+    pub fn remove_edge(&self, tail: &str, label: &str, head: &str) -> bool {
+        let mut inner = self.inner.write();
+        let (Some(t), Some(l), Some(h)) = (
+            inner.state.interner.get_vertex(tail),
+            inner.state.interner.get_label(label),
+            inner.state.interner.get_vertex(head),
+        ) else {
+            return false;
+        };
+        let e = Edge::new(t, l, h);
+        if !inner.state.graph.contains_edge(&e) {
+            return false;
+        }
+        let state = inner.mutate();
+        state.edge_props.remove(&e);
+        state.graph.remove_edge(&e)
     }
 
     /// Adds an edge with properties.
@@ -87,20 +241,26 @@ impl PropertyGraph {
         e
     }
 
-    /// Sets a vertex property.
+    /// Sets a vertex property. Property writes are copy-on-write like every
+    /// mutation, but — since properties cannot change edge structure — they
+    /// always keep the generation's reversed-graph cache, on both the
+    /// in-place and the COW path.
     pub fn set_vertex_property(&self, v: VertexId, key: &str, value: Value) {
         let mut inner = self.inner.write();
         inner
+            .mutate_props()
             .vertex_props
             .entry(v)
             .or_default()
             .insert(key.to_owned(), value);
     }
 
-    /// Sets an edge property.
+    /// Sets an edge property (see [`PropertyGraph::set_vertex_property`] for
+    /// the copy-on-write behaviour).
     pub fn set_edge_property(&self, e: Edge, key: &str, value: Value) {
         let mut inner = self.inner.write();
         inner
+            .mutate_props()
             .edge_props
             .entry(e)
             .or_default()
@@ -111,6 +271,7 @@ impl PropertyGraph {
     pub fn vertex_property(&self, v: VertexId, key: &str) -> Option<Value> {
         self.inner
             .read()
+            .state
             .vertex_props
             .get(&v)
             .and_then(|m| m.get(key))
@@ -121,6 +282,7 @@ impl PropertyGraph {
     pub fn edge_property(&self, e: &Edge, key: &str) -> Option<Value> {
         self.inner
             .read()
+            .state
             .edge_props
             .get(e)
             .and_then(|m| m.get(key))
@@ -131,6 +293,7 @@ impl PropertyGraph {
     pub fn vertex(&self, name: &str) -> Result<VertexId, EngineError> {
         self.inner
             .read()
+            .state
             .interner
             .get_vertex(name)
             .ok_or_else(|| EngineError::UnknownVertex(name.to_owned()))
@@ -140,6 +303,7 @@ impl PropertyGraph {
     pub fn label(&self, name: &str) -> Result<LabelId, EngineError> {
         self.inner
             .read()
+            .state
             .interner
             .get_label(name)
             .ok_or_else(|| EngineError::UnknownLabel(name.to_owned()))
@@ -147,73 +311,119 @@ impl PropertyGraph {
 
     /// The name of a vertex, if it was added by name.
     pub fn vertex_name(&self, v: VertexId) -> Option<String> {
-        self.inner.read().interner.vertex_name(v).map(str::to_owned)
+        self.inner
+            .read()
+            .state
+            .interner
+            .vertex_name(v)
+            .map(str::to_owned)
     }
 
     /// The name of a label.
     pub fn label_name(&self, l: LabelId) -> Option<String> {
-        self.inner.read().interner.label_name(l).map(str::to_owned)
+        self.inner
+            .read()
+            .state
+            .interner
+            .label_name(l)
+            .map(str::to_owned)
     }
 
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.inner.read().graph.vertex_count()
+        self.inner.read().state.graph.vertex_count()
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.inner.read().graph.edge_count()
+        self.inner.read().state.graph.edge_count()
     }
 
     /// Takes a consistent snapshot of the graph structure and properties for
-    /// traversal evaluation. The snapshot is immutable and cheap to share.
+    /// traversal evaluation.
+    ///
+    /// This is **O(1)**: the snapshot pins the current generation by cloning
+    /// an `Arc` — no graph, property-map, or interner copy happens here (or
+    /// later, unless the graph is mutated while the snapshot is alive; see
+    /// the module docs for the copy-on-write cost model). The snapshot is
+    /// immutable, cheap to share across threads, and isolated from every
+    /// subsequent mutation.
     pub fn snapshot(&self) -> GraphSnapshot {
         let inner = self.inner.read();
         GraphSnapshot {
-            graph: Arc::new(inner.graph.clone()),
-            reversed: Arc::new(inner.graph.reversed()),
-            vertex_props: Arc::new(inner.vertex_props.clone()),
-            edge_props: Arc::new(inner.edge_props.clone()),
-            interner: Arc::new(inner.interner.clone()),
+            state: Arc::clone(&inner.state),
+            epoch: inner.epoch,
+        }
+    }
+
+    /// Copy-on-write counters: generation deep clones and reversed-graph
+    /// builds performed by this store so far, plus the current epoch. The
+    /// counters make the snapshot cost model assertable — see the module
+    /// docs and `tests/snapshot_concurrency.rs`.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.read();
+        StoreStats {
+            generation: inner.epoch,
+            deep_clones: inner.state.metrics.deep_clones.load(Ordering::Relaxed),
+            reversed_builds: inner.state.metrics.reversed_builds.load(Ordering::Relaxed),
         }
     }
 }
 
 /// An immutable snapshot of a [`PropertyGraph`], shared by executors
 /// (including across threads in the parallel executor).
+///
+/// A snapshot pins one *generation* of the store: cloning it (or taking it in
+/// the first place) is an `Arc` clone. The reversed graph is a per-generation
+/// lazy cache — built at most once per generation, on the first
+/// [`GraphSnapshot::reversed`] call, and never built at all for pure-`Out`
+/// traversals.
 #[derive(Debug, Clone)]
 pub struct GraphSnapshot {
-    graph: Arc<MultiGraph>,
-    reversed: Arc<MultiGraph>,
-    vertex_props: Arc<HashMap<VertexId, HashMap<String, Value>>>,
-    edge_props: Arc<HashMap<Edge, HashMap<String, Value>>>,
-    interner: Arc<GraphInterner>,
+    state: Arc<GraphState>,
+    epoch: u64,
 }
 
 impl GraphSnapshot {
     /// The forward multi-relational graph.
     pub fn graph(&self) -> &MultiGraph {
-        &self.graph
+        &self.state.graph
     }
 
-    /// The reversed graph (used by `in_`/incoming steps).
+    /// The reversed graph (used by `in_`/incoming steps). Built lazily on
+    /// first use and cached for the generation this snapshot pins; pure-`Out`
+    /// traversals never trigger the build.
     pub fn reversed(&self) -> &MultiGraph {
-        &self.reversed
+        self.state.reversed()
+    }
+
+    /// Forces the reversed-graph cache to be built now (a no-op if it already
+    /// is). The parallel executor calls this for plans that traverse
+    /// `In`/`Both` edges, so worker threads never stall on the first-touch
+    /// build mid-traversal.
+    pub fn prewarm_reversed(&self) {
+        let _ = self.state.reversed();
+    }
+
+    /// The epoch of the generation this snapshot pins (see
+    /// [`PropertyGraph::stats`]).
+    pub fn generation(&self) -> u64 {
+        self.epoch
     }
 
     /// The interner mapping names to ids.
     pub fn interner(&self) -> &GraphInterner {
-        &self.interner
+        &self.state.interner
     }
 
     /// A vertex property value.
     pub fn vertex_property(&self, v: VertexId, key: &str) -> Option<&Value> {
-        self.vertex_props.get(&v).and_then(|m| m.get(key))
+        self.state.vertex_props.get(&v).and_then(|m| m.get(key))
     }
 
     /// An edge property value.
     pub fn edge_property(&self, e: &Edge, key: &str) -> Option<&Value> {
-        self.edge_props.get(e).and_then(|m| m.get(key))
+        self.state.edge_props.get(e).and_then(|m| m.get(key))
     }
 
     /// An edge property read as a finite number — the convenience behind
@@ -226,7 +436,8 @@ impl GraphSnapshot {
 
     /// All vertices whose property `key` satisfies the predicate.
     pub fn vertices_where(&self, key: &str, pred: &crate::value::Predicate) -> Vec<VertexId> {
-        self.graph
+        self.state
+            .graph
             .vertices()
             .filter(|&v| pred.eval(self.vertex_property(v, key)))
             .collect()
@@ -234,21 +445,24 @@ impl GraphSnapshot {
 
     /// Resolves a label name.
     pub fn label(&self, name: &str) -> Result<LabelId, EngineError> {
-        self.interner
+        self.state
+            .interner
             .get_label(name)
             .ok_or_else(|| EngineError::UnknownLabel(name.to_owned()))
     }
 
     /// Resolves a vertex name.
     pub fn vertex(&self, name: &str) -> Result<VertexId, EngineError> {
-        self.interner
+        self.state
+            .interner
             .get_vertex(name)
             .ok_or_else(|| EngineError::UnknownVertex(name.to_owned()))
     }
 
     /// Renders a vertex as its name (falling back to the id).
     pub fn render_vertex(&self, v: VertexId) -> String {
-        self.interner
+        self.state
+            .interner
             .vertex_name(v)
             .map(str::to_owned)
             .unwrap_or_else(|| v.to_string())
@@ -376,6 +590,90 @@ mod tests {
         assert_eq!(g.vertex_name(marko), Some("marko".into()));
         let knows = g.label("knows").unwrap();
         assert_eq!(g.label_name(knows), Some("knows".into()));
+    }
+
+    #[test]
+    fn snapshots_are_o1_until_a_mutation_starts_a_new_generation() {
+        let g = classic_social_graph();
+        // building never deep-clones: no snapshot pinned any generation
+        assert_eq!(g.stats().deep_clones, 0);
+        // snapshots are Arc clones — any number of them copy nothing
+        let snaps: Vec<GraphSnapshot> = (0..100).map(|_| g.snapshot()).collect();
+        assert_eq!(g.stats().deep_clones, 0);
+        assert!(snaps
+            .windows(2)
+            .all(|w| w[0].generation() == w[1].generation()));
+        // the first mutation after a snapshot pays the one COW clone…
+        g.add_edge("vadas", "knows", "peter");
+        assert_eq!(g.stats().deep_clones, 1);
+        // …and further mutations are in place (no snapshot pins the new gen)
+        g.add_edge("vadas", "knows", "josh");
+        g.set_vertex_property(g.vertex("vadas").unwrap(), "age", Value::from(28i64));
+        assert_eq!(g.stats().deep_clones, 1);
+        // the held snapshots still see the frozen generation
+        assert!(snaps.iter().all(|s| s.graph().edge_count() == 6));
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn reversed_graph_builds_once_per_generation_and_only_on_demand() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        assert_eq!(g.stats().reversed_builds, 0);
+        // two snapshots of one generation share one build
+        let snap2 = g.snapshot();
+        snap.prewarm_reversed();
+        assert_eq!(snap2.reversed().edge_count(), 6);
+        assert_eq!(g.stats().reversed_builds, 1);
+        // a structural mutation starts a generation whose cache is cold…
+        g.add_edge("vadas", "knows", "peter");
+        assert_eq!(g.snapshot().reversed().edge_count(), 7);
+        assert_eq!(g.stats().reversed_builds, 2);
+        // …but a property write that mutates in place keeps the cache
+        g.set_vertex_property(g.vertex("vadas").unwrap(), "age", Value::from(28i64));
+        let _ = g.snapshot().reversed();
+        assert_eq!(g.stats().reversed_builds, 2);
+        // even a property write that pays the COW clone carries the cache
+        // into the new generation (properties cannot change edge structure)
+        let pinned = g.snapshot();
+        g.set_vertex_property(g.vertex("vadas").unwrap(), "age", Value::from(29i64));
+        assert!(g.stats().deep_clones > 0);
+        let _ = g.snapshot().reversed();
+        assert_eq!(g.stats().reversed_builds, 2, "cache carried across COW");
+        drop(pinned);
+    }
+
+    #[test]
+    fn noop_adds_are_reads_not_mutations() {
+        let g = classic_social_graph();
+        let gen = g.stats().generation;
+        let snap = g.snapshot();
+        // re-adding an existing vertex or edge must not bump the epoch, pay
+        // a COW clone, or invalidate the reversed cache
+        let marko = g.add_vertex("marko");
+        let e = g.add_edge("marko", "knows", "vadas");
+        assert_eq!(g.stats().generation, gen);
+        assert_eq!(g.stats().deep_clones, 0);
+        assert_eq!(g.vertex("marko").unwrap(), marko);
+        assert_eq!(snap.graph().edge_count(), 6);
+        assert!(snap.graph().contains_edge(&e));
+    }
+
+    #[test]
+    fn remove_edge_by_names_updates_the_store() {
+        let g = classic_social_graph();
+        assert!(g.remove_edge("marko", "knows", "vadas"));
+        assert!(!g.remove_edge("marko", "knows", "vadas"));
+        assert!(!g.remove_edge("marko", "likes", "vadas"));
+        assert_eq!(g.edge_count(), 5);
+        let marko = g.vertex("marko").unwrap();
+        let vadas = g.vertex("vadas").unwrap();
+        let knows = g.label("knows").unwrap();
+        // the edge's properties were dropped with it
+        assert_eq!(
+            g.edge_property(&Edge::new(marko, knows, vadas), "weight"),
+            None
+        );
     }
 
     #[test]

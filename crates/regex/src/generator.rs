@@ -273,7 +273,9 @@ impl GeneratorRun<'_, '_> {
                     EdgeMatcher::Explicit(set) => paths.step_join_where(graph, |e| set.contains(e)),
                 };
                 if self.config.simple_only {
-                    joined = joined.filter(Path::is_simple);
+                    // borrowed simplicity check over the arena — no
+                    // candidate path is materialised just to be rejected
+                    joined = joined.filter_refs(|r| r.is_simple());
                 }
                 if joined.is_empty() {
                     continue;

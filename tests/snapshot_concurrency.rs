@@ -1,0 +1,323 @@
+//! Snapshot cost-model and isolation tests for the epoch/copy-on-write store
+//! and the id-forwarding parallel boundary.
+//!
+//! Three families of properties:
+//!
+//! 1. **O(1) snapshots** — taking (any number of) snapshots performs no
+//!    graph/property/interner deep clone; only the first mutation after a
+//!    snapshot pays the one copy-on-write generation copy. Counter-asserted
+//!    via [`PropertyGraph::stats`], not wall time.
+//! 2. **Lazy reversed graph** — pure-`Out` plans never build the reversed
+//!    graph under any strategy or terminal; `In`/`Both` plans build it at
+//!    most once per generation.
+//! 3. **Snapshot isolation under writer churn** — seeded random graphs are
+//!    frozen with a snapshot, scoped writer threads mutate the live store
+//!    (add/remove edges, set properties) while traversals execute against
+//!    the frozen snapshot under all three strategies (the parallel one with
+//!    forced multi-threading); every result is row-for-row identical to the
+//!    single-threaded evaluation of the frozen graph, and the id-forwarding
+//!    partition boundary stays row-for-row ≡ materialized.
+
+use rand::Rng as _;
+
+use mrpa::datagen::random::{rng_stream, Rng};
+use mrpa::engine::{
+    exec, plan, ExecutionStrategy, Pipeline, PropertyGraph, QueryResult, StartSpec, Traversal,
+    Value,
+};
+
+const STRATEGIES: [ExecutionStrategy; 3] = [
+    ExecutionStrategy::Materialized,
+    ExecutionStrategy::Streaming,
+    ExecutionStrategy::Parallel,
+];
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+/// A small random property graph over a fixed label vocabulary (the same
+/// shape the optimizer-equivalence suite uses).
+fn random_graph(r: &mut Rng) -> PropertyGraph {
+    let g = PropertyGraph::new();
+    let n = r.gen_range(5usize..14);
+    for i in 0..n {
+        let v = g.add_vertex(&format!("v{i}"));
+        g.set_vertex_property(v, "age", Value::Int(r.gen_range(10i64..60)));
+    }
+    g.add_edge("v0", "a", "v1");
+    g.add_edge("v1", "b", "v2");
+    g.add_edge("v2", "c", "v0");
+    let m = r.gen_range(6usize..30);
+    for _ in 0..m {
+        let t = format!("v{}", r.gen_range(0..n));
+        let h = format!("v{}", r.gen_range(0..n));
+        let l = LABELS[r.gen_range(0..LABELS.len())];
+        g.add_edge(&t, l, &h);
+    }
+    g
+}
+
+fn row_sequence(result: &QueryResult) -> Vec<String> {
+    result
+        .rows()
+        .iter()
+        .map(|row| format!("{}-[{}]->{}", row.source, row.path, row.head))
+        .collect()
+}
+
+#[test]
+fn snapshots_never_deep_clone_an_unchanged_graph() {
+    let mut r = rng_stream(0x5eed_c0de, 1);
+    let g = random_graph(&mut r);
+    assert_eq!(g.stats().deep_clones, 0, "building never clones");
+    // a pile of snapshots and full query executions: still zero clones
+    let snaps: Vec<_> = (0..50).map(|_| g.snapshot()).collect();
+    for strategy in STRATEGIES {
+        Traversal::over(&g)
+            .out(["a"])
+            .out(["b"])
+            .strategy(strategy)
+            .execute()
+            .unwrap();
+    }
+    assert_eq!(
+        g.stats().deep_clones,
+        0,
+        "snapshot() must be an Arc clone, not a graph copy"
+    );
+    // the first mutation after snapshots were taken pays the one COW copy;
+    // the generation the snapshots pin stays frozen
+    let before = snaps[0].graph().edge_count();
+    g.add_edge("v0", "a", "v2");
+    assert_eq!(g.stats().deep_clones, 1);
+    g.add_edge("v1", "c", "v0");
+    g.remove_edge("v0", "a", "v1");
+    assert_eq!(
+        g.stats().deep_clones,
+        1,
+        "in-place once the gen is unshared"
+    );
+    assert!(snaps.iter().all(|s| s.graph().edge_count() == before));
+}
+
+#[test]
+fn pure_out_plans_never_build_the_reversed_graph() {
+    let g = mrpa::engine::classic_social_graph();
+    // out-steps, automata, weighted search, repeat bodies, lazy terminals —
+    // all Out-directed: zero reversed builds under every strategy
+    for strategy in STRATEGIES {
+        let base = Traversal::over(&g).strategy(strategy);
+        base.clone()
+            .v(["marko"])
+            .out(["knows"])
+            .out(["created"])
+            .execute()
+            .unwrap();
+        base.clone().match_("knows+·created").execute().unwrap();
+        base.clone()
+            .repeat(1..=2, |p| p.out(["knows"]))
+            .execute()
+            .unwrap();
+        base.clone()
+            .cheapest_("(knows|created)+")
+            .weight_by("weight")
+            .top_k(2)
+            .execute()
+            .unwrap();
+        assert!(base.clone().v(["marko"]).match_("knows+").exists().unwrap());
+    }
+    // forced multi-thread parallel exercises the partitioned path too
+    Traversal::over(&g)
+        .out(["created"])
+        .dedup()
+        .strategy(ExecutionStrategy::Parallel)
+        .parallel_threads(3)
+        .execute()
+        .unwrap();
+    assert_eq!(
+        g.stats().reversed_builds,
+        0,
+        "a pure-Out workload must never pay for the reversed graph"
+    );
+
+    // the first In-direction query builds it — once per generation, however
+    // many queries and snapshots share that generation
+    for strategy in STRATEGIES {
+        Traversal::over(&g)
+            .v(["lop"])
+            .in_(["created"])
+            .strategy(strategy)
+            .execute()
+            .unwrap();
+        Traversal::over(&g)
+            .v(["lop"])
+            .both(["created"])
+            .strategy(strategy)
+            .execute()
+            .unwrap();
+    }
+    assert_eq!(g.stats().reversed_builds, 1, "one build per generation");
+    // a structural mutation starts a new generation: one more build on the
+    // next In-direction query, and only then
+    g.add_edge("vadas", "knows", "peter");
+    Traversal::over(&g).out(["knows"]).execute().unwrap();
+    assert_eq!(g.stats().reversed_builds, 1);
+    Traversal::over(&g)
+        .v(["peter"])
+        .in_(["knows"])
+        .execute()
+        .unwrap();
+    assert_eq!(g.stats().reversed_builds, 2);
+}
+
+/// A pipeline mix covering all three executors' moving parts, pure-`Out` so
+/// churn results are comparable, with stateful tails to exercise the
+/// id-forwarding partition boundary.
+fn churn_pipelines() -> Vec<Pipeline> {
+    vec![
+        Pipeline::new().out(["a"]).out(["b"]),
+        Pipeline::new().out_any().dedup(),
+        Pipeline::new().out_any().out_any().dedup().limit(7),
+        Pipeline::new().match_within("a·(b|c)", 3),
+        Pipeline::new().match_within("(a|b)+", 3).dedup(),
+        Pipeline::new().repeat(1..=2, |p| p.out(["a"])).limit(9),
+    ]
+}
+
+#[test]
+fn traversals_on_frozen_snapshots_are_isolated_from_writer_churn() {
+    for seed in 0..3u64 {
+        let mut r = rng_stream(0xc0de_beef, seed);
+        let g = random_graph(&mut r);
+        let n = g.vertex_count();
+        // freeze the graph: plans and references come from this snapshot
+        let snapshot = g.snapshot();
+        let cases: Vec<(plan::LogicalPlan, Vec<String>)> = churn_pipelines()
+            .into_iter()
+            .map(|p| {
+                let naive = plan::plan(&snapshot, &StartSpec::AllVertices, p.steps()).unwrap();
+                let optimized = plan::optimize(&snapshot, &naive);
+                let reference = row_sequence(
+                    &exec::execute(&snapshot, &optimized, ExecutionStrategy::Materialized, None)
+                        .unwrap(),
+                );
+                (optimized, reference)
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            // writers churn the live store the whole time
+            let writer = |stream: u64| {
+                let g = &g;
+                move || {
+                    let mut wr = rng_stream(0x0217_dead, seed * 100 + stream);
+                    for k in 0..300i64 {
+                        let t = format!("v{}", wr.gen_range(0..n));
+                        let h = format!("v{}", wr.gen_range(0..n));
+                        let l = LABELS[wr.gen_range(0..LABELS.len())];
+                        match k % 4 {
+                            0 | 1 => {
+                                g.add_edge(&t, l, &h);
+                            }
+                            2 => {
+                                g.remove_edge(&t, l, &h);
+                            }
+                            _ => {
+                                let v = g.vertex(&t).unwrap();
+                                g.set_vertex_property(v, "age", Value::Int(k));
+                            }
+                        }
+                    }
+                }
+            };
+            scope.spawn(writer(1));
+            scope.spawn(writer(2));
+            // readers execute every case against the frozen snapshot under
+            // every strategy, parallel both auto- and force-threaded
+            for worker in 0..2 {
+                let cases = &cases;
+                let snapshot = &snapshot;
+                scope.spawn(move || {
+                    for (case, (plan, reference)) in cases.iter().enumerate() {
+                        for strategy in STRATEGIES {
+                            let rows = exec::execute(snapshot, plan, strategy, None).unwrap();
+                            assert_eq!(
+                                &row_sequence(&rows),
+                                reference,
+                                "seed {seed} case {case} {strategy:?} (worker {worker})"
+                            );
+                        }
+                        let forced = exec::execute_with_threads(
+                            snapshot,
+                            plan,
+                            ExecutionStrategy::Parallel,
+                            None,
+                            Some(3),
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            &row_sequence(&forced),
+                            reference,
+                            "seed {seed} case {case} forced-parallel (worker {worker})"
+                        );
+                    }
+                });
+            }
+        });
+
+        // after the churn: the snapshot still answers identically…
+        for (case, (plan, reference)) in cases.iter().enumerate() {
+            let rows =
+                exec::execute(&snapshot, plan, ExecutionStrategy::Materialized, None).unwrap();
+            assert_eq!(&row_sequence(&rows), reference, "seed {seed} case {case}");
+        }
+        // …while the live graph moved on to a new generation
+        assert!(g.stats().generation > snapshot.generation());
+    }
+}
+
+#[test]
+fn id_forwarding_boundary_is_row_for_row_and_copy_free() {
+    // P disjoint chains of length L: every result path is L edges deep, so a
+    // materialise/re-intern boundary would append O(L) nodes per row while
+    // id forwarding appends each chain node once
+    const P: usize = 8;
+    const L: usize = 24;
+    let g = PropertyGraph::new();
+    let mut heads = Vec::new();
+    for c in 0..P {
+        heads.push(format!("c{c}_0"));
+        for i in 0..L {
+            g.add_edge(&format!("c{c}_{i}"), "next", &format!("c{c}_{}", i + 1));
+        }
+    }
+    let base = Traversal::over(&g)
+        .v(heads.iter().map(String::as_str))
+        .match_within("next+", L)
+        .dedup(); // the stateful suffix every row must cross into
+    let reference = base
+        .clone()
+        .strategy(ExecutionStrategy::Materialized)
+        .execute()
+        .unwrap();
+    assert_eq!(reference.len(), P * L);
+    assert_eq!(reference.stats().interned_nodes, 0);
+
+    let parallel = base
+        .clone()
+        .strategy(ExecutionStrategy::Parallel)
+        .parallel_threads(4)
+        .execute()
+        .unwrap();
+    assert_eq!(parallel.rows(), reference.rows(), "boundary reorders rows");
+
+    // copy-freedom, counter-asserted: each of the P·L chain nodes crosses
+    // the boundary exactly once; the round-tripping boundary would have
+    // appended one node per path edge — Σ path lengths = P·L·(L+1)/2
+    let forwarded = parallel.stats().interned_nodes;
+    assert_eq!(forwarded, (P * L) as u64);
+    let round_trip = (P * L * (L + 1) / 2) as u64;
+    assert!(
+        forwarded * 3 <= round_trip,
+        "forwarding appended {forwarded} nodes, round-tripping would append {round_trip}"
+    );
+}
