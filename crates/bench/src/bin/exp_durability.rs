@@ -1,0 +1,180 @@
+//! Durability benchmark: WAL append throughput, checkpoint latency, and
+//! crash-recovery replay speed on a million-edge synthetic graph.
+//!
+//! Five measurements, written to `BENCH_durability.json`:
+//!
+//! * **WAL ingest** — bulk-loading a datagen preferential-attachment graph
+//!   (~1M edges, 200k vertices) plus 10k sampled vertex properties into a
+//!   durable store through the chunked WAL fast path: edges/sec and log MB/s.
+//! * **persist** — `persist()` (fsync) latency after the bulk load.
+//! * **replay** — reopening the directory cold: full-WAL replay wall-clock
+//!   and MB/s, with the replayed store asserted structurally equal to the
+//!   source graph (counts, sampled adjacency, sampled query rows against an
+//!   in-memory twin).
+//! * **checkpoint** — `checkpoint()` latency (page-out + atomic rename +
+//!   canonical reinstall + WAL truncation) and checkpoint file size.
+//! * **post-checkpoint reopen** — opening from the checkpoint alone:
+//!   wall-clock and the asserted `replayed_records == 0`.
+
+use mrpa_bench::{fmt_f, time, Table};
+use mrpa_datagen::{ingest_multigraph, preferential_attachment, BaConfig};
+use mrpa_engine::{PropertyGraph, Traversal, Value};
+
+const VERTICES: usize = 200_000;
+const LABELS: usize = 4;
+const EDGES_PER_VERTEX: usize = 5;
+const SEED: u64 = 42;
+const PROPS: usize = 10_000;
+
+fn wal_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::metadata(dir.join("wal.log"))
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// Sampled row-for-row comparison: 50 spread-out start vertices, one- and
+/// two-hop out-traversals over every label, all rows compared exactly.
+fn assert_queries_match(a: &PropertyGraph, b: &PropertyGraph, ctx: &str) {
+    let starts: Vec<String> = (0..50)
+        .map(|i| format!("v{}", i * (VERTICES / 50)))
+        .collect();
+    let labels: Vec<String> = (0..LABELS).map(|l| format!("l{l}")).collect();
+    let run = |g: &PropertyGraph| {
+        let q = Traversal::over(g)
+            .v(starts.iter().map(String::as_str))
+            .out(labels.iter().map(String::as_str))
+            .out(labels.iter().map(String::as_str))
+            .execute()
+            .expect("sampled traversal");
+        q.rows().to_vec()
+    };
+    let (ra, rb) = (run(a), run(b));
+    assert!(!ra.is_empty(), "{ctx}: sampled traversal returned nothing");
+    assert_eq!(ra, rb, "{ctx}: sampled query rows diverge");
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mrpa-exp-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // preferential attachment is O(|E|): the only datagen generator that
+    // reaches the million-edge scale without an O(n²) pair sweep
+    let graph = preferential_attachment(BaConfig {
+        vertices: VERTICES,
+        edges_per_vertex: EDGES_PER_VERTEX,
+        labels: LABELS,
+        seed: SEED,
+    });
+    let edges = graph.edge_count();
+    assert!(edges > 900_000, "expected a ~1M-edge graph, got {edges}");
+
+    // in-memory twin: the correctness reference for every disk round-trip
+    let twin = PropertyGraph::new();
+    ingest_multigraph(&twin, &graph).expect("in-memory ingest");
+
+    // -----------------------------------------------------------------
+    // 1. WAL ingest throughput
+    // -----------------------------------------------------------------
+    let store = PropertyGraph::open(&dir).expect("open fresh durable store");
+    let (added, ingest_ms) = time(|| ingest_multigraph(&store, &graph).expect("durable ingest"));
+    assert_eq!(added, edges, "durable ingest must add every edge");
+    let (_, props_ms) = time(|| {
+        for i in 0..PROPS {
+            let name = format!("v{}", i * (VERTICES / PROPS));
+            let v = store.vertex(&name).expect("sampled vertex");
+            store
+                .try_set_vertex_property(v, "rank", Value::Int(i as i64))
+                .expect("property write");
+            twin.set_vertex_property(twin.vertex(&name).unwrap(), "rank", Value::Int(i as i64));
+        }
+    });
+    let (_, persist_ms) = time(|| store.persist().expect("persist"));
+    let log_bytes = wal_bytes(&dir);
+    let ingest_total_ms = ingest_ms + props_ms;
+    let edges_per_sec = edges as f64 / (ingest_ms / 1e3);
+    let wal_mb_per_sec = (log_bytes as f64 / 1e6) / (ingest_total_ms / 1e3);
+    let wal_records = store.stats().wal_records;
+    drop(store);
+
+    let mut t1 = Table::new(["measure", "value"]);
+    t1.row(["edges ingested".into(), edges.to_string()]);
+    t1.row(["ingest ms".into(), fmt_f(ingest_ms)]);
+    t1.row(["edges/sec".into(), fmt_f(edges_per_sec)]);
+    t1.row(["props ms (10k singles)".into(), fmt_f(props_ms)]);
+    t1.row(["persist (fsync) ms".into(), fmt_f(persist_ms)]);
+    t1.row(["wal bytes".into(), log_bytes.to_string()]);
+    t1.row(["wal MB/s".into(), fmt_f(wal_mb_per_sec)]);
+    t1.print("WAL append throughput, |V|=200k |E|=1M");
+
+    // -----------------------------------------------------------------
+    // 2. cold-start replay of the full WAL
+    // -----------------------------------------------------------------
+    let (reopened, replay_ms) = time(|| PropertyGraph::open(&dir).expect("replay reopen"));
+    let replayed = reopened.stats().replayed_records;
+    assert_eq!(replayed, wal_records, "replay must consume every record");
+    assert_eq!(reopened.edge_count(), edges, "replayed edge count");
+    assert_eq!(
+        reopened.vertex_count(),
+        graph.vertex_count(),
+        "replayed vertex count"
+    );
+    assert_queries_match(&reopened, &twin, "replayed vs in-memory twin");
+    let replay_mb_per_sec = (log_bytes as f64 / 1e6) / (replay_ms / 1e3);
+
+    let mut t2 = Table::new(["measure", "value"]);
+    t2.row(["replay wall-clock ms".into(), fmt_f(replay_ms)]);
+    t2.row(["records replayed".into(), replayed.to_string()]);
+    t2.row(["replay MB/s".into(), fmt_f(replay_mb_per_sec)]);
+    t2.print("crash recovery: cold reopen, full-WAL replay");
+
+    // -----------------------------------------------------------------
+    // 3. checkpoint, then reopen from the checkpoint alone
+    // -----------------------------------------------------------------
+    let (_, checkpoint_ms) = time(|| reopened.checkpoint().expect("checkpoint"));
+    let ckpt_bytes = std::fs::metadata(dir.join("checkpoint.bin"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let wal_after = wal_bytes(&dir);
+    assert!(
+        wal_after <= 8,
+        "checkpoint must truncate the WAL, got {wal_after} bytes"
+    );
+    assert_queries_match(&reopened, &twin, "post-checkpoint live vs twin");
+    drop(reopened);
+
+    let (cold, ckpt_open_ms) = time(|| PropertyGraph::open(&dir).expect("checkpoint reopen"));
+    assert_eq!(cold.stats().replayed_records, 0, "nothing left to replay");
+    assert_eq!(cold.edge_count(), edges, "checkpointed edge count");
+    assert_queries_match(&cold, &twin, "checkpoint-restored vs twin");
+    drop(cold);
+
+    let mut t3 = Table::new(["measure", "value"]);
+    t3.row(["checkpoint ms".into(), fmt_f(checkpoint_ms)]);
+    t3.row(["checkpoint bytes".into(), ckpt_bytes.to_string()]);
+    t3.row(["reopen-from-checkpoint ms".into(), fmt_f(ckpt_open_ms)]);
+    t3.print("generation checkpoint: page-out + reopen");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"durability\",\n  \
+         \"graph\": {{\"vertices\": {verts}, \"labels\": {LABELS}, \"edges\": {edges}, \"seed\": {SEED}}},\n  \
+         \"ingest\": {{\"ms\": {ingest_ms:.2}, \"edges_per_sec\": {edges_per_sec:.0}, \
+         \"props_ms\": {props_ms:.2}, \"persist_ms\": {persist_ms:.3}, \
+         \"wal_bytes\": {log_bytes}, \"wal_records\": {wal_records}, \
+         \"wal_mb_per_sec\": {wal_mb_per_sec:.1}}},\n  \
+         \"replay\": {{\"ms\": {replay_ms:.2}, \"records\": {replayed}, \
+         \"mb_per_sec\": {replay_mb_per_sec:.1}}},\n  \
+         \"checkpoint\": {{\"ms\": {checkpoint_ms:.2}, \"bytes\": {ckpt_bytes}, \
+         \"wal_bytes_after\": {wal_after}, \"reopen_ms\": {ckpt_open_ms:.2}, \
+         \"reopen_replayed\": 0}},\n  \
+         \"verified\": \"counts + sampled 2-hop rows vs in-memory twin\"\n}}\n",
+        verts = graph.vertex_count(),
+    );
+    let path = "BENCH_durability.json";
+    std::fs::write(path, &json).expect("write BENCH_durability.json");
+    println!(
+        "\nwrote {path} (ingest {:.0}k edges/s, replay {replay_mb_per_sec:.0} MB/s, checkpoint {checkpoint_ms:.0} ms)",
+        edges_per_sec / 1e3
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -143,6 +143,30 @@ impl MultiGraph {
         true
     }
 
+    /// Removes a vertex from `V` together with every incident edge, returning
+    /// the removed edges (`None` if the vertex was not present).
+    ///
+    /// This is `O(deg)` via the same position-map machinery as
+    /// [`MultiGraph::remove_edge`]: the incident edge lists are read from the
+    /// out/in indexes (no scan of `E`), and each edge removal is `O(deg)`
+    /// bucket surgery. A self-loop appears in both incident lists but is
+    /// removed (and reported) once.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Option<Vec<Edge>> {
+        if !self.vertices.contains(&v) {
+            return None;
+        }
+        let mut incident: Vec<Edge> = self.out_edges(v).to_vec();
+        incident.extend(self.in_edges(v).iter().copied());
+        let mut removed = Vec::with_capacity(incident.len());
+        for e in incident {
+            if self.remove_edge(&e) {
+                removed.push(e);
+            }
+        }
+        self.vertices.remove(&v);
+        Some(removed)
+    }
+
     /// Whether `(i, α, j) ∈ E`.
     pub fn contains_edge(&self, edge: &Edge) -> bool {
         self.edge_pos.contains_key(edge)
@@ -547,6 +571,29 @@ mod tests {
             assert!(g.out_edges(e.tail).contains(&e));
             assert!(g.in_edges(e.head).contains(&e));
         }
+    }
+
+    #[test]
+    fn remove_vertex_detaches_incident_edges() {
+        let mut g = paper_graph();
+        // v1 has out (1,β,2), (1,β,1), (1,β,0) and in (0,α,1), (2,α,1), (1,β,1):
+        // the self-loop is reported once
+        let removed = g.remove_vertex(VertexId(1)).unwrap();
+        assert_eq!(removed.len(), 5);
+        assert!(!g.contains_vertex(VertexId(1)));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 2); // (0,α,2), (0,β,2) survive
+        assert_eq!(g.in_degree(VertexId(1)), 0);
+        assert_eq!(g.out_degree(VertexId(1)), 0);
+        assert!(g
+            .edges()
+            .all(|e| e.tail != VertexId(1) && e.head != VertexId(1)));
+        // absent vertices report None; removal is idempotent
+        assert_eq!(g.remove_vertex(VertexId(1)), None);
+        assert_eq!(g.remove_vertex(VertexId(42)), None);
+        // an isolated vertex removes with no edges
+        g.add_vertex(VertexId(9));
+        assert_eq!(g.remove_vertex(VertexId(9)), Some(vec![]));
     }
 
     #[test]

@@ -106,27 +106,26 @@ impl GraphDoc {
                     .ok_or_else(|| DatagenError::Serde("vertex name must be a string".into()))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let edges =
-            obj.get("edges")
-                .and_then(json::Value::as_array)
-                .ok_or_else(|| DatagenError::Serde("missing \"edges\" array".into()))?
-                .iter()
-                .map(|e| {
-                    let triple = e.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
-                        DatagenError::Serde("edge must be a 3-element array".into())
-                    })?;
-                    let mut names = triple.iter().map(|x| {
-                        x.as_str().map(str::to_owned).ok_or_else(|| {
-                            DatagenError::Serde("edge component must be a string".into())
-                        })
-                    });
-                    Ok((
-                        names.next().unwrap()?,
-                        names.next().unwrap()?,
-                        names.next().unwrap()?,
-                    ))
-                })
-                .collect::<Result<Vec<_>, DatagenError>>()?;
+        let edges = obj
+            .get("edges")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| DatagenError::Serde("missing \"edges\" array".into()))?
+            .iter()
+            .enumerate()
+            .map(|(index, e)| {
+                // index the triple instead of iterating it, so a malformed
+                // record can never panic — only error, and with its position
+                let triple = e.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                    DatagenError::Serde(format!("edge {index}: must be a 3-element array"))
+                })?;
+                let name = |slot: usize, what: &str| {
+                    triple[slot].as_str().map(str::to_owned).ok_or_else(|| {
+                        DatagenError::Serde(format!("edge {index}: {what} must be a string"))
+                    })
+                };
+                Ok((name(0, "tail")?, name(1, "label")?, name(2, "head")?))
+            })
+            .collect::<Result<Vec<_>, DatagenError>>()?;
         Ok(GraphDoc { vertices, edges })
     }
 }
@@ -539,5 +538,24 @@ mod tests {
         assert!(matches!(err, Err(DatagenError::Serde(_))));
         let err = GraphDoc::from_json("[1, 2]");
         assert!(matches!(err, Err(DatagenError::Serde(_))));
+    }
+
+    #[test]
+    fn malformed_edge_triples_error_with_their_record_index() {
+        // a non-string component deep in the list: error, never a panic, and
+        // the message names the offending record and slot
+        let json = r#"{"vertices": [], "edges": [["a", "x", "b"], ["a", 7, "b"]]}"#;
+        match GraphDoc::from_json(json) {
+            Err(DatagenError::Serde(msg)) => {
+                assert!(msg.contains("edge 1"), "{msg}");
+                assert!(msg.contains("label"), "{msg}");
+            }
+            other => panic!("expected a Serde error, got {other:?}"),
+        }
+        let json = r#"{"vertices": [], "edges": [["a", "x", "b"], ["a", "x"], ["c", "y", "d"]]}"#;
+        match GraphDoc::from_json(json) {
+            Err(DatagenError::Serde(msg)) => assert!(msg.contains("edge 1"), "{msg}"),
+            other => panic!("expected a Serde error, got {other:?}"),
+        }
     }
 }

@@ -10,6 +10,8 @@
 //! * [`social`] — property-graph workloads (social/software graph, citation
 //!   network) for the traversal engine;
 //! * [`io`] — edge-list and JSON serialization;
+//! * [`ingest`] — bulk loading of generated graphs into the engine's
+//!   property store through its WAL fast path;
 //! * [`workload`] — benchmark inputs (vertex/label samples, random regexes,
 //!   the standard engine query mix);
 //! * [`random`] — seeded ChaCha8 RNG helpers so every workload is exactly
@@ -21,6 +23,7 @@
 
 pub mod error;
 pub mod generators;
+pub mod ingest;
 pub mod io;
 pub mod random;
 pub mod social;
@@ -31,6 +34,7 @@ pub use generators::{
     chain, complete, cycle, erdos_renyi, erdos_renyi_with_edges, grid, layered_dag,
     preferential_attachment, stochastic_block_model, BaConfig, ErConfig, SbmConfig,
 };
+pub use ingest::{ingest_multigraph, ingest_named};
 pub use io::{read_edge_list, write_edge_list, GraphDoc};
 pub use social::{citation_graph, social_graph, CitationConfig, SocialConfig};
 pub use workload::{

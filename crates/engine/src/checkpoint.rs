@@ -1,0 +1,564 @@
+//! Paged checkpoint files: a full serialization of one store generation.
+//!
+//! A checkpoint captures everything a store generation holds — both interner
+//! domains, the vertex set, the edge list, and the property maps — under the
+//! epoch it was taken at. The layout is
+//!
+//! ```text
+//! [8B magic "MRPACKP1"][u32 version][u64 epoch]
+//! ( [u8 tag][u32 len][u32 crc32][page payload] )*
+//! [0xFF end marker page]
+//! ```
+//!
+//! where every page payload starts with a `u32` item count and carries at
+//! most [`PAGE_ITEMS`] items of one section (vertex names, label names,
+//! vertices, edges, vertex properties, edge properties). Pages are
+//! individually CRC-checked; a checkpoint that fails any check — or is
+//! missing its end marker — is reported as a typed
+//! [`RecoveryError`], never a panic.
+//!
+//! [`RecoveryError`]: crate::recovery::RecoveryError
+//!
+//! Checkpoints are installed atomically: the writer streams to
+//! `checkpoint.tmp`, fsyncs, and `rename`s over `checkpoint.bin`, so a crash
+//! at any boundary leaves either the old checkpoint or the new one — never a
+//! torn hybrid. (A stale `checkpoint.tmp` is deleted on open.)
+//!
+//! Restoration is **canonical**: names are re-interned in id order and edges
+//! re-added in serialized order, so restoring always produces the same
+//! adjacency-bucket layout. [`PropertyGraph::checkpoint`] installs this
+//! restored generation as the live state, which keeps the invariant that the
+//! live store and a recovery of its directory are structurally identical.
+//!
+//! [`PropertyGraph::checkpoint`]: crate::store::PropertyGraph::checkpoint
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use mrpa_core::{Edge, GraphInterner, LabelId, MultiGraph, VertexId};
+
+use crate::error::StoreError;
+use crate::recovery::RecoveryError;
+use crate::store::GraphState;
+use crate::value::Value;
+use crate::wal::{crc32, put_str, put_u32, put_u64, put_value, ByteReader, FailPlan, FailPoint};
+
+/// File name of the installed checkpoint inside a durable store directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+/// File name of the in-flight checkpoint being written (renamed over
+/// [`CHECKPOINT_FILE`] on success; deleted on open if left behind).
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// Magic bytes opening a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"MRPACKP1";
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Maximum items per page (keeps page payloads bounded so corruption is
+/// localized and reads never allocate absurdly from a bad length field).
+pub const PAGE_ITEMS: usize = 65_536;
+
+const MAX_PAGE_LEN: u32 = 1 << 26; // 64 MiB
+
+mod tag {
+    pub const VERTEX_NAMES: u8 = 1;
+    pub const LABEL_NAMES: u8 = 2;
+    pub const VERTICES: u8 = 3;
+    pub const EDGES: u8 = 4;
+    pub const VERTEX_PROPS: u8 = 5;
+    pub const EDGE_PROPS: u8 = 6;
+    pub const END: u8 = 0xFF;
+}
+
+/// The fully-decoded content of a checkpoint: a flat, deterministic image of
+/// one store generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct CheckpointData {
+    pub(crate) epoch: u64,
+    /// Vertex names in id order (index == id).
+    pub(crate) vertex_names: Vec<String>,
+    /// Label names in id order (index == id).
+    pub(crate) label_names: Vec<String>,
+    /// The vertex set `V` (ids; includes isolated vertices).
+    pub(crate) vertices: Vec<u32>,
+    /// The edge list in insertion (edge-slice) order.
+    pub(crate) edges: Vec<(u32, u32, u32)>,
+    /// Vertex properties flattened to `(vertex, key, value)`, sorted.
+    pub(crate) vertex_props: Vec<(u32, String, Value)>,
+    /// Edge properties flattened to `((tail, label, head), key, value)`,
+    /// sorted.
+    pub(crate) edge_props: Vec<((u32, u32, u32), String, Value)>,
+}
+
+impl CheckpointData {
+    /// Captures a generation under `epoch` as a deterministic flat image.
+    pub(crate) fn capture(state: &GraphState, epoch: u64) -> Self {
+        let mut vertex_names: Vec<String> = Vec::with_capacity(state.interner.vertex_count());
+        for (_, name) in state.interner.vertices() {
+            vertex_names.push(name.to_owned());
+        }
+        let mut label_names: Vec<String> = Vec::with_capacity(state.interner.label_count());
+        for (_, name) in state.interner.labels() {
+            label_names.push(name.to_owned());
+        }
+        let vertices: Vec<u32> = state.graph.vertices().map(|v| v.0).collect();
+        let edges: Vec<(u32, u32, u32)> = state
+            .graph
+            .edge_slice()
+            .iter()
+            .map(|e| (e.tail.0, e.label.0, e.head.0))
+            .collect();
+        // props on ids the interner never assigned (or edges not in E) are
+        // unreachable through any by-name read; dropping them here keeps the
+        // image restorable, and the canonical install after a checkpoint
+        // makes the live store agree
+        let mut vertex_props: Vec<(u32, String, Value)> = state
+            .vertex_props
+            .iter()
+            .filter(|(v, _)| (v.0 as usize) < vertex_names.len())
+            .flat_map(|(v, m)| m.iter().map(|(k, val)| (v.0, k.clone(), val.clone())))
+            .collect();
+        vertex_props.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut edge_props: Vec<((u32, u32, u32), String, Value)> = state
+            .edge_props
+            .iter()
+            .filter(|(e, _)| state.graph.contains_edge(e))
+            .flat_map(|(e, m)| {
+                let key = (e.tail.0, e.label.0, e.head.0);
+                m.iter().map(move |(k, val)| (key, k.clone(), val.clone()))
+            })
+            .collect();
+        edge_props.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        CheckpointData {
+            epoch,
+            vertex_names,
+            label_names,
+            vertices,
+            edges,
+            vertex_props,
+            edge_props,
+        }
+    }
+
+    /// Rebuilds a [`GraphState`] from the image. Names are re-interned in id
+    /// order (reproducing the original dense ids) and edges re-added in
+    /// serialized order — the **canonical** adjacency layout every restore of
+    /// this checkpoint shares.
+    pub(crate) fn restore(
+        &self,
+        metrics: std::sync::Arc<crate::store::StoreMetrics>,
+    ) -> Result<GraphState, RecoveryError> {
+        let corrupt = |detail: String| RecoveryError::CorruptCheckpoint { detail };
+        let mut interner = GraphInterner::new();
+        for (i, name) in self.vertex_names.iter().enumerate() {
+            let id = interner.vertex(name);
+            if id.0 as usize != i {
+                return Err(corrupt(format!("duplicate vertex name {name:?}")));
+            }
+        }
+        for (i, name) in self.label_names.iter().enumerate() {
+            let id = interner.label(name);
+            if id.0 as usize != i {
+                return Err(corrupt(format!("duplicate label name {name:?}")));
+            }
+        }
+        let n_vertices = self.vertex_names.len() as u32;
+        let n_labels = self.label_names.len() as u32;
+        let mut graph = MultiGraph::with_capacity(self.vertices.len(), self.edges.len());
+        for &v in &self.vertices {
+            if v >= n_vertices {
+                return Err(corrupt(format!("vertex id {v} has no interned name")));
+            }
+            graph.add_vertex(VertexId(v));
+        }
+        for &(t, l, h) in &self.edges {
+            if t >= n_vertices || h >= n_vertices || l >= n_labels {
+                return Err(corrupt(format!("edge ({t}, {l}, {h}) out of id range")));
+            }
+            let e = Edge::new(VertexId(t), LabelId(l), VertexId(h));
+            if !graph.contains_vertex(e.tail) || !graph.contains_vertex(e.head) {
+                return Err(corrupt(format!("edge ({t}, {l}, {h}) endpoint not in V")));
+            }
+            if !graph.add_edge(e) {
+                return Err(corrupt(format!("duplicate edge ({t}, {l}, {h})")));
+            }
+        }
+        let mut state = GraphState {
+            graph,
+            interner,
+            vertex_props: Default::default(),
+            edge_props: Default::default(),
+            reversed: Default::default(),
+            metrics,
+        };
+        for (v, key, value) in &self.vertex_props {
+            if *v >= n_vertices {
+                return Err(corrupt(format!("property on unknown vertex id {v}")));
+            }
+            state
+                .vertex_props
+                .entry(VertexId(*v))
+                .or_default()
+                .insert(key.clone(), value.clone());
+        }
+        for ((t, l, h), key, value) in &self.edge_props {
+            let e = Edge::new(VertexId(*t), LabelId(*l), VertexId(*h));
+            if !state.graph.contains_edge(&e) {
+                return Err(corrupt(format!("property on unknown edge ({t}, {l}, {h})")));
+            }
+            state
+                .edge_props
+                .entry(e)
+                .or_default()
+                .insert(key.clone(), value.clone());
+        }
+        Ok(state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------------
+
+struct PageWriter<'a> {
+    file: &'a mut File,
+    fail: &'a FailPlan,
+}
+
+impl PageWriter<'_> {
+    /// Writes one `[tag][len][crc][payload]` page. An armed
+    /// [`FailPoint::CheckpointWrite`] leaves roughly half the page behind —
+    /// a genuinely torn tmp file.
+    fn page(&mut self, tag: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(9 + payload.len());
+        frame.push(tag);
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(payload));
+        frame.extend_from_slice(payload);
+        if self.fail.hit(FailPoint::CheckpointWrite) {
+            let _ = self.file.write_all(&frame[..frame.len() / 2]);
+            return Err(StoreError::Injected(FailPoint::CheckpointWrite));
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io("writing checkpoint page", &e))
+    }
+
+    /// Writes a whole section as pages of at most [`PAGE_ITEMS`] items.
+    /// Every section writes at least one page (possibly empty), so readers
+    /// can distinguish "empty section" from "file from an older run".
+    fn section<T>(
+        &mut self,
+        tag: u8,
+        items: &[T],
+        mut encode: impl FnMut(&mut Vec<u8>, &T),
+    ) -> Result<(), StoreError> {
+        let mut chunks = items.chunks(PAGE_ITEMS);
+        let mut wrote_any = false;
+        loop {
+            let chunk: &[T] = match chunks.next() {
+                Some(c) => c,
+                None if !wrote_any => &[],
+                None => break,
+            };
+            let mut payload = Vec::new();
+            put_u32(&mut payload, chunk.len() as u32);
+            for item in chunk {
+                encode(&mut payload, item);
+            }
+            self.page(tag, &payload)?;
+            wrote_any = true;
+        }
+        Ok(())
+    }
+}
+
+/// Writes `data` as `checkpoint.tmp` in `dir`, fsyncs it, and atomically
+/// renames it over `checkpoint.bin`. Honors the [`FailPoint::CheckpointWrite`]
+/// and [`FailPoint::CheckpointRename`] crash boundaries.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    data: &CheckpointData,
+    fail: &FailPlan,
+) -> Result<(), StoreError> {
+    let tmp_path = dir.join(CHECKPOINT_TMP);
+    let final_path = dir.join(CHECKPOINT_FILE);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(|e| StoreError::io("creating checkpoint.tmp", &e))?;
+    let mut header = CHECKPOINT_MAGIC.to_vec();
+    put_u32(&mut header, CHECKPOINT_VERSION);
+    put_u64(&mut header, data.epoch);
+    file.write_all(&header)
+        .map_err(|e| StoreError::io("writing checkpoint header", &e))?;
+    {
+        let mut w = PageWriter {
+            file: &mut file,
+            fail,
+        };
+        w.section(tag::VERTEX_NAMES, &data.vertex_names, |out, name| {
+            put_str(out, name)
+        })?;
+        w.section(tag::LABEL_NAMES, &data.label_names, |out, name| {
+            put_str(out, name)
+        })?;
+        w.section(tag::VERTICES, &data.vertices, |out, &v| put_u32(out, v))?;
+        w.section(tag::EDGES, &data.edges, |out, &(t, l, h)| {
+            put_u32(out, t);
+            put_u32(out, l);
+            put_u32(out, h);
+        })?;
+        w.section(tag::VERTEX_PROPS, &data.vertex_props, |out, (v, k, val)| {
+            put_u32(out, *v);
+            put_str(out, k);
+            put_value(out, val);
+        })?;
+        w.section(tag::EDGE_PROPS, &data.edge_props, |out, (e, k, val)| {
+            put_u32(out, e.0);
+            put_u32(out, e.1);
+            put_u32(out, e.2);
+            put_str(out, k);
+            put_value(out, val);
+        })?;
+        w.page(tag::END, &[])?;
+    }
+    file.sync_all()
+        .map_err(|e| StoreError::io("syncing checkpoint.tmp", &e))?;
+    if fail.hit(FailPoint::CheckpointRename) {
+        return Err(StoreError::Injected(FailPoint::CheckpointRename));
+    }
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| StoreError::io("installing checkpoint", &e))?;
+    // make the rename itself durable; not all platforms support dir fsync
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Reading.
+// ---------------------------------------------------------------------------
+
+/// Reads and fully validates the checkpoint at `path`. Returns `Ok(None)` if
+/// the file does not exist; content problems surface as
+/// [`RecoveryError`]-carrying [`StoreError::Recovery`], never a panic.
+pub(crate) fn read_checkpoint(path: &Path) -> Result<Option<CheckpointData>, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io("reading checkpoint", &e)),
+    };
+    let file = path.display().to_string();
+    let corrupt =
+        |detail: String| StoreError::Recovery(RecoveryError::CorruptCheckpoint { detail });
+    if bytes.len() < 20 {
+        return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(StoreError::Recovery(RecoveryError::BadMagic { file }));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CHECKPOINT_VERSION {
+        return Err(StoreError::Recovery(RecoveryError::UnsupportedVersion {
+            file,
+            version,
+        }));
+    }
+    let epoch = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let mut data = CheckpointData {
+        epoch,
+        ..Default::default()
+    };
+    let mut pos = 20usize;
+    let mut saw_end = false;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 9 {
+            return Err(corrupt(format!("truncated page header at offset {pos}")));
+        }
+        let tag = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 5..pos + 9].try_into().unwrap());
+        if len > MAX_PAGE_LEN {
+            return Err(corrupt(format!("implausible page length {len}")));
+        }
+        let len = len as usize;
+        if bytes.len() - pos - 9 < len {
+            return Err(corrupt(format!("truncated page at offset {pos}")));
+        }
+        let payload = &bytes[pos + 9..pos + 9 + len];
+        if crc32(payload) != crc {
+            return Err(corrupt(format!("page checksum mismatch at offset {pos}")));
+        }
+        pos += 9 + len;
+        if tag == tag::END {
+            if pos != bytes.len() {
+                return Err(corrupt("trailing bytes after end marker".into()));
+            }
+            saw_end = true;
+            break;
+        }
+        decode_page(tag, payload, &mut data)
+            .map_err(|detail| corrupt(format!("page at offset {}: {detail}", pos - 9 - len)))?;
+    }
+    if !saw_end {
+        return Err(corrupt("missing end marker (incomplete checkpoint)".into()));
+    }
+    Ok(Some(data))
+}
+
+fn decode_page(tag: u8, payload: &[u8], data: &mut CheckpointData) -> Result<(), String> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    if count > PAGE_ITEMS {
+        return Err(format!("page item count {count} exceeds {PAGE_ITEMS}"));
+    }
+    match tag {
+        tag::VERTEX_NAMES => {
+            for _ in 0..count {
+                data.vertex_names.push(r.str()?);
+            }
+        }
+        tag::LABEL_NAMES => {
+            for _ in 0..count {
+                data.label_names.push(r.str()?);
+            }
+        }
+        tag::VERTICES => {
+            for _ in 0..count {
+                data.vertices.push(r.u32()?);
+            }
+        }
+        tag::EDGES => {
+            for _ in 0..count {
+                data.edges.push((r.u32()?, r.u32()?, r.u32()?));
+            }
+        }
+        tag::VERTEX_PROPS => {
+            for _ in 0..count {
+                data.vertex_props.push((r.u32()?, r.str()?, r.value()?));
+            }
+        }
+        tag::EDGE_PROPS => {
+            for _ in 0..count {
+                let e = (r.u32()?, r.u32()?, r.u32()?);
+                data.edge_props.push((e, r.str()?, r.value()?));
+            }
+        }
+        other => return Err(format!("unknown page tag {other}")),
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::classic_social_graph;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrpa-ckpt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_the_classic_graph() {
+        let dir = tmp_dir("roundtrip");
+        let g = classic_social_graph();
+        let data = g.with_state(CheckpointData::capture);
+        write_checkpoint(&dir, &data, &FailPlan::new()).unwrap();
+        let back = read_checkpoint(&dir.join(CHECKPOINT_FILE))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, data);
+        let restored = back.restore(Default::default()).unwrap();
+        assert_eq!(restored.graph.vertex_count(), 6);
+        assert_eq!(restored.graph.edge_count(), 6);
+        assert_eq!(restored.interner.vertex_name(VertexId(0)), Some("marko"));
+        assert_eq!(
+            restored
+                .vertex_props
+                .get(&VertexId(0))
+                .and_then(|m| m.get("age")),
+            Some(&Value::Int(29))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_reads_as_none() {
+        let dir = tmp_dir("missing");
+        assert_eq!(read_checkpoint(&dir.join(CHECKPOINT_FILE)).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_yield_typed_errors() {
+        let dir = tmp_dir("corrupt");
+        let g = classic_social_graph();
+        let data = g.with_state(CheckpointData::capture);
+        write_checkpoint(&dir, &data, &FailPlan::new()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        // bad magic
+        let mut bad = clean.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::Recovery(RecoveryError::BadMagic { .. }))
+        ));
+        // future version
+        let mut bad = clean.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::Recovery(RecoveryError::UnsupportedVersion {
+                version: 9,
+                ..
+            }))
+        ));
+        // flipped payload bit → page checksum
+        let mut bad = clean.clone();
+        bad[40] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::Recovery(
+                RecoveryError::CorruptCheckpoint { .. }
+            ))
+        ));
+        // truncation → missing end marker / truncated page
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StoreError::Recovery(
+                RecoveryError::CorruptCheckpoint { .. }
+            ))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_dangling_references() {
+        let g = classic_social_graph();
+        let data = g.with_state(CheckpointData::capture);
+        let mut bad = data.clone();
+        bad.edges.push((0, 0, 999));
+        assert!(bad.restore(Default::default()).is_err());
+        let mut bad = data.clone();
+        bad.vertex_names.push("marko".into()); // duplicate name
+        assert!(bad.restore(Default::default()).is_err());
+        let mut bad = data;
+        bad.vertex_props.push((999, "k".into(), Value::Bool(true)));
+        assert!(bad.restore(Default::default()).is_err());
+    }
+}

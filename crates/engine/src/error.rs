@@ -70,6 +70,70 @@ impl From<mrpa_regex::RegexError> for EngineError {
     }
 }
 
+/// Errors raised by the durable store: WAL appends, checkpointing, and
+/// recovery. Mutation failures on a durable [`PropertyGraph`] surface as this
+/// type through the `try_*` mutators.
+///
+/// [`PropertyGraph`]: crate::store::PropertyGraph
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system IO failure (the underlying `std::io::Error` is
+    /// rendered to a string so the error stays `Clone`/`PartialEq`).
+    Io {
+        /// What the store was doing when the failure happened.
+        context: &'static str,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// A deterministic fault-injection hook fired (tests only; see
+    /// [`FailPoint`](crate::wal::FailPoint)).
+    Injected(crate::wal::FailPoint),
+    /// A previous WAL failure left the in-memory generation ahead of (or
+    /// diverged from) the log; further mutations are refused until the store
+    /// is reopened. Reads and snapshots keep working.
+    Poisoned,
+    /// A durability-only operation (`persist`, `checkpoint`) was invoked on an
+    /// in-memory store.
+    NotDurable,
+    /// Opening a store found on-disk state that cannot be recovered from (or,
+    /// under strict open, a corrupt WAL tail).
+    Recovery(crate::recovery::RecoveryError),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: &'static str, e: &std::io::Error) -> Self {
+        StoreError::Io {
+            context,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, message } => {
+                write!(f, "io error while {context}: {message}")
+            }
+            StoreError::Injected(point) => write!(f, "injected failure at {point}"),
+            StoreError::Poisoned => {
+                write!(f, "store is poisoned by an earlier WAL failure; reopen it")
+            }
+            StoreError::NotDurable => write!(f, "store has no durability directory"),
+            StoreError::Recovery(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<crate::recovery::RecoveryError> for StoreError {
+    fn from(e: crate::recovery::RecoveryError) -> Self {
+        StoreError::Recovery(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

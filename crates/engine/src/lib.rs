@@ -48,17 +48,20 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod cursor;
 pub mod error;
 pub mod exec;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
+pub mod recovery;
 pub mod store;
 pub mod value;
+pub mod wal;
 
 pub use cursor::RowCursor;
-pub use error::EngineError;
+pub use error::{EngineError, StoreError};
 pub use exec::{ExecStats, ExecutionStrategy};
 pub use pipeline::{Pipeline, StartSpec, Step, Traversal, WeightSpec};
 pub use plan::{
@@ -66,8 +69,10 @@ pub use plan::{
     WeightSource, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 pub use query::{QueryResult, ResultRow};
+pub use recovery::{RecoveryError, RecoveryReport};
 pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph, StoreStats};
 pub use value::{Predicate, Value};
+pub use wal::{FailPoint, WalOp, WalTail};
 
 /// Convenient glob import: `use mrpa_engine::prelude::*;`.
 pub mod prelude {

@@ -1,0 +1,209 @@
+//! Crash recovery: rebuilding a store from its durability directory.
+//!
+//! Opening a durable store runs one recovery pass:
+//!
+//! 1. a stale `checkpoint.tmp` (a checkpoint that crashed before its atomic
+//!    rename) is deleted — the installed `checkpoint.bin`, if any, is still
+//!    the previous complete image;
+//! 2. `checkpoint.bin` is read, CRC-validated, and restored into the
+//!    canonical base generation (or an empty one if no checkpoint exists);
+//! 3. the WAL is scanned and every record with `seqno` greater than the
+//!    checkpoint epoch is replayed through the same
+//!    [`GraphState::apply`](crate::store) path live mutators use — replayed
+//!    and live stores are therefore structurally identical, down to interner
+//!    id assignment and adjacency-bucket order.
+//!
+//! A *torn* WAL tail (truncated final record) is the normal signature of a
+//! crash mid-append: the record was never acknowledged, so both open modes
+//! silently recover the clean prefix. A *corrupt* tail (checksum or sequence
+//! failure on bytes that were once acknowledged) distinguishes the modes:
+//! [`PropertyGraph::open`] refuses with [`RecoveryError::CorruptWal`], while
+//! [`PropertyGraph::open_recover`] recovers the clean prefix and reports the
+//! damage in its [`RecoveryReport`].
+//!
+//! [`PropertyGraph::open`]: crate::store::PropertyGraph::open
+//! [`PropertyGraph::open_recover`]: crate::store::PropertyGraph::open_recover
+
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::checkpoint::{read_checkpoint, CHECKPOINT_FILE, CHECKPOINT_TMP};
+use crate::error::StoreError;
+use crate::store::{GraphState, StoreMetrics};
+use crate::wal::{scan_wal, WalTail, WAL_FILE};
+
+/// Why a durability directory could not be (fully) recovered. Carried by
+/// [`StoreError::Recovery`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// A durability file does not start with its expected magic bytes.
+    BadMagic {
+        /// The offending file path.
+        file: String,
+    },
+    /// The checkpoint was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// The offending file path.
+        file: String,
+        /// The version found.
+        version: u32,
+    },
+    /// The checkpoint file fails validation (checksum, framing, or
+    /// referential integrity).
+    CorruptCheckpoint {
+        /// What failed.
+        detail: String,
+    },
+    /// The WAL contains acknowledged bytes that no longer check out
+    /// (strict-open only; a recovering open degrades to clean-prefix replay).
+    CorruptWal {
+        /// Byte offset of the offending record frame.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// The first WAL record past the checkpoint does not continue the
+    /// checkpoint's epoch — records are missing.
+    SequenceGap {
+        /// The sequence number recovery expected next.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+        /// Byte offset of the offending record frame.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::BadMagic { file } => write!(f, "bad magic in {file}"),
+            RecoveryError::UnsupportedVersion { file, version } => {
+                write!(f, "unsupported format version {version} in {file}")
+            }
+            RecoveryError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
+            }
+            RecoveryError::CorruptWal { offset, detail } => {
+                write!(f, "corrupt wal record at offset {offset}: {detail}")
+            }
+            RecoveryError::SequenceGap {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "wal sequence gap at offset {offset}: expected seqno {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// What one recovery pass did — returned by
+/// [`PropertyGraph::open_recover`](crate::store::PropertyGraph::open_recover).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The epoch of the checkpoint the base generation came from (0 when the
+    /// directory had no checkpoint).
+    pub checkpoint_epoch: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// WAL records skipped because the checkpoint already contained them
+    /// (possible only after a crash between checkpoint rename and WAL
+    /// truncation).
+    pub skipped_records: u64,
+    /// The store epoch after recovery.
+    pub epoch: u64,
+    /// How the WAL scan ended. [`WalTail::Torn`] is a normal crash artifact;
+    /// [`WalTail::Corrupt`] means acknowledged bytes were damaged and only
+    /// the clean prefix was recovered.
+    pub wal_tail: WalTail,
+    /// Bytes of clean WAL retained (everything past this was discarded).
+    pub wal_bytes: u64,
+}
+
+/// The product of a recovery pass, consumed by the store constructors.
+pub(crate) struct Recovered {
+    pub(crate) state: GraphState,
+    pub(crate) epoch: u64,
+    /// Clean-prefix end of the WAL; the writer truncates to this on open.
+    pub(crate) wal_clean_end: u64,
+    pub(crate) report: RecoveryReport,
+}
+
+/// Runs one recovery pass over `dir`. `strict` controls the corrupt-WAL
+/// policy (refuse vs. clean-prefix replay); checkpoint corruption is always
+/// refused, since the atomic-rename protocol means a crash cannot produce a
+/// half-written `checkpoint.bin` — damage there is real damage.
+pub(crate) fn recover(
+    dir: &Path,
+    strict: bool,
+    metrics: Arc<StoreMetrics>,
+) -> Result<Recovered, StoreError> {
+    std::fs::create_dir_all(dir).map_err(|e| StoreError::io("creating store directory", &e))?;
+    // a stale tmp is a checkpoint that never committed — discard it
+    match std::fs::remove_file(dir.join(CHECKPOINT_TMP)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::io("removing stale checkpoint.tmp", &e)),
+    }
+    let checkpoint = read_checkpoint(&dir.join(CHECKPOINT_FILE))?;
+    let checkpoint_epoch = checkpoint.as_ref().map_or(0, |c| c.epoch);
+    let mut state = match &checkpoint {
+        Some(data) => data.restore(Arc::clone(&metrics))?,
+        None => GraphState::with_metrics(Arc::clone(&metrics)),
+    };
+
+    let scan = scan_wal(&dir.join(WAL_FILE))?;
+    if strict {
+        if let WalTail::Corrupt { offset, detail } = &scan.tail {
+            return Err(StoreError::Recovery(RecoveryError::CorruptWal {
+                offset: *offset,
+                detail: detail.clone(),
+            }));
+        }
+    }
+    let mut epoch = checkpoint_epoch;
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    for rec in &scan.records {
+        if rec.seqno <= checkpoint_epoch {
+            // the checkpoint already contains this record's effect (a crash
+            // landed between rename and WAL truncation)
+            skipped += 1;
+            continue;
+        }
+        if rec.seqno != epoch + 1 {
+            return Err(StoreError::Recovery(RecoveryError::SequenceGap {
+                expected: epoch + 1,
+                found: rec.seqno,
+                offset: rec.offset,
+            }));
+        }
+        state.apply(&rec.op);
+        epoch = rec.seqno;
+        replayed += 1;
+    }
+    metrics
+        .replayed_records
+        .fetch_add(replayed, Ordering::Relaxed);
+    let wal_clean_end = scan.clean_end();
+    Ok(Recovered {
+        state,
+        epoch,
+        wal_clean_end,
+        report: RecoveryReport {
+            checkpoint_epoch,
+            replayed_records: replayed,
+            skipped_records: skipped,
+            epoch,
+            wal_tail: scan.tail,
+            wal_bytes: wal_clean_end,
+        },
+    })
+}

@@ -24,8 +24,29 @@
 //! first use, and never for pure-`Out` workloads. [`PropertyGraph::stats`]
 //! exposes counters (`deep_clones`, `reversed_builds`) that make both cost
 //! claims assertable in tests and benchmarks.
+//!
+//! # Durability
+//!
+//! A store opened with [`PropertyGraph::open`] (or
+//! [`PropertyGraph::open_recover`]) is **durable**: every mutation is encoded
+//! as a [`WalOp`] and appended to a CRC-checksummed write-ahead log *before*
+//! it touches the in-memory generation, [`PropertyGraph::persist`] fsyncs the
+//! log, and [`PropertyGraph::checkpoint`] serializes the whole generation to
+//! an atomically-installed checkpoint file and truncates the log. Reopening
+//! the directory restores the checkpoint and replays the log through the same
+//! apply path live mutators use, reconstructing a store structurally
+//! identical to the last acknowledged state — down to interner id assignment
+//! and adjacency order. See the [`wal`](crate::wal),
+//! [`checkpoint`](crate::checkpoint), and [`recovery`](crate::recovery)
+//! module docs for formats and crash semantics.
+//!
+//! Durable mutations can fail (disk, or an armed test
+//! [`FailPoint`]), so every mutator has a `try_` form returning
+//! `Result<_, StoreError>`. The classic infallible methods delegate to those
+//! and are the right choice for in-memory stores, where mutation cannot fail.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -33,31 +54,50 @@ use parking_lot::RwLock;
 
 use mrpa_core::{Edge, GraphInterner, LabelId, MultiGraph, VertexId};
 
-use crate::error::EngineError;
+use crate::checkpoint::{write_checkpoint, CheckpointData};
+use crate::error::{EngineError, StoreError};
+use crate::recovery::{recover, RecoveryReport};
 use crate::value::Value;
+use crate::wal::{encode_frame, FailPoint, Wal, WalOp, WAL_FILE};
 
 /// Monotonic counters shared by every generation of one store (cloning a
 /// generation keeps the same handle, so the counts are per-`PropertyGraph`).
 #[derive(Debug, Default)]
-struct StoreMetrics {
+pub(crate) struct StoreMetrics {
     /// Generation deep clones performed by copy-on-write mutators.
     deep_clones: AtomicU64,
     /// Reversed-graph builds (at most one per generation, only on demand).
     reversed_builds: AtomicU64,
+    /// WAL records appended (durable stores only).
+    wal_records: AtomicU64,
+    /// Checkpoints successfully installed.
+    checkpoints: AtomicU64,
+    /// WAL records replayed by recovery when this store was opened.
+    pub(crate) replayed_records: AtomicU64,
 }
 
-/// Copy-on-write counters of a [`PropertyGraph`], for asserting the snapshot
-/// cost model: `deep_clones` counts the O(V+E) generation copies (zero on the
-/// unchanged-graph snapshot path), `reversed_builds` counts reversed-graph
-/// constructions (at most one per generation, zero for pure-`Out` workloads).
+/// Counters of a [`PropertyGraph`], for asserting the snapshot cost model and
+/// the durability behaviour: `deep_clones` counts the O(V+E) generation
+/// copies (zero on the unchanged-graph snapshot path), `reversed_builds`
+/// counts reversed-graph constructions (at most one per generation, zero for
+/// pure-`Out` workloads), and the durability counters (`wal_records`,
+/// `checkpoints`, `replayed_records`) let tests and benches assert WAL /
+/// checkpoint / recovery activity without inspecting files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
-    /// The current epoch (bumped by every mutation).
+    /// The current epoch (bumped by every mutation). On a durable store this
+    /// equals the sequence number of the newest WAL-covered mutation.
     pub generation: u64,
     /// O(V+E) copy-on-write generation clones performed so far.
     pub deep_clones: u64,
     /// Reversed-graph builds performed so far.
     pub reversed_builds: u64,
+    /// WAL records appended so far (0 for in-memory stores).
+    pub wal_records: u64,
+    /// Checkpoints successfully installed so far.
+    pub checkpoints: u64,
+    /// WAL records replayed by recovery when this store was opened.
+    pub replayed_records: u64,
 }
 
 /// One immutable generation of the store. `Clone` is the copy-on-write deep
@@ -65,17 +105,17 @@ pub struct StoreStats {
 /// reversed graph is *not* carried over — a fresh generation rebuilds it on
 /// first demand.
 #[derive(Debug, Default)]
-struct GraphState {
-    graph: MultiGraph,
-    interner: GraphInterner,
-    vertex_props: HashMap<VertexId, HashMap<String, Value>>,
-    edge_props: HashMap<Edge, HashMap<String, Value>>,
+pub(crate) struct GraphState {
+    pub(crate) graph: MultiGraph,
+    pub(crate) interner: GraphInterner,
+    pub(crate) vertex_props: HashMap<VertexId, HashMap<String, Value>>,
+    pub(crate) edge_props: HashMap<Edge, HashMap<String, Value>>,
     /// Per-generation cache of `graph.reversed()`, built at most once. An
     /// `Arc` so that a property-only copy-on-write (which cannot change edge
     /// structure) can carry the built cache into the new generation.
-    reversed: OnceLock<Arc<MultiGraph>>,
+    pub(crate) reversed: OnceLock<Arc<MultiGraph>>,
     /// Shared across generations of one store (a handle, not data).
-    metrics: Arc<StoreMetrics>,
+    pub(crate) metrics: Arc<StoreMetrics>,
 }
 
 impl Clone for GraphState {
@@ -93,6 +133,14 @@ impl Clone for GraphState {
 }
 
 impl GraphState {
+    /// An empty generation wired to an existing metrics handle.
+    pub(crate) fn with_metrics(metrics: Arc<StoreMetrics>) -> Self {
+        GraphState {
+            metrics,
+            ..Default::default()
+        }
+    }
+
     /// The reversed graph of this generation, built on first use.
     fn reversed(&self) -> &MultiGraph {
         self.reversed
@@ -102,12 +150,78 @@ impl GraphState {
             })
             .as_ref()
     }
+
+    /// Applies one logged operation to this generation. This is the **single
+    /// mutation path** shared by live mutators and WAL replay: a store
+    /// rebuilt by replaying its log is structurally identical to the live
+    /// store the log was written by — including interner id assignment
+    /// (names re-intern in logged order) and adjacency-bucket order.
+    pub(crate) fn apply(&mut self, op: &WalOp) {
+        match op {
+            WalOp::AddVertex { name } => {
+                let v = self.interner.vertex(name);
+                self.graph.add_vertex(v);
+            }
+            WalOp::AddEdge { tail, label, head } => {
+                let t = self.interner.vertex(tail);
+                let l = self.interner.label(label);
+                let h = self.interner.vertex(head);
+                self.graph.add_vertex(t);
+                self.graph.add_vertex(h);
+                self.graph.add_edge(Edge::new(t, l, h));
+            }
+            WalOp::RemoveEdge { tail, label, head } => {
+                let e = Edge::new(*tail, *label, *head);
+                self.edge_props.remove(&e);
+                self.graph.remove_edge(&e);
+            }
+            WalOp::RemoveVertex { vertex } => {
+                if let Some(removed) = self.graph.remove_vertex(*vertex) {
+                    for e in &removed {
+                        self.edge_props.remove(e);
+                    }
+                }
+                self.vertex_props.remove(vertex);
+            }
+            WalOp::SetVertexProp { vertex, key, value } => {
+                self.vertex_props
+                    .entry(*vertex)
+                    .or_default()
+                    .insert(key.clone(), value.clone());
+            }
+            WalOp::SetEdgeProp {
+                tail,
+                label,
+                head,
+                key,
+                value,
+            } => {
+                self.edge_props
+                    .entry(Edge::new(*tail, *label, *head))
+                    .or_default()
+                    .insert(key.clone(), value.clone());
+            }
+        }
+    }
+}
+
+/// The durability backend of an opened store: the WAL writer, the directory
+/// checkpoints go to, and the poison latch a failed append trips.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    /// Set when a WAL append failed: the in-memory generation may be ahead
+    /// of (or diverged from) the log, so further mutations are refused until
+    /// the store is reopened. Reads and snapshots keep working.
+    poisoned: bool,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     state: Arc<GraphState>,
     epoch: u64,
+    dur: Option<Durability>,
 }
 
 impl Inner {
@@ -138,6 +252,45 @@ impl Inner {
         }
         state
     }
+
+    /// Commits one mutation that the caller has already established as
+    /// *effective* (it will change state, so the epoch must bump). On a
+    /// durable store the op is WAL-appended **first** — its sequence number
+    /// is the post-mutation epoch — and only then applied in memory; an
+    /// append failure poisons the store and the op is never applied, so
+    /// memory never acknowledges what the log did not accept.
+    fn commit(&mut self, op: WalOp) -> Result<(), StoreError> {
+        if let Some(dur) = self.dur.as_mut() {
+            if dur.poisoned {
+                return Err(StoreError::Poisoned);
+            }
+            let mut frame = Vec::new();
+            encode_frame(self.epoch + 1, &op, &mut frame);
+            if let Err(e) = dur.wal.append_frames(&frame) {
+                dur.poisoned = true;
+                return Err(e);
+            }
+            self.state
+                .metrics
+                .wal_records
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let state = if op.is_props_only() {
+            self.mutate_props()
+        } else {
+            self.mutate()
+        };
+        state.apply(&op);
+        Ok(())
+    }
+
+    fn durability(&mut self) -> Result<&mut Durability, StoreError> {
+        let dur = self.dur.as_mut().ok_or(StoreError::NotDurable)?;
+        if dur.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        Ok(dur)
+    }
 }
 
 /// A thread-safe multi-relational property graph.
@@ -154,17 +307,30 @@ impl PropertyGraph {
 
     /// Adds (or fetches) a vertex by name. Fetching an existing vertex is a
     /// pure read — it neither bumps the epoch nor triggers a copy-on-write.
+    ///
+    /// Infallible convenience over [`PropertyGraph::try_add_vertex`]; on a
+    /// durable store a WAL failure panics here, so durable writers should
+    /// prefer the `try_` form.
     pub fn add_vertex(&self, name: &str) -> VertexId {
+        self.try_add_vertex(name).expect("WAL append failed")
+    }
+
+    /// Adds (or fetches) a vertex by name, surfacing durability failures.
+    pub fn try_add_vertex(&self, name: &str) -> Result<VertexId, StoreError> {
         let mut inner = self.inner.write();
         if let Some(v) = inner.state.interner.get_vertex(name) {
             if inner.state.graph.contains_vertex(v) {
-                return v;
+                return Ok(v);
             }
         }
-        let state = inner.mutate();
-        let v = state.interner.vertex(name);
-        state.graph.add_vertex(v);
-        v
+        inner.commit(WalOp::AddVertex {
+            name: name.to_owned(),
+        })?;
+        Ok(inner
+            .state
+            .interner
+            .get_vertex(name)
+            .expect("vertex was just applied"))
     }
 
     /// Adds a vertex with properties.
@@ -173,16 +339,36 @@ impl PropertyGraph {
         name: &str,
         props: impl IntoIterator<Item = (&'static str, Value)>,
     ) -> VertexId {
-        let v = self.add_vertex(name);
+        self.try_add_vertex_with(name, props)
+            .expect("WAL append failed")
+    }
+
+    /// Adds a vertex with properties, surfacing durability failures.
+    pub fn try_add_vertex_with(
+        &self,
+        name: &str,
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> Result<VertexId, StoreError> {
+        let v = self.try_add_vertex(name)?;
         for (k, value) in props {
-            self.set_vertex_property(v, k, value);
+            self.try_set_vertex_property(v, k, value)?;
         }
-        v
+        Ok(v)
     }
 
     /// Adds the edge `(tail, label, head)` by names, creating vertices as
     /// needed. Returns the edge.
+    ///
+    /// Infallible convenience over [`PropertyGraph::try_add_edge`] (panics on
+    /// a durable store's WAL failure).
     pub fn add_edge(&self, tail: &str, label: &str, head: &str) -> Edge {
+        self.try_add_edge(tail, label, head)
+            .expect("WAL append failed")
+    }
+
+    /// Adds the edge `(tail, label, head)` by names, surfacing durability
+    /// failures.
+    pub fn try_add_edge(&self, tail: &str, label: &str, head: &str) -> Result<Edge, StoreError> {
         let mut inner = self.inner.write();
         // re-adding an existing edge is a pure read: no epoch bump, no COW
         if let (Some(t), Some(l), Some(h)) = (
@@ -192,38 +378,72 @@ impl PropertyGraph {
         ) {
             let e = Edge::new(t, l, h);
             if inner.state.graph.contains_edge(&e) {
-                return e;
+                return Ok(e);
             }
         }
-        let state = inner.mutate();
-        let t = state.interner.vertex(tail);
-        let l = state.interner.label(label);
-        let h = state.interner.vertex(head);
-        state.graph.add_vertex(t);
-        state.graph.add_vertex(h);
-        let e = Edge::new(t, l, h);
-        state.graph.add_edge(e);
-        e
+        inner.commit(WalOp::AddEdge {
+            tail: tail.to_owned(),
+            label: label.to_owned(),
+            head: head.to_owned(),
+        })?;
+        let interner = &inner.state.interner;
+        Ok(Edge::new(
+            interner.get_vertex(tail).expect("edge was just applied"),
+            interner.get_label(label).expect("edge was just applied"),
+            interner.get_vertex(head).expect("edge was just applied"),
+        ))
     }
 
     /// Removes the edge `(tail, label, head)` by names. Returns whether the
     /// edge was present (unknown names simply report `false`).
     pub fn remove_edge(&self, tail: &str, label: &str, head: &str) -> bool {
+        self.try_remove_edge(tail, label, head)
+            .expect("WAL append failed")
+    }
+
+    /// Removes the edge `(tail, label, head)` by names, surfacing durability
+    /// failures. `Ok(false)` means the edge (or one of the names) did not
+    /// exist — a pure read.
+    pub fn try_remove_edge(&self, tail: &str, label: &str, head: &str) -> Result<bool, StoreError> {
         let mut inner = self.inner.write();
         let (Some(t), Some(l), Some(h)) = (
             inner.state.interner.get_vertex(tail),
             inner.state.interner.get_label(label),
             inner.state.interner.get_vertex(head),
         ) else {
-            return false;
+            return Ok(false);
         };
-        let e = Edge::new(t, l, h);
-        if !inner.state.graph.contains_edge(&e) {
-            return false;
+        if !inner.state.graph.contains_edge(&Edge::new(t, l, h)) {
+            return Ok(false);
         }
-        let state = inner.mutate();
-        state.edge_props.remove(&e);
-        state.graph.remove_edge(&e)
+        inner.commit(WalOp::RemoveEdge {
+            tail: t,
+            label: l,
+            head: h,
+        })?;
+        Ok(true)
+    }
+
+    /// Removes the vertex `name` together with every incident edge (and all
+    /// their properties), in `O(deg)` via the adjacency position maps.
+    /// Returns whether the vertex was present. The name stays interned —
+    /// re-adding it later reuses the same [`VertexId`].
+    pub fn remove_vertex(&self, name: &str) -> bool {
+        self.try_remove_vertex(name).expect("WAL append failed")
+    }
+
+    /// Removes the vertex `name` and its incident edges, surfacing durability
+    /// failures. `Ok(false)` means the vertex did not exist — a pure read.
+    pub fn try_remove_vertex(&self, name: &str) -> Result<bool, StoreError> {
+        let mut inner = self.inner.write();
+        let Some(v) = inner.state.interner.get_vertex(name) else {
+            return Ok(false);
+        };
+        if !inner.state.graph.contains_vertex(v) {
+            return Ok(false);
+        }
+        inner.commit(WalOp::RemoveVertex { vertex: v })?;
+        Ok(true)
     }
 
     /// Adds an edge with properties.
@@ -234,11 +454,23 @@ impl PropertyGraph {
         head: &str,
         props: impl IntoIterator<Item = (&'static str, Value)>,
     ) -> Edge {
-        let e = self.add_edge(tail, label, head);
+        self.try_add_edge_with(tail, label, head, props)
+            .expect("WAL append failed")
+    }
+
+    /// Adds an edge with properties, surfacing durability failures.
+    pub fn try_add_edge_with(
+        &self,
+        tail: &str,
+        label: &str,
+        head: &str,
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> Result<Edge, StoreError> {
+        let e = self.try_add_edge(tail, label, head)?;
         for (k, value) in props {
-            self.set_edge_property(e, k, value);
+            self.try_set_edge_property(e, k, value)?;
         }
-        e
+        Ok(e)
     }
 
     /// Sets a vertex property. Property writes are copy-on-write like every
@@ -246,25 +478,45 @@ impl PropertyGraph {
     /// always keep the generation's reversed-graph cache, on both the
     /// in-place and the COW path.
     pub fn set_vertex_property(&self, v: VertexId, key: &str, value: Value) {
-        let mut inner = self.inner.write();
-        inner
-            .mutate_props()
-            .vertex_props
-            .entry(v)
-            .or_default()
-            .insert(key.to_owned(), value);
+        self.try_set_vertex_property(v, key, value)
+            .expect("WAL append failed")
+    }
+
+    /// Sets a vertex property, surfacing durability failures.
+    pub fn try_set_vertex_property(
+        &self,
+        v: VertexId,
+        key: &str,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        self.inner.write().commit(WalOp::SetVertexProp {
+            vertex: v,
+            key: key.to_owned(),
+            value,
+        })
     }
 
     /// Sets an edge property (see [`PropertyGraph::set_vertex_property`] for
     /// the copy-on-write behaviour).
     pub fn set_edge_property(&self, e: Edge, key: &str, value: Value) {
-        let mut inner = self.inner.write();
-        inner
-            .mutate_props()
-            .edge_props
-            .entry(e)
-            .or_default()
-            .insert(key.to_owned(), value);
+        self.try_set_edge_property(e, key, value)
+            .expect("WAL append failed")
+    }
+
+    /// Sets an edge property, surfacing durability failures.
+    pub fn try_set_edge_property(
+        &self,
+        e: Edge,
+        key: &str,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        self.inner.write().commit(WalOp::SetEdgeProp {
+            tail: e.tail,
+            label: e.label,
+            head: e.head,
+            key: key.to_owned(),
+            value,
+        })
     }
 
     /// Reads a vertex property.
@@ -356,17 +608,217 @@ impl PropertyGraph {
         }
     }
 
-    /// Copy-on-write counters: generation deep clones and reversed-graph
-    /// builds performed by this store so far, plus the current epoch. The
-    /// counters make the snapshot cost model assertable — see the module
-    /// docs and `tests/snapshot_concurrency.rs`.
+    /// Copy-on-write and durability counters: generation deep clones,
+    /// reversed-graph builds, WAL appends, checkpoints, and recovery replays
+    /// performed by this store so far, plus the current epoch. The counters
+    /// make the snapshot cost model and the durability behaviour assertable —
+    /// see the module docs and `tests/snapshot_concurrency.rs` /
+    /// `tests/durability_recovery.rs`.
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.read();
+        let m = &inner.state.metrics;
         StoreStats {
             generation: inner.epoch,
-            deep_clones: inner.state.metrics.deep_clones.load(Ordering::Relaxed),
-            reversed_builds: inner.state.metrics.reversed_builds.load(Ordering::Relaxed),
+            deep_clones: m.deep_clones.load(Ordering::Relaxed),
+            reversed_builds: m.reversed_builds.load(Ordering::Relaxed),
+            wal_records: m.wal_records.load(Ordering::Relaxed),
+            checkpoints: m.checkpoints.load(Ordering::Relaxed),
+            replayed_records: m.replayed_records.load(Ordering::Relaxed),
         }
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Opens (creating if needed) a **durable** store rooted at `dir`:
+    /// recovery restores the checkpoint (if any) and replays the WAL past it,
+    /// and every subsequent mutation is write-ahead logged. This is the
+    /// *strict* open — a corrupt WAL tail (acknowledged bytes failing their
+    /// checksum or sequence check) is refused with
+    /// [`StoreError::Recovery`]; use [`PropertyGraph::open_recover`] to
+    /// degrade to clean-prefix replay instead. A *torn* tail (a crash
+    /// mid-append) is recovered silently by both.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_impl(dir.as_ref(), true).map(|(store, _)| store)
+    }
+
+    /// Opens a durable store rooted at `dir`, recovering as much as possible:
+    /// a corrupt WAL tail degrades to clean-prefix replay, with the damage
+    /// described in the returned [`RecoveryReport`].
+    pub fn open_recover(dir: impl AsRef<Path>) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_impl(dir.as_ref(), false)
+    }
+
+    fn open_impl(dir: &Path, strict: bool) -> Result<(Self, RecoveryReport), StoreError> {
+        let metrics = Arc::new(StoreMetrics::default());
+        let recovered = recover(dir, strict, Arc::clone(&metrics))?;
+        let wal = Wal::open(
+            dir.join(WAL_FILE),
+            recovered.wal_clean_end,
+            crate::wal::FailPlan::new(),
+        )?;
+        let inner = Inner {
+            state: Arc::new(recovered.state),
+            epoch: recovered.epoch,
+            dur: Some(Durability {
+                dir: dir.to_owned(),
+                wal,
+                poisoned: false,
+            }),
+        };
+        Ok((
+            PropertyGraph {
+                inner: Arc::new(RwLock::new(inner)),
+            },
+            recovered.report,
+        ))
+    }
+
+    /// Whether this store write-ahead logs its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().dur.is_some()
+    }
+
+    /// The durability directory, if this store has one.
+    pub fn directory(&self) -> Option<PathBuf> {
+        self.inner.read().dur.as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Durability barrier: fsyncs the WAL, making every acknowledged mutation
+    /// crash-proof. Errors with [`StoreError::NotDurable`] on an in-memory
+    /// store.
+    pub fn persist(&self) -> Result<(), StoreError> {
+        self.inner.write().durability()?.wal.sync()
+    }
+
+    /// Serializes the current generation to an atomically-installed
+    /// checkpoint file and truncates the WAL.
+    ///
+    /// The rebuilt (canonically-ordered) generation is installed as the live
+    /// state the moment the checkpoint rename lands — so the live store and
+    /// a recovery of its directory stay structurally identical, always.
+    /// Failures on this path never poison the store: at every crash boundary
+    /// the directory still recovers to the current state (the old
+    /// checkpoint + full WAL before the rename; the new checkpoint + a WAL
+    /// whose records are skipped by sequence number after it).
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        // make sure the log never trails the checkpoint we are about to cut
+        inner.durability()?.wal.sync()?;
+        let data = CheckpointData::capture(&inner.state, inner.epoch);
+        let (dir, fail) = {
+            let dur = inner.dur.as_ref().expect("durability checked above");
+            (dur.dir.clone(), dur.wal.fail_plan())
+        };
+        write_checkpoint(&dir, &data, &fail)?;
+        // the checkpoint is installed on disk; install its canonical
+        // restoration in memory too (see the method docs)
+        let restored = data
+            .restore(Arc::clone(&inner.state.metrics))
+            .map_err(StoreError::Recovery)?;
+        inner.state = Arc::new(restored);
+        inner
+            .state
+            .metrics
+            .checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+        inner
+            .dur
+            .as_mut()
+            .expect("durability checked above")
+            .wal
+            .truncate()
+    }
+
+    /// Arms the store's deterministic fault-injection plan: the `after`-th
+    /// subsequent hit of `point` (0 = the very next one) fails with
+    /// [`StoreError::Injected`], simulating a crash at that boundary. Testing
+    /// hook; a no-op on in-memory stores.
+    pub fn arm_failpoint(&self, point: FailPoint, after: u64) {
+        if let Some(dur) = self.inner.read().dur.as_ref() {
+            dur.wal.fail_plan().arm(point, after);
+        }
+    }
+
+    /// Bulk-ingests edge triples through the WAL fast path: one write lock,
+    /// one WAL write per ~4096-record chunk, no per-edge frame flush.
+    /// Existing edges are skipped as pure reads. Returns the number of edges
+    /// actually added.
+    ///
+    /// Unlike single mutators, the in-memory state runs *ahead* of the WAL
+    /// within a chunk; a WAL failure therefore poisons the store (nothing was
+    /// acknowledged — reopen the directory to return to the logged prefix).
+    /// Works on in-memory stores too (it just skips the logging).
+    pub fn ingest_edges<'a>(
+        &self,
+        edges: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> Result<usize, StoreError> {
+        const CHUNK: u64 = 4096;
+        let mut inner = self.inner.write();
+        let durable = match inner.dur.as_ref() {
+            Some(d) if d.poisoned => return Err(StoreError::Poisoned),
+            Some(_) => true,
+            None => false,
+        };
+        let mut frames: Vec<u8> = Vec::new();
+        let mut buffered = 0u64;
+        let mut added = 0usize;
+        for (tail, label, head) in edges {
+            if let (Some(t), Some(l), Some(h)) = (
+                inner.state.interner.get_vertex(tail),
+                inner.state.interner.get_label(label),
+                inner.state.interner.get_vertex(head),
+            ) {
+                if inner.state.graph.contains_edge(&Edge::new(t, l, h)) {
+                    continue;
+                }
+            }
+            let op = WalOp::AddEdge {
+                tail: tail.to_owned(),
+                label: label.to_owned(),
+                head: head.to_owned(),
+            };
+            if durable {
+                encode_frame(inner.epoch + 1, &op, &mut frames);
+                buffered += 1;
+            }
+            inner.mutate().apply(&op);
+            added += 1;
+            if buffered >= CHUNK {
+                Self::flush_ingest_chunk(&mut inner, &mut frames, &mut buffered)?;
+            }
+        }
+        if buffered > 0 {
+            Self::flush_ingest_chunk(&mut inner, &mut frames, &mut buffered)?;
+        }
+        Ok(added)
+    }
+
+    fn flush_ingest_chunk(
+        inner: &mut Inner,
+        frames: &mut Vec<u8>,
+        buffered: &mut u64,
+    ) -> Result<(), StoreError> {
+        let dur = inner.dur.as_mut().expect("ingest chunks only when durable");
+        if let Err(e) = dur.wal.append_frames(frames) {
+            dur.poisoned = true;
+            return Err(e);
+        }
+        inner
+            .state
+            .metrics
+            .wal_records
+            .fetch_add(*buffered, Ordering::Relaxed);
+        frames.clear();
+        *buffered = 0;
+        Ok(())
+    }
+
+    /// Runs `f` over the current generation and epoch under the read lock
+    /// (internal hook for unit tests).
+    #[cfg(test)]
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&GraphState, u64) -> R) -> R {
+        let inner = self.inner.read();
+        f(&inner.state, inner.epoch)
     }
 }
 
@@ -424,6 +876,31 @@ impl GraphSnapshot {
     /// An edge property value.
     pub fn edge_property(&self, e: &Edge, key: &str) -> Option<&Value> {
         self.state.edge_props.get(e).and_then(|m| m.get(key))
+    }
+
+    /// All properties of a vertex, sorted by key (empty if none). The sorted
+    /// order makes cross-store equality checks deterministic.
+    pub fn vertex_properties(&self, v: VertexId) -> Vec<(String, Value)> {
+        let mut props: Vec<(String, Value)> = self
+            .state
+            .vertex_props
+            .get(&v)
+            .map(|m| m.iter().map(|(k, val)| (k.clone(), val.clone())).collect())
+            .unwrap_or_default();
+        props.sort_by(|a, b| a.0.cmp(&b.0));
+        props
+    }
+
+    /// All properties of an edge, sorted by key (empty if none).
+    pub fn edge_properties(&self, e: &Edge) -> Vec<(String, Value)> {
+        let mut props: Vec<(String, Value)> = self
+            .state
+            .edge_props
+            .get(e)
+            .map(|m| m.iter().map(|(k, val)| (k.clone(), val.clone())).collect())
+            .unwrap_or_default();
+        props.sort_by(|a, b| a.0.cmp(&b.0));
+        props
     }
 
     /// An edge property read as a finite number — the convenience behind
@@ -674,6 +1151,172 @@ mod tests {
             g.edge_property(&Edge::new(marko, knows, vadas), "weight"),
             None
         );
+    }
+
+    #[test]
+    fn remove_vertex_detaches_edges_and_keeps_snapshots_isolated() {
+        let g = classic_social_graph();
+        let snap = g.snapshot();
+        let marko = g.vertex("marko").unwrap();
+        assert!(g.remove_vertex("marko"));
+        assert!(!g.remove_vertex("marko")); // already gone: a pure read
+        assert!(!g.remove_vertex("nobody"));
+        // marko had 3 out-edges and no in-edges
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.vertex_count(), 5);
+        // properties of the vertex and its incident edges went with it
+        assert_eq!(g.vertex_property(marko, "age"), None);
+        let vadas = g.vertex("vadas").unwrap();
+        let knows = g.label("knows").unwrap();
+        assert_eq!(
+            g.edge_property(&Edge::new(marko, knows, vadas), "weight"),
+            None
+        );
+        // the pre-removal snapshot still sees everything
+        assert_eq!(snap.graph().edge_count(), 6);
+        assert!(snap.graph().contains_vertex(marko));
+        assert_eq!(snap.vertex_property(marko, "age"), Some(&Value::Int(29)));
+        // the name stays interned: re-adding reuses the id
+        assert_eq!(g.add_vertex("marko"), marko);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 3); // edges do not come back
+    }
+
+    fn temp_store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mrpa-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_replays_its_wal_on_reopen() {
+        let dir = temp_store_dir("replay");
+        {
+            let g = PropertyGraph::open(&dir).unwrap();
+            assert!(g.is_durable());
+            assert_eq!(g.directory().as_deref(), Some(dir.as_path()));
+            g.add_edge_with("marko", "knows", "vadas", [("weight", Value::from(0.5f64))]);
+            g.add_edge("marko", "knows", "josh");
+            g.add_vertex("loner");
+            g.remove_edge("marko", "knows", "josh");
+            let stats = g.stats();
+            assert_eq!(stats.wal_records, 5); // 2 adds + 1 prop + 1 vertex + 1 remove
+            assert_eq!(stats.generation, 5);
+            assert_eq!(stats.replayed_records, 0);
+            g.persist().unwrap();
+        }
+        let (g, report) = PropertyGraph::open_recover(&dir).unwrap();
+        assert_eq!(report.replayed_records, 5);
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.epoch, 5);
+        assert_eq!(g.stats().replayed_records, 5);
+        assert_eq!(g.stats().generation, 5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.vertex_count(), 4);
+        let marko = g.vertex("marko").unwrap();
+        let vadas = g.vertex("vadas").unwrap();
+        let knows = g.label("knows").unwrap();
+        assert_eq!(
+            g.edge_property(&Edge::new(marko, knows, vadas), "weight"),
+            Some(Value::Float(0.5))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_survives_reopen() {
+        let dir = temp_store_dir("checkpoint");
+        {
+            let g = PropertyGraph::open(&dir).unwrap();
+            for i in 0..10 {
+                g.add_edge(&format!("a{i}"), "r", &format!("b{i}"));
+            }
+            g.checkpoint().unwrap();
+            assert_eq!(g.stats().checkpoints, 1);
+            // post-checkpoint mutations land in the (now short) WAL
+            g.add_edge("a0", "r", "b5");
+        }
+        let (g, report) = PropertyGraph::open_recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_epoch, 10);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(report.skipped_records, 0);
+        assert_eq!(g.edge_count(), 11);
+        assert_eq!(g.stats().generation, 11);
+        // checkpointing a second time with nothing new is fine
+        g.checkpoint().unwrap();
+        let g2 = PropertyGraph::open(&dir).unwrap();
+        assert_eq!(g2.stats().replayed_records, 0);
+        assert_eq!(g2.edge_count(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_failure_poisons_mutations_but_not_reads() {
+        let dir = temp_store_dir("poison");
+        let g = PropertyGraph::open(&dir).unwrap();
+        g.add_edge("a", "r", "b");
+        g.arm_failpoint(FailPoint::WalAppend, 0);
+        assert_eq!(
+            g.try_add_edge("a", "r", "c"),
+            Err(StoreError::Injected(FailPoint::WalAppend))
+        );
+        // the op was not applied, and further mutations are refused…
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.try_add_vertex("x"), Err(StoreError::Poisoned));
+        assert_eq!(g.checkpoint(), Err(StoreError::Poisoned));
+        assert_eq!(g.persist(), Err(StoreError::Poisoned));
+        // …but reads and snapshots keep working
+        assert_eq!(g.snapshot().graph().edge_count(), 1);
+        // reopening the directory recovers the acknowledged prefix
+        let g = PropertyGraph::open(&dir).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        g.add_edge("a", "r", "c"); // healthy again
+        assert_eq!(g.edge_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_refuses_durability_calls() {
+        let g = classic_social_graph();
+        assert!(!g.is_durable());
+        assert_eq!(g.directory(), None);
+        assert_eq!(g.persist(), Err(StoreError::NotDurable));
+        assert_eq!(g.checkpoint(), Err(StoreError::NotDurable));
+        assert_eq!(g.stats().wal_records, 0);
+        g.arm_failpoint(FailPoint::WalAppend, 0); // no-op, not a panic
+        g.add_edge("a", "r", "b");
+    }
+
+    #[test]
+    fn ingest_edges_batches_through_the_wal() {
+        let dir = temp_store_dir("ingest");
+        let triples: Vec<(String, String, String)> = (0..100)
+            .map(|i| {
+                (
+                    format!("v{}", i % 20),
+                    "r".to_owned(),
+                    format!("v{}", (i * 7) % 20),
+                )
+            })
+            .collect();
+        let g = PropertyGraph::open(&dir).unwrap();
+        let added = g
+            .ingest_edges(triples.iter().map(|(t, l, h)| (&**t, &**l, &**h)))
+            .unwrap();
+        assert!(added <= 100);
+        assert_eq!(g.edge_count(), added);
+        assert_eq!(g.stats().wal_records, added as u64);
+        // duplicates in a second pass are pure reads
+        assert_eq!(
+            g.ingest_edges(triples.iter().map(|(t, l, h)| (&**t, &**l, &**h)))
+                .unwrap(),
+            0
+        );
+        drop(g);
+        let g = PropertyGraph::open(&dir).unwrap();
+        assert_eq!(g.edge_count(), added);
+        assert_eq!(g.stats().replayed_records, added as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

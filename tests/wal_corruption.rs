@@ -1,0 +1,270 @@
+//! Seeded WAL-corruption corpus: truncations, bit flips, and duplicated
+//! records.
+//!
+//! Each case takes a pristine WAL produced by a real mutation script,
+//! damages its bytes deterministically, and reopens the directory. The
+//! contract under test:
+//!
+//! * recovery NEVER panics — damage classifies as a torn or corrupt tail;
+//! * [`PropertyGraph::open`] (strict) fails with a typed
+//!   [`RecoveryError::CorruptWal`] exactly when the scan classifies the
+//!   damage as `Corrupt`, and still opens cleanly on a merely `Torn` tail;
+//! * [`PropertyGraph::open_recover`] always opens, recovering precisely the
+//!   **clean prefix**: the replayed state equals a twin store that executed
+//!   the surviving records' ops, nothing more;
+//! * a recovered store is immediately writable and durable again (the
+//!   damaged tail is discarded for good).
+
+use mrpa::engine::wal::{scan_wal_bytes, WalTail};
+use mrpa::engine::{PropertyGraph, RecoveryError, StoreError, Value, WalOp};
+
+const WAL_HEADER: usize = 8;
+
+/// Replays one decoded WAL op against a store through the public API. The
+/// twin interns names in the same order as the original run, so the raw ids
+/// embedded in remove/property ops resolve identically.
+fn apply_walop(store: &PropertyGraph, op: &WalOp) {
+    match op {
+        WalOp::AddVertex { name } => {
+            store.add_vertex(name);
+        }
+        WalOp::AddEdge { tail, label, head } => {
+            store.add_edge(tail, label, head);
+        }
+        WalOp::RemoveEdge { tail, label, head } => {
+            let snap = store.snapshot();
+            let t = snap.interner().vertex_name(*tail).unwrap().to_owned();
+            let l = snap.interner().label_name(*label).unwrap().to_owned();
+            let h = snap.interner().vertex_name(*head).unwrap().to_owned();
+            store.remove_edge(&t, &l, &h);
+        }
+        WalOp::RemoveVertex { vertex } => {
+            let snap = store.snapshot();
+            let name = snap.interner().vertex_name(*vertex).unwrap().to_owned();
+            store.remove_vertex(&name);
+        }
+        WalOp::SetVertexProp { vertex, key, value } => {
+            store.set_vertex_property(*vertex, key, value.clone());
+        }
+        WalOp::SetEdgeProp {
+            tail,
+            label,
+            head,
+            key,
+            value,
+        } => {
+            store.set_edge_property(
+                mrpa::core::Edge::new(*tail, *label, *head),
+                key,
+                value.clone(),
+            );
+        }
+    }
+}
+
+fn assert_same_state(a: &PropertyGraph, b: &PropertyGraph, ctx: &str) {
+    let sa = a.snapshot();
+    let sb = b.snapshot();
+    let names = |s: &mrpa::engine::GraphSnapshot| -> (Vec<String>, Vec<String>) {
+        (
+            s.interner().vertices().map(|(_, n)| n.to_owned()).collect(),
+            s.interner().labels().map(|(_, n)| n.to_owned()).collect(),
+        )
+    };
+    assert_eq!(names(&sa), names(&sb), "{ctx}: interners");
+    assert_eq!(
+        sa.graph().vertices().collect::<Vec<_>>(),
+        sb.graph().vertices().collect::<Vec<_>>(),
+        "{ctx}: vertex sets"
+    );
+    assert_eq!(
+        sa.graph().edge_slice(),
+        sb.graph().edge_slice(),
+        "{ctx}: edges"
+    );
+    for v in sa.graph().vertices() {
+        assert_eq!(
+            sa.vertex_properties(v),
+            sb.vertex_properties(v),
+            "{ctx}: vertex props"
+        );
+    }
+    for e in sa.graph().edge_slice() {
+        assert_eq!(
+            sa.edge_properties(e),
+            sb.edge_properties(e),
+            "{ctx}: edge props"
+        );
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrpa-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a pristine durable WAL (~30 mixed ops, no checkpoint) and returns
+/// its directory plus the raw log bytes.
+fn pristine_wal(tag: &str) -> (std::path::PathBuf, Vec<u8>) {
+    let dir = temp_dir(tag);
+    let g = PropertyGraph::open(&dir).unwrap();
+    for i in 0..10 {
+        g.add_edge(&format!("v{i}"), "next", &format!("v{}", (i + 1) % 10));
+        g.add_edge(&format!("v{i}"), "skip", &format!("v{}", (i + 3) % 10));
+    }
+    for i in 0..5 {
+        let v = g.vertex(&format!("v{i}")).unwrap();
+        g.set_vertex_property(v, "rank", Value::Int(i));
+    }
+    g.remove_edge("v2", "skip", "v5");
+    g.remove_vertex("v7");
+    let e = g.add_edge("v0", "extra", "v4");
+    g.set_edge_property(e, "w", Value::Float(0.25));
+    g.persist().unwrap();
+    drop(g);
+    let bytes = std::fs::read(dir.join("wal.log")).unwrap();
+    assert!(
+        bytes.len() > WAL_HEADER + 100,
+        "base WAL suspiciously small"
+    );
+    (dir, bytes)
+}
+
+/// Applies one deterministic corruption to `bytes`: truncate, flip a bit, or
+/// append a duplicated record frame. Returns a human-readable description.
+fn corrupt(bytes: &mut Vec<u8>, seed: u64) -> String {
+    // cheap deterministic mixer (no RNG needed for byte picking)
+    let mix = |x: u64| {
+        let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed.rotate_left(17);
+        h ^= h >> 31;
+        h.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+    };
+    let body = bytes.len() - WAL_HEADER;
+    match seed % 3 {
+        0 => {
+            let cut = WAL_HEADER + (mix(1) as usize % body);
+            bytes.truncate(cut);
+            format!("truncate at {cut}")
+        }
+        1 => {
+            let off = WAL_HEADER + (mix(2) as usize % body);
+            let bit = (mix(3) % 8) as u8;
+            bytes[off] ^= 1 << bit;
+            format!("flip bit {bit} at {off}")
+        }
+        _ => {
+            let scan = scan_wal_bytes(bytes);
+            assert!(matches!(scan.tail, WalTail::Clean));
+            let rec = &scan.records[mix(4) as usize % scan.records.len()];
+            let frame = bytes[rec.offset as usize..rec.end as usize].to_vec();
+            bytes.extend_from_slice(&frame);
+            format!("duplicate record {} at end", rec.seqno)
+        }
+    }
+}
+
+#[test]
+fn corrupted_wals_recover_their_clean_prefix_without_panicking() {
+    let (base_dir, base_bytes) = pristine_wal("base");
+    let mut corrupt_cases = 0;
+    let mut torn_cases = 0;
+    for seed in 0..24u64 {
+        let mut bytes = base_bytes.clone();
+        let what = corrupt(&mut bytes, seed);
+        let ctx = format!("seed {seed} ({what})");
+
+        // predicted classification of the damaged image
+        let scan = scan_wal_bytes(&bytes);
+
+        // two directories with identical damage: opening a store REPAIRS a
+        // torn tail on disk, so the strict probe must not see the lenient
+        // probe's aftermath (or vice versa)
+        let dir = temp_dir(&format!("case-{seed}"));
+        let strict_dir = temp_dir(&format!("case-{seed}-strict"));
+        for d in [&dir, &strict_dir] {
+            std::fs::create_dir_all(d).unwrap();
+            std::fs::write(d.join("wal.log"), &bytes).unwrap();
+        }
+
+        // strict open: typed error on Corrupt, fine on Clean/Torn
+        match &scan.tail {
+            WalTail::Corrupt { offset, .. } => {
+                corrupt_cases += 1;
+                match PropertyGraph::open(&strict_dir) {
+                    Err(StoreError::Recovery(RecoveryError::CorruptWal { offset: at, .. })) => {
+                        assert_eq!(at, *offset, "{ctx}: corruption offset")
+                    }
+                    other => panic!("{ctx}: strict open returned {other:?}"),
+                }
+            }
+            WalTail::Torn { .. } => {
+                torn_cases += 1;
+                PropertyGraph::open(&strict_dir)
+                    .unwrap_or_else(|e| panic!("{ctx}: torn tail must open strictly, got {e}"));
+            }
+            WalTail::Clean => {}
+        }
+
+        // lenient open always succeeds and recovers exactly the clean prefix
+        let (recovered, report) = PropertyGraph::open_recover(&dir).unwrap();
+        assert_eq!(
+            std::mem::discriminant(&report.wal_tail),
+            std::mem::discriminant(&scan.tail),
+            "{ctx}: reported tail kind"
+        );
+        assert_eq!(
+            report.replayed_records,
+            scan.records.len() as u64,
+            "{ctx}: replayed record count"
+        );
+        let twin = PropertyGraph::new();
+        for rec in &scan.records {
+            apply_walop(&twin, &rec.op);
+        }
+        assert_same_state(&recovered, &twin, &ctx);
+
+        // the damaged tail is gone for good: the store accepts new writes
+        // and a further strict reopen sees prefix + new write only
+        recovered.add_edge("phoenix", "rises", "again");
+        let count = recovered.edge_count();
+        drop(recovered);
+        let reopened = PropertyGraph::open(&dir).unwrap();
+        assert_eq!(reopened.edge_count(), count, "{ctx}: post-recovery write");
+        twin.add_edge("phoenix", "rises", "again");
+        assert_same_state(&reopened, &twin, &format!("{ctx}: after re-write"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&strict_dir);
+    }
+    // the corpus must exercise both failure classes, not collapse into one
+    assert!(corrupt_cases >= 5, "only {corrupt_cases} corrupt cases");
+    assert!(torn_cases >= 3, "only {torn_cases} torn cases");
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn a_foreign_file_is_refused_with_a_typed_error() {
+    let dir = temp_dir("foreign");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("wal.log"), b"definitely not a wal file").unwrap();
+    match PropertyGraph::open(&dir) {
+        Err(StoreError::Recovery(RecoveryError::CorruptWal { .. })) => {}
+        other => panic!("expected CorruptWal, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_truncated_header_counts_as_torn_and_opens_empty() {
+    let dir = temp_dir("header");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("wal.log"), &b"MRPA"[..]).unwrap();
+    let (g, report) = PropertyGraph::open_recover(&dir).unwrap();
+    assert!(matches!(report.wal_tail, WalTail::Torn { offset: 0 }));
+    assert_eq!(g.vertex_count(), 0);
+    g.add_edge("a", "b", "c");
+    drop(g);
+    assert_eq!(PropertyGraph::open(&dir).unwrap().edge_count(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
