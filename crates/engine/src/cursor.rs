@@ -36,6 +36,7 @@ use std::ops::ControlFlow;
 use mrpa_core::fxhash::FxHashSet;
 use mrpa_core::{ArenaWriter, Edge, IdForwarder, PathArena, VertexId};
 
+use crate::cancel::{CancelToken, Liveness};
 use crate::error::EngineError;
 use crate::exec::{
     apply_ops, check_cap, eval_until, for_each_expansion_edge, in_set, initial_rows, materialized,
@@ -890,11 +891,15 @@ impl Stage {
     }
 
     /// Pulls one row, counting the stage's lifetime output against the cap.
+    /// Every pull is a cancellation point: an expired deadline or a fired
+    /// [`CancelToken`](crate::CancelToken) surfaces here as
+    /// [`EngineError::Cancelled`], killing suspended frontiers cleanly.
     pub(crate) fn pull(
         &mut self,
         ctx: &ExecCtx<'_>,
         arena: &PathArena,
     ) -> Result<Pull, EngineError> {
+        ctx.ensure_alive()?;
         let pulled = Self::pull_op(&mut self.op, self.out_count, ctx, arena)?;
         if matches!(pulled, ControlFlow::Continue(Some(_))) {
             self.out_count += 1;
@@ -976,6 +981,7 @@ impl Stage {
                         *walk = None;
                         continue;
                     }
+                    ctx.ensure_alive()?;
                     w.advance(ctx, arena, spec, to, delivered, remaining, seen.as_mut())?;
                     continue;
                 }
@@ -1015,6 +1021,7 @@ impl Stage {
                         *walk = None;
                         continue;
                     }
+                    ctx.ensure_alive()?;
                     w.advance(
                         ctx, arena, spec, *semiring, weight, to, delivered, remaining,
                     )?;
@@ -1050,6 +1057,7 @@ impl Stage {
                         *walk = None;
                         continue;
                     }
+                    ctx.ensure_alive()?;
                     w.advance(
                         ctx,
                         arena,
@@ -1142,6 +1150,7 @@ pub struct RowCursor {
     snapshot: GraphSnapshot,
     cap: Option<usize>,
     counters: Counters,
+    alive: Liveness,
     inner: Inner,
     fused: bool,
 }
@@ -1179,6 +1188,7 @@ impl RowCursor {
                     snapshot,
                     cap,
                     counters: Counters::default(),
+                    alive: Liveness::default(),
                     inner: Inner::Pipe {
                         arena: PathArena::new(),
                         root: Box::new(root),
@@ -1195,6 +1205,7 @@ impl RowCursor {
             snapshot,
             cap,
             counters: Counters::default(),
+            alive: Liveness::default(),
             inner: Inner::Batch {
                 plan,
                 buffered: None,
@@ -1276,6 +1287,7 @@ impl RowCursor {
             snapshot,
             cap,
             counters: Counters::default(),
+            alive: Liveness::default(),
             inner: Inner::Parallel(Box::new(ParallelState {
                 partitions,
                 current: 0,
@@ -1322,11 +1334,32 @@ impl RowCursor {
         }
     }
 
+    /// The snapshot this cursor executes against (pinned at compile time; a
+    /// server can report its generation alongside results).
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+
+    /// Cancels the cursor when `deadline` passes: every subsequent pull (on
+    /// any strategy, including parallel partition workers) fails with
+    /// [`EngineError::Cancelled`]. Combines with any token bound — the first
+    /// bound to trip wins.
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.alive.deadline = Some(deadline);
+    }
+
+    /// Attaches a shared [`CancelToken`]: cancelling any clone of the token
+    /// makes every subsequent pull fail with [`EngineError::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.alive.token = Some(token);
+    }
+
     fn advance_inner(&mut self, materialise: bool) -> Result<Option<RowDelivery>, EngineError> {
         let ctx = ExecCtx {
             snapshot: &self.snapshot,
             cap: self.cap,
             counters: &self.counters,
+            alive: self.alive.active(),
         };
         match &mut self.inner {
             Inner::Pipe { arena, root } => match root.pull(&ctx, arena)? {
@@ -1428,12 +1461,14 @@ impl Partition {
         &mut self,
         snapshot: &GraphSnapshot,
         cap: Option<usize>,
+        alive: Option<&Liveness>,
         batch: usize,
     ) -> Result<(), EngineError> {
         let ctx = ExecCtx {
             snapshot,
             cap,
             counters: &self.counters,
+            alive,
         };
         for _ in 0..batch {
             match self.root.pull(&ctx, &self.arena)? {
@@ -1582,12 +1617,13 @@ impl ParallelState {
         let batch = self.batch;
         let cap = ctx.cap;
         let snapshot = ctx.snapshot;
+        let alive = ctx.alive;
         let results: Vec<Result<(), EngineError>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
                 .iter_mut()
                 .filter(|p| !p.done && p.queued() < batch)
-                .map(|part| scope.spawn(move |_| part.pull_batch(snapshot, cap, batch)))
+                .map(|part| scope.spawn(move |_| part.pull_batch(snapshot, cap, alive, batch)))
                 .collect();
             handles
                 .into_iter()

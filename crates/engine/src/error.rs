@@ -26,6 +26,11 @@ pub enum EngineError {
     BadWeight(String),
     /// The pipeline asked for a step combination the planner does not support.
     Unsupported(String),
+    /// The traversal was cancelled mid-flight — its
+    /// [`CancelToken`](crate::CancelToken) fired or its deadline passed.
+    /// Cancellation is cooperative and clean: the cursor is fused, no state
+    /// is poisoned, and the store remains fully usable.
+    Cancelled,
     /// A lower-level algebra error.
     Core(String),
 }
@@ -41,6 +46,9 @@ impl fmt::Display for EngineError {
             EngineError::InvalidPattern(msg) => write!(f, "invalid path pattern: {msg}"),
             EngineError::BadWeight(msg) => write!(f, "bad edge weight: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported pipeline: {msg}"),
+            EngineError::Cancelled => {
+                write!(f, "traversal cancelled (deadline exceeded or token fired)")
+            }
             EngineError::Core(msg) => write!(f, "algebra error: {msg}"),
         }
     }

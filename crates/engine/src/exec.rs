@@ -51,6 +51,7 @@ use std::collections::HashSet;
 
 use mrpa_core::{Edge, LabelId, PathArena, PathId, VertexId};
 
+use crate::cancel::Liveness;
 use crate::cursor::{AutoWalk, RepeatWalk, RowCursor, SeenSet, WeightedWalk};
 use crate::error::EngineError;
 use crate::plan::{Direction, LogicalPlan, PlanOp, Semantics};
@@ -114,6 +115,9 @@ pub(crate) struct ExecCtx<'a> {
     pub(crate) snapshot: &'a GraphSnapshot,
     pub(crate) cap: Option<usize>,
     pub(crate) counters: &'a Counters,
+    /// Cancellation/deadline bounds; `None` when the execution is unbounded,
+    /// so the hot path pays a single branch.
+    pub(crate) alive: Option<&'a Liveness>,
 }
 
 impl ExecCtx<'_> {
@@ -129,6 +133,17 @@ impl ExecCtx<'_> {
         self.counters
             .interned_nodes
             .set(self.counters.interned_nodes.get() + n as u64);
+    }
+
+    /// Errors with [`EngineError::Cancelled`] if this execution's token fired
+    /// or its deadline passed. Checked on every cursor pull and every walker
+    /// advance, so dense frontiers die mid-layer.
+    #[inline]
+    pub(crate) fn ensure_alive(&self) -> Result<(), EngineError> {
+        match self.alive {
+            Some(alive) => alive.check(),
+            None => Ok(()),
+        }
     }
 }
 
@@ -286,6 +301,7 @@ pub(crate) fn apply_op(
             // one write-lock acquisition for the whole expansion level
             let mut writer = arena.writer();
             for row in &rows {
+                ctx.ensure_alive()?;
                 if !in_set(from, row.head) {
                     continue;
                 }
@@ -336,6 +352,7 @@ pub(crate) fn apply_op(
                 let mut walk = AutoWalk::start(spec, to, row, &mut remaining, seen.as_mut());
                 walk.drain_pending_into(&mut emitted);
                 loop {
+                    ctx.ensure_alive()?;
                     if walk.finished() {
                         break;
                     }
@@ -380,6 +397,7 @@ pub(crate) fn apply_op(
                 }
                 let mut walk = WeightedWalk::start(spec, *semiring, row);
                 loop {
+                    ctx.ensure_alive()?;
                     walk.drain_pending_into(&mut emitted);
                     if walk.finished() {
                         break;
@@ -411,6 +429,7 @@ pub(crate) fn apply_op(
             for row in rows {
                 let mut walk = RepeatWalk::new(row);
                 loop {
+                    ctx.ensure_alive()?;
                     walk.drain_pending_into(&mut emitted);
                     if walk.finished() {
                         break;
@@ -454,6 +473,7 @@ pub(crate) fn apply_ops(
     ops: &[PlanOp],
 ) -> Result<Vec<ArenaRow>, EngineError> {
     for op in ops {
+        ctx.ensure_alive()?;
         rows = apply_op(ctx, arena, rows, op)?;
         check_cap(rows.len(), ctx.cap)?;
     }
@@ -762,6 +782,7 @@ mod tests {
                 snapshot: &snap,
                 cap: None,
                 counters: &counters,
+                alive: None,
             };
             let reference = materialized(&ctx, naive.start(), naive.ops()).unwrap();
             for plan in [&naive, &optimized] {
@@ -779,6 +800,7 @@ mod tests {
             snapshot: &snap,
             cap: None,
             counters: &counters,
+            alive: None,
         };
         let r = materialized(&ctx, plan.start(), plan.ops()).unwrap();
         assert_eq!(r.len(), 4);

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod checkpoint;
 pub mod cursor;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod store;
 pub mod value;
 pub mod wal;
 
+pub use cancel::CancelToken;
 pub use cursor::RowCursor;
 pub use error::{EngineError, StoreError};
 pub use exec::{ExecStats, ExecutionStrategy};

@@ -181,6 +181,14 @@ impl Pipeline {
         Self::default()
     }
 
+    /// Builds a fragment directly from a step sequence. This is the lowering
+    /// path used by textual frontends (MRPA-QL): text parses to [`Step`]s and
+    /// re-enters the exact pipeline the fluent builder would have produced —
+    /// there is no second execution path.
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        Pipeline { steps }
+    }
+
     /// The accumulated steps.
     pub fn steps(&self) -> &[Step] {
         &self.steps
@@ -457,6 +465,8 @@ pub struct Traversal {
     strategy: ExecutionStrategy,
     max_intermediate: Option<usize>,
     threads: Option<usize>,
+    timeout: Option<std::time::Duration>,
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Traversal {
@@ -470,7 +480,25 @@ impl Traversal {
             strategy: ExecutionStrategy::Materialized,
             max_intermediate: None,
             threads: None,
+            timeout: None,
+            cancel: None,
         }
+    }
+
+    /// Replaces the start specification wholesale. This is the lowering path
+    /// for textual frontends, which produce a [`StartSpec`] directly; the
+    /// fluent [`Traversal::v`]/[`Traversal::v_where`] verbs cover the common
+    /// cases.
+    pub fn start_at(mut self, start: StartSpec) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Replaces the accumulated steps wholesale with an already-built step
+    /// sequence (see [`Pipeline::from_steps`]).
+    pub fn with_steps(mut self, steps: Vec<Step>) -> Self {
+        self.pipeline = Pipeline::from_steps(steps);
+        self
     }
 
     /// Starts at the named vertices.
@@ -902,6 +930,34 @@ impl Traversal {
         self
     }
 
+    /// Bounds the traversal's wall-clock time: the deadline starts when
+    /// execution starts (at [`Traversal::execute`]/[`Traversal::cursor`]
+    /// time, not builder time) and an execution that outlives it fails with
+    /// [`EngineError::Cancelled`] at its next pull — including
+    /// mid-product-automaton-frontier. Cancellation is cooperative and never
+    /// poisons the underlying store.
+    pub fn timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a shared [`CancelToken`](crate::CancelToken): cancelling any
+    /// clone of the token (e.g. from another thread) makes the executing
+    /// traversal fail with [`EngineError::Cancelled`] at its next pull.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, CancelToken, EngineError, Traversal};
+    /// let g = classic_social_graph();
+    /// let token = CancelToken::new();
+    /// let t = Traversal::over(&g).match_("(knows|created)*").cancel_token(&token);
+    /// token.cancel();
+    /// assert_eq!(t.execute().unwrap_err(), EngineError::Cancelled);
+    /// ```
+    pub fn cancel_token(mut self, token: &crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
     /// The steps accumulated so far (used by the planner and tests).
     pub fn steps(&self) -> &[Step] {
         self.pipeline.steps()
@@ -917,16 +973,13 @@ impl Traversal {
     /// cursor or the `first`/`exists`/`count` terminals when you do not need
     /// the full row set.
     pub fn execute(&self) -> Result<QueryResult, EngineError> {
-        let snapshot = self.graph.snapshot();
-        let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
-        let optimized = plan::optimize(&snapshot, &naive);
-        crate::exec::execute_with_threads(
-            &snapshot,
-            &optimized,
-            self.strategy,
-            self.max_intermediate,
-            self.threads,
-        )
+        let mut cursor = self.cursor()?;
+        let snapshot = cursor.snapshot().clone();
+        let mut rows = Vec::new();
+        while let Some(row) = cursor.next_row()? {
+            rows.push(row);
+        }
+        Ok(QueryResult::new(rows, snapshot, cursor.stats()))
     }
 
     /// Plans, optimizes, and compiles the traversal into a demand-driven
@@ -948,13 +1001,20 @@ impl Traversal {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
-        Ok(RowCursor::compile_with_threads(
+        let mut cursor = RowCursor::compile_with_threads(
             snapshot,
             optimized,
             self.strategy,
             self.max_intermediate,
             self.threads,
-        ))
+        );
+        if let Some(timeout) = self.timeout {
+            cursor.set_deadline(std::time::Instant::now() + timeout);
+        }
+        if let Some(token) = &self.cancel {
+            cursor.set_cancel_token(token.clone());
+        }
+        Ok(cursor)
     }
 
     /// The first result row, or `None` — without enumerating the rest.

@@ -74,6 +74,9 @@ pub(crate) struct StoreMetrics {
     checkpoints: AtomicU64,
     /// WAL records replayed by recovery when this store was opened.
     pub(crate) replayed_records: AtomicU64,
+    /// Snapshots currently alive (taken or cloned, not yet dropped). Unlike
+    /// the monotonic counters above, this is a live gauge.
+    live_snapshots: AtomicU64,
 }
 
 /// Counters of a [`PropertyGraph`], for asserting the snapshot cost model and
@@ -98,6 +101,12 @@ pub struct StoreStats {
     pub checkpoints: u64,
     /// WAL records replayed by recovery when this store was opened.
     pub replayed_records: u64,
+    /// Snapshots of this store currently alive — every [`GraphSnapshot`]
+    /// taken or cloned and not yet dropped pins a generation and counts
+    /// here. A live gauge, not a monotonic counter: it falls back to zero
+    /// when readers finish. Lets servers report how many readers are pinning
+    /// generations right now.
+    pub live_snapshots: u64,
 }
 
 /// One immutable generation of the store. `Clone` is the copy-on-write deep
@@ -602,6 +611,11 @@ impl PropertyGraph {
     /// subsequent mutation.
     pub fn snapshot(&self) -> GraphSnapshot {
         let inner = self.inner.read();
+        inner
+            .state
+            .metrics
+            .live_snapshots
+            .fetch_add(1, Ordering::Relaxed);
         GraphSnapshot {
             state: Arc::clone(&inner.state),
             epoch: inner.epoch,
@@ -624,6 +638,7 @@ impl PropertyGraph {
             wal_records: m.wal_records.load(Ordering::Relaxed),
             checkpoints: m.checkpoints.load(Ordering::Relaxed),
             replayed_records: m.replayed_records.load(Ordering::Relaxed),
+            live_snapshots: m.live_snapshots.load(Ordering::Relaxed),
         }
     }
 
@@ -830,10 +845,34 @@ impl PropertyGraph {
 /// lazy cache — built at most once per generation, on the first
 /// [`GraphSnapshot::reversed`] call, and never built at all for pure-`Out`
 /// traversals.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GraphSnapshot {
     state: Arc<GraphState>,
     epoch: u64,
+}
+
+impl Clone for GraphSnapshot {
+    /// `Arc` clone of the pinned generation; the clone counts as one more
+    /// live snapshot (see [`StoreStats::live_snapshots`]).
+    fn clone(&self) -> Self {
+        self.state
+            .metrics
+            .live_snapshots
+            .fetch_add(1, Ordering::Relaxed);
+        GraphSnapshot {
+            state: Arc::clone(&self.state),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl Drop for GraphSnapshot {
+    fn drop(&mut self) {
+        self.state
+            .metrics
+            .live_snapshots
+            .fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl GraphSnapshot {
@@ -1090,6 +1129,28 @@ mod tests {
         // the held snapshots still see the frozen generation
         assert!(snaps.iter().all(|s| s.graph().edge_count() == 6));
         assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn live_snapshot_gauge_tracks_pins_across_generations() {
+        let g = classic_social_graph();
+        assert_eq!(g.stats().live_snapshots, 0);
+        let a = g.snapshot();
+        let b = g.snapshot();
+        assert_eq!(g.stats().live_snapshots, 2);
+        // clones pin too
+        let c = a.clone();
+        assert_eq!(g.stats().live_snapshots, 3);
+        // snapshots of different generations share the one per-store gauge
+        g.add_edge("vadas", "knows", "peter");
+        let d = g.snapshot();
+        assert_eq!(g.stats().live_snapshots, 4);
+        drop(a);
+        drop(d);
+        assert_eq!(g.stats().live_snapshots, 2);
+        drop(b);
+        drop(c);
+        assert_eq!(g.stats().live_snapshots, 0);
     }
 
     #[test]

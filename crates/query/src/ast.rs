@@ -1,0 +1,138 @@
+//! The MRPA-QL abstract syntax tree.
+//!
+//! The AST is deliberately thin: predicates, values, weight specs, and
+//! directions are the engine's own types ([`Predicate`],
+//! [`Value`](mrpa_engine::Value), [`WeightSpec`], [`Direction`]), so
+//! lowering ([`crate::lower()`]) is a
+//! structural rearrangement, not a translation — there is no second
+//! vocabulary to drift from the pipeline DSL. Clauses that can fail during
+//! lowering (`MATCH`, `CHEAPEST`/`WIDEST`, `REPEAT`) carry their byte
+//! [`Span`] so semantic errors point at query text.
+
+use mrpa_engine::plan::{Direction, SemiringKind};
+use mrpa_engine::{Predicate, WeightSpec};
+use mrpa_regex::Span;
+
+/// A full parsed query: `[EXPLAIN] FROM start clause* [terminal]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `EXPLAIN` prefix: return the plan report instead of executing.
+    pub explain: bool,
+    /// The `FROM` start set.
+    pub start: StartAst,
+    /// The pipeline clauses, in source order.
+    pub clauses: Vec<Clause>,
+    /// How the result is consumed.
+    pub terminal: Terminal,
+}
+
+/// The `FROM` clause of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartAst {
+    /// `FROM *` — every vertex.
+    All,
+    /// `FROM [kind:]name, name, …` — named vertices, with an optional kind
+    /// prefix that lowers to a leading `kind = <kind>` property filter.
+    Named {
+        /// The `person:` prefix, if present.
+        kind: Option<String>,
+        /// The vertex names.
+        names: Vec<String>,
+    },
+    /// `FROM (key op value)` — every vertex whose property satisfies the
+    /// predicate.
+    Where {
+        /// The property key.
+        key: String,
+        /// The predicate over that property.
+        pred: Predicate,
+    },
+}
+
+/// How `MATCH` evaluates its pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Enumerate every matching walk (depth-bounded).
+    Walks,
+    /// Per-row reachability: dedup by `(vertex, dfa-state)`; unbounded by
+    /// default.
+    Reachable,
+    /// Global reachability: one seen-set shared across all input rows.
+    Global,
+}
+
+/// How the query's rows are consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Terminal {
+    /// Return every row (the default).
+    #[default]
+    Rows,
+    /// `COUNT` — the number of rows.
+    Count,
+    /// `EXISTS` — whether at least one row exists.
+    Exists,
+    /// `FIRST` — the first row only.
+    First,
+}
+
+/// One pipeline clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `MATCH [REACHABLE|GLOBAL] -[pattern]-> [WITHIN n]` (or `<-[…]-`).
+    Match {
+        /// The raw label-regex text between the arrow brackets.
+        pattern: String,
+        /// Span of the pattern text inside the query (for error remapping).
+        pattern_span: Span,
+        /// Traversal direction (`-[…]->` = `Out`, `<-[…]-` = `In`).
+        direction: Direction,
+        /// Walks vs. reachability evaluation.
+        mode: MatchMode,
+        /// Explicit `WITHIN` depth bound, if given.
+        within: Option<usize>,
+        /// Span of the whole clause (for lowering diagnostics).
+        span: Span,
+    },
+    /// `CHEAPEST [BY …]` / `WIDEST [BY …]` — folds the nearest preceding
+    /// `MATCH` into a semiring-weighted best-first search.
+    Weighted {
+        /// Which selective semiring orders the search.
+        semiring: SemiringKind,
+        /// Where edge weights come from (`BY prop`, `BY LABELS(…)`, or unit).
+        weight: WeightSpec,
+        /// Span of the clause (for "no preceding MATCH" diagnostics).
+        span: Span,
+    },
+    /// `OUT labels` — outgoing edges (`None` = `OUT *`, any label).
+    Out(Option<Vec<String>>),
+    /// `IN labels` — incoming edges.
+    In(Option<Vec<String>>),
+    /// `BOTH labels` — both directions.
+    Both(Option<Vec<String>>),
+    /// `WHERE [dst.]key op value` — filter rows by a head-vertex property.
+    Where {
+        /// The property key.
+        key: String,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// `IS name, name, …` — keep only the named head vertices.
+    Is(Vec<String>),
+    /// `DEDUP` — deduplicate rows by head vertex.
+    Dedup,
+    /// `LIMIT n` / `TOP n` — keep at most `n` rows.
+    Limit(usize),
+    /// `REPEAT {min,max} ( clauses ) [UNTIL key op value]`.
+    Repeat {
+        /// Minimum completed iterations.
+        min: usize,
+        /// Maximum iterations.
+        max: usize,
+        /// The loop body.
+        body: Vec<Clause>,
+        /// Optional early-exit predicate.
+        until: Option<(String, Predicate)>,
+        /// Span of the clause header.
+        span: Span,
+    },
+}

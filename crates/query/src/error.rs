@@ -1,0 +1,63 @@
+//! Span-carrying MRPA-QL errors with caret diagnostics.
+
+use std::fmt;
+
+use mrpa_regex::{render_caret, Span};
+
+/// An MRPA-QL parse or lowering error: a message plus the byte span of the
+/// offending query text. [`QueryError::render`] turns it into a two-line
+/// caret diagnostic against the original source, reusing the shared
+/// renderer from [`mrpa_regex::render_caret`] — pattern errors inside
+/// `-[…]->` arrows are remapped so the caret lands in the *query* string,
+/// not the embedded pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// Byte span of the offending source text.
+    pub span: Span,
+    /// Human-readable description (already includes the byte offset).
+    pub message: String,
+}
+
+impl QueryError {
+    /// An error with a prebuilt message.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        QueryError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// An "expected X, found Y" error in the same shape the regex crate's
+    /// [`mrpa_regex::SyntaxError`] produces, so both frontends read alike.
+    pub fn expected<I, S>(span: Span, found: impl Into<String>, expected: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let e = mrpa_regex::SyntaxError::new(span, found, expected);
+        QueryError {
+            span,
+            message: e.message(),
+        }
+    }
+
+    /// The message plus a caret line pointing at the span in `source`.
+    ///
+    /// ```
+    /// let err = mrpa_query::parse("FROM marko OUCH").unwrap_err();
+    /// let diag = err.render("FROM marko OUCH");
+    /// assert!(diag.contains("OUCH"));
+    /// assert!(diag.contains('^'));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        format!("{}\n{}", self.message, render_caret(source, self.span))
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}

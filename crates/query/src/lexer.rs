@@ -1,0 +1,445 @@
+//! The MRPA-QL lexer: source text → spanned tokens.
+//!
+//! Tokenization is mode-free except for path patterns: on seeing `-[` or
+//! `<-[` the lexer captures the raw interior up to the first `]` as one
+//! [`Token::Pattern`] (the regex frontend re-parses it, with error spans
+//! remapped into the query text), then insists on the matching `]->` / `]-`
+//! closer. A `-` followed by a digit or `.` starts a negative number, so
+//! `WHERE w > -3.5` and `MATCH -[knows]->` coexist without lookahead in the
+//! parser.
+
+use mrpa_regex::Span;
+
+use crate::error::QueryError;
+
+/// One MRPA-QL token. Keywords are *not* lexed specially: they arrive as
+/// [`Token::Word`] and the parser matches them case-insensitively, so `from`,
+/// `From`, and `FROM` are interchangeable while quoted strings can always
+/// name a vertex/label/property that collides with a keyword.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare word: a keyword candidate or an unquoted name.
+    Word(String),
+    /// A quoted string literal (escapes already resolved).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// The raw text between `-[`/`<-[` and `]` — a label-regex pattern.
+    Pattern(String),
+    /// `-[` (outgoing-pattern opener).
+    ArrowOutOpen,
+    /// `]->` (outgoing-pattern closer).
+    ArrowOutClose,
+    /// `<-[` (incoming-pattern opener).
+    ArrowInOpen,
+    /// `]-` (incoming-pattern closer).
+    ArrowInClose,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Renders a token the way diagnostics mention it ("`'('`", "word \"out\"").
+pub(crate) fn describe(token: &Token) -> String {
+    match token {
+        Token::Word(w) => format!("word \"{w}\""),
+        Token::Str(s) => format!("string \"{s}\""),
+        Token::Int(n) => format!("integer {n}"),
+        Token::Float(x) => format!("number {x}"),
+        Token::Pattern(p) => format!("pattern \"{p}\""),
+        Token::ArrowOutOpen => "'-['".into(),
+        Token::ArrowOutClose => "']->'".into(),
+        Token::ArrowInOpen => "'<-['".into(),
+        Token::ArrowInClose => "']-'".into(),
+        Token::Star => "'*'".into(),
+        Token::Colon => "':'".into(),
+        Token::Comma => "','".into(),
+        Token::Dot => "'.'".into(),
+        Token::LParen => "'('".into(),
+        Token::RParen => "')'".into(),
+        Token::LBrace => "'{'".into(),
+        Token::RBrace => "'}'".into(),
+        Token::Eq => "'='".into(),
+        Token::Ne => "'!='".into(),
+        Token::Lt => "'<'".into(),
+        Token::Le => "'<='".into(),
+        Token::Gt => "'>'".into(),
+        Token::Ge => "'>='".into(),
+    }
+}
+
+struct Scanner<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Scanner<'s> {
+    fn rest(&self) -> &'s str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_word_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_word_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes a query, attaching a byte [`Span`] to every token.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, Span)>, QueryError> {
+    let mut s = Scanner { src: input, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while matches!(s.peek(), Some(c) if c.is_whitespace()) {
+            s.bump();
+        }
+        let start = s.pos;
+        let Some(c) = s.peek() else { break };
+        // arrows before operators: `<-[` would otherwise lex as `<` `-[`
+        if s.eat("<-[") {
+            out.push((Token::ArrowInOpen, Span::new(start, s.pos)));
+            scan_pattern(&mut s, &mut out, false)?;
+            continue;
+        }
+        if s.eat("-[") {
+            out.push((Token::ArrowOutOpen, Span::new(start, s.pos)));
+            scan_pattern(&mut s, &mut out, true)?;
+            continue;
+        }
+        match c {
+            '-' | '0'..='9' => scan_number(&mut s, &mut out)?,
+            '"' => scan_string(&mut s, &mut out)?,
+            '*' => punct(&mut s, &mut out, Token::Star),
+            ':' => punct(&mut s, &mut out, Token::Colon),
+            ',' => punct(&mut s, &mut out, Token::Comma),
+            '.' => punct(&mut s, &mut out, Token::Dot),
+            '(' => punct(&mut s, &mut out, Token::LParen),
+            ')' => punct(&mut s, &mut out, Token::RParen),
+            '{' => punct(&mut s, &mut out, Token::LBrace),
+            '}' => punct(&mut s, &mut out, Token::RBrace),
+            '=' => punct(&mut s, &mut out, Token::Eq),
+            '!' => {
+                s.bump();
+                if s.eat("=") {
+                    out.push((Token::Ne, Span::new(start, s.pos)));
+                } else {
+                    return Err(QueryError::expected(
+                        Span::new(start, s.pos),
+                        "'!'",
+                        ["'!='"],
+                    ));
+                }
+            }
+            '<' => {
+                s.bump();
+                let tok = if s.eat("=") { Token::Le } else { Token::Lt };
+                out.push((tok, Span::new(start, s.pos)));
+            }
+            '>' => {
+                s.bump();
+                let tok = if s.eat("=") { Token::Ge } else { Token::Gt };
+                out.push((tok, Span::new(start, s.pos)));
+            }
+            c if is_word_start(c) => {
+                while matches!(s.peek(), Some(c) if is_word_continue(c)) {
+                    s.bump();
+                }
+                out.push((
+                    Token::Word(input[start..s.pos].to_owned()),
+                    Span::new(start, s.pos),
+                ));
+            }
+            other => {
+                s.bump();
+                return Err(QueryError::new(
+                    Span::new(start, s.pos),
+                    format!("unexpected character {other:?} at byte {start}"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn punct(s: &mut Scanner<'_>, out: &mut Vec<(Token, Span)>, tok: Token) {
+    let start = s.pos;
+    s.bump();
+    out.push((tok, Span::new(start, s.pos)));
+}
+
+/// After an arrow opener: capture the raw pattern up to `]`, then the closer
+/// (`]->` for outgoing, `]-` — and *not* `]->` — for incoming).
+fn scan_pattern(
+    s: &mut Scanner<'_>,
+    out: &mut Vec<(Token, Span)>,
+    outgoing: bool,
+) -> Result<(), QueryError> {
+    let body_start = s.pos;
+    while matches!(s.peek(), Some(c) if c != ']') {
+        s.bump();
+    }
+    if s.peek().is_none() {
+        return Err(QueryError::expected(
+            Span::point(s.pos),
+            "end of input",
+            ["']' closing the pattern"],
+        ));
+    }
+    let body = Span::new(body_start, s.pos);
+    out.push((Token::Pattern(s.src[body_start..s.pos].to_owned()), body));
+    let close_start = s.pos;
+    if outgoing {
+        if s.eat("]->") {
+            out.push((Token::ArrowOutClose, Span::new(close_start, s.pos)));
+            Ok(())
+        } else {
+            s.bump(); // the ']'
+            Err(QueryError::expected(
+                Span::new(close_start, s.pos),
+                "']'",
+                ["']->'"],
+            ))
+        }
+    } else if s.eat("]->") {
+        Err(QueryError::new(
+            Span::new(close_start, s.pos),
+            format!("an incoming pattern '<-[…]-' cannot end with ']->' at byte {close_start}"),
+        ))
+    } else if s.eat("]-") {
+        out.push((Token::ArrowInClose, Span::new(close_start, s.pos)));
+        Ok(())
+    } else {
+        s.bump(); // the ']'
+        Err(QueryError::expected(
+            Span::new(close_start, s.pos),
+            "']'",
+            ["']-'"],
+        ))
+    }
+}
+
+fn scan_number(s: &mut Scanner<'_>, out: &mut Vec<(Token, Span)>) -> Result<(), QueryError> {
+    let start = s.pos;
+    s.eat("-");
+    let int_digits = eat_digits(s);
+    if int_digits == 0 {
+        // a lone '-' not followed by '[' or a digit
+        return Err(QueryError::expected(
+            Span::new(start, s.pos.max(start + 1)),
+            "'-'",
+            ["a number", "'-['"],
+        ));
+    }
+    let mut float = false;
+    if s.rest().starts_with('.') && s.rest()[1..].starts_with(|c: char| c.is_ascii_digit()) {
+        s.eat(".");
+        eat_digits(s);
+        float = true;
+    }
+    let span = Span::new(start, s.pos);
+    let text = &s.src[start..s.pos];
+    let tok = if float {
+        Token::Float(text.parse::<f64>().map_err(|e| {
+            QueryError::new(
+                span,
+                format!("invalid number {text:?}: {e} at byte {start}"),
+            )
+        })?)
+    } else {
+        Token::Int(text.parse::<i64>().map_err(|e| {
+            QueryError::new(
+                span,
+                format!("invalid integer {text:?}: {e} at byte {start}"),
+            )
+        })?)
+    };
+    out.push((tok, span));
+    Ok(())
+}
+
+fn eat_digits(s: &mut Scanner<'_>) -> usize {
+    let mut n = 0;
+    while matches!(s.peek(), Some(c) if c.is_ascii_digit()) {
+        s.bump();
+        n += 1;
+    }
+    n
+}
+
+fn scan_string(s: &mut Scanner<'_>, out: &mut Vec<(Token, Span)>) -> Result<(), QueryError> {
+    let start = s.pos;
+    s.bump(); // opening quote
+    let mut text = String::new();
+    loop {
+        match s.bump() {
+            None => {
+                return Err(QueryError::expected(
+                    Span::point(s.pos),
+                    "end of input",
+                    ["'\"' closing the string"],
+                ))
+            }
+            Some('"') => break,
+            Some('\\') => match s.bump() {
+                Some('"') => text.push('"'),
+                Some('\\') => text.push('\\'),
+                Some('n') => text.push('\n'),
+                Some('r') => text.push('\r'),
+                Some('t') => text.push('\t'),
+                other => {
+                    let at = s.pos;
+                    return Err(QueryError::new(
+                        Span::new(at.saturating_sub(2), at),
+                        format!(
+                            "unsupported string escape {:?} at byte {}",
+                            other.map(String::from).unwrap_or_default(),
+                            at.saturating_sub(2)
+                        ),
+                    ));
+                }
+            },
+            Some(c) => text.push(c),
+        }
+    }
+    out.push((Token::Str(text), Span::new(start, s.pos)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn words_numbers_strings_and_punctuation() {
+        assert_eq!(
+            toks(r#"FROM marko WHERE age >= -3.5 IS "a b" LIMIT 3"#),
+            vec![
+                Token::Word("FROM".into()),
+                Token::Word("marko".into()),
+                Token::Word("WHERE".into()),
+                Token::Word("age".into()),
+                Token::Ge,
+                Token::Float(-3.5),
+                Token::Word("IS".into()),
+                Token::Str("a b".into()),
+                Token::Word("LIMIT".into()),
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_capture_raw_patterns() {
+        assert_eq!(
+            toks("-[knows+·created]-> <-[(a|b){1,3}]-"),
+            vec![
+                Token::ArrowOutOpen,
+                Token::Pattern("knows+·created".into()),
+                Token::ArrowOutClose,
+                Token::ArrowInOpen,
+                Token::Pattern("(a|b){1,3}".into()),
+                Token::ArrowInClose,
+            ]
+        );
+    }
+
+    #[test]
+    fn pattern_spans_cover_the_interior() {
+        let tokens = tokenize("MATCH -[knows+]->").unwrap();
+        let (tok, span) = &tokens[2];
+        assert_eq!(*tok, Token::Pattern("knows+".into()));
+        assert_eq!(&"MATCH -[knows+]->"[span.start..span.end], "knows+");
+    }
+
+    #[test]
+    fn negative_numbers_and_arrows_disambiguate() {
+        assert_eq!(
+            toks("> -3 -[a]->"),
+            vec![
+                Token::Gt,
+                Token::Int(-3),
+                Token::ArrowOutOpen,
+                Token::Pattern("a".into()),
+                Token::ArrowOutClose,
+            ]
+        );
+    }
+
+    #[test]
+    fn mismatched_arrow_closers_are_errors() {
+        assert!(tokenize("-[a]-").is_err());
+        assert!(tokenize("<-[a]->").is_err());
+        assert!(tokenize("-[a").is_err());
+        let err = tokenize("FROM \"unterminated").unwrap_err();
+        assert!(
+            err.message.contains("closing the string"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        assert_eq!(
+            toks(r#""a\"b\\c\nd""#),
+            vec![Token::Str("a\"b\\c\nd".into())]
+        );
+        assert!(tokenize(r#""bad \q escape""#).is_err());
+    }
+}

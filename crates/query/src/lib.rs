@@ -1,0 +1,81 @@
+//! # mrpa-query — MRPA-QL, a textual path-query frontend
+//!
+//! The engine's fluent [`Traversal`](mrpa_engine::Traversal) DSL needs a host
+//! Rust program; MRPA-QL is the same query vocabulary as *text*, suitable for
+//! a wire protocol (see `mrpa-server`), a REPL, or a test corpus. A query
+//! reads left to right like the pipeline it denotes:
+//!
+//! ```text
+//! FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3
+//! ```
+//!
+//! The frontend is three small passes sharing the engine's own types:
+//! a spanned [`lexer`], a recursive-descent [`parser`] producing the
+//! [`ast`], and a [`lower()`] pass emitting the engine's [`Step`] IR — the
+//! *same* IR the fluent DSL builds, entering the same planner, optimizer,
+//! and executors. There is no second execution path; the crate's tests prove
+//! text ≡ DSL row-for-row under every execution strategy.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! query    := [EXPLAIN] FROM start clause* [COUNT | EXISTS | FIRST]
+//! start    := '*' | [kind ':'] name (',' name)* | '(' cond ')'
+//! clause   := MATCH [REACHABLE | GLOBAL] arrow [WITHIN int]
+//!           | (CHEAPEST | WIDEST) [BY key | BY LABELS '(' label '=' num (',' label '=' num)* ')']
+//!           | (OUT | IN | BOTH) ('*' | name (',' name)*)
+//!           | WHERE cond | IS name (',' name)* | DEDUP | (LIMIT | TOP) int
+//!           | REPEAT '{' int ',' int '}' '(' clause+ ')' [UNTIL cond]
+//! arrow    := '-[' pattern ']->' | '<-[' pattern ']-'
+//! cond     := ['dst' '.'] key ( op value | CONTAINS string | EXISTS
+//!           | IN '(' value (',' value)* ')' )
+//! op       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! value    := string | number | TRUE | FALSE
+//! ```
+//!
+//! `pattern` is a label regex in the `crates/regex` syntax (`·`/`.`
+//! concatenation, `|`, `*`, `+`, `?`, `{m,n}`, `_`, parentheses). Keywords
+//! are case-insensitive; names that collide with keywords are quoted
+//! (`OUT "in"`). Errors carry byte spans and render as caret diagnostics —
+//! including errors *inside* a pattern, remapped into the query string.
+//!
+//! ```
+//! use mrpa_engine::classic_social_graph;
+//! use mrpa_query::compile;
+//!
+//! let g = classic_social_graph();
+//! let q = compile(r#"FROM marko MATCH -[knows+·created]-> WHERE dst.lang = "java""#).unwrap();
+//! let rows = q.traversal(&g).execute().unwrap();
+//! assert_eq!(rows.head_names_sorted(), vec!["lop", "ripple"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{Clause, MatchMode, Query, StartAst, Terminal};
+pub use error::QueryError;
+pub use lexer::{tokenize, Token};
+pub use lower::{lower, LoweredQuery};
+pub use parser::parse;
+pub use pretty::pretty;
+
+use mrpa_engine::Step;
+
+/// Parses and lowers a query in one call: text → [`LoweredQuery`], ready to
+/// bind to a graph with [`LoweredQuery::traversal`].
+pub fn compile(input: &str) -> Result<LoweredQuery, QueryError> {
+    lower(&parse(input)?)
+}
+
+/// Convenience: the lowered [`Step`] sequence of a query (used by tests).
+pub fn compile_steps(input: &str) -> Result<Vec<Step>, QueryError> {
+    compile(input).map(|q| q.steps)
+}

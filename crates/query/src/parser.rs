@@ -1,0 +1,870 @@
+//! The MRPA-QL recursive-descent parser: spanned tokens → [`Query`].
+//!
+//! Keywords are matched case-insensitively against bare words, so a quoted
+//! string can always stand in for a name that collides with a keyword
+//! (`OUT "in"`). Patterns inside `-[…]->` arrows are validated here by
+//! handing them to [`mrpa_regex::parse_label_expr`]; a syntax error inside
+//! the pattern is remapped by [`mrpa_regex::Span::offset`] so its caret
+//! points into the *query* string.
+
+use mrpa_engine::plan::{Direction, SemiringKind};
+use mrpa_engine::{Predicate, Value, WeightSpec};
+use mrpa_regex::{RegexError, Span};
+
+use crate::ast::{Clause, MatchMode, Query, StartAst, Terminal};
+use crate::error::QueryError;
+use crate::lexer::{describe, tokenize, Token};
+
+/// The reserved words of MRPA-QL. Bare words matching one of these (in any
+/// case) cannot be used as names — quote them instead.
+pub const KEYWORDS: &[&str] = &[
+    "EXPLAIN",
+    "FROM",
+    "MATCH",
+    "REACHABLE",
+    "GLOBAL",
+    "WITHIN",
+    "OUT",
+    "IN",
+    "BOTH",
+    "WHERE",
+    "IS",
+    "DEDUP",
+    "LIMIT",
+    "TOP",
+    "CHEAPEST",
+    "WIDEST",
+    "BY",
+    "LABELS",
+    "REPEAT",
+    "UNTIL",
+    "COUNT",
+    "EXISTS",
+    "FIRST",
+    "CONTAINS",
+    "TRUE",
+    "FALSE",
+    "DST",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kw {
+    Explain,
+    From,
+    Match,
+    Reachable,
+    Global,
+    Within,
+    Out,
+    In,
+    Both,
+    Where,
+    Is,
+    Dedup,
+    Limit,
+    Top,
+    Cheapest,
+    Widest,
+    By,
+    Labels,
+    Repeat,
+    Until,
+    Count,
+    Exists,
+    First,
+    Contains,
+    True,
+    False,
+    Dst,
+}
+
+fn keyword(word: &str) -> Option<Kw> {
+    let kws = [
+        ("EXPLAIN", Kw::Explain),
+        ("FROM", Kw::From),
+        ("MATCH", Kw::Match),
+        ("REACHABLE", Kw::Reachable),
+        ("GLOBAL", Kw::Global),
+        ("WITHIN", Kw::Within),
+        ("OUT", Kw::Out),
+        ("IN", Kw::In),
+        ("BOTH", Kw::Both),
+        ("WHERE", Kw::Where),
+        ("IS", Kw::Is),
+        ("DEDUP", Kw::Dedup),
+        ("LIMIT", Kw::Limit),
+        ("TOP", Kw::Top),
+        ("CHEAPEST", Kw::Cheapest),
+        ("WIDEST", Kw::Widest),
+        ("BY", Kw::By),
+        ("LABELS", Kw::Labels),
+        ("REPEAT", Kw::Repeat),
+        ("UNTIL", Kw::Until),
+        ("COUNT", Kw::Count),
+        ("EXISTS", Kw::Exists),
+        ("FIRST", Kw::First),
+        ("CONTAINS", Kw::Contains),
+        ("TRUE", Kw::True),
+        ("FALSE", Kw::False),
+        ("DST", Kw::Dst),
+    ];
+    kws.iter()
+        .find(|(name, _)| word.eq_ignore_ascii_case(name))
+        .map(|(_, kw)| *kw)
+}
+
+/// Whether a bare word would round-trip as an unquoted name.
+pub(crate) fn is_reserved(word: &str) -> bool {
+    keyword(word).is_some()
+}
+
+struct Cursor {
+    tokens: Vec<(Token, Span)>,
+    pos: usize,
+    eoi: usize,
+}
+
+impl Cursor {
+    fn new(input: &str) -> Result<Self, QueryError> {
+        Ok(Cursor {
+            tokens: tokenize(input)?,
+            pos: 0,
+            eoi: input.len(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// The keyword at the cursor, if the next token is a bare word naming one.
+    fn peek_kw(&self) -> Option<Kw> {
+        match self.peek() {
+            Some(Token::Word(w)) => keyword(w),
+            _ => None,
+        }
+    }
+
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| Span::point(self.eoi))
+    }
+
+    fn found_here(&self) -> String {
+        match self.peek() {
+            Some(t) => describe(t),
+            None => "end of input".into(),
+        }
+    }
+
+    fn unexpected<I, S>(&self, expected: I) -> QueryError
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        QueryError::expected(self.span_here(), self.found_here(), expected)
+    }
+
+    fn next(&mut self) -> Option<(Token, Span)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, describe_as: &str) -> Result<Span, QueryError> {
+        if self.peek() == Some(token) {
+            Ok(self.next().expect("peeked").1)
+        } else {
+            Err(self.unexpected([describe_as]))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw, describe_as: &str) -> Result<Span, QueryError> {
+        if self.peek_kw() == Some(kw) {
+            Ok(self.next().expect("peeked").1)
+        } else {
+            Err(self.unexpected([describe_as]))
+        }
+    }
+
+    /// Consumes the keyword if present.
+    fn eat_kw(&mut self, kw: Kw) -> Option<Span> {
+        if self.peek_kw() == Some(kw) {
+            Some(self.next().expect("peeked").1)
+        } else {
+            None
+        }
+    }
+
+    /// A name: a non-reserved bare word, a quoted string, or a bare integer
+    /// (vertex names like `42`).
+    fn name(&mut self, what: &str) -> Result<(String, Span), QueryError> {
+        match self.peek() {
+            Some(Token::Word(w)) if !is_reserved(w) => {
+                let w = w.clone();
+                Ok((w, self.next().expect("peeked").1))
+            }
+            Some(Token::Word(w)) => Err(QueryError::new(
+                self.span_here(),
+                format!(
+                    "{w:?} is a reserved word and cannot be a bare {what} — quote it (\"{w}\") at byte {}",
+                    self.span_here().start
+                ),
+            )),
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                Ok((s, self.next().expect("peeked").1))
+            }
+            Some(Token::Int(n)) => {
+                let n = n.to_string();
+                Ok((n, self.next().expect("peeked").1))
+            }
+            _ => Err(self.unexpected([format!("a {what}")])),
+        }
+    }
+
+    /// `name (',' name)*`.
+    fn name_list(&mut self, what: &str) -> Result<Vec<String>, QueryError> {
+        let mut names = vec![self.name(what)?.0];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            names.push(self.name(what)?.0);
+        }
+        Ok(names)
+    }
+
+    /// A non-negative integer (for `LIMIT`, `WITHIN`, `REPEAT {m,n}`).
+    fn non_negative_int(&mut self, what: &str) -> Result<usize, QueryError> {
+        match self.peek() {
+            Some(&Token::Int(n)) if n >= 0 => {
+                self.next();
+                Ok(n as usize)
+            }
+            _ => Err(self.unexpected([format!("a non-negative integer ({what})")])),
+        }
+    }
+
+    /// A literal value: string, number, or boolean.
+    fn value(&mut self) -> Result<Value, QueryError> {
+        match (self.peek(), self.peek_kw()) {
+            (_, Some(Kw::True)) => {
+                self.next();
+                Ok(Value::Bool(true))
+            }
+            (_, Some(Kw::False)) => {
+                self.next();
+                Ok(Value::Bool(false))
+            }
+            (Some(Token::Str(s)), _) => {
+                let v = Value::Text(s.clone());
+                self.next();
+                Ok(v)
+            }
+            (Some(&Token::Int(n)), _) => {
+                self.next();
+                Ok(Value::Int(n))
+            }
+            (Some(&Token::Float(x)), _) => {
+                self.next();
+                Ok(Value::Float(x))
+            }
+            _ => Err(self.unexpected(["a string", "a number", "TRUE", "FALSE"])),
+        }
+    }
+
+    /// A numeric literal as `f64` (for `<`/`<=`/`>`/`>=` and weight tables).
+    fn number(&mut self, what: &str) -> Result<f64, QueryError> {
+        match self.peek() {
+            Some(&Token::Int(n)) => {
+                self.next();
+                Ok(n as f64)
+            }
+            Some(&Token::Float(x)) => {
+                self.next();
+                Ok(x)
+            }
+            _ => Err(self.unexpected([format!("a number ({what})")])),
+        }
+    }
+
+    /// `[DST '.'] key (op value | CONTAINS str | EXISTS | IN (v, …))`.
+    fn condition(&mut self) -> Result<(String, Predicate), QueryError> {
+        if self.eat_kw(Kw::Dst).is_some() {
+            self.expect(&Token::Dot, "'.' after dst")?;
+        }
+        let (key, _) = self.name("property key")?;
+        let pred = match (self.peek(), self.peek_kw()) {
+            (Some(Token::Eq), _) => {
+                self.next();
+                Predicate::Eq(self.value()?)
+            }
+            (Some(Token::Ne), _) => {
+                self.next();
+                Predicate::Ne(self.value()?)
+            }
+            (Some(Token::Lt), _) => {
+                self.next();
+                Predicate::Lt(self.number("comparison bound")?)
+            }
+            (Some(Token::Le), _) => {
+                self.next();
+                Predicate::Le(self.number("comparison bound")?)
+            }
+            (Some(Token::Gt), _) => {
+                self.next();
+                Predicate::Gt(self.number("comparison bound")?)
+            }
+            (Some(Token::Ge), _) => {
+                self.next();
+                Predicate::Ge(self.number("comparison bound")?)
+            }
+            (_, Some(Kw::Contains)) => {
+                self.next();
+                match self.peek() {
+                    Some(Token::Str(s)) => {
+                        let s = s.clone();
+                        self.next();
+                        Predicate::Contains(s)
+                    }
+                    _ => return Err(self.unexpected(["a string after CONTAINS"])),
+                }
+            }
+            (_, Some(Kw::Exists)) => {
+                self.next();
+                Predicate::Exists
+            }
+            (_, Some(Kw::In)) => {
+                self.next();
+                self.expect(&Token::LParen, "'(' opening the IN list")?;
+                let mut values = vec![self.value()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    values.push(self.value()?);
+                }
+                self.expect(&Token::RParen, "')' closing the IN list")?;
+                Predicate::Within(values)
+            }
+            _ => {
+                return Err(self.unexpected([
+                    "'='", "'!='", "'<'", "'<='", "'>'", "'>='", "CONTAINS", "EXISTS", "IN",
+                ]))
+            }
+        };
+        Ok((key, pred))
+    }
+}
+
+/// Parses one MRPA-QL query.
+///
+/// ```
+/// use mrpa_query::{parse, Terminal};
+///
+/// let q = parse(
+///     r#"FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3"#,
+/// )
+/// .unwrap();
+/// assert_eq!(q.terminal, Terminal::Rows);
+/// assert_eq!(q.clauses.len(), 4); // MATCH, WHERE, CHEAPEST, TOP
+/// ```
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let mut c = Cursor::new(input)?;
+    let explain = c.eat_kw(Kw::Explain).is_some();
+    c.expect_kw(Kw::From, "FROM")?;
+    let start = parse_start(&mut c)?;
+    let (clauses, terminal) = parse_clauses(&mut c, true)?;
+    if let Some(t) = c.peek() {
+        let msg = describe(t);
+        return Err(QueryError::expected(
+            c.span_here(),
+            msg,
+            ["a clause (MATCH, OUT, WHERE, …)", "end of input"],
+        ));
+    }
+    Ok(Query {
+        explain,
+        start,
+        clauses,
+        terminal,
+    })
+}
+
+fn parse_start(c: &mut Cursor) -> Result<StartAst, QueryError> {
+    match c.peek() {
+        Some(Token::Star) => {
+            c.next();
+            Ok(StartAst::All)
+        }
+        Some(Token::LParen) => {
+            c.next();
+            let (key, pred) = c.condition()?;
+            c.expect(&Token::RParen, "')' closing the start predicate")?;
+            Ok(StartAst::Where { key, pred })
+        }
+        _ => {
+            let (first, _) = c.name("start vertex name")?;
+            if c.peek() == Some(&Token::Colon) {
+                c.next();
+                let names = c.name_list("start vertex name")?;
+                Ok(StartAst::Named {
+                    kind: Some(first),
+                    names,
+                })
+            } else {
+                let mut names = vec![first];
+                while c.peek() == Some(&Token::Comma) {
+                    c.next();
+                    names.push(c.name("start vertex name")?.0);
+                }
+                Ok(StartAst::Named { kind: None, names })
+            }
+        }
+    }
+}
+
+/// Parses a clause sequence. At top level (`allow_terminal`) a trailing
+/// `COUNT`/`EXISTS`/`FIRST` is accepted and must end the query; inside a
+/// `REPEAT` body terminals are rejected.
+fn parse_clauses(
+    c: &mut Cursor,
+    allow_terminal: bool,
+) -> Result<(Vec<Clause>, Terminal), QueryError> {
+    let mut clauses = Vec::new();
+    while let Some(kw) = c.peek_kw() {
+        match kw {
+            Kw::Match => clauses.push(parse_match(c)?),
+            Kw::Cheapest | Kw::Widest => clauses.push(parse_weighted(c)?),
+            Kw::Out | Kw::In | Kw::Both => clauses.push(parse_step_labels(c, kw)?),
+            Kw::Where => {
+                c.next();
+                let (key, pred) = c.condition()?;
+                clauses.push(Clause::Where { key, pred });
+            }
+            Kw::Is => {
+                c.next();
+                clauses.push(Clause::Is(c.name_list("vertex name")?));
+            }
+            Kw::Dedup => {
+                c.next();
+                clauses.push(Clause::Dedup);
+            }
+            Kw::Limit | Kw::Top => {
+                c.next();
+                clauses.push(Clause::Limit(c.non_negative_int("row cap")?));
+            }
+            Kw::Repeat => clauses.push(parse_repeat(c)?),
+            Kw::Count | Kw::Exists | Kw::First if allow_terminal => {
+                c.next();
+                let terminal = match kw {
+                    Kw::Count => Terminal::Count,
+                    Kw::Exists => Terminal::Exists,
+                    _ => Terminal::First,
+                };
+                if let Some(t) = c.peek() {
+                    let msg = describe(t);
+                    return Err(QueryError::expected(
+                        c.span_here(),
+                        msg,
+                        ["end of input (COUNT/EXISTS/FIRST must end the query)"],
+                    ));
+                }
+                return Ok((clauses, terminal));
+            }
+            _ => break,
+        }
+    }
+    Ok((clauses, Terminal::Rows))
+}
+
+fn parse_match(c: &mut Cursor) -> Result<Clause, QueryError> {
+    let start = c.expect_kw(Kw::Match, "MATCH")?;
+    let mode = if c.eat_kw(Kw::Reachable).is_some() {
+        MatchMode::Reachable
+    } else if c.eat_kw(Kw::Global).is_some() {
+        MatchMode::Global
+    } else {
+        MatchMode::Walks
+    };
+    let (direction, open_span) = match c.peek() {
+        Some(Token::ArrowOutOpen) => (Direction::Out, c.next().expect("peeked").1),
+        Some(Token::ArrowInOpen) => (Direction::In, c.next().expect("peeked").1),
+        _ => return Err(c.unexpected(["'-[' or '<-[' opening a pattern"])),
+    };
+    if direction == Direction::In && mode != MatchMode::Walks {
+        return Err(QueryError::new(
+            open_span,
+            format!(
+                "reachability modes traverse outgoing edges — use '-[…]->' at byte {}",
+                open_span.start
+            ),
+        ));
+    }
+    let (pattern, pattern_span) = match c.next() {
+        Some((Token::Pattern(p), s)) => (p, s),
+        _ => unreachable!("the lexer always pairs an arrow opener with a pattern"),
+    };
+    let close = c.next().expect("the lexer always closes a pattern").1;
+    validate_pattern(&pattern, pattern_span)?;
+    let within = if c.eat_kw(Kw::Within).is_some() {
+        Some(c.non_negative_int("depth bound")?)
+    } else {
+        None
+    };
+    Ok(Clause::Match {
+        pattern,
+        pattern_span,
+        direction,
+        mode,
+        within,
+        span: Span::new(start.start, close.end),
+    })
+}
+
+/// Validates a pattern by handing it to the regex frontend; a syntax error's
+/// span is remapped into the query string before surfacing.
+fn validate_pattern(pattern: &str, pattern_span: Span) -> Result<(), QueryError> {
+    match mrpa_regex::parse_label_expr(pattern) {
+        Ok(_) => Ok(()),
+        Err(RegexError::Syntax(e)) => {
+            let span = e.span.offset(pattern_span.start);
+            Err(QueryError::new(
+                span,
+                mrpa_regex::SyntaxError::new(span, e.found, e.expected).message(),
+            ))
+        }
+        Err(other) => Err(QueryError::new(pattern_span, other.to_string())),
+    }
+}
+
+fn parse_weighted(c: &mut Cursor) -> Result<Clause, QueryError> {
+    let (semiring, span) = if let Some(s) = c.eat_kw(Kw::Cheapest) {
+        (SemiringKind::Shortest, s)
+    } else {
+        (SemiringKind::Widest, c.expect_kw(Kw::Widest, "WIDEST")?)
+    };
+    let weight = if c.eat_kw(Kw::By).is_some() {
+        if c.eat_kw(Kw::Labels).is_some() {
+            c.expect(&Token::LParen, "'(' opening the label weight table")?;
+            let mut table = vec![parse_label_weight(c)?];
+            while c.peek() == Some(&Token::Comma) {
+                c.next();
+                table.push(parse_label_weight(c)?);
+            }
+            c.expect(&Token::RParen, "')' closing the label weight table")?;
+            WeightSpec::Labels(table)
+        } else {
+            WeightSpec::Property(c.name("edge property key")?.0)
+        }
+    } else {
+        WeightSpec::Unit
+    };
+    Ok(Clause::Weighted {
+        semiring,
+        weight,
+        span,
+    })
+}
+
+fn parse_label_weight(c: &mut Cursor) -> Result<(String, f64), QueryError> {
+    let (label, _) = c.name("edge label")?;
+    c.expect(&Token::Eq, "'=' between label and weight")?;
+    let w = c.number("label weight")?;
+    Ok((label, w))
+}
+
+fn parse_step_labels(c: &mut Cursor, kw: Kw) -> Result<Clause, QueryError> {
+    c.next(); // OUT / IN / BOTH
+    let labels = if c.peek() == Some(&Token::Star) {
+        c.next();
+        None
+    } else {
+        Some(c.name_list("edge label")?)
+    };
+    Ok(match kw {
+        Kw::Out => Clause::Out(labels),
+        Kw::In => Clause::In(labels),
+        _ => Clause::Both(labels),
+    })
+}
+
+fn parse_repeat(c: &mut Cursor) -> Result<Clause, QueryError> {
+    let start = c.expect_kw(Kw::Repeat, "REPEAT")?;
+    c.expect(&Token::LBrace, "'{' opening the iteration range")?;
+    let min = c.non_negative_int("minimum iterations")?;
+    c.expect(&Token::Comma, "',' between min and max")?;
+    let max = c.non_negative_int("maximum iterations")?;
+    let brace = c.expect(&Token::RBrace, "'}' closing the iteration range")?;
+    let span = Span::new(start.start, brace.end);
+    if min > max {
+        return Err(QueryError::new(
+            span,
+            format!(
+                "REPEAT range is inverted: min {min} > max {max} at byte {}",
+                span.start
+            ),
+        ));
+    }
+    c.expect(&Token::LParen, "'(' opening the REPEAT body")?;
+    let (body, _) = parse_clauses(c, false)?;
+    if body.is_empty() {
+        return Err(QueryError::new(
+            span,
+            format!("REPEAT body cannot be empty at byte {}", span.start),
+        ));
+    }
+    c.expect(&Token::RParen, "')' closing the REPEAT body")?;
+    let until = if c.eat_kw(Kw::Until).is_some() {
+        Some(c.condition()?)
+    } else {
+        None
+    };
+    Ok(Clause::Repeat {
+        min,
+        max,
+        body,
+        until,
+        span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_headline_query() {
+        let q = parse(
+            r#"FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3"#,
+        )
+        .unwrap();
+        assert!(!q.explain);
+        assert_eq!(
+            q.start,
+            StartAst::Named {
+                kind: Some("person".into()),
+                names: vec!["marko".into()],
+            }
+        );
+        assert_eq!(q.clauses.len(), 4);
+        assert!(matches!(
+            &q.clauses[0],
+            Clause::Match { pattern, direction: Direction::Out, mode: MatchMode::Walks, within: None, .. }
+                if pattern == "knows+·created"
+        ));
+        assert_eq!(
+            q.clauses[1],
+            Clause::Where {
+                key: "lang".into(),
+                pred: Predicate::Eq(Value::Text("java".into())),
+            }
+        );
+        assert!(matches!(
+            &q.clauses[2],
+            Clause::Weighted { semiring: SemiringKind::Shortest, weight: WeightSpec::Property(k), .. }
+                if k == "weight"
+        ));
+        assert_eq!(q.clauses[3], Clause::Limit(3));
+    }
+
+    #[test]
+    fn parses_every_start_form() {
+        assert_eq!(parse("FROM *").unwrap().start, StartAst::All);
+        assert_eq!(
+            parse("FROM marko, vadas").unwrap().start,
+            StartAst::Named {
+                kind: None,
+                names: vec!["marko".into(), "vadas".into()],
+            }
+        );
+        assert_eq!(
+            parse("FROM (age > 30)").unwrap().start,
+            StartAst::Where {
+                key: "age".into(),
+                pred: Predicate::Gt(30.0),
+            }
+        );
+        assert_eq!(
+            parse(r#"FROM ("kind" = "person")"#).unwrap().start,
+            StartAst::Where {
+                key: "kind".into(),
+                pred: Predicate::Eq(Value::Text("person".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_match_modes_directions_and_bounds() {
+        let q = parse("FROM * MATCH REACHABLE -[_+]-> MATCH <-[knows]- WITHIN 4").unwrap();
+        assert!(matches!(
+            &q.clauses[0],
+            Clause::Match {
+                mode: MatchMode::Reachable,
+                direction: Direction::Out,
+                within: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &q.clauses[1],
+            Clause::Match {
+                mode: MatchMode::Walks,
+                direction: Direction::In,
+                within: Some(4),
+                ..
+            }
+        ));
+        let err = parse("FROM * MATCH GLOBAL <-[knows]-").unwrap_err();
+        assert!(err.message.contains("outgoing"), "{}", err.message);
+    }
+
+    #[test]
+    fn parses_repeat_with_until() {
+        let q =
+            parse(r#"FROM marko REPEAT {0,3} ( OUT knows, created DEDUP ) UNTIL lang = "java""#)
+                .unwrap();
+        match &q.clauses[0] {
+            Clause::Repeat {
+                min: 0,
+                max: 3,
+                body,
+                until: Some((key, Predicate::Eq(Value::Text(v)))),
+                ..
+            } => {
+                assert_eq!(body.len(), 2);
+                assert_eq!(key, "lang");
+                assert_eq!(v, "java");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse("FROM * REPEAT {2,1} ( OUT * )")
+            .unwrap_err()
+            .message
+            .contains("inverted"));
+        assert!(parse("FROM * REPEAT {1,2} ( )")
+            .unwrap_err()
+            .message
+            .contains("empty"));
+        // terminals cannot appear inside a body
+        assert!(parse("FROM * REPEAT {1,2} ( COUNT )").is_err());
+    }
+
+    #[test]
+    fn terminals_must_end_the_query() {
+        assert_eq!(
+            parse("FROM * OUT * COUNT").unwrap().terminal,
+            Terminal::Count
+        );
+        assert_eq!(parse("FROM * EXISTS").unwrap().terminal, Terminal::Exists);
+        assert_eq!(parse("FROM * FIRST").unwrap().terminal, Terminal::First);
+        assert!(parse("FROM * COUNT OUT *").is_err());
+    }
+
+    #[test]
+    fn explain_prefix_sets_the_flag() {
+        assert!(parse("EXPLAIN FROM * OUT *").unwrap().explain);
+        assert!(!parse("FROM * OUT *").unwrap().explain);
+    }
+
+    #[test]
+    fn pattern_errors_point_into_the_query_text() {
+        let src = "FROM marko MATCH -[knows+·(created]->";
+        let err = parse(src).unwrap_err();
+        // the caret must land inside the query string, on or after the pattern
+        let pattern_at = src.find("knows").unwrap();
+        assert!(err.span.start >= pattern_at, "{err:?}");
+        assert!(err.span.end <= src.len());
+        let rendered = err.render(src);
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn reserved_words_require_quoting_and_strings_work_everywhere() {
+        assert!(parse("FROM out").unwrap_err().message.contains("reserved"));
+        let q = parse(r#"FROM "out" OUT "in" WHERE "where" EXISTS"#).unwrap();
+        assert_eq!(
+            q.start,
+            StartAst::Named {
+                kind: None,
+                names: vec!["out".into()],
+            }
+        );
+        assert_eq!(q.clauses[0], Clause::Out(Some(vec!["in".into()])));
+        assert_eq!(
+            q.clauses[1],
+            Clause::Where {
+                key: "where".into(),
+                pred: Predicate::Exists,
+            }
+        );
+    }
+
+    #[test]
+    fn condition_operators_cover_the_predicate_vocabulary() {
+        let q = parse(
+            r#"FROM * WHERE a = 1 WHERE b != 2.5 WHERE c < 3 WHERE d <= 4 WHERE e > 5 WHERE f >= 6
+               WHERE g CONTAINS "x" WHERE h EXISTS WHERE i IN ("a", 2, TRUE)"#,
+        )
+        .unwrap();
+        let preds: Vec<&Predicate> = q
+            .clauses
+            .iter()
+            .map(|cl| match cl {
+                Clause::Where { pred, .. } => pred,
+                other => panic!("unexpected: {other:?}"),
+            })
+            .collect();
+        assert_eq!(preds[0], &Predicate::Eq(Value::Int(1)));
+        assert_eq!(preds[1], &Predicate::Ne(Value::Float(2.5)));
+        assert_eq!(preds[2], &Predicate::Lt(3.0));
+        assert_eq!(preds[3], &Predicate::Le(4.0));
+        assert_eq!(preds[4], &Predicate::Gt(5.0));
+        assert_eq!(preds[5], &Predicate::Ge(6.0));
+        assert_eq!(preds[6], &Predicate::Contains("x".into()));
+        assert_eq!(preds[7], &Predicate::Exists);
+        assert_eq!(
+            preds[8],
+            &Predicate::Within(vec![
+                Value::Text("a".into()),
+                Value::Int(2),
+                Value::Bool(true)
+            ])
+        );
+    }
+
+    #[test]
+    fn weighted_clause_forms() {
+        let q = parse("FROM * MATCH -[a]-> CHEAPEST").unwrap();
+        assert!(matches!(
+            &q.clauses[1],
+            Clause::Weighted {
+                weight: WeightSpec::Unit,
+                ..
+            }
+        ));
+        let q = parse("FROM * MATCH -[a]-> WIDEST BY LABELS(knows = 1, created = 2.5)").unwrap();
+        assert!(matches!(
+            &q.clauses[1],
+            Clause::Weighted { semiring: SemiringKind::Widest, weight: WeightSpec::Labels(t), .. }
+                if t == &[("knows".to_string(), 1.0), ("created".to_string(), 2.5)]
+        ));
+    }
+
+    #[test]
+    fn errors_carry_useful_expected_sets() {
+        let err = parse("FROM").unwrap_err();
+        assert!(err.message.contains("start vertex name"), "{}", err.message);
+        let err = parse("OUT *").unwrap_err();
+        assert!(err.message.contains("FROM"), "{}", err.message);
+        let err = parse("FROM * WHERE age 3").unwrap_err();
+        assert!(err.message.contains("expected"), "{}", err.message);
+        let err = parse("FROM * WHERE age ~ 3").unwrap_err();
+        assert!(
+            err.message.contains("unexpected character"),
+            "{}",
+            err.message
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Canonical MRPA-QL rendering: AST → text that reparses to the same AST.
+//!
+//! [`pretty`] is the inverse of [`crate::parse`] up to surface sugar: the
+//! `dst.` prefix is dropped, `TOP` canonicalises to `LIMIT`, and keywords are
+//! upper-cased, but re-parsing the rendered text always yields a query that
+//! lowers to identical steps (the `roundtrip` property tests pin this for
+//! the whole grammar). Names are quoted only when they must be — non-word
+//! characters or a keyword collision.
+
+use std::fmt::Write as _;
+
+use mrpa_engine::plan::{Direction, SemiringKind};
+use mrpa_engine::{Predicate, Value, WeightSpec};
+
+use crate::ast::{Clause, MatchMode, Query, StartAst, Terminal};
+use crate::parser::is_reserved;
+
+/// Renders a query in canonical form.
+///
+/// ```
+/// use mrpa_query::{parse, pretty};
+///
+/// let q = parse(r#"from marko  match -[knows+]->  top 3"#).unwrap();
+/// assert_eq!(pretty(&q), "FROM marko MATCH -[knows+]-> LIMIT 3");
+/// ```
+pub fn pretty(query: &Query) -> String {
+    let mut out = String::new();
+    if query.explain {
+        out.push_str("EXPLAIN ");
+    }
+    out.push_str("FROM ");
+    match &query.start {
+        StartAst::All => out.push('*'),
+        StartAst::Named { kind, names } => {
+            if let Some(kind) = kind {
+                out.push_str(&name(kind));
+                out.push(':');
+            }
+            out.push_str(&name_list(names));
+        }
+        StartAst::Where { key, pred } => {
+            let _ = write!(out, "({})", condition(key, pred));
+        }
+    }
+    for clause in &query.clauses {
+        out.push(' ');
+        write_clause(&mut out, clause);
+    }
+    match query.terminal {
+        Terminal::Rows => {}
+        Terminal::Count => out.push_str(" COUNT"),
+        Terminal::Exists => out.push_str(" EXISTS"),
+        Terminal::First => out.push_str(" FIRST"),
+    }
+    out
+}
+
+fn write_clause(out: &mut String, clause: &Clause) {
+    match clause {
+        Clause::Match {
+            pattern,
+            direction,
+            mode,
+            within,
+            ..
+        } => {
+            out.push_str("MATCH ");
+            match mode {
+                MatchMode::Walks => {}
+                MatchMode::Reachable => out.push_str("REACHABLE "),
+                MatchMode::Global => out.push_str("GLOBAL "),
+            }
+            match direction {
+                Direction::In => {
+                    let _ = write!(out, "<-[{pattern}]-");
+                }
+                _ => {
+                    let _ = write!(out, "-[{pattern}]->");
+                }
+            }
+            if let Some(n) = within {
+                let _ = write!(out, " WITHIN {n}");
+            }
+        }
+        Clause::Weighted {
+            semiring, weight, ..
+        } => {
+            out.push_str(match semiring {
+                SemiringKind::Shortest => "CHEAPEST",
+                SemiringKind::Widest => "WIDEST",
+            });
+            match weight {
+                WeightSpec::Unit => {}
+                WeightSpec::Property(key) => {
+                    let _ = write!(out, " BY {}", name(key));
+                }
+                WeightSpec::Labels(table) => {
+                    out.push_str(" BY LABELS(");
+                    for (i, (label, w)) in table.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{} = {}", name(label), float(*w));
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        Clause::Out(labels) => write_labels(out, "OUT", labels),
+        Clause::In(labels) => write_labels(out, "IN", labels),
+        Clause::Both(labels) => write_labels(out, "BOTH", labels),
+        Clause::Where { key, pred } => {
+            let _ = write!(out, "WHERE {}", condition(key, pred));
+        }
+        Clause::Is(names) => {
+            let _ = write!(out, "IS {}", name_list(names));
+        }
+        Clause::Dedup => out.push_str("DEDUP"),
+        Clause::Limit(n) => {
+            let _ = write!(out, "LIMIT {n}");
+        }
+        Clause::Repeat {
+            min,
+            max,
+            body,
+            until,
+            ..
+        } => {
+            let _ = write!(out, "REPEAT {{{min},{max}}} (");
+            for clause in body {
+                out.push(' ');
+                write_clause(out, clause);
+            }
+            out.push_str(" )");
+            if let Some((key, pred)) = until {
+                let _ = write!(out, " UNTIL {}", condition(key, pred));
+            }
+        }
+    }
+}
+
+fn write_labels(out: &mut String, verb: &str, labels: &Option<Vec<String>>) {
+    match labels {
+        None => {
+            let _ = write!(out, "{verb} *");
+        }
+        Some(labels) => {
+            let _ = write!(out, "{verb} {}", name_list(labels));
+        }
+    }
+}
+
+fn condition(key: &str, pred: &Predicate) -> String {
+    let key = name(key);
+    match pred {
+        Predicate::Eq(v) => format!("{key} = {}", value(v)),
+        Predicate::Ne(v) => format!("{key} != {}", value(v)),
+        Predicate::Lt(x) => format!("{key} < {}", number(*x)),
+        Predicate::Le(x) => format!("{key} <= {}", number(*x)),
+        Predicate::Gt(x) => format!("{key} > {}", number(*x)),
+        Predicate::Ge(x) => format!("{key} >= {}", number(*x)),
+        Predicate::Contains(s) => format!("{key} CONTAINS {}", quote(s)),
+        Predicate::Exists => format!("{key} EXISTS"),
+        Predicate::Within(vs) => {
+            let items: Vec<String> = vs.iter().map(value).collect();
+            format!("{key} IN ({})", items.join(", "))
+        }
+    }
+}
+
+fn value(v: &Value) -> String {
+    match v {
+        Value::Bool(true) => "TRUE".into(),
+        Value::Bool(false) => "FALSE".into(),
+        Value::Int(n) => n.to_string(),
+        // must reparse as Float, so integral floats keep a ".0"
+        Value::Float(x) => float(*x),
+        Value::Text(s) => quote(s),
+    }
+}
+
+/// A float literal that reparses as [`Value::Float`] (never as an integer).
+fn float(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// A numeric literal for predicates that store `f64` either way — minimal
+/// form, an integral value prints without the fraction.
+fn number(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// A name, quoted only if it would not re-lex as one bare word.
+fn name(s: &str) -> String {
+    let mut chars = s.chars();
+    let bare = match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_alphanumeric() || c == '_') && !is_reserved(s)
+        }
+        // bare integers are valid names too — but only in the form the lexer
+        // would reproduce ("042" re-lexes as 42, so it must be quoted)
+        Some(c) if c.is_ascii_digit() => s
+            .parse::<i64>()
+            .map(|n| n.to_string() == s)
+            .unwrap_or(false),
+        _ => false,
+    };
+    if bare {
+        s.to_owned()
+    } else {
+        quote(s)
+    }
+}
+
+fn name_list(names: &[String]) -> String {
+    let quoted: Vec<String> = names.iter().map(|n| name(n)).collect();
+    quoted.join(", ")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    /// parse → pretty → parse must be a fixpoint: the pretty form reparses,
+    /// re-renders identically, and lowers to the same steps.
+    fn roundtrip(input: &str) {
+        let q1 = parse(input).unwrap_or_else(|e| panic!("{}", e.render(input)));
+        let text = pretty(&q1);
+        let q2 = parse(&text).unwrap_or_else(|e| panic!("{text:?}: {}", e.render(&text)));
+        assert_eq!(pretty(&q2), text, "pretty is not a fixpoint for {input:?}");
+        assert_eq!(
+            lower(&q1).unwrap().steps,
+            lower(&q2).unwrap().steps,
+            "lowering diverged for {input:?}"
+        );
+        assert_eq!(lower(&q1).unwrap().start, lower(&q2).unwrap().start);
+    }
+
+    #[test]
+    fn roundtrips_cover_the_grammar() {
+        for q in [
+            "FROM *",
+            "FROM marko",
+            "FROM person:marko, vadas",
+            r#"FROM (age > 30)"#,
+            r#"FROM ("kind" = "person")"#,
+            "FROM * OUT * IN knows BOTH a, b DEDUP LIMIT 3",
+            "FROM marko MATCH -[knows+·created]->",
+            "FROM marko MATCH REACHABLE -[_+]->",
+            "FROM marko MATCH GLOBAL -[(a|b)*]-> WITHIN 5",
+            "FROM lop MATCH <-[created·knows]-",
+            r#"FROM marko MATCH -[knows+]-> WHERE dst.lang = "java" CHEAPEST BY weight LIMIT 3"#,
+            "FROM marko MATCH -[a]-> WIDEST BY LABELS(knows = 1.0, created = 2.5)",
+            "FROM marko MATCH -[a]-> WITHIN 7 CHEAPEST",
+            r#"FROM * REPEAT {0,3} ( OUT knows DEDUP ) UNTIL lang = "java""#,
+            "FROM * REPEAT {1,2} ( MATCH -[x]-> CHEAPEST BY w )",
+            r#"FROM * WHERE a = 1 WHERE b != 2.5 WHERE c < 3 WHERE d >= 6.5 WHERE g CONTAINS "x" WHERE h EXISTS WHERE i IN ("a", 2, TRUE, 2.0)"#,
+            r#"FROM "out" OUT "in" IS "where", x9"#,
+            "FROM * OUT * COUNT",
+            "FROM * EXISTS",
+            "EXPLAIN FROM marko OUT knows FIRST",
+            "FROM 42 OUT knows",
+        ] {
+            roundtrip(q);
+        }
+    }
+
+    #[test]
+    fn sugar_canonicalises() {
+        let q = parse("from marko match -[k]-> top 5 count").unwrap();
+        assert_eq!(pretty(&q), "FROM marko MATCH -[k]-> LIMIT 5 COUNT");
+        let q = parse(r#"FROM * WHERE dst.lang = "java""#).unwrap();
+        assert_eq!(pretty(&q), r#"FROM * WHERE lang = "java""#);
+    }
+
+    #[test]
+    fn floats_and_ints_stay_distinct_through_the_roundtrip() {
+        let q1 = parse("FROM * WHERE a = 2").unwrap();
+        let q2 = parse("FROM * WHERE a = 2.0").unwrap();
+        assert_ne!(q1, q2);
+        assert_eq!(parse(&pretty(&q1)).unwrap().clauses, q1.clauses);
+        assert_eq!(parse(&pretty(&q2)).unwrap().clauses, q2.clauses);
+    }
+
+    #[test]
+    fn names_quote_only_when_needed() {
+        assert_eq!(name("knows"), "knows");
+        assert_eq!(name("x_9"), "x_9");
+        assert_eq!(name("42"), "42");
+        assert_eq!(name("out"), "\"out\"");
+        assert_eq!(name("a b"), "\"a b\"");
+        assert_eq!(name("a\"b"), "\"a\\\"b\"");
+        assert_eq!(name(""), "\"\"");
+    }
+}

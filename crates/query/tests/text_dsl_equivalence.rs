@@ -1,0 +1,253 @@
+//! Text ≡ DSL: every MRPA-QL statement form must produce row-for-row the
+//! same results as the fluent pipeline verbs it lowers to, under every
+//! execution strategy. 32 seeded random graphs × a template per statement
+//! form; rows are compared exactly (source, path, head, weight), in executor
+//! order, so even ordering divergence between the two frontends would fail.
+
+use mrpa_engine::exec::ExecutionStrategy;
+use mrpa_engine::{classic_social_graph, Predicate, PropertyGraph, Traversal, Value};
+use mrpa_query::compile;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const STRATEGIES: [ExecutionStrategy; 3] = [
+    ExecutionStrategy::Materialized,
+    ExecutionStrategy::Streaming,
+    ExecutionStrategy::Parallel,
+];
+
+const LABELS: [&str; 3] = ["knows", "created", "rated"];
+const LANGS: [&str; 3] = ["java", "ruby", "c"];
+
+/// A seeded random property graph: ~n vertices, ~3n edges, every edge
+/// carries a positive `weight`, every vertex an `age`, `lang`, and `kind`.
+fn random_graph(seed: u64, n: usize) -> PropertyGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = PropertyGraph::new();
+    for i in 0..n {
+        let kind = if rng.gen_bool(0.5) {
+            "person"
+        } else {
+            "software"
+        };
+        g.add_vertex_with(
+            &format!("v{i}"),
+            [
+                ("age", Value::Int(rng.gen_range(10..60))),
+                (
+                    "lang",
+                    Value::Text(LANGS[rng.gen_range(0..LANGS.len())].into()),
+                ),
+                ("kind", Value::Text(kind.into())),
+            ],
+        );
+    }
+    for _ in 0..(3 * n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let label = LABELS[rng.gen_range(0..LABELS.len())];
+        let w = (rng.gen_range(1..100) as f64) / 10.0;
+        g.add_edge_with(
+            &format!("v{a}"),
+            label,
+            &format!("v{b}"),
+            [("weight", Value::Float(w))],
+        );
+    }
+    g
+}
+
+/// Asserts that `text` and the DSL traversal produce identical row vectors
+/// under all three strategies.
+fn assert_equivalent(g: &PropertyGraph, text: &str, dsl: Traversal) {
+    let lowered = compile(text).unwrap_or_else(|e| panic!("{}", e.render(text)));
+    for strategy in STRATEGIES {
+        let from_text = lowered
+            .traversal(g)
+            .strategy(strategy)
+            .execute()
+            .unwrap_or_else(|e| panic!("{text:?} [{strategy:?}]: {e}"));
+        let from_dsl = dsl.clone().strategy(strategy).execute().unwrap();
+        assert_eq!(
+            from_text.rows(),
+            from_dsl.rows(),
+            "text ≠ DSL for {text:?} under {strategy:?}"
+        );
+    }
+    // the lowered steps must BE the DSL's steps — one IR, no translation gap
+    assert_eq!(lowered.steps, dsl.steps(), "steps diverged for {text:?}");
+    assert_eq!(&lowered.start, dsl.start_spec());
+}
+
+#[test]
+fn thirty_two_seeds_of_every_statement_form() {
+    for seed in 0..32u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE ^ seed);
+        let n = rng.gen_range(12..28);
+        let g = random_graph(seed, n);
+        let v = |i: usize| format!("v{i}");
+        let a = v(rng.gen_range(0..n));
+        let b = v(rng.gen_range(0..n));
+        let label = LABELS[rng.gen_range(0..LABELS.len())];
+        let label2 = LABELS[rng.gen_range(0..LABELS.len())];
+        let k = rng.gen_range(1..5);
+        let hops = rng.gen_range(2..4);
+        let age = rng.gen_range(15..55);
+
+        // plain steps: OUT / IN / BOTH, filters, dedup, limit
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} OUT {label}"),
+            Traversal::over(&g).v([a.as_str()]).out([label]),
+        );
+        assert_equivalent(
+            &g,
+            &format!("FROM {a}, {b} IN {label}, {label2} LIMIT {k}"),
+            Traversal::over(&g)
+                .v([a.as_str(), b.as_str()])
+                .in_([label, label2])
+                .limit(k),
+        );
+        assert_equivalent(
+            &g,
+            &format!(r#"FROM (age > {age}) BOTH * WHERE lang = "java" DEDUP"#),
+            Traversal::over(&g)
+                .v_where("age", Predicate::Gt(age as f64))
+                .both_any()
+                .has("lang", Predicate::Eq(Value::Text("java".into())))
+                .dedup(),
+        );
+        assert_equivalent(
+            &g,
+            &format!(r#"FROM * OUT * IS {a}, {b}"#),
+            Traversal::over(&g).out_any().is([a.as_str(), b.as_str()]),
+        );
+
+        // MATCH in all modes and directions
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH -[{label}+]-> WITHIN {hops}"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .match_within(&format!("{label}+"), hops),
+        );
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH <-[{label}·{label2}]- WITHIN {hops}"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .match_in_within(&format!("{label}·{label2}"), hops),
+        );
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH REACHABLE -[({label}|{label2})*]->"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .match_reachable(&format!("({label}|{label2})*")),
+        );
+        assert_equivalent(
+            &g,
+            "FROM * MATCH GLOBAL -[_+]->",
+            Traversal::over(&g).match_reachable_global("_+"),
+        );
+
+        // weighted search: CHEAPEST / WIDEST, property and label weights
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH -[{label}+·{label2}]-> CHEAPEST BY weight TOP {k}"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .cheapest_(&format!("{label}+·{label2}"))
+                .weight_by("weight")
+                .top_k(k),
+        );
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH -[_+]-> WIDEST BY LABELS(knows = 1.0, created = 2.0, rated = 0.5) TOP {k}"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .widest_("_+")
+                .weight_by_labels([("knows", 1.0), ("created", 2.0), ("rated", 0.5)])
+                .top_k(k),
+        );
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} MATCH -[{label}+]-> WITHIN {hops} CHEAPEST"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .cheapest_within(&format!("{label}+"), hops),
+        );
+
+        // REPEAT with and without UNTIL
+        assert_equivalent(
+            &g,
+            &format!("FROM {a} REPEAT {{1,{hops}}} ( OUT {label} )"),
+            Traversal::over(&g)
+                .v([a.as_str()])
+                .repeat(1..=hops, |p| p.out([label])),
+        );
+        assert_equivalent(
+            &g,
+            &format!(r#"FROM {a} REPEAT {{0,{hops}}} ( OUT * ) UNTIL lang = "java""#),
+            Traversal::over(&g).v([a.as_str()]).repeat_until(
+                hops,
+                "lang",
+                Predicate::Eq(Value::Text("java".into())),
+                |p| p.out_any(),
+            ),
+        );
+    }
+}
+
+#[test]
+fn terminals_agree_with_the_dsl() {
+    let g = classic_social_graph();
+    let q = compile("FROM marko MATCH -[knows+·created]-> COUNT").unwrap();
+    let t = Traversal::over(&g).v(["marko"]).match_("knows+·created");
+    assert_eq!(q.traversal(&g).count().unwrap(), t.count().unwrap());
+
+    let q = compile("FROM vadas OUT created EXISTS").unwrap();
+    assert!(!q.traversal(&g).exists().unwrap());
+
+    let q = compile("FROM marko MATCH -[knows+]-> FIRST").unwrap();
+    let row = q.traversal(&g).first().unwrap().unwrap();
+    let dsl_row = t
+        .clone()
+        .with_steps(mrpa_query::compile_steps("FROM marko MATCH -[knows+]->").unwrap())
+        .first()
+        .unwrap()
+        .unwrap();
+    assert_eq!(row, dsl_row);
+}
+
+#[test]
+fn explain_matches_the_dsl_plan() {
+    let g = classic_social_graph();
+    let q =
+        compile("EXPLAIN FROM marko MATCH -[knows+·created]-> CHEAPEST BY weight TOP 2").unwrap();
+    assert!(q.explain);
+    let text_report = q.traversal(&g).explain().unwrap();
+    let dsl_report = Traversal::over(&g)
+        .v(["marko"])
+        .cheapest_("knows+·created")
+        .weight_by("weight")
+        .top_k(2)
+        .explain()
+        .unwrap();
+    assert_eq!(format!("{text_report:?}"), format!("{dsl_report:?}"));
+}
+
+#[test]
+fn the_headline_query_runs_on_the_classic_graph() {
+    let g = classic_social_graph();
+    let q = compile(
+        r#"FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3"#,
+    )
+    .unwrap();
+    let r = q.traversal(&g).execute().unwrap();
+    // cheapest-first per source: lop (1.4 via josh) before ripple (2.0)
+    assert_eq!(r.head_names(), vec!["lop", "ripple"]);
+    let w: Vec<f64> = r.weights().into_iter().flatten().collect();
+    assert!((w[0] - 1.4).abs() < 1e-9);
+    assert!((w[1] - 2.0).abs() < 1e-9);
+}

@@ -2,12 +2,19 @@
 
 use core::fmt;
 
+use crate::span::SyntaxError;
+
 /// Errors raised while parsing or evaluating regular path expressions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RegexError {
-    /// A syntax error in the textual regex notation.
+    /// A semantic error in the textual regex notation (for example a
+    /// repetition with `min > max`, or a bound past the unrolling limit).
     Parse(String),
+    /// A structural syntax error, carrying the byte span of the offending
+    /// token and the expected-token set (see [`SyntaxError::render`] for the
+    /// caret diagnostic).
+    Syntax(SyntaxError),
     /// An edge-set position referenced a vertex name that is not interned in
     /// the graph the expression is being resolved against.
     UnknownVertexName(String),
@@ -16,10 +23,30 @@ pub enum RegexError {
     UnknownLabelName(String),
 }
 
+impl RegexError {
+    /// Renders the error against the source text it came from: syntax errors
+    /// get the two-line caret diagnostic, everything else the plain message.
+    ///
+    /// ```
+    /// use mrpa_regex::parse_label_expr;
+    /// let err = parse_label_expr("knows |").unwrap_err();
+    /// let diag = err.render("knows |");
+    /// assert!(diag.contains("knows |"));
+    /// assert!(diag.contains('^'));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        match self {
+            RegexError::Syntax(e) => e.render(source),
+            other => other.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for RegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegexError::Parse(msg) => write!(f, "regex parse error: {msg}"),
+            RegexError::Syntax(e) => write!(f, "regex syntax error: {e}"),
             RegexError::UnknownVertexName(n) => write!(f, "unknown vertex name {n:?}"),
             RegexError::UnknownLabelName(n) => write!(f, "unknown label name {n:?}"),
         }

@@ -50,6 +50,7 @@ pub mod minimize;
 pub mod nfa;
 pub mod parser;
 pub mod recognizer;
+pub mod span;
 
 pub use ast::{EdgeMatcher, PathRegex};
 pub use dfa::{Dfa, EdgeClassifier};
@@ -60,6 +61,7 @@ pub use minimize::minimize;
 pub use nfa::{Nfa, StateId, Transition, TransitionLabel};
 pub use parser::{parse, parse_label_expr};
 pub use recognizer::{Recognizer, RecognizerStrategy};
+pub use span::{render_caret, Span, SyntaxError};
 
 /// Convenient glob import: `use mrpa_regex::prelude::*;`.
 pub mod prelude {

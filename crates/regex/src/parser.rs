@@ -30,25 +30,25 @@
 //! names (or `_` for any label) instead of edge sets, e.g. `knows+·created`.
 //! Label expressions are graph-independent — names are resolved later, when
 //! the expression is bound to a snapshot via [`LabelExpr::resolve`].
+//!
+//! Syntax errors are reported as [`RegexError::Syntax`], carrying the byte
+//! [`Span`] of the offending token plus the expected-token set, and render as
+//! caret diagnostics via [`crate::span::SyntaxError::render`].
 
 use mrpa_core::{EdgePattern, NamedGraph, Position};
 
 use crate::ast::PathRegex;
 use crate::error::RegexError;
 use crate::label_regex::LabelExpr;
+use crate::span::{Span, SyntaxError};
 
 /// Parses the textual syntax into a [`PathRegex`], resolving names against
 /// the graph's interner.
 pub fn parse(input: &str, graph: &NamedGraph) -> Result<PathRegex, RegexError> {
-    let mut c = Cursor {
-        tokens: tokenize(input)?,
-        pos: 0,
-    };
-    let regex = parse_union_level(&mut c, &mut |c, token| match token {
+    let mut c = Cursor::new(input)?;
+    let regex = parse_union_level(&mut c, &mut |c, token, span| match token {
         Token::LBracket => parse_edge_set(c, graph),
-        other => Err(RegexError::Parse(format!(
-            "expected an atom, found {other:?}"
-        ))),
+        other => Err(syntax(span, describe(&other), ["an edge set '['"])),
     })?;
     c.finish()?;
     Ok(regex)
@@ -75,120 +75,165 @@ enum Token {
     Int(usize),
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, RegexError> {
+/// Human description of a token for expected/found diagnostics.
+fn describe(token: &Token) -> String {
+    match token {
+        Token::LParen => "'('".to_owned(),
+        Token::RParen => "')'".to_owned(),
+        Token::LBracket => "'['".to_owned(),
+        Token::RBracket => "']'".to_owned(),
+        Token::LBrace => "'{'".to_owned(),
+        Token::RBrace => "'}'".to_owned(),
+        Token::Comma => "','".to_owned(),
+        Token::Dot => "'.'".to_owned(),
+        Token::Pipe => "'|'".to_owned(),
+        Token::Star => "'*'".to_owned(),
+        Token::Plus => "'+'".to_owned(),
+        Token::Question => "'?'".to_owned(),
+        Token::Underscore => "'_'".to_owned(),
+        Token::Eps => "'eps'".to_owned(),
+        Token::Empty => "'empty'".to_owned(),
+        Token::Name(n) => format!("name {n:?}"),
+        Token::Int(n) => format!("integer {n}"),
+    }
+}
+
+fn syntax(
+    span: Span,
+    found: impl Into<String>,
+    expected: impl IntoIterator<Item = impl Into<String>>,
+) -> RegexError {
+    RegexError::Syntax(SyntaxError::new(span, found, expected))
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '-' || c == '_'
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, Span)>, RegexError> {
     let mut tokens = Vec::new();
-    let mut chars = input.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut iter = input.char_indices().peekable();
+    while let Some(&(start, c)) = iter.peek() {
+        let single = |t: Token| (t, Span::new(start, start + c.len_utf8()));
         match c {
             c if c.is_whitespace() => {
-                chars.next();
+                iter.next();
             }
             '(' => {
-                chars.next();
-                tokens.push(Token::LParen);
+                iter.next();
+                tokens.push(single(Token::LParen));
             }
             ')' => {
-                chars.next();
-                tokens.push(Token::RParen);
+                iter.next();
+                tokens.push(single(Token::RParen));
             }
             '[' => {
-                chars.next();
-                tokens.push(Token::LBracket);
+                iter.next();
+                tokens.push(single(Token::LBracket));
             }
             ']' => {
-                chars.next();
-                tokens.push(Token::RBracket);
+                iter.next();
+                tokens.push(single(Token::RBracket));
             }
             '{' => {
-                chars.next();
-                tokens.push(Token::LBrace);
+                iter.next();
+                tokens.push(single(Token::LBrace));
             }
             '}' => {
-                chars.next();
-                tokens.push(Token::RBrace);
+                iter.next();
+                tokens.push(single(Token::RBrace));
             }
             ',' => {
-                chars.next();
-                tokens.push(Token::Comma);
+                iter.next();
+                tokens.push(single(Token::Comma));
             }
             '.' | '·' => {
-                chars.next();
-                tokens.push(Token::Dot);
+                iter.next();
+                tokens.push(single(Token::Dot));
             }
             '|' => {
-                chars.next();
-                tokens.push(Token::Pipe);
+                iter.next();
+                tokens.push(single(Token::Pipe));
             }
             '*' => {
-                chars.next();
-                tokens.push(Token::Star);
+                iter.next();
+                tokens.push(single(Token::Star));
             }
             '+' => {
-                chars.next();
-                tokens.push(Token::Plus);
+                iter.next();
+                tokens.push(single(Token::Plus));
             }
             '?' => {
-                chars.next();
-                tokens.push(Token::Question);
+                iter.next();
+                tokens.push(single(Token::Question));
             }
             '_' => {
                 // a standalone `_` is the any-label wildcard; `_` followed by
                 // a name character starts a name (labels like `works_for`)
-                let mut lookahead = chars.clone();
+                let mut lookahead = iter.clone();
                 lookahead.next();
                 match lookahead.peek() {
-                    Some(&d) if d.is_alphanumeric() || d == '-' || d == '_' => {
-                        let mut name = String::new();
-                        while let Some(&d) = chars.peek() {
-                            if d.is_alphanumeric() || d == '-' || d == '_' {
-                                name.push(d);
-                                chars.next();
-                            } else {
-                                break;
-                            }
-                        }
-                        tokens.push(Token::Name(name));
+                    Some(&(_, d)) if is_name_char(d) => {
+                        let (name, span) = scan_name(&mut iter, start);
+                        tokens.push((Token::Name(name), span));
                     }
                     _ => {
-                        chars.next();
-                        tokens.push(Token::Underscore);
+                        iter.next();
+                        tokens.push(single(Token::Underscore));
                     }
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut n = 0usize;
-                while let Some(&d) = chars.peek() {
+                let mut end = start;
+                while let Some(&(i, d)) = iter.peek() {
                     if d.is_ascii_digit() {
                         n = n * 10 + (d as usize - '0' as usize);
-                        chars.next();
+                        end = i + d.len_utf8();
+                        iter.next();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Token::Int(n));
+                tokens.push((Token::Int(n), Span::new(start, end)));
             }
             c if c.is_alphanumeric() => {
-                let mut name = String::new();
-                while let Some(&d) = chars.peek() {
-                    if d.is_alphanumeric() || d == '-' || d == '_' {
-                        name.push(d);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                match name.as_str() {
-                    "eps" | "epsilon" => tokens.push(Token::Eps),
-                    "empty" => tokens.push(Token::Empty),
-                    _ => tokens.push(Token::Name(name)),
-                }
+                let (name, span) = scan_name(&mut iter, start);
+                let token = match name.as_str() {
+                    "eps" | "epsilon" => Token::Eps,
+                    "empty" => Token::Empty,
+                    _ => Token::Name(name),
+                };
+                tokens.push((token, span));
             }
             other => {
-                return Err(RegexError::Parse(format!("unexpected character {other:?}")));
+                return Err(syntax(
+                    Span::new(start, start + other.len_utf8()),
+                    format!("unexpected character {other:?}"),
+                    ["a pattern token"],
+                ));
             }
         }
     }
     Ok(tokens)
+}
+
+fn scan_name(
+    iter: &mut core::iter::Peekable<core::str::CharIndices<'_>>,
+    start: usize,
+) -> (String, Span) {
+    let mut name = String::new();
+    let mut end = start;
+    while let Some(&(i, d)) = iter.peek() {
+        if is_name_char(d) {
+            name.push(d);
+            end = i + d.len_utf8();
+            iter.next();
+        } else {
+            break;
+        }
+    }
+    (name, Span::new(start, end))
 }
 
 /// The operator vocabulary shared by both regex surface syntaxes. The
@@ -262,16 +307,48 @@ impl RegexSyntax for LabelExpr {
 }
 
 struct Cursor {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, Span)>,
     pos: usize,
+    /// Byte length of the source, for end-of-input spans.
+    eoi: usize,
 }
 
 impl Cursor {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+    fn new(input: &str) -> Result<Self, RegexError> {
+        Ok(Cursor {
+            tokens: tokenize(input)?,
+            pos: 0,
+            eoi: input.len(),
+        })
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Span of the token the cursor currently points at, or a zero-width
+    /// span at end of input.
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| Span::point(self.eoi))
+    }
+
+    /// Description of the token the cursor currently points at.
+    fn found_here(&self) -> String {
+        self.tokens
+            .get(self.pos)
+            .map(|(t, _)| describe(t))
+            .unwrap_or_else(|| "end of input".to_owned())
+    }
+
+    /// A syntax error at the current position with the given expected set.
+    fn unexpected(&self, expected: impl IntoIterator<Item = impl Into<String>>) -> RegexError {
+        syntax(self.span_here(), self.found_here(), expected)
+    }
+
+    fn next(&mut self) -> Option<(Token, Span)> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -280,28 +357,27 @@ impl Cursor {
     }
 
     fn expect(&mut self, token: Token) -> Result<(), RegexError> {
-        match self.next() {
-            Some(t) if t == token => Ok(()),
-            other => Err(RegexError::Parse(format!(
-                "expected {token:?}, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(t) if *t == token => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.unexpected([describe(&token)])),
         }
     }
 
     fn finish(&self) -> Result<(), RegexError> {
         if self.pos != self.tokens.len() {
-            return Err(RegexError::Parse(format!(
-                "unexpected trailing input at token {}",
-                self.pos
-            )));
+            return Err(self.unexpected(["end of input"]));
         }
         Ok(())
     }
 }
 
 /// A language-specific atom rule: receives the already-consumed first token
-/// of the atom (never `(`, `eps`, or `empty` — those are handled generically).
-type LeafRule<'g, A> = dyn FnMut(&mut Cursor, Token) -> Result<A, RegexError> + 'g;
+/// of the atom and its span (never `(`, `eps`, or `empty` — those are
+/// handled generically).
+type LeafRule<'g, A> = dyn FnMut(&mut Cursor, Token, Span) -> Result<A, RegexError> + 'g;
 
 fn parse_union_level<A: RegexSyntax>(
     c: &mut Cursor,
@@ -364,17 +440,15 @@ fn parse_atom_level<A: RegexSyntax>(
     leaf: &mut LeafRule<'_, A>,
 ) -> Result<A, RegexError> {
     match c.next() {
-        Some(Token::LParen) => {
+        Some((Token::LParen, _)) => {
             let inner = parse_union_level(c, leaf)?;
             c.expect(Token::RParen)?;
             Ok(inner)
         }
-        Some(Token::Eps) => Ok(A::syntax_eps()),
-        Some(Token::Empty) => Ok(A::syntax_empty()),
-        Some(token) => leaf(c, token),
-        None => Err(RegexError::Parse(
-            "expected an atom, found end of input".to_owned(),
-        )),
+        Some((Token::Eps, _)) => Ok(A::syntax_eps()),
+        Some((Token::Empty, _)) => Ok(A::syntax_empty()),
+        Some((token, span)) => leaf(c, token, span),
+        None => Err(syntax(Span::point(c.eoi), "end of input", ["an atom"])),
     }
 }
 
@@ -388,24 +462,28 @@ pub const MAX_PARSED_REPETITION: usize = 512;
 /// `{n}` yields `(n, n)`, `{min,max}` yields `(min, max)` after validating
 /// `min <= max` and `max <=` [`MAX_PARSED_REPETITION`].
 fn parse_repetition(c: &mut Cursor) -> Result<(usize, usize), RegexError> {
-    let min = match c.next() {
-        Some(Token::Int(n)) => n,
-        other => {
-            return Err(RegexError::Parse(format!(
-                "expected repetition count, found {other:?}"
-            )))
+    let min = match c.peek() {
+        Some(Token::Int(n)) => {
+            let n = *n;
+            c.next();
+            n
         }
+        _ => return Err(c.unexpected(["a repetition count"])),
     };
-    let bounds = match c.next() {
-        Some(Token::RBrace) => (min, min),
+    let bounds = match c.peek() {
+        Some(Token::RBrace) => {
+            c.next();
+            (min, min)
+        }
         Some(Token::Comma) => {
-            let max = match c.next() {
-                Some(Token::Int(n)) => n,
-                other => {
-                    return Err(RegexError::Parse(format!(
-                        "expected repetition upper bound, found {other:?}"
-                    )))
+            c.next();
+            let max = match c.peek() {
+                Some(Token::Int(n)) => {
+                    let n = *n;
+                    c.next();
+                    n
                 }
+                _ => return Err(c.unexpected(["a repetition upper bound"])),
             };
             c.expect(Token::RBrace)?;
             if min > max {
@@ -415,11 +493,7 @@ fn parse_repetition(c: &mut Cursor) -> Result<(usize, usize), RegexError> {
             }
             (min, max)
         }
-        other => {
-            return Err(RegexError::Parse(format!(
-                "expected '}}' or ',' in repetition, found {other:?}"
-            )))
-        }
+        _ => return Err(c.unexpected(["'}'", "','"])),
     };
     if bounds.1 > MAX_PARSED_REPETITION {
         return Err(RegexError::Parse(format!(
@@ -461,13 +535,23 @@ fn parse_edge_set(c: &mut Cursor, graph: &NamedGraph) -> Result<PathRegex, Regex
 }
 
 fn parse_pos(c: &mut Cursor) -> Result<Option<String>, RegexError> {
-    match c.next() {
-        Some(Token::Underscore) => Ok(None),
-        Some(Token::Name(n)) => Ok(Some(n)),
-        Some(Token::Int(n)) => Ok(Some(n.to_string())),
-        other => Err(RegexError::Parse(format!(
-            "expected '_' or a name in edge set, found {other:?}"
-        ))),
+    match c.peek() {
+        Some(Token::Underscore) => {
+            c.next();
+            Ok(None)
+        }
+        Some(Token::Name(_)) => {
+            let Some((Token::Name(n), _)) = c.next() else {
+                unreachable!("peeked a name")
+            };
+            Ok(Some(n))
+        }
+        Some(Token::Int(n)) => {
+            let n = *n;
+            c.next();
+            Ok(Some(n.to_string()))
+        }
+        _ => Err(c.unexpected(["'_'", "a name"])),
     }
 }
 
@@ -476,17 +560,16 @@ fn parse_pos(c: &mut Cursor) -> Result<Option<String>, RegexError> {
 /// [`LabelExpr`]. Same operator grammar as [`parse`], but atoms are bare
 /// label names or the wildcard `_` instead of `[t, l, h]` edge sets.
 pub fn parse_label_expr(input: &str) -> Result<LabelExpr, RegexError> {
-    let mut c = Cursor {
-        tokens: tokenize(input)?,
-        pos: 0,
-    };
-    let expr = parse_union_level(&mut c, &mut |_c, token| match token {
+    let mut c = Cursor::new(input)?;
+    let expr = parse_union_level(&mut c, &mut |_c, token, span| match token {
         Token::Underscore => Ok(LabelExpr::Any),
         Token::Name(n) => Ok(LabelExpr::Name(n)),
         Token::Int(n) => Ok(LabelExpr::Name(n.to_string())),
-        other => Err(RegexError::Parse(format!(
-            "expected a label name, '_', or '(', found {other:?}"
-        ))),
+        other => Err(syntax(
+            span,
+            describe(&other),
+            ["a label name", "'_'", "'('"],
+        )),
     })?;
     c.finish()?;
     Ok(expr)
@@ -589,17 +672,58 @@ mod tests {
     #[test]
     fn syntax_errors_are_reported() {
         let g = paper_named_graph();
-        assert!(matches!(parse("[i, alpha", &g), Err(RegexError::Parse(_))));
-        assert!(matches!(parse("", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("[i, alpha", &g), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("", &g), Err(RegexError::Syntax(_))));
         assert!(matches!(
             parse("[i, alpha, _] extra!", &g),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
         assert!(matches!(
             parse("[i, alpha, _]{x}", &g),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
-        assert!(matches!(parse("!!", &g), Err(RegexError::Parse(_))));
+        assert!(matches!(parse("!!", &g), Err(RegexError::Syntax(_))));
+    }
+
+    #[test]
+    fn syntax_errors_carry_byte_spans_and_expected_sets() {
+        let g = paper_named_graph();
+        // truncated edge set: error is a zero-width span at end of input
+        let Err(RegexError::Syntax(e)) = parse("[i, alpha", &g) else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!(e.span, crate::span::Span::point(9));
+        assert_eq!(e.found, "end of input");
+        assert!(!e.expected.is_empty());
+
+        // bad character: span covers exactly the offending byte
+        let Err(RegexError::Syntax(e)) = parse("!!", &g) else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!((e.span.start, e.span.end), (0, 1));
+
+        // trailing input: span points at the first unconsumed token
+        let input = "[i, alpha, _] extra";
+        let Err(RegexError::Syntax(e)) = parse(input, &g) else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!(e.span.start, input.find("extra").unwrap());
+        assert_eq!(e.expected, vec!["end of input".to_owned()]);
+        // the caret diagnostic points into the source line
+        let rendered = e.render(input);
+        assert!(rendered.contains("[i, alpha, _] extra"));
+        assert!(rendered.contains("^~~~~"));
+    }
+
+    #[test]
+    fn label_expr_spans_survive_multibyte_operators() {
+        // `·` is multi-byte; the span after it must still be byte-accurate
+        let input = "knows·+";
+        let Err(RegexError::Syntax(e)) = parse_label_expr(input) else {
+            panic!("expected a syntax error");
+        };
+        assert_eq!(e.span.start, input.find('+').unwrap());
+        assert_eq!(&input[e.span.start..e.span.end], "+");
     }
 
     #[test]
@@ -695,26 +819,27 @@ mod tests {
 
     #[test]
     fn label_expr_syntax_errors_are_reported() {
-        assert!(matches!(parse_label_expr(""), Err(RegexError::Parse(_))));
+        assert!(matches!(parse_label_expr(""), Err(RegexError::Syntax(_))));
         assert!(matches!(
             parse_label_expr("knows |"),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
         assert!(matches!(
             parse_label_expr("(knows"),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
+        // min > max is a *semantic* error, not a syntax error
         assert!(matches!(
             parse_label_expr("knows{2,1}"),
             Err(RegexError::Parse(_))
         ));
         assert!(matches!(
             parse_label_expr("knows created"),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
         assert!(matches!(
             parse_label_expr("[i, alpha, j]"),
-            Err(RegexError::Parse(_))
+            Err(RegexError::Syntax(_))
         ));
     }
 

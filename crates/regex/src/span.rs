@@ -1,0 +1,235 @@
+//! Source spans and caret diagnostics for the textual regex syntaxes.
+//!
+//! Both surface grammars of this crate ([`crate::parse`] and
+//! [`crate::parse_label_expr`]) and the MRPA-QL frontend built on top of
+//! them report syntax errors as a [`SyntaxError`]: a byte [`Span`] into the
+//! source text, a description of what was *found* there, and the set of
+//! token descriptions that were *expected* instead. [`render_caret`] turns a
+//! span back into the familiar two-line `source` + `^~~~` diagnostic so every
+//! textual entry point (pattern strings, `match_()`, the query language, the
+//! server protocol) prints the same shape of error.
+
+use core::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// ```
+/// use mrpa_regex::span::Span;
+/// let s = Span::new(6, 11);
+/// assert_eq!(s.len(), 5);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last covered character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos` (used for end-of-input diagnostics).
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes (a pure position).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Returns this span shifted right by `offset` bytes — used when a
+    /// pattern string is embedded inside a larger query text and errors must
+    /// point into the outer source.
+    pub fn offset(&self, offset: usize) -> Self {
+        Span {
+            start: self.start + offset,
+            end: self.end + offset,
+        }
+    }
+}
+
+/// A structured syntax error: where it happened, what was found there, and
+/// what the parser would have accepted instead.
+///
+/// ```
+/// use mrpa_regex::{parse_label_expr, RegexError};
+/// let err = parse_label_expr("knows |").unwrap_err();
+/// let RegexError::Syntax(syntax) = err else { panic!("expected a syntax error") };
+/// assert_eq!(syntax.span.start, 7); // end of input
+/// assert!(!syntax.expected.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Where in the source text the error occurred.
+    pub span: Span,
+    /// Human description of the offending token (or `"end of input"`).
+    pub found: String,
+    /// Descriptions of the tokens that would have been accepted here.
+    pub expected: Vec<String>,
+}
+
+impl SyntaxError {
+    /// Builds a syntax error at `span`.
+    pub fn new(
+        span: Span,
+        found: impl Into<String>,
+        expected: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        SyntaxError {
+            span,
+            found: found.into(),
+            expected: expected.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The one-line message: `expected X, Y, or Z, found W at byte N`.
+    pub fn message(&self) -> String {
+        format!(
+            "expected {}, found {} at byte {}",
+            join_alternatives(&self.expected),
+            self.found,
+            self.span.start
+        )
+    }
+
+    /// Renders the full two-part diagnostic: message plus the caret line
+    /// pointing into `source`. `source` must be the text the span indexes.
+    pub fn render(&self, source: &str) -> String {
+        format!("{}\n{}", self.message(), render_caret(source, self.span))
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message())
+    }
+}
+
+fn join_alternatives(alts: &[String]) -> String {
+    match alts {
+        [] => "nothing".to_owned(),
+        [one] => one.clone(),
+        [a, b] => format!("{a} or {b}"),
+        [init @ .., last] => format!("{}, or {last}", init.join(", ")),
+    }
+}
+
+/// Renders the source line containing `span` with a `^~~~` caret underneath.
+///
+/// The caret starts under the span's first character and extends for the
+/// span's width (at least one `^`); a zero-width span (end of input) points
+/// one past the last character. Columns are counted in characters so the
+/// caret lines up even when the source contains multi-byte glyphs like `·`.
+///
+/// ```
+/// use mrpa_regex::span::{render_caret, Span};
+/// let src = "knows+·created";
+/// let span = Span::new(src.find("created").unwrap(), src.len());
+/// assert_eq!(render_caret(src, span), "  | knows+·created\n  |        ^~~~~~~");
+/// ```
+pub fn render_caret(source: &str, span: Span) -> String {
+    // locate the line containing the span start (clamped into the source,
+    // nudged down to a char boundary so arbitrary offsets cannot panic)
+    let mut start = span.start.min(source.len());
+    while start > 0 && !source.is_char_boundary(start) {
+        start -= 1;
+    }
+    let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    let line = &source[line_start..line_end];
+
+    let col = source[line_start..start].chars().count();
+    let mut span_end = span.end.clamp(start, line_end);
+    while span_end > start && !source.is_char_boundary(span_end) {
+        span_end -= 1;
+    }
+    let width = source[start..span_end].chars().count().max(1);
+
+    let mut out = String::new();
+    out.push_str("  | ");
+    out.push_str(line);
+    out.push_str("\n  | ");
+    for _ in 0..col {
+        out.push(' ');
+    }
+    out.push('^');
+    for _ in 1..width {
+        out.push('~');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::new(1, 2).offset(10), Span::new(11, 12));
+    }
+
+    #[test]
+    fn caret_points_at_single_character() {
+        let diag = render_caret("knows |", Span::new(6, 7));
+        assert_eq!(diag, "  | knows |\n  |       ^");
+    }
+
+    #[test]
+    fn caret_extends_over_wide_spans() {
+        let diag = render_caret("abc defg h", Span::new(4, 8));
+        assert_eq!(diag, "  | abc defg h\n  |     ^~~~");
+    }
+
+    #[test]
+    fn zero_width_span_points_past_the_end() {
+        let diag = render_caret("knows", Span::point(5));
+        assert_eq!(diag, "  | knows\n  |      ^");
+    }
+
+    #[test]
+    fn caret_counts_characters_not_bytes() {
+        // '·' is two bytes; the caret must still land under 'x'
+        let src = "a·x";
+        let x = src.find('x').unwrap();
+        let diag = render_caret(src, Span::new(x, x + 1));
+        assert_eq!(diag, "  | a·x\n  |   ^");
+    }
+
+    #[test]
+    fn multiline_sources_show_only_the_offending_line() {
+        let src = "first\nsecond line\nthird";
+        let pos = src.find("line").unwrap();
+        let diag = render_caret(src, Span::new(pos, pos + 4));
+        assert_eq!(diag, "  | second line\n  |        ^~~~");
+    }
+
+    #[test]
+    fn message_joins_expected_alternatives() {
+        let e = SyntaxError::new(Span::point(3), "end of input", ["'('", "a name", "'_'"]);
+        assert!(e.message().contains("'(', a name, or '_'"));
+        assert!(e.to_string().contains("byte 3"));
+        let r = e.render("abc");
+        assert!(r.contains("^"));
+    }
+}

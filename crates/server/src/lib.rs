@@ -1,0 +1,954 @@
+//! # mrpa-server — a concurrent multi-client MRPA-QL query server
+//!
+//! A small TCP server that speaks **newline-delimited JSON**: each request is
+//! one JSON object on one line, each response is one JSON object on one line.
+//! Readers run concurrently against O(1) copy-on-write
+//! [`snapshot`](mrpa_engine::PropertyGraph::snapshot)s of a shared
+//! [`PropertyGraph`] — a query never blocks a mutation and a mutation never
+//! invalidates a running query — while mutations are serialised through a
+//! single *claimed writer* session.
+//!
+//! ## Protocol
+//!
+//! Requests carry an `op` field; every response echoes the request's `id`
+//! (if present) and carries `ok`, `elapsed_us`, per-session counters
+//! (`session.queries` / `session.rows` / `session.errors`), and live store
+//! counters (`store.generation` / `store.live_snapshots` /
+//! `store.deep_clones`).
+//!
+//! | `op`             | request fields                                               | response payload                         |
+//! |------------------|--------------------------------------------------------------|------------------------------------------|
+//! | `query`          | `query`, `timeout_ms?`, `strategy?`, `threads?`, `max_intermediate?` | `rows`/`count`/`exists`/`row`/`plan` |
+//! | `ping`           | —                                                            | `pong: true`                             |
+//! | `stats`          | —                                                            | `vertices`, `edges`, full `store` block  |
+//! | `claim_writer`   | —                                                            | `writer: <session id>`                   |
+//! | `release_writer` | —                                                            | `writer: null`                           |
+//! | `add_vertex`     | `name`, `props?`                                             | `vertex: <name>` (writer-gated)          |
+//! | `add_edge`       | `tail`, `label`, `head`, `props?`                            | `edge: [tail,label,head]` (writer-gated) |
+//! | `close`          | —                                                            | `closing: true`, then disconnect         |
+//!
+//! Failures come back as `ok: false` with an `error` object whose `kind` is
+//! `"parse"` (MRPA-QL syntax errors, with a byte `span` and a rendered caret
+//! `diagnostic`), `"timeout"` (the deadline cancelled the traversal — the
+//! store is *not* poisoned and the session keeps working), `"bound"`
+//! (`max_intermediate` admission control), `"engine"` (any other traversal
+//! error), or `"protocol"` (malformed request).
+//!
+//! ## Concurrency model
+//!
+//! One thread per connection. Query execution takes an O(1) snapshot and
+//! runs entirely against it, so any number of readers proceed in parallel;
+//! `store.live_snapshots` in responses reports how many generations are
+//! pinned right now. Mutating ops require the session to have claimed the
+//! single writer slot (`claim_writer`), which is released explicitly or on
+//! disconnect. Deadlines ride the engine's cooperative cancellation: an
+//! overrunning traversal fails with a `"timeout"` error at its next pull,
+//! mid-frontier, without poisoning anything.
+//!
+//! ```
+//! use mrpa_engine::classic_social_graph;
+//! use mrpa_server::{serve, Client, ServerConfig};
+//!
+//! let server = serve(classic_social_graph(), ServerConfig::default(), "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client
+//!     .request(r#"{"op":"query","query":"FROM marko OUT knows LIMIT 2"}"#)
+//!     .unwrap();
+//! assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! assert_eq!(reply.get("rows").and_then(|v| v.as_array()).unwrap().len(), 2);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mrpa_engine::exec::ExecutionStrategy;
+use mrpa_engine::{EngineError, PropertyGraph, ResultRow, Traversal, Value as GraphValue};
+use mrpa_query::{QueryError, Terminal};
+
+use json::{object, Value};
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server-side execution limits applied to every request.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Admission control: an upper bound on any traversal's intermediate
+    /// result size. A request asking for more is clamped down to this; a
+    /// request asking for less keeps its own, tighter cap.
+    pub max_intermediate: Option<usize>,
+    /// Deadline applied to queries that do not send their own `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+}
+
+struct Shared {
+    graph: PropertyGraph,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// The session currently holding the single writer slot.
+    writer: Mutex<Option<u64>>,
+    next_session: AtomicU64,
+}
+
+/// A running server: the bound address plus the handles needed to stop it.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for RunningServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunningServer {
+    /// The address the server is listening on (useful with `127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served graph — the same shared store the connections see, so a
+    /// test or bench can take snapshots / read [`mrpa_engine::StoreStats`]
+    /// out-of-band.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.shared.graph
+    }
+
+    /// Stops accepting, unblocks every connection, and joins all threads.
+    /// In-flight requests finish; idle connections notice within one poll
+    /// interval.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list"));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+/// Starts serving `graph` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port), one thread per connection. The graph handle is shared, not copied:
+/// the caller may keep their own clone and mutate alongside the server.
+pub fn serve(
+    graph: PropertyGraph,
+    config: ServerConfig,
+    addr: impl ToSocketAddrs,
+) -> io::Result<RunningServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        graph,
+        config,
+        shutdown: AtomicBool::new(false),
+        writer: Mutex::new(None),
+        next_session: AtomicU64::new(1),
+    });
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_handlers = Arc::clone(&handlers);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // short read timeouts let connection threads poll the shutdown
+            // flag instead of blocking forever on a silent client
+            if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+                continue;
+            }
+            // request/response round trips should not wait out Nagle batching
+            let _ = stream.set_nodelay(true);
+            let shared = Arc::clone(&accept_shared);
+            let handle = std::thread::spawn(move || {
+                let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let _ = Session::new(shared.as_ref(), session).run(stream);
+                // the writer slot dies with its session
+                let mut writer = shared.writer.lock().expect("writer slot");
+                if *writer == Some(session) {
+                    *writer = None;
+                }
+            });
+            accept_handlers.lock().expect("handler list").push(handle);
+        }
+    });
+
+    Ok(RunningServer {
+        addr,
+        shared,
+        accept: Some(accept),
+        handlers,
+    })
+}
+
+/// Reads newline-delimited frames off a stream whose read timeout doubles as
+/// a shutdown-poll interval. Framing is done on raw bytes so a timeout in
+/// the middle of a multi-byte character cannot corrupt the buffer.
+struct LineReader<'a> {
+    stream: TcpStream,
+    shutdown: &'a AtomicBool,
+    buf: Vec<u8>,
+    used: usize,
+}
+
+impl<'a> LineReader<'a> {
+    fn new(stream: TcpStream, shutdown: &'a AtomicBool) -> Self {
+        LineReader {
+            stream,
+            shutdown,
+            buf: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// The next full line, or `None` on EOF / shutdown.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf[self.used..].iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..self.used + pos + 1).collect();
+                self.used = 0;
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                return Ok(Some(text));
+            }
+            self.used = self.buf.len();
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Per-connection state: identity plus the running counters every response
+/// reports back.
+struct Session<'a> {
+    shared: &'a Shared,
+    id: u64,
+    queries: u64,
+    rows: u64,
+    errors: u64,
+}
+
+/// A request failure, tagged with the protocol error kind.
+struct Failure {
+    kind: &'static str,
+    message: String,
+    extra: Vec<(&'static str, Value)>,
+}
+
+impl Failure {
+    fn protocol(message: impl Into<String>) -> Self {
+        Failure {
+            kind: "protocol",
+            message: message.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn from_parse(err: &QueryError, source: &str) -> Self {
+        Failure {
+            kind: "parse",
+            message: err.message.clone(),
+            extra: vec![
+                (
+                    "span",
+                    object([
+                        ("start", Value::from(err.span.start)),
+                        ("end", Value::from(err.span.end)),
+                    ]),
+                ),
+                ("diagnostic", Value::from(err.render(source))),
+            ],
+        }
+    }
+
+    fn from_engine(err: &EngineError) -> Self {
+        let kind = match err {
+            EngineError::Cancelled => "timeout",
+            EngineError::BoundExceeded { .. } => "bound",
+            _ => "engine",
+        };
+        Failure {
+            kind,
+            message: err.to_string(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn render(self) -> Value {
+        let mut fields = vec![
+            ("kind", Value::from(self.kind)),
+            ("message", Value::from(self.message)),
+        ];
+        fields.extend(self.extra);
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+}
+
+impl<'a> Session<'a> {
+    fn new(shared: &'a Shared, id: u64) -> Self {
+        Session {
+            shared,
+            id,
+            queries: 0,
+            rows: 0,
+            errors: 0,
+        }
+    }
+
+    fn run(&mut self, stream: TcpStream) -> io::Result<()> {
+        let mut out = stream.try_clone()?;
+        let mut reader = LineReader::new(stream, &self.shared.shutdown);
+        while let Some(line) = reader.next_line()? {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let started = Instant::now();
+            let request = json::parse(&line).ok();
+            let id = request
+                .as_ref()
+                .and_then(|r| r.get("id"))
+                .cloned()
+                .unwrap_or(Value::Null);
+            let closing = matches!(
+                request
+                    .as_ref()
+                    .and_then(|r| r.get("op"))
+                    .and_then(Value::as_str),
+                Some("close")
+            );
+            let outcome = match &request {
+                None => Err(Failure::protocol("request is not valid JSON")),
+                Some(req) => self.dispatch(req),
+            };
+            let response = self.envelope(id, outcome, started);
+            out.write_all(response.render().as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
+            if closing {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Wraps an op's payload (or failure) in the common response envelope.
+    fn envelope(
+        &mut self,
+        id: Value,
+        outcome: Result<Vec<(&'static str, Value)>, Failure>,
+        started: Instant,
+    ) -> Value {
+        let ok = outcome.is_ok();
+        if !ok {
+            self.errors += 1;
+        }
+        let mut fields = vec![("id", id), ("ok", Value::from(ok))];
+        match outcome {
+            Ok(payload) => fields.extend(payload),
+            Err(failure) => fields.push(("error", failure.render())),
+        }
+        fields.push((
+            "elapsed_us",
+            Value::from(started.elapsed().as_micros() as f64),
+        ));
+        fields.push((
+            "session",
+            object([
+                ("id", Value::from(self.id)),
+                ("queries", Value::from(self.queries)),
+                ("rows", Value::from(self.rows)),
+                ("errors", Value::from(self.errors)),
+            ]),
+        ));
+        let stats = self.shared.graph.stats();
+        fields.push((
+            "store",
+            object([
+                ("generation", Value::from(stats.generation)),
+                ("live_snapshots", Value::from(stats.live_snapshots)),
+                ("deep_clones", Value::from(stats.deep_clones)),
+            ]),
+        ));
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    fn dispatch(&mut self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let op = req
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Failure::protocol("missing \"op\" field"))?;
+        match op {
+            "ping" => Ok(vec![("pong", Value::Bool(true))]),
+            "close" => Ok(vec![("closing", Value::Bool(true))]),
+            "stats" => self.op_stats(),
+            "claim_writer" => self.op_claim_writer(),
+            "release_writer" => self.op_release_writer(),
+            "add_vertex" => self.op_add_vertex(req),
+            "add_edge" => self.op_add_edge(req),
+            "query" => self.op_query(req),
+            other => Err(Failure::protocol(format!("unknown op {other:?}"))),
+        }
+    }
+
+    fn op_stats(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let s = self.shared.graph.stats();
+        Ok(vec![
+            ("vertices", Value::from(self.shared.graph.vertex_count())),
+            ("edges", Value::from(self.shared.graph.edge_count())),
+            (
+                "store_full",
+                object([
+                    ("generation", Value::from(s.generation)),
+                    ("deep_clones", Value::from(s.deep_clones)),
+                    ("reversed_builds", Value::from(s.reversed_builds)),
+                    ("wal_records", Value::from(s.wal_records)),
+                    ("checkpoints", Value::from(s.checkpoints)),
+                    ("replayed_records", Value::from(s.replayed_records)),
+                    ("live_snapshots", Value::from(s.live_snapshots)),
+                ]),
+            ),
+        ])
+    }
+
+    fn op_claim_writer(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let mut writer = self.shared.writer.lock().expect("writer slot");
+        match *writer {
+            Some(holder) if holder != self.id => Err(Failure::protocol(format!(
+                "writer already claimed by session {holder}"
+            ))),
+            _ => {
+                *writer = Some(self.id);
+                Ok(vec![("writer", Value::from(self.id))])
+            }
+        }
+    }
+
+    fn op_release_writer(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let mut writer = self.shared.writer.lock().expect("writer slot");
+        if *writer == Some(self.id) {
+            *writer = None;
+            Ok(vec![("writer", Value::Null)])
+        } else {
+            Err(Failure::protocol("session does not hold the writer slot"))
+        }
+    }
+
+    fn require_writer(&self) -> Result<(), Failure> {
+        let writer = self.shared.writer.lock().expect("writer slot");
+        if *writer == Some(self.id) {
+            Ok(())
+        } else {
+            Err(Failure::protocol(
+                "mutation requires the writer slot (send claim_writer first)",
+            ))
+        }
+    }
+
+    fn op_add_vertex(&self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        self.require_writer()?;
+        let name = req
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Failure::protocol("add_vertex needs a string \"name\""))?;
+        let v = self.shared.graph.add_vertex(name);
+        for (key, value) in props_of(req)? {
+            self.shared.graph.set_vertex_property(v, &key, value);
+        }
+        Ok(vec![("vertex", Value::from(name))])
+    }
+
+    fn op_add_edge(&self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        self.require_writer()?;
+        let field = |k: &str| {
+            req.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| Failure::protocol(format!("add_edge needs a string {k:?}")))
+        };
+        let (tail, label, head) = (field("tail")?, field("label")?, field("head")?);
+        let e = self.shared.graph.add_edge(&tail, &label, &head);
+        for (key, value) in props_of(req)? {
+            self.shared.graph.set_edge_property(e, &key, value);
+        }
+        Ok(vec![(
+            "edge",
+            Value::Array(vec![tail.into(), label.into(), head.into()]),
+        )])
+    }
+
+    fn op_query(&mut self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let text = req
+            .get("query")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Failure::protocol("query needs a string \"query\""))?;
+        self.queries += 1;
+
+        let lowered = mrpa_query::compile(text).map_err(|e| Failure::from_parse(&e, text))?;
+        let mut traversal = lowered.traversal(&self.shared.graph);
+        traversal = self.apply_limits(traversal, req)?;
+
+        if lowered.explain {
+            let report = traversal.explain().map_err(|e| Failure::from_engine(&e))?;
+            let estimates: Vec<Value> = report
+                .estimates()
+                .iter()
+                .map(|e| {
+                    object([
+                        ("op", Value::from(e.op.as_str())),
+                        ("rows", Value::from(e.rows)),
+                    ])
+                })
+                .collect();
+            return Ok(vec![
+                ("plan", Value::from(report.describe())),
+                ("estimates", Value::Array(estimates)),
+            ]);
+        }
+
+        match lowered.terminal {
+            Terminal::Rows => {
+                let mut cursor = traversal.cursor().map_err(|e| Failure::from_engine(&e))?;
+                let mut rows = Vec::new();
+                while let Some(row) = cursor.next_row().map_err(|e| Failure::from_engine(&e))? {
+                    rows.push(render_row(&row, cursor.snapshot()));
+                }
+                self.rows += rows.len() as u64;
+                let stats = cursor.stats();
+                Ok(vec![
+                    ("rows", Value::Array(rows)),
+                    (
+                        "stats",
+                        object([
+                            ("expansions", Value::from(stats.expansions)),
+                            ("interned_nodes", Value::from(stats.interned_nodes)),
+                        ]),
+                    ),
+                ])
+            }
+            Terminal::Count => {
+                let n = traversal.count().map_err(|e| Failure::from_engine(&e))?;
+                Ok(vec![("count", Value::from(n))])
+            }
+            Terminal::Exists => {
+                let yes = traversal.exists().map_err(|e| Failure::from_engine(&e))?;
+                Ok(vec![("exists", Value::from(yes))])
+            }
+            Terminal::First => {
+                let mut cursor = traversal
+                    .limit(1)
+                    .cursor()
+                    .map_err(|e| Failure::from_engine(&e))?;
+                let row = cursor.next_row().map_err(|e| Failure::from_engine(&e))?;
+                if row.is_some() {
+                    self.rows += 1;
+                }
+                Ok(vec![(
+                    "row",
+                    row.map(|r| render_row(&r, cursor.snapshot()))
+                        .unwrap_or(Value::Null),
+                )])
+            }
+        }
+    }
+
+    /// Applies strategy, thread count, deadline, and the admission-controlled
+    /// `max_intermediate` cap to a traversal.
+    fn apply_limits(&self, mut t: Traversal, req: &Value) -> Result<Traversal, Failure> {
+        if let Some(name) = req.get("strategy").and_then(Value::as_str) {
+            t = t.strategy(parse_strategy(name)?);
+        }
+        if let Some(threads) = req.get("threads").and_then(Value::as_u64) {
+            t = t.parallel_threads(threads as usize);
+        }
+        let requested_cap = req
+            .get("max_intermediate")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize);
+        // admission control: the server cap always wins over a looser request
+        let cap = match (requested_cap, self.shared.config.max_intermediate) {
+            (Some(r), Some(s)) => Some(r.min(s)),
+            (r, s) => r.or(s),
+        };
+        if let Some(cap) = cap {
+            t = t.max_intermediate(cap);
+        }
+        let timeout = req
+            .get("timeout_ms")
+            .and_then(Value::as_u64)
+            .map(Duration::from_millis)
+            .or(self.shared.config.default_timeout);
+        if let Some(timeout) = timeout {
+            t = t.timeout(timeout);
+        }
+        Ok(t)
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<ExecutionStrategy, Failure> {
+    match name {
+        "materialized" => Ok(ExecutionStrategy::Materialized),
+        "streaming" => Ok(ExecutionStrategy::Streaming),
+        "parallel" => Ok(ExecutionStrategy::Parallel),
+        other => Err(Failure::protocol(format!(
+            "unknown strategy {other:?} (expected materialized, streaming, or parallel)"
+        ))),
+    }
+}
+
+/// Extracts an optional `props` object, converting JSON values to graph
+/// values (integral numbers become `Int`, everything else `Float`).
+fn props_of(req: &Value) -> Result<Vec<(String, GraphValue)>, Failure> {
+    match req.get("props") {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Object(map)) => map
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    Value::Bool(b) => GraphValue::Bool(*b),
+                    Value::Number(x) if x.fract() == 0.0 && x.abs() < 9.0e15 => {
+                        GraphValue::Int(*x as i64)
+                    }
+                    Value::Number(x) => GraphValue::Float(*x),
+                    Value::String(s) => GraphValue::Text(s.clone()),
+                    other => {
+                        return Err(Failure::protocol(format!(
+                            "property {k:?} must be a scalar, got {}",
+                            other.render()
+                        )))
+                    }
+                };
+                Ok((k.clone(), value))
+            })
+            .collect(),
+        Some(other) => Err(Failure::protocol(format!(
+            "\"props\" must be an object, got {}",
+            other.render()
+        ))),
+    }
+}
+
+/// Serialises one result row: endpoint names, the weight (if the row came
+/// out of a weighted search), and the full path as an interleaved
+/// `[v0, label0, v1, label1, …]` name array.
+fn render_row(row: &ResultRow, snapshot: &mrpa_engine::GraphSnapshot) -> Value {
+    let mut path = Vec::with_capacity(2 * row.path.len() + 1);
+    let vertices = row.path.vertex_sequence();
+    if vertices.is_empty() {
+        path.push(Value::from(snapshot.render_vertex(row.head)));
+    } else {
+        for (i, v) in vertices.iter().enumerate() {
+            if i > 0 {
+                let label = row.path.edges()[i - 1].label;
+                path.push(Value::from(
+                    snapshot
+                        .interner()
+                        .label_name(label)
+                        .unwrap_or("?")
+                        .to_owned(),
+                ));
+            }
+            path.push(Value::from(snapshot.render_vertex(*v)));
+        }
+    }
+    object([
+        ("source", Value::from(snapshot.render_vertex(row.source))),
+        ("head", Value::from(snapshot.render_vertex(row.head))),
+        ("weight", row.weight.map(Value::from).unwrap_or(Value::Null)),
+        ("len", Value::from(row.path.len())),
+        ("path", Value::Array(path)),
+    ])
+}
+
+/// A minimal blocking client for the newline-delimited JSON protocol —
+/// enough for tests, benches, and quick shell experiments.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, line: &str) -> io::Result<Value> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let text = self.read_line()?;
+        json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Convenience: runs an MRPA-QL query with an optional per-request
+    /// deadline and returns the decoded response.
+    pub fn query(&mut self, text: &str, timeout_ms: Option<u64>) -> io::Result<Value> {
+        let mut fields = vec![
+            ("op".to_owned(), Value::from("query")),
+            ("query".to_owned(), Value::from(text)),
+        ];
+        if let Some(ms) = timeout_ms {
+            fields.push(("timeout_ms".to_owned(), Value::from(ms as f64)));
+        }
+        let request = Value::Object(fields.into_iter().collect());
+        self.request(&request.render())
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpa_engine::classic_social_graph;
+
+    fn start() -> (RunningServer, Client) {
+        let server = serve(
+            classic_social_graph(),
+            ServerConfig::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let client = Client::connect(server.local_addr()).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn ping_echoes_id_and_reports_store_state() {
+        let (server, mut client) = start();
+        let r = client.request(r#"{"id":41,"op":"ping"}"#).unwrap();
+        assert_eq!(r.get("id").and_then(Value::as_u64), Some(41));
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(r.get("pong").and_then(Value::as_bool), Some(true));
+        assert!(r.get("store").and_then(|s| s.get("generation")).is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn the_headline_query_returns_rendered_rows() {
+        let (server, mut client) = start();
+        let r = client
+            .query(
+                r#"FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3"#,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+        let rows = r.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("head").and_then(Value::as_str), Some("lop"));
+        assert_eq!(rows[0].get("weight").and_then(Value::as_f64), Some(1.4));
+        assert_eq!(rows[1].get("head").and_then(Value::as_str), Some("ripple"));
+        // interleaved path: marko -knows-> josh -created-> lop
+        let path: Vec<&str> = rows[0]
+            .get("path")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(path, ["marko", "knows", "josh", "created", "lop"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_carry_span_and_caret_diagnostic() {
+        let (server, mut client) = start();
+        let r = client.query("FROM marko MATCH -[knows+]-", None).unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+        let err = r.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Value::as_str), Some("parse"));
+        let diagnostic = err.get("diagnostic").and_then(Value::as_str).unwrap();
+        assert!(diagnostic.contains('^'), "no caret in: {diagnostic}");
+        assert!(err.get("span").and_then(|s| s.get("start")).is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn terminals_and_explain_round_trip() {
+        let (server, mut client) = start();
+        let r = client.query("FROM marko OUT knows COUNT", None).unwrap();
+        assert_eq!(r.get("count").and_then(Value::as_u64), Some(2));
+        let r = client.query("FROM vadas OUT created EXISTS", None).unwrap();
+        assert_eq!(r.get("exists").and_then(Value::as_bool), Some(false));
+        let r = client.query("FROM marko OUT created FIRST", None).unwrap();
+        assert_eq!(
+            r.get("row")
+                .and_then(|row| row.get("head"))
+                .and_then(Value::as_str),
+            Some("lop")
+        );
+        let r = client
+            .query("EXPLAIN FROM marko MATCH -[knows+]->", None)
+            .unwrap();
+        assert!(r.get("plan").and_then(Value::as_str).unwrap().len() > 10);
+        assert!(!r
+            .get("estimates")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutations_are_writer_gated_and_visible_to_queries() {
+        let (server, mut writer) = start();
+        let mut reader = Client::connect(server.local_addr()).unwrap();
+
+        // unclaimed mutation is refused
+        let r = writer
+            .request(r#"{"op":"add_vertex","name":"nadia"}"#)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+
+        assert_eq!(
+            writer
+                .request(r#"{"op":"claim_writer"}"#)
+                .unwrap()
+                .get("ok")
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        // a second claimant is refused while the slot is held
+        let r = reader.request(r#"{"op":"claim_writer"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+
+        let r = writer
+            .request(r#"{"op":"add_vertex","name":"nadia","props":{"kind":"person","age":33}}"#)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+        let r = writer
+            .request(
+                r#"{"op":"add_edge","tail":"marko","label":"knows","head":"nadia","props":{"weight":0.9}}"#,
+            )
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+
+        // the other session sees the new edge immediately
+        let r = reader.query("FROM marko OUT knows COUNT", None).unwrap();
+        assert_eq!(r.get("count").and_then(Value::as_u64), Some(3));
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeouts_cancel_cleanly_and_do_not_poison_the_session() {
+        let (server, mut client) = start();
+        let r = client
+            .query("FROM * MATCH -[(knows|created)*]->", Some(0))
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("timeout")
+        );
+        // the same connection keeps working after a cancelled traversal
+        let r = client.query("FROM marko OUT knows COUNT", None).unwrap();
+        assert_eq!(r.get("count").and_then(Value::as_u64), Some(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_clamps_loose_requests() {
+        let server = serve(
+            classic_social_graph(),
+            ServerConfig {
+                max_intermediate: Some(2),
+                default_timeout: None,
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // the request asks for a huge cap; the server clamps it to 2
+        let r = client
+            .request(r#"{"op":"query","query":"FROM * OUT *","max_intermediate":1000000}"#)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false), "{r:?}");
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("bound")
+        );
+        server.shutdown();
+    }
+}

@@ -1,0 +1,217 @@
+//! Multi-client integration: ≥4 concurrent readers replay fixed queries and
+//! must see byte-identical row sets on every iteration, while a writer
+//! session churns mutations in a disjoint vertex/label namespace and another
+//! session fires deadline-cancelled dense traversals. Nothing may poison the
+//! store, no reader may observe a divergent answer, and read-only load must
+//! not trigger a single copy-on-write deep clone after the writer stops.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mrpa_engine::classic_social_graph;
+use mrpa_server::json::Value;
+use mrpa_server::{serve, Client, ServerConfig};
+
+/// The fixed read workload. The writer only ever touches `aux`-labelled
+/// edges between `w*` vertices, so none of these answers may change.
+const READ_QUERIES: [&str; 4] = [
+    "FROM marko OUT knows",
+    r#"FROM person:marko MATCH -[knows+·created]-> WHERE dst.lang = "java" CHEAPEST BY weight TOP 3"#,
+    "FROM marko MATCH -[(knows|created)+]-> WITHIN 3 DEDUP",
+    "FROM josh MATCH <-[knows]- COUNT",
+];
+
+fn rows_of(response: &Value) -> String {
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "query failed: {}",
+        response.render()
+    );
+    // the full payload (rows / count) minus the volatile envelope fields
+    ["rows", "count", "exists", "row"]
+        .iter()
+        .filter_map(|k| response.get(k).map(|v| v.render()))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[test]
+fn concurrent_readers_see_frozen_answers_under_writer_and_timeout_churn() {
+    let server = serve(
+        classic_social_graph(),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // freeze the reference answers before any churn starts
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let references: Vec<String> = READ_QUERIES
+        .iter()
+        .map(|q| rows_of(&probe.query(q, None).expect("reference query")))
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // ≥4 readers, each hammering all fixed queries and checking every answer
+    let readers: Vec<_> = (0..4)
+        .map(|reader_id| {
+            let stop = Arc::clone(&stop);
+            let references = references.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connect");
+                let mut iterations = 0u64;
+                while !stop.load(Ordering::Relaxed) || iterations < 5 {
+                    for (query, reference) in READ_QUERIES.iter().zip(&references) {
+                        let got = rows_of(&client.query(query, None).expect("read"));
+                        assert_eq!(
+                            &got, reference,
+                            "reader {reader_id} diverged on {query:?} at iteration {iterations}"
+                        );
+                    }
+                    iterations += 1;
+                    if iterations >= 5 && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                iterations
+            })
+        })
+        .collect();
+
+    // one writer session churns generations in a disjoint namespace
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connect");
+            let claimed = client.request(r#"{"op":"claim_writer"}"#).expect("claim");
+            assert_eq!(claimed.get("ok").and_then(Value::as_bool), Some(true));
+            let mut generation_moved = false;
+            for i in 0..200u32 {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let r = client
+                    .request(&format!(
+                        r#"{{"op":"add_edge","tail":"w{}","label":"aux","head":"w{}","props":{{"weight":1.5}}}}"#,
+                        i,
+                        i + 1
+                    ))
+                    .expect("mutation");
+                assert_eq!(
+                    r.get("ok").and_then(Value::as_bool),
+                    Some(true),
+                    "mutation refused: {}",
+                    r.render()
+                );
+                if r.get("store")
+                    .and_then(|s| s.get("generation"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+                    > 1
+                {
+                    generation_moved = true;
+                }
+            }
+            assert!(generation_moved, "writer churn never advanced the store");
+        })
+    };
+
+    // a fourth workload: deadline-cancelled dense traversals, which must
+    // fail with kind "timeout" and never poison anything
+    let canceller = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("canceller connect");
+            let mut cancelled = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let r = client
+                    .query("FROM * MATCH -[(knows|created)*]->", Some(0))
+                    .expect("timeout query");
+                if r.get("ok").and_then(Value::as_bool) == Some(false) {
+                    let kind = r
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_owned();
+                    assert_eq!(kind, "timeout", "unexpected failure: {}", r.render());
+                    cancelled += 1;
+                }
+            }
+            cancelled
+        })
+    };
+
+    // let the churn overlap the readers, then wind down
+    writer.join().expect("writer thread");
+    stop.store(true, Ordering::Relaxed);
+    let mut total_reads = 0;
+    for r in readers {
+        total_reads += r.join().expect("reader thread");
+    }
+    assert!(total_reads >= 4 * 5, "readers barely ran: {total_reads}");
+    let cancelled = canceller.join().expect("canceller thread");
+    assert!(cancelled > 0, "no traversal was ever deadline-cancelled");
+
+    // the store is healthy after all the churn: writer slot was released on
+    // disconnect, so a fresh session can claim it and keep mutating
+    let mut after = Client::connect(addr).expect("post connect");
+    let r = after.request(r#"{"op":"claim_writer"}"#).expect("reclaim");
+    assert_eq!(
+        r.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "writer slot leaked: {}",
+        r.render()
+    );
+    let r = after
+        .request(r#"{"op":"add_vertex","name":"post-churn"}"#)
+        .expect("post mutation");
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+
+    // and the frozen answers still hold on a fresh connection
+    for (query, reference) in READ_QUERIES.iter().zip(&references) {
+        let got = rows_of(&after.query(query, None).expect("final read"));
+        assert_eq!(&got, reference, "post-churn divergence on {query:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn read_only_load_performs_zero_deep_clones() {
+    let server = serve(
+        classic_social_graph(),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let before = server.graph().stats().deep_clones;
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..25 {
+                    for q in READ_QUERIES {
+                        let r = client.query(q, None).expect("read");
+                        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+                    }
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    let stats = server.graph().stats();
+    assert_eq!(
+        stats.deep_clones, before,
+        "read-only load must not copy the graph"
+    );
+    assert_eq!(stats.live_snapshots, 0, "snapshots leaked after readers");
+    server.shutdown();
+}

@@ -13,6 +13,10 @@
 //! * [`engine`] (`mrpa-engine`) — the property-graph traversal engine the
 //!   paper motivates: pipeline DSL, planner, and three executors.
 //! * [`datagen`] (`mrpa-datagen`) — deterministic synthetic workloads.
+//! * [`query`] (`mrpa-query`) — MRPA-QL, the textual query frontend: lexer,
+//!   parser, pretty-printer, and lowering onto the engine's pipeline IR.
+//! * [`server`] (`mrpa-server`) — a concurrent multi-client query server
+//!   speaking newline-delimited JSON over TCP.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
@@ -37,7 +41,9 @@ pub use mrpa_algorithms as algorithms;
 pub use mrpa_core as core;
 pub use mrpa_datagen as datagen;
 pub use mrpa_engine as engine;
+pub use mrpa_query as query;
 pub use mrpa_regex as regex;
+pub use mrpa_server as server;
 
 /// One-stop prelude re-exporting the most common items of every member crate.
 pub mod prelude {
