@@ -1,0 +1,256 @@
+//! CSR + chunked execution benchmark: vectorized scans vs hashmap-scalar.
+//!
+//! Two layers of measurement, written to `BENCH_csr.json`:
+//!
+//! 1. **Adjacency scan microbenchmark** — the operation the CSR snapshot
+//!    replaces, isolated: enumerate every `(vertex, label)` adjacency bucket
+//!    of the graph (a full dense expand_merge-style frontier scan) and fold
+//!    the head ids, once through the hashmap's per-bucket probes and once
+//!    through the CSR's contiguous segment arrays. Both fold to the same
+//!    checksum; CI asserts the CSR clears **5×** here, so regressions in the
+//!    layout or its scan path fail loudly.
+//! 2. **End-to-end queries** — the same traversals with `vectorize(false)`
+//!    (hash-bucket probes, row-at-a-time scalar pulls) vs the default
+//!    vectorized machinery. Row sequences are cross-checked for exact
+//!    equality before anything is timed. Gains here are deliberately modest:
+//!    per-row result-path interning, which both paths share, dominates
+//!    dense enumeration — the table quantifies that honestly rather than
+//!    inflating the headline.
+
+use mrpa_bench::{fmt_f, time_median, time_min, Table};
+use mrpa_core::{LabelId, VertexId};
+use mrpa_datagen::{social_graph, SocialConfig};
+use mrpa_engine::{ExecutionStrategy, PropertyGraph, StartSpec, Traversal};
+
+struct Workload {
+    name: &'static str,
+    build: fn(&PropertyGraph) -> Traversal,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        // R5-merged automaton over three dense hops, deduped to the small
+        // set of reached software vertices: the headline scan shape
+        // (exp_optimizer's expand_merge plus dedup). The scan enumerates
+        // hundreds of thousands of walks but materialises almost nothing, so
+        // the traversal machinery — not result-path construction, which both
+        // paths share — is what's timed
+        Workload {
+            name: "expand_merge_dedup",
+            build: |g| {
+                Traversal::over(g)
+                    .start_at(StartSpec::AllVertices)
+                    .out(["knows"])
+                    .out(["knows"])
+                    .out(["created"])
+                    .dedup()
+            },
+        },
+        // the same reachability phrased as a bounded regular path pattern
+        Workload {
+            name: "match_plus_dedup",
+            build: |g| {
+                Traversal::over(g)
+                    .start_at(StartSpec::AllVertices)
+                    .match_within("knows+·created", 3)
+                    .dedup()
+            },
+        },
+        // full enumeration: every walk materialised into a result path —
+        // dominated by per-row path construction both sides share, so the
+        // vectorized win is modest by design
+        Workload {
+            name: "expand_merge_full",
+            build: |g| {
+                Traversal::over(g)
+                    .start_at(StartSpec::AllVertices)
+                    .out(["knows"])
+                    .out(["knows"])
+                    .out(["created"])
+            },
+        },
+    ]
+}
+
+fn main() {
+    let runs = 9;
+    let g = social_graph(SocialConfig {
+        people: 2000,
+        software: 200,
+        knows_per_person: 8,
+        created_per_person: 2,
+        uses_per_person: 2,
+        seed: 11,
+    });
+    println!(
+        "dense social workload: |V|={} |E|={}, median of {runs} runs",
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    // -- layer 1: the isolated adjacency scan (what the CSR replaces) ------
+    // A graph this size lives in cache either way, so the scan layer gets
+    // its own memory-bound graph: ~3.8M edges, far beyond L2/L3, where the
+    // hashmap's per-bucket pointer chases miss DRAM while the CSR streams
+    // contiguous segment arrays with hardware prefetch
+    let big = social_graph(SocialConfig {
+        people: 300_000,
+        software: 30_000,
+        knows_per_person: 8,
+        created_per_person: 2,
+        uses_per_person: 2,
+        seed: 11,
+    });
+    println!(
+        "scan graph: |V|={} |E|={}",
+        big.vertex_count(),
+        big.edge_count()
+    );
+    let snapshot = big.snapshot();
+    let graph = snapshot.graph();
+    let csr = snapshot.csr_out();
+    let vertices: Vec<VertexId> = graph.vertices().collect();
+    // label-ascending, matching the CSR's segment order, so both scans fold
+    // the exact same head sequence
+    let mut labels: Vec<LabelId> = graph.labels().collect();
+    labels.sort_unstable();
+    let scan_rounds = 3;
+    let fold = |mut acc: u64, head: VertexId| {
+        acc = acc.wrapping_mul(31).wrapping_add(head.index() as u64);
+        acc
+    };
+    let scan_map = || {
+        let mut acc = 0u64;
+        for &v in &vertices {
+            for &l in &labels {
+                for e in graph.out_edges_labeled(v, l) {
+                    acc = fold(acc, e.head);
+                }
+            }
+        }
+        acc
+    };
+    let scan_csr = || {
+        let mut acc = 0u64;
+        for &v in &vertices {
+            for (_l, heads) in csr.segments(v) {
+                for &head in heads {
+                    acc = fold(acc, head);
+                }
+            }
+        }
+        acc
+    };
+    assert_eq!(scan_map(), scan_csr(), "scan checksums diverged");
+    // minimum over runs: the floor below is asserted in CI, and the minimum
+    // is the noise-robust estimator (preemption only inflates samples)
+    let scan_map_ms = time_min(runs, || {
+        let mut acc = 0u64;
+        for _ in 0..scan_rounds {
+            acc = acc.wrapping_add(scan_map());
+        }
+        acc
+    });
+    let scan_csr_ms = time_min(runs, || {
+        let mut acc = 0u64;
+        for _ in 0..scan_rounds {
+            acc = acc.wrapping_add(scan_csr());
+        }
+        acc
+    });
+    let scan_speedup = scan_map_ms / scan_csr_ms.max(1e-9);
+    println!(
+        "\nadjacency scan ({} vertices x {} labels x {scan_rounds} rounds): \
+         hashmap {scan_map_ms:.3}ms, csr {scan_csr_ms:.3}ms, {scan_speedup:.2}x",
+        vertices.len(),
+        labels.len()
+    );
+    assert!(
+        scan_speedup >= 5.0,
+        "CSR adjacency scan cleared only {scan_speedup:.2}x (floor 5x): \
+         hashmap {scan_map_ms:.3}ms vs csr {scan_csr_ms:.3}ms"
+    );
+
+    let strategies = [
+        ("materialized", ExecutionStrategy::Materialized),
+        ("streaming", ExecutionStrategy::Streaming),
+    ];
+
+    let mut table = Table::new([
+        "workload",
+        "strategy",
+        "rows",
+        "scalar ms",
+        "csr ms",
+        "speedup",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for w in workloads() {
+        for (sname, strategy) in strategies {
+            // correctness cross-check before timing anything
+            let scalar_rows = (w.build)(&g)
+                .strategy(strategy)
+                .vectorize(false)
+                .execute()
+                .expect("scalar run");
+            let csr_rows = (w.build)(&g)
+                .strategy(strategy)
+                .execute()
+                .expect("vectorized run");
+            assert_eq!(
+                scalar_rows.rows(),
+                csr_rows.rows(),
+                "vectorized ≠ scalar on {} / {sname}",
+                w.name
+            );
+            let rows = scalar_rows.len();
+
+            let scalar_ms = time_median(runs, || {
+                (w.build)(&g)
+                    .strategy(strategy)
+                    .vectorize(false)
+                    .execute()
+                    .unwrap()
+            });
+            let csr_ms = time_median(runs, || (w.build)(&g).strategy(strategy).execute().unwrap());
+            let speedup = scalar_ms / csr_ms.max(1e-9);
+
+            table.row([
+                w.name.to_string(),
+                sname.to_string(),
+                rows.to_string(),
+                fmt_f(scalar_ms),
+                fmt_f(csr_ms),
+                format!("{speedup:.2}x"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"workload\": \"{}\", \"strategy\": \"{sname}\", \"rows\": {rows}, \
+                 \"scalar_ms\": {scalar_ms:.4}, \"csr_ms\": {csr_ms:.4}, \
+                 \"speedup\": {speedup:.2}}}",
+                w.name,
+            ));
+        }
+    }
+
+    table.print("CSR + chunked execution vs hashmap-scalar (dense social workloads)");
+    println!("Expectation: the isolated adjacency scan clears 5x — contiguous CSR segment");
+    println!("arrays replace a hash probe per (vertex, label) bucket. End-to-end queries");
+    println!("gain less: per-row result-path interning, shared by both paths, dominates");
+    println!("dense enumeration. The cross-checks above pin row-for-row equality, so no");
+    println!("speedup is ever bought with different results.");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"csr_vectorized_execution\",\n  \"workload\": {{\"graph\": \
+         \"social\", \"people\": 2000, \"software\": 200, \"seed\": 11, \"vertices\": {}, \
+         \"edges\": {}, \"runs\": {runs}}},\n  \"adjacency_scan\": {{\"rounds\": {scan_rounds}, \
+         \"hashmap_ms\": {scan_map_ms:.4}, \"csr_ms\": {scan_csr_ms:.4}, \"speedup\": \
+         {scan_speedup:.2}, \"floor\": 5.0}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_csr.json";
+    std::fs::write(path, &json).expect("write BENCH_csr.json");
+    println!("\nwrote {path}");
+}

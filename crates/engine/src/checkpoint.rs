@@ -192,6 +192,8 @@ impl CheckpointData {
             vertex_props: Default::default(),
             edge_props: Default::default(),
             reversed: Default::default(),
+            csr_out: Default::default(),
+            csr_in: Default::default(),
             metrics,
         };
         for (v, key, value) in &self.vertex_props {

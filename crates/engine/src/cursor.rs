@@ -37,10 +37,11 @@ use mrpa_core::fxhash::FxHashSet;
 use mrpa_core::{ArenaWriter, Edge, IdForwarder, PathArena, VertexId};
 
 use crate::cancel::{CancelToken, Liveness};
+use crate::chunk::{ChunkPull, RowChunk};
 use crate::error::EngineError;
 use crate::exec::{
     apply_ops, check_cap, eval_until, for_each_expansion_edge, in_set, initial_rows, materialized,
-    ArenaRow, Counters, ExecCtx, ExecStats, ExecutionStrategy,
+    ArenaRow, Counters, ExecConfig, ExecCtx, ExecStats, ExecutionStrategy,
 };
 use crate::plan::{
     AutomatonSpec, Direction, LogicalPlan, PlanOp, Semantics, SemiringKind, WeightSource,
@@ -232,30 +233,26 @@ impl AutoWalk {
     ) {
         let (row, state) = self.frontier[self.idx];
         self.idx += 1;
-        let graph = match spec.direction() {
-            Direction::Out => ctx.snapshot.graph(),
-            Direction::In => ctx.snapshot.reversed(),
-            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
-        };
-        for &(label, target) in spec.moves(state) {
+        let adj = ctx.adjacency(spec.direction());
+        for &m in spec.moves(state) {
             // a row only joins the next frontier if it can still make
             // progress: there are hops left and the target state moves
-            let survives = self.hop < spec.max_hops() && !spec.moves(target).is_empty();
-            let accepts = spec.is_accept(target);
-            for e in graph.out_edges_labeled(row.head, label) {
+            // (both facts precomputed into the move table at compile time)
+            let survives = self.hop < spec.max_hops() && m.target_live;
+            for e in adj.labeled(row.head, m.label) {
                 ctx.count_expansion();
                 if let Some(seen) = seen.as_deref_mut() {
-                    if !seen.insert((e.head, target)) {
+                    if !seen.insert((e.head, m.target)) {
                         continue;
                     }
                 }
                 let produced = ArenaRow {
                     source: row.source,
-                    path: writer.append(row.path, *e),
+                    path: writer.append(row.path, e),
                     head: e.head,
                     weight: row.weight,
                 };
-                if accepts && in_set(to, e.head) {
+                if m.accepts && in_set(to, e.head) {
                     if take_budget(remaining) {
                         self.pending.push_back(produced);
                         if matches!(remaining, Some(0)) {
@@ -268,7 +265,7 @@ impl AutoWalk {
                     }
                 }
                 if survives {
-                    self.next.push((produced, target));
+                    self.next.push((produced, m.target));
                 }
             }
         }
@@ -295,32 +292,27 @@ impl AutoWalk {
         mut seen: Option<&mut SeenSet>,
         out: &mut Vec<ArenaRow>,
     ) {
-        let graph = match spec.direction() {
-            Direction::Out => ctx.snapshot.graph(),
-            Direction::In => ctx.snapshot.reversed(),
-            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
-        };
+        let adj = ctx.adjacency(spec.direction());
         let max_hops = spec.max_hops();
         while self.idx < self.frontier.len() {
             let (row, state) = self.frontier[self.idx];
             self.idx += 1;
-            for &(label, target) in spec.moves(state) {
-                let survives = self.hop < max_hops && !spec.moves(target).is_empty();
-                let accepts = spec.is_accept(target);
-                for e in graph.out_edges_labeled(row.head, label) {
+            for &m in spec.moves(state) {
+                let survives = self.hop < max_hops && m.target_live;
+                for e in adj.labeled(row.head, m.label) {
                     ctx.count_expansion();
                     if let Some(seen) = seen.as_deref_mut() {
-                        if !seen.insert((e.head, target)) {
+                        if !seen.insert((e.head, m.target)) {
                             continue;
                         }
                     }
                     let produced = ArenaRow {
                         source: row.source,
-                        path: writer.append(row.path, *e),
+                        path: writer.append(row.path, e),
                         head: e.head,
                         weight: row.weight,
                     };
-                    if accepts && in_set(to, e.head) {
+                    if m.accepts && in_set(to, e.head) {
                         if take_budget(remaining) {
                             out.push(produced);
                             if matches!(remaining, Some(0)) {
@@ -333,7 +325,7 @@ impl AutoWalk {
                         }
                     }
                     if survives {
-                        self.next.push((produced, target));
+                        self.next.push((produced, m.target));
                     }
                 }
             }
@@ -603,34 +595,28 @@ impl WeightedWalk {
         if hop >= spec.max_hops() {
             return Ok(());
         }
-        let graph = match spec.direction() {
-            Direction::Out => ctx.snapshot.graph(),
-            Direction::In => ctx.snapshot.reversed(),
-            Direction::Both => unreachable!("automaton specs are compiled Out or In, never Both"),
-        };
+        let adj = ctx.adjacency(spec.direction());
         let mut writer = arena.writer();
-        for &(label, target) in spec.moves(state) {
-            // admissible bound pruning: any completion from `target` needs at
-            // least dist_to_accept more edges (compile-time pruning already
-            // removed moves into states that can never accept)
-            if self.bounded {
-                match spec.dist_to_accept(target) {
-                    Some(d) if hop + 1 + d <= spec.max_hops() => {}
-                    _ => continue,
-                }
+        for &m in spec.moves(state) {
+            // admissible bound pruning: any completion from the move's target
+            // needs at least `min_edges_to_accept` more edges (precomputed at
+            // compile time; moves into states that can never accept were
+            // already pruned from the table)
+            if self.bounded && hop + 1 + m.min_edges_to_accept > spec.max_hops() {
+                continue;
             }
-            for e in graph.out_edges_labeled(row.head, label) {
+            for e in adj.labeled(row.head, m.label) {
                 ctx.count_expansion();
                 if self
                     .settled
-                    .contains(&self.settle_key(e.head, target, hop + 1))
+                    .contains(&self.settle_key(e.head, m.target, hop + 1))
                 {
                     continue;
                 }
                 // property lookup always uses the stored orientation
                 let stored = match spec.direction() {
                     Direction::In => Edge::new(e.head, e.label, e.tail),
-                    _ => *e,
+                    _ => e,
                 };
                 let w = weight.resolve(ctx.snapshot, &stored, semiring)?;
                 let cost2 = semiring.extend(cost, w);
@@ -641,11 +627,11 @@ impl WeightedWalk {
                     cost: cost2,
                     row: ArenaRow {
                         source: row.source,
-                        path: writer.append(row.path, *e),
+                        path: writer.append(row.path, e),
                         head: e.head,
                         weight: row.weight,
                     },
-                    state: target,
+                    state: m.target,
                     hop: hop + 1,
                 });
             }
@@ -949,14 +935,14 @@ impl Stage {
                         // collect this row's expansions under one lock
                         // acquisition; they stream out one pull at a time
                         let mut writer = arena.writer();
-                        for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
+                        for_each_expansion_edge(ctx, *direction, row.head, labels, |e| {
                             ctx.count_expansion();
                             if !in_set(to, e.head) {
                                 return;
                             }
                             buf.push_back(ArenaRow {
                                 source: row.source,
-                                path: writer.append(row.path, *e),
+                                path: writer.append(row.path, e),
                                 head: e.head,
                                 weight: row.weight,
                             });
@@ -1119,6 +1105,345 @@ impl Stage {
             }
         }
     }
+
+    /// The chunked pull: appends up to ~`target` rows to `out` (overshoot is
+    /// allowed — composite walkers finish their current frontier layer), in
+    /// exactly the scalar protocol's row order. Only full-drain terminals use
+    /// this path; early-exit consumption stays on [`Stage::pull`]. Counts the
+    /// appended rows against the stage's lifetime cap, and remains a
+    /// cancellation point per call (and per walker layer).
+    pub(crate) fn pull_chunk(
+        &mut self,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        target: usize,
+        out: &mut Vec<ArenaRow>,
+    ) -> Result<ChunkPull, EngineError> {
+        ctx.ensure_alive()?;
+        let base = out.len();
+        let res = Self::pull_op_chunk(&mut self.op, self.out_count, ctx, arena, target, out)?;
+        let appended = out.len() - base;
+        if appended > 0 {
+            self.out_count += appended;
+            check_cap(self.out_count, ctx.cap)?;
+            return Ok(ChunkPull::Rows);
+        }
+        Ok(res)
+    }
+
+    fn pull_op_chunk(
+        op: &mut StageOp,
+        delivered: usize,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        target: usize,
+        out: &mut Vec<ArenaRow>,
+    ) -> Result<ChunkPull, EngineError> {
+        // `Rows` if this call appended anything, otherwise `empty`
+        fn flush(out_len: usize, base: usize, empty: ChunkPull) -> ChunkPull {
+            if out_len > base {
+                ChunkPull::Rows
+            } else {
+                empty
+            }
+        }
+        let base = out.len();
+        let goal = base + target.max(1);
+        match op {
+            StageOp::Source { rows, idx } => {
+                if *idx >= rows.len() {
+                    return Ok(ChunkPull::Done);
+                }
+                let end = rows.len().min(goal - base + *idx);
+                out.extend_from_slice(&rows[*idx..end]);
+                *idx = end;
+                Ok(ChunkPull::Rows)
+            }
+            StageOp::Feed { queue, closed } => {
+                if queue.is_empty() {
+                    return Ok(if *closed {
+                        ChunkPull::Done
+                    } else {
+                        ChunkPull::Starved
+                    });
+                }
+                let n = queue.len().min(goal - base);
+                out.extend(queue.drain(..n));
+                Ok(ChunkPull::Rows)
+            }
+            StageOp::Expand {
+                input,
+                direction,
+                labels,
+                from,
+                to,
+                buf,
+            } => {
+                // rows buffered by an earlier scalar pull drain first
+                out.extend(buf.drain(..));
+                let mut inbuf: Vec<ArenaRow> = Vec::new();
+                while out.len() < goal {
+                    inbuf.clear();
+                    match input.pull_chunk(ctx, arena, target, &mut inbuf)? {
+                        ChunkPull::Rows => {}
+                        ChunkPull::Done => return Ok(flush(out.len(), base, ChunkPull::Done)),
+                        ChunkPull::Starved => {
+                            return Ok(flush(out.len(), base, ChunkPull::Starved))
+                        }
+                    }
+                    // one writer acquisition for the whole input chunk — the
+                    // scalar path pays one per input row
+                    let mut writer = arena.writer();
+                    for row in &inbuf {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        for_each_expansion_edge(ctx, *direction, row.head, labels, |e| {
+                            ctx.count_expansion();
+                            if !in_set(to, e.head) {
+                                return;
+                            }
+                            out.push(ArenaRow {
+                                source: row.source,
+                                path: writer.append(row.path, e),
+                                head: e.head,
+                                weight: row.weight,
+                            });
+                        });
+                    }
+                }
+                Ok(ChunkPull::Rows)
+            }
+            StageOp::Automaton {
+                input,
+                spec,
+                from,
+                to,
+                remaining,
+                walk,
+                seen,
+            } => loop {
+                if let Some(w) = walk {
+                    w.drain_pending_into(out);
+                    {
+                        // the batch fast path: whole layers under one writer,
+                        // emissions straight into the chunk
+                        let mut writer = arena.writer();
+                        while !w.finished() && out.len() < goal {
+                            ctx.ensure_alive()?;
+                            if w.needs_roll() {
+                                w.roll(ctx, spec, delivered + (out.len() - base))?;
+                            } else {
+                                w.run_layer(
+                                    ctx,
+                                    &mut writer,
+                                    spec,
+                                    to,
+                                    remaining,
+                                    seen.as_mut(),
+                                    out,
+                                );
+                            }
+                        }
+                    }
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    return Ok(ChunkPull::Rows);
+                }
+                if matches!(remaining, Some(0)) {
+                    return Ok(flush(out.len(), base, ChunkPull::Done));
+                }
+                // input rows arrive one at a time: per-input-row walk work
+                // dwarfs pull dispatch, and scalar pulls keep the suspension
+                // protocol identical on the boundary
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(flush(out.len(), base, ChunkPull::Done)),
+                    ControlFlow::Continue(None) => {
+                        return Ok(flush(out.len(), base, ChunkPull::Starved))
+                    }
+                    ControlFlow::Continue(Some(row)) => {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        if spec.semantics() == Semantics::Reachable {
+                            *seen = Some(SeenSet::default());
+                        }
+                        *walk = Some(AutoWalk::start(spec, to, row, remaining, seen.as_mut()));
+                    }
+                }
+            },
+            StageOp::Weighted {
+                input,
+                spec,
+                semiring,
+                weight,
+                from,
+                to,
+                remaining,
+                walk,
+            } => loop {
+                if let Some(w) = walk {
+                    w.drain_pending_into(out);
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    if out.len() >= goal {
+                        return Ok(ChunkPull::Rows);
+                    }
+                    ctx.ensure_alive()?;
+                    w.advance(
+                        ctx,
+                        arena,
+                        spec,
+                        *semiring,
+                        weight,
+                        to,
+                        delivered + (out.len() - base),
+                        remaining,
+                    )?;
+                    continue;
+                }
+                if matches!(remaining, Some(0)) {
+                    return Ok(flush(out.len(), base, ChunkPull::Done));
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(flush(out.len(), base, ChunkPull::Done)),
+                    ControlFlow::Continue(None) => {
+                        return Ok(flush(out.len(), base, ChunkPull::Starved))
+                    }
+                    ControlFlow::Continue(Some(row)) => {
+                        if !in_set(from, row.head) {
+                            continue;
+                        }
+                        *walk = Some(WeightedWalk::start(spec, *semiring, row));
+                    }
+                }
+            },
+            StageOp::Repeat {
+                input,
+                body,
+                min,
+                max,
+                until,
+                walk,
+            } => loop {
+                if let Some(w) = walk {
+                    w.drain_pending_into(out);
+                    if w.finished() {
+                        *walk = None;
+                        continue;
+                    }
+                    if out.len() >= goal {
+                        return Ok(ChunkPull::Rows);
+                    }
+                    ctx.ensure_alive()?;
+                    w.advance(
+                        ctx,
+                        arena,
+                        RepeatSpec {
+                            body,
+                            min: *min,
+                            max: *max,
+                            until: until.as_ref(),
+                        },
+                        delivered + (out.len() - base),
+                    )?;
+                    continue;
+                }
+                match input.pull(ctx, arena)? {
+                    ControlFlow::Break(()) => return Ok(flush(out.len(), base, ChunkPull::Done)),
+                    ControlFlow::Continue(None) => {
+                        return Ok(flush(out.len(), base, ChunkPull::Starved))
+                    }
+                    ControlFlow::Continue(Some(row)) => *walk = Some(RepeatWalk::new(row)),
+                }
+            },
+            StageOp::RestrictVertices { input, vs } => {
+                Self::filtered_chunk(input, ctx, arena, goal, out, |row, _| {
+                    vs.contains(&row.head)
+                })
+            }
+            StageOp::RestrictProperty {
+                input,
+                key,
+                predicate,
+            } => Self::filtered_chunk(input, ctx, arena, goal, out, |row, ctx| {
+                predicate.eval(ctx.snapshot.vertex_property(row.head, key))
+            }),
+            StageOp::Dedup { input, seen } => {
+                Self::filtered_chunk(input, ctx, arena, goal, out, |row, _| seen.insert(row.head))
+            }
+            StageOp::Limit { input, remaining } => {
+                if *remaining == 0 {
+                    return Ok(ChunkPull::Done);
+                }
+                let start = out.len();
+                let res = input.pull_chunk(ctx, arena, target.max(1).min(*remaining), out)?;
+                let mut appended = out.len() - start;
+                if appended > *remaining {
+                    // the upstream chunk overshot the limit: the surplus rows
+                    // are dropped here (their expansions already counted —
+                    // the documented chunked-vs-scalar stats divergence on
+                    // non-pushed limits; emitted rows are identical)
+                    out.truncate(start + *remaining);
+                    appended = *remaining;
+                }
+                *remaining -= appended;
+                Ok(flush(out.len(), start, res))
+            }
+        }
+    }
+
+    /// Shared chunk driver for the per-row filter stages
+    /// (`RestrictVertices`/`RestrictProperty`/`Dedup`): pulls input chunks
+    /// and compacts survivors in place (arena rows are `Copy`), looping until
+    /// the goal is met or the input runs out.
+    fn filtered_chunk(
+        input: &mut Stage,
+        ctx: &ExecCtx<'_>,
+        arena: &PathArena,
+        goal: usize,
+        out: &mut Vec<ArenaRow>,
+        mut keep: impl FnMut(&ArenaRow, &ExecCtx<'_>) -> bool,
+    ) -> Result<ChunkPull, EngineError> {
+        let base = out.len();
+        loop {
+            let start = out.len();
+            let res = input.pull_chunk(ctx, arena, goal - start, out)?;
+            let mut kept = start;
+            for i in start..out.len() {
+                if keep(&out[i], ctx) {
+                    out[kept] = out[i];
+                    kept += 1;
+                }
+            }
+            out.truncate(kept);
+            match res {
+                ChunkPull::Rows => {
+                    if out.len() >= goal {
+                        return Ok(ChunkPull::Rows);
+                    }
+                }
+                ChunkPull::Done => {
+                    return Ok(if out.len() > base {
+                        ChunkPull::Rows
+                    } else {
+                        ChunkPull::Done
+                    })
+                }
+                ChunkPull::Starved => {
+                    return Ok(if out.len() > base {
+                        ChunkPull::Rows
+                    } else {
+                        ChunkPull::Starved
+                    })
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1152,6 +1477,14 @@ pub struct RowCursor {
     counters: Counters,
     alive: Liveness,
     inner: Inner,
+    config: ExecConfig,
+    /// Whether the compiled plan has at least one expansion op — plans that
+    /// are pure filters gain nothing from batching, so [`RowCursor::next_chunk`]
+    /// falls back to the scalar pull for them.
+    chunkable: bool,
+    /// Reused transport buffer for the chunked drain (one allocation per
+    /// cursor, not per batch).
+    chunk_buf: RowChunk,
     fused: bool,
 }
 
@@ -1179,9 +1512,31 @@ impl RowCursor {
         cap: Option<usize>,
         threads: Option<usize>,
     ) -> RowCursor {
+        Self::compile_with_config(
+            snapshot,
+            plan,
+            strategy,
+            cap,
+            threads,
+            ExecConfig::default(),
+        )
+    }
+
+    /// Compiles a cursor with explicit execution knobs (CSR adjacency on/off,
+    /// chunk size). [`Traversal`](crate::pipeline::Traversal) threads its
+    /// `vectorize`/`chunk_size` settings through here.
+    pub(crate) fn compile_with_config(
+        snapshot: GraphSnapshot,
+        plan: LogicalPlan,
+        strategy: ExecutionStrategy,
+        cap: Option<usize>,
+        threads: Option<usize>,
+        config: ExecConfig,
+    ) -> RowCursor {
         match strategy {
-            ExecutionStrategy::Materialized => Self::batch(snapshot, plan, cap),
+            ExecutionStrategy::Materialized => Self::batch(snapshot, plan, cap, config),
             ExecutionStrategy::Streaming => {
+                let chunkable = plan.chunk_capable();
                 let (start, ops) = plan.into_parts();
                 let root = Stage::pipeline(initial_rows(&start), ops);
                 RowCursor {
@@ -1193,14 +1548,24 @@ impl RowCursor {
                         arena: PathArena::new(),
                         root: Box::new(root),
                     },
+                    config,
+                    chunkable,
+                    chunk_buf: RowChunk::default(),
                     fused: false,
                 }
             }
-            ExecutionStrategy::Parallel => Self::compile_parallel(snapshot, plan, cap, threads),
+            ExecutionStrategy::Parallel => {
+                Self::compile_parallel(snapshot, plan, cap, threads, config)
+            }
         }
     }
 
-    fn batch(snapshot: GraphSnapshot, plan: LogicalPlan, cap: Option<usize>) -> RowCursor {
+    fn batch(
+        snapshot: GraphSnapshot,
+        plan: LogicalPlan,
+        cap: Option<usize>,
+        config: ExecConfig,
+    ) -> RowCursor {
         RowCursor {
             snapshot,
             cap,
@@ -1210,6 +1575,9 @@ impl RowCursor {
                 plan,
                 buffered: None,
             },
+            config,
+            chunkable: false,
+            chunk_buf: RowChunk::default(),
             fused: false,
         }
     }
@@ -1223,6 +1591,7 @@ impl RowCursor {
         plan: LogicalPlan,
         cap: Option<usize>,
         threads: Option<usize>,
+        config: ExecConfig,
     ) -> RowCursor {
         let threads = threads
             .unwrap_or_else(|| {
@@ -1250,13 +1619,20 @@ impl RowCursor {
             .position(stateful)
             .unwrap_or(plan.ops().len());
         if threads <= 1 || plan.start().len() <= 1 || split == 0 {
-            return Self::batch(snapshot, plan, cap);
+            return Self::batch(snapshot, plan, cap, config);
         }
         // build the reversed graph once, up front, if the plan will need it —
         // otherwise every worker's first In/Both hop would block on the
         // lazy per-generation build
         if plan.needs_reversed() {
             snapshot.prewarm_reversed();
+        }
+        // likewise the CSR snapshots the plan's label-restricted expansions
+        // will scan (only the directions actually used — see the csr_cache
+        // regression suite)
+        if config.use_csr {
+            let (out, in_) = plan.csr_directions();
+            snapshot.prewarm_csr(out, in_);
         }
         let (start, mut prefix) = plan.into_parts();
         let suffix = prefix.split_off(split);
@@ -1296,6 +1672,9 @@ impl RowCursor {
                 fed: 0,
                 batch: INITIAL_BATCH,
             })),
+            config,
+            chunkable: false,
+            chunk_buf: RowChunk::default(),
             fused: false,
         }
     }
@@ -1354,12 +1733,64 @@ impl RowCursor {
         self.alive.token = Some(token);
     }
 
+    /// Pulls the next batch of result rows into `out` (appending), returning
+    /// whether anything was appended — the full-drain counterpart of
+    /// [`RowCursor::next_row`]. Streaming pipelines with expansion work move
+    /// whole row chunks through the stage tree per call (see [`crate::chunk`]);
+    /// other strategies and pure-filter plans fall back to repeated scalar
+    /// pulls, so every cursor supports this entry point. After an error the
+    /// cursor is fused, exactly like the scalar protocol.
+    pub fn next_chunk(&mut self, out: &mut Vec<ResultRow>) -> Result<bool, EngineError> {
+        if self.fused {
+            return Ok(false);
+        }
+        let target = self.config.chunk.max(1);
+        if !self.chunkable || !matches!(self.inner, Inner::Pipe { .. }) {
+            let before = out.len();
+            for _ in 0..target {
+                match self.next_row()? {
+                    Some(row) => out.push(row),
+                    None => break,
+                }
+            }
+            return Ok(out.len() > before);
+        }
+        let ctx = ExecCtx {
+            snapshot: &self.snapshot,
+            cap: self.cap,
+            counters: &self.counters,
+            alive: self.alive.active(),
+            use_csr: self.config.use_csr,
+        };
+        let Inner::Pipe { arena, root } = &mut self.inner else {
+            unreachable!("checked above");
+        };
+        self.chunk_buf.clear();
+        match root.pull_chunk(&ctx, arena, target, &mut self.chunk_buf.rows) {
+            Ok(ChunkPull::Rows) => {
+                out.extend(self.chunk_buf.rows.iter().map(|row| ResultRow {
+                    source: row.source,
+                    path: arena.to_path(row.path),
+                    head: row.head,
+                    weight: row.weight,
+                }));
+                Ok(true)
+            }
+            Ok(ChunkPull::Done | ChunkPull::Starved) => Ok(false),
+            Err(e) => {
+                self.fused = true;
+                Err(e)
+            }
+        }
+    }
+
     fn advance_inner(&mut self, materialise: bool) -> Result<Option<RowDelivery>, EngineError> {
         let ctx = ExecCtx {
             snapshot: &self.snapshot,
             cap: self.cap,
             counters: &self.counters,
             alive: self.alive.active(),
+            use_csr: self.config.use_csr,
         };
         match &mut self.inner {
             Inner::Pipe { arena, root } => match root.pull(&ctx, arena)? {
@@ -1462,6 +1893,7 @@ impl Partition {
         snapshot: &GraphSnapshot,
         cap: Option<usize>,
         alive: Option<&Liveness>,
+        use_csr: bool,
         batch: usize,
     ) -> Result<(), EngineError> {
         let ctx = ExecCtx {
@@ -1469,6 +1901,7 @@ impl Partition {
             cap,
             counters: &self.counters,
             alive,
+            use_csr,
         };
         for _ in 0..batch {
             match self.root.pull(&ctx, &self.arena)? {
@@ -1618,12 +2051,15 @@ impl ParallelState {
         let cap = ctx.cap;
         let snapshot = ctx.snapshot;
         let alive = ctx.alive;
+        let use_csr = ctx.use_csr;
         let results: Vec<Result<(), EngineError>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
                 .iter_mut()
                 .filter(|p| !p.done && p.queued() < batch)
-                .map(|part| scope.spawn(move |_| part.pull_batch(snapshot, cap, alive, batch)))
+                .map(|part| {
+                    scope.spawn(move |_| part.pull_batch(snapshot, cap, alive, use_csr, batch))
+                })
                 .collect();
             handles
                 .into_iter()

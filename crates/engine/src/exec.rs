@@ -52,6 +52,7 @@ use std::collections::HashSet;
 use mrpa_core::{Edge, LabelId, PathArena, PathId, VertexId};
 
 use crate::cancel::Liveness;
+use crate::csr::CsrTopology;
 use crate::cursor::{AutoWalk, RepeatWalk, RowCursor, SeenSet, WeightedWalk};
 use crate::error::EngineError;
 use crate::plan::{Direction, LogicalPlan, PlanOp, Semantics};
@@ -109,6 +110,26 @@ impl Counters {
     }
 }
 
+/// Compile-time execution knobs threaded from the traversal surface
+/// (`Traversal::vectorize` / `Traversal::chunk_size`) into the cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ExecConfig {
+    /// Read per-label adjacency from the per-generation CSR (default: on).
+    pub(crate) use_csr: bool,
+    /// Target rows per chunked pull on full drains (default:
+    /// [`crate::chunk::DEFAULT_CHUNK_SIZE`]).
+    pub(crate) chunk: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            use_csr: true,
+            chunk: crate::chunk::DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
 /// Per-execution context threaded through batch evaluation and cursor pulls.
 #[derive(Clone, Copy)]
 pub(crate) struct ExecCtx<'a> {
@@ -118,6 +139,91 @@ pub(crate) struct ExecCtx<'a> {
     /// Cancellation/deadline bounds; `None` when the execution is unbounded,
     /// so the hot path pays a single branch.
     pub(crate) alive: Option<&'a Liveness>,
+    /// Whether per-label expansion reads the per-generation CSR instead of
+    /// the hashmap adjacency (the `Traversal::vectorize` knob; on by
+    /// default). Wildcard expansion always stays on the hashmap — the CSR's
+    /// label-sorted layout would reorder interleaved insertion order.
+    pub(crate) use_csr: bool,
+}
+
+/// One direction's adjacency source, resolved once per walker invocation so
+/// the per-edge loop dispatches on a two-variant enum instead of re-deciding
+/// CSR-vs-hashmap (and re-matching the direction) per frontier entry.
+#[derive(Clone, Copy)]
+pub(crate) enum Adjacency<'a> {
+    /// The mutation-friendly hashmap adjacency (forward or reversed graph).
+    Map(&'a mrpa_core::MultiGraph),
+    /// The frozen per-generation CSR for the same direction.
+    Csr(&'a CsrTopology),
+}
+
+impl<'a> Adjacency<'a> {
+    /// The edges leaving `v` with `label`, in identical order from either
+    /// backing store (the CSR build preserves bucket order verbatim).
+    #[inline]
+    pub(crate) fn labeled(&self, v: VertexId, label: LabelId) -> LabeledEdges<'a> {
+        match self {
+            Adjacency::Map(graph) => LabeledEdges::Slice(graph.out_edges_labeled(v, label).iter()),
+            Adjacency::Csr(csr) => LabeledEdges::Csr {
+                tail: v,
+                label,
+                heads: csr.labeled(v, label).iter(),
+            },
+        }
+    }
+}
+
+/// Iterator over one `(vertex, label)` adjacency bucket, yielding [`Edge`]s
+/// by value; the CSR variant materializes them from the head array.
+pub(crate) enum LabeledEdges<'a> {
+    /// Hashmap-bucket slice.
+    Slice(std::slice::Iter<'a, Edge>),
+    /// CSR label segment: a contiguous head scan plus the fixed tail/label.
+    Csr {
+        tail: VertexId,
+        label: LabelId,
+        heads: std::slice::Iter<'a, VertexId>,
+    },
+}
+
+impl Iterator for LabeledEdges<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        match self {
+            LabeledEdges::Slice(it) => it.next().copied(),
+            LabeledEdges::Csr { tail, label, heads } => {
+                heads.next().map(|&head| Edge::new(*tail, *label, head))
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            LabeledEdges::Slice(it) => it.size_hint(),
+            LabeledEdges::Csr { heads, .. } => heads.size_hint(),
+        }
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Resolves the adjacency source for `direction` (never `Both`; the
+    /// automaton walkers are compiled `Out` or `In`): the CSR when
+    /// vectorization is on, the hashmap graph otherwise.
+    #[inline]
+    pub(crate) fn adjacency(&self, direction: Direction) -> Adjacency<'a> {
+        match (direction, self.use_csr) {
+            (Direction::Out, true) => Adjacency::Csr(self.snapshot.csr_out()),
+            (Direction::Out, false) => Adjacency::Map(self.snapshot.graph()),
+            (Direction::In, true) => Adjacency::Csr(self.snapshot.csr_in()),
+            (Direction::In, false) => Adjacency::Map(self.snapshot.reversed()),
+            (Direction::Both, _) => {
+                unreachable!("adjacency sources are resolved per single direction")
+            }
+        }
+    }
 }
 
 impl ExecCtx<'_> {
@@ -177,10 +283,10 @@ pub fn execute_with_threads(
         max_intermediate,
         threads,
     );
+    // full drain: move whole chunks per call (scalar fallback where the
+    // strategy or plan shape doesn't batch — see `RowCursor::next_chunk`)
     let mut rows = Vec::new();
-    while let Some(row) = cursor.next_row()? {
-        rows.push(row);
-    }
+    while cursor.next_chunk(&mut rows)? {}
     Ok(QueryResult::new(rows, snapshot.clone(), cursor.stats()))
 }
 
@@ -226,32 +332,39 @@ pub(crate) fn materialise_rows(arena: &PathArena, rows: Vec<ArenaRow>) -> Vec<Re
 /// backwards; the produced paths are joint paths of the reversed graph.
 /// `Direction::Both` visits the forward edges first, then the reversed ones.
 pub(crate) fn for_each_expansion_edge(
-    snapshot: &GraphSnapshot,
+    ctx: &ExecCtx<'_>,
     direction: Direction,
     v: VertexId,
     labels: &Option<Vec<LabelId>>,
-    mut visit: impl FnMut(&Edge),
+    mut visit: impl FnMut(Edge),
 ) {
-    let mut walk = |graph: &mrpa_core::MultiGraph| match labels {
+    let mut walk = |dir: Direction| match labels {
         None => {
+            // wildcard expansion iterates the whole bucket in insertion
+            // order, which interleaves labels — only the hashmap has it
+            let graph = match dir {
+                Direction::In => ctx.snapshot.reversed(),
+                _ => ctx.snapshot.graph(),
+            };
             for e in graph.out_edges(v) {
-                visit(e);
+                visit(*e);
             }
         }
         Some(ls) => {
-            for l in ls {
-                for e in graph.out_edges_labeled(v, *l) {
+            let adj = ctx.adjacency(dir);
+            for &l in ls {
+                for e in adj.labeled(v, l) {
                     visit(e);
                 }
             }
         }
     };
     match direction {
-        Direction::Out => walk(snapshot.graph()),
-        Direction::In => walk(snapshot.reversed()),
+        Direction::Out => walk(Direction::Out),
+        Direction::In => walk(Direction::In),
         Direction::Both => {
-            walk(snapshot.graph());
-            walk(snapshot.reversed());
+            walk(Direction::Out);
+            walk(Direction::In);
         }
     }
 }
@@ -305,14 +418,14 @@ pub(crate) fn apply_op(
                 if !in_set(from, row.head) {
                     continue;
                 }
-                for_each_expansion_edge(ctx.snapshot, *direction, row.head, labels, |e| {
+                for_each_expansion_edge(ctx, *direction, row.head, labels, |e| {
                     ctx.count_expansion();
                     if !in_set(to, e.head) {
                         return;
                     }
                     next.push(ArenaRow {
                         source: row.source,
-                        path: writer.append(row.path, *e),
+                        path: writer.append(row.path, e),
                         head: e.head,
                         weight: row.weight,
                     });
@@ -504,8 +617,13 @@ pub(crate) fn parallel_with_threads(
     cap: Option<usize>,
     threads: usize,
 ) -> Result<Vec<ResultRow>, EngineError> {
-    let mut cursor =
-        RowCursor::compile_parallel(snapshot.clone(), plan.clone(), cap, Some(threads));
+    let mut cursor = RowCursor::compile_parallel(
+        snapshot.clone(),
+        plan.clone(),
+        cap,
+        Some(threads),
+        ExecConfig::default(),
+    );
     let mut rows = Vec::new();
     while let Some(row) = cursor.next_row()? {
         rows.push(row);
@@ -783,6 +901,7 @@ mod tests {
                 cap: None,
                 counters: &counters,
                 alive: None,
+                use_csr: true,
             };
             let reference = materialized(&ctx, naive.start(), naive.ops()).unwrap();
             for plan in [&naive, &optimized] {
@@ -801,6 +920,7 @@ mod tests {
             cap: None,
             counters: &counters,
             alive: None,
+            use_csr: true,
         };
         let r = materialized(&ctx, plan.start(), plan.ops()).unwrap();
         assert_eq!(r.len(), 4);

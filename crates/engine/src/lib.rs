@@ -50,6 +50,8 @@
 
 pub mod cancel;
 pub mod checkpoint;
+pub mod chunk;
+pub mod csr;
 pub mod cursor;
 pub mod error;
 pub mod exec;
@@ -62,13 +64,15 @@ pub mod value;
 pub mod wal;
 
 pub use cancel::CancelToken;
+pub use chunk::{RowChunk, DEFAULT_CHUNK_SIZE};
+pub use csr::CsrTopology;
 pub use cursor::RowCursor;
 pub use error::{EngineError, StoreError};
 pub use exec::{ExecStats, ExecutionStrategy};
 pub use pipeline::{Pipeline, StartSpec, Step, Traversal, WeightSpec};
 pub use plan::{
-    AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, Semantics, SemiringKind,
-    WeightSource, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
+    AutoMove, AutomatonSpec, Direction, LogicalPlan, OpEstimate, PlanOp, PlanReport, Semantics,
+    SemiringKind, WeightSource, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 pub use query::{QueryResult, ResultRow};
 pub use recovery::{RecoveryError, RecoveryReport};

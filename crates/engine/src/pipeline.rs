@@ -467,6 +467,8 @@ pub struct Traversal {
     threads: Option<usize>,
     timeout: Option<std::time::Duration>,
     cancel: Option<crate::cancel::CancelToken>,
+    vectorize: bool,
+    chunk: usize,
 }
 
 impl Traversal {
@@ -482,6 +484,8 @@ impl Traversal {
             threads: None,
             timeout: None,
             cancel: None,
+            vectorize: true,
+            chunk: crate::chunk::DEFAULT_CHUNK_SIZE,
         }
     }
 
@@ -958,6 +962,28 @@ impl Traversal {
         self
     }
 
+    /// Switches the vectorized execution machinery on or off (on by
+    /// default). When on, label-restricted expansions scan the snapshot's
+    /// [CSR topology](crate::csr::CsrTopology) instead of probing hash
+    /// buckets, and full-drain terminals move [chunks](crate::chunk) of rows
+    /// per cursor call. When off, execution takes the original
+    /// hashmap-adjacency scalar path — results are identical either way (the
+    /// vectorized-equivalence suite pins this); the knob exists for A/B
+    /// benchmarks and as a fallback.
+    pub fn vectorize(mut self, on: bool) -> Self {
+        self.vectorize = on;
+        self
+    }
+
+    /// Overrides the row-chunk target for full-drain execution (default
+    /// [`DEFAULT_CHUNK_SIZE`](crate::chunk::DEFAULT_CHUNK_SIZE)). Mostly a
+    /// benchmark/testing knob: 1 degenerates to scalar-sized batches, larger
+    /// values trade memory for fewer protocol round trips.
+    pub fn chunk_size(mut self, rows: usize) -> Self {
+        self.chunk = rows.max(1);
+        self
+    }
+
     /// The steps accumulated so far (used by the planner and tests).
     pub fn steps(&self) -> &[Step] {
         self.pipeline.steps()
@@ -976,9 +1002,7 @@ impl Traversal {
         let mut cursor = self.cursor()?;
         let snapshot = cursor.snapshot().clone();
         let mut rows = Vec::new();
-        while let Some(row) = cursor.next_row()? {
-            rows.push(row);
-        }
+        while cursor.next_chunk(&mut rows)? {}
         Ok(QueryResult::new(rows, snapshot, cursor.stats()))
     }
 
@@ -1001,12 +1025,16 @@ impl Traversal {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
-        let mut cursor = RowCursor::compile_with_threads(
+        let mut cursor = RowCursor::compile_with_config(
             snapshot,
             optimized,
             self.strategy,
             self.max_intermediate,
             self.threads,
+            crate::exec::ExecConfig {
+                use_csr: self.vectorize,
+                chunk: self.chunk,
+            },
         );
         if let Some(timeout) = self.timeout {
             cursor.set_deadline(std::time::Instant::now() + timeout);

@@ -309,6 +309,30 @@ impl WeightSource {
 /// The symbolic DFA's matcher budget (signatures are packed into a `u64`).
 const MAX_AUTOMATON_ATOMS: usize = 64;
 
+/// One compiled `(state, label) → target` transition of an [`AutomatonSpec`],
+/// enriched at compile time with everything the hot walk loops would
+/// otherwise re-derive per produced row: whether the target accepts, whether
+/// the target has any live outgoing moves, and the admissible lower bound on
+/// edges from the target to acceptance. Hoisting these into the move table
+/// lets both the scalar and chunked walkers skip dead states without a
+/// per-row `is_accept`/`moves(target).is_empty()`/`dist_to_accept` lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoMove {
+    /// The edge label consumed by this move.
+    pub label: LabelId,
+    /// The DFA state the move leads to.
+    pub target: usize,
+    /// Whether `target` is an accepting state (`accept[target]`).
+    pub accepts: bool,
+    /// Whether `target` has at least one (post-pruning) outgoing move — i.e.
+    /// whether frontier entries parked at `target` can ever expand further.
+    pub target_live: bool,
+    /// Minimum number of edges any word needs to reach acceptance from
+    /// `target`. Always finite: moves into accept-unreachable states are
+    /// pruned from the table at compile time.
+    pub min_edges_to_accept: usize,
+}
+
 /// A compiled, minimized label-regex automaton ready for product evaluation:
 /// transitions are per-`(state, label)` moves derived from the graph-relative
 /// symbolic DFA, so executors walk `out_edges_labeled` adjacency directly.
@@ -326,11 +350,12 @@ pub struct AutomatonSpec {
     start: usize,
     /// Per-state acceptance.
     accept: Vec<bool>,
-    /// Per-state `(label, target)` moves, in the graph's label order. Moves
-    /// into states that cannot reach an accepting state over the graph's
-    /// label alphabet are pruned at compile time (they could only ever feed
-    /// dead frontier entries).
-    by_label: Vec<Vec<(LabelId, usize)>>,
+    /// Per-state enriched moves, in the graph's label order. Moves into
+    /// states that cannot reach an accepting state over the graph's label
+    /// alphabet are pruned at compile time (they could only ever feed dead
+    /// frontier entries); the survivors carry precomputed
+    /// accepts/liveness/distance facts (see [`AutoMove`]).
+    by_label: Vec<Vec<AutoMove>>,
     /// Per-state minimum edges to reach acceptance
     /// ([`mrpa_regex::Dfa::min_edges_to_accept`]); an admissible lower bound
     /// used by bounded weighted search to prune entries that cannot finish
@@ -374,8 +399,8 @@ impl AutomatonSpec {
         self.accept[state]
     }
 
-    /// The `(label, target)` moves out of `state`.
-    pub fn moves(&self, state: usize) -> &[(LabelId, usize)] {
+    /// The enriched moves out of `state`.
+    pub fn moves(&self, state: usize) -> &[AutoMove] {
         &self.by_label[state]
     }
 
@@ -400,7 +425,7 @@ impl AutomatonSpec {
         while let Some((state, idx)) = stack.pop() {
             match self.by_label[state].get(idx) {
                 None => colour[state] = BLACK,
-                Some(&(_, target)) => {
+                Some(&AutoMove { target, .. }) => {
                     stack.push((state, idx + 1));
                     match colour[target] {
                         GREY => return true,
@@ -560,6 +585,72 @@ impl LogicalPlan {
             }
         }
         self.ops.iter().any(op_needs)
+    }
+
+    /// Which CSR directions evaluating this plan can read, as
+    /// `(out, in)` — i.e. which label-restricted expansions it contains
+    /// (recursively, through repeat bodies). Wildcard expansions read the
+    /// hashmap adjacency and do not count. The executors use this annotation
+    /// to prewarm exactly the CSR caches a vectorized run will touch, so
+    /// pure-`Out` plans never build the In-CSR (nor, transitively, the
+    /// reversed graph) and plans with no labeled expansion build nothing.
+    pub fn csr_directions(&self) -> (bool, bool) {
+        fn op_dirs(op: &PlanOp, out: &mut bool, in_: &mut bool) {
+            let mut mark = |d: Direction| match d {
+                Direction::Out => *out = true,
+                Direction::In => *in_ = true,
+                Direction::Both => {
+                    *out = true;
+                    *in_ = true;
+                }
+            };
+            match op {
+                PlanOp::Expand {
+                    direction, labels, ..
+                } => {
+                    if labels.is_some() {
+                        mark(*direction);
+                    }
+                }
+                PlanOp::ExpandAutomaton { spec, .. } | PlanOp::ExpandWeighted { spec, .. } => {
+                    mark(spec.direction());
+                }
+                PlanOp::Repeat { body, .. } => {
+                    for op in body {
+                        op_dirs(op, out, in_);
+                    }
+                }
+                PlanOp::RestrictVertices(_)
+                | PlanOp::RestrictProperty { .. }
+                | PlanOp::DedupByVertex
+                | PlanOp::Limit(_) => {}
+            }
+        }
+        let (mut out, mut in_) = (false, false);
+        for op in &self.ops {
+            op_dirs(op, &mut out, &mut in_);
+        }
+        (out, in_)
+    }
+
+    /// Whether the plan benefits from chunked (vectorized) pulls: it contains
+    /// at least one expansion op (recursively). Expansion-free plans are pure
+    /// per-row filters over the start frontier — chunking them only adds
+    /// buffering, so the cursor keeps them on the scalar drain.
+    pub fn chunk_capable(&self) -> bool {
+        fn op_expands(op: &PlanOp) -> bool {
+            match op {
+                PlanOp::Expand { .. }
+                | PlanOp::ExpandAutomaton { .. }
+                | PlanOp::ExpandWeighted { .. }
+                | PlanOp::Repeat { .. } => true,
+                PlanOp::RestrictVertices(_)
+                | PlanOp::RestrictProperty { .. }
+                | PlanOp::DedupByVertex
+                | PlanOp::Limit(_) => false,
+            }
+        }
+        self.ops.iter().any(op_expands)
     }
 
     /// Number of expansion (join) steps at the top level of the plan.
@@ -970,18 +1061,37 @@ fn compile_label_regex(
     let graph = snapshot.graph();
     let nfa = Nfa::compile(&regex.to_path_regex());
     let dfa = minimize(&Dfa::compile(&nfa, graph));
-    let accept = (0..dfa.state_count)
+    let accept: Vec<bool> = (0..dfa.state_count)
         .map(|s| dfa.is_accept_state(s))
         .collect();
-    let mut by_label = dfa.label_transition_table(graph);
-    let dist_to_accept = dfa.min_edges_to_accept_from_table(&by_label);
+    let mut raw = dfa.label_transition_table(graph);
+    let dist_to_accept = dfa.min_edges_to_accept_from_table(&raw);
     // dead-state pruning: a move into a state that cannot reach acceptance
     // (e.g. the minimized DFA's merged dead block, or a suffix requiring a
     // label with no edges) can only feed frontier entries that never emit —
     // dropping it preserves the emission sequence exactly
-    for row in &mut by_label {
+    for row in &mut raw {
         row.retain(|&(_, target)| dist_to_accept[target].is_some());
     }
+    // second pass: enrich the surviving moves with the per-target facts the
+    // walkers need, so acceptance/liveness/distance checks happen once per
+    // compile instead of once per produced row
+    let live: Vec<bool> = raw.iter().map(|row| !row.is_empty()).collect();
+    let by_label: Vec<Vec<AutoMove>> = raw
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|(label, target)| AutoMove {
+                    label,
+                    target,
+                    accepts: accept[target],
+                    target_live: live[target],
+                    min_edges_to_accept: dist_to_accept[target]
+                        .expect("pruned table only keeps accept-reachable targets"),
+                })
+                .collect()
+        })
+        .collect();
     AutomatonSpec {
         pattern,
         direction,
@@ -1507,7 +1617,7 @@ fn estimate_op(snapshot: &GraphSnapshot, rows: f64, op: &PlanOp) -> f64 {
                 let mut ls: Vec<LabelId> = spec
                     .by_label
                     .iter()
-                    .flat_map(|moves| moves.iter().map(|&(l, _)| l))
+                    .flat_map(|moves| moves.iter().map(|m| m.label))
                     .collect();
                 ls.sort_unstable();
                 ls.dedup();
@@ -2190,8 +2300,13 @@ mod tests {
             assert_eq!(spec.is_accept(state), spec.dist_to_accept(state) == Some(0));
             // the dead-state pruning invariant: every surviving move leads
             // to a state that can still reach acceptance
-            for &(_, target) in spec.moves(state) {
-                assert!(spec.dist_to_accept(target).is_some());
+            for m in spec.moves(state) {
+                assert!(spec.dist_to_accept(m.target).is_some());
+                // the enrichment invariant: the precomputed facts agree with
+                // the per-state accessors they replace in the hot loops
+                assert_eq!(m.accepts, spec.is_accept(m.target));
+                assert_eq!(m.target_live, !spec.moves(m.target).is_empty());
+                assert_eq!(spec.dist_to_accept(m.target), Some(m.min_edges_to_accept));
             }
         }
     }

@@ -55,6 +55,7 @@ use parking_lot::RwLock;
 use mrpa_core::{Edge, GraphInterner, LabelId, MultiGraph, VertexId};
 
 use crate::checkpoint::{write_checkpoint, CheckpointData};
+use crate::csr::CsrTopology;
 use crate::error::{EngineError, StoreError};
 use crate::recovery::{recover, RecoveryReport};
 use crate::value::Value;
@@ -68,6 +69,9 @@ pub(crate) struct StoreMetrics {
     deep_clones: AtomicU64,
     /// Reversed-graph builds (at most one per generation, only on demand).
     reversed_builds: AtomicU64,
+    /// CSR topology builds (at most one per generation *per direction*, only
+    /// on demand; the In-direction build sits on top of the reversed graph).
+    csr_builds: AtomicU64,
     /// WAL records appended (durable stores only).
     wal_records: AtomicU64,
     /// Checkpoints successfully installed.
@@ -95,6 +99,13 @@ pub struct StoreStats {
     pub deep_clones: u64,
     /// Reversed-graph builds performed so far.
     pub reversed_builds: u64,
+    /// CSR topology builds performed so far (at most one per generation per
+    /// direction, zero until a vectorized traversal asks for one).
+    pub csr_builds: u64,
+    /// Resident bytes of the **current** generation's built CSR caches — a
+    /// live gauge recomputed from whichever of the Out/In CSRs exist right
+    /// now, so it drops back when a mutation starts a fresh generation.
+    pub csr_bytes: u64,
     /// WAL records appended so far (0 for in-memory stores).
     pub wal_records: u64,
     /// Checkpoints successfully installed so far.
@@ -123,6 +134,14 @@ pub(crate) struct GraphState {
     /// `Arc` so that a property-only copy-on-write (which cannot change edge
     /// structure) can carry the built cache into the new generation.
     pub(crate) reversed: OnceLock<Arc<MultiGraph>>,
+    /// Per-generation cache of the Out-direction [`CsrTopology`], built at
+    /// most once per generation on first vectorized use; same carry/invalidate
+    /// discipline as `reversed`.
+    pub(crate) csr_out: OnceLock<Arc<CsrTopology>>,
+    /// Per-generation cache of the In-direction [`CsrTopology`] — built over
+    /// the cached reversed graph, so its segment order matches what scalar
+    /// In-walks iterate.
+    pub(crate) csr_in: OnceLock<Arc<CsrTopology>>,
     /// Shared across generations of one store (a handle, not data).
     pub(crate) metrics: Arc<StoreMetrics>,
 }
@@ -136,6 +155,8 @@ impl Clone for GraphState {
             vertex_props: self.vertex_props.clone(),
             edge_props: self.edge_props.clone(),
             reversed: OnceLock::new(),
+            csr_out: OnceLock::new(),
+            csr_in: OnceLock::new(),
             metrics: Arc::clone(&self.metrics),
         }
     }
@@ -158,6 +179,38 @@ impl GraphState {
                 Arc::new(self.graph.reversed())
             })
             .as_ref()
+    }
+
+    /// The Out-direction CSR of this generation, built on first use.
+    fn csr_out(&self) -> &CsrTopology {
+        self.csr_out
+            .get_or_init(|| {
+                self.metrics.csr_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(CsrTopology::build(&self.graph))
+            })
+            .as_ref()
+    }
+
+    /// The In-direction CSR of this generation, built on first use over the
+    /// (likewise lazily cached) reversed graph: the reversed graph's bucket
+    /// order is exactly what scalar In-walks iterate, so freezing *it* — and
+    /// not the forward `in_label_index`, whose order can diverge after
+    /// `swap_remove` deletions — preserves row order bit-for-bit.
+    fn csr_in(&self) -> &CsrTopology {
+        self.csr_in
+            .get_or_init(|| {
+                self.metrics.csr_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(CsrTopology::build(self.reversed()))
+            })
+            .as_ref()
+    }
+
+    /// Resident bytes of whichever CSR caches this generation has built —
+    /// the live `csr_bytes` gauge.
+    fn csr_bytes(&self) -> u64 {
+        let out = self.csr_out.get().map_or(0, |c| c.bytes());
+        let inn = self.csr_in.get().map_or(0, |c| c.bytes());
+        (out + inn) as u64
     }
 
     /// Applies one logged operation to this generation. This is the **single
@@ -244,6 +297,8 @@ impl Inner {
         self.epoch += 1;
         let state = Arc::make_mut(&mut self.state);
         state.reversed.take();
+        state.csr_out.take();
+        state.csr_in.take();
         state
     }
 
@@ -254,10 +309,18 @@ impl Inner {
     fn mutate_props(&mut self) -> &mut GraphState {
         self.epoch += 1;
         let carried = self.state.reversed.get().cloned();
+        let carried_out = self.state.csr_out.get().cloned();
+        let carried_in = self.state.csr_in.get().cloned();
         let state = Arc::make_mut(&mut self.state);
         if let Some(reversed) = carried {
             // no-op on the in-place path (the cache is still set there)
             let _ = state.reversed.set(reversed);
+        }
+        if let Some(csr) = carried_out {
+            let _ = state.csr_out.set(csr);
+        }
+        if let Some(csr) = carried_in {
+            let _ = state.csr_in.set(csr);
         }
         state
     }
@@ -635,6 +698,8 @@ impl PropertyGraph {
             generation: inner.epoch,
             deep_clones: m.deep_clones.load(Ordering::Relaxed),
             reversed_builds: m.reversed_builds.load(Ordering::Relaxed),
+            csr_builds: m.csr_builds.load(Ordering::Relaxed),
+            csr_bytes: inner.state.csr_bytes(),
             wal_records: m.wal_records.load(Ordering::Relaxed),
             checkpoints: m.checkpoints.load(Ordering::Relaxed),
             replayed_records: m.replayed_records.load(Ordering::Relaxed),
@@ -894,6 +959,34 @@ impl GraphSnapshot {
     /// build mid-traversal.
     pub fn prewarm_reversed(&self) {
         let _ = self.state.reversed();
+    }
+
+    /// The Out-direction [`CsrTopology`] of the pinned generation. Built
+    /// lazily on the first call and cached for the generation (see
+    /// [`StoreStats::csr_builds`]); scalar-only traversals never trigger the
+    /// build.
+    pub fn csr_out(&self) -> &CsrTopology {
+        self.state.csr_out()
+    }
+
+    /// The In-direction [`CsrTopology`] of the pinned generation, built over
+    /// the cached reversed graph so segment order matches scalar In-walks.
+    /// Pure-`Out` traversals never trigger this build (nor the reversed
+    /// graph's).
+    pub fn csr_in(&self) -> &CsrTopology {
+        self.state.csr_in()
+    }
+
+    /// Forces the CSR caches a plan will need to be built now (a no-op per
+    /// direction if already built). The parallel executor calls this so
+    /// worker threads never stall on a first-touch build mid-traversal.
+    pub fn prewarm_csr(&self, out: bool, in_: bool) {
+        if out {
+            let _ = self.state.csr_out();
+        }
+        if in_ {
+            let _ = self.state.csr_in();
+        }
     }
 
     /// The epoch of the generation this snapshot pins (see

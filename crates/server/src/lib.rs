@@ -14,7 +14,7 @@
 //! (if present) and carries `ok`, `elapsed_us`, per-session counters
 //! (`session.queries` / `session.rows` / `session.errors`), and live store
 //! counters (`store.generation` / `store.live_snapshots` /
-//! `store.deep_clones`).
+//! `store.deep_clones` / `store.csr_builds` / `store.csr_bytes`).
 //!
 //! | `op`             | request fields                                               | response payload                         |
 //! |------------------|--------------------------------------------------------------|------------------------------------------|
@@ -417,6 +417,8 @@ impl<'a> Session<'a> {
                 ("generation", Value::from(stats.generation)),
                 ("live_snapshots", Value::from(stats.live_snapshots)),
                 ("deep_clones", Value::from(stats.deep_clones)),
+                ("csr_builds", Value::from(stats.csr_builds)),
+                ("csr_bytes", Value::from(stats.csr_bytes)),
             ]),
         ));
         Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -451,6 +453,8 @@ impl<'a> Session<'a> {
                     ("generation", Value::from(s.generation)),
                     ("deep_clones", Value::from(s.deep_clones)),
                     ("reversed_builds", Value::from(s.reversed_builds)),
+                    ("csr_builds", Value::from(s.csr_builds)),
+                    ("csr_bytes", Value::from(s.csr_bytes)),
                     ("wal_records", Value::from(s.wal_records)),
                     ("checkpoints", Value::from(s.checkpoints)),
                     ("replayed_records", Value::from(s.replayed_records)),
@@ -798,6 +802,9 @@ mod tests {
         assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
         assert_eq!(r.get("pong").and_then(Value::as_bool), Some(true));
         assert!(r.get("store").and_then(|s| s.get("generation")).is_some());
+        // the CSR gauges ride every response envelope
+        assert!(r.get("store").and_then(|s| s.get("csr_builds")).is_some());
+        assert!(r.get("store").and_then(|s| s.get("csr_bytes")).is_some());
         server.shutdown();
     }
 
