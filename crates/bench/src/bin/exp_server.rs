@@ -20,12 +20,20 @@
 //!   the very next query on the same connection must succeed.
 //! * **admission control** — a deliberately tiny `max_intermediate` must be
 //!   rejected with the `bound` error kind.
+//! * **observability surface** — the `metrics` op in both JSON and
+//!   Prometheus form (the exposition is run through a strict line parser:
+//!   metric-name charset, `# TYPE` declarations, label escaping), a wire
+//!   `PROFILE` query whose response carries a trace tree, and the `slowlog`
+//!   op against a zero-threshold server.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use mrpa_bench::{fmt_f, time, Table};
 use mrpa_datagen::{ingest_multigraph, preferential_attachment, BaConfig};
-use mrpa_engine::PropertyGraph;
+use mrpa_engine::metrics::escape_label;
+use mrpa_engine::{classic_social_graph, PropertyGraph};
 use mrpa_server::json::Value;
 use mrpa_server::{serve, Client, ServerConfig};
 
@@ -103,6 +111,103 @@ fn reader_pass(
         }
     }
     requests
+}
+
+/// Strict line-by-line check of the Prometheus text exposition: every line
+/// is a `# HELP`/`# TYPE` comment or a sample whose metric name obeys the
+/// charset, whose labels are correctly quoted and escaped, and whose value
+/// is numeric. Returns the map of declared `# TYPE`s.
+fn validate_prometheus(text: &str) -> BTreeMap<String, String> {
+    fn name_ok(s: &str) -> bool {
+        let mut chars = s.chars();
+        matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    /// Parses the `k="v",…` body between braces, enforcing the escaping
+    /// rules: only `\\`, `\"` and `\n` escapes, no raw newlines.
+    fn labels_ok(mut rest: &str) -> Result<(), String> {
+        loop {
+            let eq = rest.find('=').ok_or("label without '='")?;
+            let key = &rest[..eq];
+            if !name_ok(key) {
+                return Err(format!("bad label name {key:?}"));
+            }
+            rest = rest[eq + 1..]
+                .strip_prefix('"')
+                .ok_or("label value not quoted")?;
+            let mut chars = rest.char_indices();
+            let end = loop {
+                match chars.next().ok_or("unterminated label value")? {
+                    (_, '\\') => match chars.next().ok_or("dangling backslash")?.1 {
+                        '\\' | '"' | 'n' => {}
+                        e => return Err(format!("invalid escape \\{e}")),
+                    },
+                    (i, '"') => break i,
+                    (_, '\n') => return Err("raw newline in label value".into()),
+                    _ => {}
+                }
+            };
+            rest = &rest[end + 1..];
+            if rest.is_empty() {
+                return Ok(());
+            }
+            rest = rest
+                .strip_prefix(',')
+                .ok_or("expected ',' between labels")?;
+        }
+    }
+    let mut types = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            let kw = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            assert!(name_ok(name), "bad metric name in comment {line:?}");
+            match kw {
+                "HELP" => {}
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    assert!(
+                        matches!(kind, "counter" | "gauge" | "histogram"),
+                        "unknown TYPE in {line:?}"
+                    );
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                _ => panic!("unknown comment keyword in {line:?}"),
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample without value: {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN"),
+            "non-numeric sample value in {line:?}"
+        );
+        let name = match series.find('{') {
+            Some(brace) => {
+                let body = series
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated labels in {line:?}"));
+                labels_ok(&body[brace + 1..]).unwrap_or_else(|e| panic!("{e} in {line:?}"));
+                &series[..brace]
+            }
+            None => series,
+        };
+        assert!(name_ok(name), "bad sample name in {line:?}");
+        let base = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(
+            types.contains_key(name) || types.contains_key(base),
+            "sample {name:?} has no preceding # TYPE declaration"
+        );
+    }
+    types
 }
 
 fn main() {
@@ -296,6 +401,114 @@ fn main() {
     t3.row(["server-side elapsed µs".into(), fmt_f(cancel_elapsed_us)]);
     t3.print("deadline cancellation + admission control");
 
+    // -----------------------------------------------------------------
+    // 5. observability surface: metrics, Prometheus exposition, slowlog
+    // -----------------------------------------------------------------
+    let r = canceller
+        .request(r#"{"op":"metrics"}"#)
+        .expect("metrics json");
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let metrics = r
+        .get("metrics")
+        .and_then(Value::as_array)
+        .expect("metrics array");
+    let queries_total = metrics
+        .iter()
+        .find(|m| m.get("name").and_then(Value::as_str) == Some("mrpa_queries_total"))
+        .expect("mrpa_queries_total registered");
+    assert_eq!(
+        queries_total.get("type").and_then(Value::as_str),
+        Some("counter")
+    );
+    let queries_seen = queries_total
+        .get("value")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    assert!(
+        queries_seen >= requests_readonly as f64,
+        "registry saw {queries_seen} queries after {requests_readonly}+ requests"
+    );
+
+    let r = canceller
+        .request(r#"{"op":"metrics","format":"prometheus"}"#)
+        .expect("metrics prometheus");
+    let text = r
+        .get("metrics_text")
+        .and_then(Value::as_str)
+        .expect("metrics_text");
+    let types = validate_prometheus(text);
+    assert_eq!(
+        types.get("mrpa_queries_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("mrpa_query_latency_us").map(String::as_str),
+        Some("histogram")
+    );
+    assert!(
+        text.contains("mrpa_query_latency_us_bucket{le=\"+Inf\"}"),
+        "histogram exposition must end with the +Inf bucket"
+    );
+    // label escaping: whatever escape_label emits must survive the parser
+    let synthetic = format!(
+        "# TYPE probe_metric counter\nprobe_metric{{path=\"{}\"}} 1\n",
+        escape_label("C:\\tmp\\\"quoted\"\nnext line")
+    );
+    validate_prometheus(&synthetic);
+
+    // slowlog, against a dedicated zero-threshold server so every query
+    // is captured regardless of how fast this machine is
+    let obs = serve(
+        classic_social_graph(),
+        ServerConfig {
+            slowlog_threshold: Some(Duration::ZERO),
+            slowlog_capacity: 8,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind obs server");
+    let mut oc = Client::connect(obs.local_addr()).expect("obs client");
+    let plain = oc.query("FROM marko OUT knows", None).expect("plain");
+    assert_eq!(plain.get("ok").and_then(Value::as_bool), Some(true));
+    let profiled = oc
+        .query(
+            "PROFILE FROM marko MATCH -[knows+·created]-> WITHIN 3 DEDUP",
+            None,
+        )
+        .expect("profiled");
+    assert_eq!(profiled.get("ok").and_then(Value::as_bool), Some(true));
+    let trace = profiled.get("trace").expect("wire PROFILE returns a trace");
+    assert!(trace.get("root").and_then(|n| n.get("op")).is_some());
+    assert!(trace.get("strategy").and_then(Value::as_str).is_some());
+    let slowlog = oc.request(r#"{"op":"slowlog"}"#).expect("slowlog");
+    let entries = slowlog
+        .get("slowlog")
+        .and_then(Value::as_array)
+        .expect("slowlog entries");
+    assert_eq!(entries.len(), 2, "both queries cross a zero threshold");
+    assert_eq!(
+        entries[0].get("ranked_by").and_then(Value::as_str),
+        Some("self_time"),
+        "newest-first: the profiled query ranks ops by measured self time"
+    );
+    for entry in entries {
+        assert!(entry.get("duration_us").and_then(Value::as_f64).is_some());
+        let ops = entry
+            .get("top_ops")
+            .and_then(Value::as_array)
+            .expect("top_ops");
+        assert!(!ops.is_empty(), "slow entries carry their hottest ops");
+    }
+    obs.shutdown();
+
+    let mut t4 = Table::new(["measure", "value"]);
+    t4.row(["registry metrics".into(), metrics.len().to_string()]);
+    t4.row(["queries counted".into(), fmt_f(queries_seen)]);
+    t4.row(["prometheus series types".into(), types.len().to_string()]);
+    t4.row(["slowlog entries".into(), entries.len().to_string()]);
+    t4.print("observability surface: metrics + Prometheus + PROFILE + slowlog");
+
     let checked_total = rows_checked.load(Ordering::Relaxed);
     server.shutdown();
 
@@ -311,7 +524,12 @@ fn main() {
          \"cancellation\": {{\"dense_baseline_ms\": {dense_ms:.2}, \
          \"cancelled_after_ms\": {cancel_ms:.2}, \"post_cancel_ok\": true}},\n  \
          \"admission\": {{\"kind\": \"bound\"}},\n  \
-         \"verified\": \"{checked_total} responses byte-compared to frozen references under all 3 strategies\"\n}}\n"
+         \"observability\": {{\"registry_metrics\": {}, \"prometheus_series\": {}, \
+         \"slowlog_entries\": {}, \"profile_over_wire\": true}},\n  \
+         \"verified\": \"{checked_total} responses byte-compared to frozen references under all 3 strategies\"\n}}\n",
+        metrics.len(),
+        types.len(),
+        entries.len()
     );
     let path = "BENCH_server.json";
     std::fs::write(path, &json).expect("write BENCH_server.json");

@@ -280,12 +280,13 @@ impl PageWriter<'_> {
 
 /// Writes `data` as `checkpoint.tmp` in `dir`, fsyncs it, and atomically
 /// renames it over `checkpoint.bin`. Honors the [`FailPoint::CheckpointWrite`]
-/// and [`FailPoint::CheckpointRename`] crash boundaries.
+/// and [`FailPoint::CheckpointRename`] crash boundaries. Returns the
+/// checkpoint's on-disk size in bytes (the `checkpoint_bytes` counter).
 pub(crate) fn write_checkpoint(
     dir: &Path,
     data: &CheckpointData,
     fail: &FailPlan,
-) -> Result<(), StoreError> {
+) -> Result<u64, StoreError> {
     let tmp_path = dir.join(CHECKPOINT_TMP);
     let final_path = dir.join(CHECKPOINT_FILE);
     let mut file = OpenOptions::new()
@@ -332,6 +333,10 @@ pub(crate) fn write_checkpoint(
     }
     file.sync_all()
         .map_err(|e| StoreError::io("syncing checkpoint.tmp", &e))?;
+    let bytes = file
+        .metadata()
+        .map_err(|e| StoreError::io("sizing checkpoint.tmp", &e))?
+        .len();
     if fail.hit(FailPoint::CheckpointRename) {
         return Err(StoreError::Injected(FailPoint::CheckpointRename));
     }
@@ -341,7 +346,7 @@ pub(crate) fn write_checkpoint(
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
-    Ok(())
+    Ok(bytes)
 }
 
 // ---------------------------------------------------------------------------

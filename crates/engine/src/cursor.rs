@@ -30,8 +30,10 @@
 //! check (a top-level op runs once, so its cumulative output *is* its level),
 //! making the cap strategy-agnostic.
 
+use std::cell::Cell;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 use mrpa_core::fxhash::FxHashSet;
 use mrpa_core::{ArenaWriter, Edge, IdForwarder, PathArena, VertexId};
@@ -41,13 +43,14 @@ use crate::chunk::{ChunkPull, RowChunk};
 use crate::error::EngineError;
 use crate::exec::{
     apply_ops, check_cap, eval_until, for_each_expansion_edge, in_set, initial_rows, materialized,
-    ArenaRow, Counters, ExecConfig, ExecCtx, ExecStats, ExecutionStrategy,
+    materialized_traced, ArenaRow, Counters, ExecConfig, ExecCtx, ExecStats, ExecutionStrategy,
 };
 use crate::plan::{
     AutomatonSpec, Direction, LogicalPlan, PlanOp, Semantics, SemiringKind, WeightSource,
 };
 use crate::query::ResultRow;
 use crate::store::GraphSnapshot;
+use crate::trace::OpActuals;
 use crate::value::Predicate;
 
 use mrpa_core::LabelId;
@@ -650,6 +653,25 @@ impl WeightedWalk {
 pub(crate) struct Stage {
     op: StageOp,
     out_count: usize,
+    /// Profiling counters, attached only when the cursor was compiled with
+    /// [`ExecConfig::profile`]. `None` (the production default) costs one
+    /// branch per pull.
+    trace: Option<Box<StageTraceRec>>,
+}
+
+/// Per-stage profiling counters: plain `Cell`s like [`Counters`], one record
+/// per stage instance (so one per partition under the parallel strategy),
+/// summed at collection time — never atomics on the hot path. Time and
+/// counter deltas are recorded *inclusive* of upstream stages (the pull
+/// wrapper brackets the whole upstream chain) and converted to exclusive
+/// self-values when collected, since a pipeline is a chain.
+#[derive(Debug, Default)]
+struct StageTraceRec {
+    pulls: Cell<u64>,
+    chunks: Cell<u64>,
+    nanos: Cell<u64>,
+    expansions: Cell<u64>,
+    interned: Cell<u64>,
 }
 
 #[derive(Debug)]
@@ -725,7 +747,85 @@ enum StageOp {
 
 impl Stage {
     fn new(op: StageOp) -> Stage {
-        Stage { op, out_count: 0 }
+        Stage {
+            op,
+            out_count: 0,
+            trace: None,
+        }
+    }
+
+    /// The stage's upstream input, if any (sources have none).
+    fn input_ref(&self) -> Option<&Stage> {
+        match &self.op {
+            StageOp::Source { .. } | StageOp::Feed { .. } => None,
+            StageOp::Expand { input, .. }
+            | StageOp::Automaton { input, .. }
+            | StageOp::Weighted { input, .. }
+            | StageOp::Repeat { input, .. }
+            | StageOp::RestrictVertices { input, .. }
+            | StageOp::RestrictProperty { input, .. }
+            | StageOp::Dedup { input, .. }
+            | StageOp::Limit { input, .. } => Some(input),
+        }
+    }
+
+    fn input_mut(&mut self) -> Option<&mut Stage> {
+        match &mut self.op {
+            StageOp::Source { .. } | StageOp::Feed { .. } => None,
+            StageOp::Expand { input, .. }
+            | StageOp::Automaton { input, .. }
+            | StageOp::Weighted { input, .. }
+            | StageOp::Repeat { input, .. }
+            | StageOp::RestrictVertices { input, .. }
+            | StageOp::RestrictProperty { input, .. }
+            | StageOp::Dedup { input, .. }
+            | StageOp::Limit { input, .. } => Some(input),
+        }
+    }
+
+    /// Attaches a profiling record to every stage in the chain.
+    pub(crate) fn enable_trace(&mut self) {
+        self.trace = Some(Box::default());
+        if let Some(input) = self.input_mut() {
+            input.enable_trace();
+        }
+    }
+
+    /// Whether profiling records are attached.
+    pub(crate) fn has_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Collects per-op actuals source-first (index 0 = source stage),
+    /// converting each stage's inclusive counters to exclusive self-values
+    /// by subtracting its input's inclusive totals.
+    pub(crate) fn collect_trace(&self, out: &mut Vec<OpActuals>) {
+        self.collect_trace_inner(out, &mut (0, 0, 0));
+    }
+
+    fn collect_trace_inner(&self, out: &mut Vec<OpActuals>, upstream: &mut (u64, u64, u64)) {
+        if let Some(input) = self.input_ref() {
+            input.collect_trace_inner(out, upstream);
+        }
+        let (nanos, expansions, interned, pulls, chunks) = match &self.trace {
+            Some(tr) => (
+                tr.nanos.get(),
+                tr.expansions.get(),
+                tr.interned.get(),
+                tr.pulls.get(),
+                tr.chunks.get(),
+            ),
+            None => (upstream.0, upstream.1, upstream.2, 0, 0),
+        };
+        out.push(OpActuals {
+            rows_out: self.out_count as u64,
+            pulls,
+            chunks,
+            nanos: nanos.saturating_sub(upstream.0),
+            expansions: expansions.saturating_sub(upstream.1),
+            interned: interned.saturating_sub(upstream.2),
+        });
+        *upstream = (nanos, expansions, interned);
     }
 
     /// A pipeline over fixed start rows. Consumes the op sequence — cursor
@@ -886,7 +986,23 @@ impl Stage {
         arena: &PathArena,
     ) -> Result<Pull, EngineError> {
         ctx.ensure_alive()?;
-        let pulled = Self::pull_op(&mut self.op, self.out_count, ctx, arena)?;
+        let pulled = if self.trace.is_some() {
+            let before = ctx.counters.stats();
+            let started = Instant::now();
+            let res = Self::pull_op(&mut self.op, self.out_count, ctx, arena);
+            let elapsed = started.elapsed().as_nanos() as u64;
+            let after = ctx.counters.stats();
+            let tr = self.trace.as_deref().expect("checked above");
+            tr.pulls.set(tr.pulls.get() + 1);
+            tr.nanos.set(tr.nanos.get() + elapsed);
+            tr.expansions
+                .set(tr.expansions.get() + (after.expansions - before.expansions));
+            tr.interned
+                .set(tr.interned.get() + (after.interned_nodes - before.interned_nodes));
+            res?
+        } else {
+            Self::pull_op(&mut self.op, self.out_count, ctx, arena)?
+        };
         if matches!(pulled, ControlFlow::Continue(Some(_))) {
             self.out_count += 1;
             check_cap(self.out_count, ctx.cap)?;
@@ -1121,7 +1237,23 @@ impl Stage {
     ) -> Result<ChunkPull, EngineError> {
         ctx.ensure_alive()?;
         let base = out.len();
-        let res = Self::pull_op_chunk(&mut self.op, self.out_count, ctx, arena, target, out)?;
+        let res = if self.trace.is_some() {
+            let before = ctx.counters.stats();
+            let started = Instant::now();
+            let res = Self::pull_op_chunk(&mut self.op, self.out_count, ctx, arena, target, out);
+            let elapsed = started.elapsed().as_nanos() as u64;
+            let after = ctx.counters.stats();
+            let tr = self.trace.as_deref().expect("checked above");
+            tr.chunks.set(tr.chunks.get() + 1);
+            tr.nanos.set(tr.nanos.get() + elapsed);
+            tr.expansions
+                .set(tr.expansions.get() + (after.expansions - before.expansions));
+            tr.interned
+                .set(tr.interned.get() + (after.interned_nodes - before.interned_nodes));
+            res?
+        } else {
+            Self::pull_op_chunk(&mut self.op, self.out_count, ctx, arena, target, out)?
+        };
         let appended = out.len() - base;
         if appended > 0 {
             self.out_count += appended;
@@ -1497,6 +1629,9 @@ enum Inner {
     Batch {
         plan: LogicalPlan,
         buffered: Option<std::vec::IntoIter<ResultRow>>,
+        /// Per-op actuals recorded by the profiled batch run (populated on
+        /// the first pull when [`ExecConfig::profile`] is set).
+        trace: Option<Vec<OpActuals>>,
     },
     Parallel(Box<ParallelState>),
 }
@@ -1538,7 +1673,10 @@ impl RowCursor {
             ExecutionStrategy::Streaming => {
                 let chunkable = plan.chunk_capable();
                 let (start, ops) = plan.into_parts();
-                let root = Stage::pipeline(initial_rows(&start), ops);
+                let mut root = Stage::pipeline(initial_rows(&start), ops);
+                if config.profile {
+                    root.enable_trace();
+                }
                 RowCursor {
                     snapshot,
                     cap,
@@ -1574,6 +1712,7 @@ impl RowCursor {
             inner: Inner::Batch {
                 plan,
                 buffered: None,
+                trace: None,
             },
             config,
             chunkable: false,
@@ -1640,23 +1779,33 @@ impl RowCursor {
         let chunk_size = start.len().div_ceil(threads);
         let partitions: Vec<Partition> = start
             .chunks(chunk_size)
-            .map(|chunk| Partition {
-                arena: PathArena::new(),
-                root: Stage::pipeline(initial_rows(chunk), prefix.clone()),
-                counters: Counters::default(),
-                rows: VecDeque::new(),
-                finished: VecDeque::new(),
-                materialise: !has_suffix,
-                forward: IdForwarder::new(),
-                done: false,
+            .map(|chunk| {
+                let mut root = Stage::pipeline(initial_rows(chunk), prefix.clone());
+                if config.profile {
+                    root.enable_trace();
+                }
+                Partition {
+                    arena: PathArena::new(),
+                    root,
+                    counters: Counters::default(),
+                    rows: VecDeque::new(),
+                    finished: VecDeque::new(),
+                    materialise: !has_suffix,
+                    forward: IdForwarder::new(),
+                    done: false,
+                }
             })
             .collect();
         let suffix = if suffix.is_empty() {
             None
         } else {
+            let mut root = Stage::fed_pipeline(suffix);
+            if config.profile {
+                root.enable_trace();
+            }
             Some(SuffixPipe {
                 arena: PathArena::new(),
-                root: Stage::fed_pipeline(suffix),
+                root,
             })
         };
         RowCursor {
@@ -1671,6 +1820,7 @@ impl RowCursor {
                 feed_closed: false,
                 fed: 0,
                 batch: INITIAL_BATCH,
+                boundary_interned: 0,
             })),
             config,
             chunkable: false,
@@ -1785,6 +1935,7 @@ impl RowCursor {
     }
 
     fn advance_inner(&mut self, materialise: bool) -> Result<Option<RowDelivery>, EngineError> {
+        let profile = self.config.profile;
         let ctx = ExecCtx {
             snapshot: &self.snapshot,
             cap: self.cap,
@@ -1806,9 +1957,19 @@ impl RowCursor {
                 })),
                 ControlFlow::Continue(None) | ControlFlow::Break(()) => Ok(None),
             },
-            Inner::Batch { plan, buffered } => {
+            Inner::Batch {
+                plan,
+                buffered,
+                trace,
+            } => {
                 if buffered.is_none() {
-                    let rows = materialized(&ctx, plan.start(), plan.ops())?;
+                    let rows = if profile {
+                        let (rows, actuals) = materialized_traced(&ctx, plan.start(), plan.ops())?;
+                        *trace = Some(actuals);
+                        rows
+                    } else {
+                        materialized(&ctx, plan.start(), plan.ops())?
+                    };
                     *buffered = Some(rows.into_iter());
                 }
                 Ok(buffered
@@ -1817,6 +1978,56 @@ impl RowCursor {
                     .map(RowDelivery::Materialised))
             }
             Inner::Parallel(state) => Ok(state.next_row(&ctx)?.map(RowDelivery::Materialised)),
+        }
+    }
+
+    /// The per-op actuals recorded by a profiled run, source-first (index 0
+    /// is the start frontier, aligned with
+    /// [`PlanReport::estimates`](crate::plan::PlanReport::estimates)).
+    /// `None` unless the cursor was compiled with [`ExecConfig::profile`]
+    /// (for the materialized strategy, also until the first pull runs the
+    /// batch). For the parallel strategy, per-partition prefix counters are
+    /// summed elementwise and the global suffix ops appended (the feed
+    /// boundary stage is plumbing, not a plan op, and is dropped).
+    pub(crate) fn op_actuals(&self) -> Option<Vec<OpActuals>> {
+        match &self.inner {
+            Inner::Pipe { root, .. } => root.has_trace().then(|| {
+                let mut out = Vec::new();
+                root.collect_trace(&mut out);
+                out
+            }),
+            Inner::Batch { trace, .. } => trace.clone(),
+            Inner::Parallel(state) => {
+                let mut summed: Option<Vec<OpActuals>> = None;
+                for p in &state.partitions {
+                    if !p.root.has_trace() {
+                        return None;
+                    }
+                    let mut part = Vec::new();
+                    p.root.collect_trace(&mut part);
+                    match &mut summed {
+                        None => summed = Some(part),
+                        Some(acc) => {
+                            for (a, b) in acc.iter_mut().zip(&part) {
+                                a.merge(b);
+                            }
+                        }
+                    }
+                }
+                let mut out = summed?;
+                // the boundary id-forwarding interns into the suffix arena
+                // between pulls; credit it to the prefix root, the op whose
+                // rows crossed the boundary
+                if let Some(last) = out.last_mut() {
+                    last.interned += state.boundary_interned;
+                }
+                if let Some(sfx) = &state.suffix {
+                    let mut tail = Vec::new();
+                    sfx.root.collect_trace(&mut tail);
+                    out.extend(tail.into_iter().skip(1));
+                }
+                Some(out)
+            }
         }
     }
 
@@ -1962,6 +2173,11 @@ struct ParallelState {
     feed_closed: bool,
     fed: usize,
     batch: usize,
+    /// Arena nodes interned by partition → suffix id forwarding. The
+    /// forwarding runs between stage pulls, so no stage trace record
+    /// brackets it; profiling attributes it to the prefix root instead
+    /// (see [`RowCursor::op_actuals`]).
+    boundary_interned: u64,
 }
 
 impl ParallelState {
@@ -2030,6 +2246,7 @@ impl ParallelState {
                         let (path, appended) =
                             part.forward.forward(&part.arena, &sfx.arena, row.path);
                         ctx.count_interned(appended);
+                        self.boundary_interned += appended as u64;
                         rows.push(ArenaRow {
                             source: row.source,
                             path,

@@ -58,6 +58,7 @@ use crate::error::EngineError;
 use crate::plan::{Direction, LogicalPlan, PlanOp, Semantics};
 use crate::query::{QueryResult, ResultRow};
 use crate::store::GraphSnapshot;
+use crate::trace::OpActuals;
 use crate::value::Predicate;
 
 /// Which executor evaluates the plan.
@@ -119,6 +120,9 @@ pub(crate) struct ExecConfig {
     /// Target rows per chunked pull on full drains (default:
     /// [`crate::chunk::DEFAULT_CHUNK_SIZE`]).
     pub(crate) chunk: usize,
+    /// Record per-stage execution traces (`Traversal::profile`; default:
+    /// off). When off, the per-pull residual cost is one branch.
+    pub(crate) profile: bool,
 }
 
 impl Default for ExecConfig {
@@ -126,6 +130,7 @@ impl Default for ExecConfig {
         ExecConfig {
             use_csr: true,
             chunk: crate::chunk::DEFAULT_CHUNK_SIZE,
+            profile: false,
         }
     }
 }
@@ -605,6 +610,45 @@ pub(crate) fn materialized(
     check_cap(rows.len(), ctx.cap)?;
     let rows = apply_ops(ctx, &arena, rows, ops)?;
     Ok(materialise_rows(&arena, rows))
+}
+
+/// [`materialized`], recording per-op actuals for `Traversal::profile`: each
+/// op's batch application is timed and its counter deltas captured, so the
+/// trace reports `pulls == 1` per op with exclusive (self-only) values. Row
+/// results are bit-identical to [`materialized`] — the instrumentation only
+/// brackets the existing calls.
+pub(crate) fn materialized_traced(
+    ctx: &ExecCtx<'_>,
+    start: &[VertexId],
+    ops: &[PlanOp],
+) -> Result<(Vec<ResultRow>, Vec<OpActuals>), EngineError> {
+    let arena = PathArena::new();
+    let mut rows = initial_rows(start);
+    check_cap(rows.len(), ctx.cap)?;
+    let mut actuals = Vec::with_capacity(ops.len() + 1);
+    actuals.push(OpActuals {
+        rows_out: rows.len() as u64,
+        pulls: 1,
+        ..OpActuals::default()
+    });
+    for op in ops {
+        ctx.ensure_alive()?;
+        let before = ctx.counters.stats();
+        let started = std::time::Instant::now();
+        rows = apply_op(ctx, &arena, rows, op)?;
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let after = ctx.counters.stats();
+        check_cap(rows.len(), ctx.cap)?;
+        actuals.push(OpActuals {
+            rows_out: rows.len() as u64,
+            pulls: 1,
+            chunks: 0,
+            nanos: elapsed,
+            expansions: after.expansions - before.expansions,
+            interned: after.interned_nodes - before.interned_nodes,
+        });
+    }
+    Ok((materialise_rows(&arena, rows), actuals))
 }
 
 /// Evaluates a plan with the parallel strategy and an explicit thread count

@@ -55,11 +55,13 @@ pub mod csr;
 pub mod cursor;
 pub mod error;
 pub mod exec;
+pub mod metrics;
 pub mod pipeline;
 pub mod plan;
 pub mod query;
 pub mod recovery;
 pub mod store;
+pub mod trace;
 pub mod value;
 pub mod wal;
 
@@ -77,6 +79,7 @@ pub use plan::{
 pub use query::{QueryResult, ResultRow};
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use store::{classic_social_graph, GraphSnapshot, PropertyGraph, StoreStats};
+pub use trace::{ProfiledQuery, QueryTrace, TraceNode};
 pub use value::{Predicate, Value};
 pub use wal::{FailPoint, WalOp, WalTail};
 

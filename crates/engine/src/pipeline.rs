@@ -42,14 +42,24 @@
 use std::ops::RangeInclusive;
 
 use crate::cursor::RowCursor;
-use crate::exec::ExecutionStrategy;
+use crate::exec::{ExecStats, ExecutionStrategy};
 use crate::plan::{
     self, Direction, Semantics, SemiringKind, DEFAULT_MATCH_MAX_HOPS, UNBOUNDED_MATCH_HOPS,
 };
 use crate::query::{QueryResult, ResultRow};
 use crate::store::PropertyGraph;
+use crate::trace::{ProfiledQuery, QueryTrace};
 use crate::value::Predicate;
 use crate::{error::EngineError, plan::PlanReport};
+
+/// Feeds the process-wide [`crate::metrics`] registry after a completed
+/// query (any terminal).
+fn record_query_metrics(stats: ExecStats, elapsed: std::time::Duration) {
+    crate::metrics::queries_total().inc();
+    crate::metrics::query_latency().observe(elapsed);
+    crate::metrics::query_expansions().add(stats.expansions);
+    crate::metrics::query_interned().add(stats.interned_nodes);
+}
 
 /// How a traversal starts.
 #[derive(Debug, Clone, PartialEq)]
@@ -918,6 +928,11 @@ impl Traversal {
         self
     }
 
+    /// The strategy this traversal will execute under.
+    pub fn current_strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
     /// Caps intermediate result sizes; exceeding the cap aborts the traversal.
     pub fn max_intermediate(mut self, cap: usize) -> Self {
         self.max_intermediate = Some(cap);
@@ -999,11 +1014,61 @@ impl Traversal {
     /// cursor or the `first`/`exists`/`count` terminals when you do not need
     /// the full row set.
     pub fn execute(&self) -> Result<QueryResult, EngineError> {
+        let started = std::time::Instant::now();
         let mut cursor = self.cursor()?;
         let snapshot = cursor.snapshot().clone();
         let mut rows = Vec::new();
         while cursor.next_chunk(&mut rows)? {}
-        Ok(QueryResult::new(rows, snapshot, cursor.stats()))
+        let stats = cursor.stats();
+        record_query_metrics(stats, started.elapsed());
+        Ok(QueryResult::new(rows, snapshot, stats))
+    }
+
+    /// Executes the traversal with per-stage tracing enabled, returning the
+    /// rows (row-for-row identical to [`Traversal::execute`]) together with a
+    /// [`QueryTrace`]: one node per optimized-plan op joining the planner's
+    /// cardinality estimate with measured actuals (rows in/out, pulls,
+    /// chunks, wall time, expansions, arena appends). Tracing uses per-thread
+    /// plain counters attached to each cursor stage — partitioned runs sum
+    /// them at the partition boundary, and nothing here adds atomics to the
+    /// execution hot path.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, Traversal};
+    /// let g = classic_social_graph();
+    /// let profiled = Traversal::over(&g)
+    ///     .v(["marko"])
+    ///     .match_("knows+·created")
+    ///     .profile()
+    ///     .unwrap();
+    /// let root = &profiled.trace.root;
+    /// assert_eq!(root.rows_out as usize, profiled.result.rows().len());
+    /// assert!(profiled.trace.total_time_ns > 0);
+    /// ```
+    pub fn profile(&self) -> Result<ProfiledQuery, EngineError> {
+        let started = std::time::Instant::now();
+        let snapshot = self.graph.snapshot();
+        let report = plan::report(&snapshot, &self.start, self.pipeline.steps())?;
+        drop(snapshot);
+        let mut cursor = self.cursor_with_profile(true)?;
+        let snapshot = cursor.snapshot().clone();
+        let mut rows = Vec::new();
+        while cursor.next_chunk(&mut rows)? {}
+        let stats = cursor.stats();
+        let actuals = cursor.op_actuals().unwrap_or_default();
+        let elapsed = started.elapsed();
+        record_query_metrics(stats, elapsed);
+        let trace = QueryTrace::assemble(
+            &report,
+            &actuals,
+            self.strategy,
+            stats,
+            elapsed.as_nanos() as u64,
+        );
+        Ok(ProfiledQuery {
+            result: QueryResult::new(rows, snapshot, stats),
+            trace,
+        })
     }
 
     /// Plans, optimizes, and compiles the traversal into a demand-driven
@@ -1022,6 +1087,10 @@ impl Traversal {
     /// assert_eq!(cursor.count(), 2);
     /// ```
     pub fn cursor(&self) -> Result<RowCursor, EngineError> {
+        self.cursor_with_profile(false)
+    }
+
+    fn cursor_with_profile(&self, profile: bool) -> Result<RowCursor, EngineError> {
         let snapshot = self.graph.snapshot();
         let naive = plan::plan(&snapshot, &self.start, self.pipeline.steps())?;
         let optimized = plan::optimize(&snapshot, &naive);
@@ -1034,6 +1103,7 @@ impl Traversal {
             crate::exec::ExecConfig {
                 use_csr: self.vectorize,
                 chunk: self.chunk,
+                profile,
             },
         );
         if let Some(timeout) = self.timeout {
@@ -1062,10 +1132,21 @@ impl Traversal {
     /// assert!(row.path.len() >= 2);
     /// ```
     pub fn first(&self) -> Result<Option<ResultRow>, EngineError> {
+        Ok(self.first_with_stats()?.0)
+    }
+
+    /// [`Traversal::first`] plus the work counters the probe performed —
+    /// lets a caller (e.g. the query server) attribute expansions to a
+    /// single request even when no row set is materialised.
+    pub fn first_with_stats(&self) -> Result<(Option<ResultRow>, ExecStats), EngineError> {
+        let started = std::time::Instant::now();
         // the explicit limit(1) lets the optimizer's R7 rule annotate the
         // automaton, so the batch (materialized) strategy early-exits too
         let mut cursor = self.clone().limit(1).cursor()?;
-        cursor.next_row()
+        let row = cursor.next_row()?;
+        let stats = cursor.stats();
+        record_query_metrics(stats, started.elapsed());
+        Ok((row, stats))
     }
 
     /// Whether the traversal produces at least one row — `first().is_some()`
@@ -1078,8 +1159,17 @@ impl Traversal {
     /// assert!(!Traversal::over(&g).v(["vadas"]).out(["created"]).exists().unwrap());
     /// ```
     pub fn exists(&self) -> Result<bool, EngineError> {
+        Ok(self.exists_with_stats()?.0)
+    }
+
+    /// [`Traversal::exists`] plus the work counters the probe performed.
+    pub fn exists_with_stats(&self) -> Result<(bool, ExecStats), EngineError> {
+        let started = std::time::Instant::now();
         let mut cursor = self.clone().limit(1).cursor()?;
-        cursor.advance_row()
+        let found = cursor.advance_row()?;
+        let stats = cursor.stats();
+        record_query_metrics(stats, started.elapsed());
+        Ok((found, stats))
     }
 
     /// Number of result rows, counted off the cursor without materialising
@@ -1092,12 +1182,20 @@ impl Traversal {
     /// assert_eq!(n, 3);
     /// ```
     pub fn count(&self) -> Result<usize, EngineError> {
+        Ok(self.count_with_stats()?.0)
+    }
+
+    /// [`Traversal::count`] plus the work counters the count performed.
+    pub fn count_with_stats(&self) -> Result<(usize, ExecStats), EngineError> {
+        let started = std::time::Instant::now();
         let mut cursor = self.cursor()?;
         let mut n = 0usize;
         while cursor.advance_row()? {
             n += 1;
         }
-        Ok(n)
+        let stats = cursor.stats();
+        record_query_metrics(stats, started.elapsed());
+        Ok((n, stats))
     }
 
     /// Plans the traversal without executing it, returning a structured

@@ -76,6 +76,8 @@ pub(crate) struct StoreMetrics {
     wal_records: AtomicU64,
     /// Checkpoints successfully installed.
     checkpoints: AtomicU64,
+    /// Bytes written into checkpoint files (summed over installs).
+    checkpoint_bytes: AtomicU64,
     /// WAL records replayed by recovery when this store was opened.
     pub(crate) replayed_records: AtomicU64,
     /// Snapshots currently alive (taken or cloned, not yet dropped). Unlike
@@ -108,8 +110,14 @@ pub struct StoreStats {
     pub csr_bytes: u64,
     /// WAL records appended so far (0 for in-memory stores).
     pub wal_records: u64,
+    /// WAL fsync (`sync_data`) calls so far — every `persist()` barrier plus
+    /// the syncs checkpointing performs internally (0 for in-memory stores).
+    pub wal_fsyncs: u64,
     /// Checkpoints successfully installed so far.
     pub checkpoints: u64,
+    /// Bytes written into checkpoint files so far (each checkpoint's on-disk
+    /// size at install time, summed; 0 until the first checkpoint).
+    pub checkpoint_bytes: u64,
     /// WAL records replayed by recovery when this store was opened.
     pub replayed_records: u64,
     /// Snapshots of this store currently alive — every [`GraphSnapshot`]
@@ -149,6 +157,7 @@ pub(crate) struct GraphState {
 impl Clone for GraphState {
     fn clone(&self) -> Self {
         self.metrics.deep_clones.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::deep_clones_total().inc();
         GraphState {
             graph: self.graph.clone(),
             interner: self.interner.clone(),
@@ -176,6 +185,7 @@ impl GraphState {
         self.reversed
             .get_or_init(|| {
                 self.metrics.reversed_builds.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::reversed_builds_total().inc();
                 Arc::new(self.graph.reversed())
             })
             .as_ref()
@@ -186,6 +196,7 @@ impl GraphState {
         self.csr_out
             .get_or_init(|| {
                 self.metrics.csr_builds.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::csr_builds_total().inc();
                 Arc::new(CsrTopology::build(&self.graph))
             })
             .as_ref()
@@ -200,6 +211,7 @@ impl GraphState {
         self.csr_in
             .get_or_init(|| {
                 self.metrics.csr_builds.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::csr_builds_total().inc();
                 Arc::new(CsrTopology::build(self.reversed()))
             })
             .as_ref()
@@ -346,6 +358,7 @@ impl Inner {
                 .metrics
                 .wal_records
                 .fetch_add(1, Ordering::Relaxed);
+            crate::metrics::wal_records_total().inc();
         }
         let state = if op.is_props_only() {
             self.mutate_props()
@@ -679,6 +692,8 @@ impl PropertyGraph {
             .metrics
             .live_snapshots
             .fetch_add(1, Ordering::Relaxed);
+        crate::metrics::snapshots_total().inc();
+        crate::metrics::live_snapshots_gauge().add(1);
         GraphSnapshot {
             state: Arc::clone(&inner.state),
             epoch: inner.epoch,
@@ -701,7 +716,9 @@ impl PropertyGraph {
             csr_builds: m.csr_builds.load(Ordering::Relaxed),
             csr_bytes: inner.state.csr_bytes(),
             wal_records: m.wal_records.load(Ordering::Relaxed),
+            wal_fsyncs: inner.dur.as_ref().map_or(0, |d| d.wal.fsyncs()),
             checkpoints: m.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: m.checkpoint_bytes.load(Ordering::Relaxed),
             replayed_records: m.replayed_records.load(Ordering::Relaxed),
             live_snapshots: m.live_snapshots.load(Ordering::Relaxed),
         }
@@ -729,6 +746,7 @@ impl PropertyGraph {
     }
 
     fn open_impl(dir: &Path, strict: bool) -> Result<(Self, RecoveryReport), StoreError> {
+        let started = std::time::Instant::now();
         let metrics = Arc::new(StoreMetrics::default());
         let recovered = recover(dir, strict, Arc::clone(&metrics))?;
         let wal = Wal::open(
@@ -736,6 +754,7 @@ impl PropertyGraph {
             recovered.wal_clean_end,
             crate::wal::FailPlan::new(),
         )?;
+        crate::metrics::recovery_latency().observe(started.elapsed());
         let inner = Inner {
             state: Arc::new(recovered.state),
             epoch: recovered.epoch,
@@ -781,6 +800,7 @@ impl PropertyGraph {
     /// checkpoint + full WAL before the rename; the new checkpoint + a WAL
     /// whose records are skipped by sequence number after it).
     pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let started = std::time::Instant::now();
         let mut inner = self.inner.write();
         // make sure the log never trails the checkpoint we are about to cut
         inner.durability()?.wal.sync()?;
@@ -789,7 +809,7 @@ impl PropertyGraph {
             let dur = inner.dur.as_ref().expect("durability checked above");
             (dur.dir.clone(), dur.wal.fail_plan())
         };
-        write_checkpoint(&dir, &data, &fail)?;
+        let bytes = write_checkpoint(&dir, &data, &fail)?;
         // the checkpoint is installed on disk; install its canonical
         // restoration in memory too (see the method docs)
         let restored = data
@@ -802,11 +822,20 @@ impl PropertyGraph {
             .checkpoints
             .fetch_add(1, Ordering::Relaxed);
         inner
+            .state
+            .metrics
+            .checkpoint_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        crate::metrics::checkpoints_total().inc();
+        crate::metrics::checkpoint_bytes_total().add(bytes);
+        let result = inner
             .dur
             .as_mut()
             .expect("durability checked above")
             .wal
-            .truncate()
+            .truncate();
+        crate::metrics::checkpoint_latency().observe(started.elapsed());
+        result
     }
 
     /// Arms the store's deterministic fault-injection plan: the `after`-th
@@ -888,6 +917,7 @@ impl PropertyGraph {
             .metrics
             .wal_records
             .fetch_add(*buffered, Ordering::Relaxed);
+        crate::metrics::wal_records_total().add(*buffered);
         frames.clear();
         *buffered = 0;
         Ok(())
@@ -924,6 +954,8 @@ impl Clone for GraphSnapshot {
             .metrics
             .live_snapshots
             .fetch_add(1, Ordering::Relaxed);
+        crate::metrics::snapshots_total().inc();
+        crate::metrics::live_snapshots_gauge().add(1);
         GraphSnapshot {
             state: Arc::clone(&self.state),
             epoch: self.epoch,
@@ -937,6 +969,7 @@ impl Drop for GraphSnapshot {
             .metrics
             .live_snapshots
             .fetch_sub(1, Ordering::Relaxed);
+        crate::metrics::live_snapshots_gauge().add(-1);
     }
 }
 

@@ -641,6 +641,10 @@ impl FailPlan {
 pub(crate) struct Wal {
     file: File,
     fail: FailPlan,
+    /// Successful `sync_data` calls (the `StoreStats::wal_fsyncs` counter;
+    /// atomic only because `stats()` reads it under the store's read lock
+    /// while writers sync under the write lock).
+    fsyncs: std::sync::atomic::AtomicU64,
 }
 
 impl Wal {
@@ -668,7 +672,11 @@ impl Wal {
             file.seek(SeekFrom::Start(clean_end))
                 .map_err(|e| StoreError::io("seeking wal", &e))?;
         }
-        Ok(Wal { file, fail })
+        Ok(Wal {
+            file,
+            fail,
+            fsyncs: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// Appends pre-encoded frames (one or more records). On success the bytes
@@ -693,11 +701,22 @@ impl Wal {
         Ok(())
     }
 
-    /// Durability barrier: fsyncs the log file.
+    /// Durability barrier: fsyncs the log file. Counts every successful sync
+    /// — explicit `persist()` barriers and the ones checkpointing issues
+    /// internally (pre-capture and post-truncate).
     pub(crate) fn sync(&self) -> Result<(), StoreError> {
         self.file
             .sync_data()
-            .map_err(|e| StoreError::io("syncing wal", &e))
+            .map_err(|e| StoreError::io("syncing wal", &e))?;
+        self.fsyncs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        crate::metrics::wal_fsyncs_total().inc();
+        Ok(())
+    }
+
+    /// Successful fsyncs issued by this WAL since it was opened.
+    pub(crate) fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Truncates the log back to a bare header (after a checkpoint absorbed

@@ -13,11 +13,14 @@ use mrpa_engine::plan::{Direction, SemiringKind};
 use mrpa_engine::{Predicate, WeightSpec};
 use mrpa_regex::Span;
 
-/// A full parsed query: `[EXPLAIN] FROM start clause* [terminal]`.
+/// A full parsed query: `[EXPLAIN | PROFILE] FROM start clause* [terminal]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// `EXPLAIN` prefix: return the plan report instead of executing.
     pub explain: bool,
+    /// `PROFILE` prefix: execute and return the per-stage trace alongside
+    /// the rows. Mutually exclusive with `EXPLAIN`.
+    pub profile: bool,
     /// The `FROM` start set.
     pub start: StartAst,
     /// The pipeline clauses, in source order.

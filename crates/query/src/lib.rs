@@ -19,7 +19,7 @@
 //! ## Grammar
 //!
 //! ```text
-//! query    := [EXPLAIN] FROM start clause* [COUNT | EXISTS | FIRST]
+//! query    := [EXPLAIN | PROFILE] FROM start clause* [COUNT | EXISTS | FIRST]
 //! start    := '*' | [kind ':'] name (',' name)* | '(' cond ')'
 //! clause   := MATCH [REACHABLE | GLOBAL] arrow [WITHIN int]
 //!           | (CHEAPEST | WIDEST) [BY key | BY LABELS '(' label '=' num (',' label '=' num)* ')']

@@ -21,6 +21,8 @@ use crate::error::QueryError;
 pub struct LoweredQuery {
     /// Whether the query asked for `EXPLAIN` (plan report, no execution).
     pub explain: bool,
+    /// Whether the query asked for `PROFILE` (execute with per-stage traces).
+    pub profile: bool,
     /// The start set.
     pub start: StartSpec,
     /// The pipeline steps, byte-for-byte what the fluent DSL would build.
@@ -61,6 +63,7 @@ pub fn lower(query: &Query) -> Result<LoweredQuery, QueryError> {
     steps.extend(lower_clauses(&query.clauses)?);
     Ok(LoweredQuery {
         explain: query.explain,
+        profile: query.profile,
         start,
         steps,
         terminal: query.terminal,

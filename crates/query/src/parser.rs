@@ -19,6 +19,7 @@ use crate::lexer::{describe, tokenize, Token};
 /// case) cannot be used as names — quote them instead.
 pub const KEYWORDS: &[&str] = &[
     "EXPLAIN",
+    "PROFILE",
     "FROM",
     "MATCH",
     "REACHABLE",
@@ -50,6 +51,7 @@ pub const KEYWORDS: &[&str] = &[
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kw {
     Explain,
+    Profile,
     From,
     Match,
     Reachable,
@@ -81,6 +83,7 @@ enum Kw {
 fn keyword(word: &str) -> Option<Kw> {
     let kws = [
         ("EXPLAIN", Kw::Explain),
+        ("PROFILE", Kw::Profile),
         ("FROM", Kw::From),
         ("MATCH", Kw::Match),
         ("REACHABLE", Kw::Reachable),
@@ -373,6 +376,7 @@ impl Cursor {
 pub fn parse(input: &str) -> Result<Query, QueryError> {
     let mut c = Cursor::new(input)?;
     let explain = c.eat_kw(Kw::Explain).is_some();
+    let profile = !explain && c.eat_kw(Kw::Profile).is_some();
     c.expect_kw(Kw::From, "FROM")?;
     let start = parse_start(&mut c)?;
     let (clauses, terminal) = parse_clauses(&mut c, true)?;
@@ -386,6 +390,7 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
     }
     Ok(Query {
         explain,
+        profile,
         start,
         clauses,
         terminal,
@@ -766,6 +771,26 @@ mod tests {
     fn explain_prefix_sets_the_flag() {
         assert!(parse("EXPLAIN FROM * OUT *").unwrap().explain);
         assert!(!parse("FROM * OUT *").unwrap().explain);
+    }
+
+    #[test]
+    fn profile_prefix_sets_the_flag() {
+        let q = parse("PROFILE FROM * OUT *").unwrap();
+        assert!(q.profile);
+        assert!(!q.explain);
+        assert!(!parse("FROM * OUT *").unwrap().profile);
+        assert!(!parse("profile from * out *").unwrap().explain);
+        assert!(parse("profile from * out *").unwrap().profile);
+        // the prefixes are mutually exclusive — the second keyword is not
+        // consumed and the parser demands FROM right there
+        let err = parse("EXPLAIN PROFILE FROM *").unwrap_err();
+        assert!(err.message.contains("FROM"), "{}", err.message);
+        // PROFILE is reserved as a bare name now
+        assert!(parse("FROM profile")
+            .unwrap_err()
+            .message
+            .contains("reserved"));
+        assert!(parse(r#"FROM "profile""#).is_ok());
     }
 
     #[test]

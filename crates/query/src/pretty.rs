@@ -27,6 +27,8 @@ pub fn pretty(query: &Query) -> String {
     let mut out = String::new();
     if query.explain {
         out.push_str("EXPLAIN ");
+    } else if query.profile {
+        out.push_str("PROFILE ");
     }
     out.push_str("FROM ");
     match &query.start {
@@ -286,6 +288,8 @@ mod tests {
             "FROM * OUT * COUNT",
             "FROM * EXISTS",
             "EXPLAIN FROM marko OUT knows FIRST",
+            "PROFILE FROM marko OUT knows",
+            "PROFILE FROM * MATCH -[knows+]-> COUNT",
             "FROM 42 OUT knows",
         ] {
             roundtrip(q);

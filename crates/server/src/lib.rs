@@ -18,14 +18,27 @@
 //!
 //! | `op`             | request fields                                               | response payload                         |
 //! |------------------|--------------------------------------------------------------|------------------------------------------|
-//! | `query`          | `query`, `timeout_ms?`, `strategy?`, `threads?`, `max_intermediate?` | `rows`/`count`/`exists`/`row`/`plan` |
+//! | `query`          | `query`, `timeout_ms?`, `strategy?`, `threads?`, `max_intermediate?` | `rows`/`count`/`exists`/`row` + `stats`; `plan` for `EXPLAIN`; + `trace` for `PROFILE` |
 //! | `ping`           | —                                                            | `pong: true`                             |
 //! | `stats`          | —                                                            | `vertices`, `edges`, full `store` block  |
+//! | `metrics`        | `format?` (`"json"` default, `"prometheus"`)                 | `metrics` array / `metrics_text`         |
+//! | `slowlog`        | —                                                            | `slowlog` entries (newest first), `threshold_us`, `capacity` |
 //! | `claim_writer`   | —                                                            | `writer: <session id>`                   |
 //! | `release_writer` | —                                                            | `writer: null`                           |
 //! | `add_vertex`     | `name`, `props?`                                             | `vertex: <name>` (writer-gated)          |
 //! | `add_edge`       | `tail`, `label`, `head`, `props?`                            | `edge: [tail,label,head]` (writer-gated) |
 //! | `close`          | —                                                            | `closing: true`, then disconnect         |
+//!
+//! Every terminal's `query` response carries a `stats` block with the run's
+//! engine counters (`expansions`, `interned_nodes`). A `PROFILE` query
+//! additionally returns `trace`: the optimized plan as a tree, each node
+//! joining the planner's `estimated_rows` with measured actuals (rows
+//! in/out, pulls, chunks, self/total wall time, expansions, arena appends).
+//! The `metrics` op exposes the process-wide metrics registry; the `slowlog`
+//! op reads the ring buffer of queries slower than
+//! [`ServerConfig::slowlog_threshold`], each entry naming its top-3
+//! costliest ops (measured, or estimate-ranked when the query was not
+//! profiled).
 //!
 //! Failures come back as `ok: false` with an `error` object whose `kind` is
 //! `"parse"` (MRPA-QL syntax errors, with a byte `span` and a rendered caret
@@ -65,6 +78,7 @@
 
 pub mod json;
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,9 +86,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mrpa_engine::exec::ExecutionStrategy;
-use mrpa_engine::{EngineError, PropertyGraph, ResultRow, Traversal, Value as GraphValue};
-use mrpa_query::{QueryError, Terminal};
+use mrpa_engine::exec::{ExecStats, ExecutionStrategy};
+use mrpa_engine::metrics::{registry, MetricSnapshot, MetricValue, BUCKET_BOUNDS_US};
+use mrpa_engine::{
+    EngineError, PropertyGraph, QueryTrace, ResultRow, TraceNode, Traversal, Value as GraphValue,
+};
+use mrpa_query::{LoweredQuery, QueryError, Terminal};
 
 use json::{object, Value};
 
@@ -82,7 +99,7 @@ use json::{object, Value};
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Server-side execution limits applied to every request.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Admission control: an upper bound on any traversal's intermediate
     /// result size. A request asking for more is clamped down to this; a
@@ -90,6 +107,34 @@ pub struct ServerConfig {
     pub max_intermediate: Option<usize>,
     /// Deadline applied to queries that do not send their own `timeout_ms`.
     pub default_timeout: Option<Duration>,
+    /// Successful queries at least this slow get a slow-log entry; `None`
+    /// disables the slow-query log entirely.
+    pub slowlog_threshold: Option<Duration>,
+    /// Ring-buffer size of the slow-query log: the newest entries win.
+    pub slowlog_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_intermediate: None,
+            default_timeout: None,
+            slowlog_threshold: Some(Duration::from_millis(10)),
+            slowlog_capacity: 128,
+        }
+    }
+}
+
+/// One recorded slow query.
+struct SlowEntry {
+    query: String,
+    duration_us: u64,
+    strategy: &'static str,
+    session: u64,
+    /// How `top_ops` was ranked: `"self_time"` (profiled actuals) or
+    /// `"estimated_rows"` (planner estimates, the unprofiled fallback).
+    ranked_by: &'static str,
+    top_ops: Vec<Value>,
 }
 
 struct Shared {
@@ -99,6 +144,8 @@ struct Shared {
     /// The session currently holding the single writer slot.
     writer: Mutex<Option<u64>>,
     next_session: AtomicU64,
+    /// Ring buffer of the slowest recent queries, newest at the back.
+    slowlog: Mutex<VecDeque<SlowEntry>>,
 }
 
 /// A running server: the bound address plus the handles needed to stop it.
@@ -175,6 +222,7 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         writer: Mutex::new(None),
         next_session: AtomicU64::new(1),
+        slowlog: Mutex::new(VecDeque::new()),
     });
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -277,6 +325,9 @@ struct Session<'a> {
     rows: u64,
     errors: u64,
 }
+
+/// The named fields of a successful response payload.
+type Payload = Vec<(&'static str, Value)>;
 
 /// A request failure, tagged with the protocol error kind.
 struct Failure {
@@ -433,6 +484,8 @@ impl<'a> Session<'a> {
             "ping" => Ok(vec![("pong", Value::Bool(true))]),
             "close" => Ok(vec![("closing", Value::Bool(true))]),
             "stats" => self.op_stats(),
+            "metrics" => self.op_metrics(req),
+            "slowlog" => self.op_slowlog(),
             "claim_writer" => self.op_claim_writer(),
             "release_writer" => self.op_release_writer(),
             "add_vertex" => self.op_add_vertex(req),
@@ -456,7 +509,9 @@ impl<'a> Session<'a> {
                     ("csr_builds", Value::from(s.csr_builds)),
                     ("csr_bytes", Value::from(s.csr_bytes)),
                     ("wal_records", Value::from(s.wal_records)),
+                    ("wal_fsyncs", Value::from(s.wal_fsyncs)),
                     ("checkpoints", Value::from(s.checkpoints)),
+                    ("checkpoint_bytes", Value::from(s.checkpoint_bytes)),
                     ("replayed_records", Value::from(s.replayed_records)),
                     ("live_snapshots", Value::from(s.live_snapshots)),
                 ]),
@@ -559,50 +614,242 @@ impl<'a> Session<'a> {
             ]);
         }
 
+        // FIRST and EXISTS only ever need one row; the explicit limit(1)
+        // mirrors what the engine's own terminals do internally and lets the
+        // optimizer's early-exit rule fire under every strategy.
+        if matches!(lowered.terminal, Terminal::First | Terminal::Exists) {
+            traversal = traversal.limit(1);
+        }
+
+        let started = Instant::now();
+        let (payload, top_ops) = if lowered.profile {
+            self.run_profiled(&lowered, &traversal)?
+        } else {
+            (self.run_plain(&lowered, &traversal)?, None)
+        };
+        self.record_slow(text, started.elapsed(), &traversal, top_ops);
+        Ok(payload)
+    }
+
+    /// Executes a non-`PROFILE` query, attaching per-query [`ExecStats`] to
+    /// every terminal's payload.
+    fn run_plain(
+        &mut self,
+        lowered: &LoweredQuery,
+        traversal: &Traversal,
+    ) -> Result<Vec<(&'static str, Value)>, Failure> {
         match lowered.terminal {
             Terminal::Rows => {
-                let mut cursor = traversal.cursor().map_err(|e| Failure::from_engine(&e))?;
-                let mut rows = Vec::new();
-                while let Some(row) = cursor.next_row().map_err(|e| Failure::from_engine(&e))? {
-                    rows.push(render_row(&row, cursor.snapshot()));
-                }
+                // execute() (rather than a raw cursor) so the terminal feeds
+                // the process-wide metrics registry like every other arm
+                let result = traversal.execute().map_err(|e| Failure::from_engine(&e))?;
+                let rows: Vec<Value> = result
+                    .rows()
+                    .iter()
+                    .map(|r| render_row(r, result.snapshot()))
+                    .collect();
                 self.rows += rows.len() as u64;
-                let stats = cursor.stats();
                 Ok(vec![
                     ("rows", Value::Array(rows)),
-                    (
-                        "stats",
-                        object([
-                            ("expansions", Value::from(stats.expansions)),
-                            ("interned_nodes", Value::from(stats.interned_nodes)),
-                        ]),
-                    ),
+                    ("stats", render_stats(result.stats())),
                 ])
             }
             Terminal::Count => {
-                let n = traversal.count().map_err(|e| Failure::from_engine(&e))?;
-                Ok(vec![("count", Value::from(n))])
+                let (n, stats) = traversal
+                    .count_with_stats()
+                    .map_err(|e| Failure::from_engine(&e))?;
+                Ok(vec![
+                    ("count", Value::from(n)),
+                    ("stats", render_stats(stats)),
+                ])
             }
             Terminal::Exists => {
-                let yes = traversal.exists().map_err(|e| Failure::from_engine(&e))?;
-                Ok(vec![("exists", Value::from(yes))])
+                let (yes, stats) = traversal
+                    .exists_with_stats()
+                    .map_err(|e| Failure::from_engine(&e))?;
+                Ok(vec![
+                    ("exists", Value::from(yes)),
+                    ("stats", render_stats(stats)),
+                ])
             }
             Terminal::First => {
-                let mut cursor = traversal
-                    .limit(1)
-                    .cursor()
-                    .map_err(|e| Failure::from_engine(&e))?;
-                let row = cursor.next_row().map_err(|e| Failure::from_engine(&e))?;
+                // the traversal is already limit(1)-ed by op_query, so
+                // execute() pulls at most one row and records metrics
+                let result = traversal.execute().map_err(|e| Failure::from_engine(&e))?;
+                let row = result.rows().first();
                 if row.is_some() {
                     self.rows += 1;
                 }
-                Ok(vec![(
-                    "row",
-                    row.map(|r| render_row(&r, cursor.snapshot()))
-                        .unwrap_or(Value::Null),
-                )])
+                let rendered = row
+                    .map(|r| render_row(r, result.snapshot()))
+                    .unwrap_or(Value::Null);
+                Ok(vec![
+                    ("row", rendered),
+                    ("stats", render_stats(result.stats())),
+                ])
             }
         }
+    }
+
+    /// Executes a `PROFILE` query: the terminal's usual payload plus the
+    /// per-stage `trace` tree. Also returns the top-3 costliest ops (by
+    /// measured self time) for the slow-query log.
+    fn run_profiled(
+        &mut self,
+        lowered: &LoweredQuery,
+        traversal: &Traversal,
+    ) -> Result<(Payload, Option<Vec<Value>>), Failure> {
+        let profiled = traversal.profile().map_err(|e| Failure::from_engine(&e))?;
+        let rows = profiled.result.rows();
+        let snapshot = profiled.result.snapshot();
+        let mut payload = match lowered.terminal {
+            Terminal::Rows => {
+                let rendered: Vec<Value> = rows.iter().map(|r| render_row(r, snapshot)).collect();
+                self.rows += rendered.len() as u64;
+                vec![("rows", Value::Array(rendered))]
+            }
+            Terminal::Count => vec![("count", Value::from(rows.len()))],
+            Terminal::Exists => vec![("exists", Value::from(!rows.is_empty()))],
+            Terminal::First => {
+                if !rows.is_empty() {
+                    self.rows += 1;
+                }
+                vec![(
+                    "row",
+                    rows.first()
+                        .map(|r| render_row(r, snapshot))
+                        .unwrap_or(Value::Null),
+                )]
+            }
+        };
+        payload.push(("stats", render_stats(profiled.trace.stats)));
+        payload.push(("trace", render_trace(&profiled.trace)));
+
+        let mut nodes = profiled.trace.nodes_source_first();
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.self_time_ns));
+        let top: Vec<Value> = nodes
+            .iter()
+            .take(3)
+            .map(|n| {
+                object([
+                    ("op", Value::from(n.op.as_str())),
+                    ("self_time_us", Value::from(n.self_time_ns / 1_000)),
+                    ("rows_out", Value::from(n.rows_out)),
+                ])
+            })
+            .collect();
+        Ok((payload, Some(top)))
+    }
+
+    /// Records a slow-log entry if the query crossed the configured
+    /// threshold. `top_ops` carries measured actuals when the query was
+    /// profiled; otherwise the entry falls back to the planner's estimates —
+    /// the extra explain pass runs only on the already-slow path.
+    fn record_slow(
+        &self,
+        text: &str,
+        elapsed: Duration,
+        traversal: &Traversal,
+        top_ops: Option<Vec<Value>>,
+    ) {
+        let config = &self.shared.config;
+        let Some(threshold) = config.slowlog_threshold else {
+            return;
+        };
+        if elapsed < threshold || config.slowlog_capacity == 0 {
+            return;
+        }
+        let (ranked_by, top_ops) = match top_ops {
+            Some(ops) => ("self_time", ops),
+            None => {
+                let mut ests = traversal
+                    .explain()
+                    .map(|report| report.estimates().to_vec())
+                    .unwrap_or_default();
+                ests.sort_by(|a, b| b.rows.total_cmp(&a.rows));
+                let ops = ests
+                    .iter()
+                    .take(3)
+                    .map(|e| {
+                        object([
+                            ("op", Value::from(e.op.as_str())),
+                            ("estimated_rows", Value::from(e.rows)),
+                        ])
+                    })
+                    .collect();
+                ("estimated_rows", ops)
+            }
+        };
+        let entry = SlowEntry {
+            query: text.to_owned(),
+            duration_us: elapsed.as_micros() as u64,
+            strategy: strategy_name(traversal.current_strategy()),
+            session: self.id,
+            ranked_by,
+            top_ops,
+        };
+        let mut log = self
+            .shared
+            .slowlog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while log.len() >= config.slowlog_capacity {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+
+    /// The `metrics` op: the process-wide registry as structured JSON, or —
+    /// with `"format": "prometheus"` — as text exposition format.
+    fn op_metrics(&self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        match req.get("format").and_then(Value::as_str) {
+            Some("prometheus") => Ok(vec![(
+                "metrics_text",
+                Value::from(registry().render_prometheus()),
+            )]),
+            None | Some("json") => {
+                let metrics: Vec<Value> = registry().snapshot().iter().map(render_metric).collect();
+                Ok(vec![("metrics", Value::Array(metrics))])
+            }
+            Some(other) => Err(Failure::protocol(format!(
+                "unknown metrics format {other:?} (expected json or prometheus)"
+            ))),
+        }
+    }
+
+    /// The `slowlog` op: recorded slow queries, newest first.
+    fn op_slowlog(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
+        let config = &self.shared.config;
+        let log = self
+            .shared
+            .slowlog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let entries: Vec<Value> = log
+            .iter()
+            .rev()
+            .map(|e| {
+                object([
+                    ("query", Value::from(e.query.as_str())),
+                    ("duration_us", Value::from(e.duration_us)),
+                    ("strategy", Value::from(e.strategy)),
+                    ("session", Value::from(e.session)),
+                    ("ranked_by", Value::from(e.ranked_by)),
+                    ("top_ops", Value::Array(e.top_ops.clone())),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("slowlog", Value::Array(entries)),
+            (
+                "threshold_us",
+                config
+                    .slowlog_threshold
+                    .map(|t| Value::from(t.as_micros() as u64))
+                    .unwrap_or(Value::Null),
+            ),
+            ("capacity", Value::from(config.slowlog_capacity)),
+        ])
     }
 
     /// Applies strategy, thread count, deadline, and the admission-controlled
@@ -635,6 +882,90 @@ impl<'a> Session<'a> {
             t = t.timeout(timeout);
         }
         Ok(t)
+    }
+}
+
+/// Serialises run-wide [`ExecStats`] counters.
+fn render_stats(stats: ExecStats) -> Value {
+    object([
+        ("expansions", Value::from(stats.expansions)),
+        ("interned_nodes", Value::from(stats.interned_nodes)),
+    ])
+}
+
+/// Serialises a [`QueryTrace`]: run totals plus the per-op tree.
+fn render_trace(trace: &QueryTrace) -> Value {
+    object([
+        ("strategy", Value::from(strategy_name(trace.strategy))),
+        ("total_time_ns", Value::from(trace.total_time_ns)),
+        ("root", render_trace_node(&trace.root)),
+    ])
+}
+
+/// Serialises one [`TraceNode`] with its upstream inputs as `children`.
+fn render_trace_node(node: &TraceNode) -> Value {
+    object([
+        ("op", Value::from(node.op.as_str())),
+        ("estimated_rows", Value::from(node.estimated_rows)),
+        ("rows_in", Value::from(node.rows_in)),
+        ("rows_out", Value::from(node.rows_out)),
+        ("pulls", Value::from(node.pulls)),
+        ("chunks", Value::from(node.chunks)),
+        ("self_time_ns", Value::from(node.self_time_ns)),
+        ("total_time_ns", Value::from(node.total_time_ns)),
+        ("expansions", Value::from(node.expansions)),
+        ("arena_appends", Value::from(node.arena_appends)),
+        (
+            "children",
+            Value::Array(node.children.iter().map(render_trace_node).collect()),
+        ),
+    ])
+}
+
+/// Serialises one registry metric for the `metrics` op's JSON format.
+fn render_metric(m: &MetricSnapshot) -> Value {
+    let mut fields = vec![("name", Value::from(m.name)), ("help", Value::from(m.help))];
+    match &m.value {
+        MetricValue::Counter(v) => {
+            fields.push(("type", Value::from("counter")));
+            fields.push(("value", Value::from(*v)));
+        }
+        MetricValue::Gauge(v) => {
+            fields.push(("type", Value::from("gauge")));
+            fields.push(("value", Value::from(*v as f64)));
+        }
+        MetricValue::Histogram {
+            buckets,
+            sum_us,
+            count,
+        } => {
+            fields.push(("type", Value::from("histogram")));
+            let rendered: Vec<Value> = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let le = BUCKET_BOUNDS_US
+                        .get(i)
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "+Inf".to_owned());
+                    object([("le", Value::from(le)), ("count", Value::from(*c))])
+                })
+                .collect();
+            fields.push(("buckets", Value::Array(rendered)));
+            fields.push(("sum_us", Value::from(*sum_us)));
+            fields.push(("count", Value::from(*count)));
+        }
+    }
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// The wire name of an [`ExecutionStrategy`] — the same spelling the
+/// `strategy` request field accepts.
+fn strategy_name(strategy: ExecutionStrategy) -> &'static str {
+    match strategy {
+        ExecutionStrategy::Materialized => "materialized",
+        ExecutionStrategy::Streaming => "streaming",
+        ExecutionStrategy::Parallel => "parallel",
     }
 }
 
@@ -875,6 +1206,171 @@ mod tests {
     }
 
     #[test]
+    fn every_terminal_carries_exec_stats() {
+        let (server, mut client) = start();
+        for q in [
+            "FROM marko OUT knows",
+            "FROM marko OUT knows COUNT",
+            "FROM marko OUT knows EXISTS",
+            "FROM marko OUT knows FIRST",
+        ] {
+            let r = client.query(q, None).unwrap();
+            assert_eq!(
+                r.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{q}: {r:?}"
+            );
+            let stats = r.get("stats").unwrap_or_else(|| panic!("{q}: no stats"));
+            assert!(stats.get("expansions").and_then(Value::as_u64).is_some());
+            assert!(stats
+                .get("interned_nodes")
+                .and_then(Value::as_u64)
+                .is_some());
+        }
+        server.shutdown();
+    }
+
+    /// Walks a trace tree checking the chain invariant: every node's
+    /// `rows_in` equals its (single) child's `rows_out`.
+    fn check_trace_node(node: &Value) -> u64 {
+        let children = node.get("children").and_then(Value::as_array).unwrap();
+        assert!(children.len() <= 1, "plans are chains");
+        if let Some(child) = children.first() {
+            let child_out = check_trace_node(child);
+            assert_eq!(
+                node.get("rows_in").and_then(Value::as_u64),
+                Some(child_out),
+                "rows_in must equal the child's rows_out: {node:?}"
+            );
+        } else {
+            assert_eq!(node.get("rows_in").and_then(Value::as_u64), Some(0));
+        }
+        node.get("rows_out").and_then(Value::as_u64).unwrap()
+    }
+
+    #[test]
+    fn profile_returns_a_consistent_trace_tree() {
+        let (server, mut client) = start();
+        let r = client
+            .query("PROFILE FROM marko MATCH -[knows+·created]->", None)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+        let rows = r.get("rows").and_then(Value::as_array).unwrap();
+        let trace = r.get("trace").unwrap();
+        assert!(trace.get("strategy").and_then(Value::as_str).is_some());
+        assert!(trace.get("total_time_ns").and_then(Value::as_u64).is_some());
+        let root = trace.get("root").unwrap();
+        // the root op's output is exactly the rows the client received
+        let root_out = check_trace_node(root);
+        assert_eq!(root_out as usize, rows.len());
+        // stats ride along with the trace
+        assert!(r
+            .get("stats")
+            .and_then(|s| s.get("expansions"))
+            .and_then(Value::as_u64)
+            .is_some());
+        // PROFILE works for the other terminals too
+        let r = client
+            .query("PROFILE FROM marko OUT knows COUNT", None)
+            .unwrap();
+        assert_eq!(r.get("count").and_then(Value::as_u64), Some(2));
+        assert!(r.get("trace").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_op_serves_json_and_prometheus() {
+        let (server, mut client) = start();
+        // at least one query so the query counters are alive
+        client.query("FROM marko OUT knows COUNT", None).unwrap();
+        let r = client.request(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+        let metrics = r.get("metrics").and_then(Value::as_array).unwrap();
+        let queries = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Value::as_str) == Some("mrpa_queries_total"))
+            .expect("mrpa_queries_total registered");
+        assert_eq!(queries.get("type").and_then(Value::as_str), Some("counter"));
+        assert!(queries.get("value").and_then(Value::as_u64).unwrap() >= 1);
+        let latency = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Value::as_str) == Some("mrpa_query_latency_us"))
+            .expect("latency histogram registered");
+        assert_eq!(
+            latency.get("type").and_then(Value::as_str),
+            Some("histogram")
+        );
+        assert!(!latency
+            .get("buckets")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+
+        let r = client
+            .request(r#"{"op":"metrics","format":"prometheus"}"#)
+            .unwrap();
+        let text = r.get("metrics_text").and_then(Value::as_str).unwrap();
+        assert!(text.contains("# TYPE mrpa_queries_total counter"), "{text}");
+        assert!(text.contains("mrpa_query_latency_us_bucket{le=\"+Inf\"}"));
+
+        let r = client
+            .request(r#"{"op":"metrics","format":"xml"}"#)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowlog_records_threshold_crossers_with_top_ops() {
+        let server = serve(
+            classic_social_graph(),
+            ServerConfig {
+                slowlog_threshold: Some(Duration::ZERO),
+                slowlog_capacity: 4,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.query("FROM marko OUT knows COUNT", None).unwrap();
+        client
+            .query("PROFILE FROM marko MATCH -[knows+]->", None)
+            .unwrap();
+        let r = client.request(r#"{"op":"slowlog"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+        assert_eq!(r.get("threshold_us").and_then(Value::as_u64), Some(0));
+        assert_eq!(r.get("capacity").and_then(Value::as_u64), Some(4));
+        let entries = r.get("slowlog").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 2);
+        // newest first: the profiled query ranks its ops by measured time
+        let profiled = &entries[0];
+        assert_eq!(
+            profiled.get("query").and_then(Value::as_str),
+            Some("PROFILE FROM marko MATCH -[knows+]->")
+        );
+        assert_eq!(
+            profiled.get("ranked_by").and_then(Value::as_str),
+            Some("self_time")
+        );
+        let plain = &entries[1];
+        assert_eq!(
+            plain.get("ranked_by").and_then(Value::as_str),
+            Some("estimated_rows")
+        );
+        for entry in entries {
+            assert!(entry.get("duration_us").and_then(Value::as_u64).is_some());
+            assert!(entry.get("strategy").and_then(Value::as_str).is_some());
+            let ops = entry.get("top_ops").and_then(Value::as_array).unwrap();
+            assert!(!ops.is_empty() && ops.len() <= 3, "{ops:?}");
+            for op in ops {
+                assert!(op.get("op").and_then(Value::as_str).is_some());
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn mutations_are_writer_gated_and_visible_to_queries() {
         let (server, mut writer) = start();
         let mut reader = Client::connect(server.local_addr()).unwrap();
@@ -939,7 +1435,7 @@ mod tests {
             classic_social_graph(),
             ServerConfig {
                 max_intermediate: Some(2),
-                default_timeout: None,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
