@@ -378,6 +378,14 @@ impl ArenaWriter<'_> {
     pub fn reserve(&mut self, extra: usize) {
         self.core.reserve(extra);
     }
+
+    /// Number of nodes interned so far, readable while the write lock is
+    /// held — [`PathArena::node_count`] would deadlock against a live
+    /// writer. Memory accounting polls this between append batches.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.core.nodes.len()
+    }
 }
 
 #[cfg(test)]

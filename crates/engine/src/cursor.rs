@@ -1063,6 +1063,10 @@ impl Stage {
                                 weight: row.weight,
                             });
                         });
+                        if ctx.budgeted() {
+                            ctx.charge_arena_growth(writer.node_count())?;
+                            ctx.charge_bytes(buf.len() as u64 * crate::exec::ROW_BYTES)?;
+                        }
                     }
                 }
             },
@@ -1085,6 +1089,9 @@ impl Stage {
                     }
                     ctx.ensure_alive()?;
                     w.advance(ctx, arena, spec, to, delivered, remaining, seen.as_mut())?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                    }
                     continue;
                 }
                 if matches!(remaining, Some(0)) {
@@ -1127,6 +1134,9 @@ impl Stage {
                     w.advance(
                         ctx, arena, spec, *semiring, weight, to, delivered, remaining,
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                    }
                     continue;
                 }
                 if matches!(remaining, Some(0)) {
@@ -1171,6 +1181,9 @@ impl Stage {
                         },
                         delivered,
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                    }
                     continue;
                 }
                 match input.pull(ctx, arena)? {
@@ -1343,6 +1356,9 @@ impl Stage {
                             });
                         });
                     }
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(writer.node_count())?;
+                    }
                 }
                 Ok(ChunkPull::Rows)
             }
@@ -1375,6 +1391,11 @@ impl Stage {
                                     seen.as_mut(),
                                     out,
                                 );
+                            }
+                            // per-layer budget check (mirrors the batch
+                            // executor): dense frontiers die mid-walk
+                            if ctx.budgeted() {
+                                ctx.charge_arena_growth(writer.node_count())?;
                             }
                         }
                     }
@@ -1436,6 +1457,9 @@ impl Stage {
                         delivered + (out.len() - base),
                         remaining,
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                    }
                     continue;
                 }
                 if matches!(remaining, Some(0)) {
@@ -1483,6 +1507,9 @@ impl Stage {
                         },
                         delivered + (out.len() - base),
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                    }
                     continue;
                 }
                 match input.pull(ctx, arena)? {
@@ -1608,6 +1635,11 @@ pub struct RowCursor {
     cap: Option<usize>,
     counters: Counters,
     alive: Liveness,
+    /// Byte budget for this cursor's accounting domain: the full
+    /// [`ExecConfig::budget`] for the streaming/materialized strategies, an
+    /// even share for the parallel strategy (whose partitions each carry
+    /// their own share — see [`RowCursor::compile_parallel`]).
+    budget: Option<u64>,
     inner: Inner,
     config: ExecConfig,
     /// Whether the compiled plan has at least one expansion op — plans that
@@ -1682,6 +1714,7 @@ impl RowCursor {
                     cap,
                     counters: Counters::default(),
                     alive: Liveness::default(),
+                    budget: config.budget,
                     inner: Inner::Pipe {
                         arena: PathArena::new(),
                         root: Box::new(root),
@@ -1709,6 +1742,7 @@ impl RowCursor {
             cap,
             counters: Counters::default(),
             alive: Liveness::default(),
+            budget: config.budget,
             inner: Inner::Batch {
                 plan,
                 buffered: None,
@@ -1777,6 +1811,12 @@ impl RowCursor {
         let suffix = prefix.split_off(split);
         let has_suffix = !suffix.is_empty();
         let chunk_size = start.len().div_ceil(threads);
+        // each accounting domain — every partition plus the suffix/consumer —
+        // gets an even share of the query budget (conservative: a query whose
+        // growth is skewed onto one partition trips earlier than a perfectly
+        // balanced one, never later)
+        let domains = start.chunks(chunk_size).count() as u64 + 1;
+        let share = config.budget.map(|b| (b / domains).max(1));
         let partitions: Vec<Partition> = start
             .chunks(chunk_size)
             .map(|chunk| {
@@ -1792,6 +1832,7 @@ impl RowCursor {
                     finished: VecDeque::new(),
                     materialise: !has_suffix,
                     forward: IdForwarder::new(),
+                    budget: share,
                     done: false,
                 }
             })
@@ -1813,6 +1854,7 @@ impl RowCursor {
             cap,
             counters: Counters::default(),
             alive: Liveness::default(),
+            budget: share,
             inner: Inner::Parallel(Box::new(ParallelState {
                 partitions,
                 current: 0,
@@ -1911,6 +1953,7 @@ impl RowCursor {
             counters: &self.counters,
             alive: self.alive.active(),
             use_csr: self.config.use_csr,
+            budget: self.budget,
         };
         let Inner::Pipe { arena, root } = &mut self.inner else {
             unreachable!("checked above");
@@ -1918,6 +1961,14 @@ impl RowCursor {
         self.chunk_buf.clear();
         match root.pull_chunk(&ctx, arena, target, &mut self.chunk_buf.rows) {
             Ok(ChunkPull::Rows) => {
+                if ctx.budgeted() {
+                    if let Err(e) =
+                        ctx.charge_bytes(self.chunk_buf.rows.len() as u64 * crate::exec::ROW_BYTES)
+                    {
+                        self.fused = true;
+                        return Err(e);
+                    }
+                }
                 out.extend(self.chunk_buf.rows.iter().map(|row| ResultRow {
                     source: row.source,
                     path: arena.to_path(row.path),
@@ -1942,6 +1993,7 @@ impl RowCursor {
             counters: &self.counters,
             alive: self.alive.active(),
             use_csr: self.config.use_csr,
+            budget: self.budget,
         };
         match &mut self.inner {
             Inner::Pipe { arena, root } => match root.pull(&ctx, arena)? {
@@ -2040,6 +2092,7 @@ impl RowCursor {
                 let ps = p.counters.stats();
                 stats.expansions += ps.expansions;
                 stats.interned_nodes += ps.interned_nodes;
+                stats.bytes_charged += ps.bytes_charged;
             }
         }
         stats
@@ -2086,6 +2139,9 @@ struct Partition {
     /// otherwise rows stay as ids for the forwarder.
     materialise: bool,
     forward: IdForwarder,
+    /// This partition's even share of the query memory budget (its own
+    /// accounting domain: own arena, own counters, own mark).
+    budget: Option<u64>,
     done: bool,
 }
 
@@ -2113,10 +2169,13 @@ impl Partition {
             counters: &self.counters,
             alive,
             use_csr,
+            budget: self.budget,
         };
+        let mut produced = 0u64;
         for _ in 0..batch {
             match self.root.pull(&ctx, &self.arena)? {
                 ControlFlow::Continue(Some(row)) => {
+                    produced += 1;
                     if self.materialise {
                         self.finished.push_back(ResultRow {
                             source: row.source,
@@ -2133,6 +2192,11 @@ impl Partition {
                     break;
                 }
             }
+        }
+        if ctx.budgeted() {
+            // per-batch backstop for the queued rows (arena growth was
+            // charged inside the stage pulls against this partition's share)
+            ctx.charge_bytes(produced * crate::exec::ROW_BYTES)?;
         }
         Ok(())
     }
@@ -2255,6 +2319,13 @@ impl ParallelState {
                         });
                     }
                     check_cap(self.fed, ctx.cap)?;
+                    if ctx.budgeted() {
+                        // the forwarder's appends grew the suffix arena (no
+                        // writer is held here), and the fed rows join the
+                        // suffix queue — both on the consumer's share
+                        ctx.charge_arena_growth(sfx.arena.node_count())?;
+                        ctx.charge_bytes(rows.len() as u64 * crate::exec::ROW_BYTES)?;
+                    }
                     sfx.root.feed(rows);
                 }
             }

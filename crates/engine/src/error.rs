@@ -31,6 +31,18 @@ pub enum EngineError {
     /// Cancellation is cooperative and clean: the cursor is fused, no state
     /// is poisoned, and the store remains fully usable.
     Cancelled,
+    /// The traversal charged more bytes against its
+    /// [`memory_budget`](crate::Traversal::memory_budget) than the budget
+    /// allows. Like [`EngineError::Cancelled`], this suspends the execution
+    /// cleanly mid-frontier: the cursor is fused, suspended walker state is
+    /// dropped, and the store remains fully usable.
+    MemoryBudget {
+        /// The configured budget in bytes.
+        limit: u64,
+        /// Bytes charged when the budget tripped (the first charge past the
+        /// limit is included, so `charged > limit`).
+        charged: u64,
+    },
     /// A lower-level algebra error.
     Core(String),
 }
@@ -48,6 +60,12 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported(msg) => write!(f, "unsupported pipeline: {msg}"),
             EngineError::Cancelled => {
                 write!(f, "traversal cancelled (deadline exceeded or token fired)")
+            }
+            EngineError::MemoryBudget { limit, charged } => {
+                write!(
+                    f,
+                    "memory budget exhausted: {charged} bytes charged against a {limit}-byte budget"
+                )
             }
             EngineError::Core(msg) => write!(f, "algebra error: {msg}"),
         }

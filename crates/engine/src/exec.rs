@@ -89,7 +89,26 @@ pub struct ExecStats {
     /// O(new nodes) for the whole execution — the materialise-and-re-intern
     /// boundary it replaced appended O(path length) nodes *per row*.
     pub interned_nodes: u64,
+    /// Bytes charged against the traversal's
+    /// [`memory_budget`](crate::Traversal::memory_budget): arena node growth
+    /// plus buffered-row growth, accumulated monotonically at the same
+    /// layer/pull/batch boundaries cancellation is checked at. Always `0`
+    /// when no budget is set — accounting is skipped entirely so the
+    /// unbudgeted hot path pays nothing.
+    pub bytes_charged: u64,
 }
+
+/// Calibrated per-node cost of one hash-consed [`PathArena`] append:
+/// the `PathNode` itself (~32 B), its intern-map entry (key + id + load-factor
+/// overhead, ~40 B), and its share of transient frontier state (~16 B). Arena
+/// nodes are never freed before the execution ends, so node growth is the
+/// dominant, monotone component of a query's working set.
+pub(crate) const ARENA_NODE_BYTES: u64 = 88;
+
+/// Per-row cost of buffering an [`ArenaRow`] in a frontier, chunk, or
+/// materialized level. Row buffers are transient; charging them cumulatively
+/// keeps the counter monotone and upper-bounds the true peak.
+pub(crate) const ROW_BYTES: u64 = std::mem::size_of::<ArenaRow>() as u64;
 
 /// Mutable work counters. Deliberately *not* atomic: counting happens on
 /// every visited edge, so it must be a plain increment. Each `Counters`
@@ -100,6 +119,14 @@ pub struct ExecStats {
 pub(crate) struct Counters {
     pub(crate) expansions: Cell<u64>,
     pub(crate) interned_nodes: Cell<u64>,
+    /// Bytes charged against the memory budget (see
+    /// [`ExecStats::bytes_charged`]). Plain cells like the other counters:
+    /// each instance is single-threaded, partitions own their own.
+    pub(crate) bytes: Cell<u64>,
+    /// High-water arena node count already charged, so each charge site pays
+    /// only the delta since the last one (all sites touching the same arena
+    /// share this mark through the shared `Counters`).
+    pub(crate) arena_mark: Cell<usize>,
 }
 
 impl Counters {
@@ -107,6 +134,7 @@ impl Counters {
         ExecStats {
             expansions: self.expansions.get(),
             interned_nodes: self.interned_nodes.get(),
+            bytes_charged: self.bytes.get(),
         }
     }
 }
@@ -123,6 +151,10 @@ pub(crate) struct ExecConfig {
     /// Record per-stage execution traces (`Traversal::profile`; default:
     /// off). When off, the per-pull residual cost is one branch.
     pub(crate) profile: bool,
+    /// Per-query memory budget in bytes (`Traversal::memory_budget`;
+    /// default: none). The parallel strategy splits it evenly across its
+    /// accounting domains (each partition plus the suffix/consumer).
+    pub(crate) budget: Option<u64>,
 }
 
 impl Default for ExecConfig {
@@ -131,6 +163,7 @@ impl Default for ExecConfig {
             use_csr: true,
             chunk: crate::chunk::DEFAULT_CHUNK_SIZE,
             profile: false,
+            budget: None,
         }
     }
 }
@@ -149,6 +182,9 @@ pub(crate) struct ExecCtx<'a> {
     /// default). Wildcard expansion always stays on the hashmap — the CSR's
     /// label-sorted layout would reorder interleaved insertion order.
     pub(crate) use_csr: bool,
+    /// Byte budget for this accounting domain; `None` disables all memory
+    /// accounting (the unbudgeted hot path pays one branch per charge site).
+    pub(crate) budget: Option<u64>,
 }
 
 /// One direction's adjacency source, resolved once per walker invocation so
@@ -255,6 +291,67 @@ impl ExecCtx<'_> {
             Some(alive) => alive.check(),
             None => Ok(()),
         }
+    }
+
+    /// Whether memory accounting is active. Charge sites guard on this so an
+    /// unbudgeted execution pays exactly one predictable branch and never
+    /// reads arena node counts.
+    #[inline]
+    pub(crate) fn budgeted(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Charges `bytes` against the budget, erroring with
+    /// [`EngineError::MemoryBudget`] once the cumulative charge crosses the
+    /// limit. Like cancellation, the error propagates out of whatever
+    /// layer/pull/batch was in flight, fusing the cursor without poisoning
+    /// the store.
+    #[inline]
+    pub(crate) fn charge_bytes(&self, bytes: u64) -> Result<(), EngineError> {
+        let Some(limit) = self.budget else {
+            return Ok(());
+        };
+        let charged = self.counters.bytes.get() + bytes;
+        self.counters.bytes.set(charged);
+        if charged > limit {
+            return Err(EngineError::MemoryBudget { limit, charged });
+        }
+        Ok(())
+    }
+
+    /// Charges arena growth since the last call: `now_nodes` is the arena's
+    /// current node count (read through [`ArenaWriter::node_count`] while a
+    /// writer is held — `PathArena::node_count` would deadlock). The
+    /// high-water mark lives in the shared [`Counters`], so every site
+    /// touching the same arena charges each node exactly once. Callers must
+    /// guard with [`ExecCtx::budgeted`].
+    ///
+    /// [`ArenaWriter::node_count`]: mrpa_core::ArenaWriter::node_count
+    #[inline]
+    pub(crate) fn charge_arena_growth(&self, now_nodes: usize) -> Result<(), EngineError> {
+        let grown = now_nodes.saturating_sub(self.counters.arena_mark.get());
+        if grown == 0 {
+            return Ok(());
+        }
+        self.counters.arena_mark.set(now_nodes);
+        self.charge_bytes(grown as u64 * ARENA_NODE_BYTES)
+    }
+
+    /// Charges buffered-row growth since the caller's local mark (`now_len`
+    /// is the buffer's current length; `mark` is per-buffer and owned by the
+    /// call site). Callers must guard with [`ExecCtx::budgeted`].
+    #[inline]
+    pub(crate) fn charge_row_growth(
+        &self,
+        now_len: usize,
+        mark: &mut usize,
+    ) -> Result<(), EngineError> {
+        let grown = now_len.saturating_sub(*mark);
+        if grown == 0 {
+            return Ok(());
+        }
+        *mark = now_len;
+        self.charge_bytes(grown as u64 * ROW_BYTES)
     }
 }
 
@@ -416,6 +513,7 @@ pub(crate) fn apply_op(
             to,
         } => {
             let mut next = Vec::new();
+            let mut row_mark = 0usize;
             // one write-lock acquisition for the whole expansion level
             let mut writer = arena.writer();
             for row in &rows {
@@ -435,6 +533,10 @@ pub(crate) fn apply_op(
                         weight: row.weight,
                     });
                 });
+                if ctx.budgeted() {
+                    ctx.charge_arena_growth(writer.node_count())?;
+                    ctx.charge_row_growth(next.len(), &mut row_mark)?;
+                }
             }
             next
         }
@@ -451,6 +553,7 @@ pub(crate) fn apply_op(
             // layer runs through the batch-stepping fast path
             // (`AutoWalk::run_layer`) instead of per-entry dispatch.
             let mut emitted: Vec<ArenaRow> = Vec::new();
+            let mut row_mark = 0usize;
             let mut remaining = *limit;
             let mut seen: Option<SeenSet> = match spec.semantics() {
                 Semantics::GlobalReachable => Some(SeenSet::default()),
@@ -487,6 +590,12 @@ pub(crate) fn apply_op(
                             &mut emitted,
                         );
                     }
+                    // per-layer budget check: a dense product-automaton
+                    // frontier dies mid-walk, exactly like cancellation
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(writer.node_count())?;
+                        ctx.charge_row_growth(emitted.len(), &mut row_mark)?;
+                    }
                 }
             }
             drop(writer);
@@ -505,6 +614,7 @@ pub(crate) fn apply_op(
             // The walker acquires a short-lived writer per settle, so no
             // lock is held across heap operations.
             let mut emitted: Vec<ArenaRow> = Vec::new();
+            let mut row_mark = 0usize;
             let mut remaining = *k;
             for row in rows {
                 if matches!(remaining, Some(0)) {
@@ -530,6 +640,10 @@ pub(crate) fn apply_op(
                         emitted.len(),
                         &mut remaining,
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                        ctx.charge_row_growth(emitted.len(), &mut row_mark)?;
+                    }
                 }
             }
             emitted
@@ -544,6 +658,7 @@ pub(crate) fn apply_op(
             // row's emissions contiguous, iteration count ascending within a
             // row) — the canonical order all three strategies share
             let mut emitted: Vec<ArenaRow> = Vec::new();
+            let mut row_mark = 0usize;
             for row in rows {
                 let mut walk = RepeatWalk::new(row);
                 loop {
@@ -563,6 +678,10 @@ pub(crate) fn apply_op(
                         },
                         emitted.len(),
                     )?;
+                    if ctx.budgeted() {
+                        ctx.charge_arena_growth(arena.node_count())?;
+                        ctx.charge_row_growth(emitted.len(), &mut row_mark)?;
+                    }
                 }
             }
             emitted
@@ -590,10 +709,17 @@ pub(crate) fn apply_ops(
     mut rows: Vec<ArenaRow>,
     ops: &[PlanOp],
 ) -> Result<Vec<ArenaRow>, EngineError> {
+    let mut row_mark = 0usize;
     for op in ops {
         ctx.ensure_alive()?;
         rows = apply_op(ctx, arena, rows, op)?;
         check_cap(rows.len(), ctx.cap)?;
+        if ctx.budgeted() {
+            // per-op backstop: filters and any growth the op-internal
+            // per-layer checks have not charged yet (no writer is held here)
+            ctx.charge_arena_growth(arena.node_count())?;
+            ctx.charge_row_growth(rows.len(), &mut row_mark)?;
+        }
     }
     Ok(rows)
 }
@@ -946,6 +1072,7 @@ mod tests {
                 counters: &counters,
                 alive: None,
                 use_csr: true,
+                budget: None,
             };
             let reference = materialized(&ctx, naive.start(), naive.ops()).unwrap();
             for plan in [&naive, &optimized] {
@@ -965,6 +1092,7 @@ mod tests {
             counters: &counters,
             alive: None,
             use_csr: true,
+            budget: None,
         };
         let r = materialized(&ctx, plan.start(), plan.ops()).unwrap();
         assert_eq!(r.len(), 4);

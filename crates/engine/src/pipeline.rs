@@ -479,6 +479,7 @@ pub struct Traversal {
     cancel: Option<crate::cancel::CancelToken>,
     vectorize: bool,
     chunk: usize,
+    budget: Option<u64>,
 }
 
 impl Traversal {
@@ -496,6 +497,7 @@ impl Traversal {
             cancel: None,
             vectorize: true,
             chunk: crate::chunk::DEFAULT_CHUNK_SIZE,
+            budget: None,
         }
     }
 
@@ -999,6 +1001,30 @@ impl Traversal {
         self
     }
 
+    /// Caps this execution's memory in bytes. Execution charges arena node
+    /// growth and buffered-row growth against the budget at the same
+    /// layer/pull/batch boundaries cancellation is checked at; crossing the
+    /// cap fails the traversal with [`EngineError::MemoryBudget`], suspending
+    /// any in-flight frontier cleanly — the cursor fuses and the store stays
+    /// fully usable, exactly like a timeout. The parallel strategy splits the
+    /// budget evenly across its partitions and consumer. With no budget set
+    /// (the default) accounting is skipped entirely.
+    ///
+    /// ```
+    /// use mrpa_engine::{classic_social_graph, EngineError, Traversal};
+    /// let g = classic_social_graph();
+    /// let err = Traversal::over(&g)
+    ///     .match_("(knows|created)*")
+    ///     .memory_budget(64)
+    ///     .execute()
+    ///     .unwrap_err();
+    /// assert!(matches!(err, EngineError::MemoryBudget { .. }));
+    /// ```
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes.max(1));
+        self
+    }
+
     /// The steps accumulated so far (used by the planner and tests).
     pub fn steps(&self) -> &[Step] {
         self.pipeline.steps()
@@ -1103,6 +1129,7 @@ impl Traversal {
             crate::exec::ExecConfig {
                 use_csr: self.vectorize,
                 chunk: self.chunk,
+                budget: self.budget,
                 profile,
             },
         );

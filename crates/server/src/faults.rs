@@ -1,0 +1,150 @@
+//! Deterministic socket-level fault injection.
+//!
+//! The durable store already has crash boundaries
+//! ([`FailPoint`](mrpa_engine::FailPoint) / `FailPlan`) for its WAL and
+//! checkpoint pipeline; this module extends the same pattern to the server's
+//! network layer so seeded tests can exercise the failure modes real
+//! deployments see: responses torn mid-frame, reads that stall, connections
+//! that die between request and response, and request handlers that panic.
+//!
+//! A [`SocketFailPlan`] is shared (cheaply clonable) and armed with a
+//! countdown: the `after`-th subsequent hit of the armed [`SocketFailPoint`]
+//! fires exactly once and disarms the plan, so a test script is a sequence
+//! of `arm` calls with fully deterministic outcomes — no timing, no
+//! randomness.
+
+use std::sync::{Arc, Mutex};
+
+/// A fault boundary in the server's socket handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocketFailPoint {
+    /// Write only the first half of a response frame, flush it, and drop the
+    /// connection — the client sees a torn line with no trailing newline.
+    TornWrite,
+    /// Stall before handling a request, as if the server-side read blocked —
+    /// the client sees a silent peer for [`STALL`](SocketFailPlan::STALL).
+    StalledRead,
+    /// Drop the connection after reading a request but before writing any
+    /// response byte — the acknowledged/unacknowledged boundary clients must
+    /// reason about.
+    Disconnect,
+    /// Panic inside the request handler. The server must convert this into a
+    /// typed `internal` error (worker-pool queries) or a clean connection
+    /// teardown that still releases the writer slot and connection count.
+    HandlerPanic,
+}
+
+impl SocketFailPoint {
+    /// All socket fault boundaries.
+    pub const ALL: [SocketFailPoint; 4] = [
+        SocketFailPoint::TornWrite,
+        SocketFailPoint::StalledRead,
+        SocketFailPoint::Disconnect,
+        SocketFailPoint::HandlerPanic,
+    ];
+}
+
+impl std::fmt::Display for SocketFailPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SocketFailPoint::TornWrite => "torn-write",
+            SocketFailPoint::StalledRead => "stalled-read",
+            SocketFailPoint::Disconnect => "disconnect",
+            SocketFailPoint::HandlerPanic => "handler-panic",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    point: SocketFailPoint,
+    countdown: u64,
+}
+
+/// A shared, clonable socket fault-injection plan (the network-layer sibling
+/// of the store's WAL `FailPlan`). At most one [`SocketFailPoint`] is armed
+/// at a time; the `n`-th guarded execution of that point (0-based) fires and
+/// disarms the plan.
+#[derive(Debug, Clone, Default)]
+pub struct SocketFailPlan(Arc<Mutex<Option<Armed>>>);
+
+impl SocketFailPlan {
+    /// How long a [`SocketFailPoint::StalledRead`] fault stalls the handler.
+    pub const STALL: std::time::Duration = std::time::Duration::from_millis(120);
+
+    /// Creates an unarmed plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the plan: the `after`-th subsequent hit of `point` (0 = the very
+    /// next one) fires. Re-arming replaces any previous arming.
+    pub fn arm(&self, point: SocketFailPoint, after: u64) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = Some(Armed {
+            point,
+            countdown: after,
+        });
+    }
+
+    /// Disarms the plan.
+    pub fn disarm(&self) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Records one execution of `point`; returns `true` exactly when the
+    /// armed countdown elapses (and disarms the plan).
+    pub(crate) fn hit(&self, point: SocketFailPoint) -> bool {
+        let mut guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_mut() {
+            Some(armed) if armed.point == point => {
+                if armed.countdown == 0 {
+                    *guard = None;
+                    true
+                } else {
+                    armed.countdown -= 1;
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countdown_fires_once_then_disarms() {
+        let plan = SocketFailPlan::new();
+        plan.arm(SocketFailPoint::TornWrite, 2);
+        assert!(!plan.hit(SocketFailPoint::TornWrite));
+        // hits of other points never consume the countdown
+        assert!(!plan.hit(SocketFailPoint::Disconnect));
+        assert!(!plan.hit(SocketFailPoint::TornWrite));
+        assert!(plan.hit(SocketFailPoint::TornWrite));
+        assert!(!plan.hit(SocketFailPoint::TornWrite), "one-shot");
+    }
+
+    #[test]
+    fn clones_share_the_arming_and_rearm_replaces() {
+        let plan = SocketFailPlan::new();
+        let clone = plan.clone();
+        plan.arm(SocketFailPoint::StalledRead, 0);
+        plan.arm(SocketFailPoint::HandlerPanic, 0);
+        assert!(!clone.hit(SocketFailPoint::StalledRead), "re-armed away");
+        assert!(clone.hit(SocketFailPoint::HandlerPanic));
+        plan.disarm();
+        assert!(!clone.hit(SocketFailPoint::HandlerPanic));
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = SocketFailPoint::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            names,
+            ["torn-write", "stalled-read", "disconnect", "handler-panic"]
+        );
+    }
+}

@@ -44,19 +44,42 @@
 //! `"parse"` (MRPA-QL syntax errors, with a byte `span` and a rendered caret
 //! `diagnostic`), `"timeout"` (the deadline cancelled the traversal — the
 //! store is *not* poisoned and the session keeps working), `"bound"`
-//! (`max_intermediate` admission control), `"engine"` (any other traversal
-//! error), or `"protocol"` (malformed request).
+//! (`max_intermediate` admission control), `"memory_budget"` (the per-query
+//! byte budget tripped, with `limit_bytes` / `charged_bytes`),
+//! `"overloaded"` (bounded admission shed the request, with a
+//! `retry_after_ms` hint), `"internal"` (a handler panic converted to a
+//! typed error), `"engine"` (any other traversal error), or `"protocol"`
+//! (malformed request).
 //!
 //! ## Concurrency model
 //!
-//! One thread per connection. Query execution takes an O(1) snapshot and
-//! runs entirely against it, so any number of readers proceed in parallel;
-//! `store.live_snapshots` in responses reports how many generations are
-//! pinned right now. Mutating ops require the session to have claimed the
-//! single writer slot (`claim_writer`), which is released explicitly or on
-//! disconnect. Deadlines ride the engine's cooperative cancellation: an
+//! One thread per connection reads requests, but **queries execute on a
+//! bounded worker pool** behind a bounded admission queue (see
+//! [`pool`] — the module doc describes the three shed paths).
+//! Control-plane ops (`ping`, `stats`, `metrics`, `slowlog`, writer
+//! claiming, mutations) bypass the queue and run inline on the connection
+//! thread, so the server stays observable and drainable while saturated.
+//! Query execution takes an O(1) snapshot and runs entirely against it, so
+//! workers proceed in parallel; `store.live_snapshots` in responses reports
+//! how many generations are pinned right now. Mutating ops require the
+//! session to have claimed the single writer slot (`claim_writer`), which
+//! is released explicitly or on disconnect — including panicking
+//! disconnects. Deadlines ride the engine's cooperative cancellation: an
 //! overrunning traversal fails with a `"timeout"` error at its next pull,
 //! mid-frontier, without poisoning anything.
+//!
+//! ## Resource governance
+//!
+//! [`ServerConfig::memory_budget`] caps the bytes all in-flight queries may
+//! hold in path arenas and row buffers, partitioned evenly across the
+//! worker slots; a query that outgrows its share dies with a typed
+//! `memory_budget` error, mid-frontier, without poisoning the store.
+//! [`ServerConfig::max_connections`] bounds sockets the same way the queue
+//! bounds work: over the cap, a connection gets one typed `overloaded` line
+//! and is closed. [`RunningServer::shutdown`] drains gracefully (queued and
+//! in-flight queries finish, new ones are refused); [`RunningServer::kill`]
+//! aborts like a crash (in-flight traversals are cancelled, queued jobs are
+//! discarded) — the pairing the chaos tests lean on.
 //!
 //! ```
 //! use mrpa_engine::classic_social_graph;
@@ -76,24 +99,33 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod json;
+pub mod pool;
+pub mod retry;
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mrpa_engine::exec::{ExecStats, ExecutionStrategy};
 use mrpa_engine::metrics::{registry, MetricSnapshot, MetricValue, BUCKET_BOUNDS_US};
 use mrpa_engine::{
-    EngineError, PropertyGraph, QueryTrace, ResultRow, TraceNode, Traversal, Value as GraphValue,
+    CancelToken, EngineError, PropertyGraph, QueryTrace, ResultRow, TraceNode, Traversal,
+    Value as GraphValue,
 };
 use mrpa_query::{LoweredQuery, QueryError, Terminal};
 
+pub use faults::{SocketFailPlan, SocketFailPoint};
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
+
 use json::{object, Value};
+use pool::AdmissionQueue;
 
 /// How often blocked reads wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -112,6 +144,28 @@ pub struct ServerConfig {
     pub slowlog_threshold: Option<Duration>,
     /// Ring-buffer size of the slow-query log: the newest entries win.
     pub slowlog_capacity: usize,
+    /// Worker threads executing queries — the server's execution
+    /// concurrency, regardless of how many clients are connected.
+    pub worker_threads: usize,
+    /// Bounded admission: queries waiting for a worker beyond this many are
+    /// shed immediately with a typed `overloaded` error (newest first).
+    pub queue_capacity: usize,
+    /// A queued query that waits longer than this is shed *instead of
+    /// executed* when a worker finally reaches it — by then the client has
+    /// retried or given up, and running it would only deepen the overload.
+    pub queue_deadline: Duration,
+    /// Server-global memory budget in bytes, partitioned evenly across the
+    /// worker slots: each in-flight query may charge at most
+    /// `memory_budget / worker_threads` bytes of arena and row growth
+    /// before dying with a typed `memory_budget` error. `None` disables
+    /// accounting entirely (no per-charge cost).
+    pub memory_budget: Option<u64>,
+    /// Open-connection cap: an accept beyond this many live connections is
+    /// answered with one typed `overloaded` line and closed.
+    pub max_connections: usize,
+    /// Deterministic socket fault injection (tests only); unarmed by
+    /// default. See [`SocketFailPlan`].
+    pub faults: SocketFailPlan,
 }
 
 impl Default for ServerConfig {
@@ -121,7 +175,114 @@ impl Default for ServerConfig {
             default_timeout: None,
             slowlog_threshold: Some(Duration::from_millis(10)),
             slowlog_capacity: 128,
+            worker_threads: 4,
+            queue_capacity: 64,
+            queue_deadline: Duration::from_millis(500),
+            memory_budget: None,
+            max_connections: 256,
+            faults: SocketFailPlan::new(),
         }
+    }
+}
+
+/// The `retry_after_ms` hint attached to `overloaded` refusals: half the
+/// queue deadline — long enough for the backlog to move, short enough that
+/// a well-behaved client re-arrives while its turn is still fresh.
+pub(crate) fn retry_hint_ms(config: &ServerConfig) -> u64 {
+    (config.queue_deadline.as_millis() as u64 / 2).max(10)
+}
+
+/// Server-side metrics, registered in the process-wide
+/// [`registry`](mrpa_engine::metrics::registry) on first use.
+pub(crate) mod srv_metrics {
+    use mrpa_engine::metrics::{registry, Counter, Gauge};
+    use std::sync::OnceLock;
+
+    macro_rules! cached {
+        ($fn:ident, $ty:ident, $reg:ident, $name:literal, $help:literal) => {
+            pub(crate) fn $fn() -> &'static $ty {
+                static M: OnceLock<&'static $ty> = OnceLock::new();
+                M.get_or_init(|| registry().$reg($name, $help))
+            }
+        };
+    }
+
+    cached!(
+        queue_depth,
+        Gauge,
+        gauge,
+        "mrpa_server_queue_depth",
+        "Queries waiting in the admission queue"
+    );
+    cached!(
+        queries_inflight,
+        Gauge,
+        gauge,
+        "mrpa_server_queries_inflight",
+        "Queries executing on worker threads right now"
+    );
+    cached!(
+        bytes_inflight,
+        Gauge,
+        gauge,
+        "mrpa_server_bytes_inflight",
+        "Memory-budget bytes reserved by in-flight queries"
+    );
+    cached!(
+        connections,
+        Gauge,
+        gauge,
+        "mrpa_server_connections",
+        "Open client connections"
+    );
+    cached!(
+        shed_queue_full,
+        Counter,
+        counter,
+        "mrpa_server_shed_queue_full_total",
+        "Queries shed because the admission queue was full"
+    );
+    cached!(
+        shed_deadline,
+        Counter,
+        counter,
+        "mrpa_server_shed_deadline_total",
+        "Queries shed because they overstayed the queue deadline"
+    );
+    cached!(
+        budget_kills,
+        Counter,
+        counter,
+        "mrpa_server_budget_kills_total",
+        "Queries killed by the per-query memory budget"
+    );
+    cached!(
+        handler_panics,
+        Counter,
+        counter,
+        "mrpa_server_handler_panics_total",
+        "Request-handler panics converted to typed internal errors"
+    );
+    cached!(
+        connections_rejected,
+        Counter,
+        counter,
+        "mrpa_server_connections_rejected_total",
+        "Connections refused at the max_connections cap"
+    );
+
+    /// Touches every accessor so all governance series exist (at zero) from
+    /// the moment the server starts, rather than appearing on first event.
+    pub(crate) fn register_all() {
+        queue_depth();
+        queries_inflight();
+        bytes_inflight();
+        connections();
+        shed_queue_full();
+        shed_deadline();
+        budget_kills();
+        handler_panics();
+        connections_rejected();
     }
 }
 
@@ -137,15 +298,43 @@ struct SlowEntry {
     top_ops: Vec<Value>,
 }
 
-struct Shared {
-    graph: PropertyGraph,
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) graph: PropertyGraph,
+    pub(crate) config: ServerConfig,
     shutdown: AtomicBool,
     /// The session currently holding the single writer slot.
     writer: Mutex<Option<u64>>,
     next_session: AtomicU64,
     /// Ring buffer of the slowest recent queries, newest at the back.
     slowlog: Mutex<VecDeque<SlowEntry>>,
+    /// Bounded admission queue feeding the worker pool.
+    pub(crate) queue: AdmissionQueue,
+    /// Fires on [`RunningServer::kill`], aborting every in-flight traversal.
+    cancel: CancelToken,
+    /// Per-query share of [`ServerConfig::memory_budget`].
+    pub(crate) query_share: Option<u64>,
+    /// Live connection count, checked against `max_connections` on accept.
+    conns: AtomicUsize,
+}
+
+/// Releases everything a dying connection holds — the writer slot, the
+/// connection count, the connections gauge — even when the handler thread
+/// unwinds from a panic.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    session: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let mut writer = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if *writer == Some(self.session) {
+            *writer = None;
+        }
+        drop(writer);
+        self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+        srv_metrics::connections().add(-1);
+    }
 }
 
 /// A running server: the bound address plus the handles needed to stop it.
@@ -154,6 +343,8 @@ pub struct RunningServer {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    stopped: bool,
 }
 
 impl std::fmt::Debug for RunningServer {
@@ -177,21 +368,47 @@ impl RunningServer {
         &self.shared.graph
     }
 
-    /// Stops accepting, unblocks every connection, and joins all threads.
-    /// In-flight requests finish; idle connections notice within one poll
-    /// interval.
+    /// **Graceful drain**: new queries are refused with a typed
+    /// `overloaded` error while every queued and in-flight query runs to
+    /// completion (the control plane stays responsive throughout); then the
+    /// workers, the accept loop, and every connection are joined.
     pub fn shutdown(mut self) {
-        self.stop();
+        self.stop(true);
     }
 
-    fn stop(&mut self) {
+    /// **Abrupt stop**, as close to a crash as a clean process allows:
+    /// in-flight traversals are cancelled mid-frontier, queued queries are
+    /// discarded (their clients see a dead connection or an `internal`
+    /// error), and all threads are joined. The chaos tests pair this with
+    /// reopening the durable store to assert the acknowledged-mutation
+    /// prefix survived.
+    pub fn kill(mut self) {
+        self.stop(false);
+    }
+
+    fn stop(&mut self, graceful: bool) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        if graceful {
+            // refuse new queries, let the workers drain the backlog
+            self.shared.queue.close();
+        } else {
+            self.shared.cancel.cancel();
+            self.shared.queue.discard();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // unblock the accept loop with a throwaway connection
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list"));
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handlers {
             let _ = h.join();
         }
@@ -200,9 +417,7 @@ impl RunningServer {
 
 impl Drop for RunningServer {
     fn drop(&mut self) {
-        if !self.shared.shutdown.load(Ordering::SeqCst) {
-            self.stop();
-        }
+        self.stop(false);
     }
 }
 
@@ -216,15 +431,34 @@ pub fn serve(
 ) -> io::Result<RunningServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    srv_metrics::register_all();
+    let worker_threads = config.worker_threads.max(1);
+    // the global budget is partitioned across worker slots — at most
+    // `worker_threads` queries are ever in flight, so the shares sum to
+    // (at most) the configured global cap
+    let query_share = config
+        .memory_budget
+        .map(|bytes| (bytes / worker_threads as u64).max(1));
     let shared = Arc::new(Shared {
         graph,
+        queue: AdmissionQueue::new(config.queue_capacity),
         config,
         shutdown: AtomicBool::new(false),
         writer: Mutex::new(None),
         next_session: AtomicU64::new(1),
         slowlog: Mutex::new(VecDeque::new()),
+        cancel: CancelToken::new(),
+        query_share,
+        conns: AtomicUsize::new(0),
     });
     let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let workers: Vec<JoinHandle<()>> = (0..worker_threads)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || pool::worker_loop(shared))
+        })
+        .collect();
 
     let accept_shared = Arc::clone(&shared);
     let accept_handlers = Arc::clone(&handlers);
@@ -233,7 +467,20 @@ pub fn serve(
             if accept_shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
+            let Ok(mut stream) = stream else { continue };
+            // finished connections leave the handler list as they go, so a
+            // long-lived server does not accumulate dead join handles
+            accept_handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|h| !h.is_finished());
+            let max = accept_shared.config.max_connections;
+            if accept_shared.conns.load(Ordering::SeqCst) >= max {
+                srv_metrics::connections_rejected().inc();
+                let line = rejection_line(max, retry_hint_ms(&accept_shared.config));
+                let _ = stream.write_all(line.as_bytes());
+                continue; // dropping the stream closes the connection
+            }
             // short read timeouts let connection threads poll the shutdown
             // flag instead of blocking forever on a silent client
             if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -241,17 +488,28 @@ pub fn serve(
             }
             // request/response round trips should not wait out Nagle batching
             let _ = stream.set_nodelay(true);
+            accept_shared.conns.fetch_add(1, Ordering::SeqCst);
+            srv_metrics::connections().add(1);
             let shared = Arc::clone(&accept_shared);
             let handle = std::thread::spawn(move || {
                 let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-                let _ = Session::new(shared.as_ref(), session).run(stream);
-                // the writer slot dies with its session
-                let mut writer = shared.writer.lock().expect("writer slot");
-                if *writer == Some(session) {
-                    *writer = None;
+                // the guard releases the writer slot and connection count
+                // no matter how the session ends — EOF, IO error, or panic
+                let _guard = ConnGuard {
+                    shared: Arc::clone(&shared),
+                    session,
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    Session::new(shared.as_ref(), session).run(stream)
+                }));
+                if outcome.is_err() {
+                    srv_metrics::handler_panics().inc();
                 }
             });
-            accept_handlers.lock().expect("handler list").push(handle);
+            accept_handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
         }
     });
 
@@ -260,7 +518,23 @@ pub fn serve(
         shared,
         accept: Some(accept),
         handlers,
+        workers,
+        stopped: false,
     })
+}
+
+/// The single response line written to a connection rejected at the
+/// `max_connections` cap.
+fn rejection_line(max: usize, retry_after_ms: u64) -> String {
+    let failure = Failure::overloaded(format!("connection limit ({max}) reached"), retry_after_ms);
+    let mut line = object([
+        ("id", Value::Null),
+        ("ok", Value::Bool(false)),
+        ("error", failure.render()),
+    ])
+    .render();
+    line.push('\n');
+    line
 }
 
 /// Reads newline-delimited frames off a stream whose read timeout doubles as
@@ -362,7 +636,35 @@ impl Failure {
         }
     }
 
+    /// A typed overload refusal with the standard `retry_after_ms` hint.
+    fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        Failure {
+            kind: "overloaded",
+            message: message.into(),
+            extra: vec![("retry_after_ms", Value::from(retry_after_ms))],
+        }
+    }
+
+    /// A handler failure the server absorbed (e.g. a caught panic).
+    fn internal(message: impl Into<String>) -> Self {
+        Failure {
+            kind: "internal",
+            message: message.into(),
+            extra: Vec::new(),
+        }
+    }
+
     fn from_engine(err: &EngineError) -> Self {
+        if let EngineError::MemoryBudget { limit, charged } = err {
+            return Failure {
+                kind: "memory_budget",
+                message: err.to_string(),
+                extra: vec![
+                    ("limit_bytes", Value::from(*limit)),
+                    ("charged_bytes", Value::from(*charged)),
+                ],
+            };
+        }
         let kind = match err {
             EngineError::Cancelled => "timeout",
             EngineError::BoundExceeded { .. } => "bound",
@@ -403,6 +705,10 @@ impl<'a> Session<'a> {
             if line.trim().is_empty() {
                 continue;
             }
+            let faults = self.shared.config.faults.clone();
+            if faults.hit(SocketFailPoint::StalledRead) {
+                std::thread::sleep(SocketFailPlan::STALL);
+            }
             let started = Instant::now();
             let request = json::parse(&line).ok();
             let id = request
@@ -417,13 +723,32 @@ impl<'a> Session<'a> {
                     .and_then(Value::as_str),
                 Some("close")
             );
+            // a panicking op costs this request a typed `internal` error,
+            // never the connection (and never a leaked writer slot)
             let outcome = match &request {
                 None => Err(Failure::protocol("request is not valid JSON")),
-                Some(req) => self.dispatch(req),
+                Some(req) => {
+                    catch_unwind(AssertUnwindSafe(|| self.dispatch(req))).unwrap_or_else(|_| {
+                        srv_metrics::handler_panics().inc();
+                        Err(Failure::internal("request handler panicked"))
+                    })
+                }
             };
+            if faults.hit(SocketFailPoint::Disconnect) {
+                // drop the connection between request and response — the
+                // client cannot know whether the op was applied
+                return Ok(());
+            }
             let response = self.envelope(id, outcome, started);
-            out.write_all(response.render().as_bytes())?;
-            out.write_all(b"\n")?;
+            let mut bytes = response.render().into_bytes();
+            bytes.push(b'\n');
+            if faults.hit(SocketFailPoint::TornWrite) {
+                // flush half a frame, then die: the client sees a torn line
+                out.write_all(&bytes[..bytes.len() / 2])?;
+                out.flush()?;
+                return Ok(());
+            }
+            out.write_all(&bytes)?;
             out.flush()?;
             if closing {
                 break;
@@ -475,11 +800,20 @@ impl<'a> Session<'a> {
         Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
+    /// Routes one request. Only `query` goes through the bounded admission
+    /// queue; every control-plane op (and the writer-gated mutations) runs
+    /// inline on the connection thread, so `ping`/`stats`/`metrics` stay
+    /// responsive — and shedding observable — while the pool is saturated.
     fn dispatch(&mut self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
         let op = req
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| Failure::protocol("missing \"op\" field"))?;
+        // the query path's panic hook lives in the worker (run_query), so
+        // one arming deterministically picks its thread by its op
+        if op != "query" && self.shared.config.faults.hit(SocketFailPoint::HandlerPanic) {
+            panic!("injected: handler panic at op {op:?}");
+        }
         match op {
             "ping" => Ok(vec![("pong", Value::Bool(true))]),
             "close" => Ok(vec![("closing", Value::Bool(true))]),
@@ -516,11 +850,44 @@ impl<'a> Session<'a> {
                     ("live_snapshots", Value::from(s.live_snapshots)),
                 ]),
             ),
+            (
+                "governance",
+                object([
+                    ("queue_depth", Value::from(self.shared.queue.depth())),
+                    (
+                        "connections",
+                        Value::from(self.shared.conns.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "worker_threads",
+                        Value::from(self.shared.config.worker_threads),
+                    ),
+                    (
+                        "queue_capacity",
+                        Value::from(self.shared.config.queue_capacity),
+                    ),
+                    (
+                        "memory_budget",
+                        self.shared
+                            .config
+                            .memory_budget
+                            .map(Value::from)
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "query_share",
+                        self.shared
+                            .query_share
+                            .map(Value::from)
+                            .unwrap_or(Value::Null),
+                    ),
+                ]),
+            ),
         ])
     }
 
     fn op_claim_writer(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
-        let mut writer = self.shared.writer.lock().expect("writer slot");
+        let mut writer = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
         match *writer {
             Some(holder) if holder != self.id => Err(Failure::protocol(format!(
                 "writer already claimed by session {holder}"
@@ -533,7 +900,7 @@ impl<'a> Session<'a> {
     }
 
     fn op_release_writer(&self) -> Result<Vec<(&'static str, Value)>, Failure> {
-        let mut writer = self.shared.writer.lock().expect("writer slot");
+        let mut writer = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
         if *writer == Some(self.id) {
             *writer = None;
             Ok(vec![("writer", Value::Null)])
@@ -543,7 +910,7 @@ impl<'a> Session<'a> {
     }
 
     fn require_writer(&self) -> Result<(), Failure> {
-        let writer = self.shared.writer.lock().expect("writer slot");
+        let writer = self.shared.writer.lock().unwrap_or_else(|e| e.into_inner());
         if *writer == Some(self.id) {
             Ok(())
         } else {
@@ -585,12 +952,82 @@ impl<'a> Session<'a> {
         )])
     }
 
+    /// The `query` op: bounded admission into the worker pool. The
+    /// connection thread blocks on its private reply channel (the protocol
+    /// is one response per request line either way); the worker slot count,
+    /// not the connection count, bounds engine work.
     fn op_query(&mut self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
+        self.queries += 1;
+        let (tx, rx) = mpsc::channel();
+        let job = pool::Job {
+            req: req.clone(),
+            session: self.id,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.shared.queue.submit(job) {
+            pool::Admission::Queued => match rx.recv() {
+                Ok(reply) => {
+                    self.rows += reply.rows;
+                    reply.outcome
+                }
+                // the reply channel died: the server was killed mid-query
+                Err(_) => Err(Failure::internal(
+                    "server stopped before the query completed",
+                )),
+            },
+            pool::Admission::QueueFull => {
+                srv_metrics::shed_queue_full().inc();
+                Err(Failure::overloaded(
+                    format!(
+                        "admission queue is full ({} queued)",
+                        self.shared.config.queue_capacity
+                    ),
+                    retry_hint_ms(&self.shared.config),
+                ))
+            }
+            pool::Admission::Draining => Err(Failure::overloaded(
+                "server is draining; new queries are refused",
+                retry_hint_ms(&self.shared.config),
+            )),
+        }
+    }
+}
+
+/// Runs one query end-to-end on a worker thread. Typed-failure conversion
+/// happens here; panic conversion happens in the caller
+/// ([`pool::worker_loop`]'s `catch_unwind`).
+pub(crate) fn run_query(
+    shared: &Shared,
+    session: u64,
+    req: &Value,
+) -> (Result<Payload, Failure>, u64) {
+    if shared.config.faults.hit(SocketFailPoint::HandlerPanic) {
+        panic!("injected: handler panic in query execution");
+    }
+    let mut runner = QueryRunner {
+        shared,
+        session,
+        rows: 0,
+    };
+    let outcome = runner.run(req);
+    (outcome, runner.rows)
+}
+
+/// Worker-side query execution state: the pipeline plus the row counter the
+/// connection thread folds back into its session.
+struct QueryRunner<'a> {
+    shared: &'a Shared,
+    session: u64,
+    rows: u64,
+}
+
+impl<'a> QueryRunner<'a> {
+    fn run(&mut self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
         let text = req
             .get("query")
             .and_then(Value::as_str)
             .ok_or_else(|| Failure::protocol("query needs a string \"query\""))?;
-        self.queries += 1;
 
         let lowered = mrpa_query::compile(text).map_err(|e| Failure::from_parse(&e, text))?;
         let mut traversal = lowered.traversal(&self.shared.graph);
@@ -784,7 +1221,7 @@ impl<'a> Session<'a> {
             query: text.to_owned(),
             duration_us: elapsed.as_micros() as u64,
             strategy: strategy_name(traversal.current_strategy()),
-            session: self.id,
+            session: self.session,
             ranked_by,
             top_ops,
         };
@@ -798,7 +1235,9 @@ impl<'a> Session<'a> {
         }
         log.push_back(entry);
     }
+}
 
+impl<'a> Session<'a> {
     /// The `metrics` op: the process-wide registry as structured JSON, or —
     /// with `"format": "prometheus"` — as text exposition format.
     fn op_metrics(&self, req: &Value) -> Result<Vec<(&'static str, Value)>, Failure> {
@@ -851,9 +1290,11 @@ impl<'a> Session<'a> {
             ("capacity", Value::from(config.slowlog_capacity)),
         ])
     }
+}
 
-    /// Applies strategy, thread count, deadline, and the admission-controlled
-    /// `max_intermediate` cap to a traversal.
+impl<'a> QueryRunner<'a> {
+    /// Applies strategy, thread count, deadline, memory budget, and the
+    /// admission-controlled `max_intermediate` cap to a traversal.
     fn apply_limits(&self, mut t: Traversal, req: &Value) -> Result<Traversal, Failure> {
         if let Some(name) = req.get("strategy").and_then(Value::as_str) {
             t = t.strategy(parse_strategy(name)?);
@@ -881,6 +1322,18 @@ impl<'a> Session<'a> {
         if let Some(timeout) = timeout {
             t = t.timeout(timeout);
         }
+        // resource governance: the query's share of the server-global
+        // memory budget; a request may tighten but never loosen it
+        let requested_budget = req.get("memory_budget").and_then(Value::as_u64);
+        let budget = match (requested_budget, self.shared.query_share) {
+            (Some(r), Some(s)) => Some(r.min(s)),
+            (r, s) => r.or(s),
+        };
+        if let Some(bytes) = budget {
+            t = t.memory_budget(bytes);
+        }
+        // a server kill() aborts every in-flight traversal through this
+        t = t.cancel_token(&self.shared.cancel);
         Ok(t)
     }
 }

@@ -1,0 +1,219 @@
+//! Client-side overload cooperation: reconnect and capped, jittered
+//! exponential backoff.
+//!
+//! A [`RetryingClient`] wraps the plain [`Client`] and turns
+//! the server's typed overload signals into waiting instead of failure:
+//!
+//! - an `overloaded` error response sleeps for the **maximum** of the
+//!   server's `retry_after_ms` hint and the client's own backoff curve, then
+//!   resends on the same (healthy) connection;
+//! - an IO failure (refused connect, reset, EOF, a torn response line)
+//!   drops the connection, backs off, reconnects, and resends.
+//!
+//! Backoff is `base · 2^attempt`, capped, with deterministic xorshift jitter
+//! in `[d/2, d]` — seeded, so tests replay identically and a retrying fleet
+//! does not thunder in lockstep.
+//!
+//! **Idempotency caveat**: an IO failure after a request was sent leaves the
+//! client unable to know whether the server applied it. `RetryingClient`
+//! resends anyway, so use it only for requests that are safe to apply twice:
+//! queries, `ping`, `stats`, `claim_writer`, and keyed upserts like
+//! `add_vertex` (same name → same vertex). `add_edge` appends a new edge per
+//! application — do not retry it blindly.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Value;
+use crate::Client;
+
+/// Backoff shape for a [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total send attempts before giving up (connect failures count).
+    pub max_attempts: u32,
+    /// First-retry delay; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub cap: Duration,
+    /// Jitter seed — equal seeds replay the exact same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// Running totals a test can assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Requests that eventually succeeded (got any response).
+    pub delivered: u64,
+    /// Resends caused by a typed `overloaded` response.
+    pub overloaded_retries: u64,
+    /// Resends caused by an IO failure (including reconnects).
+    pub io_retries: u64,
+    /// Fresh TCP connections established.
+    pub connects: u64,
+}
+
+/// A [`Client`] that survives overload and restarts.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    rng: u64,
+    stats: RetryStats,
+    /// The `retry_after_ms` from the most recent `overloaded` refusal.
+    last_hint: Option<u64>,
+}
+
+impl RetryingClient {
+    /// Creates a client for `addr`. No connection is made until the first
+    /// request (so the server may not even be up yet).
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(RetryingClient {
+            addr,
+            policy: RetryPolicy {
+                // a zero seed would freeze the xorshift generator
+                seed: policy.seed.max(1),
+                ..policy
+            },
+            conn: None,
+            rng: 0,
+            stats: RetryStats::default(),
+            last_hint: None,
+        })
+    }
+
+    /// Repoints the client (e.g. after a server restarted on a new port).
+    /// The current connection, if any, is dropped.
+    pub fn set_addr(&mut self, addr: SocketAddr) {
+        if addr != self.addr {
+            self.addr = addr;
+            self.conn = None;
+        }
+    }
+
+    /// Retry totals so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Sends one request line, retrying per the policy, and returns the
+    /// first response that is not a typed `overloaded` refusal. Responses
+    /// with *other* error kinds (`parse`, `bound`, `protocol`, …) are
+    /// returned as-is: they are deterministic and retrying cannot help.
+    pub fn request(&mut self, line: &str) -> io::Result<Value> {
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let hinted = self.last_hint;
+                std::thread::sleep(self.delay(attempt - 1, hinted));
+            }
+            let conn = match self.connect() {
+                Ok(c) => c,
+                Err(e) => {
+                    self.stats.io_retries += 1;
+                    self.last_hint = None;
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match conn.request(line) {
+                Ok(reply) => {
+                    if let Some(hint) = overloaded_hint(&reply) {
+                        self.stats.overloaded_retries += 1;
+                        self.last_hint = Some(hint);
+                        last_err = None;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    self.last_hint = None;
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // the stream is in an unknown state — reconnect next try
+                    self.conn = None;
+                    self.stats.io_retries += 1;
+                    self.last_hint = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "server still overloaded after {} attempts",
+                    self.policy.max_attempts
+                ),
+            )
+        }))
+    }
+
+    fn connect(&mut self) -> io::Result<&mut Client> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr)?);
+            self.stats.connects += 1;
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Backoff delay for retry number `attempt` (0-based): the larger of the
+    /// jittered exponential curve and the server's `retry_after_ms` hint.
+    fn delay(&mut self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .policy
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.cap);
+        let jittered = {
+            let half = exp.as_millis() as u64 / 2;
+            Duration::from_millis(half + self.next_rand() % (half + 1))
+        };
+        match hint_ms {
+            Some(ms) => jittered.max(Duration::from_millis(ms)),
+            None => jittered,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        if self.rng == 0 {
+            self.rng = self.policy.seed;
+        }
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+/// `Some(retry_after_ms)` when `reply` is a typed `overloaded` refusal.
+fn overloaded_hint(reply: &Value) -> Option<u64> {
+    let error = reply.get("error")?;
+    if error.get("kind").and_then(Value::as_str) != Some("overloaded") {
+        return None;
+    }
+    Some(
+        error
+            .get("retry_after_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+    )
+}

@@ -1,0 +1,383 @@
+//! Resource governance under load: bounded admission with typed shedding,
+//! per-query memory budgets, panic containment, connection caps, socket
+//! fault injection, and graceful drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mrpa_datagen::{ingest_multigraph, preferential_attachment, BaConfig};
+use mrpa_engine::{classic_social_graph, PropertyGraph};
+use mrpa_server::json::Value;
+use mrpa_server::{serve, Client, RetryPolicy, RetryingClient, ServerConfig, SocketFailPoint};
+
+/// A graph dense enough that `DENSE_QUERY` takes real time and real memory.
+fn dense_graph() -> PropertyGraph {
+    let source = preferential_attachment(BaConfig {
+        vertices: 1200,
+        edges_per_vertex: 4,
+        labels: 3,
+        seed: 17,
+    });
+    let graph = PropertyGraph::new();
+    ingest_multigraph(&graph, &source).expect("ingest");
+    graph
+}
+
+const DENSE_QUERY: &str = r#"{"op":"query","query":"FROM * MATCH -[(l0|l1|l2){1,3}]-> COUNT"}"#;
+const CHEAP_QUERY: &str = r#"{"op":"query","query":"FROM v0 OUT l0 COUNT"}"#;
+
+fn error_kind(reply: &Value) -> Option<&str> {
+    reply.get("error")?.get("kind").and_then(Value::as_str)
+}
+
+#[test]
+fn saturation_sheds_typed_overloaded_and_control_plane_stays_responsive() {
+    let server = serve(
+        dense_graph(),
+        ServerConfig {
+            worker_threads: 1,
+            queue_capacity: 1,
+            queue_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let (ok, shed) = (Arc::clone(&ok), Arc::clone(&shed));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let reply = client.request(DENSE_QUERY).unwrap();
+                    if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        assert_eq!(error_kind(&reply), Some("overloaded"), "{reply:?}");
+                        let hint = reply
+                            .get("error")
+                            .and_then(|e| e.get("retry_after_ms"))
+                            .and_then(Value::as_u64)
+                            .expect("overloaded carries retry_after_ms");
+                        assert!(hint > 0);
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // control plane bypasses the admission queue: pings answer promptly
+    // while the single worker is saturated
+    let mut control = Client::connect(addr).unwrap();
+    let mut worst = Duration::ZERO;
+    for _ in 0..10 {
+        let started = Instant::now();
+        let reply = control.request(r#"{"op":"ping"}"#).unwrap();
+        worst = worst.max(started.elapsed());
+        assert_eq!(reply.get("pong").and_then(Value::as_bool), Some(true));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        worst < Duration::from_secs(2),
+        "control plane stalled {worst:?}"
+    );
+
+    for c in clients {
+        c.join().unwrap();
+    }
+    // 6 clients × 3 requests against 1 worker + 1 queue slot must shed some
+    // and finish others
+    assert!(ok.load(Ordering::Relaxed) > 0, "no query ever ran");
+    assert!(shed.load(Ordering::Relaxed) > 0, "nothing was shed");
+    server.shutdown();
+}
+
+#[test]
+fn queue_deadline_sheds_stale_jobs_instead_of_running_them() {
+    let server = serve(
+        dense_graph(),
+        ServerConfig {
+            worker_threads: 1,
+            queue_capacity: 8,
+            queue_deadline: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // occupy the single worker with a heavy query...
+    let heavy = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request(DENSE_QUERY).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    // ...so this one queues past the 1ms deadline and is shed unexecuted
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client.request(CHEAP_QUERY).unwrap();
+    assert_eq!(error_kind(&reply), Some("overloaded"), "{reply:?}");
+
+    let first = heavy.join().unwrap();
+    assert_eq!(
+        first.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{first:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn memory_budget_kills_with_typed_error_and_session_survives() {
+    let server = serve(
+        dense_graph(),
+        ServerConfig {
+            worker_threads: 2,
+            memory_budget: Some(64 * 1024),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let reply = client.request(DENSE_QUERY).unwrap();
+    assert_eq!(error_kind(&reply), Some("memory_budget"), "{reply:?}");
+    let error = reply.get("error").unwrap();
+    let limit = error.get("limit_bytes").and_then(Value::as_u64).unwrap();
+    let charged = error.get("charged_bytes").and_then(Value::as_u64).unwrap();
+    assert_eq!(limit, 32 * 1024, "half the global budget per worker slot");
+    assert!(charged > limit);
+
+    // the same connection (and the worker that died the budget death) keep
+    // serving: a small query fits the share
+    let reply = client.request(CHEAP_QUERY).unwrap();
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+
+    // a request may tighten its own budget below the share
+    let reply = client
+        .request(r#"{"op":"query","query":"FROM * MATCH -[(l0|l1|l2){1,3}]-> COUNT","memory_budget":1024}"#)
+        .unwrap();
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("limit_bytes"))
+            .and_then(Value::as_u64),
+        Some(1024),
+        "{reply:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn handler_panics_become_typed_internal_errors_on_both_paths() {
+    let config = ServerConfig::default();
+    let faults = config.faults.clone();
+    let server = serve(classic_social_graph(), config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // connection-thread path: a control-plane op panics mid-dispatch
+    faults.arm(SocketFailPoint::HandlerPanic, 0);
+    let reply = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(error_kind(&reply), Some("internal"), "{reply:?}");
+    // the connection survived the panic
+    let reply = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(reply.get("pong").and_then(Value::as_bool), Some(true));
+
+    // worker path: a query panics inside the pool
+    faults.arm(SocketFailPoint::HandlerPanic, 0);
+    let reply = client
+        .request(r#"{"op":"query","query":"FROM marko OUT knows COUNT"}"#)
+        .unwrap();
+    assert_eq!(error_kind(&reply), Some("internal"), "{reply:?}");
+    // the worker survived too
+    let reply = client
+        .request(r#"{"op":"query","query":"FROM marko OUT knows COUNT"}"#)
+        .unwrap();
+    assert_eq!(
+        reply.get("count").and_then(Value::as_u64),
+        Some(2),
+        "{reply:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn writer_slot_is_released_when_the_holder_disconnects() {
+    let server = serve(
+        classic_social_graph(),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut holder = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(
+        holder
+            .request(r#"{"op":"claim_writer"}"#)
+            .unwrap()
+            .get("ok")
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+    drop(holder);
+
+    // the guard frees the slot when the holder's thread winds down; poll
+    // briefly since teardown is asynchronous
+    let mut successor = Client::connect(server.local_addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reply = successor.request(r#"{"op":"claim_writer"}"#).unwrap();
+        if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "writer slot never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_overloaded_line() {
+    let server = serve(
+        classic_social_graph(),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    // a round trip guarantees the accept loop has registered the connection
+    first.request(r#"{"op":"ping"}"#).unwrap();
+
+    // over the cap, the server writes one rejection line unprompted and
+    // closes — read it raw (sending first could race the close into an RST)
+    let mut second = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut raw = String::new();
+    use std::io::Read as _;
+    second.read_to_string(&mut raw).unwrap();
+    let reply = mrpa_server::json::parse(raw.trim()).unwrap();
+    assert_eq!(error_kind(&reply), Some("overloaded"), "{reply:?}");
+    assert!(reply
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .is_some());
+
+    // freeing the slot admits a new connection (teardown is asynchronous)
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let pong = Client::connect(server.local_addr())
+            .ok()
+            .and_then(|mut third| third.request(r#"{"op":"ping"}"#).ok())
+            .and_then(|r| r.get("pong").and_then(Value::as_bool));
+        if pong == Some(true) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cap never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn socket_faults_are_survivable_with_a_retrying_client() {
+    let config = ServerConfig::default();
+    let faults = config.faults.clone();
+    let server = serve(classic_social_graph(), config, "127.0.0.1:0").unwrap();
+    let mut client = RetryingClient::new(
+        server.local_addr(),
+        RetryPolicy {
+            base: Duration::from_millis(2),
+            seed: 7,
+            ..RetryPolicy::default()
+        },
+    )
+    .unwrap();
+
+    // mid-response disconnect: the request is acknowledged-but-unanswered;
+    // the client reconnects and retries
+    client.request(r#"{"op":"ping"}"#).unwrap();
+    faults.arm(SocketFailPoint::Disconnect, 0);
+    let reply = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(reply.get("pong").and_then(Value::as_bool), Some(true));
+
+    // torn write: half a response line, then EOF
+    faults.arm(SocketFailPoint::TornWrite, 0);
+    let reply = client
+        .request(r#"{"op":"query","query":"FROM marko OUT knows COUNT"}"#)
+        .unwrap();
+    assert_eq!(
+        reply.get("count").and_then(Value::as_u64),
+        Some(2),
+        "{reply:?}"
+    );
+
+    // stalled read: slow but successful, no retry needed
+    faults.arm(SocketFailPoint::StalledRead, 0);
+    let reply = client.request(r#"{"op":"ping"}"#).unwrap();
+    assert_eq!(reply.get("pong").and_then(Value::as_bool), Some(true));
+
+    let stats = client.stats();
+    assert!(stats.io_retries >= 2, "{stats:?}");
+    assert!(stats.connects >= 3, "{stats:?}");
+    assert_eq!(stats.delivered, 4, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_queries_and_refuses_new_ones() {
+    let server = serve(
+        dense_graph(),
+        ServerConfig {
+            worker_threads: 1,
+            queue_capacity: 4,
+            queue_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // a heavy query in flight when the drain begins
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request(DENSE_QUERY).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(30));
+
+    let drainer = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(30));
+
+    // a query sent mid-drain is refused (typed) or the socket is already
+    // gone (drain finished first) — never silently dropped, never hung
+    // (an Err from the request means the drain finished first: fine too)
+    if let Ok(mut late) = Client::connect(addr) {
+        if let Ok(reply) = late.request(CHEAP_QUERY) {
+            if reply.get("ok").and_then(Value::as_bool) == Some(false) {
+                assert_eq!(error_kind(&reply), Some("overloaded"), "{reply:?}");
+            }
+        }
+    }
+
+    // the in-flight query ran to completion despite the drain
+    let reply = inflight.join().unwrap();
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+    drainer.join().unwrap();
+}

@@ -1,0 +1,172 @@
+//! Seeded chaos: kill the server mid-load while clients mutate and query
+//! through socket faults, restart it from the durable directory, and prove
+//! the reopened store contains **every acknowledged mutation** — the
+//! contract that makes client-side retry safe.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mrpa_engine::PropertyGraph;
+use mrpa_server::json::Value;
+use mrpa_server::{serve, RetryPolicy, RetryingClient, ServerConfig, SocketFailPoint};
+
+const WRITES: usize = 60;
+
+fn chaos_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrpa-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(faults: &mrpa_server::SocketFailPlan) -> ServerConfig {
+    ServerConfig {
+        worker_threads: 2,
+        queue_capacity: 8,
+        queue_deadline: Duration::from_millis(300),
+        faults: faults.clone(),
+        ..ServerConfig::default()
+    }
+}
+
+fn retrying(addr: SocketAddr, seed: u64) -> RetryingClient {
+    RetryingClient::new(
+        addr,
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+            seed,
+        },
+    )
+    .unwrap()
+}
+
+/// Sends one `add_vertex`, reclaiming the writer slot whenever a reconnect
+/// (or restart) lost it. `true` only when the server acknowledged `ok`.
+fn write_vertex(client: &mut RetryingClient, name: &str) -> bool {
+    let request = format!(r#"{{"op":"add_vertex","name":"{name}"}}"#);
+    for _ in 0..10 {
+        match client.request(&request) {
+            Ok(reply) => {
+                if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+                    return true;
+                }
+                // a fresh session (reconnect or restart) has no writer slot
+                let _ = client.request(r#"{"op":"claim_writer"}"#);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    false
+}
+
+#[test]
+fn kill_mid_load_then_recover_preserves_every_acknowledged_write() {
+    let dir = chaos_dir("killrecover");
+    let graph = PropertyGraph::open(&dir).unwrap();
+    // seed data for the readers so their query is meaningful from the start
+    graph.add_vertex("marko");
+    graph.add_vertex("josh");
+    graph.add_edge("marko", "knows", "josh");
+
+    let faults = mrpa_server::SocketFailPlan::new();
+    let server = serve(graph.clone(), config(&faults), "127.0.0.1:0").unwrap();
+    let addr = Arc::new(Mutex::new(server.local_addr()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // writer: WRITES keyed (idempotent) vertex upserts through retry,
+    // backoff, reconnect, and reclaim — returns the acknowledged names
+    let writer = {
+        let addr = Arc::clone(&addr);
+        let faults = faults.clone();
+        std::thread::spawn(move || {
+            let mut client = retrying(*addr.lock().unwrap(), 42);
+            let _ = client.request(r#"{"op":"claim_writer"}"#);
+            let mut acked = Vec::new();
+            for i in 0..WRITES {
+                client.set_addr(*addr.lock().unwrap());
+                // deterministic fault schedule: every 7th write eats a
+                // mid-response disconnect, every 11th a torn response
+                if i % 7 == 3 {
+                    faults.arm(SocketFailPoint::Disconnect, 0);
+                } else if i % 11 == 5 {
+                    faults.arm(SocketFailPoint::TornWrite, 0);
+                }
+                let name = format!("c{i}");
+                if write_vertex(&mut client, &name) {
+                    acked.push(name);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            acked
+        })
+    };
+
+    // readers: concurrent queries riding the same retry machinery
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let addr = Arc::clone(&addr);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = retrying(*addr.lock().unwrap(), 100 + r);
+                let mut delivered = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    client.set_addr(*addr.lock().unwrap());
+                    if let Ok(reply) =
+                        client.request(r#"{"op":"query","query":"FROM marko OUT knows COUNT"}"#)
+                    {
+                        if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+                            delivered += 1;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                delivered
+            })
+        })
+        .collect();
+
+    // mid-load: abrupt kill (in-flight queries cancelled, queue discarded),
+    // then recover the durable directory and restart on a fresh port
+    std::thread::sleep(Duration::from_millis(120));
+    server.kill();
+    drop(graph);
+    let (graph2, report) = PropertyGraph::open_recover(&dir).unwrap();
+    assert!(
+        !matches!(report.wal_tail, mrpa_engine::WalTail::Corrupt { .. }),
+        "a clean-process kill must not corrupt acknowledged WAL bytes"
+    );
+    let server2 = serve(graph2.clone(), config(&faults), "127.0.0.1:0").unwrap();
+    *addr.lock().unwrap() = server2.local_addr();
+
+    let acked = writer.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let mut reads = 0;
+    for r in readers {
+        reads += r.join().unwrap();
+    }
+    assert!(reads > 0, "readers never completed a query");
+    // the outage window can eat a few writes past their retry budget, but
+    // the bulk must land
+    assert!(
+        acked.len() >= WRITES / 2,
+        "only {}/{WRITES} writes acknowledged",
+        acked.len()
+    );
+
+    // graceful drain, then a final recovery: every acknowledged write is in
+    // the reopened store
+    server2.shutdown();
+    drop(graph2);
+    let reopened = PropertyGraph::open(&dir).unwrap();
+    let snapshot = reopened.snapshot();
+    for name in &acked {
+        assert!(
+            snapshot.vertex(name).is_ok(),
+            "acknowledged vertex {name} lost across kill+recovery"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
